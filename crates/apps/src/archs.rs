@@ -1,0 +1,175 @@
+//! The four architectures of Table I, as textual DSL sources, plus a
+//! preconfigured flow engine with the Otsu kernels registered.
+
+use crate::kernels;
+use accelsoc_core::flow::{FlowEngine, FlowOptions};
+use serde::{Deserialize, Serialize};
+
+/// The four generated implementations of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arch {
+    /// histogram in hardware.
+    Arch1,
+    /// otsuMethod in hardware.
+    Arch2,
+    /// histogram + otsuMethod in hardware.
+    Arch3,
+    /// grayScale + histogram + otsuMethod + binarization in hardware.
+    Arch4,
+}
+
+impl Arch {
+    pub fn all() -> [Arch; 4] {
+        [Arch::Arch1, Arch::Arch2, Arch::Arch3, Arch::Arch4]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::Arch1 => "Arch1",
+            Arch::Arch2 => "Arch2",
+            Arch::Arch3 => "Arch3",
+            Arch::Arch4 => "Arch4",
+        }
+    }
+
+    /// The Table I row: which application functions run in hardware.
+    pub fn hw_tasks(&self) -> &'static [&'static str] {
+        match self {
+            Arch::Arch1 => &["histogram"],
+            Arch::Arch2 => &["otsuMethod"],
+            Arch::Arch3 => &["histogram", "otsuMethod"],
+            Arch::Arch4 => &["grayScale", "histogram", "otsuMethod", "binarization"],
+        }
+    }
+}
+
+/// DSL source for each architecture. Arch4 is Listing 4 of the paper,
+/// verbatim in structure.
+pub fn arch_dsl_source(arch: Arch) -> String {
+    match arch {
+        Arch::Arch1 => r#"
+object otsuArch1 extends App {
+  tg nodes;
+    tg node "computeHistogram" is "grayScaleImage" is "histogram" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("computeHistogram","grayScaleImage") end;
+    tg link ("computeHistogram","histogram") to 'soc end;
+  tg end_edges;
+}
+"#
+        .to_string(),
+        Arch::Arch2 => r#"
+object otsuArch2 extends App {
+  tg nodes;
+    tg node "halfProbability" is "histogram" is "probability" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("halfProbability","histogram") end;
+    tg link ("halfProbability","probability") to 'soc end;
+  tg end_edges;
+}
+"#
+        .to_string(),
+        Arch::Arch3 => r#"
+object otsuArch3 extends App {
+  tg nodes;
+    tg node "computeHistogram" is "grayScaleImage" is "histogram" end;
+    tg node "halfProbability" is "histogram" is "probability" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("computeHistogram","grayScaleImage") end;
+    tg link ("computeHistogram","histogram") to ("halfProbability","histogram") end;
+    tg link ("halfProbability","probability") to 'soc end;
+  tg end_edges;
+}
+"#
+        .to_string(),
+        Arch::Arch4 => r#"
+object otsu extends App {
+  tg nodes;
+    tg node "grayScale" is "imageIn" is "imageOutCH" is "imageOutSEG" end;
+    tg node "computeHistogram" is "grayScaleImage" is "histogram" end;
+    tg node "halfProbability" is "histogram" is "probability" end;
+    tg node "segment" is "grayScaleImage" is "otsuThreshold" is "segmentedGrayImage" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("grayScale","imageIn") end;
+    tg link ("grayScale","imageOutCH") to ("computeHistogram","grayScaleImage") end;
+    tg link ("grayScale","imageOutSEG") to ("segment","grayScaleImage") end;
+    tg link ("computeHistogram","histogram") to ("halfProbability","histogram") end;
+    tg link ("halfProbability","probability") to ("segment","otsuThreshold") end;
+    tg link ("segment","segmentedGrayImage") to 'soc end;
+  tg end_edges;
+}
+"#
+        .to_string(),
+    }
+}
+
+/// A flow engine with all four Otsu kernels registered — the analogue of
+/// the paper's project directory holding the Vivado-HLS-ready C sources.
+pub fn otsu_flow_engine() -> FlowEngine {
+    let mut e = FlowEngine::new(FlowOptions::default());
+    for k in kernels::otsu_kernels() {
+        e.register_kernel(k);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_arch_sources_parse_and_elaborate() {
+        for arch in Arch::all() {
+            let src = arch_dsl_source(arch);
+            let g = accelsoc_core::dsl::parse(&src).unwrap();
+            accelsoc_core::semantics::elaborate(&g)
+                .unwrap_or_else(|e| panic!("{arch:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn arch4_matches_listing4_shape() {
+        let g = accelsoc_core::dsl::parse(&arch_dsl_source(Arch::Arch4)).unwrap();
+        assert_eq!(g.project, "otsu");
+        assert_eq!(g.nodes.len(), 4);
+        assert_eq!(g.links().count(), 6);
+        assert_eq!(g.soc_link_count(), 2);
+    }
+
+    #[test]
+    fn hw_task_sets_match_table1() {
+        assert_eq!(Arch::Arch1.hw_tasks(), &["histogram"]);
+        assert_eq!(Arch::Arch2.hw_tasks(), &["otsuMethod"]);
+        assert_eq!(Arch::Arch3.hw_tasks().len(), 2);
+        assert_eq!(Arch::Arch4.hw_tasks().len(), 4);
+    }
+
+    #[test]
+    fn full_flow_runs_for_every_arch() {
+        let mut e = otsu_flow_engine();
+        for arch in Arch::all() {
+            let art = e.run_source(&arch_dsl_source(arch)).unwrap();
+            assert!(art.timing.met(), "{arch:?}");
+            assert!(art.synth.total.lut > 0);
+        }
+        // Cores cached once each across all four architectures.
+        assert_eq!(e.cached_cores(), 4);
+    }
+
+    #[test]
+    fn resource_totals_monotone_in_table2_order() {
+        // Table II shape: Arch1 < Arch2 < Arch3 < Arch4 in LUT and FF.
+        let mut e = otsu_flow_engine();
+        let luts: Vec<u32> = Arch::all()
+            .iter()
+            .map(|&a| e.run_source(&arch_dsl_source(a)).unwrap().synth.total.lut)
+            .collect();
+        assert!(luts[0] < luts[1], "Arch1 {} < Arch2 {}", luts[0], luts[1]);
+        assert!(luts[1] < luts[2], "Arch2 {} < Arch3 {}", luts[1], luts[2]);
+        assert!(luts[2] < luts[3], "Arch3 {} < Arch4 {}", luts[2], luts[3]);
+    }
+}

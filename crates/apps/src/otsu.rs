@@ -1,0 +1,365 @@
+//! The Otsu case study: software reference implementations of all six
+//! tasks (Fig. 8) and the application runner that executes any of the four
+//! architectures (Table I) on the simulated platform — software tasks on
+//! the CPU model, hardware tasks as a streaming phase on the board.
+
+use crate::archs::Arch;
+use crate::image::{GrayImage, RgbImage};
+use accelsoc_axi::dma::DmaDescriptor;
+use accelsoc_core::flow::{FlowArtifacts, FlowEngine};
+use accelsoc_kernel::interp::{ExecStats, Interpreter, StreamBundle};
+use accelsoc_platform::board::BoardError;
+use std::collections::HashMap;
+
+// --- software reference --------------------------------------------------
+
+/// `grayScale` reference: integer luma `(77R + 150G + 29B) >> 8`,
+/// bit-identical to the kernel.
+pub fn grayscale_reference(rgb: &RgbImage) -> GrayImage {
+    let mut out = GrayImage::new(rgb.width, rgb.height);
+    for (i, &px) in rgb.data.iter().enumerate() {
+        let (r, g, b) = ((px >> 16) & 255, (px >> 8) & 255, px & 255);
+        out.data[i] = ((77 * r + 150 * g + 29 * b) >> 8) as u8;
+    }
+    out
+}
+
+/// `histogram` reference.
+pub fn histogram_reference(img: &GrayImage) -> [u32; 256] {
+    let mut h = [0u32; 256];
+    for &v in &img.data {
+        h[v as usize] += 1;
+    }
+    h
+}
+
+/// `otsuMethod` reference: integer between-class-variance maximisation,
+/// bit-identical to the `halfProbability` kernel (first maximum wins).
+pub fn otsu_threshold_from_hist(h: &[u32; 256]) -> u8 {
+    let total: u64 = h.iter().map(|&v| v as u64).sum();
+    let sum_all: u64 = h.iter().enumerate().map(|(i, &v)| i as u64 * v as u64).sum();
+    let (mut w_b, mut sum_b) = (0u64, 0u64);
+    let (mut max_var, mut thr) = (0u64, 0u8);
+    for t in 0..256usize {
+        w_b += h[t] as u64;
+        sum_b += t as u64 * h[t] as u64;
+        let w_f = total - w_b;
+        if w_b > 0 && w_f > 0 {
+            let m_b = sum_b / w_b;
+            let m_f = (sum_all - sum_b) / w_f;
+            let d = m_b as i64 - m_f as i64;
+            let between = w_b * w_f * (d * d) as u64;
+            if between > max_var {
+                max_var = between;
+                thr = t as u8;
+            }
+        }
+    }
+    thr
+}
+
+/// `binarization` reference (`> thr → 255`), matching the `segment`
+/// kernel.
+pub fn binarize_reference(img: &GrayImage, thr: u8) -> GrayImage {
+    GrayImage {
+        width: img.width,
+        height: img.height,
+        data: img.data.iter().map(|&v| if v > thr { 255 } else { 0 }).collect(),
+    }
+}
+
+/// Full software pipeline: gray → histogram → threshold → binary image.
+pub fn otsu_reference(rgb: &RgbImage) -> (GrayImage, u8) {
+    let gray = grayscale_reference(rgb);
+    let h = histogram_reference(&gray);
+    let thr = otsu_threshold_from_hist(&h);
+    (binarize_reference(&gray, thr), thr)
+}
+
+// --- application runner ---------------------------------------------------
+
+/// Result of running the application on one architecture.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    pub arch: Arch,
+    pub output: GrayImage,
+    pub threshold: u8,
+    /// Total modelled wall time in nanoseconds.
+    pub total_ns: f64,
+    /// Per-task time: (task name, ns, ran-in-hardware).
+    pub tasks: Vec<(String, f64, bool)>,
+    /// Bytes moved over DMA.
+    pub dma_bytes: u64,
+}
+
+#[derive(Debug)]
+pub enum AppError {
+    Board(BoardError),
+    Exec(accelsoc_kernel::interp::ExecError),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Board(e) => write!(f, "{e}"),
+            AppError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<BoardError> for AppError {
+    fn from(e: BoardError) -> Self {
+        AppError::Board(e)
+    }
+}
+
+impl From<accelsoc_kernel::interp::ExecError> for AppError {
+    fn from(e: accelsoc_kernel::interp::ExecError) -> Self {
+        AppError::Exec(e)
+    }
+}
+
+const IN_BUF: u64 = 0x10_0000;
+const OUT_BUF: u64 = 0x20_0000;
+
+/// Execute the six-task application on `arch`, using hardware for the
+/// tasks that architecture implements in the PL (Table I) and the CPU
+/// model for the rest. Returns pixel-exact results plus timing.
+pub fn run_application(
+    arch: Arch,
+    engine: &FlowEngine,
+    artifacts: &FlowArtifacts,
+    input: &RgbImage,
+) -> Result<AppRun, AppError> {
+    let mut board = engine.build_board(artifacts, 64 << 20);
+    let n = input.data.len() as i64;
+    let mut tasks: Vec<(String, f64, bool)> = Vec::new();
+    let mut dma_bytes = 0u64;
+
+    // readImage: fixed I/O cost model (SD-card read ≈ 20 MB/s).
+    let read_ns = input.data.len() as f64 * 4.0 * 50.0;
+    tasks.push(("readImage".into(), read_ns, false));
+
+    let accel_of = |name: &str| -> Option<usize> {
+        artifacts.hls.iter().position(|(n, _)| n == name)
+    };
+
+    // Software-task helper: run a kernel on the CPU model.
+    let sw = |kernel: &accelsoc_kernel::ir::Kernel,
+              scalars: &[(&str, i64)],
+              bundle: &mut StreamBundle,
+              board: &mut accelsoc_platform::board::Board|
+     -> Result<(ExecStats, HashMap<String, i64>), AppError> {
+        let inputs: HashMap<String, i64> =
+            scalars.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let out = Interpreter::new(kernel).run(&inputs, bundle)?;
+        board.cpu.execute(&out.stats);
+        Ok((out.stats, out.scalar_outputs))
+    };
+
+    // --- grayScale ---
+    let gray: Vec<i64>;
+    let hw_gray = arch.hw_tasks().contains(&"grayScale");
+    if !hw_gray {
+        let mut b = StreamBundle::new();
+        b.feed("imageIn", input.data.iter().map(|&p| p as i64));
+        let k = crate::kernels::grayscale();
+        let before = board.cpu.busy_ns;
+        sw(&k, &[("n", n)], &mut b, &mut board)?;
+        tasks.push(("grayScale".into(), board.cpu.busy_ns - before, false));
+        gray = b.output("imageOutCH").to_vec();
+    } else {
+        gray = Vec::new(); // produced inside the hardware phase
+    }
+
+    // --- the hardware streaming phase (contiguous HW tasks) ---
+    // Build per-arch input/output token streams and run one phase.
+    let (hist, thr_from_hw, seg_from_hw, phase_ns) = match arch {
+        Arch::Arch1 => {
+            // HW: computeHistogram. in: gray bytes; out: 256 u32.
+            let in_bytes: Vec<u8> = gray.iter().map(|&v| v as u8).collect();
+            board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
+            let stats = board.run_stream_phase(
+                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
+                &[(0, DmaDescriptor { addr: OUT_BUF, len: 256 * 4 })],
+                &[(accel_of("computeHistogram").unwrap(), "n", n)],
+            )?;
+            dma_bytes += stats.bytes_in + stats.bytes_out;
+            let out = board.dram.dump_bytes(OUT_BUF, 256 * 4).unwrap();
+            let hist = bytes_to_u32s(&out);
+            tasks.push(("histogram".into(), stats.ns, true));
+            (hist, None, None, stats.ns)
+        }
+        Arch::Arch2 => {
+            // SW histogram first.
+            let k = crate::kernels::compute_histogram();
+            let mut b = StreamBundle::new();
+            b.feed("grayScaleImage", gray.iter().copied());
+            let before = board.cpu.busy_ns;
+            sw(&k, &[("n", n)], &mut b, &mut board)?;
+            tasks.push(("histogram".into(), board.cpu.busy_ns - before, false));
+            let hist: Vec<u32> = b.output("histogram").iter().map(|&v| v as u32).collect();
+            // HW: halfProbability.
+            let in_bytes = u32s_to_bytes(&hist);
+            board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
+            let stats = board.run_stream_phase(
+                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
+                &[(0, DmaDescriptor { addr: OUT_BUF, len: 4 })],
+                &[],
+            )?;
+            dma_bytes += stats.bytes_in + stats.bytes_out;
+            let thr = board.dram.dump_bytes(OUT_BUF, 4).unwrap()[0];
+            tasks.push(("otsuMethod".into(), stats.ns, true));
+            (hist, Some(thr), None, stats.ns)
+        }
+        Arch::Arch3 => {
+            // HW: computeHistogram -> halfProbability chained.
+            let in_bytes: Vec<u8> = gray.iter().map(|&v| v as u8).collect();
+            board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
+            let stats = board.run_stream_phase(
+                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
+                &[(0, DmaDescriptor { addr: OUT_BUF, len: 4 })],
+                &[(accel_of("computeHistogram").unwrap(), "n", n)],
+            )?;
+            dma_bytes += stats.bytes_in + stats.bytes_out;
+            let thr = board.dram.dump_bytes(OUT_BUF, 4).unwrap()[0];
+            tasks.push(("histogram+otsuMethod".into(), stats.ns, true));
+            (Vec::new(), Some(thr), None, stats.ns)
+        }
+        Arch::Arch4 => {
+            // Whole pipeline in HW: RGB in, segmented image out.
+            let in_bytes = u32s_to_bytes(&input.data);
+            board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
+            let stats = board.run_stream_phase(
+                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
+                &[(0, DmaDescriptor { addr: OUT_BUF, len: input.data.len() as u64 })],
+                &[
+                    (accel_of("grayScale").unwrap(), "n", n),
+                    (accel_of("computeHistogram").unwrap(), "n", n),
+                    (accel_of("segment").unwrap(), "n", n),
+                ],
+            )?;
+            dma_bytes += stats.bytes_in + stats.bytes_out;
+            let seg = board.dram.dump_bytes(OUT_BUF, input.data.len()).unwrap();
+            tasks.push(("grayScale+histogram+otsuMethod+binarization".into(), stats.ns, true));
+            // The threshold never leaves the PL in Arch4 (it flows core to
+            // core); recompute it host-side for reporting only — no CPU
+            // time charged.
+            let thr = otsu_threshold_from_hist(&histogram_reference(&grayscale_reference(
+                input,
+            )));
+            (Vec::new(), Some(thr), Some(seg), stats.ns)
+        }
+    };
+    let _ = phase_ns;
+
+    // --- remaining software tasks ---
+    let threshold = match thr_from_hw {
+        Some(t) => t,
+        None => {
+            // SW otsuMethod on the (HW or SW) histogram.
+            let k = crate::kernels::half_probability();
+            let mut b = StreamBundle::new();
+            b.feed("histogram", hist.iter().map(|&v| v as i64));
+            let before = board.cpu.busy_ns;
+            sw(&k, &[], &mut b, &mut board)?;
+            tasks.push(("otsuMethod".into(), board.cpu.busy_ns - before, false));
+            b.output("probability")[0] as u8
+        }
+    };
+
+    let seg_data: Vec<u8> = match seg_from_hw {
+        Some(s) => s,
+        None => {
+            let k = crate::kernels::segment();
+            let mut b = StreamBundle::new();
+            b.feed("otsuThreshold", [threshold as i64]);
+            b.feed("grayScaleImage", gray.iter().copied());
+            let before = board.cpu.busy_ns;
+            sw(&k, &[("n", n)], &mut b, &mut board)?;
+            tasks.push(("binarization".into(), board.cpu.busy_ns - before, false));
+            b.output("segmentedGrayImage").iter().map(|&v| v as u8).collect()
+        }
+    };
+
+    // writeImage.
+    let write_ns = input.data.len() as f64 * 50.0;
+    tasks.push(("writeImage".into(), write_ns, false));
+
+    let total_ns: f64 = tasks.iter().map(|(_, ns, _)| ns).sum();
+    Ok(AppRun {
+        arch,
+        output: GrayImage { width: input.width, height: input.height, data: seg_data },
+        threshold,
+        total_ns,
+        tasks,
+        dma_bytes,
+    })
+}
+
+fn u32s_to_bytes(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_to_u32s(b: &[u8]) -> Vec<u32> {
+    b.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archs::{otsu_flow_engine, Arch};
+    use crate::image::synthetic_scene;
+
+    #[test]
+    fn reference_pipeline_separates_scene() {
+        let scene = synthetic_scene(64, 64, 3);
+        let rgb = RgbImage::from_gray(&scene);
+        let (binary, thr) = otsu_reference(&rgb);
+        // Between-class variance is constant across the empty gap between
+        // the two modes, and first-maximum-wins lands at the gap's start —
+        // anywhere in [background max, foreground min) separates perfectly.
+        assert!((50..185).contains(&thr), "thr = {thr}");
+        // Foreground pixels found, background suppressed.
+        let white = binary.data.iter().filter(|&&v| v == 255).count();
+        assert!(white > 500 && white < binary.pixels() - 500);
+        assert!(binary.data.iter().all(|&v| v == 0 || v == 255));
+    }
+
+    #[test]
+    fn every_architecture_matches_the_reference_exactly() {
+        let scene = synthetic_scene(48, 40, 11);
+        let rgb = RgbImage::from_gray(&scene);
+        let (expect, expect_thr) = otsu_reference(&rgb);
+        let mut engine = otsu_flow_engine();
+        for arch in Arch::all() {
+            let artifacts = engine.run_source(&crate::archs::arch_dsl_source(arch)).unwrap();
+            let run = run_application(arch, &engine, &artifacts, &rgb).unwrap();
+            assert_eq!(run.threshold, expect_thr, "{arch:?} threshold");
+            assert_eq!(run.output, expect, "{arch:?} pixels");
+            assert!(run.total_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn hw_offload_reduces_cpu_share() {
+        let scene = synthetic_scene(32, 32, 5);
+        let rgb = RgbImage::from_gray(&scene);
+        let mut engine = otsu_flow_engine();
+        let a1 = engine.run_source(&crate::archs::arch_dsl_source(Arch::Arch1)).unwrap();
+        let a4 = engine.run_source(&crate::archs::arch_dsl_source(Arch::Arch4)).unwrap();
+        let r1 = run_application(Arch::Arch1, &engine, &a1, &rgb).unwrap();
+        let r4 = run_application(Arch::Arch4, &engine, &a4, &rgb).unwrap();
+        let sw_ns = |r: &AppRun| -> f64 {
+            r.tasks
+                .iter()
+                .filter(|(name, _, hw)| !hw && name != "readImage" && name != "writeImage")
+                .map(|(_, ns, _)| ns)
+                .sum()
+        };
+        assert!(sw_ns(&r4) < sw_ns(&r1), "Arch4 offloads everything");
+        assert!(r4.dma_bytes > 0 && r1.dma_bytes > 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # accelsoc-axi — transaction-level AXI protocol models
+//!
+//! The paper's target platform interconnects everything with AMBA/AXI: the
+//! **AXI-Lite** protocol for memory-mapped control traffic (configuring
+//! accelerators, reading status/results) and **AXI-Stream** for bulk
+//! producer/consumer data movement, fronted by **DMA** engines on the Zynq
+//! HP ports.
+//!
+//! This crate models those protocols at transaction level with cycle
+//! annotations: operations return the number of bus cycles they consume,
+//! and the discrete-event platform simulator (`accelsoc-platform`) turns
+//! those into simulated time. Functional correctness (routing, data
+//! integrity, FIFO ordering, backpressure) is exact; timing is a
+//! calibrated model.
+
+pub mod dma;
+pub mod lite;
+pub mod protocol;
+pub mod stream;
+
+pub use dma::{DmaDescriptor, DmaEngine, DmaError, DmaStats};
+pub use lite::{AddressMap, AxiLiteBus, AxiLiteError, AxiLiteSlave, RegisterFile};
+pub use protocol::{AxiResp, MemError, MemoryPort};
+pub use stream::{AxiStreamChannel, Beat, StreamError};

@@ -1,0 +1,328 @@
+//! AXI-Lite: memory-mapped single-beat control transactions.
+//!
+//! The paper uses AXI-Lite for "small chunks of data or single data
+//! transfers, like sending commands or parameter values to an
+//! accelerator". We model slaves as objects exposing 32-bit register
+//! read/write at byte offsets, and a bus that decodes addresses across an
+//! [`AddressMap`] — the analogue of the AXI interconnect the Vivado block
+//! design instantiates.
+
+use crate::protocol::AxiResp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from bus-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiLiteError {
+    /// No slave decodes this address (AXI DECERR).
+    Decode { addr: u64 },
+    /// Overlapping slave windows at map construction.
+    Overlap { base: u64, span: u64 },
+    /// Window not aligned to its span.
+    Misaligned { base: u64, span: u64 },
+}
+
+impl fmt::Display for AxiLiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiLiteError::Decode { addr } => write!(f, "no slave at address 0x{addr:x}"),
+            AxiLiteError::Overlap { base, span } => {
+                write!(f, "window 0x{base:x}+0x{span:x} overlaps an existing slave")
+            }
+            AxiLiteError::Misaligned { base, span } => {
+                write!(f, "window base 0x{base:x} not aligned to span 0x{span:x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AxiLiteError {}
+
+/// An AXI-Lite slave: 32-bit register access at byte offsets within its
+/// window. Offsets are always word-aligned by the bus.
+pub trait AxiLiteSlave {
+    fn read32(&mut self, offset: u32) -> (u32, AxiResp);
+    fn write32(&mut self, offset: u32, value: u32) -> AxiResp;
+}
+
+/// A simple register file slave: fixed set of registers, unknown offsets
+/// return SLVERR.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegisterFile {
+    regs: BTreeMap<u32, u32>,
+    /// Offsets the master may write; others are read-only.
+    writable: Vec<u32>,
+}
+
+impl RegisterFile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_register(mut self, offset: u32, writable: bool) -> Self {
+        self.regs.insert(offset, 0);
+        if writable {
+            self.writable.push(offset);
+        }
+        self
+    }
+
+    /// Direct (non-bus) access for the owning hardware model.
+    pub fn poke(&mut self, offset: u32, value: u32) {
+        self.regs.insert(offset, value);
+    }
+
+    pub fn peek(&self, offset: u32) -> Option<u32> {
+        self.regs.get(&offset).copied()
+    }
+}
+
+impl AxiLiteSlave for RegisterFile {
+    fn read32(&mut self, offset: u32) -> (u32, AxiResp) {
+        match self.regs.get(&offset) {
+            Some(v) => (*v, AxiResp::Okay),
+            None => (0, AxiResp::SlvErr),
+        }
+    }
+
+    fn write32(&mut self, offset: u32, value: u32) -> AxiResp {
+        if !self.regs.contains_key(&offset) || !self.writable.contains(&offset) {
+            return AxiResp::SlvErr;
+        }
+        self.regs.insert(offset, value);
+        AxiResp::Okay
+    }
+}
+
+/// The system address map: non-overlapping, span-aligned windows.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    /// (base, span, name), sorted by base.
+    windows: Vec<(u64, u64, String)>,
+}
+
+impl AddressMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a window. Spans must be powers of two and bases aligned.
+    pub fn add(&mut self, name: &str, base: u64, span: u64) -> Result<(), AxiLiteError> {
+        let span = span.next_power_of_two();
+        if base % span != 0 {
+            return Err(AxiLiteError::Misaligned { base, span });
+        }
+        for &(b, s, _) in &self.windows {
+            if base < b + s && b < base + span {
+                return Err(AxiLiteError::Overlap { base, span });
+            }
+        }
+        self.windows.push((base, span, name.to_string()));
+        self.windows.sort_by_key(|w| w.0);
+        Ok(())
+    }
+
+    /// Decode an address to (window index, name, offset).
+    pub fn decode(&self, addr: u64) -> Option<(usize, &str, u64)> {
+        self.windows
+            .iter()
+            .enumerate()
+            .find(|(_, (b, s, _))| addr >= *b && addr < b + s)
+            .map(|(i, (b, _, n))| (i, n.as_str(), addr - b))
+    }
+
+    /// Allocate the next free span-aligned base at or after `from`.
+    pub fn next_free(&self, from: u64, span: u64) -> u64 {
+        let span = span.next_power_of_two();
+        let mut candidate = from.div_ceil(span) * span;
+        loop {
+            let clash = self
+                .windows
+                .iter()
+                .find(|(b, s, _)| candidate < b + s && *b < candidate + span);
+            match clash {
+                None => return candidate,
+                Some((b, s, _)) => candidate = (b + s).div_ceil(span) * span,
+            }
+        }
+    }
+
+    pub fn windows(&self) -> &[(u64, u64, String)] {
+        &self.windows
+    }
+
+    pub fn window_named(&self, name: &str) -> Option<(u64, u64)> {
+        self.windows
+            .iter()
+            .find(|(_, _, n)| n == name)
+            .map(|(b, s, _)| (*b, *s))
+    }
+}
+
+/// The AXI-Lite bus: an address map plus the slaves behind it. Each
+/// transaction costs a fixed number of bus cycles (address + data +
+/// response phases through the interconnect).
+pub struct AxiLiteBus {
+    map: AddressMap,
+    slaves: Vec<Box<dyn AxiLiteSlave + Send>>,
+    /// Cycles per single-beat transaction.
+    pub cycles_per_txn: u32,
+    /// Transactions performed (for utilisation stats).
+    pub txn_count: u64,
+}
+
+impl AxiLiteBus {
+    pub fn new() -> Self {
+        AxiLiteBus { map: AddressMap::new(), slaves: Vec::new(), cycles_per_txn: 5, txn_count: 0 }
+    }
+
+    pub fn attach(
+        &mut self,
+        name: &str,
+        base: u64,
+        span: u64,
+        slave: Box<dyn AxiLiteSlave + Send>,
+    ) -> Result<(), AxiLiteError> {
+        self.map.add(name, base, span)?;
+        // Keep the slave list parallel to the sorted windows.
+        let idx = self
+            .map
+            .windows()
+            .iter()
+            .position(|(b, _, _)| *b == base)
+            .expect("window just added");
+        self.slaves.insert(idx, slave);
+        Ok(())
+    }
+
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Bus read: returns (value, response, cycles consumed).
+    pub fn read(&mut self, addr: u64) -> (u32, AxiResp, u32) {
+        self.txn_count += 1;
+        match self.map.decode(addr) {
+            Some((i, _, off)) => {
+                let (v, resp) = self.slaves[i].read32((off & !0x3) as u32);
+                (v, resp, self.cycles_per_txn)
+            }
+            None => (0, AxiResp::DecErr, self.cycles_per_txn),
+        }
+    }
+
+    /// Bus write: returns (response, cycles consumed).
+    pub fn write(&mut self, addr: u64, value: u32) -> (AxiResp, u32) {
+        self.txn_count += 1;
+        match self.map.decode(addr) {
+            Some((i, _, off)) => {
+                (self.slaves[i].write32((off & !0x3) as u32, value), self.cycles_per_txn)
+            }
+            None => (AxiResp::DecErr, self.cycles_per_txn),
+        }
+    }
+}
+
+impl Default for AxiLiteBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl_regfile() -> RegisterFile {
+        RegisterFile::new()
+            .with_register(0x00, true)
+            .with_register(0x10, true)
+            .with_register(0x18, false)
+    }
+
+    #[test]
+    fn regfile_read_write_rules() {
+        let mut rf = ctrl_regfile();
+        assert_eq!(rf.write32(0x10, 42), AxiResp::Okay);
+        assert_eq!(rf.read32(0x10), (42, AxiResp::Okay));
+        // Read-only register rejects bus writes but allows hardware pokes.
+        assert_eq!(rf.write32(0x18, 7), AxiResp::SlvErr);
+        rf.poke(0x18, 7);
+        assert_eq!(rf.read32(0x18), (7, AxiResp::Okay));
+        // Unknown offset.
+        assert_eq!(rf.read32(0x44).1, AxiResp::SlvErr);
+    }
+
+    #[test]
+    fn address_map_decode_and_alloc() {
+        let mut m = AddressMap::new();
+        m.add("a", 0x4000_0000, 0x1000).unwrap();
+        m.add("b", 0x4001_0000, 0x1000).unwrap();
+        let (idx, name, off) = m.decode(0x4000_0010).unwrap();
+        assert_eq!((idx, name, off), (0, "a", 0x10));
+        assert!(m.decode(0x5000_0000).is_none());
+        let base = m.next_free(0x4000_0000, 0x1000);
+        assert_eq!(base, 0x4000_1000);
+        assert_eq!(m.window_named("b"), Some((0x4001_0000, 0x1000)));
+    }
+
+    #[test]
+    fn overlapping_windows_rejected() {
+        let mut m = AddressMap::new();
+        m.add("a", 0x1000, 0x1000).unwrap();
+        assert_eq!(
+            m.add("b", 0x1000, 0x1000).unwrap_err(),
+            AxiLiteError::Overlap { base: 0x1000, span: 0x1000 }
+        );
+    }
+
+    #[test]
+    fn misaligned_base_rejected() {
+        let mut m = AddressMap::new();
+        assert!(matches!(
+            m.add("a", 0x800, 0x1000),
+            Err(AxiLiteError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn bus_routes_to_correct_slave() {
+        let mut bus = AxiLiteBus::new();
+        bus.attach("core0", 0x4000_0000, 0x1000, Box::new(ctrl_regfile())).unwrap();
+        bus.attach("core1", 0x4000_1000, 0x1000, Box::new(ctrl_regfile())).unwrap();
+        let (resp, cycles) = bus.write(0x4000_1010, 99);
+        assert_eq!(resp, AxiResp::Okay);
+        assert_eq!(cycles, 5);
+        assert_eq!(bus.read(0x4000_1010).0, 99);
+        // core0's register unaffected.
+        assert_eq!(bus.read(0x4000_0010).0, 0);
+        assert_eq!(bus.txn_count, 3);
+    }
+
+    #[test]
+    fn unmapped_address_is_decerr() {
+        let mut bus = AxiLiteBus::new();
+        let (_, resp, _) = bus.read(0xdead_0000);
+        assert_eq!(resp, AxiResp::DecErr);
+        assert_eq!(bus.write(0xdead_0000, 1).0, AxiResp::DecErr);
+    }
+
+    #[test]
+    fn unaligned_access_rounds_down_to_word() {
+        let mut bus = AxiLiteBus::new();
+        bus.attach("c", 0x0, 0x1000, Box::new(ctrl_regfile())).unwrap();
+        bus.write(0x10, 5);
+        assert_eq!(bus.read(0x13).0, 5, "byte-offset read hits the same word");
+    }
+
+    #[test]
+    fn next_free_skips_multiple_windows() {
+        let mut m = AddressMap::new();
+        m.add("a", 0x0, 0x1000).unwrap();
+        m.add("b", 0x1000, 0x1000).unwrap();
+        assert_eq!(m.next_free(0, 0x1000), 0x2000);
+        // Larger span aligns upward.
+        assert_eq!(m.next_free(0, 0x10000), 0x10000);
+    }
+}

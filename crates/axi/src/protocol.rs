@@ -1,0 +1,129 @@
+//! Common protocol types shared by the AXI models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// AXI response codes (subset relevant at transaction level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AxiResp {
+    /// OKAY — transfer succeeded.
+    Okay,
+    /// SLVERR — the addressed slave signalled an error.
+    SlvErr,
+    /// DECERR — no slave decodes the address.
+    DecErr,
+}
+
+/// Errors raised by memory-port accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Access beyond the end of the memory region.
+    OutOfRange { addr: u64, len: usize, size: u64 },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, len, size } => write!(
+                f,
+                "memory access at 0x{addr:x}+{len} exceeds region size 0x{size:x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A byte-addressable memory port — the contract DMA engines and the CPU
+/// model use to touch DRAM. Implementations may track access statistics
+/// and latency.
+pub trait MemoryPort {
+    /// Fill `buf` from `addr`.
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemError>;
+    /// Write `data` at `addr`.
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError>;
+    /// Size of the region in bytes.
+    fn size(&self) -> u64;
+}
+
+/// A plain in-process memory, usable in tests and as the backing store of
+/// the platform DRAM model.
+#[derive(Debug, Clone)]
+pub struct VecMemory {
+    data: Vec<u8>,
+}
+
+impl VecMemory {
+    pub fn new(size: usize) -> Self {
+        VecMemory { data: vec![0; size] }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl MemoryPort for VecMemory {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let end = addr as usize + buf.len();
+        if end > self.data.len() {
+            return Err(MemError::OutOfRange {
+                addr,
+                len: buf.len(),
+                size: self.data.len() as u64,
+            });
+        }
+        buf.copy_from_slice(&self.data[addr as usize..end]);
+        Ok(())
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        let end = addr as usize + data.len();
+        if end > self.data.len() {
+            return Err(MemError::OutOfRange {
+                addr,
+                len: data.len(),
+                size: self.data.len() as u64,
+            });
+        }
+        self.data[addr as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_memory_roundtrip() {
+        let mut m = VecMemory::new(64);
+        m.write(8, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        m.read(8, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(m.size(), 64);
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mut m = VecMemory::new(16);
+        let err = m.write(14, &[0; 4]).unwrap_err();
+        assert_eq!(err, MemError::OutOfRange { addr: 14, len: 4, size: 16 });
+        let mut buf = [0u8; 8];
+        assert!(m.read(12, &mut buf).is_err());
+    }
+
+    #[test]
+    fn boundary_access_ok() {
+        let mut m = VecMemory::new(16);
+        m.write(12, &[9; 4]).unwrap();
+        let mut buf = [0u8; 4];
+        m.read(12, &mut buf).unwrap();
+        assert_eq!(buf, [9; 4]);
+    }
+}

@@ -1,0 +1,174 @@
+//! AXI-Stream: unidirectional, flow-controlled token channels.
+//!
+//! A channel is a bounded FIFO of [`Beat`]s with ready/valid semantics:
+//! `push` fails (producer stalls) when full, `pop` returns `None`
+//! (consumer stalls) when empty. TLAST marks packet boundaries, which the
+//! S2MM DMA channel uses to terminate transfers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One AXI-Stream transfer beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Beat {
+    /// TDATA payload (up to 8 bytes carried; width is channel metadata).
+    pub data: u64,
+    /// TLAST: end-of-packet marker.
+    pub last: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Push into a full channel (would violate ready/valid handshake).
+    Full,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Full => write!(f, "stream channel full (backpressure)"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A bounded AXI-Stream channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AxiStreamChannel {
+    pub name: String,
+    /// TDATA width in bits.
+    pub width_bits: u32,
+    capacity: usize,
+    fifo: VecDeque<Beat>,
+    /// Total beats ever pushed (throughput accounting).
+    pub beats_transferred: u64,
+    /// Number of rejected pushes (producer stall cycles at TLM level).
+    pub backpressure_events: u64,
+}
+
+impl AxiStreamChannel {
+    /// `capacity` models the FIFO depth of the physical link (interconnect
+    /// skid buffers / FIFOs); Vivado-style default is 16.
+    pub fn new(name: &str, width_bits: u32, capacity: usize) -> Self {
+        AxiStreamChannel {
+            name: name.to_string(),
+            width_bits,
+            capacity: capacity.max(1),
+            fifo: VecDeque::with_capacity(capacity.max(1)),
+            beats_transferred: 0,
+            backpressure_events: 0,
+        }
+    }
+
+    pub fn can_push(&self) -> bool {
+        self.fifo.len() < self.capacity
+    }
+
+    pub fn push(&mut self, beat: Beat) -> Result<(), StreamError> {
+        if !self.can_push() {
+            self.backpressure_events += 1;
+            return Err(StreamError::Full);
+        }
+        self.fifo.push_back(beat);
+        self.beats_transferred += 1;
+        Ok(())
+    }
+
+    pub fn pop(&mut self) -> Option<Beat> {
+        self.fifo.pop_front()
+    }
+
+    pub fn peek(&self) -> Option<&Beat> {
+        self.fifo.front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes per beat.
+    pub fn beat_bytes(&self) -> u32 {
+        self.width_bits.div_ceil(8)
+    }
+
+    /// Drain everything (e.g. on reset).
+    pub fn clear(&mut self) {
+        self.fifo.clear();
+    }
+
+    /// Capacity-ignoring enqueue, for TLM-level producers (see
+    /// `DmaEngine::mm2s`). Does not update statistics.
+    pub(crate) fn force_push_inner(&mut self, beat: Beat) {
+        self.fifo.push_back(beat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut ch = AxiStreamChannel::new("s", 8, 4);
+        for i in 0..4 {
+            ch.push(Beat { data: i, last: i == 3 }).unwrap();
+        }
+        for i in 0..4 {
+            let b = ch.pop().unwrap();
+            assert_eq!(b.data, i);
+            assert_eq!(b.last, i == 3);
+        }
+        assert!(ch.pop().is_none());
+        assert_eq!(ch.beats_transferred, 4);
+    }
+
+    #[test]
+    fn backpressure_on_full() {
+        let mut ch = AxiStreamChannel::new("s", 32, 2);
+        ch.push(Beat { data: 1, last: false }).unwrap();
+        ch.push(Beat { data: 2, last: false }).unwrap();
+        assert!(!ch.can_push());
+        assert_eq!(ch.push(Beat { data: 3, last: false }), Err(StreamError::Full));
+        assert_eq!(ch.backpressure_events, 1);
+        // Draining one slot re-enables pushing.
+        ch.pop();
+        assert!(ch.can_push());
+        ch.push(Beat { data: 3, last: true }).unwrap();
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    fn beat_bytes_rounds_up() {
+        assert_eq!(AxiStreamChannel::new("a", 8, 1).beat_bytes(), 1);
+        assert_eq!(AxiStreamChannel::new("b", 24, 1).beat_bytes(), 3);
+        assert_eq!(AxiStreamChannel::new("c", 33, 1).beat_bytes(), 5);
+    }
+
+    #[test]
+    fn clear_empties_channel() {
+        let mut ch = AxiStreamChannel::new("s", 8, 8);
+        ch.push(Beat { data: 1, last: false }).unwrap();
+        ch.clear();
+        assert!(ch.is_empty());
+        // Transfer count is cumulative, not reset.
+        assert_eq!(ch.beats_transferred, 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut ch = AxiStreamChannel::new("s", 8, 0);
+        assert_eq!(ch.capacity(), 1);
+        ch.push(Beat { data: 1, last: true }).unwrap();
+        assert!(!ch.can_push());
+    }
+}

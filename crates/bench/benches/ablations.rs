@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * scheduling policy — list scheduling vs force-directed scheduling
+//!   (runtime of the scheduler itself, at equal deadlines);
+//! * loop unrolling — HLS cost as the unroll factor grows;
+//! * pipelining — scheduled core latency with/without the pipeline
+//!   directive;
+//! * placement effort — simulated annealing vs the initial random
+//!   placement (wirelength quality is asserted in tests; here we track
+//!   the annealer's cost).
+
+use accelsoc_hls::dfg::lower;
+use accelsoc_hls::fds::force_directed_schedule;
+use accelsoc_hls::project::{synthesize_kernel, HlsOptions};
+use accelsoc_hls::schedule::{asap, list_schedule, ResourceConstraints};
+use accelsoc_hls::techlib::TechLib;
+use accelsoc_hls::transform::unroll_loop;
+use accelsoc_kernel::builder::*;
+use accelsoc_kernel::types::Ty;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn compute_kernel(pipelined: bool) -> accelsoc_kernel::ir::Kernel {
+    let body = vec![
+        store("a", var("i"), mul(var("x"), add(var("x"), var("i")))),
+    ];
+    let lp = if pipelined {
+        for_pipelined("i", c(0), c(64), body)
+    } else {
+        for_("i", c(0), c(64), body)
+    };
+    KernelBuilder::new("compute")
+        .scalar_in("x", Ty::U16)
+        .scalar_out("r", Ty::U32)
+        .array("a", Ty::U32, 64)
+        .body(vec![lp, assign("r", idx("a", c(63)))])
+        .build()
+}
+
+fn bench_scheduler_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scheduler");
+    let k = accelsoc_apps::kernels::half_probability();
+    let region = lower(&k).unwrap();
+    let lib = TechLib::default();
+    let rc = ResourceConstraints::vivado_like();
+    let segments: Vec<_> = region.segments().into_iter().cloned().collect();
+    group.bench_function("list", |b| {
+        b.iter(|| {
+            segments
+                .iter()
+                .map(|s| list_schedule(s, &lib, &rc).latency)
+                .sum::<u32>()
+        })
+    });
+    group.bench_function("force_directed", |b| {
+        b.iter(|| {
+            segments
+                .iter()
+                .map(|s| {
+                    let a = asap(s, &lib);
+                    force_directed_schedule(s, &lib, a.latency + 4).latency
+                })
+                .sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_unroll_factors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_unroll");
+    group.sample_size(10);
+    let base = compute_kernel(false);
+    let opts = HlsOptions::default();
+    group.bench_function("x1", |b| b.iter(|| synthesize_kernel(&base, &opts).unwrap()));
+    for factor in [2u32, 4, 8] {
+        let unrolled = unroll_loop(&base, "i", factor).unwrap();
+        group.bench_function(format!("x{factor}"), |b| {
+            b.iter(|| synthesize_kernel(&unrolled, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_directive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline");
+    let opts = HlsOptions::default();
+    for (label, pipelined) in [("off", false), ("on", true)] {
+        let k = compute_kernel(pipelined);
+        group.bench_function(label, |b| b.iter(|| synthesize_kernel(&k, &opts).unwrap()));
+    }
+    // Print the quality difference once, so the bench log documents it.
+    let off = synthesize_kernel(&compute_kernel(false), &opts).unwrap().report.latency;
+    let on = synthesize_kernel(&compute_kernel(true), &opts).unwrap().report.latency;
+    println!("ablation_pipeline: latency off={off} on={on} cycles");
+    group.finish();
+}
+
+fn bench_placement_effort(c: &mut Criterion) {
+    use accelsoc_integration::blockdesign::{BlockDesign, Cell, CellKind, NetKind};
+    use accelsoc_integration::device::Device;
+    use accelsoc_integration::place::place;
+    let mut bd = BlockDesign::new("chain");
+    for i in 0..12 {
+        bd.add_cell(Cell {
+            name: format!("c{i}"),
+            kind: CellKind::AxiInterconnect { masters: 1, slaves: 1 },
+        });
+    }
+    for i in 0..11 {
+        bd.connect((&format!("c{i}"), "M"), (&format!("c{}", i + 1), "S"), NetKind::AxiStream);
+    }
+    let device = Device::zynq7020();
+    let mut group = c.benchmark_group("ablation_placement");
+    group.sample_size(10);
+    group.bench_function("anneal_12cell_chain", |b| b.iter(|| place(&bd, &device)));
+    let p = place(&bd, &device);
+    println!("ablation_placement: wirelength={} iterations={}", p.wirelength, p.iterations);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_policies,
+    bench_unroll_factors,
+    bench_pipeline_directive,
+    bench_placement_effort
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for the §VII experiment: assembly + synthesis cost of
+//! the two DMA policies as the parameter count grows (the flow-side cost
+//! of the SDSoC-style per-parameter instantiation).
+
+use accelsoc_core::builder::TaskGraphBuilder;
+use accelsoc_core::flow::{FlowEngine, FlowOptions};
+use accelsoc_integration::assembler::DmaPolicy;
+use accelsoc_kernel::builder::*;
+use accelsoc_kernel::types::Ty;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn vec_kernel(n_in: usize, n_out: usize) -> accelsoc_kernel::ir::Kernel {
+    let mut b = KernelBuilder::new("VEC").scalar_in("n", Ty::U32);
+    for i in 0..n_in {
+        b = b.stream_in(&format!("in{i}"), Ty::U32);
+    }
+    for o in 0..n_out {
+        b = b.stream_out(&format!("out{o}"), Ty::U32);
+    }
+    let mut body = Vec::new();
+    for o in 0..n_out {
+        let mut acc = read("in0");
+        for i in 1..n_in {
+            acc = add(acc, read(&format!("in{i}")));
+        }
+        body.push(write(&format!("out{o}"), acc));
+    }
+    b.push(for_pipelined("i", c(0), var("n"), body)).build()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_policy_flow");
+    group.sample_size(10);
+    for (n_in, n_out) in [(2usize, 2usize), (4, 4)] {
+        let kernel = vec_kernel(n_in, n_out);
+        let mut g = TaskGraphBuilder::new("vec").node("VEC", |mut nb| {
+            for i in 0..n_in {
+                nb = nb.stream(&format!("in{i}"));
+            }
+            for o in 0..n_out {
+                nb = nb.stream(&format!("out{o}"));
+            }
+            nb
+        });
+        for i in 0..n_in {
+            g = g.link_soc_to("VEC", &format!("in{i}"));
+        }
+        for o in 0..n_out {
+            g = g.link_to_soc("VEC", &format!("out{o}"));
+        }
+        let graph = g.build();
+        for (label, policy) in
+            [("shared", DmaPolicy::SharedChannel), ("per_link", DmaPolicy::PerSocLink)]
+        {
+            group.bench_function(format!("{label}_{}params", n_in + n_out), |b| {
+                b.iter(|| {
+                    let opts =
+                        FlowOptions { dma_policy: policy, ..FlowOptions::default() };
+                    let mut e = FlowEngine::new(opts);
+                    e.register_kernel(kernel.clone());
+                    e.run(&graph).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

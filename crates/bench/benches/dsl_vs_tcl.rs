@@ -1,0 +1,46 @@
+//! Criterion bench for the §VI.C experiment: the front-end costs behind
+//! the conciseness comparison — parsing the DSL, printing it back, and
+//! generating the tcl for both backend versions.
+
+use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc_core::dsl::{parse, print, PrintStyle};
+use accelsoc_core::metrics::Conciseness;
+use accelsoc_integration::tcl::{self, TclBackend};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_parse_print(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsl_frontend");
+    let src = arch_dsl_source(Arch::Arch4);
+    group.bench_function("parse_arch4", |b| b.iter(|| parse(&src).unwrap()));
+    let graph = parse(&src).unwrap();
+    group.bench_function("print_arch4", |b| {
+        b.iter(|| print(&graph, PrintStyle::ScalaObject))
+    });
+    group.finish();
+}
+
+fn bench_tcl_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcl_generation");
+    let mut engine = otsu_flow_engine();
+    let art = engine.run_source(&arch_dsl_source(Arch::Arch4)).unwrap();
+    let bd = art.block_design.clone();
+    for backend in [TclBackend::V2014_2, TclBackend::V2015_3] {
+        group.bench_function(backend.version_string(), |b| {
+            b.iter(|| tcl::generate(&bd, backend, "xc7z020clg484-1"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conciseness_measure(c: &mut Criterion) {
+    let mut engine = otsu_flow_engine();
+    let src = arch_dsl_source(Arch::Arch4);
+    let art = engine.run_source(&src).unwrap();
+    let tcl_text = art.tcl.clone();
+    c.bench_function("conciseness_measure", |b| {
+        b.iter(|| Conciseness::compare(&src, &tcl_text))
+    });
+}
+
+criterion_group!(benches, bench_parse_print, bench_tcl_generation, bench_conciseness_measure);
+criterion_main!(benches);

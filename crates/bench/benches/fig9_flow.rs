@@ -1,0 +1,57 @@
+//! Criterion bench for the Fig. 9 experiment: wall time of each flow
+//! phase of our simulated toolchain, per architecture. (The paper's Fig. 9
+//! reports vendor-tool minutes; the modeled-seconds reproduction lives in
+//! `repro_fig9` — this bench tracks the *actual* cost of our flow so
+//! regressions in the simulated tools are visible.)
+
+use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_full_flow");
+    group.sample_size(10);
+    for arch in Arch::all() {
+        group.bench_function(arch.name(), |b| {
+            b.iter_batched(
+                otsu_flow_engine,
+                |mut engine| engine.run_source(&arch_dsl_source(arch)).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_flow(c: &mut Criterion) {
+    // With the HLS cache warm (Arch4 ran first), re-running an
+    // architecture measures project-gen + synthesis + implementation only
+    // — the reuse effect the paper exploits.
+    let mut group = c.benchmark_group("fig9_cached_flow");
+    group.sample_size(10);
+    let mut engine = otsu_flow_engine();
+    engine.run_source(&arch_dsl_source(Arch::Arch4)).unwrap();
+    for arch in Arch::all() {
+        group.bench_function(arch.name(), |b| {
+            b.iter(|| engine.run_source(&arch_dsl_source(arch)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsl_phase_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_scala_phase");
+    group.sample_size(20);
+    for arch in [Arch::Arch1, Arch::Arch4] {
+        let src = arch_dsl_source(arch);
+        group.bench_function(arch.name(), |b| {
+            b.iter(|| {
+                let g = accelsoc_core::dsl::parse(&src).unwrap();
+                accelsoc_core::semantics::elaborate(&g).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_flow, bench_cached_flow, bench_dsl_phase_only);
+criterion_main!(benches);

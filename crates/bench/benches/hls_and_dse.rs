@@ -1,0 +1,56 @@
+//! Criterion benches for the substrate algorithms: HLS scheduling/binding
+//! on the case-study kernels, and the Ext-2 DSE sweep.
+
+use accelsoc_dse::otsu::otsu_chain_model;
+use accelsoc_dse::pareto::pareto_front;
+use accelsoc_dse::search::{exhaustive, greedy, random_search};
+use accelsoc_hls::project::{synthesize_kernel, HlsOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_hls_per_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hls_synthesize");
+    let opts = HlsOptions::default();
+    for k in accelsoc_apps::kernels::otsu_kernels() {
+        group.bench_function(k.name.clone(), |b| {
+            b.iter(|| synthesize_kernel(&k, &opts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduling_internals(c: &mut Criterion) {
+    use accelsoc_hls::dfg::lower;
+    use accelsoc_hls::schedule::{list_schedule, ResourceConstraints};
+    use accelsoc_hls::techlib::TechLib;
+    let k = accelsoc_apps::kernels::half_probability();
+    let region = lower(&k).unwrap();
+    let lib = TechLib::default();
+    let rc = ResourceConstraints::vivado_like();
+    let segments: Vec<_> = region.segments().into_iter().cloned().collect();
+    c.bench_function("list_schedule_otsu_segments", |b| {
+        b.iter(|| {
+            segments
+                .iter()
+                .map(|seg| list_schedule(seg, &lib, &rc).latency)
+                .sum::<u32>()
+        });
+    });
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.bench_function("build_chain_model", |b| {
+        b.iter(|| otsu_chain_model(512 * 512));
+    });
+    let model = otsu_chain_model(512 * 512);
+    group.bench_function("exhaustive_16", |b| b.iter(|| exhaustive(&model)));
+    group.bench_function("greedy", |b| b.iter(|| greedy(&model)));
+    group.bench_function("random_32", |b| b.iter(|| random_search(&model, 16, 7)));
+    let points = exhaustive(&model);
+    group.bench_function("pareto_front", |b| b.iter(|| pareto_front(&points)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_hls_per_kernel, bench_scheduling_internals, bench_dse);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for the Table II experiment: the synthesis step that
+//! produces the resource table — block-design assembly + resource
+//! aggregation + capacity check, per architecture, plus the implementation
+//! (place + route + timing + bitstream) step.
+
+use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc_integration::device::Device;
+use accelsoc_integration::{bitstream, place, route, synth, timing};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_synthesis");
+    let device = Device::zynq7020();
+    let mut engine = otsu_flow_engine();
+    for arch in Arch::all() {
+        let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
+        let bd = art.block_design.clone();
+        group.bench_function(arch.name(), |b| {
+            b.iter(|| synth::synthesize(&bd, &device).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_implementation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_implementation");
+    group.sample_size(10);
+    let device = Device::zynq7020();
+    let mut engine = otsu_flow_engine();
+    let art = engine.run_source(&arch_dsl_source(Arch::Arch4)).unwrap();
+    let bd = art.block_design.clone();
+    let synth_rpt = synth::synthesize(&bd, &device).unwrap();
+
+    group.bench_function("place_arch4", |b| {
+        b.iter(|| place::place(&bd, &device));
+    });
+    let placement = place::place(&bd, &device);
+    group.bench_function("route_arch4", |b| {
+        b.iter(|| route::route(&bd, &placement, &device));
+    });
+    let route_rpt = route::route(&bd, &placement, &device);
+    group.bench_function("timing_arch4", |b| {
+        b.iter(|| timing::analyze(&synth_rpt, &route_rpt, 10.0));
+    });
+    group.bench_function("bitstream_arch4", |b| {
+        b.iter(|| bitstream::generate(&bd, &placement, &device.part));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_implementation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Run every experiment reproduction in sequence (the whole evaluation
+//! section of the paper, plus the extensions). Equivalent to invoking
+//! each `repro_*` binary in turn.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "repro_table1",
+        "repro_table2",
+        "repro_fig7",
+        "repro_fig9",
+        "repro_fig10",
+        "repro_tcl_comparison",
+        "repro_sdsoc_compare",
+        "repro_runtime",
+        "repro_dse",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+    for bin in bins {
+        println!("\n================= {bin} =================\n");
+        // Prefer the sibling binary; fall back to `cargo run` when this
+        // binary was built alone.
+        let sibling = dir.join(bin);
+        let status = if sibling.exists() {
+            Command::new(sibling).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "-q", "-p", "accelsoc-bench", "--release", "--bin", bin])
+                .status()
+        }
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll experiment reproductions completed.");
+}

@@ -1,0 +1,79 @@
+//! **Ext-2** (the paper's declared future work): automatic design-space
+//! exploration over all 16 hardware/software partitions of the Otsu task
+//! chain. Reports every point, marks the paper's four hand-picked
+//! architectures, and prints the area/runtime Pareto front.
+
+use accelsoc_bench::{save_json, Table};
+use accelsoc_dse::otsu::otsu_chain_model;
+use accelsoc_dse::pareto::pareto_front;
+use accelsoc_dse::search::{exhaustive, greedy};
+
+fn main() {
+    let pixels = 512 * 512;
+    let model = otsu_chain_model(pixels);
+    let mut points = exhaustive(&model);
+    points.sort_by(|a, b| a.runtime_ns.partial_cmp(&b.runtime_ns).unwrap());
+
+    let table_i = [
+        ("Arch1", vec!["histogram"]),
+        ("Arch2", vec!["otsuMethod"]),
+        ("Arch3", vec!["histogram", "otsuMethod"]),
+        ("Arch4", vec!["binarization", "grayScale", "histogram", "otsuMethod"]),
+    ];
+    let label_of = |hw: &[String]| -> String {
+        table_i
+            .iter()
+            .find(|(_, t)| hw.iter().map(|s| s.as_str()).collect::<Vec<_>>() == *t)
+            .map(|(n, _)| format!(" <- Table I {n}"))
+            .unwrap_or_default()
+    };
+
+    let front = pareto_front(&points);
+    let mut table =
+        Table::new(vec!["runtime (ms)", "LUT", "BRAM", "DSP", "crossings", "hw set"]);
+    for p in &points {
+        let on_front = front.iter().any(|f| f.hw_tasks == p.hw_tasks);
+        let marker = if on_front { "*" } else { " " };
+        table.row(vec![
+            format!("{}{:.2}", marker, p.runtime_ns / 1e6),
+            p.area.lut.to_string(),
+            p.area.bram18.to_string(),
+            p.area.dsp.to_string(),
+            p.crossings.to_string(),
+            format!("{{{}}}{}", p.hw_tasks.join(","), label_of(&p.hw_tasks)),
+        ]);
+    }
+    println!("== Ext-2: exhaustive DSE over all 16 partitions (512x512 image) ==");
+    println!("   (* = on the area/runtime Pareto front)\n");
+    print!("{}", table.render());
+
+    println!("\nPareto front ({} points):", front.len());
+    for p in &front {
+        println!(
+            "  {:>8.2} ms @ {:>6} LUT  {{{}}}",
+            p.runtime_ns / 1e6,
+            p.area.lut,
+            p.hw_tasks.join(",")
+        );
+    }
+
+    let traj = greedy(&model);
+    println!("\nGreedy trajectory (gain-per-LUT accretion):");
+    for p in &traj {
+        println!(
+            "  {:>8.2} ms @ {:>6} LUT  {{{}}}",
+            p.runtime_ns / 1e6,
+            p.area.lut,
+            p.hw_tasks.join(",")
+        );
+    }
+    let p = save_json(
+        "dse",
+        &serde_json::json!({
+            "points": points.len(),
+            "front": front,
+            "greedy_steps": traj.len(),
+        }),
+    );
+    println!("\nrecord: {}", p.display());
+}

@@ -1,0 +1,35 @@
+//! Reproduce **Fig. 7**: the Otsu filter applied to a grayscale input
+//! image. Writes `original.pgm` and `filtered.pgm` (binary P5) under
+//! `target/experiments/fig7/`, using the deterministic synthetic scene in
+//! place of the paper's photograph.
+
+use accelsoc_apps::image::{synthetic_scene, RgbImage};
+use accelsoc_apps::otsu::otsu_reference;
+use std::path::PathBuf;
+
+fn main() {
+    let dir = PathBuf::from("target/experiments/fig7");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let scene = synthetic_scene(512, 512, 2016);
+    let rgb = RgbImage::from_gray(&scene);
+    let (filtered, thr) = otsu_reference(&rgb);
+
+    let orig_path = dir.join("original.pgm");
+    let filt_path = dir.join("filtered.pgm");
+    std::fs::write(&orig_path, scene.to_pgm()).expect("write original");
+    std::fs::write(&filt_path, filtered.to_pgm()).expect("write filtered");
+
+    let fg = filtered.data.iter().filter(|&&v| v == 255).count();
+    println!("== Fig. 7: Otsu filter example ==\n");
+    println!("input : {} ({}x{})", orig_path.display(), scene.width, scene.height);
+    println!("output: {} (binary, threshold = {})", filt_path.display(), thr);
+    println!(
+        "foreground: {:.1}% of pixels ({} of {})",
+        100.0 * fg as f64 / filtered.pixels() as f64,
+        fg,
+        filtered.pixels()
+    );
+    assert!(filtered.data.iter().all(|&v| v == 0 || v == 255), "output is binary");
+    println!("\n(The paper shows a photograph; we use the synthetic bimodal scene —");
+    println!(" the experiment is the segmentation itself, which is reproduced exactly.)");
+}

@@ -1,0 +1,114 @@
+//! # accelsoc-bench — experiment reproduction harness
+//!
+//! One binary per table/figure of the paper (plus the extensions listed in
+//! DESIGN.md §4). Each prints the regenerated rows/series next to the
+//! paper's published values where the paper gives numbers, and writes a
+//! JSON record under `target/experiments/` so EXPERIMENTS.md can be kept
+//! in sync.
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `repro_table1` | Table I — HW function sets per architecture |
+//! | `repro_table2` | Table II — resource usage per architecture |
+//! | `repro_fig9`  | Fig. 9 — flow-time breakdown |
+//! | `repro_fig10` | Fig. 10 — block diagrams (Graphviz DOT) |
+//! | `repro_fig7`  | Fig. 7 — Otsu input/output images (PGM) |
+//! | `repro_tcl_comparison` | §VI.C — DSL vs tcl conciseness |
+//! | `repro_sdsoc_compare` | §VII — DMA policy comparison vs SDSoC |
+//! | `repro_runtime` | Ext-1 — application runtime per architecture |
+//! | `repro_dse` | Ext-2 — partition-space Pareto front |
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Simple fixed-width table printer for experiment output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(line, "{c:<w$}  ");
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(s, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(s, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", fmt_row(row, &widths));
+        }
+        s
+    }
+}
+
+/// Write an experiment record as JSON under `target/experiments/`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+        .expect("write experiment json");
+    path
+}
+
+/// Paper-published Table II values: (arch, LUT, FF, RAMB18, DSP).
+pub const PAPER_TABLE2: [(&str, u32, u32, u32, u32); 4] = [
+    ("Arch1", 3809, 4562, 5, 0),
+    ("Arch2", 7834, 9951, 4, 2),
+    ("Arch3", 8190, 10234, 5, 2),
+    ("Arch4", 9312, 11256, 5, 3),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "long_header", "c"]);
+        t.row(vec!["1", "2", "3"]);
+        t.row(vec!["xxx", "y", "zzzz"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn json_saved_to_target() {
+        let p = save_json("unit_test_record", &serde_json::json!({"x": 1}));
+        assert!(p.exists());
+        std::fs::remove_file(p).ok();
+    }
+}

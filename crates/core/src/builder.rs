@@ -1,0 +1,236 @@
+//! Fluent builder API — the embedded-Rust equivalent of the textual DSL,
+//! plus the `tg!` macro that mirrors the paper's syntax.
+
+use crate::graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
+
+/// Builder for [`TaskGraph`]s.
+///
+/// ```
+/// use accelsoc_core::builder::TaskGraphBuilder;
+/// let g = TaskGraphBuilder::new("fig4")
+///     .node("MUL", |n| n.lite("A").lite("B").lite("return"))
+///     .node("GAUSS", |n| n.stream("in").stream("out"))
+///     .connect("MUL")
+///     .link_soc_to("GAUSS", "in")
+///     .link_to_soc("GAUSS", "out")
+///     .build();
+/// assert_eq!(g.nodes.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraphBuilder {
+    graph: TaskGraph,
+}
+
+/// Per-node port builder.
+#[derive(Debug, Clone, Default)]
+pub struct NodeBuilder {
+    ports: Vec<Port>,
+}
+
+impl NodeBuilder {
+    /// Declare an AXI-Lite (`i`) port.
+    pub fn lite(mut self, name: &str) -> Self {
+        self.ports.push(Port { name: name.into(), kind: InterfaceKind::Lite });
+        self
+    }
+
+    /// Declare an AXI-Stream (`is`) port.
+    pub fn stream(mut self, name: &str) -> Self {
+        self.ports.push(Port { name: name.into(), kind: InterfaceKind::Stream });
+        self
+    }
+}
+
+impl TaskGraphBuilder {
+    pub fn new(project: &str) -> Self {
+        TaskGraphBuilder { graph: TaskGraph::new(project) }
+    }
+
+    pub fn node(mut self, name: &str, f: impl FnOnce(NodeBuilder) -> NodeBuilder) -> Self {
+        let nb = f(NodeBuilder::default());
+        self.graph.nodes.push(DslNode { name: name.into(), ports: nb.ports });
+        self
+    }
+
+    /// `tg connect "node"` — AXI-Lite attachment.
+    pub fn connect(mut self, node: &str) -> Self {
+        self.graph.edges.push(DslEdge::Connect { node: node.into() });
+        self
+    }
+
+    /// `tg link (a, pa) to (b, pb) end` — core-to-core stream.
+    pub fn link(mut self, from: (&str, &str), to: (&str, &str)) -> Self {
+        self.graph.edges.push(DslEdge::Link {
+            from: LinkEnd::Port { node: from.0.into(), port: from.1.into() },
+            to: LinkEnd::Port { node: to.0.into(), port: to.1.into() },
+        });
+        self
+    }
+
+    /// `tg link 'soc to (node, port) end`.
+    pub fn link_soc_to(mut self, node: &str, port: &str) -> Self {
+        self.graph.edges.push(DslEdge::Link {
+            from: LinkEnd::Soc,
+            to: LinkEnd::Port { node: node.into(), port: port.into() },
+        });
+        self
+    }
+
+    /// `tg link (node, port) to 'soc end`.
+    pub fn link_to_soc(mut self, node: &str, port: &str) -> Self {
+        self.graph.edges.push(DslEdge::Link {
+            from: LinkEnd::Port { node: node.into(), port: port.into() },
+            to: LinkEnd::Soc,
+        });
+        self
+    }
+
+    pub fn build(self) -> TaskGraph {
+        self.graph
+    }
+}
+
+/// The `tg!` macro: the closest Rust analogue of the paper's Scala
+/// syntax, checked at compile time.
+///
+/// ```
+/// use accelsoc_core::tg;
+/// let g = tg! {
+///     project fig4;
+///     node "MUL" { i "A"; i "B"; i "return"; }
+///     node "GAUSS" { is "in"; is "out"; }
+///     connect "MUL";
+///     link soc => ("GAUSS", "in");
+///     link ("GAUSS", "out") => soc;
+/// };
+/// assert_eq!(g.nodes.len(), 2);
+/// assert_eq!(g.soc_link_count(), 2);
+/// ```
+#[macro_export]
+macro_rules! tg {
+    ( project $project:ident; $($rest:tt)* ) => {{
+        let mut g = $crate::graph::TaskGraph::new(stringify!($project));
+        $crate::tg_items!(g; $($rest)*);
+        g
+    }};
+}
+
+/// Internal: node and edge statements for [`tg!`] (tt-muncher).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! tg_items {
+    ($g:ident;) => {};
+    ($g:ident; node $nname:literal { $( $pkind:ident $pname:literal ; )+ } $($rest:tt)*) => {
+        {
+            let mut ports: Vec<$crate::graph::Port> = Vec::new();
+            $(
+                ports.push($crate::graph::Port {
+                    name: $pname.to_string(),
+                    kind: $crate::tg_port_kind!($pkind),
+                });
+            )+
+            $g.nodes.push($crate::graph::DslNode { name: $nname.to_string(), ports });
+        }
+        $crate::tg_items!($g; $($rest)*);
+    };
+    ($g:ident; $($rest:tt)+) => {
+        $crate::tg_edges!($g; $($rest)+);
+    };
+}
+
+/// Internal: map `i`/`is` tokens to [`InterfaceKind`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! tg_port_kind {
+    (i) => {
+        $crate::graph::InterfaceKind::Lite
+    };
+    (is) => {
+        $crate::graph::InterfaceKind::Stream
+    };
+}
+
+/// Internal: edge statements for [`tg!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! tg_edges {
+    ($g:ident;) => {};
+    ($g:ident; connect $n:literal ; $($rest:tt)*) => {
+        $g.edges.push($crate::graph::DslEdge::Connect { node: $n.to_string() });
+        $crate::tg_edges!($g; $($rest)*);
+    };
+    ($g:ident; link soc => ($n:literal, $p:literal) ; $($rest:tt)*) => {
+        $g.edges.push($crate::graph::DslEdge::Link {
+            from: $crate::graph::LinkEnd::Soc,
+            to: $crate::graph::LinkEnd::Port { node: $n.to_string(), port: $p.to_string() },
+        });
+        $crate::tg_edges!($g; $($rest)*);
+    };
+    ($g:ident; link ($n:literal, $p:literal) => soc ; $($rest:tt)*) => {
+        $g.edges.push($crate::graph::DslEdge::Link {
+            from: $crate::graph::LinkEnd::Port { node: $n.to_string(), port: $p.to_string() },
+            to: $crate::graph::LinkEnd::Soc,
+        });
+        $crate::tg_edges!($g; $($rest)*);
+    };
+    ($g:ident; link ($n1:literal, $p1:literal) => ($n2:literal, $p2:literal) ; $($rest:tt)*) => {
+        $g.edges.push($crate::graph::DslEdge::Link {
+            from: $crate::graph::LinkEnd::Port { node: $n1.to_string(), port: $p1.to_string() },
+            to: $crate::graph::LinkEnd::Port { node: $n2.to_string(), port: $p2.to_string() },
+        });
+        $crate::tg_edges!($g; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{parse, print, PrintStyle};
+
+    #[test]
+    fn builder_and_macro_agree() {
+        let built = TaskGraphBuilder::new("fig4")
+            .node("MUL", |n| n.lite("A").lite("B").lite("return"))
+            .node("GAUSS", |n| n.stream("in").stream("out"))
+            .connect("MUL")
+            .link_soc_to("GAUSS", "in")
+            .link_to_soc("GAUSS", "out")
+            .build();
+        let mac = crate::tg! {
+            project fig4;
+            node "MUL" { i "A"; i "B"; i "return"; }
+            node "GAUSS" { is "in"; is "out"; }
+            connect "MUL";
+            link soc => ("GAUSS", "in");
+            link ("GAUSS", "out") => soc;
+        };
+        assert_eq!(built, mac);
+    }
+
+    #[test]
+    fn all_three_frontends_produce_identical_graphs() {
+        let mac = crate::tg! {
+            project demo;
+            node "A" { is "in"; is "out"; }
+            node "B" { is "in"; is "out"; }
+            link soc => ("A", "in");
+            link ("A", "out") => ("B", "in");
+            link ("B", "out") => soc;
+        };
+        let text = print(&mac, PrintStyle::ScalaObject);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, mac);
+    }
+
+    #[test]
+    fn core_to_core_macro_link() {
+        let g = crate::tg! {
+            project p;
+            node "X" { is "o"; }
+            node "Y" { is "i"; }
+            link ("X", "o") => ("Y", "i");
+        };
+        assert_eq!(g.links().count(), 1);
+        assert_eq!(g.soc_link_count(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! DSL lexer: hand-written scanner producing position-annotated tokens.
+
+use std::fmt;
+
+/// Token kinds. Keywords are recognised from identifiers by the parser's
+/// context where needed; structurally significant ones get their own kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Bare identifier/keyword (`tg`, `nodes`, `node`, `i`, `is`, `end`,
+    /// `object`, `extends`, `App`, `to`, `link`, `connect`, …).
+    Ident(String),
+    /// Quoted string literal (node and port names).
+    Str(String),
+    /// `'soc`.
+    SocTick(String),
+    Semicolon,
+    LParen,
+    RParen,
+    Comma,
+    LBrace,
+    RBrace,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::SocTick(s) => write!(f, "'{s}"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    UnterminatedString { line: u32, col: u32 },
+    UnexpectedChar { ch: char, line: u32, col: u32 },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnterminatedString { line, col } => {
+                write!(f, "{line}:{col}: unterminated string literal")
+            }
+            LexError::UnexpectedChar { ch, line, col } => {
+                write!(f, "{line}:{col}: unexpected character `{ch}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The scanner.
+pub struct Lexer<'a> {
+    src: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.chars().peekable(), line: 1, col: 1 }
+    }
+
+    /// Tokenize the whole input (appends an EOF token).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        // Skip whitespace and `//` comments.
+        loop {
+            match self.src.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Only treat as a comment when followed by '/'.
+                    let mut clone = self.src.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    } else {
+                        let (line, col) = (self.line, self.col);
+                        return Err(LexError::UnexpectedChar { ch: '/', line, col });
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (line, col) = (self.line, self.col);
+        let Some(&c) = self.src.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, line, col });
+        };
+        let kind = match c {
+            ';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            '(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            ')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            ',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            '{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            '}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            '"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(LexError::UnterminatedString { line, col }),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            '\'' => {
+                self.bump();
+                let mut s = String::new();
+                while let Some(&c) = self.src.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::SocTick(s)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = self.src.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            ch => return Err(LexError::UnexpectedChar { ch, line, col }),
+        };
+        Ok(Token { kind, line, col })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds(r#"tg node "MUL" i "A" end;"#);
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("tg".into()),
+                TokenKind::Ident("node".into()),
+                TokenKind::Str("MUL".into()),
+                TokenKind::Ident("i".into()),
+                TokenKind::Str("A".into()),
+                TokenKind::Ident("end".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn soc_tick_and_tuple() {
+        let k = kinds(r#"tg link 'soc to ("GAUSS","in") end;"#);
+        assert!(k.contains(&TokenKind::SocTick("soc".into())));
+        assert!(k.contains(&TokenKind::LParen));
+        assert!(k.contains(&TokenKind::Comma));
+        assert!(k.contains(&TokenKind::RParen));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("tg // a comment\nnodes;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("tg".into()),
+                TokenKind::Ident("nodes".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = Lexer::new("tg\n  node").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_reported() {
+        let err = Lexer::new("tg \"abc").tokenize().unwrap_err();
+        assert!(matches!(err, LexError::UnterminatedString { line: 1, col: 4 }));
+    }
+
+    #[test]
+    fn unexpected_char_reported() {
+        let err = Lexer::new("tg @").tokenize().unwrap_err();
+        assert!(matches!(err, LexError::UnexpectedChar { ch: '@', .. }));
+    }
+
+    #[test]
+    fn braces_for_scala_wrapper() {
+        let k = kinds("object otsu extends App { }");
+        assert_eq!(k[0], TokenKind::Ident("object".into()));
+        assert!(k.contains(&TokenKind::LBrace));
+        assert!(k.contains(&TokenKind::RBrace));
+    }
+}

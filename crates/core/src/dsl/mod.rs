@@ -1,0 +1,27 @@
+//! The textual DSL: lexer, recursive-descent parser, and pretty-printer
+//! for the grammar of Listing 1.
+//!
+//! ```text
+//! object <Project> extends App {
+//!   tg nodes;
+//!     tg node "MUL" i "A" i "B" i "return" end;
+//!     tg node "GAUSS" is "in" is "out" end;
+//!   tg end_nodes;
+//!   tg edges;
+//!     tg connect "MUL";
+//!     tg link 'soc to ("GAUSS","in") end;
+//!     tg link ("GAUSS","out") to 'soc end;
+//!   tg end_edges;
+//! }
+//! ```
+//!
+//! The `object … extends App { … }` wrapper is optional — a bare
+//! `tg nodes; … tg end_edges;` body parses as a project named `"anonymous"`.
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use lexer::{Lexer, LexError, Token, TokenKind};
+pub use parser::{parse, ParseError};
+pub use printer::{print, PrintStyle};

@@ -1,0 +1,371 @@
+//! Recursive-descent parser for the DSL grammar (Listing 1).
+
+use super::lexer::{LexError, Lexer, Token, TokenKind};
+use crate::graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    Lex(LexError),
+    /// `{line}:{col}: expected {expected}, found {found}`.
+    Unexpected { expected: String, found: String, line: u32, col: u32 },
+    /// Sections may not be empty per the grammar (`<Node>+`, `<Edge>+`).
+    EmptySection { section: &'static str, line: u32, col: u32 },
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { expected, found, line, col } => {
+                write!(f, "{line}:{col}: expected {expected}, found {found}")
+            }
+            ParseError::EmptySection { section, line, col } => {
+                write!(f, "{line}:{col}: `{section}` section must contain at least one element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a DSL program (with or without the Scala `object` wrapper).
+pub fn parse(src: &str) -> Result<TaskGraph, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, expected: &str) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError::Unexpected {
+            expected: expected.to_string(),
+            found: t.kind.to_string(),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == word => {
+                self.bump();
+                Ok(())
+            }
+            _ => self.err(&format!("`{word}`")),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err(what),
+        }
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == word)
+    }
+
+    /// `program := [object NAME extends App {] nodes edges [}]`
+    fn program(&mut self) -> Result<TaskGraph, ParseError> {
+        let mut project = "anonymous".to_string();
+        let mut braced = false;
+        if self.at_ident("object") {
+            self.bump();
+            project = match &self.peek().kind {
+                TokenKind::Ident(s) => {
+                    let s = s.clone();
+                    self.bump();
+                    s
+                }
+                _ => return self.err("project name"),
+            };
+            self.expect_ident("extends")?;
+            self.expect_ident("App")?;
+            self.expect(&TokenKind::LBrace, "`{`")?;
+            braced = true;
+        }
+        let mut g = TaskGraph::new(&project);
+        self.nodes_section(&mut g)?;
+        self.edges_section(&mut g)?;
+        if braced {
+            self.expect(&TokenKind::RBrace, "`}`")?;
+        }
+        self.expect(&TokenKind::Eof, "end of input")?;
+        Ok(g)
+    }
+
+    /// `nodes := tg nodes; <node>+ tg end_nodes;`
+    fn nodes_section(&mut self, g: &mut TaskGraph) -> Result<(), ParseError> {
+        self.expect_ident("tg")?;
+        self.expect_ident("nodes")?;
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        let (line, col) = (self.peek().line, self.peek().col);
+        loop {
+            self.expect_ident("tg")?;
+            if self.at_ident("end_nodes") {
+                self.bump();
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                break;
+            }
+            g.nodes.push(self.node()?);
+        }
+        if g.nodes.is_empty() {
+            return Err(ParseError::EmptySection { section: "nodes", line, col });
+        }
+        Ok(())
+    }
+
+    /// `node := node "NAME" (i|is "PORT")+ end;` — the leading `tg` is
+    /// consumed by the section loop.
+    fn node(&mut self) -> Result<DslNode, ParseError> {
+        self.expect_ident("node")?;
+        let name = self.string("node name string")?;
+        let mut ports = Vec::new();
+        loop {
+            if self.at_ident("end") {
+                self.bump();
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                break;
+            }
+            let kind = if self.at_ident("is") {
+                self.bump();
+                InterfaceKind::Stream
+            } else if self.at_ident("i") {
+                self.bump();
+                InterfaceKind::Lite
+            } else {
+                return self.err("`i`, `is`, or `end`");
+            };
+            let pname = self.string("port name string")?;
+            ports.push(Port { name: pname, kind });
+        }
+        if ports.is_empty() {
+            let t = self.peek();
+            return Err(ParseError::EmptySection {
+                section: "node interfaces",
+                line: t.line,
+                col: t.col,
+            });
+        }
+        Ok(DslNode { name, ports })
+    }
+
+    /// `edges := tg edges; <edge>+ tg end_edges;`
+    fn edges_section(&mut self, g: &mut TaskGraph) -> Result<(), ParseError> {
+        self.expect_ident("tg")?;
+        self.expect_ident("edges")?;
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        let (line, col) = (self.peek().line, self.peek().col);
+        loop {
+            self.expect_ident("tg")?;
+            if self.at_ident("end_edges") {
+                self.bump();
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                break;
+            }
+            g.edges.push(self.edge()?);
+        }
+        if g.edges.is_empty() {
+            return Err(ParseError::EmptySection { section: "edges", line, col });
+        }
+        Ok(())
+    }
+
+    /// `edge := connect "NODE" ;? | link <port> to <port> end;`
+    fn edge(&mut self) -> Result<DslEdge, ParseError> {
+        if self.at_ident("connect") {
+            self.bump();
+            let node = self.string("node name string")?;
+            // Listing 3 writes `tg connect "MULT"` with a trailing
+            // semicolon in some listings; accept it optionally.
+            if self.peek().kind == TokenKind::Semicolon {
+                self.bump();
+            }
+            Ok(DslEdge::Connect { node })
+        } else if self.at_ident("link") {
+            self.bump();
+            let from = self.link_end()?;
+            self.expect_ident("to")?;
+            let to = self.link_end()?;
+            self.expect_ident("end")?;
+            self.expect(&TokenKind::Semicolon, "`;`")?;
+            Ok(DslEdge::Link { from, to })
+        } else {
+            self.err("`connect` or `link`")
+        }
+    }
+
+    /// `port := 'soc | ("NODE","PORT")`
+    fn link_end(&mut self) -> Result<LinkEnd, ParseError> {
+        match &self.peek().kind {
+            TokenKind::SocTick(s) if s == "soc" => {
+                self.bump();
+                Ok(LinkEnd::Soc)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let node = self.string("node name string")?;
+                self.expect(&TokenKind::Comma, "`,`")?;
+                let port = self.string("port name string")?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(LinkEnd::Port { node, port })
+            }
+            _ => self.err("`'soc` or `(\"node\",\"port\")`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::InterfaceKind;
+
+    /// Listing 2 + Listing 3 of the paper, verbatim structure.
+    const FIG4: &str = r#"
+        tg nodes;
+            tg node "MUL" i "A" i "B" i "return" end;
+            tg node "ADD" i "A" i "B" i "return" end;
+            tg node "GAUSS" is "in" is "out" end;
+            tg node "EDGE" is "in" is "out" end;
+        tg end_nodes;
+        tg edges;
+            tg link 'soc to ("GAUSS","in") end;
+            tg link ("GAUSS","out") to ("EDGE","in") end;
+            tg link ("EDGE","out") to 'soc end;
+            tg connect "MUL";
+            tg connect "ADD";
+        tg end_edges;
+    "#;
+
+    #[test]
+    fn parses_fig4_listings() {
+        let g = parse(FIG4).unwrap();
+        assert_eq!(g.project, "anonymous");
+        assert_eq!(g.nodes.len(), 4);
+        assert_eq!(g.edges.len(), 5);
+        assert_eq!(g.soc_link_count(), 2);
+        let mul = g.node("MUL").unwrap();
+        assert_eq!(mul.ports.len(), 3);
+        assert!(mul.ports.iter().all(|p| p.kind == InterfaceKind::Lite));
+        let gauss = g.node("GAUSS").unwrap();
+        assert!(gauss.ports.iter().all(|p| p.kind == InterfaceKind::Stream));
+    }
+
+    #[test]
+    fn parses_scala_wrapper_listing4_style() {
+        let src = r#"
+            object otsu extends App {
+              tg nodes;
+                tg node "grayScale" is "imageIn" is "imageOutCH" is "imageOutSEG" end;
+                tg node "computeHistogram" is "grayScaleImage" is "histogram" end;
+                tg node "halfProbability" is "histogram" is "probability" end;
+                tg node "segment" is "grayScaleImage" is "otsuThreshold" is "segmentedGrayImage" end;
+              tg end_nodes;
+              tg edges;
+                tg link 'soc to ("grayScale","imageIn") end;
+                tg link ("grayScale","imageOutCH") to ("computeHistogram","grayScaleImage") end;
+                tg link ("grayScale","imageOutSEG") to ("segment","grayScaleImage") end;
+                tg link ("computeHistogram","histogram") to ("halfProbability","histogram") end;
+                tg link ("halfProbability","probability") to ("segment","otsuThreshold") end;
+                tg link ("segment","segmentedGrayImage") to 'soc end;
+              tg end_edges;
+            }
+        "#;
+        let g = parse(src).unwrap();
+        assert_eq!(g.project, "otsu");
+        assert_eq!(g.nodes.len(), 4);
+        assert_eq!(g.links().count(), 6);
+        assert_eq!(g.soc_link_count(), 2);
+    }
+
+    #[test]
+    fn missing_end_reported_with_position() {
+        let err = parse("tg nodes;\n tg node \"A\" i \"x\"\n tg end_nodes;").unwrap_err();
+        match err {
+            ParseError::Unexpected { expected, line, .. } => {
+                assert!(expected.contains("i"), "{expected}");
+                assert_eq!(line, 3);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn empty_sections_rejected() {
+        let err = parse("tg nodes; tg end_nodes; tg edges; tg end_edges;").unwrap_err();
+        assert!(matches!(err, ParseError::EmptySection { section: "nodes", .. }));
+    }
+
+    #[test]
+    fn node_without_ports_rejected() {
+        let err = parse(
+            r#"tg nodes; tg node "A" end; tg end_nodes; tg edges; tg connect "A"; tg end_edges;"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::EmptySection { section: "node interfaces", .. }));
+    }
+
+    #[test]
+    fn bad_soc_tick_rejected() {
+        let src = r#"
+            tg nodes; tg node "A" is "x" end; tg end_nodes;
+            tg edges; tg link 'system to ("A","x") end; tg end_edges;
+        "#;
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let src = format!("{FIG4} extra");
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn connect_without_semicolon_accepted() {
+        let src = r#"
+            tg nodes; tg node "A" i "x" end; tg end_nodes;
+            tg edges; tg connect "A" tg end_edges;
+        "#;
+        let g = parse(src).unwrap();
+        assert_eq!(g.connects().collect::<Vec<_>>(), vec!["A"]);
+    }
+}

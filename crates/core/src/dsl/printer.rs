@@ -1,0 +1,131 @@
+//! Pretty-printer: render a [`TaskGraph`] back to DSL source. `parse ∘
+//! print` is the identity (round-trip property, tested here and in the
+//! property suite).
+
+use crate::graph::{DslEdge, LinkEnd, InterfaceKind, TaskGraph};
+use std::fmt::Write;
+
+/// Output style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrintStyle {
+    /// Bare `tg nodes; … tg end_edges;` body.
+    Bare,
+    /// Wrapped in `object <project> extends App { … }` as in Listing 4.
+    #[default]
+    ScalaObject,
+}
+
+/// Render the graph as DSL source.
+pub fn print(g: &TaskGraph, style: PrintStyle) -> String {
+    let mut s = String::new();
+    let indent = match style {
+        PrintStyle::ScalaObject => {
+            let _ = writeln!(s, "object {} extends App {{", g.project);
+            "  "
+        }
+        PrintStyle::Bare => "",
+    };
+    let _ = writeln!(s, "{indent}tg nodes;");
+    for n in &g.nodes {
+        let mut ports = String::new();
+        for p in &n.ports {
+            let kw = match p.kind {
+                InterfaceKind::Lite => "i",
+                InterfaceKind::Stream => "is",
+            };
+            let _ = write!(ports, " {kw} \"{}\"", p.name);
+        }
+        let _ = writeln!(s, "{indent}  tg node \"{}\"{} end;", n.name, ports);
+    }
+    let _ = writeln!(s, "{indent}tg end_nodes;");
+    let _ = writeln!(s, "{indent}tg edges;");
+    for e in &g.edges {
+        match e {
+            DslEdge::Connect { node } => {
+                let _ = writeln!(s, "{indent}  tg connect \"{node}\";");
+            }
+            DslEdge::Link { from, to } => {
+                let _ = writeln!(s, "{indent}  tg link {} to {} end;", end(from), end(to));
+            }
+        }
+    }
+    let _ = writeln!(s, "{indent}tg end_edges;");
+    if style == PrintStyle::ScalaObject {
+        let _ = writeln!(s, "}}");
+    }
+    s
+}
+
+fn end(e: &LinkEnd) -> String {
+    match e {
+        LinkEnd::Soc => "'soc".to_string(),
+        LinkEnd::Port { node, port } => format!("(\"{node}\",\"{port}\")"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse;
+    use crate::graph::{DslNode, Port};
+
+    fn sample() -> TaskGraph {
+        TaskGraph {
+            project: "demo".into(),
+            nodes: vec![
+                DslNode {
+                    name: "ADD".into(),
+                    ports: vec![
+                        Port { name: "A".into(), kind: InterfaceKind::Lite },
+                        Port { name: "return".into(), kind: InterfaceKind::Lite },
+                    ],
+                },
+                DslNode {
+                    name: "GAUSS".into(),
+                    ports: vec![
+                        Port { name: "in".into(), kind: InterfaceKind::Stream },
+                        Port { name: "out".into(), kind: InterfaceKind::Stream },
+                    ],
+                },
+            ],
+            edges: vec![
+                DslEdge::Connect { node: "ADD".into() },
+                DslEdge::Link {
+                    from: LinkEnd::Soc,
+                    to: LinkEnd::Port { node: "GAUSS".into(), port: "in".into() },
+                },
+                DslEdge::Link {
+                    from: LinkEnd::Port { node: "GAUSS".into(), port: "out".into() },
+                    to: LinkEnd::Soc,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_bare() {
+        let g = sample();
+        let text = print(&g, PrintStyle::Bare);
+        let mut back = parse(&text).unwrap();
+        back.project = g.project.clone(); // bare style loses the name
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_scala_object_keeps_project_name() {
+        let g = sample();
+        let text = print(&g, PrintStyle::ScalaObject);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, g);
+        assert!(text.starts_with("object demo extends App {"));
+    }
+
+    #[test]
+    fn printed_text_uses_paper_keywords() {
+        let text = print(&sample(), PrintStyle::Bare);
+        for kw in ["tg nodes;", "tg end_nodes;", "tg edges;", "tg end_edges;",
+                   "tg node \"ADD\"", "is \"in\"", "'soc", "tg connect"] {
+            assert!(text.contains(kw), "missing {kw} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! The flow engine: executing a task graph (Fig. 5/6 of the paper).
+//!
+//! "Executing" the DSL drives the full implementation chain:
+//!
+//! 1. **DSL compile** — parse (if textual) + semantic elaboration (the
+//!    paper's "SCALA" phase);
+//! 2. **HLS** — synthesize each node's kernel with `accelsoc-hls`; cores
+//!    are cached by kernel name, so re-running for another architecture
+//!    reuses them (the paper generates Arch4 first for exactly this
+//!    reason);
+//! 3. **Project generation** — assemble the block design and emit tcl;
+//! 4. **Synthesis** — aggregate/optimize resources, check capacity;
+//! 5. **Implementation** — place, route, timing, bitstream;
+//! 6. **Software generation** — device tree, boot image, C API.
+//!
+//! Each phase is timed (measured wall-clock of our simulated tools) and
+//! also annotated with modeled vendor-tool seconds (for the Fig. 9
+//! reproduction at the paper's scale).
+
+use crate::dsl::{parse, ParseError};
+use crate::graph::{InterfaceKind, LinkEnd, TaskGraph};
+use crate::semantics::{elaborate, Elaborated, PortDirection, SemanticError};
+use accelsoc_hls::project::{synthesize_kernel, HlsError, HlsOptions, HlsResult};
+use accelsoc_integration::assembler::{
+    assemble, AssembleError, ArchSpec, CoreSpec, DmaPolicy, LinkSpec, SocEndpoint,
+};
+use accelsoc_integration::bitstream::Bitstream;
+use accelsoc_integration::blockdesign::BlockDesign;
+use accelsoc_integration::device::Device;
+use accelsoc_integration::place::Placement;
+use accelsoc_integration::route::RouteReport;
+use accelsoc_integration::synth::{SynthError, SynthReport};
+use accelsoc_integration::tcl::TclBackend;
+use accelsoc_integration::timing::TimingReport;
+use accelsoc_integration::{flowtime, place, route, synth, tcl, timing};
+use accelsoc_kernel::ir::{Kernel, ParamKind};
+use accelsoc_platform::accel::AccelInstance;
+use accelsoc_platform::board::{Board, Endpoint};
+use accelsoc_swgen::boot::BootImage;
+use accelsoc_swgen::{capi, devicetree};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Flow phases, in order (the bars of Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    DslCompile,
+    Hls,
+    ProjectGen,
+    Synthesis,
+    Implementation,
+    SwGen,
+}
+
+impl fmt::Display for FlowPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlowPhase::DslCompile => "SCALA",
+            FlowPhase::Hls => "HLS",
+            FlowPhase::ProjectGen => "PROJECT_GEN",
+            FlowPhase::Synthesis => "SYNTHESIS",
+            FlowPhase::Implementation => "IMPLEMENTATION",
+            FlowPhase::SwGen => "SW_GEN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Timing record for one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    pub phase: FlowPhase,
+    /// Wall time our simulated tool actually took.
+    pub actual: Duration,
+    /// Modeled vendor-tool seconds (paper scale).
+    pub modeled_s: f64,
+}
+
+/// Options for a flow run.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    pub device: Device,
+    pub tcl_backend: TclBackend,
+    pub dma_policy: DmaPolicy,
+    pub hls: HlsOptions,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            device: Device::zynq7020(),
+            tcl_backend: TclBackend::default(),
+            dma_policy: DmaPolicy::SharedChannel,
+            hls: HlsOptions::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub enum FlowError {
+    Parse(ParseError),
+    Semantic(SemanticError),
+    /// A DSL node has no registered kernel.
+    MissingKernel(String),
+    /// DSL ports don't match the kernel's interface.
+    PortMismatch { node: String, detail: String },
+    Hls { node: String, err: HlsError },
+    Assemble(AssembleError),
+    Synth(SynthError),
+    /// Post-route timing failed to close at the PL clock.
+    TimingFailure(TimingReport),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "DSL parse error: {e}"),
+            FlowError::Semantic(e) => write!(f, "semantic error: {e}"),
+            FlowError::MissingKernel(n) => {
+                write!(f, "no kernel registered for node `{n}` (need a C-equivalent source)")
+            }
+            FlowError::PortMismatch { node, detail } => {
+                write!(f, "node `{node}` interface mismatch: {detail}")
+            }
+            FlowError::Hls { node, err } => write!(f, "HLS failed for `{node}`: {err}"),
+            FlowError::Assemble(e) => write!(f, "integration failed: {e}"),
+            FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            FlowError::TimingFailure(t) => {
+                write!(f, "timing failure: achieved {:.2} ns > target {:.2} ns", t.achieved_ns, t.target_ns)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Everything a flow run produces — the paper's "bitstream + boot files +
+/// API" bundle plus all intermediate reports.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts {
+    pub elaborated: Elaborated,
+    /// Per node, in graph order: the HLS result used.
+    pub hls: Vec<(String, HlsResult)>,
+    pub block_design: BlockDesign,
+    pub tcl: String,
+    pub synth: SynthReport,
+    pub placement: Placement,
+    pub route: RouteReport,
+    pub timing: TimingReport,
+    pub bitstream: Bitstream,
+    pub dts: String,
+    pub boot: BootImage,
+    /// Generated C API per AXI-Lite core: (core, header, implementation).
+    pub capi: Vec<(String, String, String)>,
+    /// Generated host application skeleton (`main.c`) and its Makefile.
+    pub main_c: String,
+    pub makefile: String,
+    pub phase_timings: Vec<PhaseTiming>,
+}
+
+impl FlowArtifacts {
+    pub fn modeled_total_seconds(&self) -> f64 {
+        self.phase_timings.iter().map(|p| p.modeled_s).sum()
+    }
+
+    pub fn phase(&self, phase: FlowPhase) -> Option<&PhaseTiming> {
+        self.phase_timings.iter().find(|p| p.phase == phase)
+    }
+}
+
+/// The engine. Holds the kernel library (the "synthesizable C/C++ files")
+/// and the HLS cache shared across runs.
+pub struct FlowEngine {
+    pub options: FlowOptions,
+    kernels: HashMap<String, Kernel>,
+    hls_cache: HashMap<String, HlsResult>,
+}
+
+impl FlowEngine {
+    pub fn new(options: FlowOptions) -> Self {
+        FlowEngine { options, kernels: HashMap::new(), hls_cache: HashMap::new() }
+    }
+
+    /// Register the kernel implementing a node (by kernel name).
+    pub fn register_kernel(&mut self, kernel: Kernel) {
+        self.kernels.insert(kernel.name.clone(), kernel);
+    }
+
+    pub fn kernel_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.kernels.keys().map(|s| s.as_str()).collect();
+        v.sort();
+        v
+    }
+
+    /// Number of cores currently cached (Fig. 9's reuse effect).
+    pub fn cached_cores(&self) -> usize {
+        self.hls_cache.len()
+    }
+
+    /// Parse DSL source and run the flow.
+    pub fn run_source(&mut self, src: &str) -> Result<FlowArtifacts, FlowError> {
+        let t0 = Instant::now();
+        let graph = parse(src).map_err(FlowError::Parse)?;
+        self.run_inner(&graph, Some(t0))
+    }
+
+    /// Run the flow on an already-constructed graph.
+    pub fn run(&mut self, graph: &TaskGraph) -> Result<FlowArtifacts, FlowError> {
+        self.run_inner(graph, None)
+    }
+
+    fn run_inner(
+        &mut self,
+        graph: &TaskGraph,
+        parse_start: Option<Instant>,
+    ) -> Result<FlowArtifacts, FlowError> {
+        let mut timings = Vec::new();
+
+        // --- Phase 1: DSL compile (parse + elaborate) ---
+        let t = parse_start.unwrap_or_else(Instant::now);
+        let elaborated = elaborate(graph).map_err(FlowError::Semantic)?;
+        self.check_kernels(&elaborated)?;
+        timings.push(PhaseTiming {
+            phase: FlowPhase::DslCompile,
+            actual: t.elapsed(),
+            modeled_s: flowtime::dsl_compile_seconds(graph.nodes.len(), graph.edges.len()),
+        });
+
+        // --- Phase 2: HLS per node (cached, parallel) ---
+        let t = Instant::now();
+        let mut fresh_seconds = 0.0;
+        let missing: Vec<&str> = graph
+            .nodes
+            .iter()
+            .map(|n| n.name.as_str())
+            .filter(|n| !self.hls_cache.contains_key(*n))
+            .collect();
+        let mut fresh: Vec<(String, Result<HlsResult, HlsError>)> =
+            Vec::with_capacity(missing.len());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = missing
+                .iter()
+                .map(|name| {
+                    let kernel = &self.kernels[*name];
+                    let opts = &self.options.hls;
+                    s.spawn(move |_| (name.to_string(), synthesize_kernel(kernel, opts)))
+                })
+                .collect();
+            for h in handles {
+                fresh.push(h.join().expect("HLS worker panicked"));
+            }
+        })
+        .expect("HLS scope failed");
+        for (name, result) in fresh {
+            let r = result.map_err(|err| FlowError::Hls { node: name.clone(), err })?;
+            fresh_seconds += r.report.modeled_tool_seconds;
+            self.hls_cache.insert(name, r);
+        }
+        let hls: Vec<(String, HlsResult)> = graph
+            .nodes
+            .iter()
+            .map(|n| (n.name.clone(), self.hls_cache[&n.name].clone()))
+            .collect();
+        timings.push(PhaseTiming {
+            phase: FlowPhase::Hls,
+            actual: t.elapsed(),
+            modeled_s: fresh_seconds,
+        });
+
+        // --- Phase 3: project generation (assembly + tcl) ---
+        let t = Instant::now();
+        let spec = self.arch_spec(graph, &hls);
+        let block_design = assemble(&spec).map_err(FlowError::Assemble)?;
+        let tcl_text = tcl::generate(&block_design, self.options.tcl_backend, &self.options.device.part);
+        timings.push(PhaseTiming {
+            phase: FlowPhase::ProjectGen,
+            actual: t.elapsed(),
+            modeled_s: flowtime::project_gen_seconds(&block_design),
+        });
+
+        // --- Phase 4: synthesis ---
+        let t = Instant::now();
+        let synth_report =
+            synth::synthesize(&block_design, &self.options.device).map_err(FlowError::Synth)?;
+        timings.push(PhaseTiming {
+            phase: FlowPhase::Synthesis,
+            actual: t.elapsed(),
+            modeled_s: flowtime::synth_seconds(synth_report.total.lut),
+        });
+
+        // --- Phase 5: implementation (place, route, timing, bitstream) ---
+        let t = Instant::now();
+        let placement = place::place(&block_design, &self.options.device);
+        let route_report = route::route(&block_design, &placement, &self.options.device);
+        let timing_report = timing::analyze(&synth_report, &route_report, 10.0);
+        if !timing_report.met() {
+            return Err(FlowError::TimingFailure(timing_report));
+        }
+        let bitstream = accelsoc_integration::bitstream::generate(
+            &block_design,
+            &placement,
+            &self.options.device.part,
+        );
+        timings.push(PhaseTiming {
+            phase: FlowPhase::Implementation,
+            actual: t.elapsed(),
+            modeled_s: flowtime::impl_seconds(synth_report.total.lut, &placement),
+        });
+
+        // --- Phase 6: software generation ---
+        let t = Instant::now();
+        let dts = devicetree::generate_dts(&block_design);
+        let boot = BootImage::assemble(&bitstream, &dts);
+        let mut capi_files = Vec::new();
+        for (name, r) in &hls {
+            if graph.connects().any(|c| c == name) {
+                let base = block_design.base_of(name).unwrap_or(0);
+                capi_files.push((
+                    name.clone(),
+                    capi::generate_header(&r.report, base),
+                    capi::generate_impl(&r.report),
+                ));
+            }
+        }
+        let lite_reports: Vec<&accelsoc_hls::report::HlsReport> = hls
+            .iter()
+            .filter(|(name, _)| graph.connects().any(|c| c == name))
+            .map(|(_, r)| &r.report)
+            .collect();
+        let main_c = accelsoc_swgen::app::generate_main_c(&block_design, &lite_reports);
+        let makefile = accelsoc_swgen::app::generate_makefile(&block_design, &lite_reports);
+        timings.push(PhaseTiming {
+            phase: FlowPhase::SwGen,
+            actual: t.elapsed(),
+            modeled_s: 8.0 + 1.5 * capi_files.len() as f64,
+        });
+
+        Ok(FlowArtifacts {
+            elaborated,
+            hls,
+            block_design,
+            tcl: tcl_text,
+            synth: synth_report,
+            placement,
+            route: route_report,
+            timing: timing_report,
+            bitstream,
+            dts,
+            boot,
+            capi: capi_files,
+            main_c,
+            makefile,
+            phase_timings: timings,
+        })
+    }
+
+    /// Check every node has a kernel whose interface matches the DSL ports.
+    fn check_kernels(&self, e: &Elaborated) -> Result<(), FlowError> {
+        for n in &e.graph.nodes {
+            let kernel = self
+                .kernels
+                .get(&n.name)
+                .ok_or_else(|| FlowError::MissingKernel(n.name.clone()))?;
+            for p in &n.ports {
+                let param = kernel.param(&p.name);
+                match (p.kind, param.map(|p| p.kind)) {
+                    (InterfaceKind::Lite, Some(ParamKind::ScalarIn | ParamKind::ScalarOut)) => {}
+                    (InterfaceKind::Stream, Some(ParamKind::StreamIn)) => {
+                        if e.direction(&n.name, &p.name) != Some(PortDirection::Input) {
+                            return Err(FlowError::PortMismatch {
+                                node: n.name.clone(),
+                                detail: format!(
+                                    "`{}` is a stream input in the kernel but used as a link source",
+                                    p.name
+                                ),
+                            });
+                        }
+                    }
+                    (InterfaceKind::Stream, Some(ParamKind::StreamOut)) => {
+                        if e.direction(&n.name, &p.name) != Some(PortDirection::Output) {
+                            return Err(FlowError::PortMismatch {
+                                node: n.name.clone(),
+                                detail: format!(
+                                    "`{}` is a stream output in the kernel but used as a link destination",
+                                    p.name
+                                ),
+                            });
+                        }
+                    }
+                    (kind, found) => {
+                        return Err(FlowError::PortMismatch {
+                            node: n.name.clone(),
+                            detail: format!(
+                                "port `{}` declared {:?} in the DSL but kernel has {:?}",
+                                p.name, kind, found
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn arch_spec(&self, graph: &TaskGraph, hls: &[(String, HlsResult)]) -> ArchSpec {
+        ArchSpec {
+            name: graph.project.clone(),
+            cores: hls
+                .iter()
+                .map(|(_, r)| CoreSpec { report: r.report.clone() })
+                .collect(),
+            stream_links: graph
+                .links()
+                .map(|(from, to)| LinkSpec { from: conv_end(from), to: conv_end(to) })
+                .collect(),
+            lite_cores: graph.connects().map(|s| s.to_string()).collect(),
+            dma_policy: self.options.dma_policy,
+        }
+    }
+
+    /// Build a simulated board from the artifacts, wiring accelerators and
+    /// DMA engines per the block design, ready to execute the application.
+    pub fn build_board(&self, artifacts: &FlowArtifacts, dram_bytes: usize) -> Board {
+        let mut board = Board::new(dram_bytes);
+        let mut accel_index = HashMap::new();
+        for (name, r) in &artifacts.hls {
+            let idx = board.add_accel(AccelInstance::new(
+                self.kernels[name].clone(),
+                r.report.clone(),
+            ));
+            accel_index.insert(name.clone(), idx);
+        }
+        for _ in 0..artifacts.block_design.dma_count() {
+            board.add_dma();
+        }
+        // Mirror the assembler's DMA numbering.
+        let mut soc_seen = 0usize;
+        for (from, to) in artifacts.elaborated.graph.links() {
+            let mut dma_ep = || {
+                let idx = match self.options.dma_policy {
+                    DmaPolicy::PerSocLink => soc_seen,
+                    DmaPolicy::SharedChannel => 0,
+                };
+                soc_seen += 1;
+                Endpoint::Dma(idx)
+            };
+            let from_ep = match from {
+                LinkEnd::Soc => dma_ep(),
+                LinkEnd::Port { node, port } => {
+                    Endpoint::Accel { accel: accel_index[node], port: port.clone() }
+                }
+            };
+            let to_ep = match to {
+                LinkEnd::Soc => dma_ep(),
+                LinkEnd::Port { node, port } => {
+                    Endpoint::Accel { accel: accel_index[node], port: port.clone() }
+                }
+            };
+            board
+                .link(from_ep, to_ep)
+                .expect("flow-validated links must be linkable on the board");
+        }
+        board
+    }
+}
+
+fn conv_end(e: &LinkEnd) -> SocEndpoint {
+    match e {
+        LinkEnd::Soc => SocEndpoint::Soc,
+        LinkEnd::Port { node, port } => {
+            SocEndpoint::Core { core: node.clone(), port: port.clone() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::types::Ty;
+
+    fn inc_kernel(name: &str) -> Kernel {
+        KernelBuilder::new(name)
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(for_pipelined("i", c(0), var("n"), vec![write("out", add(read("in"), c(1)))]))
+            .build()
+    }
+
+    fn adder_kernel() -> Kernel {
+        KernelBuilder::new("ADD")
+            .scalar_in("A", Ty::U32)
+            .scalar_in("B", Ty::U32)
+            .scalar_out("ret", Ty::U32)
+            .push(assign("ret", add(var("A"), var("B"))))
+            .build()
+    }
+
+    fn pipeline_graph() -> TaskGraph {
+        TaskGraphBuilder::new("pipe")
+            .node("S1", |n| n.stream("in").stream("out"))
+            .node("S2", |n| n.stream("in").stream("out"))
+            .link_soc_to("S1", "in")
+            .link(("S1", "out"), ("S2", "in"))
+            .link_to_soc("S2", "out")
+            .build()
+    }
+
+    fn engine_with_pipeline() -> FlowEngine {
+        let mut e = FlowEngine::new(FlowOptions::default());
+        e.register_kernel(inc_kernel("S1"));
+        e.register_kernel(inc_kernel("S2"));
+        e
+    }
+
+    #[test]
+    fn full_flow_produces_all_artifacts() {
+        let mut e = engine_with_pipeline();
+        let art = e.run(&pipeline_graph()).unwrap();
+        assert_eq!(art.hls.len(), 2);
+        assert!(art.tcl.contains("create_bd_design"));
+        assert!(art.synth.total.lut > 0);
+        assert!(art.timing.met());
+        assert!(art.bitstream.frame_count > 0);
+        assert!(art.dts.contains("axi_dma_0"));
+        assert_eq!(art.phase_timings.len(), 6);
+        assert!(art.modeled_total_seconds() > 100.0);
+        accelsoc_swgen::boot::BootImage::verify(&art.boot.data).unwrap();
+    }
+
+    #[test]
+    fn hls_cache_reused_across_runs() {
+        let mut e = engine_with_pipeline();
+        let a1 = e.run(&pipeline_graph()).unwrap();
+        assert_eq!(e.cached_cores(), 2);
+        let hls_first = a1.phase(FlowPhase::Hls).unwrap().modeled_s;
+        assert!(hls_first > 0.0);
+        let a2 = e.run(&pipeline_graph()).unwrap();
+        // Second run: everything cached, no fresh HLS seconds.
+        assert_eq!(a2.phase(FlowPhase::Hls).unwrap().modeled_s, 0.0);
+    }
+
+    #[test]
+    fn missing_kernel_reported() {
+        let mut e = FlowEngine::new(FlowOptions::default());
+        e.register_kernel(inc_kernel("S1"));
+        let err = e.run(&pipeline_graph()).unwrap_err();
+        assert!(matches!(err, FlowError::MissingKernel(n) if n == "S2"));
+    }
+
+    #[test]
+    fn port_mismatch_reported() {
+        let mut e = FlowEngine::new(FlowOptions::default());
+        e.register_kernel(inc_kernel("S1"));
+        e.register_kernel(inc_kernel("S2"));
+        // DSL declares a port the kernel doesn't have.
+        let g = TaskGraphBuilder::new("bad")
+            .node("S1", |n| n.stream("in").stream("wrong"))
+            .node("S2", |n| n.stream("in").stream("out"))
+            .link_soc_to("S1", "in")
+            .link(("S1", "wrong"), ("S2", "in"))
+            .link_to_soc("S2", "out")
+            .build();
+        assert!(matches!(e.run(&g).unwrap_err(), FlowError::PortMismatch { .. }));
+    }
+
+    #[test]
+    fn lite_core_gets_capi() {
+        let mut e = FlowEngine::new(FlowOptions::default());
+        e.register_kernel(adder_kernel());
+        let g = TaskGraphBuilder::new("lite")
+            .node("ADD", |n| n.lite("A").lite("B").lite("ret"))
+            .connect("ADD")
+            .build();
+        let art = e.run(&g).unwrap();
+        assert_eq!(art.capi.len(), 1);
+        let (name, header, impl_) = &art.capi[0];
+        assert_eq!(name, "ADD");
+        assert!(header.contains("ADD_BASE"));
+        assert!(impl_.contains("ap_start"));
+        // No DMA for a lite-only design.
+        assert_eq!(art.block_design.dma_count(), 0);
+    }
+
+    #[test]
+    fn board_from_artifacts_runs_pipeline() {
+        let mut e = engine_with_pipeline();
+        let art = e.run(&pipeline_graph()).unwrap();
+        let mut board = e.build_board(&art, 1 << 16);
+        board.dram.load_bytes(0x100, &[1, 2, 3, 4]).unwrap();
+        let stats = board
+            .run_stream_phase(
+                &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x100, len: 4 })],
+                &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x200, len: 4 })],
+                &[(0, "n", 4), (1, "n", 4)],
+            )
+            .unwrap();
+        // Two increment stages: each byte +2.
+        assert_eq!(board.dram.dump_bytes(0x200, 4).unwrap(), vec![3, 4, 5, 6]);
+        assert!(stats.ns > 0.0);
+    }
+
+    #[test]
+    fn run_source_end_to_end() {
+        let src = r#"
+            object pipe extends App {
+              tg nodes;
+                tg node "S1" is "in" is "out" end;
+                tg node "S2" is "in" is "out" end;
+              tg end_nodes;
+              tg edges;
+                tg link 'soc to ("S1","in") end;
+                tg link ("S1","out") to ("S2","in") end;
+                tg link ("S2","out") to 'soc end;
+              tg end_edges;
+            }
+        "#;
+        let mut e = engine_with_pipeline();
+        let art = e.run_source(src).unwrap();
+        assert_eq!(art.elaborated.graph.project, "pipe");
+        assert_eq!(art.block_design.dma_count(), 1);
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        let mut e = engine_with_pipeline();
+        assert!(matches!(e.run_source("tg nodes; garbage").unwrap_err(), FlowError::Parse(_)));
+    }
+}

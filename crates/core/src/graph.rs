@@ -1,0 +1,164 @@
+//! The DSL-level task graph: exactly the `G = {N, E}` of Section III.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Port interface kind — the DSL's `i` (AXI-Lite) and `is` (AXI-Stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterfaceKind {
+    /// `i` — memory-mapped AXI-Lite register.
+    Lite,
+    /// `is` — AXI-Stream port.
+    Stream,
+}
+
+/// One declared port of a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    pub name: String,
+    pub kind: InterfaceKind,
+}
+
+/// One hardware node (`tg node "NAME" <ports> end;`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DslNode {
+    pub name: String,
+    pub ports: Vec<Port>,
+}
+
+impl DslNode {
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    pub fn stream_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.kind == InterfaceKind::Stream)
+    }
+
+    pub fn lite_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.kind == InterfaceKind::Lite)
+    }
+}
+
+/// An AXI-Stream link endpoint: the system bus (`'soc`) or a node port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkEnd {
+    Soc,
+    Port { node: String, port: String },
+}
+
+impl fmt::Display for LinkEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkEnd::Soc => write!(f, "'soc"),
+            LinkEnd::Port { node, port } => write!(f, "(\"{node}\",\"{port}\")"),
+        }
+    }
+}
+
+/// One edge: `tg connect "NODE"` (AXI-Lite) or
+/// `tg link A to B end;` (AXI-Stream).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DslEdge {
+    /// AXI-Lite attachment of a node to the system bus.
+    Connect { node: String },
+    /// AXI-Stream point-to-point link.
+    Link { from: LinkEnd, to: LinkEnd },
+}
+
+/// The whole DSL program: a named project wrapping nodes + edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    /// The `object <name> extends App` project name.
+    pub project: String,
+    pub nodes: Vec<DslNode>,
+    pub edges: Vec<DslEdge>,
+}
+
+impl TaskGraph {
+    pub fn new(project: &str) -> Self {
+        TaskGraph { project: project.to_string(), ..Default::default() }
+    }
+
+    pub fn node(&self, name: &str) -> Option<&DslNode> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    pub fn connects(&self) -> impl Iterator<Item = &str> {
+        self.edges.iter().filter_map(|e| match e {
+            DslEdge::Connect { node } => Some(node.as_str()),
+            _ => None,
+        })
+    }
+
+    pub fn links(&self) -> impl Iterator<Item = (&LinkEnd, &LinkEnd)> {
+        self.edges.iter().filter_map(|e| match e {
+            DslEdge::Link { from, to } => Some((from, to)),
+            _ => None,
+        })
+    }
+
+    /// Count of links that touch `'soc` (each needs a DMA channel).
+    pub fn soc_link_count(&self) -> usize {
+        self.links()
+            .filter(|(a, b)| **a == LinkEnd::Soc || **b == LinkEnd::Soc)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskGraph {
+        TaskGraph {
+            project: "fig4".into(),
+            nodes: vec![
+                DslNode {
+                    name: "MUL".into(),
+                    ports: vec![
+                        Port { name: "A".into(), kind: InterfaceKind::Lite },
+                        Port { name: "B".into(), kind: InterfaceKind::Lite },
+                    ],
+                },
+                DslNode {
+                    name: "GAUSS".into(),
+                    ports: vec![
+                        Port { name: "in".into(), kind: InterfaceKind::Stream },
+                        Port { name: "out".into(), kind: InterfaceKind::Stream },
+                    ],
+                },
+            ],
+            edges: vec![
+                DslEdge::Connect { node: "MUL".into() },
+                DslEdge::Link {
+                    from: LinkEnd::Soc,
+                    to: LinkEnd::Port { node: "GAUSS".into(), port: "in".into() },
+                },
+                DslEdge::Link {
+                    from: LinkEnd::Port { node: "GAUSS".into(), port: "out".into() },
+                    to: LinkEnd::Soc,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn queries() {
+        let g = sample();
+        assert!(g.node("MUL").is_some());
+        assert!(g.node("NOPE").is_none());
+        assert_eq!(g.connects().collect::<Vec<_>>(), vec!["MUL"]);
+        assert_eq!(g.links().count(), 2);
+        assert_eq!(g.soc_link_count(), 2);
+        assert_eq!(g.node("GAUSS").unwrap().stream_ports().count(), 2);
+        assert_eq!(g.node("MUL").unwrap().lite_ports().count(), 2);
+    }
+
+    #[test]
+    fn link_end_display() {
+        assert_eq!(LinkEnd::Soc.to_string(), "'soc");
+        let p = LinkEnd::Port { node: "A".into(), port: "x".into() };
+        assert_eq!(p.to_string(), "(\"A\",\"x\")");
+    }
+}

@@ -1,0 +1,338 @@
+//! HTG → task-graph lowering: the mapping of Section III.
+//!
+//! The paper starts from a partitioned two-level HTG (Fig. 1) and derives
+//! the DSL description of the final architecture (Fig. 4):
+//!
+//! * software nodes **disappear** (N1/N4 in the example) — they run on
+//!   the GPP and communicate through shared memory;
+//! * hardware *simple tasks* become AXI-Lite nodes (`i` ports from their
+//!   kernel's scalar parameters) attached with `connect`;
+//! * hardware *phases* are replaced by their dataflow actors: each actor
+//!   becomes a node with `is` ports, intra-phase streams become `link`s,
+//!   and phase-boundary streams become `'soc` links (realised by DMA).
+//!
+//! This module automates that derivation, turning the paper's manual
+//! "write the DSL from the HTG" step into a function.
+
+use crate::graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
+use accelsoc_htg::dataflow::DataflowGraph;
+use accelsoc_htg::graph::{Htg, NodeKind};
+use accelsoc_htg::partition::{Mapping, Partition, PartitionError};
+use accelsoc_kernel::ir::Kernel;
+use std::collections::HashMap;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeError {
+    Partition(PartitionError),
+    /// A hardware-mapped task/actor names a kernel that is not registered.
+    MissingKernel { node: String, kernel: String },
+    /// A dataflow actor's declared ports don't exist on its kernel.
+    ActorPortMismatch { actor: String, port: String },
+}
+
+impl fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeError::Partition(e) => write!(f, "invalid partition: {e}"),
+            BridgeError::MissingKernel { node, kernel } => {
+                write!(f, "node `{node}` needs kernel `{kernel}`, which is not registered")
+            }
+            BridgeError::ActorPortMismatch { actor, port } => {
+                write!(f, "actor `{actor}` declares port `{port}` missing from its kernel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+impl From<PartitionError> for BridgeError {
+    fn from(e: PartitionError) -> Self {
+        BridgeError::Partition(e)
+    }
+}
+
+/// Lower a partitioned HTG to the DSL task graph of its hardware side.
+///
+/// `kernels` maps kernel names (as referenced by [`accelsoc_htg::graph::TaskNode::kernel`]
+/// and [`accelsoc_htg::dataflow::Actor::kernel`]) to kernel IR; it is used
+/// to derive each node's port list, exactly as the paper derives the DSL
+/// node interfaces from the Vivado-HLS-ready C signatures.
+pub fn lower_htg(
+    htg: &Htg,
+    partition: &Partition,
+    kernels: &HashMap<String, Kernel>,
+) -> Result<TaskGraph, BridgeError> {
+    partition.validate(htg)?;
+    let mut g = TaskGraph::new("from_htg");
+
+    for id in htg.node_ids() {
+        if partition.mapping(htg, id) != Some(Mapping::Hardware) {
+            continue; // software nodes do not appear in the architecture
+        }
+        let name = htg.name(id);
+        match htg.kind(id) {
+            NodeKind::Task(task) => {
+                let kernel = kernels.get(&task.kernel).ok_or_else(|| {
+                    BridgeError::MissingKernel { node: name.into(), kernel: task.kernel.clone() }
+                })?;
+                // AXI-Lite node: scalar parameters become `i` ports.
+                let ports = kernel
+                    .params
+                    .iter()
+                    .map(|p| Port {
+                        name: p.name.clone(),
+                        kind: if p.kind.is_stream() {
+                            InterfaceKind::Stream
+                        } else {
+                            InterfaceKind::Lite
+                        },
+                    })
+                    .collect();
+                g.nodes.push(DslNode { name: name.into(), ports });
+                g.edges.push(DslEdge::Connect { node: name.into() });
+            }
+            NodeKind::Phase(df) => {
+                lower_phase(df, kernels, &mut g)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+fn lower_phase(
+    df: &DataflowGraph,
+    kernels: &HashMap<String, Kernel>,
+    g: &mut TaskGraph,
+) -> Result<(), BridgeError> {
+    for (_, actor) in df.actors() {
+        let kernel = kernels.get(&actor.kernel).ok_or_else(|| BridgeError::MissingKernel {
+            node: actor.name.clone(),
+            kernel: actor.kernel.clone(),
+        })?;
+        // Validate the actor's declared ports against the kernel.
+        for p in actor.inputs.iter().chain(&actor.outputs) {
+            let ok = kernel
+                .params
+                .iter()
+                .any(|kp| kp.name == *p && kp.kind.is_stream());
+            if !ok {
+                return Err(BridgeError::ActorPortMismatch {
+                    actor: actor.name.clone(),
+                    port: p.clone(),
+                });
+            }
+        }
+        let ports = kernel
+            .params
+            .iter()
+            .filter(|kp| kp.kind.is_stream())
+            .map(|kp| Port {
+                name: kp.name.clone(),
+                kind: InterfaceKind::Stream,
+            })
+            .collect();
+        g.nodes.push(DslNode { name: actor.name.clone(), ports });
+    }
+    for s in df.streams() {
+        let from = match &s.src {
+            None => LinkEnd::Soc,
+            Some((aid, port)) => LinkEnd::Port {
+                node: df.actor(*aid).name.clone(),
+                port: port.clone(),
+            },
+        };
+        let to = match &s.dst {
+            None => LinkEnd::Soc,
+            Some((aid, port)) => LinkEnd::Port {
+                node: df.actor(*aid).name.clone(),
+                port: port.clone(),
+            },
+        };
+        g.edges.push(DslEdge::Link { from, to });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_htg::dataflow::{Actor, Rate, StreamEdge};
+    use accelsoc_htg::graph::{TaskNode, TransferKind};
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::types::Ty;
+
+    fn adder_kernel(name: &str) -> Kernel {
+        KernelBuilder::new(name)
+            .scalar_in("A", Ty::U32)
+            .scalar_in("B", Ty::U32)
+            .scalar_out("return", Ty::U32)
+            .push(assign("return", add(var("A"), var("B"))))
+            .build()
+    }
+
+    fn stream_kernel(name: &str) -> Kernel {
+        KernelBuilder::new(name)
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .build()
+    }
+
+    /// The paper's Fig. 1 HTG: N1, ADD, MUL, IMAGE(GAUSS->EDGE), N4.
+    fn fig1() -> (Htg, Partition, HashMap<String, Kernel>) {
+        let mut htg = Htg::new();
+        let n1 = htg
+            .add_task("N1", TaskNode { kernel: "n1".into(), sw_cycles: 10, sw_only: true })
+            .unwrap();
+        let addn = htg
+            .add_task("ADD", TaskNode { kernel: "add_k".into(), sw_cycles: 100, sw_only: false })
+            .unwrap();
+        let muln = htg
+            .add_task("MUL", TaskNode { kernel: "mul_k".into(), sw_cycles: 100, sw_only: false })
+            .unwrap();
+        let mut df = DataflowGraph::new();
+        let gauss = df
+            .add_actor(Actor {
+                name: "GAUSS".into(),
+                kernel: "gauss_k".into(),
+                inputs: vec!["in".into()],
+                outputs: vec!["out".into()],
+            })
+            .unwrap();
+        let edge = df
+            .add_actor(Actor {
+                name: "EDGE".into(),
+                kernel: "edge_k".into(),
+                inputs: vec!["in".into()],
+                outputs: vec!["out".into()],
+            })
+            .unwrap();
+        df.add_stream(StreamEdge {
+            src: None,
+            dst: Some((gauss, "in".into())),
+            produce: Rate(1),
+            consume: Rate(1),
+            token_bytes: 1,
+        })
+        .unwrap();
+        df.add_stream(StreamEdge {
+            src: Some((gauss, "out".into())),
+            dst: Some((edge, "in".into())),
+            produce: Rate(1),
+            consume: Rate(1),
+            token_bytes: 1,
+        })
+        .unwrap();
+        df.add_stream(StreamEdge {
+            src: Some((edge, "out".into())),
+            dst: None,
+            produce: Rate(1),
+            consume: Rate(1),
+            token_bytes: 1,
+        })
+        .unwrap();
+        let image = htg.add_phase("IMAGE", df).unwrap();
+        let n4 = htg
+            .add_task("N4", TaskNode { kernel: "n4".into(), sw_cycles: 10, sw_only: true })
+            .unwrap();
+        for (a, b) in [(n1, addn), (n1, muln), (n1, image), (addn, n4), (muln, n4), (image, n4)]
+        {
+            htg.add_edge(a, b, TransferKind::SharedBuffer { bytes: 64 }).unwrap();
+        }
+        let partition = Partition::hardware_set(&htg, ["ADD", "MUL", "IMAGE"]);
+        let mut kernels = HashMap::new();
+        kernels.insert("add_k".into(), adder_kernel("add_k"));
+        kernels.insert("mul_k".into(), adder_kernel("mul_k"));
+        kernels.insert("gauss_k".into(), stream_kernel("gauss_k"));
+        kernels.insert("edge_k".into(), stream_kernel("edge_k"));
+        (htg, partition, kernels)
+    }
+
+    #[test]
+    fn fig1_lowers_to_fig4_architecture() {
+        let (htg, partition, kernels) = fig1();
+        let g = lower_htg(&htg, &partition, &kernels).unwrap();
+        // Software nodes N1/N4 and the phase wrapper IMAGE disappear;
+        // ADD, MUL and the two actors remain.
+        let names: Vec<&str> = g.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["ADD", "MUL", "GAUSS", "EDGE"]);
+        // ADD/MUL connected via AXI-Lite; three stream links, two via 'soc.
+        assert_eq!(g.connects().count(), 2);
+        assert_eq!(g.links().count(), 3);
+        assert_eq!(g.soc_link_count(), 2);
+        // The result elaborates cleanly.
+        crate::semantics::elaborate(&g).unwrap();
+    }
+
+    #[test]
+    fn lowered_graph_flows_end_to_end() {
+        let (htg, partition, kernels) = fig1();
+        let g = lower_htg(&htg, &partition, &kernels).unwrap();
+        let mut engine = crate::flow::FlowEngine::new(crate::flow::FlowOptions::default());
+        // Flow looks kernels up by *node* name; re-register under the
+        // lowered node names.
+        let by_node = [
+            ("ADD", "add_k"),
+            ("MUL", "mul_k"),
+            ("GAUSS", "gauss_k"),
+            ("EDGE", "edge_k"),
+        ];
+        for (node, kernel) in by_node {
+            let mut k = kernels[kernel].clone();
+            k.name = node.to_string();
+            engine.register_kernel(k);
+        }
+        let art = engine.run(&g).unwrap();
+        assert!(art.timing.met());
+        assert_eq!(art.block_design.dma_count(), 1);
+    }
+
+    #[test]
+    fn software_only_partition_yields_empty_architecture() {
+        let (htg, _, kernels) = fig1();
+        let partition = Partition::all_software(&htg);
+        let g = lower_htg(&htg, &partition, &kernels).unwrap();
+        assert!(g.nodes.is_empty());
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn missing_kernel_reported() {
+        let (htg, partition, mut kernels) = fig1();
+        kernels.remove("gauss_k");
+        let err = lower_htg(&htg, &partition, &kernels).unwrap_err();
+        assert_eq!(
+            err,
+            BridgeError::MissingKernel { node: "GAUSS".into(), kernel: "gauss_k".into() }
+        );
+    }
+
+    #[test]
+    fn invalid_partition_rejected() {
+        let (htg, _, kernels) = fig1();
+        let partition = Partition::hardware_set(&htg, ["N1"]); // sw-only
+        let err = lower_htg(&htg, &partition, &kernels).unwrap_err();
+        assert!(matches!(err, BridgeError::Partition(_)));
+    }
+
+    #[test]
+    fn actor_port_mismatch_reported() {
+        let (htg, partition, mut kernels) = fig1();
+        // Replace gauss kernel with one lacking the `out` port.
+        let bad = KernelBuilder::new("gauss_k")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .stream_out("other", Ty::U8)
+            .push(for_("i", c(0), var("n"), vec![write("other", read("in"))]))
+            .build();
+        kernels.insert("gauss_k".into(), bad);
+        let err = lower_htg(&htg, &partition, &kernels).unwrap_err();
+        assert_eq!(
+            err,
+            BridgeError::ActorPortMismatch { actor: "GAUSS".into(), port: "out".into() }
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # accelsoc-core — the DSL and the flow engine
+//!
+//! This crate is the reproduction of the paper's contribution proper: a
+//! domain-specific language for describing accelerator-based SoC
+//! architectures as task graphs, whose *execution* coordinates HLS and
+//! system integration into a complete bitstream + boot + API bundle.
+//!
+//! Three front-ends produce the same [`graph::TaskGraph`]:
+//!
+//! * **Textual DSL** ([`dsl`]) — a parser for the paper's grammar
+//!   (Listing 1): `tg nodes; tg node "MUL" i "A" … end; tg end_nodes; …`,
+//!   including the `object X extends App { … }` Scala wrapper;
+//! * **`tg!` macro** ([`tg!`]) — an embedded Rust DSL with the same shape,
+//!   type-checked at compile time;
+//! * **Builder API** ([`builder`]) — a fluent programmatic constructor.
+//!
+//! [`semantics`] elaborates and checks a task graph (port direction
+//! inference, connectivity); [`flow`] executes it, driving
+//! `accelsoc-hls`, `accelsoc-integration` and `accelsoc-swgen` through
+//! the steps of Fig. 5/6 while timing each phase (for the Fig. 9
+//! reproduction); [`metrics`] measures DSL-vs-tcl conciseness (§VI.C).
+
+pub mod builder;
+pub mod dsl;
+pub mod flow;
+pub mod graph;
+pub mod htg_bridge;
+pub mod metrics;
+pub mod semantics;
+
+pub use builder::TaskGraphBuilder;
+pub use flow::{FlowArtifacts, FlowEngine, FlowError, FlowOptions, FlowPhase};
+pub use graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
+pub use htg_bridge::{lower_htg, BridgeError};
+pub use semantics::{Elaborated, SemanticError};

@@ -1,0 +1,84 @@
+//! Source-conciseness metrics for the §VI.C comparison: the generated tcl
+//! is ~4× the lines and 4–10× the characters of the DSL source.
+
+use serde::{Deserialize, Serialize};
+
+/// Size metrics of one source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceMetrics {
+    /// Non-empty, non-comment lines.
+    pub lines: usize,
+    /// Non-whitespace characters (what the designer actually types).
+    pub chars: usize,
+}
+
+/// Measure a source text. Comment prefixes: `//` (DSL) and `#` (tcl).
+pub fn measure(src: &str) -> SourceMetrics {
+    let mut lines = 0;
+    let mut chars = 0;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with("//") || t.starts_with('#') {
+            continue;
+        }
+        lines += 1;
+        chars += t.chars().filter(|c| !c.is_whitespace()).count();
+    }
+    SourceMetrics { lines, chars }
+}
+
+/// The §VI.C comparison record.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Conciseness {
+    pub dsl: SourceMetrics,
+    pub tcl: SourceMetrics,
+}
+
+impl Conciseness {
+    pub fn compare(dsl_src: &str, tcl_src: &str) -> Self {
+        Conciseness { dsl: measure(dsl_src), tcl: measure(tcl_src) }
+    }
+
+    /// tcl lines / DSL lines (paper: ≈ 4×).
+    pub fn line_ratio(&self) -> f64 {
+        self.tcl.lines as f64 / self.dsl.lines.max(1) as f64
+    }
+
+    /// tcl chars / DSL chars (paper: 4–10×).
+    pub fn char_ratio(&self) -> f64 {
+        self.tcl.chars as f64 / self.dsl.chars.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_skips_comments_and_blanks() {
+        let src = "// comment\n\nreal line\n# tcl comment\n  another  ";
+        let m = measure(src);
+        assert_eq!(m.lines, 2);
+        assert_eq!(m.chars, "realline".len() + "another".len());
+    }
+
+    #[test]
+    fn ratios() {
+        let c = Conciseness {
+            dsl: SourceMetrics { lines: 10, chars: 100 },
+            tcl: SourceMetrics { lines: 40, chars: 700 },
+        };
+        assert_eq!(c.line_ratio(), 4.0);
+        assert_eq!(c.char_ratio(), 7.0);
+    }
+
+    #[test]
+    fn zero_dsl_does_not_divide_by_zero() {
+        let c = Conciseness {
+            dsl: SourceMetrics { lines: 0, chars: 0 },
+            tcl: SourceMetrics { lines: 5, chars: 50 },
+        };
+        assert!(c.line_ratio().is_finite());
+        assert!(c.char_ratio().is_finite());
+    }
+}

@@ -1,0 +1,334 @@
+//! Semantic elaboration of a task graph: the checks the paper's tool
+//! performs while "executing" the DSL, before handing anything to the
+//! vendor tools.
+//!
+//! Stream-port *directions* are not declared in the DSL; they are inferred
+//! from usage: a port appearing as a link source is an output, as a link
+//! destination an input. Every stream port must be used exactly once —
+//! a dangling AXI-Stream port would hang the pipeline in hardware.
+
+use crate::graph::{DslEdge, InterfaceKind, LinkEnd, TaskGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Inferred direction of a stream port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortDirection {
+    Input,
+    Output,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemanticError {
+    DuplicateNode(String),
+    DuplicatePort { node: String, port: String },
+    UnknownNode(String),
+    UnknownPort { node: String, port: String },
+    /// `connect` on a node with no AXI-Lite ports.
+    ConnectWithoutLitePorts(String),
+    /// A node was never referenced by any edge.
+    OrphanNode(String),
+    /// A `link` endpoint names an AXI-Lite port.
+    LinkOnLitePort { node: String, port: String },
+    /// Stream port linked more than once.
+    PortLinkedTwice { node: String, port: String },
+    /// Port used both as source and destination.
+    ConflictingDirection { node: String, port: String },
+    /// Stream port never linked.
+    UnlinkedStreamPort { node: String, port: String },
+    SocToSoc,
+    /// Same node both `connect`ed and stream-linked is allowed (control +
+    /// data), but connecting twice is not.
+    DuplicateConnect(String),
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use SemanticError::*;
+        match self {
+            DuplicateNode(n) => write!(f, "node `{n}` declared twice"),
+            DuplicatePort { node, port } => write!(f, "port `{port}` declared twice on `{node}`"),
+            UnknownNode(n) => write!(f, "edge references undeclared node `{n}`"),
+            UnknownPort { node, port } => write!(f, "node `{node}` has no port `{port}`"),
+            ConnectWithoutLitePorts(n) => {
+                write!(f, "`connect \"{n}\"` but the node declares no `i` ports")
+            }
+            OrphanNode(n) => write!(f, "node `{n}` is not referenced by any edge"),
+            LinkOnLitePort { node, port } => {
+                write!(f, "`link` endpoint `{node}.{port}` is an AXI-Lite (`i`) port")
+            }
+            PortLinkedTwice { node, port } => write!(f, "port `{node}.{port}` linked twice"),
+            ConflictingDirection { node, port } => {
+                write!(f, "port `{node}.{port}` used both as source and destination")
+            }
+            UnlinkedStreamPort { node, port } => {
+                write!(f, "stream port `{node}.{port}` is never linked")
+            }
+            SocToSoc => write!(f, "a link cannot connect 'soc to 'soc"),
+            DuplicateConnect(n) => write!(f, "node `{n}` connected twice"),
+        }
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+/// The elaborated design: the original graph plus inferred directions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Elaborated {
+    pub graph: TaskGraph,
+    /// (node, port) → direction, for every stream port.
+    pub directions: BTreeMap<(String, String), PortDirection>,
+}
+
+impl Elaborated {
+    pub fn direction(&self, node: &str, port: &str) -> Option<PortDirection> {
+        self.directions.get(&(node.to_string(), port.to_string())).copied()
+    }
+}
+
+/// Elaborate and validate.
+pub fn elaborate(graph: &TaskGraph) -> Result<Elaborated, SemanticError> {
+    // Node/port uniqueness.
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if graph.nodes.iter().skip(i + 1).any(|m| m.name == n.name) {
+            return Err(SemanticError::DuplicateNode(n.name.clone()));
+        }
+        for (j, p) in n.ports.iter().enumerate() {
+            if n.ports.iter().skip(j + 1).any(|q| q.name == p.name) {
+                return Err(SemanticError::DuplicatePort {
+                    node: n.name.clone(),
+                    port: p.name.clone(),
+                });
+            }
+        }
+    }
+
+    let mut directions: BTreeMap<(String, String), PortDirection> = BTreeMap::new();
+    let mut connects: Vec<&str> = Vec::new();
+
+    let check_port = |node: &str, port: &str| -> Result<(), SemanticError> {
+        let n = graph
+            .node(node)
+            .ok_or_else(|| SemanticError::UnknownNode(node.to_string()))?;
+        let p = n.port(port).ok_or_else(|| SemanticError::UnknownPort {
+            node: node.to_string(),
+            port: port.to_string(),
+        })?;
+        if p.kind == InterfaceKind::Lite {
+            return Err(SemanticError::LinkOnLitePort {
+                node: node.to_string(),
+                port: port.to_string(),
+            });
+        }
+        Ok(())
+    };
+
+    for e in &graph.edges {
+        match e {
+            DslEdge::Connect { node } => {
+                let n = graph
+                    .node(node)
+                    .ok_or_else(|| SemanticError::UnknownNode(node.clone()))?;
+                if n.lite_ports().next().is_none() {
+                    return Err(SemanticError::ConnectWithoutLitePorts(node.clone()));
+                }
+                if connects.contains(&node.as_str()) {
+                    return Err(SemanticError::DuplicateConnect(node.clone()));
+                }
+                connects.push(node);
+            }
+            DslEdge::Link { from, to } => {
+                if *from == LinkEnd::Soc && *to == LinkEnd::Soc {
+                    return Err(SemanticError::SocToSoc);
+                }
+                let mut set_dir = |end: &LinkEnd, dir: PortDirection| -> Result<(), SemanticError> {
+                    if let LinkEnd::Port { node, port } = end {
+                        check_port(node, port)?;
+                        let key = (node.clone(), port.clone());
+                        match directions.get(&key) {
+                            None => {
+                                directions.insert(key, dir);
+                                Ok(())
+                            }
+                            Some(d) if *d == dir => Err(SemanticError::PortLinkedTwice {
+                                node: node.clone(),
+                                port: port.clone(),
+                            }),
+                            Some(_) => Err(SemanticError::ConflictingDirection {
+                                node: node.clone(),
+                                port: port.clone(),
+                            }),
+                        }
+                    } else {
+                        Ok(())
+                    }
+                };
+                set_dir(from, PortDirection::Output)?;
+                set_dir(to, PortDirection::Input)?;
+            }
+        }
+    }
+
+    // Every stream port linked; every node referenced.
+    for n in &graph.nodes {
+        let mut referenced = connects.contains(&n.name.as_str());
+        for p in n.stream_ports() {
+            let key = (n.name.clone(), p.name.clone());
+            if !directions.contains_key(&key) {
+                return Err(SemanticError::UnlinkedStreamPort {
+                    node: n.name.clone(),
+                    port: p.name.clone(),
+                });
+            }
+            referenced = true;
+        }
+        if !referenced {
+            return Err(SemanticError::OrphanNode(n.name.clone()));
+        }
+    }
+
+    Ok(Elaborated { graph: graph.clone(), directions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+
+    fn fig4() -> TaskGraph {
+        TaskGraphBuilder::new("fig4")
+            .node("MUL", |n| n.lite("A").lite("B").lite("return"))
+            .node("ADD", |n| n.lite("A").lite("B").lite("return"))
+            .node("GAUSS", |n| n.stream("in").stream("out"))
+            .node("EDGE", |n| n.stream("in").stream("out"))
+            .link_soc_to("GAUSS", "in")
+            .link(("GAUSS", "out"), ("EDGE", "in"))
+            .link_to_soc("EDGE", "out")
+            .connect("MUL")
+            .connect("ADD")
+            .build()
+    }
+
+    #[test]
+    fn fig4_elaborates_with_correct_directions() {
+        let e = elaborate(&fig4()).unwrap();
+        assert_eq!(e.direction("GAUSS", "in"), Some(PortDirection::Input));
+        assert_eq!(e.direction("GAUSS", "out"), Some(PortDirection::Output));
+        assert_eq!(e.direction("EDGE", "in"), Some(PortDirection::Input));
+        assert_eq!(e.direction("EDGE", "out"), Some(PortDirection::Output));
+    }
+
+    #[test]
+    fn unknown_node_and_port_rejected() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("in").stream("out"))
+            .link_soc_to("GHOST", "in")
+            .link_soc_to("A", "in")
+            .link_to_soc("A", "out")
+            .build();
+        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::UnknownNode("GHOST".into()));
+
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("in").stream("out"))
+            .link_soc_to("A", "nope")
+            .link_to_soc("A", "out")
+            .build();
+        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn unlinked_stream_port_rejected() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("in").stream("out"))
+            .link_soc_to("A", "in")
+            .build();
+        assert_eq!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::UnlinkedStreamPort { node: "A".into(), port: "out".into() }
+        );
+    }
+
+    #[test]
+    fn double_link_and_conflicting_direction_rejected() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("in").stream("out"))
+            .link_soc_to("A", "in")
+            .link_soc_to("A", "in")
+            .link_to_soc("A", "out")
+            .build();
+        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::PortLinkedTwice { .. }));
+
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("x").stream("out"))
+            .node("B", |n| n.stream("in"))
+            .link_soc_to("A", "x")
+            .link(("A", "x"), ("B", "in"))
+            .link_to_soc("A", "out")
+            .build();
+        assert!(matches!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::ConflictingDirection { .. }
+        ));
+    }
+
+    #[test]
+    fn connect_requires_lite_ports() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("in").stream("out"))
+            .connect("A")
+            .link_soc_to("A", "in")
+            .link_to_soc("A", "out")
+            .build();
+        assert_eq!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::ConnectWithoutLitePorts("A".into())
+        );
+    }
+
+    #[test]
+    fn link_on_lite_port_rejected() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("A").stream("out"))
+            .link_soc_to("A", "A")
+            .link_to_soc("A", "out")
+            .build();
+        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::LinkOnLitePort { .. }));
+    }
+
+    #[test]
+    fn orphan_node_rejected() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("A"))
+            .node("B", |n| n.lite("B"))
+            .connect("A")
+            .build();
+        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::OrphanNode("B".into()));
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("p"))
+            .node("A", |n| n.lite("p"))
+            .connect("A")
+            .build();
+        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::DuplicateNode("A".into()));
+
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("p").lite("p"))
+            .connect("A")
+            .build();
+        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::DuplicatePort { .. }));
+    }
+
+    #[test]
+    fn duplicate_connect_rejected() {
+        let g = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("p"))
+            .connect("A")
+            .connect("A")
+            .build();
+        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::DuplicateConnect("A".into()));
+    }
+}

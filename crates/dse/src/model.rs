@@ -1,0 +1,192 @@
+//! The partition cost model for a linear task chain.
+
+use accelsoc_hls::resource::ResourceEstimate;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Cost profile of one task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskProfile {
+    pub name: String,
+    /// Software execution time (CPU model).
+    pub sw_ns: f64,
+    /// Hardware execution time for the same work (II × tokens + startup).
+    pub hw_ns: f64,
+    /// PL area if mapped to hardware.
+    pub area: ResourceEstimate,
+    /// Bytes entering / leaving this task (for boundary DMA costs).
+    pub input_bytes: u64,
+    pub output_bytes: u64,
+    /// Tasks that can only run in software (file I/O).
+    pub sw_only: bool,
+}
+
+/// One evaluated partition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Names of hardware-mapped tasks.
+    pub hw_tasks: Vec<String>,
+    pub runtime_ns: f64,
+    pub area: ResourceEstimate,
+    /// Number of SW↔HW boundary crossings (each costs a DMA transfer).
+    pub crossings: u32,
+    /// Fits the target device.
+    pub feasible: bool,
+}
+
+/// Cost model over a linear chain of tasks (the Otsu application's shape;
+/// Fig. 8 is a chain with one diamond that we serialise conservatively).
+#[derive(Debug, Clone)]
+pub struct ChainModel {
+    pub tasks: Vec<TaskProfile>,
+    /// DMA cost per byte moved across a SW↔HW boundary.
+    pub dma_ns_per_byte: f64,
+    /// Fixed DMA setup per boundary crossing.
+    pub dma_setup_ns: f64,
+    /// Fixed infrastructure area as soon as ≥1 task is in hardware
+    /// (DMA engine + interconnects).
+    pub infra_area: ResourceEstimate,
+    /// Device capacity for feasibility.
+    pub capacity: ResourceEstimate,
+}
+
+impl ChainModel {
+    /// Evaluate a partition given as the set of hardware task names.
+    /// Software-only tasks in `hw` make the point infeasible.
+    pub fn evaluate(&self, hw: &HashSet<&str>) -> DesignPoint {
+        let mut runtime = 0.0;
+        let mut crossings = 0u32;
+        let mut area = ResourceEstimate::ZERO;
+        let mut any_hw = false;
+        let mut violates = false;
+
+        let mut i = 0;
+        while i < self.tasks.len() {
+            let t = &self.tasks[i];
+            let in_hw = hw.contains(t.name.as_str());
+            if in_hw && t.sw_only {
+                violates = true;
+            }
+            if !in_hw {
+                runtime += t.sw_ns;
+                i += 1;
+                continue;
+            }
+            any_hw = true;
+            // Contiguous hardware segment [i, j): streaming overlap means
+            // the segment runs at the speed of its slowest stage.
+            let mut j = i;
+            let mut slowest: f64 = 0.0;
+            let mut fill = 0.0;
+            while j < self.tasks.len() && hw.contains(self.tasks[j].name.as_str()) {
+                slowest = slowest.max(self.tasks[j].hw_ns);
+                fill += 400.0; // per-stage pipeline fill (40 cycles @ 10 ns)
+                area += self.tasks[j].area;
+                j += 1;
+            }
+            // Boundary DMA: input into the segment, output out of it.
+            let seg_in = self.tasks[i].input_bytes;
+            let seg_out = self.tasks[j - 1].output_bytes;
+            crossings += 2;
+            runtime += self.dma_setup_ns * 2.0
+                + (seg_in + seg_out) as f64 * self.dma_ns_per_byte;
+            runtime += fill + slowest;
+            i = j;
+        }
+        if any_hw {
+            area += self.infra_area;
+        }
+        let feasible = !violates && area.fits_in(&self.capacity);
+        let mut hw_tasks: Vec<String> = hw.iter().map(|s| s.to_string()).collect();
+        hw_tasks.sort();
+        DesignPoint { hw_tasks, runtime_ns: runtime, area, crossings, feasible }
+    }
+
+    /// Names of partitionable (non-sw-only) tasks.
+    pub fn partitionable(&self) -> Vec<&str> {
+        self.tasks.iter().filter(|t| !t.sw_only).map(|t| t.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(name: &str, sw: f64, hw: f64, bytes: u64) -> TaskProfile {
+        TaskProfile {
+            name: name.into(),
+            sw_ns: sw,
+            hw_ns: hw,
+            area: ResourceEstimate::new(1000, 1500, 1, 0),
+            input_bytes: bytes,
+            output_bytes: bytes,
+            sw_only: false,
+        }
+    }
+
+    fn model() -> ChainModel {
+        ChainModel {
+            tasks: vec![
+                profile("a", 10_000.0, 1_000.0, 100),
+                profile("b", 20_000.0, 2_000.0, 100),
+                profile("c", 30_000.0, 3_000.0, 100),
+            ],
+            dma_ns_per_byte: 1.0,
+            dma_setup_ns: 300.0,
+            infra_area: ResourceEstimate::new(2000, 2500, 4, 0),
+            capacity: ResourceEstimate::new(53_200, 106_400, 280, 220),
+        }
+    }
+
+    #[test]
+    fn all_software_baseline() {
+        let m = model();
+        let p = m.evaluate(&HashSet::new());
+        assert_eq!(p.runtime_ns, 60_000.0);
+        assert_eq!(p.area, ResourceEstimate::ZERO);
+        assert_eq!(p.crossings, 0);
+        assert!(p.feasible);
+    }
+
+    #[test]
+    fn contiguous_hw_segment_overlaps_and_shares_dma() {
+        let m = model();
+        let together = m.evaluate(&HashSet::from(["b", "c"]));
+        let apart_b = m.evaluate(&HashSet::from(["b"]));
+        let apart_c = m.evaluate(&HashSet::from(["c"]));
+        // One segment: 2 crossings; split into two runs: 2 each.
+        assert_eq!(together.crossings, 2);
+        assert_eq!(apart_b.crossings + apart_c.crossings, 4);
+        // Overlap: the b+c segment runs at max(2000, 3000), not the sum.
+        let hw_part = together.runtime_ns - 10_000.0; // minus sw task a
+        assert!(hw_part < 2_000.0 + 3_000.0 + 2_000.0, "hw_part = {hw_part}");
+    }
+
+    #[test]
+    fn full_hw_is_fastest_here() {
+        let m = model();
+        let all = m.evaluate(&HashSet::from(["a", "b", "c"]));
+        let none = m.evaluate(&HashSet::new());
+        assert!(all.runtime_ns < none.runtime_ns / 5.0);
+        assert!(all.area.lut > 0);
+    }
+
+    #[test]
+    fn sw_only_task_in_hw_is_infeasible() {
+        let mut m = model();
+        m.tasks[0].sw_only = true;
+        let p = m.evaluate(&HashSet::from(["a"]));
+        assert!(!p.feasible);
+        assert_eq!(m.partitionable(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn over_capacity_is_infeasible() {
+        let mut m = model();
+        m.capacity = ResourceEstimate::new(2_500, 100_000, 280, 220);
+        // One task (1000) + infra (2000) = 3000 > 2500.
+        let p = m.evaluate(&HashSet::from(["a"]));
+        assert!(!p.feasible);
+        assert!(m.evaluate(&HashSet::new()).feasible);
+    }
+}

@@ -1,0 +1,90 @@
+//! Non-dominated (Pareto) filtering over (runtime, area) objectives.
+
+use crate::model::DesignPoint;
+
+/// Scalar area objective: LUT count (the binding dimension on Zynq-7020
+/// for these designs).
+fn area_of(p: &DesignPoint) -> u32 {
+    p.area.lut
+}
+
+/// `a` dominates `b` iff it is no worse in both objectives and strictly
+/// better in at least one.
+pub fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    let (ra, aa) = (a.runtime_ns, area_of(a));
+    let (rb, ab) = (b.runtime_ns, area_of(b));
+    (ra <= rb && aa <= ab) && (ra < rb || aa < ab)
+}
+
+/// Keep only feasible, non-dominated points, sorted by ascending area.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| p.feasible)
+        .filter(|p| !points.iter().any(|q| q.feasible && dominates(q, p)))
+        .cloned()
+        .collect();
+    front.sort_by_key(|p| (area_of(p), p.runtime_ns as u64));
+    front.dedup_by(|a, b| a.hw_tasks == b.hw_tasks);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_hls::resource::ResourceEstimate;
+
+    fn point(name: &str, runtime: f64, lut: u32, feasible: bool) -> DesignPoint {
+        DesignPoint {
+            hw_tasks: vec![name.to_string()],
+            runtime_ns: runtime,
+            area: ResourceEstimate::new(lut, 0, 0, 0),
+            crossings: 0,
+            feasible,
+        }
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let pts = vec![
+            point("cheap_slow", 100.0, 10, true),
+            point("dear_fast", 10.0, 100, true),
+            point("dominated", 120.0, 50, true), // worse than cheap_slow in both? runtime worse, area worse than cheap_slow -> dominated
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|p| p.hw_tasks[0] != "dominated"));
+    }
+
+    #[test]
+    fn front_sorted_by_area() {
+        let pts = vec![
+            point("b", 10.0, 100, true),
+            point("a", 100.0, 10, true),
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front[0].hw_tasks[0], "a");
+        assert_eq!(front[1].hw_tasks[0], "b");
+    }
+
+    #[test]
+    fn infeasible_points_never_on_front() {
+        let pts = vec![
+            point("ok", 100.0, 10, true),
+            point("super_but_broken", 1.0, 1, false),
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].hw_tasks[0], "ok");
+    }
+
+    #[test]
+    fn domination_is_strict_somewhere() {
+        let a = point("a", 10.0, 10, true);
+        let b = point("b", 10.0, 10, true);
+        assert!(!dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        let c = point("c", 10.0, 9, true);
+        assert!(dominates(&c, &a));
+    }
+}

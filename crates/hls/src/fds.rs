@@ -1,0 +1,241 @@
+//! Force-directed scheduling (Paulin & Knight, 1989): a time-constrained
+//! scheduler that balances operations across control steps to minimize
+//! the peak functional-unit requirement at a fixed latency — the
+//! classical alternative to resource-constrained list scheduling. Used by
+//! the ablation bench to quantify what the scheduling policy buys.
+
+use crate::dfg::RegionDfg;
+use crate::schedule::{alap, asap, Schedule};
+use crate::techlib::{FuClass, TechLib};
+use std::collections::HashMap;
+
+/// Schedule `dfg` to complete within `deadline` cycles (must be >= the
+/// ASAP latency; pass the ASAP latency for the tightest schedule).
+pub fn force_directed_schedule(dfg: &RegionDfg, lib: &TechLib, deadline: u32) -> Schedule {
+    let n = dfg.ops.len();
+    if n == 0 {
+        return Schedule { start: vec![], latency: 0 };
+    }
+    let a = asap(dfg, lib);
+    let deadline = deadline.max(a.latency);
+
+    // Mutable time frames [early, late] per op.
+    let mut early: Vec<u32> = a.start.clone();
+    let mut late: Vec<u32> = alap(dfg, lib, deadline).start;
+    let mut fixed = vec![false; n];
+
+    let lat =
+        |i: usize| lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency.max(1);
+
+    // Iteratively fix the (op, cycle) with minimal force.
+    for _round in 0..n {
+        // Distribution graphs: expected occupancy per (class, cycle).
+        let mut dg: HashMap<FuClass, Vec<f64>> = HashMap::new();
+        for i in 0..n {
+            let Some(class) = lib.fu_class(dfg.ops[i].class) else { continue };
+            let width = (late[i] - early[i] + 1) as f64;
+            let slots = dg
+                .entry(class)
+                .or_insert_with(|| vec![0.0; (deadline + 64) as usize]);
+            for s in early[i]..=late[i] {
+                for t in s..s + lat(i) {
+                    slots[t as usize] += 1.0 / width;
+                }
+            }
+        }
+
+        // Choose the unfixed op/cycle with minimal self-force.
+        let mut best: Option<(usize, u32, f64)> = None;
+        for i in 0..n {
+            if fixed[i] {
+                continue;
+            }
+            let class = lib.fu_class(dfg.ops[i].class);
+            for s in early[i]..=late[i] {
+                let force = match class {
+                    None => 0.0,
+                    Some(cl) => {
+                        let slots = &dg[&cl];
+                        let avg: f64 =
+                            slots.iter().sum::<f64>() / slots.len().max(1) as f64;
+                        (s..s + lat(i))
+                            .map(|t| slots[t as usize] - avg)
+                            .sum::<f64>()
+                    }
+                };
+                // Prefer earlier cycles on ties for determinism.
+                let better = match best {
+                    None => true,
+                    Some((_, _, bf)) => {
+                        force < bf - 1e-12
+                    }
+                };
+                if better {
+                    best = Some((i, s, force));
+                }
+            }
+        }
+        let Some((i, s, _)) = best else { break };
+        fixed[i] = true;
+        early[i] = s;
+        late[i] = s;
+        // Propagate the new bound through the dependence relation.
+        propagate(dfg, &mut early, &mut late, &lat);
+    }
+
+    let start = early;
+    let latency = (0..n).map(|i| start[i] + lat(i)).max().unwrap_or(0);
+    Schedule { start, latency }
+}
+
+/// Restore frame consistency after fixing an op: successors cannot start
+/// before their predecessors finish, predecessors must finish before
+/// their successors start.
+fn propagate(
+    dfg: &RegionDfg,
+    early: &mut [u32],
+    late: &mut [u32],
+    lat: &impl Fn(usize) -> u32,
+) {
+    let n = dfg.ops.len();
+    // Forward: earliest starts (indices are topological).
+    for i in 0..n {
+        for &d in &dfg.ops[i].deps {
+            early[i] = early[i].max(early[d] + lat(d));
+        }
+        late[i] = late[i].max(early[i]);
+    }
+    // Backward: latest starts.
+    for i in (0..n).rev() {
+        for (j, op) in dfg.ops.iter().enumerate().skip(i + 1) {
+            if op.deps.contains(&i) {
+                let bound = late[j].saturating_sub(lat(i));
+                late[i] = late[i].min(bound);
+            }
+        }
+        if early[i] > late[i] {
+            late[i] = early[i]; // keep frames non-empty (deadline slack)
+        }
+    }
+}
+
+/// Peak concurrent functional-unit demand per class under a schedule.
+pub fn peak_units(dfg: &RegionDfg, sched: &Schedule, lib: &TechLib) -> HashMap<FuClass, u32> {
+    let mut events: HashMap<FuClass, Vec<(u32, i32)>> = HashMap::new();
+    for (i, op) in dfg.ops.iter().enumerate() {
+        if let Some(class) = lib.fu_class(op.class) {
+            let l = lib.op_cost(op.class, op.bits).latency.max(1);
+            let e = events.entry(class).or_default();
+            e.push((sched.start[i], 1));
+            e.push((sched.start[i] + l, -1));
+        }
+    }
+    events
+        .into_iter()
+        .map(|(class, mut ev)| {
+            ev.sort();
+            let mut cur = 0i32;
+            let mut peak = 0i32;
+            for (_, d) in ev {
+                cur += d;
+                peak = peak.max(cur);
+            }
+            (class, peak as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::lower;
+    use crate::schedule::{list_schedule, ResourceConstraints};
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::types::Ty;
+
+    /// Many independent multiplies feeding one sum — the classic FDS
+    /// showcase: ASAP piles all multiplies into cycle 0; FDS spreads them.
+    fn wide_kernel() -> accelsoc_kernel::ir::Kernel {
+        let mut b = KernelBuilder::new("wide")
+            .scalar_out("r", Ty::U32)
+            .local("acc", Ty::U32);
+        for i in 0..6 {
+            b = b.scalar_in(&format!("x{i}"), Ty::U16).local(&format!("t{i}"), Ty::U32);
+        }
+        let mut body = vec![];
+        for i in 0..6 {
+            body.push(assign(
+                &format!("t{i}"),
+                mul(var(&format!("x{i}")), var(&format!("x{}", (i + 1) % 6))),
+            ));
+        }
+        let mut acc = var("t0");
+        for i in 1..6 {
+            acc = add(acc, var(&format!("t{i}")));
+        }
+        body.push(assign("acc", acc));
+        body.push(assign("r", var("acc")));
+        b.body(body).build()
+    }
+
+    fn dfg_of(k: &accelsoc_kernel::ir::Kernel) -> RegionDfg {
+        lower(k).unwrap().segments()[0].clone()
+    }
+
+    #[test]
+    fn fds_schedule_is_valid() {
+        let dfg = dfg_of(&wide_kernel());
+        let lib = TechLib::default();
+        let a = asap(&dfg, &lib);
+        for slack in [0u32, 4, 10] {
+            let s = force_directed_schedule(&dfg, &lib, a.latency + slack);
+            assert!(s.respects_deps(&dfg, &lib), "slack {slack}");
+            assert!(s.latency <= a.latency + slack + 1, "slack {slack}: {}", s.latency);
+        }
+    }
+
+    #[test]
+    fn fds_reduces_peak_multipliers_given_slack() {
+        let dfg = dfg_of(&wide_kernel());
+        let lib = TechLib::default();
+        let a = asap(&dfg, &lib);
+        let asap_peak = peak_units(&dfg, &a, &lib)[&FuClass::Mul];
+        // With generous slack, FDS spreads the 6 multiplies.
+        let fds = force_directed_schedule(&dfg, &lib, a.latency + 12);
+        let fds_peak = peak_units(&dfg, &fds, &lib)[&FuClass::Mul];
+        assert!(
+            fds_peak < asap_peak,
+            "FDS peak {fds_peak} < ASAP peak {asap_peak}"
+        );
+    }
+
+    #[test]
+    fn fds_matches_list_schedule_quality_on_real_kernel() {
+        // On the otsu kernel's segments, FDS at the list-schedule latency
+        // should not need more units than unconstrained ASAP.
+        let k = wide_kernel();
+        let dfg = dfg_of(&k);
+        let lib = TechLib::default();
+        let listed = list_schedule(&dfg, &lib, &ResourceConstraints::new());
+        let fds = force_directed_schedule(&dfg, &lib, listed.latency + 6);
+        let lp = peak_units(&dfg, &listed, &lib);
+        let fp = peak_units(&dfg, &fds, &lib);
+        assert!(fp[&FuClass::Mul] <= lp[&FuClass::Mul]);
+    }
+
+    #[test]
+    fn empty_dfg_ok() {
+        let lib = TechLib::default();
+        let s = force_directed_schedule(&RegionDfg::default(), &lib, 10);
+        assert_eq!(s.latency, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let dfg = dfg_of(&wide_kernel());
+        let lib = TechLib::default();
+        let s1 = force_directed_schedule(&dfg, &lib, 30);
+        let s2 = force_directed_schedule(&dfg, &lib, 30);
+        assert_eq!(s1.start, s2.start);
+    }
+}

@@ -1,0 +1,213 @@
+//! Interface synthesis: map kernel parameters onto AXI interfaces.
+//!
+//! Scalar parameters become registers in one AXI-Lite slave, laid out like
+//! Vivado HLS `s_axilite` adapters: a control register at 0x00
+//! (ap_start/ap_done/ap_idle/ap_ready), then one 64-bit-aligned slot per
+//! argument. Stream parameters become AXI-Stream ports whose TDATA width is
+//! the parameter type rounded up to a whole number of bytes.
+
+use crate::resource::ResourceEstimate;
+use accelsoc_kernel::ir::{Kernel, ParamKind};
+use serde::{Deserialize, Serialize};
+
+/// One register in the core's AXI-Lite register file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxiLiteRegister {
+    pub name: String,
+    /// Byte offset from the slave's base address.
+    pub offset: u32,
+    pub bits: u8,
+    /// True if the host writes it (inputs + control), false if read-only
+    /// (outputs + status).
+    pub host_writable: bool,
+}
+
+/// Direction of an AXI-Stream port, from the core's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamDir {
+    /// Core consumes tokens (AXI-Stream slave).
+    In,
+    /// Core produces tokens (AXI-Stream master).
+    Out,
+}
+
+/// One AXI-Stream port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamPort {
+    pub name: String,
+    pub dir: StreamDir,
+    /// TDATA width in bits (byte multiple).
+    pub tdata_bits: u32,
+}
+
+/// The complete synthesized interface of a core.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreInterface {
+    /// Present when the core has any scalar argument or needs host
+    /// start/done control (always true for AXI-Lite-driven cores).
+    pub axilite_registers: Vec<AxiLiteRegister>,
+    pub stream_ports: Vec<StreamPort>,
+    /// Address-space span of the AXI-Lite slave in bytes (power of two).
+    pub axilite_span: u32,
+}
+
+/// Control register offsets (Vivado HLS convention).
+pub const CTRL_OFFSET: u32 = 0x00;
+pub const GIE_OFFSET: u32 = 0x04;
+pub const IER_OFFSET: u32 = 0x08;
+pub const ISR_OFFSET: u32 = 0x0C;
+/// First argument slot.
+pub const ARGS_BASE: u32 = 0x10;
+/// Stride between argument slots (data + valid/ctrl padding).
+pub const ARG_STRIDE: u32 = 0x08;
+
+impl CoreInterface {
+    /// Look up a register by parameter name.
+    pub fn register(&self, name: &str) -> Option<&AxiLiteRegister> {
+        self.axilite_registers.iter().find(|r| r.name == name)
+    }
+
+    pub fn stream(&self, name: &str) -> Option<&StreamPort> {
+        self.stream_ports.iter().find(|p| p.name == name)
+    }
+
+    /// Fabric cost of the interface adapters themselves.
+    pub fn adapter_cost(&self) -> ResourceEstimate {
+        // AXI-Lite slave: address decode + response channel (~150 LUT,
+        // ~180 FF) plus ~12 LUT + width FF per register.
+        let mut est = ResourceEstimate::ZERO;
+        if !self.axilite_registers.is_empty() {
+            est += ResourceEstimate::new(150, 180, 0, 0);
+            for r in &self.axilite_registers {
+                est += ResourceEstimate::new(12, r.bits as u32, 0, 0);
+            }
+        }
+        // AXI-Stream skid buffer per port: 2-deep, width-proportional.
+        for p in &self.stream_ports {
+            est += ResourceEstimate::new(30 + p.tdata_bits / 4, 2 * p.tdata_bits + 8, 0, 0);
+        }
+        est
+    }
+}
+
+/// Synthesize the interface for a kernel.
+pub fn synthesize(kernel: &Kernel) -> CoreInterface {
+    let mut regs = vec![
+        AxiLiteRegister { name: "CTRL".into(), offset: CTRL_OFFSET, bits: 32, host_writable: true },
+        AxiLiteRegister { name: "GIE".into(), offset: GIE_OFFSET, bits: 32, host_writable: true },
+        AxiLiteRegister { name: "IER".into(), offset: IER_OFFSET, bits: 32, host_writable: true },
+        AxiLiteRegister { name: "ISR".into(), offset: ISR_OFFSET, bits: 32, host_writable: true },
+    ];
+    let mut offset = ARGS_BASE;
+    let mut streams = Vec::new();
+    for p in &kernel.params {
+        match p.kind {
+            ParamKind::ScalarIn | ParamKind::ScalarOut => {
+                regs.push(AxiLiteRegister {
+                    name: p.name.clone(),
+                    offset,
+                    bits: p.ty.bits,
+                    host_writable: p.kind == ParamKind::ScalarIn,
+                });
+                offset += ARG_STRIDE;
+            }
+            ParamKind::StreamIn | ParamKind::StreamOut => {
+                streams.push(StreamPort {
+                    name: p.name.clone(),
+                    dir: if p.kind == ParamKind::StreamIn {
+                        StreamDir::In
+                    } else {
+                        StreamDir::Out
+                    },
+                    tdata_bits: p.ty.byte_size() * 8,
+                });
+            }
+        }
+    }
+    CoreInterface {
+        axilite_registers: regs,
+        stream_ports: streams,
+        axilite_span: offset.next_power_of_two().max(0x40),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::types::Ty;
+
+    fn adder() -> Kernel {
+        KernelBuilder::new("add")
+            .scalar_in("a", Ty::U32)
+            .scalar_in("b", Ty::U32)
+            .scalar_out("ret", Ty::U32)
+            .push(assign("ret", add(var("a"), var("b"))))
+            .build()
+    }
+
+    #[test]
+    fn scalar_args_become_axilite_registers() {
+        let iface = synthesize(&adder());
+        assert_eq!(iface.register("a").unwrap().offset, 0x10);
+        assert_eq!(iface.register("b").unwrap().offset, 0x18);
+        assert_eq!(iface.register("ret").unwrap().offset, 0x20);
+        assert!(iface.register("a").unwrap().host_writable);
+        assert!(!iface.register("ret").unwrap().host_writable);
+        assert!(iface.stream_ports.is_empty());
+    }
+
+    #[test]
+    fn control_registers_present_at_standard_offsets() {
+        let iface = synthesize(&adder());
+        assert_eq!(iface.register("CTRL").unwrap().offset, 0x00);
+        assert_eq!(iface.register("ISR").unwrap().offset, 0x0C);
+    }
+
+    #[test]
+    fn stream_params_become_stream_ports() {
+        let k = KernelBuilder::new("f")
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::unsigned(24))
+            .push(write("out", read("in")))
+            .build();
+        let iface = synthesize(&k);
+        let pin = iface.stream("in").unwrap();
+        assert_eq!(pin.dir, StreamDir::In);
+        assert_eq!(pin.tdata_bits, 8);
+        let pout = iface.stream("out").unwrap();
+        assert_eq!(pout.dir, StreamDir::Out);
+        assert_eq!(pout.tdata_bits, 24); // 3 bytes
+    }
+
+    #[test]
+    fn span_is_power_of_two_and_covers_args() {
+        let iface = synthesize(&adder());
+        assert!(iface.axilite_span.is_power_of_two());
+        assert!(iface.axilite_span >= 0x20 + 8);
+        assert!(iface.axilite_span >= 0x40);
+    }
+
+    #[test]
+    fn adapter_cost_scales_with_ports() {
+        let small = synthesize(&adder());
+        let k = KernelBuilder::new("wide")
+            .stream_in("a", Ty::U32)
+            .stream_in("b", Ty::U32)
+            .stream_out("out", Ty::U32)
+            .push(write("out", add(read("a"), read("b"))))
+            .build();
+        let streams = synthesize(&k);
+        assert!(streams.adapter_cost().ff > 0);
+        assert!(small.adapter_cost().lut > 0);
+        // Three 32-bit stream buffers cost more FFs than a couple of
+        // scalar registers? Not necessarily; just check both nonzero and
+        // stream FF grows with width.
+        let one = StreamPort { name: "x".into(), dir: StreamDir::In, tdata_bits: 8 };
+        let mut i1 = CoreInterface::default();
+        i1.stream_ports.push(one);
+        let mut i2 = CoreInterface::default();
+        i2.stream_ports.push(StreamPort { name: "x".into(), dir: StreamDir::In, tdata_bits: 64 });
+        assert!(i2.adapter_cost().ff > i1.adapter_cost().ff);
+    }
+}

@@ -1,0 +1,189 @@
+//! Initiation-interval analysis for pipelined loops.
+//!
+//! `II = max(ResMII, RecMII)`:
+//!
+//! * **ResMII** — resource-constrained minimum II: with `u` available units
+//!   of a class and `n` uses per iteration each occupying a unit for `l`
+//!   cycles, a new iteration can start at best every `ceil(n*l/u)` cycles.
+//! * **RecMII** — recurrence-constrained minimum II: a loop-carried
+//!   dependence through a memory (read-modify-write of the same array,
+//!   e.g. the histogram update) forces the next iteration to wait for the
+//!   full read→compute→write chain.
+
+use crate::dfg::{OpClass, Region, RegionDfg};
+use crate::schedule::ResourceConstraints;
+use crate::techlib::TechLib;
+
+/// Resource-constrained minimum initiation interval of one straight-line
+/// segment.
+pub fn res_mii(dfg: &RegionDfg, lib: &TechLib, rc: &ResourceConstraints) -> u32 {
+    use std::collections::HashMap;
+    let mut demand: HashMap<crate::techlib::FuClass, u64> = HashMap::new();
+    for op in &dfg.ops {
+        if let Some(class) = lib.fu_class(op.class) {
+            let lat = lib.op_cost(op.class, op.bits).latency.max(1) as u64;
+            *demand.entry(class).or_insert(0) += lat;
+        }
+    }
+    demand
+        .into_iter()
+        .map(|(class, cycles)| {
+            let units = rc.limit(class).unwrap_or(u32::MAX) as u64;
+            cycles.div_ceil(units.max(1)) as u32
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Recurrence-constrained minimum II over all loop-carried memory
+/// dependences in the loop body. For every array that is both read and
+/// written in the body, the recurrence length is the longest
+/// read → (ops) → write dependence chain, measured in cycles.
+pub fn rec_mii(body: &Region, lib: &TechLib) -> u32 {
+    let arrays = body.read_write_arrays();
+    if arrays.is_empty() {
+        return 1;
+    }
+    let mut worst = 1u32;
+    for seg in body.segments() {
+        for array in &arrays {
+            if let Some(chain) = longest_read_to_write_chain(seg, array, lib) {
+                worst = worst.max(chain);
+            }
+        }
+    }
+    worst
+}
+
+/// Longest latency path in `seg` from a `MemRead` of `array` to a
+/// `MemWrite` of `array`, inclusive of both endpoint latencies.
+fn longest_read_to_write_chain(seg: &RegionDfg, array: &str, lib: &TechLib) -> Option<u32> {
+    let n = seg.ops.len();
+    // dist[i] = longest path (in cycles) from any qualifying read to the
+    // *end* of op i; None if unreachable from a read.
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut best = None;
+    for i in 0..n {
+        let op = &seg.ops[i];
+        let lat = lib.op_cost(op.class, op.bits).latency;
+        let is_source =
+            op.class == OpClass::MemRead && op.target.as_deref() == Some(array);
+        let mut d = if is_source { Some(lat) } else { None };
+        for &p in &op.deps {
+            if let Some(pd) = dist[p] {
+                let cand = pd + lat;
+                d = Some(d.map_or(cand, |x: u32| x.max(cand)));
+            }
+        }
+        dist[i] = d;
+        if op.class == OpClass::MemWrite && op.target.as_deref() == Some(array) {
+            if let Some(d) = d {
+                best = Some(best.map_or(d, |b: u32| b.max(d)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::{lower, RegionItem};
+    use crate::techlib::FuClass;
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::types::Ty;
+
+    fn body_of(k: &accelsoc_kernel::ir::Kernel) -> Region {
+        let region = lower(k).unwrap();
+        for item in region.items {
+            if let RegionItem::Loop { body, .. } = item {
+                return *body;
+            }
+        }
+        panic!("no loop in kernel");
+    }
+
+    #[test]
+    fn pure_streaming_loop_has_ii_one() {
+        let k = KernelBuilder::new("copy")
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(for_pipelined("i", c(0), c(10), vec![write("out", read("in"))]))
+            .build();
+        let body = body_of(&k);
+        let lib = TechLib::default();
+        assert_eq!(rec_mii(&body, &lib), 1);
+        let seg = body.segments()[0];
+        assert_eq!(res_mii(seg, &lib, &ResourceConstraints::new()), 1);
+    }
+
+    #[test]
+    fn histogram_update_forces_rec_mii() {
+        // bins[v] = bins[v] + 1 — classic read-modify-write recurrence:
+        // read(1) + add(1) + write(1) = II >= 3.
+        let k = KernelBuilder::new("hist")
+            .stream_in("px", Ty::U8)
+            .stream_out("dummy", Ty::U8)
+            .array("bins", Ty::U32, 16)
+            .local("v", Ty::U8)
+            .push(for_pipelined("i", c(0), c(10), vec![
+                assign("v", read("px")),
+                store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                write("dummy", var("v")),
+            ]))
+            .build();
+        let body = body_of(&k);
+        let lib = TechLib::default();
+        assert_eq!(rec_mii(&body, &lib), 3);
+    }
+
+    #[test]
+    fn res_mii_reflects_unit_pressure() {
+        // Two multiplies per iteration, one multiplier, 3-cycle latency:
+        // ResMII = ceil(2*3/1) = 6.
+        let k = KernelBuilder::new("m")
+            .scalar_in("k", Ty::U16)
+            .stream_in("in", Ty::U16)
+            .stream_out("out", Ty::U16)
+            .local("a", Ty::U32)
+            .local("b", Ty::U32)
+            .push(for_pipelined("i", c(0), c(10), vec![
+                assign("a", mul(read("in"), var("k"))),
+                assign("b", mul(var("a"), var("k"))),
+                write("out", var("b")),
+            ]))
+            .build();
+        let body = body_of(&k);
+        let lib = TechLib::default();
+        let mut rc = ResourceConstraints::new();
+        rc.set(FuClass::Mul, 1);
+        let seg = body.segments()[0];
+        assert_eq!(res_mii(seg, &lib, &rc), 6);
+        // With two units it halves.
+        rc.set(FuClass::Mul, 2);
+        assert_eq!(res_mii(seg, &lib, &rc), 3);
+    }
+
+    #[test]
+    fn no_recurrence_without_read_write_array() {
+        let k = KernelBuilder::new("w")
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .array("lut", Ty::U8, 16)
+            .local("v", Ty::U8)
+            .push(for_pipelined("i", c(0), c(10), vec![
+                assign("v", read("in")),
+                write("out", idx("lut", var("v"))),
+            ]))
+            .build();
+        let body = body_of(&k);
+        assert_eq!(rec_mii(&body, &TechLib::default()), 1);
+    }
+
+    #[test]
+    fn empty_segment_res_mii_is_one() {
+        let lib = TechLib::default();
+        assert_eq!(res_mii(&RegionDfg::default(), &lib, &ResourceConstraints::new()), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! HLS synthesis reports (the analogue of Vivado HLS `csynth.rpt`).
+
+use crate::interface::CoreInterface;
+use crate::resource::ResourceEstimate;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+
+/// Synthesis report for one core. The platform simulator times
+/// accelerators using `latency`/`loop_iis`; the integration flow sums
+/// `resources` into the system totals (Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HlsReport {
+    pub kernel: String,
+    /// Estimated cycles for one invocation (default trip counts for
+    /// runtime-bounded loops).
+    pub latency: u64,
+    /// (loop label, II) for every pipelined loop.
+    pub loop_iis: Vec<(String, u32)>,
+    pub resources: ResourceEstimate,
+    pub interface: CoreInterface,
+    /// Achieved clock estimate in ns (<= target if timing met).
+    pub clock_estimate_ns: f64,
+    /// Modeled Vivado-HLS wall time for this synthesis, in seconds (used
+    /// by the Fig. 9 reproduction).
+    pub modeled_tool_seconds: f64,
+}
+
+impl HlsReport {
+    /// Render a human-readable report, in the spirit of `csynth.rpt`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== Synthesis Report for '{}' ==", self.kernel);
+        let _ = writeln!(s, "* Timing: target 10.00 ns, estimated {:.2} ns", self.clock_estimate_ns);
+        let _ = writeln!(s, "* Latency: {} cycles", self.latency);
+        if !self.loop_iis.is_empty() {
+            let _ = writeln!(s, "* Pipelined loops:");
+            for (label, ii) in &self.loop_iis {
+                let _ = writeln!(s, "    - {label}: II = {ii}");
+            }
+        }
+        let _ = writeln!(s, "* Utilization:");
+        let _ = writeln!(s, "    LUT:    {:>8}", self.resources.lut);
+        let _ = writeln!(s, "    FF:     {:>8}", self.resources.ff);
+        let _ = writeln!(s, "    RAMB18: {:>8}", self.resources.bram18);
+        let _ = writeln!(s, "    DSP:    {:>8}", self.resources.dsp);
+        let _ = writeln!(s, "* Interfaces:");
+        if !self.interface.axilite_registers.is_empty() {
+            let _ = writeln!(
+                s,
+                "    s_axi_ctrl (AXI-Lite, {} registers, span 0x{:x})",
+                self.interface.axilite_registers.len(),
+                self.interface.axilite_span
+            );
+        }
+        for p in &self.interface.stream_ports {
+            let _ = writeln!(
+                s,
+                "    {} (AXI-Stream {:?}, {} bits)",
+                p.name, p.dir, p.tdata_bits
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::{AxiLiteRegister, StreamDir, StreamPort};
+
+    #[test]
+    fn render_contains_key_fields() {
+        let rpt = HlsReport {
+            kernel: "hist".into(),
+            latency: 1234,
+            loop_iis: vec![("hist_i".into(), 3)],
+            resources: ResourceEstimate::new(1000, 2000, 1, 0),
+            interface: CoreInterface {
+                axilite_registers: vec![AxiLiteRegister {
+                    name: "CTRL".into(),
+                    offset: 0,
+                    bits: 32,
+                    host_writable: true,
+                }],
+                stream_ports: vec![StreamPort {
+                    name: "px".into(),
+                    dir: StreamDir::In,
+                    tdata_bits: 8,
+                }],
+                axilite_span: 0x40,
+            },
+            clock_estimate_ns: 8.5,
+            modeled_tool_seconds: 90.0,
+        };
+        let text = rpt.render();
+        assert!(text.contains("'hist'"));
+        assert!(text.contains("1234 cycles"));
+        assert!(text.contains("II = 3"));
+        assert!(text.contains("LUT:        1000"));
+        assert!(text.contains("AXI-Stream In, 8 bits"));
+    }
+}

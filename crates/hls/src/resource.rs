@@ -1,0 +1,139 @@
+//! FPGA resource vectors (the four columns of the paper's Table II).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// LUT / FF / RAMB18 / DSP usage — the unit of accounting throughout the
+/// flow, matching the columns reported in Table II of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    pub lut: u32,
+    pub ff: u32,
+    pub bram18: u32,
+    pub dsp: u32,
+}
+
+impl ResourceEstimate {
+    pub const ZERO: ResourceEstimate = ResourceEstimate { lut: 0, ff: 0, bram18: 0, dsp: 0 };
+
+    pub fn new(lut: u32, ff: u32, bram18: u32, dsp: u32) -> Self {
+        ResourceEstimate { lut, ff, bram18, dsp }
+    }
+
+    /// Elementwise max — used when two schedule regions share functional
+    /// units (only the peak concurrent requirement is instantiated).
+    pub fn max(self, other: Self) -> Self {
+        ResourceEstimate {
+            lut: self.lut.max(other.lut),
+            ff: self.ff.max(other.ff),
+            bram18: self.bram18.max(other.bram18),
+            dsp: self.dsp.max(other.dsp),
+        }
+    }
+
+    /// True if `self` fits within `capacity` in every dimension.
+    pub fn fits_in(&self, capacity: &ResourceEstimate) -> bool {
+        self.lut <= capacity.lut
+            && self.ff <= capacity.ff
+            && self.bram18 <= capacity.bram18
+            && self.dsp <= capacity.dsp
+    }
+
+    /// Scale by an integer factor (e.g. N identical DMA engines).
+    pub fn scaled(self, n: u32) -> Self {
+        ResourceEstimate {
+            lut: self.lut * n,
+            ff: self.ff * n,
+            bram18: self.bram18 * n,
+            dsp: self.dsp * n,
+        }
+    }
+
+    /// Largest utilisation fraction across the four dimensions, against a
+    /// device capacity.
+    pub fn utilization(&self, capacity: &ResourceEstimate) -> f64 {
+        let frac = |a: u32, b: u32| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+        frac(self.lut, capacity.lut)
+            .max(frac(self.ff, capacity.ff))
+            .max(frac(self.bram18, capacity.bram18))
+            .max(frac(self.dsp, capacity.dsp))
+    }
+}
+
+impl Add for ResourceEstimate {
+    type Output = Self;
+    fn add(self, o: Self) -> Self {
+        ResourceEstimate {
+            lut: self.lut + o.lut,
+            ff: self.ff + o.ff,
+            bram18: self.bram18 + o.bram18,
+            dsp: self.dsp + o.dsp,
+        }
+    }
+}
+
+impl AddAssign for ResourceEstimate {
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl Sum for ResourceEstimate {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ResourceEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT={} FF={} RAMB18={} DSP={}",
+            self.lut, self.ff, self.bram18, self.dsp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let a = ResourceEstimate::new(10, 20, 1, 2);
+        let b = ResourceEstimate::new(5, 5, 0, 1);
+        assert_eq!(a + b, ResourceEstimate::new(15, 25, 1, 3));
+        let total: ResourceEstimate = [a, b, b].into_iter().sum();
+        assert_eq!(total, ResourceEstimate::new(20, 30, 1, 4));
+    }
+
+    #[test]
+    fn max_is_elementwise() {
+        let a = ResourceEstimate::new(10, 1, 5, 0);
+        let b = ResourceEstimate::new(2, 8, 1, 3);
+        assert_eq!(a.max(b), ResourceEstimate::new(10, 8, 5, 3));
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let cap = ResourceEstimate::new(100, 200, 10, 20);
+        let use_ = ResourceEstimate::new(50, 100, 10, 1);
+        assert!(use_.fits_in(&cap));
+        assert!(!ResourceEstimate::new(101, 0, 0, 0).fits_in(&cap));
+        assert!((use_.utilization(&cap) - 1.0).abs() < 1e-9); // bram 10/10
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let a = ResourceEstimate::new(3, 4, 1, 2);
+        assert_eq!(a.scaled(3), ResourceEstimate::new(9, 12, 3, 6));
+    }
+
+    #[test]
+    fn display_format() {
+        let a = ResourceEstimate::new(1, 2, 3, 4);
+        assert_eq!(a.to_string(), "LUT=1 FF=2 RAMB18=3 DSP=4");
+    }
+}

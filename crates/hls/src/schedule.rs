@@ -1,0 +1,494 @@
+//! Operation scheduling: ASAP, ALAP, and resource-constrained list
+//! scheduling, plus hierarchical (region-level) schedule composition.
+
+use crate::dfg::{Region, RegionDfg, RegionItem};
+use crate::pipeline::{rec_mii, res_mii};
+use crate::techlib::{FuClass, TechLib};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-class functional-unit limits for list scheduling. Classes not
+/// present are unconstrained.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceConstraints {
+    limits: HashMap<FuClass, u32>,
+}
+
+impl ResourceConstraints {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Vivado-HLS-like defaults: memories are dual-ported, streams are
+    /// single read/write per cycle per port, one divider (they are huge),
+    /// and a modest multiplier pool.
+    pub fn vivado_like() -> Self {
+        let mut c = Self::new();
+        c.set(FuClass::MemPort, 2);
+        c.set(FuClass::Div, 1);
+        // Vivado HLS shares multipliers aggressively under the default
+        // allocation directives; one true (variable×variable) multiplier
+        // matches the DSP counts of the paper's cores.
+        c.set(FuClass::Mul, 1);
+        c
+    }
+
+    pub fn set(&mut self, class: FuClass, max_units: u32) {
+        self.limits.insert(class, max_units.max(1));
+    }
+
+    pub fn limit(&self, class: FuClass) -> Option<u32> {
+        self.limits.get(&class).copied()
+    }
+}
+
+/// A schedule for one straight-line DFG: start cycle per op and the total
+/// latency (cycles until the last op completes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    pub start: Vec<u32>,
+    pub latency: u32,
+}
+
+impl Schedule {
+    /// Verify all dependence constraints hold under the tech library.
+    pub fn respects_deps(&self, dfg: &RegionDfg, lib: &TechLib) -> bool {
+        dfg.ops.iter().enumerate().all(|(i, op)| {
+            op.deps.iter().all(|&d| {
+                let dep_end = self.start[d] + lib.op_cost(dfg.ops[d].class, dfg.ops[d].bits).latency;
+                self.start[i] >= dep_end
+            })
+        })
+    }
+}
+
+/// As-soon-as-possible schedule (unconstrained resources).
+pub fn asap(dfg: &RegionDfg, lib: &TechLib) -> Schedule {
+    let mut start = vec![0u32; dfg.ops.len()];
+    let mut latency = 0;
+    for (i, op) in dfg.ops.iter().enumerate() {
+        let s = op
+            .deps
+            .iter()
+            .map(|&d| start[d] + lib.op_cost(dfg.ops[d].class, dfg.ops[d].bits).latency)
+            .max()
+            .unwrap_or(0);
+        start[i] = s;
+        latency = latency.max(s + lib.op_cost(op.class, op.bits).latency);
+    }
+    Schedule { start, latency }
+}
+
+/// As-late-as-possible schedule against `deadline` (must be >= ASAP
+/// latency; pass the ASAP latency for a slack-free ALAP).
+pub fn alap(dfg: &RegionDfg, lib: &TechLib, deadline: u32) -> Schedule {
+    let n = dfg.ops.len();
+    let mut finish = vec![deadline; n];
+    // Iterate in reverse topological order (indices are topological).
+    for i in (0..n).rev() {
+        let lat = lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency;
+        // Consumers constrain our finish time.
+        for (j, op) in dfg.ops.iter().enumerate().skip(i + 1) {
+            if op.deps.contains(&i) {
+                let consumer_start = finish[j] - lib.op_cost(op.class, op.bits).latency;
+                finish[i] = finish[i].min(consumer_start);
+            }
+        }
+        // Convert to start below; keep finish >= lat.
+        finish[i] = finish[i].max(lat);
+    }
+    let start: Vec<u32> = (0..n)
+        .map(|i| finish[i] - lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency)
+        .collect();
+    Schedule { start, latency: deadline }
+}
+
+/// Resource-constrained list scheduling. Priority = ALAP slack (critical
+/// ops first). Iterative units (latency > 1) occupy their unit for their
+/// full latency.
+pub fn list_schedule(dfg: &RegionDfg, lib: &TechLib, rc: &ResourceConstraints) -> Schedule {
+    let n = dfg.ops.len();
+    if n == 0 {
+        return Schedule { start: vec![], latency: 0 };
+    }
+    let asap_sched = asap(dfg, lib);
+    let alap_sched = alap(dfg, lib, asap_sched.latency);
+    let mut start = vec![u32::MAX; n];
+    let mut done = vec![false; n];
+    let mut remaining = n;
+    // busy[class] = list of (start, end) occupancy intervals per unit slot.
+    let mut busy: HashMap<FuClass, Vec<Vec<(u32, u32)>>> = HashMap::new();
+    let mut cycle = 0u32;
+    // Safety bound: no schedule should exceed this.
+    let max_cycles = asap_sched.latency.max(1) * (n as u32 + 2) + 1024;
+
+    while remaining > 0 && cycle < max_cycles {
+        // Fixpoint within the cycle so chains of zero-latency ops (consts,
+        // phis) and their consumers can all issue in the same cstep.
+        loop {
+            let scheduled_before = remaining;
+            schedule_ready_at(dfg, lib, rc, cycle, &alap_sched, &mut start, &mut done, &mut remaining, &mut busy);
+            if remaining == scheduled_before {
+                break;
+            }
+        }
+        cycle += 1;
+    }
+    assert_eq!(remaining, 0, "list scheduler failed to converge");
+    let latency = (0..n)
+        .map(|i| start[i] + lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency)
+        .max()
+        .unwrap_or(0);
+    Schedule { start, latency }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_ready_at(
+    dfg: &RegionDfg,
+    lib: &TechLib,
+    rc: &ResourceConstraints,
+    cycle: u32,
+    alap_sched: &Schedule,
+    start: &mut [u32],
+    done: &mut [bool],
+    remaining: &mut usize,
+    busy: &mut HashMap<FuClass, Vec<Vec<(u32, u32)>>>,
+) {
+    let n = dfg.ops.len();
+    {
+        // Ready ops whose deps completed by `cycle`, by ascending ALAP
+        // (least slack first).
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !done[i]
+                    && start[i] == u32::MAX
+                    && dfg.ops[i].deps.iter().all(|&d| {
+                        start[d] != u32::MAX
+                            && start[d]
+                                + lib.op_cost(dfg.ops[d].class, dfg.ops[d].bits).latency
+                                <= cycle
+                    })
+            })
+            .collect();
+        ready.sort_by_key(|&i| alap_sched.start[i]);
+
+        for i in ready {
+            let op = &dfg.ops[i];
+            let lat = lib.op_cost(op.class, op.bits).latency;
+            let end = cycle + lat.max(1); // zero-latency ops still "issue"
+            match lib.fu_class(op.class) {
+                None => {
+                    start[i] = cycle;
+                }
+                Some(class) => {
+                    let cap = rc.limit(class);
+                    let units = busy.entry(class).or_default();
+                    // Find a free unit (no overlap with [cycle, end)).
+                    let slot = units.iter_mut().position(|u| {
+                        u.iter().all(|&(s, e)| end <= s || cycle >= e)
+                    });
+                    match slot {
+                        Some(s) => {
+                            units[s].push((cycle, end));
+                            start[i] = cycle;
+                        }
+                        None => {
+                            if cap.is_none() || (units.len() as u32) < cap.unwrap() {
+                                units.push(vec![(cycle, end)]);
+                                start[i] = cycle;
+                            }
+                            // else: resource-blocked, retry next cycle.
+                        }
+                    }
+                }
+            }
+            if start[i] != u32::MAX {
+                done[i] = true;
+                *remaining -= 1;
+            }
+        }
+    }
+}
+
+/// Composite schedule information for a hierarchical region.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegionSchedule {
+    /// Estimated total latency in cycles for one kernel invocation
+    /// (unknown trip counts use [`DEFAULT_TRIP`]).
+    pub latency: u64,
+    /// Initiation intervals of pipelined loops (loop label, II).
+    pub loop_iis: Vec<(String, u32)>,
+    /// Total FSM states (control-step count) across all segments.
+    pub fsm_states: u64,
+    /// Peak concurrent functional-unit requirement per class, and the
+    /// widest operand width seen for the class.
+    pub fu_peak: Vec<(FuClass, u32, u8)>,
+    /// Number of produced values needing registers (see `bind`).
+    pub register_bits: u64,
+}
+
+/// Trip count assumed for loops with runtime bounds.
+pub const DEFAULT_TRIP: u64 = 64;
+
+/// Hierarchically schedule a region: list-schedule every straight-line
+/// segment, compute II for pipelined loops, and compose latencies.
+pub fn schedule_region(region: &Region, lib: &TechLib, rc: &ResourceConstraints) -> RegionSchedule {
+    let mut out = RegionSchedule::default();
+    let mut fu_peak: HashMap<FuClass, (u32, u8)> = HashMap::new();
+    out.latency = schedule_rec(region, lib, rc, &mut out, &mut fu_peak);
+    let mut peaks: Vec<(FuClass, u32, u8)> =
+        fu_peak.into_iter().map(|(c, (n, b))| (c, n, b)).collect();
+    peaks.sort_by_key(|(c, _, _)| format!("{c:?}"));
+    out.fu_peak = peaks;
+    out
+}
+
+fn schedule_rec(
+    region: &Region,
+    lib: &TechLib,
+    rc: &ResourceConstraints,
+    out: &mut RegionSchedule,
+    fu_peak: &mut HashMap<FuClass, (u32, u8)>,
+) -> u64 {
+    let mut total = 0u64;
+    for item in &region.items {
+        match item {
+            RegionItem::Straight(dfg) => {
+                let sched = list_schedule(dfg, lib, rc);
+                total += sched.latency as u64;
+                out.fsm_states += sched.latency as u64;
+                merge_fu_peak(dfg, &sched, lib, fu_peak);
+                out.register_bits += crate::bind::register_bits(dfg, &sched, lib);
+            }
+            RegionItem::Loop { attrs, body } => {
+                let body_latency = schedule_rec(body, lib, rc, out, fu_peak);
+                let trip = attrs.trip.unwrap_or(DEFAULT_TRIP);
+                let lat = if attrs.pipelined {
+                    let ii = loop_ii(body, lib, rc);
+                    out.loop_iis.push((body.label.clone(), ii));
+                    if trip == 0 {
+                        1
+                    } else {
+                        body_latency + (trip - 1) * ii as u64
+                    }
+                } else {
+                    // One cycle of loop-control overhead per iteration.
+                    trip * (body_latency + 1)
+                };
+                total += lat;
+            }
+        }
+    }
+    total
+}
+
+/// II of a pipelined loop = max(ResMII, RecMII).
+pub fn loop_ii(body: &Region, lib: &TechLib, rc: &ResourceConstraints) -> u32 {
+    let res = body
+        .segments()
+        .iter()
+        .map(|seg| res_mii(seg, lib, rc))
+        .max()
+        .unwrap_or(1);
+    res.max(rec_mii(body, lib)).max(1)
+}
+
+fn merge_fu_peak(
+    dfg: &RegionDfg,
+    sched: &Schedule,
+    lib: &TechLib,
+    fu_peak: &mut HashMap<FuClass, (u32, u8)>,
+) {
+    // Concurrency per class: sweep cycles, count overlapping executions.
+    let mut events: HashMap<FuClass, Vec<(u32, i32)>> = HashMap::new();
+    for (i, op) in dfg.ops.iter().enumerate() {
+        if let Some(class) = lib.fu_class(op.class) {
+            let lat = lib.op_cost(op.class, op.bits).latency.max(1);
+            let e = events.entry(class).or_default();
+            e.push((sched.start[i], 1));
+            e.push((sched.start[i] + lat, -1));
+            let entry = fu_peak.entry(class).or_insert((0, 0));
+            entry.1 = entry.1.max(op.bits);
+        }
+    }
+    for (class, mut ev) in events {
+        ev.sort();
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, d) in ev {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        let entry = fu_peak.entry(class).or_insert((0, 0));
+        entry.0 = entry.0.max(peak as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::lower;
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::types::Ty;
+
+    fn lib() -> TechLib {
+        TechLib::default()
+    }
+
+    fn simple_dfg() -> RegionDfg {
+        // (a + b) * (a - b) on u32.
+        let k = KernelBuilder::new("k")
+            .scalar_in("a", Ty::U32)
+            .scalar_in("b", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", mul(add(var("a"), var("b")), sub(var("a"), var("b")))))
+            .build();
+        let region = lower(&k).unwrap();
+        region.segments()[0].clone()
+    }
+
+    #[test]
+    fn asap_respects_dependences() {
+        let dfg = simple_dfg();
+        let s = asap(&dfg, &lib());
+        assert!(s.respects_deps(&dfg, &lib()));
+        // Two adds at cycle 0, mul after them: latency = 1 + 3 = 4.
+        assert_eq!(s.latency, 4);
+    }
+
+    #[test]
+    fn alap_pushes_ops_late_but_respects_deps() {
+        let dfg = simple_dfg();
+        let l = lib();
+        let a = asap(&dfg, &l);
+        let z = alap(&dfg, &l, a.latency);
+        assert!(z.respects_deps(&dfg, &l), "ALAP must stay feasible");
+        // ALAP never schedules earlier than ASAP.
+        for i in 0..dfg.ops.len() {
+            assert!(z.start[i] >= a.start[i], "op {i}");
+        }
+    }
+
+    #[test]
+    fn list_schedule_equals_asap_when_unconstrained() {
+        let dfg = simple_dfg();
+        let l = lib();
+        let a = asap(&dfg, &l);
+        let s = list_schedule(&dfg, &l, &ResourceConstraints::new());
+        assert!(s.respects_deps(&dfg, &l));
+        assert_eq!(s.latency, a.latency);
+    }
+
+    #[test]
+    fn constrained_multiplier_serialises() {
+        // Four independent variable multiplies with 1 multiplier: latency
+        // grows (constant multiplies would be strength-reduced away).
+        let k = KernelBuilder::new("k")
+            .scalar_in("a", Ty::U16)
+            .scalar_in("b", Ty::U16)
+            .scalar_in("x", Ty::U16)
+            .scalar_in("y", Ty::U16)
+            .scalar_out("r", Ty::U32)
+            .local("t1", Ty::U32)
+            .local("t2", Ty::U32)
+            .local("t3", Ty::U32)
+            .body(vec![
+                assign("t1", mul(var("a"), var("b"))),
+                assign("t2", mul(var("x"), var("y"))),
+                assign("t3", mul(var("a"), var("y"))),
+                assign("r", mul(var("b"), var("x"))),
+            ])
+            .build();
+        let region = lower(&k).unwrap();
+        let dfg = region.segments()[0].clone();
+        let l = lib();
+        let unconstrained = list_schedule(&dfg, &l, &ResourceConstraints::new());
+        let mut rc = ResourceConstraints::new();
+        rc.set(FuClass::Mul, 1);
+        let constrained = list_schedule(&dfg, &l, &rc);
+        assert!(constrained.respects_deps(&dfg, &l));
+        assert!(
+            constrained.latency > unconstrained.latency,
+            "serialised: {} vs {}",
+            constrained.latency,
+            unconstrained.latency
+        );
+        // 4 muls of latency 3 on one unit: at least 12 cycles.
+        assert!(constrained.latency >= 12);
+    }
+
+    #[test]
+    fn region_schedule_pipelined_vs_sequential() {
+        let make = |pipelined: bool| {
+            let body = vec![write("out", add(read("in"), c(1)))];
+            let lp = if pipelined {
+                for_pipelined("i", c(0), c(100), body)
+            } else {
+                for_("i", c(0), c(100), body)
+            };
+            let k = KernelBuilder::new("k")
+                .stream_in("in", Ty::U8)
+                .stream_out("out", Ty::U8)
+                .push(lp)
+                .build();
+            let region = lower(&k).unwrap();
+            schedule_region(&region, &lib(), &ResourceConstraints::vivado_like())
+        };
+        let seq = make(false);
+        let pip = make(true);
+        assert!(
+            pip.latency < seq.latency / 2,
+            "pipelining should help: {} vs {}",
+            pip.latency,
+            seq.latency
+        );
+        assert_eq!(pip.loop_iis.len(), 1);
+        assert!(pip.loop_iis[0].1 >= 1);
+    }
+
+    #[test]
+    fn fu_peak_counts_parallel_adders() {
+        let k = KernelBuilder::new("k")
+            .scalar_in("a", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .local("t1", Ty::U32)
+            .local("t2", Ty::U32)
+            .body(vec![
+                assign("t1", add(var("a"), c(1))),
+                assign("t2", add(var("a"), c(2))),
+                assign("r", add(var("t1"), var("t2"))),
+            ])
+            .build();
+        let region = lower(&k).unwrap();
+        let rs = schedule_region(&region, &lib(), &ResourceConstraints::new());
+        let adders = rs
+            .fu_peak
+            .iter()
+            .find(|(c, _, _)| *c == FuClass::AddSub)
+            .map(|(_, n, _)| *n)
+            .unwrap();
+        assert_eq!(adders, 2, "two adds run in parallel, third depends on both");
+    }
+
+    #[test]
+    fn zero_trip_loop_costs_nothing_much() {
+        let k = KernelBuilder::new("k")
+            .scalar_out("r", Ty::U32)
+            .local("acc", Ty::U32)
+            .body(vec![
+                for_("i", c(5), c(5), vec![assign("acc", add(var("acc"), c(1)))]),
+                assign("r", var("acc")),
+            ])
+            .build();
+        let region = lower(&k).unwrap();
+        let rs = schedule_region(&region, &lib(), &ResourceConstraints::new());
+        // Only the trailing assign contributes meaningful latency.
+        assert!(rs.latency <= 2, "latency = {}", rs.latency);
+    }
+
+    #[test]
+    fn empty_dfg_schedules_to_zero() {
+        let s = list_schedule(&RegionDfg::default(), &lib(), &ResourceConstraints::new());
+        assert_eq!(s.latency, 0);
+    }
+}

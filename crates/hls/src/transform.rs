@@ -1,0 +1,469 @@
+//! Kernel transformations applied before scheduling — the analogue of
+//! Vivado HLS's `unroll` and `array_partition` directives.
+//!
+//! * [`unroll_loop`] — replicate a loop body `factor` times, substituting
+//!   the induction variable (`i → base + k`); a remainder loop covers
+//!   trips not divisible by the factor. Exposes operator-level
+//!   parallelism to the scheduler at the cost of area.
+//! * [`partition_array`] — split a local array into `banks` cyclic banks
+//!   (`a[i] → a_k[i / banks]` with `k = i % banks`); for constant indices
+//!   this is resolved at transform time, giving the scheduler independent
+//!   memories (more ports, higher bandwidth).
+
+use accelsoc_kernel::ir::{Expr, Kernel, LValue, Local, Stmt};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    LoopNotFound(String),
+    BadFactor(u32),
+    ArrayNotFound(String),
+    /// Cyclic partitioning with a runtime index needs bank muxes we do
+    /// not synthesize; only statically resolvable accesses are supported.
+    NonConstantIndex { array: String },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::LoopNotFound(v) => write!(f, "no loop with induction var `{v}`"),
+            TransformError::BadFactor(x) => write!(f, "factor must be >= 2, got {x}"),
+            TransformError::ArrayNotFound(a) => write!(f, "no local array `{a}`"),
+            TransformError::NonConstantIndex { array } => {
+                write!(f, "array `{array}` has non-constant indices; cannot partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Unroll the loop with induction variable `var` by `factor`.
+/// Only loops with *constant* bounds are unrolled (matching HLS, which
+/// needs the trip count); others return `LoopNotFound`.
+pub fn unroll_loop(kernel: &Kernel, var: &str, factor: u32) -> Result<Kernel, TransformError> {
+    if factor < 2 {
+        return Err(TransformError::BadFactor(factor));
+    }
+    let mut k = kernel.clone();
+    let mut found = false;
+    k.body = unroll_block(&k.body, var, factor, &mut found);
+    if !found {
+        return Err(TransformError::LoopNotFound(var.to_string()));
+    }
+    accelsoc_kernel::verify::verify(&k).expect("unrolling preserves well-formedness");
+    Ok(k)
+}
+
+fn unroll_block(stmts: &[Stmt], var: &str, factor: u32, found: &mut bool) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .flat_map(|s| match s {
+            Stmt::For { var: v, start, end, body, pipeline } => {
+                if v == var {
+                    if let (Expr::Const(lo), Expr::Const(hi)) = (start, end) {
+                        *found = true;
+                        return unroll_one(v, *lo, *hi, body, factor, *pipeline);
+                    }
+                }
+                vec![Stmt::For {
+                    var: v.clone(),
+                    start: start.clone(),
+                    end: end.clone(),
+                    body: unroll_block(body, var, factor, found),
+                    pipeline: *pipeline,
+                }]
+            }
+            Stmt::If { cond, then_body, else_body } => vec![Stmt::If {
+                cond: cond.clone(),
+                then_body: unroll_block(then_body, var, factor, found),
+                else_body: unroll_block(else_body, var, factor, found),
+            }],
+            other => vec![other.clone()],
+        })
+        .collect()
+}
+
+fn unroll_one(
+    var: &str,
+    lo: i64,
+    hi: i64,
+    body: &[Stmt],
+    factor: u32,
+    pipeline: bool,
+) -> Vec<Stmt> {
+    let trip = (hi - lo).max(0) as u64;
+    let f = factor as u64;
+    let mut main_trips = trip / f;
+    if main_trips == 1 {
+        // A one-trip outer loop would keep indices runtime-dependent;
+        // peel everything instead (this is the full-unroll case, which
+        // is what makes subsequent array partitioning resolvable).
+        main_trips = 0;
+    }
+    let mut out = Vec::new();
+    if main_trips > 0 {
+        // for j in 0..main_trips { body[i := lo + j*f + 0] ... [+f-1] }
+        let j = format!("{var}__u");
+        let mut unrolled_body = Vec::new();
+        for k in 0..f {
+            // i = lo + j*factor + k
+            let idx_expr = Expr::Binary(
+                accelsoc_kernel::ir::BinOp::Add,
+                Box::new(Expr::Binary(
+                    accelsoc_kernel::ir::BinOp::Mul,
+                    Box::new(Expr::Var(j.clone())),
+                    Box::new(Expr::Const(f as i64)),
+                )),
+                Box::new(Expr::Const(lo + k as i64)),
+            );
+            for s in body {
+                unrolled_body.push(subst_stmt(s, var, &idx_expr));
+            }
+        }
+        out.push(Stmt::For {
+            var: j,
+            start: Expr::Const(0),
+            end: Expr::Const(main_trips as i64),
+            body: unrolled_body,
+            pipeline,
+        });
+    }
+    // Remainder iterations, fully peeled.
+    for r in (lo + (main_trips * f) as i64)..hi {
+        for s in body {
+            out.push(subst_stmt(s, var, &Expr::Const(r)));
+        }
+    }
+    out
+}
+
+fn subst_stmt(s: &Stmt, var: &str, with: &Expr) -> Stmt {
+    match s {
+        Stmt::Assign { dst, value } => Stmt::Assign {
+            dst: match dst {
+                LValue::Var(v) => LValue::Var(v.clone()),
+                LValue::Index(a, i) => {
+                    LValue::Index(a.clone(), Box::new(subst_expr(i, var, with)))
+                }
+            },
+            value: subst_expr(value, var, with),
+        },
+        Stmt::For { var: v, start, end, body, pipeline } => Stmt::For {
+            var: v.clone(),
+            start: subst_expr(start, var, with),
+            end: subst_expr(end, var, with),
+            // Inner shadowing cannot occur (verifier rejects duplicates).
+            body: body.iter().map(|s| subst_stmt(s, var, with)).collect(),
+            pipeline: *pipeline,
+        },
+        Stmt::If { cond, then_body, else_body } => Stmt::If {
+            cond: subst_expr(cond, var, with),
+            then_body: then_body.iter().map(|s| subst_stmt(s, var, with)).collect(),
+            else_body: else_body.iter().map(|s| subst_stmt(s, var, with)).collect(),
+        },
+        Stmt::StreamWrite { port, value } => Stmt::StreamWrite {
+            port: port.clone(),
+            value: subst_expr(value, var, with),
+        },
+    }
+}
+
+fn subst_expr(e: &Expr, var: &str, with: &Expr) -> Expr {
+    match e {
+        Expr::Var(v) if v == var => with.clone(),
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::Index(a, i) => Expr::Index(a.clone(), Box::new(subst_expr(i, var, with))),
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(subst_expr(x, var, with))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(subst_expr(a, var, with)),
+            Box::new(subst_expr(b, var, with)),
+        ),
+        Expr::StreamRead(p) => Expr::StreamRead(p.clone()),
+        Expr::Select(c0, a, b) => Expr::Select(
+            Box::new(subst_expr(c0, var, with)),
+            Box::new(subst_expr(a, var, with)),
+            Box::new(subst_expr(b, var, with)),
+        ),
+    }
+}
+
+/// Cyclically partition local array `name` into `banks` banks. All
+/// accesses must have constant indices after unrolling (the usual HLS
+/// recipe: unroll by the bank count, then partition).
+pub fn partition_array(
+    kernel: &Kernel,
+    name: &str,
+    banks: u32,
+) -> Result<Kernel, TransformError> {
+    if banks < 2 {
+        return Err(TransformError::BadFactor(banks));
+    }
+    let mut k = kernel.clone();
+    let Some(pos) = k.locals.iter().position(|l| l.name == name && l.len.is_some()) else {
+        return Err(TransformError::ArrayNotFound(name.to_string()));
+    };
+    let original = k.locals.remove(pos);
+    let len = original.len.unwrap();
+    let bank_len = len.div_ceil(banks);
+    for b in 0..banks {
+        k.locals.push(Local {
+            name: format!("{name}__b{b}"),
+            ty: original.ty,
+            len: Some(bank_len),
+        });
+    }
+    let mut err = None;
+    k.body = rewrite_block(&k.body, name, banks, &mut err);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    accelsoc_kernel::verify::verify(&k).expect("partitioning preserves well-formedness");
+    Ok(k)
+}
+
+fn rewrite_block(
+    stmts: &[Stmt],
+    name: &str,
+    banks: u32,
+    err: &mut Option<TransformError>,
+) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign { dst, value } => Stmt::Assign {
+                dst: match dst {
+                    LValue::Index(a, i) if a == name => match resolve(i) {
+                        Some(idx) => LValue::Index(
+                            bank_name(name, idx, banks),
+                            Box::new(Expr::Const(idx / banks as i64)),
+                        ),
+                        None => {
+                            *err = Some(TransformError::NonConstantIndex {
+                                array: name.to_string(),
+                            });
+                            dst.clone()
+                        }
+                    },
+                    other => other.clone(),
+                },
+                value: rewrite_expr(value, name, banks, err),
+            },
+            Stmt::For { var, start, end, body, pipeline } => Stmt::For {
+                var: var.clone(),
+                start: rewrite_expr(start, name, banks, err),
+                end: rewrite_expr(end, name, banks, err),
+                body: rewrite_block(body, name, banks, err),
+                pipeline: *pipeline,
+            },
+            Stmt::If { cond, then_body, else_body } => Stmt::If {
+                cond: rewrite_expr(cond, name, banks, err),
+                then_body: rewrite_block(then_body, name, banks, err),
+                else_body: rewrite_block(else_body, name, banks, err),
+            },
+            Stmt::StreamWrite { port, value } => Stmt::StreamWrite {
+                port: port.clone(),
+                value: rewrite_expr(value, name, banks, err),
+            },
+        })
+        .collect()
+}
+
+fn rewrite_expr(e: &Expr, name: &str, banks: u32, err: &mut Option<TransformError>) -> Expr {
+    match e {
+        Expr::Index(a, i) if a == name => match resolve(i) {
+            Some(idx) => Expr::Index(
+                bank_name(name, idx, banks),
+                Box::new(Expr::Const(idx / banks as i64)),
+            ),
+            None => {
+                *err =
+                    Some(TransformError::NonConstantIndex { array: name.to_string() });
+                e.clone()
+            }
+        },
+        Expr::Const(_) | Expr::Var(_) | Expr::StreamRead(_) => e.clone(),
+        Expr::Index(a, i) => {
+            Expr::Index(a.clone(), Box::new(rewrite_expr(i, name, banks, err)))
+        }
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(rewrite_expr(x, name, banks, err))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(rewrite_expr(a, name, banks, err)),
+            Box::new(rewrite_expr(b, name, banks, err)),
+        ),
+        Expr::Select(c0, a, b) => Expr::Select(
+            Box::new(rewrite_expr(c0, name, banks, err)),
+            Box::new(rewrite_expr(a, name, banks, err)),
+            Box::new(rewrite_expr(b, name, banks, err)),
+        ),
+    }
+}
+
+fn bank_name(name: &str, idx: i64, banks: u32) -> String {
+    format!("{name}__b{}", (idx.rem_euclid(banks as i64)))
+}
+
+/// Constant-fold an index expression (covers the `j*F + k` shapes unroll
+/// produces when `j` itself was substituted by a constant, plus plain
+/// constants).
+fn resolve(e: &Expr) -> Option<i64> {
+    use accelsoc_kernel::ir::BinOp::*;
+    match e {
+        Expr::Const(v) => Some(*v),
+        Expr::Binary(Add, a, b) => Some(resolve(a)? + resolve(b)?),
+        Expr::Binary(Sub, a, b) => Some(resolve(a)? - resolve(b)?),
+        Expr::Binary(Mul, a, b) => Some(resolve(a)? * resolve(b)?),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::{synthesize_kernel, HlsOptions};
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::interp::{Interpreter, StreamBundle};
+    use accelsoc_kernel::types::Ty;
+    use std::collections::HashMap;
+
+    /// Sum of 16 array elements, sequential loop.
+    fn sum_kernel() -> Kernel {
+        KernelBuilder::new("sum")
+            .scalar_in("seed", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .array("a", Ty::U32, 16)
+            .local("acc", Ty::U32)
+            .body(vec![
+                for_("i", c(0), c(16), vec![store("a", var("i"), add(var("i"), var("seed")))]),
+                assign("acc", c(0)),
+                for_("i", c(0), c(16), vec![assign("acc", add(var("acc"), idx("a", var("i"))))]),
+                assign("r", var("acc")),
+            ])
+            .build()
+    }
+
+    fn run(k: &Kernel, seed: i64) -> i64 {
+        let inputs = HashMap::from([("seed".to_string(), seed)]);
+        let mut s = StreamBundle::new();
+        Interpreter::new(k).run(&inputs, &mut s).unwrap().scalar_outputs["r"]
+    }
+
+    #[test]
+    fn unroll_preserves_semantics() {
+        let k = sum_kernel();
+        for factor in [2, 4, 3, 16] {
+            let u = unroll_loop(&k, "i", factor).unwrap();
+            for seed in [0, 7, 1000] {
+                assert_eq!(run(&u, seed), run(&k, seed), "factor {factor} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_with_remainder_preserves_semantics() {
+        // Trip 16 by factor 3: 5 main iterations + 1 peeled remainder.
+        let k = sum_kernel();
+        let u = unroll_loop(&k, "i", 3).unwrap();
+        assert_eq!(run(&u, 42), run(&k, 42));
+    }
+
+    #[test]
+    fn unroll_reduces_latency_increases_area() {
+        // A compute-heavy independent-iteration loop.
+        let k = KernelBuilder::new("k")
+            .scalar_in("x", Ty::U16)
+            .scalar_out("r", Ty::U32)
+            .array("a", Ty::U32, 8)
+            .local("acc", Ty::U32)
+            .body(vec![
+                for_("i", c(0), c(8), vec![
+                    store("a", var("i"), mul(var("x"), var("x"))),
+                ]),
+                assign("acc", add(idx("a", c(0)), idx("a", c(7)))),
+                assign("r", var("acc")),
+            ])
+            .build();
+        let opts = HlsOptions::default();
+        let base = synthesize_kernel(&k, &opts).unwrap().report;
+        let u = unroll_loop(&k, "i", 4).unwrap();
+        let unrolled = synthesize_kernel(&u, &opts).unwrap().report;
+        assert!(
+            unrolled.latency < base.latency,
+            "unrolled {} < base {}",
+            unrolled.latency,
+            base.latency
+        );
+        assert!(unrolled.resources.lut >= base.resources.lut);
+    }
+
+    #[test]
+    fn unroll_errors() {
+        let k = sum_kernel();
+        assert_eq!(unroll_loop(&k, "zz", 2).unwrap_err(), TransformError::LoopNotFound("zz".into()));
+        assert_eq!(unroll_loop(&k, "i", 1).unwrap_err(), TransformError::BadFactor(1));
+        // Runtime-bounded loops are not unrollable.
+        let rt = KernelBuilder::new("rt")
+            .scalar_in("n", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .local("acc", Ty::U32)
+            .body(vec![
+                for_("i", c(0), var("n"), vec![assign("acc", add(var("acc"), c(1)))]),
+                assign("r", var("acc")),
+            ])
+            .build();
+        assert!(matches!(unroll_loop(&rt, "i", 2), Err(TransformError::LoopNotFound(_))));
+    }
+
+    #[test]
+    fn partition_after_full_unroll_preserves_semantics() {
+        let k = sum_kernel();
+        let u = unroll_loop(&k, "i", 16).unwrap(); // fully unrolled: constant indices
+        let p = partition_array(&u, "a", 4).unwrap();
+        for seed in [0, 3, 99] {
+            assert_eq!(run(&p, seed), run(&k, seed), "seed {seed}");
+        }
+        // Four banks exist, the original array is gone.
+        assert!(p.local("a").is_none());
+        for b in 0..4 {
+            assert!(p.local(&format!("a__b{b}")).is_some());
+        }
+    }
+
+    #[test]
+    fn partition_requires_constant_indices() {
+        let k = sum_kernel(); // loop-var indices are not constant
+        let err = partition_array(&k, "a", 2).unwrap_err();
+        assert_eq!(err, TransformError::NonConstantIndex { array: "a".into() });
+    }
+
+    #[test]
+    fn partition_errors() {
+        let k = sum_kernel();
+        assert_eq!(
+            partition_array(&k, "ghost", 2).unwrap_err(),
+            TransformError::ArrayNotFound("ghost".into())
+        );
+        assert_eq!(partition_array(&k, "a", 1).unwrap_err(), TransformError::BadFactor(1));
+    }
+
+    #[test]
+    fn partition_multiplies_memory_ports() {
+        // After unroll+partition, more MemPort concurrency is available:
+        // the schedule gets shorter under the same dual-port constraint
+        // because the banks are independent memories.
+        let k = sum_kernel();
+        let u = unroll_loop(&k, "i", 16).unwrap();
+        let opts = HlsOptions::default();
+        let before = synthesize_kernel(&u, &opts).unwrap().report;
+        let p = partition_array(&u, "a", 8).unwrap();
+        let after = synthesize_kernel(&p, &opts).unwrap().report;
+        assert!(
+            after.latency <= before.latency,
+            "banked {} <= monolithic {}",
+            after.latency,
+            before.latency
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests on the HLS scheduler and binder: random DFGs,
+//! scheduling invariants, binding soundness.
+
+use accelsoc_hls::bind::bind;
+use accelsoc_hls::dfg::{OpClass, OpNode, RegionDfg};
+use accelsoc_hls::schedule::{alap, asap, list_schedule, ResourceConstraints};
+use accelsoc_hls::techlib::{FuClass, TechLib};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random DFGs: `n` ops, each depending on a random subset of earlier ops
+/// (topological by construction).
+fn arb_dfg() -> impl Strategy<Value = RegionDfg> {
+    proptest::collection::vec(
+        (0u8..10, proptest::collection::vec(any::<u16>(), 0..3), 1u8..49),
+        1..40,
+    )
+    .prop_map(|raw| {
+        let mut dfg = RegionDfg::default();
+        for (i, (class_sel, deps_raw, bits)) in raw.into_iter().enumerate() {
+            let class = match class_sel {
+                0 => OpClass::Const,
+                1 => OpClass::Phi,
+                2 => OpClass::Add,
+                3 => OpClass::Mul,
+                4 => OpClass::Div,
+                5 => OpClass::Compare,
+                6 => OpClass::Bit,
+                7 => OpClass::Mux,
+                8 => OpClass::MemRead,
+                _ => OpClass::StreamRead,
+            };
+            let deps: Vec<usize> = if i == 0 {
+                vec![]
+            } else {
+                let mut d: Vec<usize> =
+                    deps_raw.into_iter().map(|r| (r as usize) % i).collect();
+                d.sort();
+                d.dedup();
+                d
+            };
+            let target = match class {
+                OpClass::MemRead => Some("m".to_string()),
+                OpClass::StreamRead => Some("s".to_string()),
+                _ => None,
+            };
+            dfg.ops.push(OpNode { class, bits, deps, target });
+        }
+        dfg
+    })
+}
+
+fn constraints() -> impl Strategy<Value = ResourceConstraints> {
+    (1u32..3, 1u32..3, 1u32..3).prop_map(|(mul, div, mem)| {
+        let mut rc = ResourceConstraints::new();
+        rc.set(FuClass::Mul, mul);
+        rc.set(FuClass::Div, div);
+        rc.set(FuClass::MemPort, mem);
+        rc
+    })
+}
+
+proptest! {
+    /// ASAP is a valid schedule and a lower bound for every other schedule.
+    #[test]
+    fn asap_valid_and_minimal(dfg in arb_dfg()) {
+        let lib = TechLib::default();
+        let s = asap(&dfg, &lib);
+        prop_assert!(s.respects_deps(&dfg, &lib));
+        let listed = list_schedule(&dfg, &lib, &ResourceConstraints::new());
+        prop_assert!(listed.latency >= s.latency || listed.latency == s.latency);
+    }
+
+    /// ALAP at the ASAP deadline is feasible and no op starts earlier
+    /// than its ASAP slot.
+    #[test]
+    fn alap_respects_bounds(dfg in arb_dfg()) {
+        let lib = TechLib::default();
+        let a = asap(&dfg, &lib);
+        let z = alap(&dfg, &lib, a.latency);
+        prop_assert!(z.respects_deps(&dfg, &lib));
+        for i in 0..dfg.ops.len() {
+            prop_assert!(z.start[i] >= a.start[i], "op {i}");
+        }
+    }
+
+    /// List scheduling under any constraints yields a dependence-valid
+    /// schedule that never beats ASAP.
+    #[test]
+    fn list_schedule_valid_under_constraints(dfg in arb_dfg(), rc in constraints()) {
+        let lib = TechLib::default();
+        let s = list_schedule(&dfg, &lib, &rc);
+        prop_assert!(s.respects_deps(&dfg, &lib));
+        let a = asap(&dfg, &lib);
+        prop_assert!(s.latency >= a.latency);
+    }
+
+    /// Constrained scheduling never exceeds per-class concurrency limits.
+    #[test]
+    fn constraints_actually_enforced(dfg in arb_dfg(), rc in constraints()) {
+        let lib = TechLib::default();
+        let s = list_schedule(&dfg, &lib, &rc);
+        // For each class with a limit, check concurrent occupancy per cycle.
+        let mut events: HashMap<FuClass, Vec<(u32, i32)>> = HashMap::new();
+        for (i, op) in dfg.ops.iter().enumerate() {
+            if let Some(class) = lib.fu_class(op.class) {
+                let lat = lib.op_cost(op.class, op.bits).latency.max(1);
+                let e = events.entry(class).or_default();
+                e.push((s.start[i], 1));
+                e.push((s.start[i] + lat, -1));
+            }
+        }
+        for (class, mut ev) in events {
+            let Some(limit) = rc.limit(class) else { continue };
+            ev.sort();
+            let mut cur = 0i32;
+            for (_, d) in ev {
+                cur += d;
+                prop_assert!(cur as u32 <= limit, "{class:?} exceeded {limit}");
+            }
+        }
+    }
+
+    /// Binding shares units only between temporally disjoint ops.
+    #[test]
+    fn binding_is_conflict_free(dfg in arb_dfg()) {
+        let lib = TechLib::default();
+        let s = list_schedule(&dfg, &lib, &ResourceConstraints::new());
+        let b = bind(&dfg, &s, &lib);
+        let mut per_unit: HashMap<(FuClass, u32), Vec<(u32, u32)>> = HashMap::new();
+        for (i, asg) in b.assignment.iter().enumerate() {
+            if let Some((class, unit)) = asg {
+                let lat = lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency.max(1);
+                per_unit
+                    .entry((*class, *unit))
+                    .or_default()
+                    .push((s.start[i], s.start[i] + lat));
+            }
+        }
+        for ivs in per_unit.values() {
+            for (x, a) in ivs.iter().enumerate() {
+                for b2 in ivs.iter().skip(x + 1) {
+                    prop_assert!(a.1 <= b2.0 || b2.1 <= a.0, "overlap {a:?}/{b2:?}");
+                }
+            }
+        }
+    }
+
+    /// Every op that occupies a functional unit gets an assignment.
+    #[test]
+    fn binding_is_total(dfg in arb_dfg()) {
+        let lib = TechLib::default();
+        let s = list_schedule(&dfg, &lib, &ResourceConstraints::new());
+        let b = bind(&dfg, &s, &lib);
+        for (i, op) in dfg.ops.iter().enumerate() {
+            prop_assert_eq!(
+                b.assignment[i].is_some(),
+                lib.fu_class(op.class).is_some(),
+                "op {} class {:?}", i, op.class
+            );
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Phase-level dataflow graphs.
+//!
+//! Inside a phase, actors communicate through streams and fire as soon as
+//! enough tokens are available (the paper's AXI-Stream pipelines). We model
+//! phases as synchronous dataflow (SDF) graphs: each actor declares how many
+//! tokens it consumes/produces per firing on each of its ports, which lets
+//! us check *rate consistency* — the balance equations must have a
+//! non-trivial solution or the pipeline would deadlock or accumulate
+//! unbounded data.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an actor inside one dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActorId(pub u32);
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifier of a stream edge inside one dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+/// Tokens consumed or produced per firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rate(pub u32);
+
+/// A dataflow actor. Port names must match the kernel's stream ports so the
+/// DSL elaborator can wire `link` statements to real interfaces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Actor {
+    pub name: String,
+    /// Kernel-IR function implementing this actor.
+    pub kernel: String,
+    /// Input stream port names.
+    pub inputs: Vec<String>,
+    /// Output stream port names.
+    pub outputs: Vec<String>,
+}
+
+/// One stream connecting `src`'s output port to `dst`'s input port.
+///
+/// `None` endpoints denote the phase boundary (data arriving from / leaving
+/// to the system — the DSL's `'soc` endpoint, realised by a DMA engine).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamEdge {
+    pub src: Option<(ActorId, String)>,
+    pub dst: Option<(ActorId, String)>,
+    /// Tokens produced per source firing.
+    pub produce: Rate,
+    /// Tokens consumed per destination firing.
+    pub consume: Rate,
+    /// Bytes per token.
+    pub token_bytes: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    DuplicateActor(String),
+    UnknownActor(ActorId),
+    UnknownPort { actor: String, port: String },
+    PortAlreadyConnected { actor: String, port: String },
+    DetachedEdge,
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::DuplicateActor(n) => write!(f, "duplicate actor `{n}`"),
+            DataflowError::UnknownActor(a) => write!(f, "unknown actor {a}"),
+            DataflowError::UnknownPort { actor, port } => {
+                write!(f, "actor `{actor}` has no port `{port}`")
+            }
+            DataflowError::PortAlreadyConnected { actor, port } => {
+                write!(f, "port `{actor}.{port}` is already connected")
+            }
+            DataflowError::DetachedEdge => {
+                write!(f, "stream edge must touch at least one actor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+/// A phase-level dataflow graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    actors: Vec<Actor>,
+    streams: Vec<StreamEdge>,
+}
+
+impl DataflowGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_actor(&mut self, actor: Actor) -> Result<ActorId, DataflowError> {
+        if self.actors.iter().any(|a| a.name == actor.name) {
+            return Err(DataflowError::DuplicateActor(actor.name));
+        }
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(actor);
+        Ok(id)
+    }
+
+    /// Connect `src` (actor output or phase input if `None`) to `dst`
+    /// (actor input or phase output if `None`).
+    pub fn add_stream(&mut self, edge: StreamEdge) -> Result<StreamId, DataflowError> {
+        if edge.src.is_none() && edge.dst.is_none() {
+            return Err(DataflowError::DetachedEdge);
+        }
+        if let Some((a, ref p)) = edge.src {
+            self.check_port(a, p, false)?;
+        }
+        if let Some((a, ref p)) = edge.dst {
+            self.check_port(a, p, true)?;
+        }
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(edge);
+        Ok(id)
+    }
+
+    fn check_port(&self, id: ActorId, port: &str, is_input: bool) -> Result<(), DataflowError> {
+        let actor = self
+            .actors
+            .get(id.0 as usize)
+            .ok_or(DataflowError::UnknownActor(id))?;
+        let ports = if is_input { &actor.inputs } else { &actor.outputs };
+        if !ports.iter().any(|p| p == port) {
+            return Err(DataflowError::UnknownPort {
+                actor: actor.name.clone(),
+                port: port.to_string(),
+            });
+        }
+        let in_use = self.streams.iter().any(|s| {
+            let end = if is_input { &s.dst } else { &s.src };
+            matches!(end, Some((a, p)) if *a == id && p == port)
+        });
+        if in_use {
+            return Err(DataflowError::PortAlreadyConnected {
+                actor: actor.name.clone(),
+                port: port.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.0 as usize]
+    }
+
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> {
+        self.actors.iter().enumerate().map(|(i, a)| (ActorId(i as u32), a))
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<ActorId> {
+        self.actors.iter().position(|a| a.name == name).map(|i| ActorId(i as u32))
+    }
+
+    pub fn streams(&self) -> &[StreamEdge] {
+        &self.streams
+    }
+
+    /// Ports of `id` that are not connected to any stream (these become
+    /// external phase interfaces when the phase is integrated).
+    pub fn unconnected_ports(&self, id: ActorId) -> Vec<(String, bool)> {
+        let actor = self.actor(id);
+        let mut out = Vec::new();
+        for p in &actor.inputs {
+            let used = self
+                .streams
+                .iter()
+                .any(|s| matches!(&s.dst, Some((a, q)) if *a == id && q == p));
+            if !used {
+                out.push((p.clone(), true));
+            }
+        }
+        for p in &actor.outputs {
+            let used = self
+                .streams
+                .iter()
+                .any(|s| matches!(&s.src, Some((a, q)) if *a == id && q == p));
+            if !used {
+                out.push((p.clone(), false));
+            }
+        }
+        out
+    }
+
+    /// Solve the SDF balance equations: find the smallest positive integer
+    /// repetition vector `r` with `r[src] * produce == r[dst] * consume` for
+    /// every actor-to-actor stream. Returns `None` if the rates are
+    /// inconsistent (the pipeline cannot run in steady state).
+    pub fn repetition_vector(&self) -> Option<Vec<u64>> {
+        let n = self.actors.len();
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        // Propagate rational firing ratios over the undirected stream graph.
+        // ratio[i] = (num, den) relative to a seed actor per component.
+        let mut ratio: Vec<Option<(u64, u64)>> = vec![None; n];
+        for seed in 0..n {
+            if ratio[seed].is_some() {
+                continue;
+            }
+            ratio[seed] = Some((1, 1));
+            let mut stack = vec![seed];
+            while let Some(u) = stack.pop() {
+                let (un, ud) = ratio[u].unwrap();
+                for s in &self.streams {
+                    if let (Some((a, _)), Some((b, _))) = (&s.src, &s.dst) {
+                        let (a, b) = (a.0 as usize, b.0 as usize);
+                        // r[a] * produce == r[b] * consume
+                        let (other, on, od) = if a == u {
+                            // r[b] = r[a] * produce / consume
+                            (b, un * s.produce.0 as u64, ud * s.consume.0 as u64)
+                        } else if b == u {
+                            (a, un * s.consume.0 as u64, ud * s.produce.0 as u64)
+                        } else {
+                            continue;
+                        };
+                        let (on, od) = reduce(on, od);
+                        match ratio[other] {
+                            None => {
+                                ratio[other] = Some((on, od));
+                                stack.push(other);
+                            }
+                            Some(r) => {
+                                if r != (on, od) {
+                                    return None; // inconsistent rates
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Scale to integers: multiply by lcm of denominators.
+        let mut l = 1u64;
+        for r in ratio.iter().flatten() {
+            l = lcm(l, r.1);
+        }
+        let mut rep: Vec<u64> = ratio
+            .iter()
+            .map(|r| {
+                let (num, den) = r.unwrap();
+                num * (l / den)
+            })
+            .collect();
+        // Normalise by gcd so the vector is minimal.
+        let g = rep.iter().copied().fold(0, gcd);
+        if g > 1 {
+            for r in &mut rep {
+                *r /= g;
+            }
+        }
+        Some(rep)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn reduce(n: u64, d: u64) -> (u64, u64) {
+    let g = gcd(n, d).max(1);
+    (n / g, d / g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actor(name: &str, ins: &[&str], outs: &[&str]) -> Actor {
+        Actor {
+            name: name.to_string(),
+            kernel: name.to_string(),
+            inputs: ins.iter().map(|s| s.to_string()).collect(),
+            outputs: outs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn stream(
+        src: Option<(ActorId, &str)>,
+        dst: Option<(ActorId, &str)>,
+        p: u32,
+        c: u32,
+    ) -> StreamEdge {
+        StreamEdge {
+            src: src.map(|(a, s)| (a, s.to_string())),
+            dst: dst.map(|(a, s)| (a, s.to_string())),
+            produce: Rate(p),
+            consume: Rate(c),
+            token_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn pipeline_construction() {
+        let mut df = DataflowGraph::new();
+        let g = df.add_actor(actor("GAUSS", &["in"], &["out"])).unwrap();
+        let e = df.add_actor(actor("EDGE", &["in"], &["out"])).unwrap();
+        df.add_stream(stream(None, Some((g, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((g, "out")), Some((e, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((e, "out")), None, 1, 1)).unwrap();
+        assert_eq!(df.actor_count(), 2);
+        assert_eq!(df.streams().len(), 3);
+        assert_eq!(df.repetition_vector(), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let mut df = DataflowGraph::new();
+        let g = df.add_actor(actor("G", &["in"], &["out"])).unwrap();
+        let err = df.add_stream(stream(Some((g, "nope")), None, 1, 1)).unwrap_err();
+        assert!(matches!(err, DataflowError::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn double_connection_rejected() {
+        let mut df = DataflowGraph::new();
+        let g = df.add_actor(actor("G", &["in"], &["out"])).unwrap();
+        df.add_stream(stream(None, Some((g, "in")), 1, 1)).unwrap();
+        let err = df.add_stream(stream(None, Some((g, "in")), 1, 1)).unwrap_err();
+        assert!(matches!(err, DataflowError::PortAlreadyConnected { .. }));
+    }
+
+    #[test]
+    fn detached_edge_rejected() {
+        let mut df = DataflowGraph::new();
+        assert_eq!(
+            df.add_stream(stream(None, None, 1, 1)).unwrap_err(),
+            DataflowError::DetachedEdge
+        );
+    }
+
+    #[test]
+    fn multirate_repetition_vector() {
+        // A produces 2 tokens per firing, B consumes 3: r = [3, 2].
+        let mut df = DataflowGraph::new();
+        let a = df.add_actor(actor("A", &[], &["out"])).unwrap();
+        let b = df.add_actor(actor("B", &["in"], &[])).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 2, 3)).unwrap();
+        assert_eq!(df.repetition_vector(), Some(vec![3, 2]));
+    }
+
+    #[test]
+    fn inconsistent_rates_detected() {
+        // Triangle with incompatible rates has no repetition vector.
+        let mut df = DataflowGraph::new();
+        let a = df.add_actor(actor("A", &["x"], &["out"])).unwrap();
+        let b = df.add_actor(actor("B", &["in"], &["y"])).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
+        // Feedback with a rate that contradicts the forward edge.
+        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 2, 1)).unwrap();
+        assert_eq!(df.repetition_vector(), None);
+    }
+
+    #[test]
+    fn unconnected_ports_reported() {
+        let mut df = DataflowGraph::new();
+        let g = df.add_actor(actor("G", &["in", "th"], &["out"])).unwrap();
+        df.add_stream(stream(None, Some((g, "in")), 1, 1)).unwrap();
+        let free = df.unconnected_ports(g);
+        assert_eq!(
+            free,
+            vec![("th".to_string(), true), ("out".to_string(), false)]
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Graphviz (DOT) export of HTGs, used by `repro_fig10` and for debugging.
+
+use crate::graph::{Htg, NodeKind, TransferKind};
+use crate::partition::{Mapping, Partition};
+use std::fmt::Write;
+
+/// Render the two-level HTG as a DOT digraph. Phases become clusters whose
+/// actors are individual nodes, mirroring Fig. 1 of the paper. If a
+/// partition is supplied, hardware nodes are drawn as filled boxes.
+pub fn to_dot(htg: &Htg, partition: Option<&Partition>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph htg {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(s, "  node [fontname=\"Helvetica\"];");
+    for id in htg.node_ids() {
+        let name = htg.name(id);
+        let hw = partition.and_then(|p| p.mapping(htg, id)) == Some(Mapping::Hardware);
+        let style = if hw { ", style=filled, fillcolor=lightblue" } else { "" };
+        match htg.kind(id) {
+            NodeKind::Task(_) => {
+                let _ = writeln!(s, "  {id} [label=\"{name}\", shape=box{style}];");
+            }
+            NodeKind::Phase(df) => {
+                let _ = writeln!(s, "  subgraph cluster_{} {{", id.0);
+                let _ = writeln!(s, "    label=\"{name}\";");
+                for (aid, actor) in df.actors() {
+                    let _ = writeln!(
+                        s,
+                        "    {id}_{aid} [label=\"{}\", shape=ellipse{style}];",
+                        actor.name
+                    );
+                }
+                for st in df.streams() {
+                    if let (Some((a, _)), Some((b, _))) = (&st.src, &st.dst) {
+                        let _ = writeln!(s, "    {id}_{a} -> {id}_{b} [style=dashed];");
+                    }
+                }
+                let _ = writeln!(s, "  }}");
+            }
+        }
+    }
+    for e in htg.edges() {
+        let label = match e.transfer {
+            TransferKind::ParameterCopy { bytes } => format!("param {bytes}B"),
+            TransferKind::SharedBuffer { bytes } => format!("buf {bytes}B"),
+        };
+        // Edges to/from phases attach to the cluster's first actor if any.
+        let src = endpoint(htg, e.src);
+        let dst = endpoint(htg, e.dst);
+        let _ = writeln!(s, "  {src} -> {dst} [label=\"{label}\"];");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn endpoint(htg: &Htg, id: crate::graph::NodeId) -> String {
+    match htg.kind(id) {
+        NodeKind::Task(_) => id.to_string(),
+        NodeKind::Phase(df) => {
+            if let Some((aid, _)) = df.actors().next() {
+                format!("{id}_{aid}")
+            } else {
+                id.to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::{Actor, DataflowGraph, Rate, StreamEdge};
+    use crate::graph::TaskNode;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_cluster() {
+        let mut df = DataflowGraph::new();
+        let g = df
+            .add_actor(Actor {
+                name: "GAUSS".into(),
+                kernel: "gauss".into(),
+                inputs: vec!["in".into()],
+                outputs: vec!["out".into()],
+            })
+            .unwrap();
+        let e = df
+            .add_actor(Actor {
+                name: "EDGE".into(),
+                kernel: "edge".into(),
+                inputs: vec!["in".into()],
+                outputs: vec!["out".into()],
+            })
+            .unwrap();
+        df.add_stream(StreamEdge {
+            src: Some((g, "out".into())),
+            dst: Some((e, "in".into())),
+            produce: Rate(1),
+            consume: Rate(1),
+            token_bytes: 4,
+        })
+        .unwrap();
+
+        let mut htg = Htg::new();
+        let t = htg
+            .add_task("N1", TaskNode { kernel: "n1".into(), sw_cycles: 5, sw_only: true })
+            .unwrap();
+        let p = htg.add_phase("IMAGE", df).unwrap();
+        htg.add_edge(t, p, TransferKind::SharedBuffer { bytes: 1024 }).unwrap();
+
+        let part = Partition::hardware_set(&htg, ["IMAGE"]);
+        let dot = to_dot(&htg, Some(&part));
+        assert!(dot.contains("digraph htg"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("GAUSS"));
+        assert!(dot.contains("EDGE"));
+        assert!(dot.contains("buf 1024B"));
+        assert!(dot.contains("lightblue"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn dot_without_partition_has_no_fill() {
+        let mut htg = Htg::new();
+        htg.add_task("A", TaskNode { kernel: "a".into(), sw_cycles: 1, sw_only: false })
+            .unwrap();
+        let dot = to_dot(&htg, None);
+        assert!(!dot.contains("lightblue"));
+    }
+}

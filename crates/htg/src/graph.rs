@@ -1,0 +1,265 @@
+//! Top-level HTG structure: simple tasks, phases, and precedence edges.
+
+use crate::dataflow::DataflowGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a top-level HTG node (a dense index assigned at insertion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// How data moves along a top-level precedence edge.
+///
+/// At the top level the paper realises every transfer through shared DRAM,
+/// but the *amount* and granularity matter for the platform simulator's
+/// cost model, so we record them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Scalar parameters copied by the GPP via memory-mapped (AXI-Lite)
+    /// register writes.
+    ParameterCopy { bytes: u64 },
+    /// Bulk buffer handed over through shared memory; the consumer reads it
+    /// back from DRAM (possibly via DMA if it is a hardware phase).
+    SharedBuffer { bytes: u64 },
+}
+
+impl TransferKind {
+    /// Number of payload bytes moved along the edge.
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            TransferKind::ParameterCopy { bytes } | TransferKind::SharedBuffer { bytes } => bytes,
+        }
+    }
+}
+
+/// Payload of a top-level node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A simple task: one unit of schedulable work. `kernel` names the
+    /// kernel-IR function (for hardware mapping) or the software routine.
+    Task(TaskNode),
+    /// A phase: an entire dataflow graph mapped as a unit.
+    Phase(DataflowGraph),
+}
+
+/// A simple (non-hierarchical) task node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskNode {
+    /// Kernel/routine name this task executes.
+    pub kernel: String,
+    /// Estimated software cost in CPU cycles per invocation (used by the
+    /// partitioner and the platform simulator's CPU model).
+    pub sw_cycles: u64,
+    /// True for tasks that can only run in software (e.g. file I/O such as
+    /// `readImage`/`writeImage` in the case study).
+    pub sw_only: bool,
+}
+
+/// A top-level precedence edge `src -> dst`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopEdge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub transfer: TransferKind,
+}
+
+/// Errors from HTG construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtgError {
+    DuplicateNodeName(String),
+    UnknownNode(NodeId),
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for HtgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HtgError::DuplicateNodeName(n) => write!(f, "duplicate node name `{n}`"),
+            HtgError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            HtgError::SelfLoop(id) => write!(f, "self loop on node {id}"),
+        }
+    }
+}
+
+impl std::error::Error for HtgError {}
+
+/// The two-level hierarchical task graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Htg {
+    names: Vec<String>,
+    kinds: Vec<NodeKind>,
+    edges: Vec<TopEdge>,
+}
+
+impl Htg {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a simple task node. Names must be unique across the top level.
+    pub fn add_task(&mut self, name: &str, task: TaskNode) -> Result<NodeId, HtgError> {
+        self.add_node(name, NodeKind::Task(task))
+    }
+
+    /// Add a phase node wrapping a dataflow graph.
+    pub fn add_phase(&mut self, name: &str, df: DataflowGraph) -> Result<NodeId, HtgError> {
+        self.add_node(name, NodeKind::Phase(df))
+    }
+
+    fn add_node(&mut self, name: &str, kind: NodeKind) -> Result<NodeId, HtgError> {
+        if self.names.iter().any(|n| n == name) {
+            return Err(HtgError::DuplicateNodeName(name.to_string()));
+        }
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        Ok(id)
+    }
+
+    /// Add a precedence edge between two existing nodes.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        transfer: TransferKind,
+    ) -> Result<(), HtgError> {
+        if src == dst {
+            return Err(HtgError::SelfLoop(src));
+        }
+        self.check_id(src)?;
+        self.check_id(dst)?;
+        self.edges.push(TopEdge { src, dst, transfer });
+        Ok(())
+    }
+
+    fn check_id(&self, id: NodeId) -> Result<(), HtgError> {
+        if (id.0 as usize) < self.names.len() {
+            Ok(())
+        } else {
+            Err(HtgError::UnknownNode(id))
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.kinds[id.0 as usize]
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+    }
+
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    pub fn edges(&self) -> &[TopEdge] {
+        &self.edges
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges.iter().filter(move |e| e.dst == id).map(|e| e.src)
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges.iter().filter(move |e| e.src == id).map(|e| e.dst)
+    }
+
+    /// Nodes with no incoming edges (application entry points).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.preds(n).next().is_none()).collect()
+    }
+
+    /// Nodes with no outgoing edges (application exits).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.succs(n).next().is_none()).collect()
+    }
+
+    /// Total bytes transferred across all top-level edges.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.edges.iter().map(|e| e.transfer.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str) -> TaskNode {
+        TaskNode { kernel: name.to_string(), sw_cycles: 1000, sw_only: false }
+    }
+
+    #[test]
+    fn build_simple_graph() {
+        let mut g = Htg::new();
+        let a = g.add_task("A", task("a")).unwrap();
+        let b = g.add_task("B", task("b")).unwrap();
+        g.add_edge(a, b, TransferKind::SharedBuffer { bytes: 64 }).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(g.preds(b).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![b]);
+        assert_eq!(g.total_transfer_bytes(), 64);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = Htg::new();
+        g.add_task("A", task("a")).unwrap();
+        assert_eq!(
+            g.add_task("A", task("a2")),
+            Err(HtgError::DuplicateNodeName("A".to_string()))
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Htg::new();
+        let a = g.add_task("A", task("a")).unwrap();
+        assert_eq!(
+            g.add_edge(a, a, TransferKind::ParameterCopy { bytes: 4 }),
+            Err(HtgError::SelfLoop(a))
+        );
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut g = Htg::new();
+        let a = g.add_task("A", task("a")).unwrap();
+        let bogus = NodeId(42);
+        assert_eq!(
+            g.add_edge(a, bogus, TransferKind::ParameterCopy { bytes: 4 }),
+            Err(HtgError::UnknownNode(bogus))
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut g = Htg::new();
+        let a = g.add_task("alpha", task("a")).unwrap();
+        assert_eq!(g.lookup("alpha"), Some(a));
+        assert_eq!(g.lookup("beta"), None);
+        assert_eq!(g.name(a), "alpha");
+    }
+}

@@ -1,0 +1,203 @@
+//! Hardware/software partitioning of the top-level HTG.
+//!
+//! The paper performs partitioning manually (DSE integration is future
+//! work); here the [`Partition`] type records a mapping decision per
+//! top-level node and validates it against the graph (software-only tasks
+//! must stay in software, every node must be mapped). The `dse` crate
+//! enumerates and scores these partitions automatically.
+
+use crate::graph::{Htg, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where a top-level node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mapping {
+    /// Runs on the GPP (ARM Cortex-A9 in the target board).
+    Software,
+    /// Implemented as a hardware accelerator (or, for a phase, as an
+    /// AXI-Stream pipeline of accelerators) in the reconfigurable logic.
+    Hardware,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A node was left unmapped.
+    Unmapped(String),
+    /// A software-only task (e.g. file I/O) was mapped to hardware.
+    SwOnlyInHardware(String),
+    /// Mapping references a node that is not in the graph.
+    UnknownNode(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Unmapped(n) => write!(f, "node `{n}` has no mapping"),
+            PartitionError::SwOnlyInHardware(n) => {
+                write!(f, "software-only node `{n}` mapped to hardware")
+            }
+            PartitionError::UnknownNode(n) => write!(f, "mapping names unknown node `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A complete HW/SW partition of an [`Htg`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    map: BTreeMap<String, Mapping>,
+}
+
+impl Partition {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a partition where the named nodes go to hardware and all
+    /// others to software.
+    pub fn hardware_set<I: IntoIterator<Item = S>, S: Into<String>>(
+        htg: &Htg,
+        hw: I,
+    ) -> Self {
+        let mut p = Partition::new();
+        for id in htg.node_ids() {
+            p.map.insert(htg.name(id).to_string(), Mapping::Software);
+        }
+        for name in hw {
+            p.map.insert(name.into(), Mapping::Hardware);
+        }
+        p
+    }
+
+    /// Everything mapped to software (the pure-GPP baseline).
+    pub fn all_software(htg: &Htg) -> Self {
+        Self::hardware_set(htg, std::iter::empty::<String>())
+    }
+
+    pub fn set(&mut self, name: &str, m: Mapping) {
+        self.map.insert(name.to_string(), m);
+    }
+
+    pub fn get(&self, name: &str) -> Option<Mapping> {
+        self.map.get(name).copied()
+    }
+
+    pub fn mapping(&self, htg: &Htg, id: NodeId) -> Option<Mapping> {
+        self.get(htg.name(id))
+    }
+
+    /// Names of nodes mapped to hardware, in graph order.
+    pub fn hardware_nodes<'a>(&'a self, htg: &'a Htg) -> Vec<NodeId> {
+        htg.node_ids()
+            .filter(|&id| self.mapping(htg, id) == Some(Mapping::Hardware))
+            .collect()
+    }
+
+    /// Names of nodes mapped to software, in graph order.
+    pub fn software_nodes<'a>(&'a self, htg: &'a Htg) -> Vec<NodeId> {
+        htg.node_ids()
+            .filter(|&id| self.mapping(htg, id) == Some(Mapping::Software))
+            .collect()
+    }
+
+    /// Validate the partition against the graph.
+    pub fn validate(&self, htg: &Htg) -> Result<(), PartitionError> {
+        for name in self.map.keys() {
+            if htg.lookup(name).is_none() {
+                return Err(PartitionError::UnknownNode(name.clone()));
+            }
+        }
+        for id in htg.node_ids() {
+            let name = htg.name(id);
+            match self.get(name) {
+                None => return Err(PartitionError::Unmapped(name.to_string())),
+                Some(Mapping::Hardware) => {
+                    if let NodeKind::Task(t) = htg.kind(id) {
+                        if t.sw_only {
+                            return Err(PartitionError::SwOnlyInHardware(name.to_string()));
+                        }
+                    }
+                }
+                Some(Mapping::Software) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of hardware-mapped nodes.
+    pub fn hardware_count(&self) -> usize {
+        self.map.values().filter(|m| **m == Mapping::Hardware).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskNode;
+
+    fn sample_htg() -> Htg {
+        let mut g = Htg::new();
+        g.add_task(
+            "readImage",
+            TaskNode { kernel: "read".into(), sw_cycles: 100, sw_only: true },
+        )
+        .unwrap();
+        g.add_task(
+            "histogram",
+            TaskNode { kernel: "hist".into(), sw_cycles: 5000, sw_only: false },
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn hardware_set_builds_complete_partition() {
+        let g = sample_htg();
+        let p = Partition::hardware_set(&g, ["histogram"]);
+        assert_eq!(p.get("histogram"), Some(Mapping::Hardware));
+        assert_eq!(p.get("readImage"), Some(Mapping::Software));
+        p.validate(&g).unwrap();
+        assert_eq!(p.hardware_count(), 1);
+    }
+
+    #[test]
+    fn sw_only_in_hardware_rejected() {
+        let g = sample_htg();
+        let p = Partition::hardware_set(&g, ["readImage"]);
+        assert_eq!(
+            p.validate(&g),
+            Err(PartitionError::SwOnlyInHardware("readImage".into()))
+        );
+    }
+
+    #[test]
+    fn unmapped_node_rejected() {
+        let g = sample_htg();
+        let mut p = Partition::new();
+        p.set("histogram", Mapping::Hardware);
+        assert_eq!(p.validate(&g), Err(PartitionError::Unmapped("readImage".into())));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let g = sample_htg();
+        let mut p = Partition::all_software(&g);
+        p.set("ghost", Mapping::Hardware);
+        assert_eq!(p.validate(&g), Err(PartitionError::UnknownNode("ghost".into())));
+    }
+
+    #[test]
+    fn node_sets_partition_graph() {
+        let g = sample_htg();
+        let p = Partition::hardware_set(&g, ["histogram"]);
+        let hw = p.hardware_nodes(&g);
+        let sw = p.software_nodes(&g);
+        assert_eq!(hw.len(), 1);
+        assert_eq!(sw.len(), 1);
+        assert_eq!(g.name(hw[0]), "histogram");
+        assert_eq!(g.name(sw[0]), "readImage");
+    }
+}

@@ -1,0 +1,246 @@
+//! Synchronous-dataflow execution of phase graphs.
+//!
+//! The paper's phases fire actors "as soon as the minimum amount of data
+//! is available". This module simulates that token-level behaviour:
+//! demand-driven firing against per-stream token counts, producing a
+//! schedule, buffer-occupancy bounds (FIFO sizing for the AXI-Stream
+//! links), and verifying the classic SDF property that one iteration of
+//! the repetition vector returns every internal buffer to its initial
+//! state.
+
+use crate::dataflow::{ActorId, DataflowGraph};
+use std::fmt;
+
+/// Result of simulating complete iterations of a phase.
+#[derive(Debug, Clone)]
+pub struct SdfRun {
+    /// Actor firing sequence.
+    pub schedule: Vec<ActorId>,
+    /// Firings per actor.
+    pub firings: Vec<u64>,
+    /// Peak token occupancy per stream (FIFO depth requirement), indexed
+    /// like [`DataflowGraph::streams`].
+    pub peak_tokens: Vec<u64>,
+    /// Tokens consumed from each phase input (streams with `src == None`).
+    pub boundary_in: u64,
+    /// Tokens produced to each phase output (streams with `dst == None`).
+    pub boundary_out: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdfError {
+    /// No repetition vector exists (inconsistent rates).
+    Inconsistent,
+    /// The graph deadlocked before completing an iteration (cyclic
+    /// dependencies without initial tokens).
+    Deadlock { fired: u64, needed: u64 },
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::Inconsistent => write!(f, "inconsistent SDF rates"),
+            SdfError::Deadlock { fired, needed } => {
+                write!(f, "deadlock after {fired} of {needed} firings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SdfError {}
+
+/// Simulate `iterations` complete iterations of the phase. Boundary
+/// inputs are assumed always-available (the DMA keeps the head FIFO fed),
+/// matching the paper's execution model.
+pub fn simulate(df: &DataflowGraph, iterations: u64) -> Result<SdfRun, SdfError> {
+    let rep = df.repetition_vector().ok_or(SdfError::Inconsistent)?;
+    let n = df.actor_count();
+    let streams = df.streams();
+    let mut tokens: Vec<u64> = vec![0; streams.len()];
+    let mut peak: Vec<u64> = vec![0; streams.len()];
+    let mut fired: Vec<u64> = vec![0; n];
+    let mut schedule = Vec::new();
+    let mut boundary_in = 0u64;
+    let mut boundary_out = 0u64;
+
+    let target: Vec<u64> = rep.iter().map(|&r| r * iterations).collect();
+    let total_needed: u64 = target.iter().sum();
+
+    let can_fire = |a: usize, tokens: &[u64], fired: &[u64]| -> bool {
+        if fired[a] >= target[a] {
+            return false;
+        }
+        streams.iter().enumerate().all(|(si, s)| match &s.dst {
+            Some((aid, _)) if aid.0 as usize == a => {
+                s.src.is_none() || tokens[si] >= s.consume.0 as u64
+            }
+            _ => true,
+        })
+    };
+
+    let mut total_fired = 0u64;
+    while total_fired < total_needed {
+        // Fair data-driven firing: among fireable actors, pick the one
+        // with the least relative progress (fired/target), so downstream
+        // actors drain as soon as their data arrives rather than the
+        // source bursting a whole iteration ahead.
+        let a = (0..n)
+            .filter(|&a| can_fire(a, &tokens, &fired))
+            .min_by(|&x, &y| {
+                (fired[x] * target[y].max(1)).cmp(&(fired[y] * target[x].max(1)))
+            });
+        let Some(a) = a else {
+            return Err(SdfError::Deadlock { fired: total_fired, needed: total_needed });
+        };
+        // Consume.
+        for (si, s) in streams.iter().enumerate() {
+            if let Some((aid, _)) = &s.dst {
+                if aid.0 as usize == a {
+                    if s.src.is_none() {
+                        boundary_in += s.consume.0 as u64;
+                    } else {
+                        tokens[si] -= s.consume.0 as u64;
+                    }
+                }
+            }
+        }
+        // Produce.
+        for (si, s) in streams.iter().enumerate() {
+            if let Some((aid, _)) = &s.src {
+                if aid.0 as usize == a {
+                    if s.dst.is_none() {
+                        boundary_out += s.produce.0 as u64;
+                    } else {
+                        tokens[si] += s.produce.0 as u64;
+                        peak[si] = peak[si].max(tokens[si]);
+                    }
+                }
+            }
+        }
+        fired[a] += 1;
+        total_fired += 1;
+        schedule.push(ActorId(a as u32));
+    }
+
+    debug_assert!(
+        tokens.iter().all(|&t| t == 0),
+        "SDF iteration must return buffers to empty: {tokens:?}"
+    );
+    Ok(SdfRun { schedule, firings: fired, peak_tokens: peak, boundary_in, boundary_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::{Actor, Rate, StreamEdge};
+
+    fn actor(name: &str, ins: &[&str], outs: &[&str]) -> Actor {
+        Actor {
+            name: name.into(),
+            kernel: name.into(),
+            inputs: ins.iter().map(|s| s.to_string()).collect(),
+            outputs: outs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn stream(
+        src: Option<(ActorId, &str)>,
+        dst: Option<(ActorId, &str)>,
+        p: u32,
+        c: u32,
+    ) -> StreamEdge {
+        StreamEdge {
+            src: src.map(|(a, s)| (a, s.to_string())),
+            dst: dst.map(|(a, s)| (a, s.to_string())),
+            produce: Rate(p),
+            consume: Rate(c),
+            token_bytes: 1,
+        }
+    }
+
+    fn pipeline() -> DataflowGraph {
+        let mut df = DataflowGraph::new();
+        let a = df.add_actor(actor("A", &["in"], &["out"])).unwrap();
+        let b = df.add_actor(actor("B", &["in"], &["out"])).unwrap();
+        df.add_stream(stream(None, Some((a, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((b, "out")), None, 1, 1)).unwrap();
+        df
+    }
+
+    #[test]
+    fn unit_rate_pipeline_fires_alternating() {
+        let df = pipeline();
+        let run = simulate(&df, 3).unwrap();
+        assert_eq!(run.firings, vec![3, 3]);
+        assert_eq!(run.boundary_in, 3);
+        assert_eq!(run.boundary_out, 3);
+        // The internal FIFO never holds more than one token.
+        assert_eq!(run.peak_tokens[1], 1);
+        assert_eq!(run.schedule.len(), 6);
+    }
+
+    #[test]
+    fn multirate_firing_counts_follow_repetition_vector() {
+        // A produces 2/firing, B consumes 3/firing: r = [3, 2].
+        let mut df = DataflowGraph::new();
+        let a = df.add_actor(actor("A", &[], &["out"])).unwrap();
+        let b = df.add_actor(actor("B", &["in"], &[])).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 2, 3)).unwrap();
+        let run = simulate(&df, 2).unwrap();
+        assert_eq!(run.firings, vec![6, 4]);
+        // Peak occupancy: A fires up to 3 times before B can drain twice.
+        assert!(run.peak_tokens[0] >= 3, "peak = {}", run.peak_tokens[0]);
+    }
+
+    #[test]
+    fn downsampler_chain() {
+        // 4:1 decimator followed by 2:1: r = [8, 2, 1].
+        let mut df = DataflowGraph::new();
+        let src = df.add_actor(actor("SRC", &[], &["out"])).unwrap();
+        let d4 = df.add_actor(actor("D4", &["in"], &["out"])).unwrap();
+        let d2 = df.add_actor(actor("D2", &["in"], &["out"])).unwrap();
+        df.add_stream(stream(Some((src, "out")), Some((d4, "in")), 1, 4)).unwrap();
+        df.add_stream(stream(Some((d4, "out")), Some((d2, "in")), 1, 2)).unwrap();
+        df.add_stream(stream(Some((d2, "out")), None, 1, 1)).unwrap();
+        assert_eq!(df.repetition_vector(), Some(vec![8, 2, 1]));
+        let run = simulate(&df, 1).unwrap();
+        assert_eq!(run.firings, vec![8, 2, 1]);
+        assert_eq!(run.boundary_out, 1);
+    }
+
+    #[test]
+    fn inconsistent_rates_error() {
+        let mut df = DataflowGraph::new();
+        let a = df.add_actor(actor("A", &["x"], &["out"])).unwrap();
+        let b = df.add_actor(actor("B", &["in"], &["y"])).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 2, 1)).unwrap();
+        assert_eq!(simulate(&df, 1).unwrap_err(), SdfError::Inconsistent);
+    }
+
+    #[test]
+    fn tokenless_cycle_deadlocks() {
+        // Consistent rates but a cycle with no initial tokens: deadlock.
+        let mut df = DataflowGraph::new();
+        let a = df.add_actor(actor("A", &["x"], &["out"])).unwrap();
+        let b = df.add_actor(actor("B", &["in"], &["y"])).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 1, 1)).unwrap();
+        assert_eq!(df.repetition_vector(), Some(vec![1, 1]));
+        let err = simulate(&df, 1).unwrap_err();
+        assert!(matches!(err, SdfError::Deadlock { fired: 0, .. }));
+    }
+
+    #[test]
+    fn peak_tokens_size_fifos() {
+        // Bursty producer: A makes 8 tokens per firing, B eats 1.
+        let mut df = DataflowGraph::new();
+        let a = df.add_actor(actor("A", &[], &["out"])).unwrap();
+        let b = df.add_actor(actor("B", &["in"], &[])).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 8, 1)).unwrap();
+        let run = simulate(&df, 1).unwrap();
+        assert_eq!(run.firings, vec![1, 8]);
+        assert_eq!(run.peak_tokens[0], 8, "FIFO must hold a full burst");
+    }
+}

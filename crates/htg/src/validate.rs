@@ -1,0 +1,268 @@
+//! Whole-graph validation: acyclicity, connectivity, dataflow consistency.
+
+use crate::dataflow::DataflowGraph;
+use crate::graph::{Htg, NodeId, NodeKind};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The top-level precedence graph contains a cycle through these nodes.
+    Cycle(Vec<String>),
+    /// A phase's dataflow rates admit no steady-state schedule.
+    InconsistentRates { phase: String },
+    /// A phase has no boundary streams at all — it could never receive
+    /// input or deliver output.
+    IsolatedPhase { phase: String },
+    /// A node is unreachable from every source node.
+    Unreachable(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Cycle(ns) => write!(f, "cycle through nodes: {}", ns.join(" -> ")),
+            ValidationError::InconsistentRates { phase } => {
+                write!(f, "phase `{phase}` has inconsistent dataflow rates")
+            }
+            ValidationError::IsolatedPhase { phase } => {
+                write!(f, "phase `{phase}` has no boundary streams")
+            }
+            ValidationError::Unreachable(n) => write!(f, "node `{n}` is unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Result of validating an HTG: either a topological order, or the list of
+/// problems found.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// A valid topological order of the top-level nodes (empty on failure).
+    pub topo_order: Vec<NodeId>,
+    pub errors: Vec<ValidationError>,
+}
+
+impl ValidationReport {
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Validate the full two-level HTG.
+pub fn validate(htg: &Htg) -> ValidationReport {
+    let mut errors = Vec::new();
+
+    let topo = topo_sort(htg);
+    let topo_order = match topo {
+        Ok(order) => order,
+        Err(cycle) => {
+            errors.push(ValidationError::Cycle(
+                cycle.iter().map(|&id| htg.name(id).to_string()).collect(),
+            ));
+            Vec::new()
+        }
+    };
+
+    // Reachability from sources (only meaningful for multi-node graphs).
+    if htg.node_count() > 1 {
+        let mut reach = vec![false; htg.node_count()];
+        let mut stack = htg.sources();
+        // A fully cyclic graph has no sources; the cycle error already covers it.
+        for &s in &stack {
+            reach[s.0 as usize] = true;
+        }
+        while let Some(n) = stack.pop() {
+            for s in htg.succs(n) {
+                if !reach[s.0 as usize] {
+                    reach[s.0 as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        if !htg.sources().is_empty() {
+            for id in htg.node_ids() {
+                if !reach[id.0 as usize] {
+                    errors.push(ValidationError::Unreachable(htg.name(id).to_string()));
+                }
+            }
+        }
+    }
+
+    // Phase-level checks.
+    for id in htg.node_ids() {
+        if let NodeKind::Phase(df) = htg.kind(id) {
+            let name = htg.name(id).to_string();
+            if df.repetition_vector().is_none() {
+                errors.push(ValidationError::InconsistentRates { phase: name.clone() });
+            }
+            if df.actor_count() > 0 && !has_boundary(df) {
+                errors.push(ValidationError::IsolatedPhase { phase: name });
+            }
+        }
+    }
+
+    ValidationReport { topo_order, errors }
+}
+
+fn has_boundary(df: &DataflowGraph) -> bool {
+    df.streams().iter().any(|s| s.src.is_none() || s.dst.is_none())
+}
+
+/// Kahn's algorithm; on a cycle, returns the nodes still carrying incoming
+/// edges (all of which participate in or feed a cycle).
+pub fn topo_sort(htg: &Htg) -> Result<Vec<NodeId>, Vec<NodeId>> {
+    let n = htg.node_count();
+    let mut indeg = vec![0usize; n];
+    for e in htg.edges() {
+        indeg[e.dst.0 as usize] += 1;
+    }
+    let mut ready: Vec<NodeId> =
+        htg.node_ids().filter(|id| indeg[id.0 as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = ready.pop() {
+        order.push(id);
+        for s in htg.succs(id) {
+            indeg[s.0 as usize] -= 1;
+            if indeg[s.0 as usize] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(htg.node_ids().filter(|id| indeg[id.0 as usize] > 0).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::{Actor, Rate, StreamEdge};
+    use crate::graph::{TaskNode, TransferKind};
+
+    fn task(n: &str) -> TaskNode {
+        TaskNode { kernel: n.into(), sw_cycles: 10, sw_only: false }
+    }
+
+    fn buf() -> TransferKind {
+        TransferKind::SharedBuffer { bytes: 16 }
+    }
+
+    #[test]
+    fn dag_validates_with_topo_order() {
+        let mut g = Htg::new();
+        let a = g.add_task("A", task("a")).unwrap();
+        let b = g.add_task("B", task("b")).unwrap();
+        let c = g.add_task("C", task("c")).unwrap();
+        g.add_edge(a, b, buf()).unwrap();
+        g.add_edge(b, c, buf()).unwrap();
+        g.add_edge(a, c, buf()).unwrap();
+        let rep = validate(&g);
+        assert!(rep.is_ok(), "{:?}", rep.errors);
+        let pos = |id: NodeId| rep.topo_order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Htg::new();
+        let a = g.add_task("A", task("a")).unwrap();
+        let b = g.add_task("B", task("b")).unwrap();
+        g.add_edge(a, b, buf()).unwrap();
+        g.add_edge(b, a, buf()).unwrap();
+        let rep = validate(&g);
+        assert!(!rep.is_ok());
+        assert!(matches!(rep.errors[0], ValidationError::Cycle(_)));
+    }
+
+    #[test]
+    fn unreachable_node_detected() {
+        let mut g = Htg::new();
+        let a = g.add_task("A", task("a")).unwrap();
+        let b = g.add_task("B", task("b")).unwrap();
+        let c = g.add_task("C", task("c")).unwrap();
+        let d = g.add_task("D", task("d")).unwrap();
+        g.add_edge(a, b, buf()).unwrap();
+        // C <-> D form a cycle detached from any source: they are flagged as
+        // part of a cycle, not as unreachable.
+        g.add_edge(c, d, buf()).unwrap();
+        g.add_edge(d, c, buf()).unwrap();
+        let rep = validate(&g);
+        assert!(rep.errors.iter().any(|e| matches!(e, ValidationError::Cycle(_))));
+    }
+
+    #[test]
+    fn inconsistent_phase_detected() {
+        let mut df = DataflowGraph::new();
+        let a = df
+            .add_actor(Actor {
+                name: "A".into(),
+                kernel: "a".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["out".into()],
+            })
+            .unwrap();
+        let b = df
+            .add_actor(Actor {
+                name: "B".into(),
+                kernel: "b".into(),
+                inputs: vec!["in".into()],
+                outputs: vec!["y".into()],
+            })
+            .unwrap();
+        df.add_stream(StreamEdge {
+            src: Some((a, "out".into())),
+            dst: Some((b, "in".into())),
+            produce: Rate(1),
+            consume: Rate(1),
+            token_bytes: 4,
+        })
+        .unwrap();
+        df.add_stream(StreamEdge {
+            src: Some((b, "y".into())),
+            dst: Some((a, "x".into())),
+            produce: Rate(2),
+            consume: Rate(1),
+            token_bytes: 4,
+        })
+        .unwrap();
+        let mut g = Htg::new();
+        g.add_phase("P", df).unwrap();
+        let rep = validate(&g);
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::InconsistentRates { .. })));
+    }
+
+    #[test]
+    fn isolated_phase_detected() {
+        let mut df = DataflowGraph::new();
+        df.add_actor(Actor {
+            name: "A".into(),
+            kernel: "a".into(),
+            inputs: vec![],
+            outputs: vec![],
+        })
+        .unwrap();
+        let mut g = Htg::new();
+        g.add_phase("P", df).unwrap();
+        let rep = validate(&g);
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::IsolatedPhase { .. })));
+    }
+
+    #[test]
+    fn single_node_graph_is_valid() {
+        let mut g = Htg::new();
+        g.add_task("only", task("k")).unwrap();
+        let rep = validate(&g);
+        assert!(rep.is_ok());
+        assert_eq!(rep.topo_order.len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the HTG crate.
+
+use accelsoc_htg::graph::{Htg, TaskNode, TransferKind};
+use accelsoc_htg::validate::{topo_sort, validate};
+use proptest::prelude::*;
+
+/// Build a random DAG: `n` nodes, edges only from lower to higher index, so
+/// the graph is acyclic by construction.
+fn arb_dag() -> impl Strategy<Value = Htg> {
+    (2usize..24, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u64..4096), 0..60))
+        .prop_map(|(n, raw_edges)| {
+            let mut g = Htg::new();
+            for i in 0..n {
+                g.add_task(
+                    &format!("t{i}"),
+                    TaskNode { kernel: format!("k{i}"), sw_cycles: 100, sw_only: false },
+                )
+                .unwrap();
+            }
+            let ids: Vec<_> = g.node_ids().collect();
+            for (a, b, bytes) in raw_edges {
+                let a = (a as usize) % n;
+                let b = (b as usize) % n;
+                if a < b {
+                    g.add_edge(ids[a], ids[b], TransferKind::SharedBuffer { bytes }).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    /// Every DAG admits a topological order that respects all edges.
+    #[test]
+    fn topo_order_respects_edges(g in arb_dag()) {
+        let order = topo_sort(&g).expect("DAG must sort");
+        prop_assert_eq!(order.len(), g.node_count());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for e in g.edges() {
+            prop_assert!(pos[&e.src] < pos[&e.dst], "edge {:?} violated", e);
+        }
+    }
+
+    /// Validation never reports a cycle on a by-construction DAG.
+    #[test]
+    fn dag_never_reports_cycle(g in arb_dag()) {
+        let rep = validate(&g);
+        prop_assert!(!rep.errors.iter().any(|e|
+            matches!(e, accelsoc_htg::ValidationError::Cycle(_))));
+    }
+
+    /// Adding a back edge to a path graph always produces a cycle report.
+    #[test]
+    fn back_edge_always_detected(n in 2usize..16, from in 1usize..16, to in 0usize..15) {
+        let mut g = Htg::new();
+        for i in 0..n {
+            g.add_task(
+                &format!("t{i}"),
+                TaskNode { kernel: format!("k{i}"), sw_cycles: 1, sw_only: false },
+            ).unwrap();
+        }
+        let ids: Vec<_> = g.node_ids().collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], TransferKind::ParameterCopy { bytes: 4 }).unwrap();
+        }
+        let from = from % n;
+        let to = to % n;
+        prop_assume!(from > to); // a genuine back edge
+        g.add_edge(ids[from], ids[to], TransferKind::ParameterCopy { bytes: 4 }).unwrap();
+        prop_assert!(topo_sort(&g).is_err());
+    }
+
+    /// Total transfer bytes equals the sum over edges.
+    #[test]
+    fn transfer_bytes_sum(g in arb_dag()) {
+        let expect: u64 = g.edges().iter().map(|e| e.transfer.bytes()).sum();
+        prop_assert_eq!(g.total_transfer_bytes(), expect);
+    }
+}

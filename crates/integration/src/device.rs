@@ -1,0 +1,89 @@
+//! Target device definitions.
+
+use accelsoc_hls::resource::ResourceEstimate;
+use serde::{Deserialize, Serialize};
+
+/// An FPGA part: capacity plus a coarse placement geometry. The grid is a
+/// simplification of the real column-based fabric: `cols × rows` sites,
+/// each site holding [`Device::site_luts`] LUTs / 2× FFs; BRAM and DSP are
+/// modelled as dedicated columns every `bram_col_every` / `dsp_col_every`
+/// columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    pub part: String,
+    pub capacity: ResourceEstimate,
+    pub cols: u32,
+    pub rows: u32,
+    pub site_luts: u32,
+}
+
+impl Device {
+    /// The Zynq-7020 on the AVNET ZedBoard (the paper's target): 53 200
+    /// LUTs, 106 400 FFs, 280 RAMB18 (140 × 36 Kb blocks), 220 DSP48E1.
+    pub fn zynq7020() -> Self {
+        Device {
+            part: "xc7z020clg484-1".into(),
+            capacity: ResourceEstimate::new(53_200, 106_400, 280, 220),
+            cols: 50,
+            rows: 100,
+            site_luts: 11, // 53_200 / (50 * 100) ≈ 10.6, rounded up
+        }
+    }
+
+    /// The smaller Zynq-7010 (MicroZed-class), useful for over-capacity
+    /// failure-injection tests.
+    pub fn zynq7010() -> Self {
+        Device {
+            part: "xc7z010clg400-1".into(),
+            capacity: ResourceEstimate::new(17_600, 35_200, 120, 80),
+            cols: 30,
+            rows: 60,
+            site_luts: 10,
+        }
+    }
+
+    /// Number of placement sites.
+    pub fn sites(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// Sites needed by a block of `r` resources (LUT-dominated; FF packs
+    /// 2-per-LUT-site).
+    pub fn sites_for(&self, r: &ResourceEstimate) -> u32 {
+        let lut_sites = r.lut.div_ceil(self.site_luts);
+        let ff_sites = r.ff.div_ceil(2 * self.site_luts);
+        lut_sites.max(ff_sites).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zynq7020_matches_datasheet() {
+        let d = Device::zynq7020();
+        assert_eq!(d.capacity.lut, 53_200);
+        assert_eq!(d.capacity.ff, 106_400);
+        assert_eq!(d.capacity.bram18, 280);
+        assert_eq!(d.capacity.dsp, 220);
+        // Grid covers the LUT capacity.
+        assert!(d.sites() * d.site_luts >= d.capacity.lut);
+    }
+
+    #[test]
+    fn sites_for_scales_with_area() {
+        let d = Device::zynq7020();
+        let small = ResourceEstimate::new(100, 50, 0, 0);
+        let big = ResourceEstimate::new(10_000, 5_000, 0, 0);
+        assert!(d.sites_for(&big) > 10 * d.sites_for(&small));
+        assert!(d.sites_for(&ResourceEstimate::ZERO) >= 1);
+    }
+
+    #[test]
+    fn ff_heavy_blocks_need_sites_too() {
+        let d = Device::zynq7020();
+        let ff_heavy = ResourceEstimate::new(10, 10_000, 0, 0);
+        assert!(d.sites_for(&ff_heavy) > 100);
+    }
+}

@@ -1,0 +1,41 @@
+//! # accelsoc-integration — system integration flow
+//!
+//! Stand-in for the Xilinx Vivado Design Suite as driven by the paper's
+//! DSL (Section IV): assemble a Zynq block design from HLS cores, generate
+//! the tcl that a designer would otherwise write by hand, then run the
+//! implementation flow — synthesis, placement, routing, timing, bitstream
+//! generation — against a real device capacity model (Zynq-7020).
+//!
+//! Module map (one per flow step):
+//!
+//! * [`device`] — target parts and their capacities/geometry;
+//! * [`blockdesign`] — cells/nets model of the assembled system;
+//! * [`assembler`] — the automation the paper contributes: PS + DMA +
+//!   interconnect insertion and address-map allocation from the DSL graph;
+//! * [`tcl`] — tcl emission with two backend versions (2014.2 / 2015.3),
+//!   reproducing the maintainability experiment of §VI.C;
+//! * [`synth`] — logic synthesis model: resource aggregation, optimization,
+//!   capacity checking;
+//! * [`place`] — simulated-annealing placement on the device grid;
+//! * [`route`] — half-perimeter wirelength routing estimate + congestion;
+//! * [`timing`] — post-route static timing (achieved Fmax, slack);
+//! * [`bitstream`] — framed bitstream serialization with per-frame CRC32;
+//! * [`flowtime`] — wall-clock model of the vendor tools (Fig. 9 scale).
+
+pub mod assembler;
+pub mod bitstream;
+pub mod blockdesign;
+pub mod device;
+pub mod flowtime;
+pub mod place;
+pub mod route;
+pub mod synth;
+pub mod tcl;
+pub mod timing;
+
+pub use assembler::{assemble, ArchSpec, CoreSpec, DmaPolicy, LinkSpec, SocEndpoint};
+pub use bitstream::Bitstream;
+pub use blockdesign::{BlockDesign, Cell, CellKind, Net, NetKind};
+pub use device::Device;
+pub use synth::{SynthError, SynthReport};
+pub use tcl::TclBackend;

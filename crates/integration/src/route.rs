@@ -1,0 +1,117 @@
+//! Routing estimate: per-net half-perimeter wirelength over the placement
+//! plus a congestion metric (demand per grid channel against a uniform
+//! capacity model). Feeds the timing model's interconnect-delay term.
+
+use crate::blockdesign::BlockDesign;
+use crate::device::Device;
+use crate::place::Placement;
+use serde::{Deserialize, Serialize};
+
+/// Routing result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteReport {
+    /// Per-net (from-cell, to-cell, wirelength).
+    pub nets: Vec<(String, String, u32)>,
+    pub total_wirelength: u64,
+    /// Longest single net (drives the critical-path interconnect delay).
+    pub max_net_length: u32,
+    /// Peak channel demand / capacity (>1.0 means congested; the timing
+    /// model degrades, mirroring detour routing).
+    pub congestion: f64,
+}
+
+/// Wiring tracks available per grid channel in this coarse model.
+const CHANNEL_CAPACITY: f64 = 28.0;
+
+/// Route the placed design.
+pub fn route(bd: &BlockDesign, placement: &Placement, device: &Device) -> RouteReport {
+    let mut nets = Vec::new();
+    let mut total = 0u64;
+    let mut max_len = 0u32;
+    // Channel demand: count nets crossing each column/row boundary band.
+    let mut col_demand = vec![0u32; device.cols as usize];
+    let mut row_demand = vec![0u32; device.rows as usize];
+
+    for net in &bd.nets {
+        let (Some((ax, ay)), Some((bx, by))) =
+            (placement.position(&net.from.0), placement.position(&net.to.0))
+        else {
+            continue;
+        };
+        let len = ax.abs_diff(bx) + ay.abs_diff(by);
+        nets.push((net.from.0.clone(), net.to.0.clone(), len));
+        total += len as u64;
+        max_len = max_len.max(len);
+        for x in ax.min(bx)..ax.max(bx) {
+            col_demand[x as usize] += 1;
+        }
+        for y in ay.min(by)..ay.max(by) {
+            row_demand[y as usize] += 1;
+        }
+    }
+
+    let peak = col_demand
+        .iter()
+        .chain(row_demand.iter())
+        .copied()
+        .max()
+        .unwrap_or(0) as f64;
+    RouteReport {
+        nets,
+        total_wirelength: total,
+        max_net_length: max_len,
+        congestion: peak / CHANNEL_CAPACITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockdesign::{Cell, CellKind, NetKind};
+    use crate::place::place;
+
+    fn two_cell_design() -> BlockDesign {
+        let mut bd = BlockDesign::new("two");
+        bd.add_cell(Cell { name: "a".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell { name: "b".into(), kind: CellKind::AxiDma });
+        bd.connect(("a", "M"), ("b", "S"), NetKind::AxiStream);
+        bd
+    }
+
+    #[test]
+    fn wirelength_matches_manhattan_distance() {
+        let bd = two_cell_design();
+        let d = Device::zynq7020();
+        let p = place(&bd, &d);
+        let r = route(&bd, &p, &d);
+        let (ax, ay) = p.position("a").unwrap();
+        let (bx, by) = p.position("b").unwrap();
+        assert_eq!(r.total_wirelength, (ax.abs_diff(bx) + ay.abs_diff(by)) as u64);
+        assert_eq!(r.nets.len(), 1);
+        assert_eq!(r.max_net_length as u64, r.total_wirelength);
+    }
+
+    #[test]
+    fn congestion_grows_with_parallel_nets() {
+        // Many nets between the same two cells share channels.
+        let mut bd = two_cell_design();
+        for i in 0..40 {
+            bd.connect(("a", &format!("M{i}")), ("b", &format!("S{i}")), NetKind::AxiStream);
+        }
+        let d = Device::zynq7020();
+        let p = place(&bd, &d);
+        let sparse = route(&two_cell_design(), &p, &d);
+        let dense = route(&bd, &p, &d);
+        assert!(dense.congestion >= sparse.congestion);
+    }
+
+    #[test]
+    fn empty_design_routes_trivially() {
+        let bd = BlockDesign::new("empty");
+        let d = Device::zynq7020();
+        let p = place(&bd, &d);
+        let r = route(&bd, &p, &d);
+        assert_eq!(r.total_wirelength, 0);
+        assert_eq!(r.congestion, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Logic-synthesis model: per-cell resource aggregation, a cross-boundary
+//! optimization model, and device capacity checking (producing Table II's
+//! system-level numbers).
+
+use crate::blockdesign::BlockDesign;
+use crate::device::Device;
+use accelsoc_hls::resource::ResourceEstimate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The design does not fit the device.
+    Overutilization {
+        used: ResourceEstimate,
+        capacity: ResourceEstimate,
+        worst_fraction: f64,
+    },
+    /// The design has no cells (nothing to synthesize).
+    EmptyDesign,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Overutilization { used, capacity, worst_fraction } => write!(
+                f,
+                "design over capacity ({:.1}%): uses {used}, device has {capacity}",
+                worst_fraction * 100.0
+            ),
+            SynthError::EmptyDesign => write!(f, "empty design"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Synthesis output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthReport {
+    pub design: String,
+    pub part: String,
+    /// Post-optimization totals (the paper's Table II row).
+    pub total: ResourceEstimate,
+    /// Per-cell contribution, post-optimization.
+    pub per_cell: Vec<(String, ResourceEstimate)>,
+    /// Utilisation fraction of the binding dimension (max across LUT/FF/
+    /// BRAM/DSP).
+    pub utilization: f64,
+    /// Worst synthesized clock estimate across HLS cores, in ns.
+    pub clock_ns: f64,
+}
+
+impl SynthReport {
+    /// Render a Vivado-like utilisation table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "== Utilization report: {} on {} ==", self.design, self.part);
+        let _ = writeln!(s, "{:<24} {:>8} {:>8} {:>8} {:>6}", "Cell", "LUT", "FF", "RAMB18", "DSP");
+        for (name, r) in &self.per_cell {
+            let _ = writeln!(
+                s,
+                "{:<24} {:>8} {:>8} {:>8} {:>6}",
+                name, r.lut, r.ff, r.bram18, r.dsp
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:<24} {:>8} {:>8} {:>8} {:>6}",
+            "TOTAL", self.total.lut, self.total.ff, self.total.bram18, self.total.dsp
+        );
+        let _ = writeln!(s, "Utilization: {:.1}%", self.utilization * 100.0);
+        s
+    }
+}
+
+/// Fraction of LUTs recovered by cross-boundary optimization (constant
+/// propagation into unused register paths, width trimming).
+const OPT_LUT_RECOVERY: f64 = 0.04;
+const OPT_FF_RECOVERY: f64 = 0.06;
+
+/// Run synthesis.
+pub fn synthesize(bd: &BlockDesign, device: &Device) -> Result<SynthReport, SynthError> {
+    if bd.cells.is_empty() {
+        return Err(SynthError::EmptyDesign);
+    }
+    let mut per_cell = Vec::new();
+    let mut total = ResourceEstimate::ZERO;
+    let mut clock_ns: f64 = 0.0;
+    for cell in &bd.cells {
+        let raw = cell.resources();
+        // Optimization shaves a few percent of fabric logic per cell.
+        let opt = ResourceEstimate {
+            lut: raw.lut - (raw.lut as f64 * OPT_LUT_RECOVERY) as u32,
+            ff: raw.ff - (raw.ff as f64 * OPT_FF_RECOVERY) as u32,
+            bram18: raw.bram18,
+            dsp: raw.dsp,
+        };
+        if let crate::blockdesign::CellKind::HlsCore(r) = &cell.kind {
+            clock_ns = clock_ns.max(r.clock_estimate_ns);
+        }
+        total += opt;
+        if opt != ResourceEstimate::ZERO {
+            per_cell.push((cell.name.clone(), opt));
+        }
+    }
+    let utilization = total.utilization(&device.capacity);
+    if !total.fits_in(&device.capacity) {
+        return Err(SynthError::Overutilization {
+            used: total,
+            capacity: device.capacity,
+            worst_fraction: utilization,
+        });
+    }
+    Ok(SynthReport {
+        design: bd.name.clone(),
+        part: device.part.clone(),
+        total,
+        per_cell,
+        utilization,
+        clock_ns: if clock_ns == 0.0 { 7.0 } else { clock_ns },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockdesign::{Cell, CellKind};
+
+    fn design_with_luts(lut: u32) -> BlockDesign {
+        let mut bd = BlockDesign::new("d");
+        // Fake a big core by stacking interconnects (deterministic sizes).
+        bd.add_cell(Cell {
+            name: "ps7".into(),
+            kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 0 },
+        });
+        let mut remaining = lut as i64;
+        let mut i = 0;
+        while remaining > 0 {
+            // Each 16-port interconnect ≈ 300 + 150*16 = 2700 LUT raw.
+            bd.add_cell(Cell {
+                name: format!("ic{i}"),
+                kind: CellKind::AxiInterconnect { masters: 8, slaves: 8 },
+            });
+            remaining -= 2700;
+            i += 1;
+        }
+        bd
+    }
+
+    #[test]
+    fn small_design_fits_and_reports() {
+        let bd = design_with_luts(5_000);
+        let rpt = synthesize(&bd, &Device::zynq7020()).unwrap();
+        assert!(rpt.total.lut > 0);
+        assert!(rpt.utilization > 0.0 && rpt.utilization < 1.0);
+        let text = rpt.render();
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("Utilization"));
+    }
+
+    #[test]
+    fn optimization_reduces_raw_totals() {
+        let bd = design_with_luts(10_000);
+        let raw = bd.raw_resources();
+        let rpt = synthesize(&bd, &Device::zynq7020()).unwrap();
+        assert!(rpt.total.lut < raw.lut);
+        assert!(rpt.total.ff < raw.ff);
+        assert_eq!(rpt.total.bram18, raw.bram18);
+    }
+
+    #[test]
+    fn over_capacity_design_fails() {
+        let bd = design_with_luts(80_000);
+        let err = synthesize(&bd, &Device::zynq7020()).unwrap_err();
+        match err {
+            SynthError::Overutilization { worst_fraction, .. } => {
+                assert!(worst_fraction > 1.0)
+            }
+            _ => panic!("expected overutilization"),
+        }
+        // The same design fails harder on the smaller part.
+        assert!(synthesize(&bd, &Device::zynq7010()).is_err());
+    }
+
+    #[test]
+    fn empty_design_rejected() {
+        let bd = BlockDesign::new("empty");
+        assert_eq!(synthesize(&bd, &Device::zynq7020()).unwrap_err(), SynthError::EmptyDesign);
+    }
+
+    #[test]
+    fn zynq_ps_contributes_nothing() {
+        let mut bd = BlockDesign::new("ps_only");
+        bd.add_cell(Cell {
+            name: "ps7".into(),
+            kind: CellKind::ZynqPs { gp_masters: 2, hp_slaves: 4 },
+        });
+        let rpt = synthesize(&bd, &Device::zynq7020()).unwrap();
+        assert_eq!(rpt.total, ResourceEstimate::ZERO);
+    }
+}

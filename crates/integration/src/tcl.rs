@@ -1,0 +1,220 @@
+//! Tcl script generation.
+//!
+//! The paper's tool emits tcl that drives Vivado IP Integrator; §VI.C then
+//! compares the size of this generated tcl against the DSL source (4× the
+//! lines, 4–10× the characters), and §VI.C's maintainability discussion
+//! notes that porting from Vivado 2014.2 to 2015.3 only required swapping
+//! the tcl backend. We reproduce both: two [`TclBackend`]s that emit
+//! version-accurate command dialects from the same [`BlockDesign`].
+
+use crate::blockdesign::{BlockDesign, CellKind, NetKind};
+use std::fmt::Write;
+
+/// Supported Vivado tcl dialects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TclBackend {
+    /// Vivado Design Suite 2014.2 (the paper's starting version).
+    V2014_2,
+    /// Vivado Design Suite 2015.3 (the port described in §VI.C).
+    #[default]
+    V2015_3,
+}
+
+impl TclBackend {
+    pub fn version_string(&self) -> &'static str {
+        match self {
+            TclBackend::V2014_2 => "2014.2",
+            TclBackend::V2015_3 => "2015.3",
+        }
+    }
+
+    /// IP catalog VLNV suffixes changed between versions.
+    fn ip_version(&self, ip: &str) -> &'static str {
+        match (self, ip) {
+            (TclBackend::V2014_2, "processing_system7") => "5.4",
+            (TclBackend::V2015_3, "processing_system7") => "5.5",
+            (TclBackend::V2014_2, "axi_dma") => "7.1",
+            (TclBackend::V2015_3, "axi_dma") => "7.1",
+            (TclBackend::V2014_2, "axi_interconnect") => "2.1",
+            (TclBackend::V2015_3, "axi_interconnect") => "2.1",
+            (TclBackend::V2014_2, "proc_sys_reset") => "5.0",
+            (TclBackend::V2015_3, "proc_sys_reset") => "5.0",
+            _ => "1.0",
+        }
+    }
+
+    /// 2015.3 renamed the block-automation flag set.
+    fn block_automation(&self) -> &'static str {
+        match self {
+            TclBackend::V2014_2 => {
+                "apply_bd_automation -rule xilinx.com:bd_rule:processing_system7 -config {make_external \"FIXED_IO, DDR\"}"
+            }
+            TclBackend::V2015_3 => {
+                "apply_bd_automation -rule xilinx.com:bd_rule:processing_system7 -config {make_external \"FIXED_IO, DDR\" apply_board_preset \"1\"}"
+            }
+        }
+    }
+}
+
+/// Generate the full project-creation + implementation tcl for a design.
+/// This is the artifact the designer "is supposed to write" by hand in the
+/// paper's comparison.
+pub fn generate(bd: &BlockDesign, backend: TclBackend, part: &str) -> String {
+    let mut s = String::new();
+    let w = &mut s;
+    let _ = writeln!(w, "# Auto-generated for Vivado {} — do not edit", backend.version_string());
+    let _ = writeln!(w, "create_project {} ./{} -part {}", bd.name, bd.name, part);
+    let _ = writeln!(w, "set_property board_part em.avnet.com:zed:part0:1.0 [current_project]");
+    let _ = writeln!(w, "set_property ip_repo_paths ./hls_cores [current_project]");
+    let _ = writeln!(w, "update_ip_catalog");
+    let _ = writeln!(w, "create_bd_design \"{}\"", bd.name);
+
+    for cell in &bd.cells {
+        match &cell.kind {
+            CellKind::ZynqPs { hp_slaves, .. } => {
+                let _ = writeln!(
+                    w,
+                    "create_bd_cell -type ip -vlnv xilinx.com:ip:processing_system7:{} {}",
+                    backend.ip_version("processing_system7"),
+                    cell.name
+                );
+                let _ = writeln!(w, "{}", backend.block_automation());
+                for h in 0..*hp_slaves {
+                    let _ = writeln!(
+                        w,
+                        "set_property -dict [list CONFIG.PCW_USE_S_AXI_HP{h} {{1}}] [get_bd_cells {}]",
+                        cell.name
+                    );
+                }
+            }
+            CellKind::AxiDma => {
+                let _ = writeln!(
+                    w,
+                    "create_bd_cell -type ip -vlnv xilinx.com:ip:axi_dma:{} {}",
+                    backend.ip_version("axi_dma"),
+                    cell.name
+                );
+                let _ = writeln!(
+                    w,
+                    "set_property -dict [list CONFIG.c_include_sg {{0}} CONFIG.c_sg_include_stscntrl_strm {{0}}] [get_bd_cells {}]",
+                    cell.name
+                );
+            }
+            CellKind::AxiInterconnect { masters, slaves } => {
+                let _ = writeln!(
+                    w,
+                    "create_bd_cell -type ip -vlnv xilinx.com:ip:axi_interconnect:{} {}",
+                    backend.ip_version("axi_interconnect"),
+                    cell.name
+                );
+                let _ = writeln!(
+                    w,
+                    "set_property -dict [list CONFIG.NUM_SI {{{masters}}} CONFIG.NUM_MI {{{slaves}}}] [get_bd_cells {}]",
+                    cell.name
+                );
+            }
+            CellKind::HlsCore(report) => {
+                let _ = writeln!(
+                    w,
+                    "create_bd_cell -type ip -vlnv xilinx.com:hls:{}:1.0 {}",
+                    report.kernel, cell.name
+                );
+            }
+            CellKind::ProcSysReset => {
+                let _ = writeln!(
+                    w,
+                    "create_bd_cell -type ip -vlnv xilinx.com:ip:proc_sys_reset:{} {}",
+                    backend.ip_version("proc_sys_reset"),
+                    cell.name
+                );
+            }
+        }
+    }
+
+    for net in &bd.nets {
+        let cmd = match net.kind {
+            NetKind::AxiStream | NetKind::AxiLite => "connect_bd_intf_net",
+            NetKind::ClockReset => "connect_bd_net",
+        };
+        let _ = writeln!(
+            w,
+            "{cmd} [get_bd_intf_pins {}/{}] [get_bd_intf_pins {}/{}]",
+            net.from.0, net.from.1, net.to.0, net.to.1
+        );
+    }
+
+    for (cell, base, span) in &bd.address_map {
+        let _ = writeln!(
+            w,
+            "assign_bd_address -offset 0x{base:08X} -range 0x{span:08X} [get_bd_addr_segs {{{cell}/s_axi_ctrl/Reg}}]"
+        );
+    }
+
+    let _ = writeln!(w, "validate_bd_design");
+    let _ = writeln!(w, "make_wrapper -files [get_files {}.bd] -top", bd.name);
+    let _ = writeln!(w, "launch_runs synth_1 -jobs 4");
+    let _ = writeln!(w, "wait_on_run synth_1");
+    let _ = writeln!(w, "launch_runs impl_1 -to_step write_bitstream -jobs 4");
+    let _ = writeln!(w, "wait_on_run impl_1");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockdesign::Cell;
+
+    fn small_design() -> BlockDesign {
+        let mut bd = BlockDesign::new("sys");
+        bd.add_cell(Cell {
+            name: "ps7".into(),
+            kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 1 },
+        });
+        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "axi_ic_ctrl".into(),
+            kind: CellKind::AxiInterconnect { masters: 1, slaves: 2 },
+        });
+        bd.connect(("ps7", "M_AXI_GP0"), ("axi_ic_ctrl", "S00_AXI"), NetKind::AxiLite);
+        bd.address_map.push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
+        bd
+    }
+
+    #[test]
+    fn both_backends_generate_valid_scripts() {
+        let bd = small_design();
+        for backend in [TclBackend::V2014_2, TclBackend::V2015_3] {
+            let tcl = generate(&bd, backend, "xc7z020clg484-1");
+            assert!(tcl.contains("create_project sys"));
+            assert!(tcl.contains("create_bd_design"));
+            assert!(tcl.contains("axi_dma"));
+            assert!(tcl.contains("assign_bd_address -offset 0x40400000"));
+            assert!(tcl.contains("write_bitstream"));
+        }
+    }
+
+    #[test]
+    fn backends_differ_only_in_versioned_commands() {
+        let bd = small_design();
+        let a = generate(&bd, TclBackend::V2014_2, "xc7z020clg484-1");
+        let b = generate(&bd, TclBackend::V2015_3, "xc7z020clg484-1");
+        assert_ne!(a, b);
+        // PS7 IP version bumped.
+        assert!(a.contains("processing_system7:5.4"));
+        assert!(b.contains("processing_system7:5.5"));
+        // 2015.3 adds board-preset automation.
+        assert!(!a.contains("apply_board_preset"));
+        assert!(b.contains("apply_board_preset"));
+        // The diff is small: most lines shared (maintainability claim).
+        let set_a: std::collections::HashSet<&str> = a.lines().collect();
+        let differing = b.lines().filter(|l| !set_a.contains(l)).count();
+        assert!(differing <= 4, "only a handful of commands changed, got {differing}");
+    }
+
+    #[test]
+    fn hp_port_enabled_when_dma_present() {
+        let bd = small_design();
+        let tcl = generate(&bd, TclBackend::V2015_3, "xc7z020clg484-1");
+        assert!(tcl.contains("PCW_USE_S_AXI_HP0 {1}"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Post-route static timing: achieved clock = synthesized logic delay +
+//! interconnect delay from the longest routed net, degraded by congestion.
+
+use crate::route::RouteReport;
+use crate::synth::SynthReport;
+use serde::{Deserialize, Serialize};
+
+/// Timing closure result against the 100 MHz PL clock.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Target period (ns).
+    pub target_ns: f64,
+    /// Achieved critical-path estimate (ns).
+    pub achieved_ns: f64,
+    /// Positive slack means timing met.
+    pub slack_ns: f64,
+    pub fmax_mhz: f64,
+}
+
+impl TimingReport {
+    pub fn met(&self) -> bool {
+        self.slack_ns >= 0.0
+    }
+}
+
+/// Delay per grid unit of routed wire (ns) in this coarse model.
+const NS_PER_GRID_UNIT: f64 = 0.035;
+
+/// Analyse timing after synthesis + routing.
+pub fn analyze(synth: &SynthReport, route: &RouteReport, target_ns: f64) -> TimingReport {
+    let congestion_penalty = if route.congestion > 1.0 {
+        // Detoured nets: delay grows with overflow.
+        1.0 + 0.5 * (route.congestion - 1.0)
+    } else {
+        1.0
+    };
+    let interconnect_ns =
+        route.max_net_length as f64 * NS_PER_GRID_UNIT * congestion_penalty;
+    let achieved = synth.clock_ns + interconnect_ns;
+    TimingReport {
+        target_ns,
+        achieved_ns: achieved,
+        slack_ns: target_ns - achieved,
+        fmax_mhz: 1000.0 / achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_hls::resource::ResourceEstimate;
+
+    fn synth_report(clock_ns: f64) -> SynthReport {
+        SynthReport {
+            design: "d".into(),
+            part: "xc7z020".into(),
+            total: ResourceEstimate::ZERO,
+            per_cell: vec![],
+            utilization: 0.1,
+            clock_ns,
+        }
+    }
+
+    fn route_report(max_len: u32, congestion: f64) -> RouteReport {
+        RouteReport {
+            nets: vec![],
+            total_wirelength: max_len as u64,
+            max_net_length: max_len,
+            congestion,
+        }
+    }
+
+    #[test]
+    fn short_paths_meet_timing() {
+        let t = analyze(&synth_report(7.0), &route_report(20, 0.3), 10.0);
+        assert!(t.met());
+        assert!(t.fmax_mhz > 100.0);
+        assert!((t.slack_ns - (10.0 - t.achieved_ns)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_nets_erode_slack() {
+        let near = analyze(&synth_report(7.0), &route_report(10, 0.3), 10.0);
+        let far = analyze(&synth_report(7.0), &route_report(100, 0.3), 10.0);
+        assert!(far.achieved_ns > near.achieved_ns);
+    }
+
+    #[test]
+    fn congestion_penalises_timing() {
+        let calm = analyze(&synth_report(7.0), &route_report(50, 0.8), 10.0);
+        let jammed = analyze(&synth_report(7.0), &route_report(50, 2.0), 10.0);
+        assert!(jammed.achieved_ns > calm.achieved_ns);
+    }
+
+    #[test]
+    fn timing_failure_detected() {
+        let t = analyze(&synth_report(9.8), &route_report(200, 1.5), 10.0);
+        assert!(!t.met());
+        assert!(t.fmax_mhz < 100.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests over the integration flow: bitstream integrity,
+//! placement legality, synthesis monotonicity.
+
+use accelsoc_integration::bitstream::{self, crc32};
+use accelsoc_integration::blockdesign::{BlockDesign, Cell, CellKind, NetKind};
+use accelsoc_integration::device::Device;
+use accelsoc_integration::place::place;
+use accelsoc_integration::route::route;
+use accelsoc_integration::synth::synthesize;
+use proptest::prelude::*;
+
+/// Random infrastructure-only block designs (sizes are deterministic
+/// functions of cell kinds, so resource math is checkable).
+fn arb_design() -> impl Strategy<Value = BlockDesign> {
+    (
+        1usize..10,
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 0..16),
+    )
+        .prop_map(|(n_cells, raw_nets)| {
+            let mut bd = BlockDesign::new("prop");
+            bd.add_cell(Cell {
+                name: "ps7".into(),
+                kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 1 },
+            });
+            for i in 0..n_cells {
+                let kind = if i % 3 == 0 {
+                    CellKind::AxiDma
+                } else {
+                    CellKind::AxiInterconnect {
+                        masters: (i % 4) as u32 + 1,
+                        slaves: (i % 3) as u32 + 1,
+                    }
+                };
+                bd.add_cell(Cell { name: format!("c{i}"), kind });
+            }
+            for (a, b) in raw_nets {
+                let a = (a as usize) % n_cells;
+                let b = (b as usize) % n_cells;
+                if a != b {
+                    bd.connect(
+                        (&format!("c{a}"), "M"),
+                        (&format!("c{b}"), "S"),
+                        NetKind::AxiStream,
+                    );
+                }
+            }
+            for i in 0..n_cells.min(4) {
+                bd.address_map.push((
+                    format!("c{i}"),
+                    0x4000_0000 + (i as u64) * 0x1_0000,
+                    0x1_0000,
+                ));
+            }
+            bd
+        })
+}
+
+proptest! {
+    // Placement runs simulated annealing per case; keep the case count
+    // modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bitstream generate → verify round-trips for any design/placement,
+    /// and any single-bit corruption of a frame body is detected.
+    #[test]
+    fn bitstream_integrity(bd in arb_design(), flip in any::<u16>()) {
+        let device = Device::zynq7020();
+        let p = place(&bd, &device);
+        let bs = bitstream::generate(&bd, &p, &device.part);
+        let payload = bitstream::verify(&bs.data).unwrap();
+        prop_assert!(payload.starts_with(b"prop\0"));
+        // Corrupt one bit somewhere after the 8-byte header.
+        let mut bytes = bs.data.to_vec();
+        let idx = 8 + (flip as usize % (bytes.len() - 8));
+        bytes[idx] ^= 1 << (flip % 8);
+        prop_assert!(bitstream::verify(&bytes.into()).is_err());
+    }
+
+    /// Placement is always legal (inside the grid) and deterministic.
+    #[test]
+    fn placement_legal_and_deterministic(bd in arb_design()) {
+        let device = Device::zynq7020();
+        let p1 = place(&bd, &device);
+        let p2 = place(&bd, &device);
+        prop_assert_eq!(&p1.positions, &p2.positions);
+        for (_, x, y) in &p1.positions {
+            prop_assert!(*x < device.cols && *y < device.rows);
+        }
+        // Every cell is placed exactly once.
+        prop_assert_eq!(p1.positions.len(), bd.cells.len());
+    }
+
+    /// Routed wirelength equals the sum over nets of placed Manhattan
+    /// distances, and congestion is non-negative.
+    #[test]
+    fn routing_accounts_every_net(bd in arb_design()) {
+        let device = Device::zynq7020();
+        let p = place(&bd, &device);
+        let r = route(&bd, &p, &device);
+        prop_assert_eq!(r.nets.len(), bd.nets.len());
+        let expect: u64 = bd
+            .nets
+            .iter()
+            .map(|n| {
+                let (ax, ay) = p.position(&n.from.0).unwrap();
+                let (bx, by) = p.position(&n.to.0).unwrap();
+                (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+            })
+            .sum();
+        prop_assert_eq!(r.total_wirelength, expect);
+        prop_assert!(r.congestion >= 0.0);
+        prop_assert!(r.max_net_length as u64 <= r.total_wirelength || bd.nets.is_empty());
+    }
+
+    /// Synthesis totals are monotone: adding a cell never shrinks any
+    /// resource dimension.
+    #[test]
+    fn synthesis_monotone_in_cells(bd in arb_design()) {
+        let device = Device::zynq7020();
+        let base = synthesize(&bd, &device).unwrap().total;
+        let mut bigger = bd.clone();
+        bigger.add_cell(Cell { name: "extra_dma".into(), kind: CellKind::AxiDma });
+        let grown = synthesize(&bigger, &device).unwrap().total;
+        prop_assert!(grown.lut >= base.lut);
+        prop_assert!(grown.ff >= base.ff);
+        prop_assert!(grown.bram18 > base.bram18, "DMA adds FIFO BRAM");
+    }
+
+    /// CRC32 matches itself and detects any single-bit flip.
+    #[test]
+    fn crc_detects_single_bit_flips(data in proptest::collection::vec(any::<u8>(), 1..128),
+                                    bit in any::<u16>()) {
+        let c = crc32(&data);
+        prop_assert_eq!(c, crc32(&data));
+        let mut corrupted = data.clone();
+        let idx = bit as usize % corrupted.len();
+        corrupted[idx] ^= 1 << (bit % 8);
+        prop_assert_ne!(c, crc32(&corrupted));
+    }
+}

@@ -1,0 +1,278 @@
+//! Static analysis over kernel IR: operation census, loop structure, and
+//! memory footprint. The HLS simulator uses these to seed its resource and
+//! latency models before scheduling.
+
+use crate::ir::{BinOp, Expr, Kernel, LValue, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Static operation census, weighted by (statically known) loop trip
+/// counts. Unknown trip counts (variable bounds) are weighted by
+/// [`OpCensus::DEFAULT_TRIP`], which keeps comparisons between kernels
+/// meaningful even when bounds are runtime values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCensus {
+    pub adders: u64,
+    pub multipliers: u64,
+    pub dividers: u64,
+    pub comparators: u64,
+    pub bit_ops: u64,
+    pub muxes: u64,
+    pub mem_ports: u64,
+    pub stream_reads: u64,
+    pub stream_writes: u64,
+    /// Weighted (dynamic-estimate) totals.
+    pub weighted_ops: u64,
+}
+
+impl OpCensus {
+    /// Assumed trip count for loops whose bounds are not compile-time
+    /// constants.
+    pub const DEFAULT_TRIP: u64 = 64;
+
+    /// Number of *distinct static operators* (what binding shares).
+    pub fn static_operator_count(&self) -> u64 {
+        self.adders + self.multipliers + self.dividers + self.comparators + self.bit_ops
+            + self.muxes
+    }
+}
+
+/// Nesting structure of loops in a kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopInfo {
+    pub var: String,
+    /// Trip count if both bounds are constants.
+    pub trip_count: Option<u64>,
+    pub pipelined: bool,
+    pub depth: u32,
+    /// Number of statements directly in the body (not counting nested
+    /// loop bodies).
+    pub body_stmts: usize,
+}
+
+/// Full analysis result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelAnalysis {
+    pub census: OpCensus,
+    pub loops: Vec<LoopInfo>,
+    /// Maximum loop nesting depth.
+    pub max_loop_depth: u32,
+    /// Bits of local array storage.
+    pub array_bits: u64,
+    /// Estimated tokens consumed/produced per stream port for one
+    /// invocation (port, tokens) — only for statically countable cases.
+    pub stream_tokens: Vec<(String, u64)>,
+}
+
+/// Analyse a kernel.
+pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
+    let mut a = KernelAnalysis { array_bits: kernel.local_array_bits(), ..Default::default() };
+    let mut stream_counts: Vec<(String, u64)> = Vec::new();
+    walk_block(&kernel.body, 1, 0, &mut a, &mut stream_counts);
+    // Merge duplicate port entries.
+    stream_counts.sort();
+    stream_counts.dedup_by(|b, a| {
+        if a.0 == b.0 {
+            a.1 += b.1;
+            true
+        } else {
+            false
+        }
+    });
+    a.stream_tokens = stream_counts;
+    a
+}
+
+fn walk_block(
+    stmts: &[Stmt],
+    weight: u64,
+    depth: u32,
+    a: &mut KernelAnalysis,
+    streams: &mut Vec<(String, u64)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, value } => {
+                walk_expr(value, weight, a, streams);
+                if let LValue::Index(_, i) = dst {
+                    walk_expr(i, weight, a, streams);
+                    a.census.mem_ports += 1;
+                }
+                a.census.weighted_ops += weight;
+            }
+            Stmt::For { var, start, end, body, pipeline } => {
+                walk_expr(start, weight, a, streams);
+                walk_expr(end, weight, a, streams);
+                let trip = const_of(start)
+                    .zip(const_of(end))
+                    .map(|(lo, hi)| if hi > lo { (hi - lo) as u64 } else { 0 });
+                let inner = trip.unwrap_or(OpCensus::DEFAULT_TRIP);
+                a.loops.push(LoopInfo {
+                    var: var.clone(),
+                    trip_count: trip,
+                    pipelined: *pipeline,
+                    depth: depth + 1,
+                    body_stmts: body.len(),
+                });
+                a.max_loop_depth = a.max_loop_depth.max(depth + 1);
+                walk_block(body, weight.saturating_mul(inner.max(1)), depth + 1, a, streams);
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                walk_expr(cond, weight, a, streams);
+                a.census.muxes += 1;
+                walk_block(then_body, weight, depth, a, streams);
+                walk_block(else_body, weight, depth, a, streams);
+            }
+            Stmt::StreamWrite { port, value } => {
+                walk_expr(value, weight, a, streams);
+                a.census.stream_writes += 1;
+                streams.push((port.clone(), weight));
+            }
+        }
+    }
+}
+
+fn walk_expr(e: &Expr, weight: u64, a: &mut KernelAnalysis, streams: &mut Vec<(String, u64)>) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::Index(_, i) => {
+            a.census.mem_ports += 1;
+            walk_expr(i, weight, a, streams);
+        }
+        Expr::Unary(_, x) => {
+            a.census.bit_ops += 1;
+            a.census.weighted_ops += weight;
+            walk_expr(x, weight, a, streams);
+        }
+        Expr::Binary(op, x, y) => {
+            match op {
+                BinOp::Add | BinOp::Sub => a.census.adders += 1,
+                BinOp::Mul => a.census.multipliers += 1,
+                BinOp::Div | BinOp::Mod => a.census.dividers += 1,
+                op if op.is_compare() => a.census.comparators += 1,
+                _ => a.census.bit_ops += 1,
+            }
+            a.census.weighted_ops += weight;
+            walk_expr(x, weight, a, streams);
+            walk_expr(y, weight, a, streams);
+        }
+        Expr::StreamRead(port) => {
+            a.census.stream_reads += 1;
+            streams.push((port.clone(), weight));
+            a.census.weighted_ops += weight;
+        }
+        Expr::Select(c0, x, y) => {
+            a.census.muxes += 1;
+            a.census.weighted_ops += weight;
+            walk_expr(c0, weight, a, streams);
+            walk_expr(x, weight, a, streams);
+            walk_expr(y, weight, a, streams);
+        }
+    }
+}
+
+fn const_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(v) => Some(*v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::types::Ty;
+
+    #[test]
+    fn census_counts_operator_classes() {
+        let k = KernelBuilder::new("k")
+            .scalar_in("a", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", mul(add(var("a"), c(1)), div(var("a"), c(2)))))
+            .build();
+        let a = analyze(&k);
+        assert_eq!(a.census.adders, 1);
+        assert_eq!(a.census.multipliers, 1);
+        assert_eq!(a.census.dividers, 1);
+        assert_eq!(a.census.static_operator_count(), 3);
+    }
+
+    #[test]
+    fn loop_weighting_with_constant_bounds() {
+        let k = KernelBuilder::new("k")
+            .scalar_out("r", Ty::U32)
+            .local("acc", Ty::U32)
+            .body(vec![
+                for_("i", c(0), c(10), vec![assign("acc", add(var("acc"), c(1)))]),
+                assign("r", var("acc")),
+            ])
+            .build();
+        let a = analyze(&k);
+        assert_eq!(a.loops.len(), 1);
+        assert_eq!(a.loops[0].trip_count, Some(10));
+        // 10 iterations × (1 add-expr + 1 assign) + 1 final assign.
+        assert_eq!(a.census.weighted_ops, 10 * 2 + 1);
+    }
+
+    #[test]
+    fn unknown_trip_uses_default() {
+        let k = KernelBuilder::new("k")
+            .scalar_in("n", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .local("acc", Ty::U32)
+            .body(vec![
+                for_("i", c(0), var("n"), vec![assign("acc", add(var("acc"), c(1)))]),
+                assign("r", var("acc")),
+            ])
+            .build();
+        let a = analyze(&k);
+        assert_eq!(a.loops[0].trip_count, None);
+        assert_eq!(a.census.weighted_ops, OpCensus::DEFAULT_TRIP * 2 + 1);
+    }
+
+    #[test]
+    fn nested_loops_multiply_weights_and_track_depth() {
+        let k = KernelBuilder::new("k")
+            .scalar_out("r", Ty::U32)
+            .local("acc", Ty::U32)
+            .body(vec![
+                for_("i", c(0), c(4), vec![for_pipelined(
+                    "j",
+                    c(0),
+                    c(8),
+                    vec![assign("acc", add(var("acc"), c(1)))],
+                )]),
+                assign("r", var("acc")),
+            ])
+            .build();
+        let a = analyze(&k);
+        assert_eq!(a.max_loop_depth, 2);
+        assert_eq!(a.loops.len(), 2);
+        assert!(a.loops.iter().any(|l| l.pipelined && l.depth == 2));
+        assert_eq!(a.census.weighted_ops, 4 * 8 * 2 + 1);
+    }
+
+    #[test]
+    fn stream_tokens_weighted_by_trips() {
+        let k = KernelBuilder::new("k")
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(for_("i", c(0), c(16), vec![write("out", read("in"))]))
+            .build();
+        let a = analyze(&k);
+        assert!(a.stream_tokens.contains(&("in".to_string(), 16)));
+        assert!(a.stream_tokens.contains(&("out".to_string(), 16)));
+    }
+
+    #[test]
+    fn array_bits_reported() {
+        let k = KernelBuilder::new("k")
+            .scalar_out("r", Ty::U32)
+            .array("bins", Ty::U32, 256)
+            .body(vec![assign("r", idx("bins", c(0)))])
+            .build();
+        let a = analyze(&k);
+        assert_eq!(a.array_bits, 256 * 32);
+        assert!(a.census.mem_ports >= 1);
+    }
+}

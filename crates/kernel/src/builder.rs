@@ -1,0 +1,212 @@
+//! Ergonomic construction of kernel IR.
+//!
+//! Free functions build [`Expr`] trees (`add(var("a"), c(1))`), and
+//! [`KernelBuilder`] assembles parameters, locals and the statement body.
+//! This is what application code (`accelsoc-apps`) uses to express kernels
+//! in place of the paper's C sources.
+
+use crate::ir::{BinOp, Expr, Kernel, LValue, Local, Param, ParamKind, Stmt, UnOp};
+use crate::types::Ty;
+
+// --- expression helpers -------------------------------------------------
+
+pub fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+
+pub fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string())
+}
+
+pub fn idx(array: &str, index: Expr) -> Expr {
+    Expr::Index(array.to_string(), Box::new(index))
+}
+
+pub fn read(port: &str) -> Expr {
+    Expr::StreamRead(port.to_string())
+}
+
+pub fn select(cond: Expr, a: Expr, b: Expr) -> Expr {
+    Expr::Select(Box::new(cond), Box::new(a), Box::new(b))
+}
+
+pub fn neg(e: Expr) -> Expr {
+    Expr::Unary(UnOp::Neg, Box::new(e))
+}
+
+pub fn bnot(e: Expr) -> Expr {
+    Expr::Unary(UnOp::Not, Box::new(e))
+}
+
+macro_rules! binops {
+    ($($f:ident => $op:ident),* $(,)?) => {
+        $(pub fn $f(a: Expr, b: Expr) -> Expr {
+            Expr::Binary(BinOp::$op, Box::new(a), Box::new(b))
+        })*
+    };
+}
+
+binops! {
+    add => Add, sub => Sub, mul => Mul, div => Div, rem => Mod,
+    shl => Shl, shr => Shr, band => And, bor => Or, bxor => Xor,
+    lt => Lt, le => Le, gt => Gt, ge => Ge, eq => Eq, ne => Ne,
+}
+
+// --- statement helpers ---------------------------------------------------
+
+pub fn assign(dst: &str, value: Expr) -> Stmt {
+    Stmt::Assign { dst: LValue::Var(dst.to_string()), value }
+}
+
+pub fn store(array: &str, index: Expr, value: Expr) -> Stmt {
+    Stmt::Assign { dst: LValue::Index(array.to_string(), Box::new(index)), value }
+}
+
+pub fn write(port: &str, value: Expr) -> Stmt {
+    Stmt::StreamWrite { port: port.to_string(), value }
+}
+
+/// A sequential `for` loop.
+pub fn for_(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var: var.to_string(), start, end, body, pipeline: false }
+}
+
+/// A pipelined `for` loop (`#pragma HLS pipeline` analogue).
+pub fn for_pipelined(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var: var.to_string(), start, end, body, pipeline: true }
+}
+
+pub fn if_(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then_body, else_body: Vec::new() }
+}
+
+pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then_body, else_body }
+}
+
+// --- kernel builder -------------------------------------------------------
+
+/// Builder for [`Kernel`]s.
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+}
+
+impl KernelBuilder {
+    pub fn new(name: &str) -> Self {
+        KernelBuilder {
+            kernel: Kernel {
+                name: name.to_string(),
+                params: Vec::new(),
+                locals: Vec::new(),
+                body: Vec::new(),
+            },
+        }
+    }
+
+    pub fn scalar_in(mut self, name: &str, ty: Ty) -> Self {
+        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::ScalarIn, ty });
+        self
+    }
+
+    pub fn scalar_out(mut self, name: &str, ty: Ty) -> Self {
+        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::ScalarOut, ty });
+        self
+    }
+
+    pub fn stream_in(mut self, name: &str, ty: Ty) -> Self {
+        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::StreamIn, ty });
+        self
+    }
+
+    pub fn stream_out(mut self, name: &str, ty: Ty) -> Self {
+        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::StreamOut, ty });
+        self
+    }
+
+    pub fn local(mut self, name: &str, ty: Ty) -> Self {
+        self.kernel.locals.push(Local { name: name.into(), ty, len: None });
+        self
+    }
+
+    pub fn array(mut self, name: &str, ty: Ty, len: u32) -> Self {
+        self.kernel.locals.push(Local { name: name.into(), ty, len: Some(len) });
+        self
+    }
+
+    pub fn body(mut self, stmts: Vec<Stmt>) -> Self {
+        self.kernel.body = stmts;
+        self
+    }
+
+    pub fn push(mut self, stmt: Stmt) -> Self {
+        self.kernel.body.push(stmt);
+        self
+    }
+
+    /// Finish and verify the kernel; panics on malformed IR in debug-style
+    /// usage. Use [`KernelBuilder::try_build`] for fallible construction.
+    pub fn build(self) -> Kernel {
+        self.try_build().expect("kernel failed verification")
+    }
+
+    pub fn try_build(self) -> Result<Kernel, crate::verify::VerifyError> {
+        crate::verify::verify(&self.kernel)?;
+        Ok(self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_scalar_adder() {
+        let k = KernelBuilder::new("add")
+            .scalar_in("a", Ty::U32)
+            .scalar_in("b", Ty::U32)
+            .scalar_out("ret", Ty::U32)
+            .push(assign("ret", add(var("a"), var("b"))))
+            .build();
+        assert_eq!(k.name, "add");
+        assert_eq!(k.params.len(), 3);
+        assert_eq!(k.body.len(), 1);
+    }
+
+    #[test]
+    fn build_stream_kernel_with_loop() {
+        let k = KernelBuilder::new("copy")
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .scalar_in("n", Ty::U32)
+            .body(vec![for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            )])
+            .build();
+        assert!(matches!(k.body[0], Stmt::For { pipeline: true, .. }));
+    }
+
+    #[test]
+    fn try_build_rejects_bad_kernel() {
+        let r = KernelBuilder::new("bad")
+            .push(assign("undeclared", c(0)))
+            .try_build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn expression_helpers_compose() {
+        let e = select(lt(var("x"), c(10)), add(var("x"), c(1)), sub(var("x"), c(1)));
+        match e {
+            Expr::Select(c0, a, b) => {
+                assert!(matches!(*c0, Expr::Binary(BinOp::Lt, _, _)));
+                assert!(matches!(*a, Expr::Binary(BinOp::Add, _, _)));
+                assert!(matches!(*b, Expr::Binary(BinOp::Sub, _, _)));
+            }
+            _ => panic!("expected select"),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The kernel IR data structures.
+
+use crate::types::Ty;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a kernel parameter is exposed to the system. Interface synthesis in
+/// `accelsoc-hls` maps these onto AXI interfaces exactly like the paper's
+/// `i` / `is` DSL port kinds:
+///
+/// * `ScalarIn`/`ScalarOut` → memory-mapped registers behind one AXI-Lite
+///   slave (the DSL's `i` ports),
+/// * `StreamIn`/`StreamOut` → AXI-Stream master/slave ports (the DSL's
+///   `is` ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    ScalarIn,
+    ScalarOut,
+    StreamIn,
+    StreamOut,
+}
+
+impl ParamKind {
+    pub fn is_stream(&self) -> bool {
+        matches!(self, ParamKind::StreamIn | ParamKind::StreamOut)
+    }
+
+    pub fn is_input(&self) -> bool {
+        matches!(self, ParamKind::ScalarIn | ParamKind::StreamIn)
+    }
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    pub name: String,
+    pub kind: ParamKind,
+    pub ty: Ty,
+}
+
+/// A local declaration: scalar (`len == None`) or fixed-size array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Local {
+    pub name: String,
+    pub ty: Ty,
+    pub len: Option<u32>,
+}
+
+/// Binary operators. `Div`/`Mod` follow C semantics (truncation toward
+/// zero); comparison operators yield 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// True for comparison operators (1-bit result).
+    pub fn is_compare(&self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+/// Expressions. Stream reads are expressions with a side effect; operand
+/// evaluation order is strictly left-to-right, and `Select` evaluates both
+/// arms (hardware mux semantics), so stream reads inside `Select` arms are
+/// unconditional.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    Const(i64),
+    /// Reference to a parameter, local scalar, or loop variable.
+    Var(String),
+    /// `array[index]`.
+    Index(String, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Read one token from an input stream port.
+    StreamRead(String),
+    /// `cond ? a : b` — both arms evaluated (mux), then selected.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Assignable locations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LValue {
+    Var(String),
+    Index(String, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    Assign { dst: LValue, value: Expr },
+    /// `for var in start..end { body }`; `pipeline` requests loop
+    /// pipelining from the HLS scheduler (the `#pragma HLS pipeline`
+    /// analogue). Bounds are evaluated once on entry.
+    For { var: String, start: Expr, end: Expr, body: Vec<Stmt>, pipeline: bool },
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// Write one token to an output stream port.
+    StreamWrite { port: String, value: Expr },
+}
+
+/// A complete kernel: the unit handed to HLS (one per DSL node).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kernel {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub locals: Vec<Local>,
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    pub fn local(&self, name: &str) -> Option<&Local> {
+        self.locals.iter().find(|l| l.name == name)
+    }
+
+    pub fn stream_inputs(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| p.kind == ParamKind::StreamIn)
+    }
+
+    pub fn stream_outputs(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| p.kind == ParamKind::StreamOut)
+    }
+
+    pub fn scalar_params(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| !p.kind.is_stream())
+    }
+
+    /// Total bits of local array storage (drives BRAM estimation).
+    pub fn local_array_bits(&self) -> u64 {
+        self.locals
+            .iter()
+            .filter_map(|l| l.len.map(|n| n as u64 * l.ty.bits as u64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Kernel {
+        Kernel {
+            name: "add".into(),
+            params: vec![
+                Param { name: "a".into(), kind: ParamKind::ScalarIn, ty: Ty::U32 },
+                Param { name: "b".into(), kind: ParamKind::ScalarIn, ty: Ty::U32 },
+                Param { name: "ret".into(), kind: ParamKind::ScalarOut, ty: Ty::U32 },
+                Param { name: "sin".into(), kind: ParamKind::StreamIn, ty: Ty::U8 },
+                Param { name: "sout".into(), kind: ParamKind::StreamOut, ty: Ty::U8 },
+            ],
+            locals: vec![
+                Local { name: "hist".into(), ty: Ty::U32, len: Some(256) },
+                Local { name: "acc".into(), ty: Ty::U32, len: None },
+            ],
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn param_queries() {
+        let k = sample();
+        assert_eq!(k.param("a").unwrap().ty, Ty::U32);
+        assert!(k.param("zz").is_none());
+        assert_eq!(k.stream_inputs().count(), 1);
+        assert_eq!(k.stream_outputs().count(), 1);
+        assert_eq!(k.scalar_params().count(), 3);
+    }
+
+    #[test]
+    fn array_bits() {
+        let k = sample();
+        assert_eq!(k.local_array_bits(), 256 * 32);
+    }
+
+    #[test]
+    fn param_kind_predicates() {
+        assert!(ParamKind::StreamIn.is_stream());
+        assert!(ParamKind::StreamIn.is_input());
+        assert!(!ParamKind::ScalarOut.is_input());
+        assert!(!ParamKind::ScalarIn.is_stream());
+    }
+
+    #[test]
+    fn binop_compare_classification() {
+        assert!(BinOp::Lt.is_compare());
+        assert!(BinOp::Eq.is_compare());
+        assert!(!BinOp::Add.is_compare());
+        assert_eq!(BinOp::Add.to_string(), "+");
+        assert_eq!(BinOp::Shl.to_string(), "<<");
+    }
+}

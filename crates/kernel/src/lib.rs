@@ -1,0 +1,33 @@
+//! # accelsoc-kernel — kernel intermediate representation
+//!
+//! The paper feeds each hardware task to Vivado HLS as synthesizable C/C++.
+//! We do not have Vivado HLS, so this crate defines the equivalent input: a
+//! small, typed, structured kernel IR with
+//!
+//! * scalar parameters (mapped to AXI-Lite registers by interface
+//!   synthesis),
+//! * stream parameters (mapped to AXI-Stream ports),
+//! * local scalars and fixed-size local arrays (mapped to LUTRAM/BRAM),
+//! * structured control flow (`for` loops with optional pipelining, `if`),
+//! * integer arithmetic with declared bit-widths (wrap-around semantics on
+//!   assignment, exactly like `ap_int`/`ap_uint`).
+//!
+//! Two consumers share this IR:
+//!
+//! 1. the **interpreter** ([`interp`]) — the analogue of HLS "C simulation"
+//!    and the functional model executed by the platform simulator, and
+//! 2. the **HLS simulator** (`accelsoc-hls`) — which schedules and binds
+//!    the operations to estimate latency, II and resources and to emit RTL.
+
+pub mod analysis;
+pub mod builder;
+pub mod interp;
+pub mod ir;
+pub mod types;
+pub mod verify;
+
+pub use builder::KernelBuilder;
+pub use interp::{ExecError, ExecStats, Interpreter, StreamBundle};
+pub use ir::{BinOp, Expr, Kernel, LValue, Param, ParamKind, Stmt, UnOp};
+pub use types::Ty;
+pub use verify::VerifyError;

@@ -1,0 +1,318 @@
+//! Static verification of kernel IR: name resolution, direction rules,
+//! array/scalar usage consistency.
+
+use crate::ir::{Expr, Kernel, LValue, ParamKind, Stmt};
+use std::collections::HashSet;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    DuplicateName(String),
+    UnknownVar(String),
+    UnknownArray(String),
+    /// Indexing a scalar or assigning a whole array.
+    NotAnArray(String),
+    ScalarUsedAsArray(String),
+    /// Stream port used with the wrong direction or kind.
+    NotAnInputStream(String),
+    NotAnOutputStream(String),
+    /// Writing to a read-only location (scalar input parameter, loop var).
+    WriteToInput(String),
+    WriteToLoopVar(String),
+    /// An output scalar parameter is never assigned.
+    OutputNeverWritten(String),
+    EmptyBody(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VerifyError::*;
+        match self {
+            DuplicateName(n) => write!(f, "duplicate declaration `{n}`"),
+            UnknownVar(n) => write!(f, "use of undeclared variable `{n}`"),
+            UnknownArray(n) => write!(f, "use of undeclared array `{n}`"),
+            NotAnArray(n) => write!(f, "`{n}` is not an array"),
+            ScalarUsedAsArray(n) => write!(f, "scalar `{n}` indexed as array"),
+            NotAnInputStream(n) => write!(f, "`{n}` is not an input stream"),
+            NotAnOutputStream(n) => write!(f, "`{n}` is not an output stream"),
+            WriteToInput(n) => write!(f, "write to input parameter `{n}`"),
+            WriteToLoopVar(n) => write!(f, "write to loop variable `{n}`"),
+            OutputNeverWritten(n) => write!(f, "output parameter `{n}` is never written"),
+            EmptyBody(n) => write!(f, "kernel `{n}` has an empty body"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Ctx<'a> {
+    kernel: &'a Kernel,
+    loop_vars: Vec<String>,
+    written_outputs: HashSet<String>,
+}
+
+/// Verify a kernel. Returns `Ok(())` if the IR is well-formed.
+pub fn verify(kernel: &Kernel) -> Result<(), VerifyError> {
+    if kernel.body.is_empty() {
+        return Err(VerifyError::EmptyBody(kernel.name.clone()));
+    }
+    // Unique declaration names across params + locals.
+    let mut seen = HashSet::new();
+    for name in kernel
+        .params
+        .iter()
+        .map(|p| &p.name)
+        .chain(kernel.locals.iter().map(|l| &l.name))
+    {
+        if !seen.insert(name.clone()) {
+            return Err(VerifyError::DuplicateName(name.clone()));
+        }
+    }
+
+    let mut ctx = Ctx { kernel, loop_vars: Vec::new(), written_outputs: HashSet::new() };
+    check_block(&mut ctx, &kernel.body)?;
+
+    for p in kernel.params.iter().filter(|p| p.kind == ParamKind::ScalarOut) {
+        if !ctx.written_outputs.contains(&p.name) {
+            return Err(VerifyError::OutputNeverWritten(p.name.clone()));
+        }
+    }
+    Ok(())
+}
+
+fn check_block(ctx: &mut Ctx, stmts: &[Stmt]) -> Result<(), VerifyError> {
+    for s in stmts {
+        check_stmt(ctx, s)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(ctx: &mut Ctx, stmt: &Stmt) -> Result<(), VerifyError> {
+    match stmt {
+        Stmt::Assign { dst, value } => {
+            check_expr(ctx, value)?;
+            check_lvalue(ctx, dst)
+        }
+        Stmt::For { var, start, end, body, .. } => {
+            check_expr(ctx, start)?;
+            check_expr(ctx, end)?;
+            if ctx.kernel.param(var).is_some() || ctx.kernel.local(var).is_some() {
+                return Err(VerifyError::DuplicateName(var.clone()));
+            }
+            ctx.loop_vars.push(var.clone());
+            let r = check_block(ctx, body);
+            ctx.loop_vars.pop();
+            r
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            check_expr(ctx, cond)?;
+            check_block(ctx, then_body)?;
+            check_block(ctx, else_body)
+        }
+        Stmt::StreamWrite { port, value } => {
+            check_expr(ctx, value)?;
+            match ctx.kernel.param(port) {
+                Some(p) if p.kind == ParamKind::StreamOut => Ok(()),
+                _ => Err(VerifyError::NotAnOutputStream(port.clone())),
+            }
+        }
+    }
+}
+
+fn check_lvalue(ctx: &mut Ctx, lv: &LValue) -> Result<(), VerifyError> {
+    match lv {
+        LValue::Var(name) => {
+            if ctx.loop_vars.contains(name) {
+                return Err(VerifyError::WriteToLoopVar(name.clone()));
+            }
+            if let Some(p) = ctx.kernel.param(name) {
+                return match p.kind {
+                    ParamKind::ScalarOut => {
+                        ctx.written_outputs.insert(name.clone());
+                        Ok(())
+                    }
+                    _ => Err(VerifyError::WriteToInput(name.clone())),
+                };
+            }
+            match ctx.kernel.local(name) {
+                Some(l) if l.len.is_none() => Ok(()),
+                Some(_) => Err(VerifyError::NotAnArray(name.clone())),
+                None => Err(VerifyError::UnknownVar(name.clone())),
+            }
+        }
+        LValue::Index(name, index) => {
+            check_expr(ctx, index)?;
+            match ctx.kernel.local(name) {
+                Some(l) if l.len.is_some() => Ok(()),
+                Some(_) => Err(VerifyError::ScalarUsedAsArray(name.clone())),
+                None => Err(VerifyError::UnknownArray(name.clone())),
+            }
+        }
+    }
+}
+
+fn check_expr(ctx: &Ctx, e: &Expr) -> Result<(), VerifyError> {
+    match e {
+        Expr::Const(_) => Ok(()),
+        Expr::Var(name) => {
+            if ctx.loop_vars.contains(name) {
+                return Ok(());
+            }
+            if let Some(p) = ctx.kernel.param(name) {
+                // Reading scalar params (in or out) is fine; reading a
+                // stream param as a plain variable is not.
+                return if p.kind.is_stream() {
+                    Err(VerifyError::UnknownVar(name.clone()))
+                } else {
+                    Ok(())
+                };
+            }
+            match ctx.kernel.local(name) {
+                Some(l) if l.len.is_none() => Ok(()),
+                Some(_) => Err(VerifyError::NotAnArray(name.clone())),
+                None => Err(VerifyError::UnknownVar(name.clone())),
+            }
+        }
+        Expr::Index(name, index) => {
+            check_expr(ctx, index)?;
+            match ctx.kernel.local(name) {
+                Some(l) if l.len.is_some() => Ok(()),
+                Some(_) => Err(VerifyError::ScalarUsedAsArray(name.clone())),
+                None => Err(VerifyError::UnknownArray(name.clone())),
+            }
+        }
+        Expr::Unary(_, a) => check_expr(ctx, a),
+        Expr::Binary(_, a, b) => {
+            check_expr(ctx, a)?;
+            check_expr(ctx, b)
+        }
+        Expr::StreamRead(port) => match ctx.kernel.param(port) {
+            Some(p) if p.kind == ParamKind::StreamIn => Ok(()),
+            _ => Err(VerifyError::NotAnInputStream(port.clone())),
+        },
+        Expr::Select(c0, a, b) => {
+            check_expr(ctx, c0)?;
+            check_expr(ctx, a)?;
+            check_expr(ctx, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::types::Ty;
+
+    #[test]
+    fn valid_kernel_passes() {
+        let k = KernelBuilder::new("ok")
+            .scalar_in("a", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", add(var("a"), c(1))))
+            .try_build();
+        assert!(k.is_ok());
+    }
+
+    #[test]
+    fn unknown_var_fails() {
+        let r = KernelBuilder::new("bad")
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", var("ghost")))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::UnknownVar("ghost".into()));
+    }
+
+    #[test]
+    fn write_to_input_fails() {
+        let r = KernelBuilder::new("bad")
+            .scalar_in("a", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .push(assign("a", c(1)))
+            .push(assign("r", c(0)))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::WriteToInput("a".into()));
+    }
+
+    #[test]
+    fn unwritten_output_fails() {
+        let r = KernelBuilder::new("bad")
+            .scalar_out("r", Ty::U32)
+            .push(if_(c(1), vec![]))
+            .try_build();
+        // `r` assigned nowhere.
+        assert_eq!(r.unwrap_err(), VerifyError::OutputNeverWritten("r".into()));
+    }
+
+    #[test]
+    fn stream_direction_enforced() {
+        let r = KernelBuilder::new("bad")
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(write("in", c(1)))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::NotAnOutputStream("in".into()));
+
+        let r = KernelBuilder::new("bad2")
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(write("out", read("out")))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::NotAnInputStream("out".into()));
+    }
+
+    #[test]
+    fn loop_var_shadowing_rejected() {
+        let r = KernelBuilder::new("bad")
+            .scalar_in("i", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", c(0)))
+            .push(for_("i", c(0), c(4), vec![]))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::DuplicateName("i".into()));
+    }
+
+    #[test]
+    fn write_to_loop_var_rejected() {
+        let r = KernelBuilder::new("bad")
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", c(0)))
+            .push(for_("i", c(0), c(4), vec![assign("i", c(9))]))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::WriteToLoopVar("i".into()));
+    }
+
+    #[test]
+    fn array_misuse_rejected() {
+        let r = KernelBuilder::new("bad")
+            .array("h", Ty::U32, 16)
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", var("h")))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::NotAnArray("h".into()));
+
+        let r = KernelBuilder::new("bad2")
+            .local("s", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", idx("s", c(0))))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::ScalarUsedAsArray("s".into()));
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let r = KernelBuilder::new("bad")
+            .scalar_in("x", Ty::U32)
+            .local("x", Ty::U32)
+            .scalar_out("r", Ty::U32)
+            .push(assign("r", c(0)))
+            .try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let r = KernelBuilder::new("empty").try_build();
+        assert_eq!(r.unwrap_err(), VerifyError::EmptyBody("empty".into()));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for kernel IR, types, and the interpreter.
+
+use accelsoc_kernel::builder::*;
+use accelsoc_kernel::interp::{Interpreter, StreamBundle};
+use accelsoc_kernel::ir::{BinOp, Expr};
+use accelsoc_kernel::types::Ty;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    (1u8..=63, any::<bool>()).prop_map(|(bits, signed)| {
+        if signed {
+            Ty::signed(bits)
+        } else {
+            Ty::unsigned(bits)
+        }
+    })
+}
+
+proptest! {
+    /// wrap() always produces a value inside the type's range, and is
+    /// idempotent.
+    #[test]
+    fn wrap_in_range_and_idempotent(ty in arb_ty(), v in any::<i64>()) {
+        let w = ty.wrap(v);
+        prop_assert!(ty.contains(w), "{ty}: wrap({v}) = {w} out of range");
+        prop_assert_eq!(ty.wrap(w), w);
+    }
+
+    /// For values already in range, wrap is the identity.
+    #[test]
+    fn wrap_identity_in_range(ty in arb_ty(), raw in any::<i64>()) {
+        let (lo, hi) = ty.range();
+        // Map raw into [lo, hi] by rem_euclid over the width.
+        let span = (hi as i128 - lo as i128 + 1) as i128;
+        let v = (lo as i128 + (raw as i128).rem_euclid(span)) as i64;
+        prop_assert_eq!(ty.wrap(v), v);
+    }
+
+    /// The interpreter is deterministic: same kernel + inputs => same
+    /// outputs and stats.
+    #[test]
+    fn interpreter_deterministic(a in any::<i32>(), b in any::<i32>()) {
+        let k = KernelBuilder::new("f")
+            .scalar_in("a", Ty::I32)
+            .scalar_in("b", Ty::I32)
+            .scalar_out("r", Ty::I32)
+            .push(assign("r", add(mul(var("a"), c(3)), var("b"))))
+            .build();
+        let inputs = HashMap::from([("a".to_string(), a as i64), ("b".to_string(), b as i64)]);
+        let mut s1 = StreamBundle::new();
+        let mut s2 = StreamBundle::new();
+        let o1 = Interpreter::new(&k).run(&inputs, &mut s1).unwrap();
+        let o2 = Interpreter::new(&k).run(&inputs, &mut s2).unwrap();
+        prop_assert_eq!(o1.scalar_outputs, o2.scalar_outputs);
+        prop_assert_eq!(o1.stats, o2.stats);
+    }
+
+    /// A copy kernel is the identity on any u8 token stream.
+    #[test]
+    fn stream_copy_is_identity(tokens in proptest::collection::vec(0i64..256, 0..128)) {
+        let k = KernelBuilder::new("copy")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .build();
+        let mut s = StreamBundle::new();
+        s.feed("in", tokens.iter().copied());
+        let inputs = HashMap::from([("n".to_string(), tokens.len() as i64)]);
+        Interpreter::new(&k).run(&inputs, &mut s).unwrap();
+        prop_assert_eq!(s.output("out"), tokens.as_slice());
+    }
+
+    /// Interpreter arithmetic matches native Rust wrapping arithmetic for
+    /// +, -, * on i64 (comparing through an untruncated 63-bit signed slot).
+    #[test]
+    fn binop_matches_native(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000,
+                            opi in 0usize..3) {
+        let (op, expect) = match opi {
+            0 => (BinOp::Add, a.wrapping_add(b)),
+            1 => (BinOp::Sub, a.wrapping_sub(b)),
+            _ => (BinOp::Mul, a.wrapping_mul(b)),
+        };
+        let k = KernelBuilder::new("f")
+            .scalar_in("a", Ty::signed(63))
+            .scalar_in("b", Ty::signed(63))
+            .scalar_out("r", Ty::signed(63))
+            .push(assign("r", Expr::Binary(op, Box::new(var("a")), Box::new(var("b")))))
+            .build();
+        let inputs = HashMap::from([("a".to_string(), a), ("b".to_string(), b)]);
+        let mut s = StreamBundle::new();
+        let out = Interpreter::new(&k).run(&inputs, &mut s).unwrap();
+        prop_assert_eq!(out.scalar_outputs["r"], Ty::signed(63).wrap(expect));
+    }
+
+    /// Histogram kernel: bin totals always sum to the number of pixels.
+    #[test]
+    fn histogram_conserves_mass(pixels in proptest::collection::vec(0i64..16, 1..200)) {
+        let k = KernelBuilder::new("hist")
+            .scalar_in("n", Ty::U32)
+            .stream_in("px", Ty::U8)
+            .stream_out("hist", Ty::U32)
+            .array("bins", Ty::U32, 16)
+            .local("v", Ty::U8)
+            .body(vec![
+                for_("i", c(0), var("n"), vec![
+                    assign("v", read("px")),
+                    store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                ]),
+                for_("i", c(0), c(16), vec![write("hist", idx("bins", var("i")))]),
+            ])
+            .build();
+        let mut s = StreamBundle::new();
+        s.feed("px", pixels.iter().copied());
+        let inputs = HashMap::from([("n".to_string(), pixels.len() as i64)]);
+        Interpreter::new(&k).run(&inputs, &mut s).unwrap();
+        let total: i64 = s.output("hist").iter().sum();
+        prop_assert_eq!(total, pixels.len() as i64);
+    }
+}

@@ -1,0 +1,583 @@
+//! The assembled board: DRAM + CPU + AXI-Lite bus + stream topology +
+//! DMA engines + accelerators.
+//!
+//! Two execution styles, matching the paper's two interconnect kinds:
+//!
+//! * [`Board::invoke_lite`] — memory-mapped invocation of one core: the
+//!   host writes argument registers over AXI-Lite, starts the core, polls
+//!   for completion and reads results (ADD/MULT style in Fig. 4).
+//! * [`Board::run_stream_phase`] — a streaming phase: MM2S DMA feeds the
+//!   head of an accelerator pipeline, cores fire as data arrives, S2MM
+//!   DMA collects the tail back to DRAM (GAUSS→EDGE style). Timing uses a
+//!   steady-state pipeline model: transfers and computation overlap, so
+//!   the makespan is the pipeline fill plus the *slowest* stage, not the
+//!   sum of stages.
+
+use crate::accel::AccelInstance;
+use crate::cpu::Cpu;
+use crate::memory::Dram;
+use crate::PL_CLK_NS;
+use accelsoc_axi::dma::{DmaDescriptor, DmaEngine, DmaError};
+use accelsoc_axi::lite::AxiLiteBus;
+use accelsoc_axi::stream::AxiStreamChannel;
+use accelsoc_kernel::interp::{ExecError, StreamBundle};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One endpoint of a stream link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A DMA engine channel (the DSL's `'soc`).
+    Dma(usize),
+    /// An accelerator port.
+    Accel { accel: usize, port: String },
+}
+
+/// A point-to-point AXI-Stream link.
+#[derive(Debug, Clone)]
+pub struct StreamLink {
+    pub from: Endpoint,
+    pub to: Endpoint,
+}
+
+#[derive(Debug)]
+pub enum BoardError {
+    UnknownAccel(usize),
+    UnknownPort { accel: String, port: String },
+    WidthMismatch { from: String, to: String, from_bits: u32, to_bits: u32 },
+    Exec { accel: String, err: ExecError },
+    Dma(DmaError),
+    /// The stream topology has a cycle — no feed-forward firing order.
+    CyclicTopology,
+    /// No link feeds one of the inputs an accelerator needs.
+    UnconnectedInput { accel: String, port: String },
+}
+
+impl fmt::Display for BoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoardError::UnknownAccel(i) => write!(f, "no accelerator with index {i}"),
+            BoardError::UnknownPort { accel, port } => {
+                write!(f, "accelerator `{accel}` has no stream port `{port}`")
+            }
+            BoardError::WidthMismatch { from, to, from_bits, to_bits } => write!(
+                f,
+                "stream width mismatch: {from} ({from_bits}b) -> {to} ({to_bits}b)"
+            ),
+            BoardError::Exec { accel, err } => write!(f, "accelerator `{accel}` failed: {err}"),
+            BoardError::Dma(e) => write!(f, "{e}"),
+            BoardError::CyclicTopology => write!(f, "stream topology contains a cycle"),
+            BoardError::UnconnectedInput { accel, port } => {
+                write!(f, "input `{accel}.{port}` is not fed by any link")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoardError {}
+
+impl From<DmaError> for BoardError {
+    fn from(e: DmaError) -> Self {
+        BoardError::Dma(e)
+    }
+}
+
+/// Statistics of one streaming-phase execution.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Total modelled wall time.
+    pub ns: f64,
+    /// Pipeline-fill cycles (startup of every stage + DMA setup).
+    pub fill_cycles: u64,
+    /// Steady-state cycles (slowest stage).
+    pub steady_cycles: u64,
+    /// Per-stage busy cycles: (stage name, cycles).
+    pub per_stage: Vec<(String, u64)>,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+}
+
+/// The simulated ZedBoard.
+pub struct Board {
+    pub dram: Dram,
+    pub cpu: Cpu,
+    pub bus: AxiLiteBus,
+    pub accels: Vec<AccelInstance>,
+    pub dmas: Vec<DmaEngine>,
+    pub links: Vec<StreamLink>,
+    /// Host poll interval for done-bit polling, in PL cycles.
+    pub poll_interval_cycles: u64,
+    /// Bytes per PL cycle the HP port sustains (64-bit port → 8 B/cycle).
+    /// All of a phase's DMA traffic shares this port, so total bytes over
+    /// this bandwidth lower-bounds the steady-state phase time.
+    pub hp_bytes_per_cycle: u64,
+}
+
+impl Board {
+    pub fn new(dram_bytes: usize) -> Self {
+        Board {
+            dram: Dram::new(dram_bytes),
+            cpu: Cpu::cortex_a9(),
+            bus: AxiLiteBus::new(),
+            accels: Vec::new(),
+            dmas: Vec::new(),
+            links: Vec::new(),
+            poll_interval_cycles: 50,
+            hp_bytes_per_cycle: 8,
+        }
+    }
+
+    pub fn add_accel(&mut self, accel: AccelInstance) -> usize {
+        self.accels.push(accel);
+        self.accels.len() - 1
+    }
+
+    pub fn add_dma(&mut self) -> usize {
+        self.dmas.push(DmaEngine::new(&format!("dma{}", self.dmas.len())));
+        self.dmas.len() - 1
+    }
+
+    /// Connect two endpoints with a stream link, validating ports/widths.
+    pub fn link(&mut self, from: Endpoint, to: Endpoint) -> Result<(), BoardError> {
+        let from_bits = self.endpoint_bits(&from, false)?;
+        let to_bits = self.endpoint_bits(&to, true)?;
+        if let (Some(fb), Some(tb)) = (from_bits, to_bits) {
+            if fb != tb {
+                return Err(BoardError::WidthMismatch {
+                    from: self.endpoint_name(&from),
+                    to: self.endpoint_name(&to),
+                    from_bits: fb,
+                    to_bits: tb,
+                });
+            }
+        }
+        self.links.push(StreamLink { from, to });
+        Ok(())
+    }
+
+    fn endpoint_bits(&self, ep: &Endpoint, is_dest: bool) -> Result<Option<u32>, BoardError> {
+        match ep {
+            Endpoint::Dma(_) => Ok(None), // DMA adapts to any width
+            Endpoint::Accel { accel, port } => {
+                let a = self.accels.get(*accel).ok_or(BoardError::UnknownAccel(*accel))?;
+                let sp = a.report.interface.stream(port).ok_or_else(|| {
+                    BoardError::UnknownPort { accel: a.kernel.name.clone(), port: port.clone() }
+                })?;
+                use accelsoc_hls::interface::StreamDir;
+                let ok = if is_dest { sp.dir == StreamDir::In } else { sp.dir == StreamDir::Out };
+                if !ok {
+                    return Err(BoardError::UnknownPort {
+                        accel: a.kernel.name.clone(),
+                        port: format!("{port} (wrong direction)"),
+                    });
+                }
+                Ok(Some(sp.tdata_bits))
+            }
+        }
+    }
+
+    fn endpoint_name(&self, ep: &Endpoint) -> String {
+        match ep {
+            Endpoint::Dma(i) => format!("dma{i}"),
+            Endpoint::Accel { accel, port } => {
+                format!("{}.{}", self.accels[*accel].kernel.name, port)
+            }
+        }
+    }
+
+    /// Memory-mapped invocation of one accelerator (AXI-Lite style).
+    /// Returns (scalar outputs, nanoseconds elapsed).
+    pub fn invoke_lite(
+        &mut self,
+        accel: usize,
+        args: &[(&str, i64)],
+    ) -> Result<(HashMap<String, i64>, f64), BoardError> {
+        let a = self.accels.get_mut(accel).ok_or(BoardError::UnknownAccel(accel))?;
+        for (name, v) in args {
+            a.set_arg(name, *v);
+        }
+        let mut streams = StreamBundle::new();
+        let (outs, _) = a
+            .invoke(&mut streams)
+            .map_err(|err| BoardError::Exec { accel: a.kernel.name.clone(), err })?;
+        // Bus cost: one write per argument + start write; polls until the
+        // core's latency elapses; one read per output register.
+        let txn = 5u64; // AXI-Lite cycles per single-beat transaction
+        let latency = a.report.latency;
+        let polls = latency.div_ceil(self.poll_interval_cycles).max(1);
+        let cycles = (args.len() as u64 + 1) * txn // arg writes + start
+            + latency
+            + polls * txn
+            + outs.len() as u64 * txn;
+        let ns = cycles as f64 * PL_CLK_NS;
+        Ok((outs, ns))
+    }
+
+    /// Feed-forward firing order of accelerators referenced by links.
+    fn topo_order(&self) -> Result<Vec<usize>, BoardError> {
+        let n = self.accels.len();
+        let mut indeg = vec![0usize; n];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for l in &self.links {
+            if let (Endpoint::Accel { accel: a, .. }, Endpoint::Accel { accel: b, .. }) =
+                (&l.from, &l.to)
+            {
+                edges.push((*a, *b));
+                indeg[*b] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::new();
+        while let Some(u) = ready.pop() {
+            order.push(u);
+            for &(a, b) in &edges {
+                if a == u {
+                    indeg[b] -= 1;
+                    if indeg[b] == 0 {
+                        ready.push(b);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(BoardError::CyclicTopology)
+        }
+    }
+
+    /// Execute a streaming phase.
+    ///
+    /// `inputs`: for each MM2S entry point, (dma index, source descriptor).
+    /// `outputs`: for each S2MM exit, (dma index, destination descriptor).
+    /// `scalar_args`: per-accelerator scalar arguments (e.g. pixel counts).
+    pub fn run_stream_phase(
+        &mut self,
+        inputs: &[(usize, DmaDescriptor)],
+        outputs: &[(usize, DmaDescriptor)],
+        scalar_args: &[(usize, &str, i64)],
+    ) -> Result<PhaseStats, BoardError> {
+        for (accel, name, v) in scalar_args {
+            let a = self.accels.get_mut(*accel).ok_or(BoardError::UnknownAccel(*accel))?;
+            a.set_arg(name, *v);
+        }
+
+        let mut stats = PhaseStats::default();
+        // Input token buffers per (accel, port).
+        let mut inbox: HashMap<(usize, String), Vec<i64>> = HashMap::new();
+
+        // 1. MM2S: DRAM -> head channels.
+        for (dma_idx, desc) in inputs {
+            // Find the link leaving this DMA.
+            let link = self
+                .links
+                .iter()
+                .find(|l| l.from == Endpoint::Dma(*dma_idx))
+                .cloned()
+                .ok_or(BoardError::UnknownAccel(*dma_idx))?;
+            let (accel, port) = match &link.to {
+                Endpoint::Accel { accel, port } => (*accel, port.clone()),
+                Endpoint::Dma(_) => continue, // DMA->DMA loopback: nothing to compute
+            };
+            let bits = self.endpoint_bits(&link.to, true)?.unwrap_or(32);
+            let mut ch = AxiStreamChannel::new("mm2s", bits, 1 << 20);
+            let dma = &mut self.dmas[*dma_idx];
+            let st = dma.mm2s(&mut self.dram, *desc, &mut ch)?;
+            stats.bytes_in += st.bytes;
+            stats.per_stage.push((format!("dma{}:mm2s", dma_idx), st.cycles));
+            let tokens: Vec<i64> =
+                std::iter::from_fn(|| ch.pop()).map(|b| b.data as i64).collect();
+            inbox.entry((accel, port)).or_default().extend(tokens);
+        }
+
+        // 2. Fire accelerators in feed-forward order.
+        let order = self.topo_order()?;
+        // Collect (dma_idx -> tokens,width) for S2MM exits.
+        let mut outbox: HashMap<usize, (Vec<i64>, u32)> = HashMap::new();
+        for accel_idx in order {
+            // Skip accelerators not participating in this phase (no inputs
+            // queued and no links at all).
+            let participates = self.links.iter().any(|l| {
+                matches!(&l.from, Endpoint::Accel { accel, .. } if *accel == accel_idx)
+                    || matches!(&l.to, Endpoint::Accel { accel, .. } if *accel == accel_idx)
+            });
+            if !participates {
+                continue;
+            }
+            let mut bundle = StreamBundle::new();
+            // Wire declared input ports.
+            let input_ports: Vec<String> = self.accels[accel_idx]
+                .kernel
+                .stream_inputs()
+                .map(|p| p.name.clone())
+                .collect();
+            for port in &input_ports {
+                let fed = self.links.iter().any(|l| {
+                    matches!(&l.to, Endpoint::Accel { accel, port: p } if *accel == accel_idx && p == port)
+                });
+                if !fed {
+                    return Err(BoardError::UnconnectedInput {
+                        accel: self.accels[accel_idx].kernel.name.clone(),
+                        port: port.clone(),
+                    });
+                }
+                let tokens =
+                    inbox.remove(&(accel_idx, port.clone())).unwrap_or_default();
+                bundle.feed(port, tokens);
+            }
+            let a = &mut self.accels[accel_idx];
+            let name = a.kernel.name.clone();
+            let (_, cycles) = a
+                .invoke(&mut bundle)
+                .map_err(|err| BoardError::Exec { accel: name.clone(), err })?;
+            stats.per_stage.push((name, cycles));
+            // Distribute outputs along links.
+            let out_ports: Vec<String> = self.accels[accel_idx]
+                .kernel
+                .stream_outputs()
+                .map(|p| p.name.clone())
+                .collect();
+            for port in &out_ports {
+                let tokens = bundle.outputs.remove(port).unwrap_or_default();
+                let link = self.links.iter().find(|l| {
+                    matches!(&l.from, Endpoint::Accel { accel, port: p } if *accel == accel_idx && p == port)
+                });
+                match link {
+                    Some(l) => match &l.to {
+                        Endpoint::Accel { accel, port } => {
+                            inbox.entry((*accel, port.clone())).or_default().extend(tokens);
+                        }
+                        Endpoint::Dma(d) => {
+                            let bits = self.accels[accel_idx]
+                                .report
+                                .interface
+                                .stream(port)
+                                .map(|p| p.tdata_bits)
+                                .unwrap_or(32);
+                            let e = outbox.entry(*d).or_insert_with(|| (Vec::new(), bits));
+                            e.0.extend(tokens);
+                        }
+                    },
+                    None => { /* dangling output: tokens dropped (warn-level) */ }
+                }
+            }
+        }
+
+        // 3. S2MM: tail channels -> DRAM.
+        for (dma_idx, desc) in outputs {
+            let (tokens, bits) = outbox.remove(dma_idx).unwrap_or((Vec::new(), 32));
+            let mut ch = AxiStreamChannel::new("s2mm", bits, tokens.len().max(1));
+            let n = tokens.len();
+            for (i, t) in tokens.into_iter().enumerate() {
+                ch.force_push(accelsoc_axi::stream::Beat { data: t as u64, last: i + 1 == n });
+            }
+            if n == 0 {
+                continue;
+            }
+            let dma = &mut self.dmas[*dma_idx];
+            let st = dma.s2mm(&mut self.dram, *desc, &mut ch)?;
+            stats.bytes_out += st.bytes;
+            stats.per_stage.push((format!("dma{}:s2mm", dma_idx), st.cycles));
+        }
+
+        // Pipeline timing: fill = per-stage startups (+DMA setup folded into
+        // stage cycles); steady state = slowest stage.
+        stats.fill_cycles = stats
+            .per_stage
+            .iter()
+            .map(|_| 40u64) // startup per pipeline stage
+            .sum();
+        // Steady state: the slowest pipeline stage, or the shared HP
+        // port's bandwidth on the phase's total DMA traffic — whichever
+        // binds.
+        let hp_cycles = (stats.bytes_in + stats.bytes_out) / self.hp_bytes_per_cycle.max(1);
+        stats.steady_cycles = stats
+            .per_stage
+            .iter()
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or(0)
+            .max(hp_cycles);
+        stats.ns = (stats.fill_cycles + stats.steady_cycles) as f64 * PL_CLK_NS;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_hls::project::{synthesize_kernel, HlsOptions};
+    use accelsoc_kernel::builder::*;
+    use accelsoc_kernel::types::Ty;
+
+    fn make_accel(k: accelsoc_kernel::ir::Kernel) -> AccelInstance {
+        let r = synthesize_kernel(&k, &HlsOptions::default()).unwrap();
+        AccelInstance::new(k, r.report)
+    }
+
+    fn adder_kernel() -> accelsoc_kernel::ir::Kernel {
+        KernelBuilder::new("ADD")
+            .scalar_in("A", Ty::U32)
+            .scalar_in("B", Ty::U32)
+            .scalar_out("ret", Ty::U32)
+            .push(assign("ret", add(var("A"), var("B"))))
+            .build()
+    }
+
+    fn inc_kernel(name: &str) -> accelsoc_kernel::ir::Kernel {
+        KernelBuilder::new(name)
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(for_pipelined("i", c(0), var("n"), vec![write("out", add(read("in"), c(1)))]))
+            .build()
+    }
+
+    #[test]
+    fn lite_invocation_computes_and_costs_time() {
+        let mut b = Board::new(1 << 16);
+        let a = b.add_accel(make_accel(adder_kernel()));
+        let (outs, ns) = b.invoke_lite(a, &[("A", 40), ("B", 2)]).unwrap();
+        assert_eq!(outs["ret"], 42);
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn two_stage_stream_pipeline_end_to_end() {
+        let mut b = Board::new(1 << 16);
+        let s1 = b.add_accel(make_accel(inc_kernel("S1")));
+        let s2 = b.add_accel(make_accel(inc_kernel("S2")));
+        let din = b.add_dma();
+        let dout = b.add_dma();
+        b.link(Endpoint::Dma(din), Endpoint::Accel { accel: s1, port: "in".into() }).unwrap();
+        b.link(
+            Endpoint::Accel { accel: s1, port: "out".into() },
+            Endpoint::Accel { accel: s2, port: "in".into() },
+        )
+        .unwrap();
+        b.link(Endpoint::Accel { accel: s2, port: "out".into() }, Endpoint::Dma(dout)).unwrap();
+
+        b.dram.load_bytes(0x100, &[10, 20, 30, 40]).unwrap();
+        let stats = b
+            .run_stream_phase(
+                &[(din, DmaDescriptor { addr: 0x100, len: 4 })],
+                &[(dout, DmaDescriptor { addr: 0x200, len: 4 })],
+                &[(s1, "n", 4), (s2, "n", 4)],
+            )
+            .unwrap();
+        assert_eq!(b.dram.dump_bytes(0x200, 4).unwrap(), vec![12, 22, 32, 42]);
+        assert_eq!(stats.bytes_in, 4);
+        assert_eq!(stats.bytes_out, 4);
+        assert!(stats.ns > 0.0);
+        // Pipelined: steady-state is one stage, not the sum.
+        let sum: u64 = stats.per_stage.iter().map(|(_, c)| c).sum();
+        assert!(stats.steady_cycles < sum);
+    }
+
+    #[test]
+    fn hp_bandwidth_bounds_steady_state() {
+        // A wide pipeline (II = 1) moving lots of bytes: with a crippled
+        // HP port, the port — not the compute — sets the phase time.
+        let mut fast = Board::new(1 << 20);
+        let a1 = fast.add_accel(make_accel(inc_kernel("S1")));
+        let din = fast.add_dma();
+        let dout = fast.add_dma();
+        fast.link(Endpoint::Dma(din), Endpoint::Accel { accel: a1, port: "in".into() })
+            .unwrap();
+        fast.link(Endpoint::Accel { accel: a1, port: "out".into() }, Endpoint::Dma(dout))
+            .unwrap();
+        let mut slow = Board::new(1 << 20);
+        slow.hp_bytes_per_cycle = 1; // starved port
+        let b1 = slow.add_accel(make_accel(inc_kernel("S1")));
+        let din2 = slow.add_dma();
+        let dout2 = slow.add_dma();
+        slow.link(Endpoint::Dma(din2), Endpoint::Accel { accel: b1, port: "in".into() })
+            .unwrap();
+        slow.link(Endpoint::Accel { accel: b1, port: "out".into() }, Endpoint::Dma(dout2))
+            .unwrap();
+
+        let data = vec![7u8; 4096];
+        for (board, a, di, do_) in
+            [(&mut fast, a1, din, dout), (&mut slow, b1, din2, dout2)]
+        {
+            board.dram.load_bytes(0x1000, &data).unwrap();
+            let _ = (a, di, do_);
+        }
+        let run = |board: &mut Board, a: usize, di: usize, do_: usize| {
+            board
+                .run_stream_phase(
+                    &[(di, DmaDescriptor { addr: 0x1000, len: 4096 })],
+                    &[(do_, DmaDescriptor { addr: 0x8000, len: 4096 })],
+                    &[(a, "n", 4096)],
+                )
+                .unwrap()
+        };
+        let f = run(&mut fast, a1, din, dout);
+        let s = run(&mut slow, b1, din2, dout2);
+        assert!(s.steady_cycles > f.steady_cycles);
+        // 8192 bytes over 1 B/cycle = 8192 cycles lower bound.
+        assert!(s.steady_cycles >= 8192);
+    }
+
+    #[test]
+    fn width_mismatch_rejected_at_link_time() {
+        let wide = KernelBuilder::new("W")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U32)
+            .stream_out("out", Ty::U32)
+            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .build();
+        let mut b = Board::new(1 << 12);
+        let narrow = b.add_accel(make_accel(inc_kernel("N")));
+        let wide = b.add_accel(make_accel(wide));
+        let err = b
+            .link(
+                Endpoint::Accel { accel: narrow, port: "out".into() },
+                Endpoint::Accel { accel: wide, port: "in".into() },
+            )
+            .unwrap_err();
+        assert!(matches!(err, BoardError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_direction_port_rejected() {
+        let mut b = Board::new(1 << 12);
+        let a = b.add_accel(make_accel(inc_kernel("A")));
+        // Using an input port as a source.
+        let err = b
+            .link(Endpoint::Accel { accel: a, port: "in".into() }, Endpoint::Dma(0))
+            .unwrap_err();
+        assert!(matches!(err, BoardError::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn unconnected_input_detected_at_run_time() {
+        let mut b = Board::new(1 << 12);
+        let a = b.add_accel(make_accel(inc_kernel("A")));
+        let dout = b.add_dma();
+        b.link(Endpoint::Accel { accel: a, port: "out".into() }, Endpoint::Dma(dout)).unwrap();
+        let err = b
+            .run_stream_phase(&[], &[(dout, DmaDescriptor { addr: 0, len: 4 })], &[(a, "n", 0)])
+            .unwrap_err();
+        assert!(matches!(err, BoardError::UnconnectedInput { .. }));
+    }
+
+    #[test]
+    fn cyclic_topology_detected() {
+        let mut b = Board::new(1 << 12);
+        let a1 = b.add_accel(make_accel(inc_kernel("A1")));
+        let a2 = b.add_accel(make_accel(inc_kernel("A2")));
+        b.link(
+            Endpoint::Accel { accel: a1, port: "out".into() },
+            Endpoint::Accel { accel: a2, port: "in".into() },
+        )
+        .unwrap();
+        b.link(
+            Endpoint::Accel { accel: a2, port: "out".into() },
+            Endpoint::Accel { accel: a1, port: "in".into() },
+        )
+        .unwrap();
+        let err = b.run_stream_phase(&[], &[], &[]).unwrap_err();
+        assert!(matches!(err, BoardError::CyclicTopology));
+    }
+}

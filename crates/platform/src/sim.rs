@@ -1,0 +1,220 @@
+//! Discrete-event task scheduler: composes per-task durations and
+//! precedence constraints into an application makespan over limited
+//! resources (CPU cores, accelerator instances, DMA engines).
+//!
+//! This is the layer that answers "how long does the whole Otsu
+//! application take on Arch2?": phase/stage durations come from
+//! [`crate::board::Board`] measurements, dependencies from the HTG.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A schedulable resource pool (e.g. 2 CPU cores, 1 instance of the
+/// `histogram` accelerator, 1 DMA engine pair).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub String);
+
+/// One task in the simulation.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    pub name: String,
+    /// Duration in nanoseconds.
+    pub duration_ns: f64,
+    /// Indices of tasks that must finish first.
+    pub deps: Vec<usize>,
+    /// Resource this task occupies for its whole duration (one unit).
+    pub resource: ResourceId,
+}
+
+/// Scheduling result.
+#[derive(Debug, Clone)]
+pub struct TaskSimResult {
+    /// (start_ns, finish_ns) per task.
+    pub spans: Vec<(f64, f64)>,
+    pub makespan_ns: f64,
+    /// Busy time per resource, for utilisation reporting.
+    pub busy_ns: Vec<(ResourceId, f64)>,
+}
+
+/// The simulator: event-driven list scheduling over resource pools.
+#[derive(Debug, Clone, Default)]
+pub struct TaskSim {
+    tasks: Vec<SimTask>,
+    capacity: std::collections::BTreeMap<ResourceId, u32>,
+}
+
+impl TaskSim {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a resource pool with `units` identical units.
+    pub fn add_resource(&mut self, name: &str, units: u32) -> ResourceId {
+        let id = ResourceId(name.to_string());
+        self.capacity.insert(id.clone(), units.max(1));
+        id
+    }
+
+    /// Add a task; returns its index for use in later `deps`.
+    pub fn add_task(&mut self, task: SimTask) -> usize {
+        assert!(
+            self.capacity.contains_key(&task.resource),
+            "unknown resource {:?}",
+            task.resource
+        );
+        for &d in &task.deps {
+            assert!(d < self.tasks.len(), "dep {d} not yet defined");
+        }
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Run to completion, returning spans and makespan.
+    pub fn run(&self) -> TaskSimResult {
+        let n = self.tasks.len();
+        let mut remaining_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut free: std::collections::BTreeMap<&ResourceId, u32> =
+            self.capacity.iter().map(|(k, v)| (k, *v)).collect();
+        let mut spans = vec![(0.0f64, 0.0f64); n];
+        let mut started = vec![false; n];
+        let mut finished = vec![false; n];
+        let mut busy: std::collections::BTreeMap<ResourceId, f64> =
+            self.capacity.keys().map(|k| (k.clone(), 0.0)).collect();
+
+        // Event queue of task completions: (finish_time_bits, task).
+        let mut events: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut now = 0.0f64;
+        let key = |t: f64| (t * 1000.0) as u64; // µs-resolution ordering key
+
+        loop {
+            // Start every ready task whose resource has a free unit.
+            // Deterministic order: ascending index.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for i in 0..n {
+                    if !started[i] && remaining_deps[i] == 0 {
+                        let r = &self.tasks[i].resource;
+                        if free[r] > 0 {
+                            *free.get_mut(r).unwrap() -= 1;
+                            started[i] = true;
+                            let finish = now + self.tasks[i].duration_ns;
+                            spans[i] = (now, finish);
+                            *busy.get_mut(r).unwrap() += self.tasks[i].duration_ns;
+                            events.push(Reverse((key(finish), i)));
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+            // Advance to the next completion.
+            let Some(Reverse((_, i))) = events.pop() else { break };
+            now = spans[i].1;
+            finished[i] = true;
+            *free.get_mut(&self.tasks[i].resource).unwrap() += 1;
+            for (j, t) in self.tasks.iter().enumerate() {
+                if !started[j] && t.deps.contains(&i) {
+                    remaining_deps[j] -= 1;
+                }
+            }
+        }
+
+        assert!(finished.iter().all(|&f| f), "deadlock: some tasks never ran");
+        let makespan_ns = spans.iter().map(|s| s.1).fold(0.0, f64::max);
+        TaskSimResult {
+            spans,
+            makespan_ns,
+            busy_ns: busy.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, d: f64, deps: Vec<usize>, r: &ResourceId) -> SimTask {
+        SimTask { name: name.into(), duration_ns: d, deps, resource: r.clone() }
+    }
+
+    #[test]
+    fn chain_is_sequential() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 1);
+        let a = sim.add_task(task("a", 10.0, vec![], &cpu));
+        let b = sim.add_task(task("b", 20.0, vec![a], &cpu));
+        sim.add_task(task("c", 5.0, vec![b], &cpu));
+        let r = sim.run();
+        assert_eq!(r.makespan_ns, 35.0);
+        assert_eq!(r.spans[1].0, 10.0);
+    }
+
+    #[test]
+    fn independent_tasks_parallel_on_two_units() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 2);
+        sim.add_task(task("a", 10.0, vec![], &cpu));
+        sim.add_task(task("b", 10.0, vec![], &cpu));
+        let r = sim.run();
+        assert_eq!(r.makespan_ns, 10.0);
+    }
+
+    #[test]
+    fn resource_contention_serialises() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 1);
+        sim.add_task(task("a", 10.0, vec![], &cpu));
+        sim.add_task(task("b", 10.0, vec![], &cpu));
+        let r = sim.run();
+        assert_eq!(r.makespan_ns, 20.0);
+    }
+
+    #[test]
+    fn cross_resource_overlap() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 1);
+        let acc = sim.add_resource("accel", 1);
+        let a = sim.add_task(task("produce", 10.0, vec![], &cpu));
+        let b = sim.add_task(task("accelerate", 30.0, vec![a], &acc));
+        sim.add_task(task("other_sw", 25.0, vec![a], &cpu));
+        let r = sim.run();
+        // SW work overlaps the accelerator: makespan = 10 + 30, not 10+30+25.
+        assert_eq!(r.makespan_ns, 40.0);
+        assert_eq!(r.spans[b].0, 10.0);
+    }
+
+    #[test]
+    fn busy_time_accounted_per_resource() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 1);
+        sim.add_task(task("a", 15.0, vec![], &cpu));
+        sim.add_task(task("b", 5.0, vec![], &cpu));
+        let r = sim.run();
+        let (_, busy) = &r.busy_ns[0];
+        assert_eq!(*busy, 20.0);
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 4);
+        let a = sim.add_task(task("a", 10.0, vec![], &cpu));
+        let b = sim.add_task(task("b", 20.0, vec![a], &cpu));
+        let c0 = sim.add_task(task("c", 30.0, vec![a], &cpu));
+        sim.add_task(task("d", 5.0, vec![b, c0], &cpu));
+        let r = sim.run();
+        assert_eq!(r.makespan_ns, 10.0 + 30.0 + 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_panics() {
+        let mut sim = TaskSim::new();
+        sim.add_task(SimTask {
+            name: "x".into(),
+            duration_ns: 1.0,
+            deps: vec![],
+            resource: ResourceId("ghost".into()),
+        });
+    }
+}

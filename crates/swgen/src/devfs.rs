@@ -1,0 +1,150 @@
+//! Simulated `/dev` registry: the Linux kernel in the paper's flow creates
+//! device files for each DMA engine and accelerator from the device tree;
+//! the generated user-space code opens them by path.
+
+use accelsoc_integration::blockdesign::{BlockDesign, CellKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One device node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DevNode {
+    pub path: String,
+    /// Physical base address of the underlying hardware.
+    pub base: u64,
+    pub span: u64,
+    /// Major/minor-style identity for open-handle bookkeeping.
+    pub minor: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevFsError {
+    NoSuchDevice(String),
+    AlreadyOpen(String),
+    NotOpen(String),
+}
+
+impl fmt::Display for DevFsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevFsError::NoSuchDevice(p) => write!(f, "open: no such device `{p}`"),
+            DevFsError::AlreadyOpen(p) => write!(f, "device `{p}` already open (exclusive)"),
+            DevFsError::NotOpen(p) => write!(f, "device `{p}` is not open"),
+        }
+    }
+}
+
+impl std::error::Error for DevFsError {}
+
+/// The `/dev` registry populated from a booted design.
+#[derive(Debug, Clone, Default)]
+pub struct DevFs {
+    nodes: BTreeMap<String, DevNode>,
+    open: Vec<String>,
+}
+
+impl DevFs {
+    /// Populate from the device tree's address map, mirroring how the
+    /// paper's precompiled driver exposes DMA engines as `/dev/dma*` and
+    /// UIO-style nodes for cores.
+    pub fn from_design(bd: &BlockDesign) -> Self {
+        let mut fs = DevFs::default();
+        let mut minor = 0u32;
+        let mut dma_idx = 0usize;
+        let mut uio_idx = 0usize;
+        for (name, base, span) in &bd.address_map {
+            let path = match bd.cell(name).map(|c| &c.kind) {
+                Some(CellKind::AxiDma) => {
+                    let p = format!("/dev/dma{dma_idx}");
+                    dma_idx += 1;
+                    p
+                }
+                _ => {
+                    let p = format!("/dev/uio{uio_idx}");
+                    uio_idx += 1;
+                    p
+                }
+            };
+            fs.nodes.insert(
+                path.clone(),
+                DevNode { path, base: *base, span: *span, minor },
+            );
+            minor += 1;
+        }
+        fs
+    }
+
+    pub fn paths(&self) -> Vec<&str> {
+        self.nodes.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn node(&self, path: &str) -> Option<&DevNode> {
+        self.nodes.get(path)
+    }
+
+    /// Exclusive open.
+    pub fn open(&mut self, path: &str) -> Result<DevNode, DevFsError> {
+        let node = self
+            .nodes
+            .get(path)
+            .cloned()
+            .ok_or_else(|| DevFsError::NoSuchDevice(path.to_string()))?;
+        if self.open.iter().any(|p| p == path) {
+            return Err(DevFsError::AlreadyOpen(path.to_string()));
+        }
+        self.open.push(path.to_string());
+        Ok(node)
+    }
+
+    pub fn close(&mut self, path: &str) -> Result<(), DevFsError> {
+        match self.open.iter().position(|p| p == path) {
+            Some(i) => {
+                self.open.remove(i);
+                Ok(())
+            }
+            None => Err(DevFsError::NotOpen(path.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_integration::blockdesign::Cell;
+
+    fn design() -> BlockDesign {
+        let mut bd = BlockDesign::new("sys");
+        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
+        bd.address_map.push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
+        bd.address_map.push(("histogram".into(), 0x43C0_0000, 0x1_0000));
+        bd
+    }
+
+    #[test]
+    fn nodes_created_per_mapped_cell() {
+        let fs = DevFs::from_design(&design());
+        assert_eq!(fs.paths(), vec!["/dev/dma0", "/dev/uio0"]);
+        assert_eq!(fs.node("/dev/dma0").unwrap().base, 0x4040_0000);
+        assert_eq!(fs.node("/dev/uio0").unwrap().base, 0x43C0_0000);
+    }
+
+    #[test]
+    fn exclusive_open_close() {
+        let mut fs = DevFs::from_design(&design());
+        let node = fs.open("/dev/dma0").unwrap();
+        assert_eq!(node.base, 0x4040_0000);
+        assert_eq!(fs.open("/dev/dma0").unwrap_err(), DevFsError::AlreadyOpen("/dev/dma0".into()));
+        fs.close("/dev/dma0").unwrap();
+        assert!(fs.open("/dev/dma0").is_ok());
+    }
+
+    #[test]
+    fn missing_device_errors() {
+        let mut fs = DevFs::from_design(&design());
+        assert_eq!(
+            fs.open("/dev/dma9").unwrap_err(),
+            DevFsError::NoSuchDevice("/dev/dma9".into())
+        );
+        assert_eq!(fs.close("/dev/dma0").unwrap_err(), DevFsError::NotOpen("/dev/dma0".into()));
+    }
+}

@@ -1,0 +1,24 @@
+//! # accelsoc-swgen — software generation
+//!
+//! After the bitstream, the paper's flow generates everything the software
+//! side needs (Section V): the files to boot PetaLinux, a customized
+//! device tree so Linux enumerates the new accelerators and DMA engines as
+//! `/dev` nodes, a DMA driver exposing `readDMA`/`writeDMA`, and a C API
+//! to configure and invoke the memory-mapped cores.
+//!
+//! Our substitution: the "operating system" is a simulated `/dev` registry
+//! bound to the platform simulator, the driver performs real (simulated)
+//! DMA against the board's DRAM, and the generated C sources are emitted
+//! as text artifacts exactly as the real flow would write them to disk.
+
+pub mod app;
+pub mod boot;
+pub mod capi;
+pub mod devfs;
+pub mod devicetree;
+pub mod driver;
+
+pub use boot::BootImage;
+pub use devfs::{DevFs, DevNode};
+pub use devicetree::generate_dts;
+pub use driver::{DmaDriver, DriverError};

@@ -1,0 +1,119 @@
+//! From application model to architecture: build the paper's Fig. 1
+//! hierarchical task graph, partition it (manually, then with the DSE
+//! search), lower the hardware side to the DSL automatically, and run the
+//! flow — the complete methodology of Section II.
+//!
+//! ```sh
+//! cargo run --example htg_partitioning
+//! ```
+
+use accelsoc::apps::kernels;
+use accelsoc::core::dsl::{print, PrintStyle};
+use accelsoc::core::flow::{FlowEngine, FlowOptions};
+use accelsoc::core::htg_bridge::lower_htg;
+use accelsoc::htg::dataflow::{Actor, DataflowGraph, Rate, StreamEdge};
+use accelsoc::htg::graph::{Htg, TaskNode, TransferKind};
+use accelsoc::htg::{Partition, ValidationReport};
+use std::collections::HashMap;
+
+fn main() {
+    // --- 1. the application as a two-level HTG (Fig. 1) ---------------
+    let mut htg = Htg::new();
+    let n1 = htg
+        .add_task("N1", TaskNode { kernel: "io_in".into(), sw_cycles: 2_000, sw_only: true })
+        .unwrap();
+    let add = htg
+        .add_task("ADD", TaskNode { kernel: "ADD".into(), sw_cycles: 400, sw_only: false })
+        .unwrap();
+    let mul = htg
+        .add_task("MUL", TaskNode { kernel: "MUL".into(), sw_cycles: 900, sw_only: false })
+        .unwrap();
+
+    // The IMAGE phase: a GAUSS -> EDGE dataflow pipeline.
+    let mut df = DataflowGraph::new();
+    let gauss = df
+        .add_actor(Actor {
+            name: "GAUSS".into(),
+            kernel: "GAUSS".into(),
+            inputs: vec!["in".into()],
+            outputs: vec!["out".into()],
+        })
+        .unwrap();
+    let edge = df
+        .add_actor(Actor {
+            name: "EDGE".into(),
+            kernel: "EDGE".into(),
+            inputs: vec!["in".into()],
+            outputs: vec!["out".into()],
+        })
+        .unwrap();
+    let one = |src, dst| StreamEdge {
+        src,
+        dst,
+        produce: Rate(1),
+        consume: Rate(1),
+        token_bytes: 1,
+    };
+    df.add_stream(one(None, Some((gauss, "in".into())))).unwrap();
+    df.add_stream(one(Some((gauss, "out".into())), Some((edge, "in".into())))).unwrap();
+    df.add_stream(one(Some((edge, "out".into())), None)).unwrap();
+    println!("IMAGE phase repetition vector: {:?}", df.repetition_vector().unwrap());
+    let image = htg.add_phase("IMAGE", df).unwrap();
+
+    let n4 = htg
+        .add_task("N4", TaskNode { kernel: "io_out".into(), sw_cycles: 2_000, sw_only: true })
+        .unwrap();
+    let buf = |b| TransferKind::SharedBuffer { bytes: b };
+    htg.add_edge(n1, add, buf(8)).unwrap();
+    htg.add_edge(n1, mul, buf(8)).unwrap();
+    htg.add_edge(n1, image, buf(4096)).unwrap();
+    htg.add_edge(add, n4, buf(4)).unwrap();
+    htg.add_edge(mul, n4, buf(4)).unwrap();
+    htg.add_edge(image, n4, buf(4096)).unwrap();
+
+    let report: ValidationReport = accelsoc::htg::validate::validate(&htg);
+    assert!(report.is_ok(), "{:?}", report.errors);
+    println!(
+        "HTG: {} nodes, {} edges, topological order {:?}",
+        htg.node_count(),
+        htg.edge_count(),
+        report.topo_order.iter().map(|&id| htg.name(id)).collect::<Vec<_>>()
+    );
+
+    // --- 2. partition (the paper's manual step) ------------------------
+    let partition = Partition::hardware_set(&htg, ["ADD", "MUL", "IMAGE"]);
+    partition.validate(&htg).unwrap();
+    println!(
+        "partition: {} hardware nodes, software: {:?}",
+        partition.hardware_count(),
+        partition.software_nodes(&htg).iter().map(|&id| htg.name(id)).collect::<Vec<_>>()
+    );
+
+    // --- 3. lower to the DSL automatically -----------------------------
+    let kernel_list = [
+        kernels::add_core(),
+        kernels::mul_core(),
+        kernels::gauss_core(),
+        kernels::edge_core(),
+    ];
+    let kernel_map: HashMap<String, _> =
+        kernel_list.iter().map(|k| (k.name.clone(), k.clone())).collect();
+    let graph = lower_htg(&htg, &partition, &kernel_map).unwrap();
+    println!("\nderived DSL description (the paper writes this by hand):\n");
+    println!("{}", print(&graph, PrintStyle::ScalaObject));
+
+    // --- 4. execute the flow -------------------------------------------
+    let mut engine = FlowEngine::new(FlowOptions::default());
+    for k in kernel_list {
+        engine.register_kernel(k);
+    }
+    let art = engine.run(&graph).unwrap();
+    println!("flow complete: {} | timing {}", art.synth.total, if art.timing.met() { "met" } else { "FAILED" });
+    println!(
+        "block design: {} cells, {} DMA, bitstream {} frames",
+        art.block_design.cells.len(),
+        art.block_design.dma_count(),
+        art.bitstream.frame_count
+    );
+    println!("\nOK.");
+}

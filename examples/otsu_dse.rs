@@ -1,0 +1,53 @@
+//! The paper's case study end-to-end, plus the DSE extension: generate
+//! all four Table-I architectures from their DSL descriptions, run the
+//! Otsu application on each (verifying pixel-exactness against the
+//! software reference), then explore the full 16-point partition space.
+//!
+//! ```sh
+//! cargo run --release --example otsu_dse
+//! ```
+
+use accelsoc::apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc::apps::image::{synthetic_scene, RgbImage};
+use accelsoc::apps::otsu::{otsu_reference, run_application};
+use accelsoc::dse::otsu::otsu_chain_model;
+use accelsoc::dse::pareto::pareto_front;
+use accelsoc::dse::search::exhaustive;
+
+fn main() {
+    let scene = synthetic_scene(128, 128, 42);
+    let rgb = RgbImage::from_gray(&scene);
+    let (reference, ref_thr) = otsu_reference(&rgb);
+    println!("reference threshold: {ref_thr}\n");
+
+    let mut engine = otsu_flow_engine();
+    println!("=== the four Table-I architectures ===");
+    for arch in Arch::all() {
+        let art = engine.run_source(&arch_dsl_source(arch)).expect("flow");
+        let run = run_application(arch, &engine, &art, &rgb).expect("run");
+        assert_eq!(run.output, reference, "{arch:?} must be pixel-exact");
+        println!(
+            "{}: HW = {:?}\n    resources {} | app {:.2} ms | DMA {} KiB",
+            arch.name(),
+            arch.hw_tasks(),
+            art.synth.total,
+            run.total_ns / 1e6,
+            run.dma_bytes / 1024,
+        );
+    }
+
+    println!("\n=== DSE over all 16 partitions (the paper's future work) ===");
+    let model = otsu_chain_model((scene.width * scene.height) as u64);
+    let points = exhaustive(&model);
+    let front = pareto_front(&points);
+    println!("{} points evaluated, {} on the Pareto front:", points.len(), front.len());
+    for p in &front {
+        println!(
+            "  {:>7.2} ms @ {:>6} LUT  {{{}}}",
+            p.runtime_ns / 1e6,
+            p.area.lut,
+            p.hw_tasks.join(",")
+        );
+    }
+    println!("\nOK.");
+}

@@ -1,0 +1,321 @@
+//! `accelsoc` — the command-line front-end, the analogue of invoking the
+//! paper's Scala program on a task-graph description.
+//!
+//! ```text
+//! accelsoc check  <file.tg>                 parse + elaborate only
+//! accelsoc fmt    <file.tg>                 pretty-print canonical DSL
+//! accelsoc build  <file.tg> [options]       run the full flow, write artifacts
+//! accelsoc sim    <file.tg> [--n <tokens>]  build + run data through the board
+//! accelsoc kernels                          list the built-in kernel library
+//!
+//! build options:
+//!   --out <dir>         output directory            [default: ./accelsoc-out]
+//!   --backend <v>       tcl dialect: 2014.2|2015.3  [default: 2015.3]
+//!   --device <part>     7z020|7z010                 [default: 7z020]
+//!   --dma <policy>      shared|per-link             [default: shared]
+//! ```
+//!
+//! The built-in kernel library holds the case-study and demo kernels
+//! (`grayScale`, `computeHistogram`, `halfProbability`, `segment`, `ADD`,
+//! `MUL`, `GAUSS`, `EDGE`); DSL nodes are matched to kernels by name.
+
+use accelsoc::core::dsl::{parse, print, PrintStyle};
+use accelsoc::core::flow::{FlowEngine, FlowOptions};
+use accelsoc::core::semantics::elaborate;
+use accelsoc::integration::device::Device;
+use accelsoc::integration::tcl::TclBackend;
+use accelsoc_integration::assembler::DmaPolicy;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn builtin_kernels() -> Vec<accelsoc::kernel::ir::Kernel> {
+    use accelsoc::apps::kernels as k;
+    vec![
+        k::grayscale(),
+        k::compute_histogram(),
+        k::half_probability(),
+        k::segment(),
+        k::add_core(),
+        k::mul_core(),
+        k::gauss_core(),
+        k::edge_core(),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("fmt") => cmd_fmt(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("kernels") => {
+            println!("built-in kernel library:");
+            for k in builtin_kernels() {
+                let streams = k.params.iter().filter(|p| p.kind.is_stream()).count();
+                let scalars = k.params.len() - streams;
+                println!("  {:<18} {scalars} scalar / {streams} stream params", k.name);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: accelsoc <check|fmt|build|kernels> [args]  (see --help in the README)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read_source(args: &[String]) -> Result<(String, PathBuf), ExitCode> {
+    let Some(path) = args.first() else {
+        eprintln!("error: missing <file.tg> argument");
+        return Err(ExitCode::from(2));
+    };
+    let path = PathBuf::from(path);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => Ok((s, path)),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (src, path) = match read_source(args) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    match parse(&src).map_err(|e| e.to_string()).and_then(|g| {
+        elaborate(&g).map_err(|e| e.to_string()).map(|e| (g, e))
+    }) {
+        Ok((g, _)) => {
+            println!(
+                "{}: OK — project `{}`, {} nodes, {} edges ({} stream links, {} via 'soc)",
+                path.display(),
+                g.project,
+                g.nodes.len(),
+                g.edges.len(),
+                g.links().count(),
+                g.soc_link_count()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{}: error: {msg}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_fmt(args: &[String]) -> ExitCode {
+    let (src, path) = match read_source(args) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    match parse(&src) {
+        Ok(g) => {
+            print!("{}", print(&g, PrintStyle::ScalaObject));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: error: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_build(args: &[String]) -> ExitCode {
+    let (src, path) = match read_source(args) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let mut out_dir = PathBuf::from("accelsoc-out");
+    let mut options = FlowOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_dir = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--backend" if i + 1 < args.len() => {
+                options.tcl_backend = match args[i + 1].as_str() {
+                    "2014.2" => TclBackend::V2014_2,
+                    "2015.3" => TclBackend::V2015_3,
+                    other => {
+                        eprintln!("error: unknown backend `{other}`");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            "--device" if i + 1 < args.len() => {
+                options.device = match args[i + 1].as_str() {
+                    "7z020" => Device::zynq7020(),
+                    "7z010" => Device::zynq7010(),
+                    other => {
+                        eprintln!("error: unknown device `{other}` (7z020|7z010)");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            "--dma" if i + 1 < args.len() => {
+                options.dma_policy = match args[i + 1].as_str() {
+                    "shared" => DmaPolicy::SharedChannel,
+                    "per-link" => DmaPolicy::PerSocLink,
+                    other => {
+                        eprintln!("error: unknown dma policy `{other}` (shared|per-link)");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut engine = FlowEngine::new(options);
+    for k in builtin_kernels() {
+        engine.register_kernel(k);
+    }
+    let artifacts = match engine.run_source(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{}: flow error: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = write_artifacts(&out_dir, &engine, &artifacts) {
+        eprintln!("error writing artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("project  : {}", artifacts.elaborated.graph.project);
+    println!("resources: {}", artifacts.synth.total);
+    println!(
+        "timing   : {:.2} ns ({}; Fmax {:.0} MHz)",
+        artifacts.timing.achieved_ns,
+        if artifacts.timing.met() { "met" } else { "FAILED" },
+        artifacts.timing.fmax_mhz
+    );
+    println!("artifacts: {}", out_dir.display());
+    for pt in &artifacts.phase_timings {
+        println!("  {:<14} modeled {:>7.1}s  measured {:?}", pt.phase.to_string(), pt.modeled_s, pt.actual);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Build the design and push a test pattern through its stream pipeline
+/// on the simulated board (requires exactly one `'soc` input and one
+/// `'soc` output link, i.e. a single-entry single-exit pipeline).
+fn cmd_sim(args: &[String]) -> ExitCode {
+    let (src, path) = match read_source(args) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let mut n: usize = 64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" if i + 1 < args.len() => {
+                n = args[i + 1].parse().unwrap_or(64);
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut engine = FlowEngine::new(FlowOptions::default());
+    for k in builtin_kernels() {
+        engine.register_kernel(k);
+    }
+    let art = match engine.run_source(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{}: flow error: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut board = engine.build_board(&art, 64 << 20);
+    let data: Vec<u8> = (0..n).map(|i| (i & 0xff) as u8).collect();
+    board.dram.load_bytes(0x1_0000, &data).unwrap();
+    // Every streaming node that takes an `n`/`W` scalar gets the count.
+    let mut scalar_args: Vec<(usize, &str, i64)> = Vec::new();
+    for (idx, (_, r)) in art.hls.iter().enumerate() {
+        for (reg, value) in [("n", n as i64), ("W", 8)] {
+            if r.report.interface.register(reg).is_some() {
+                scalar_args.push((idx, reg, value));
+            }
+        }
+    }
+    match board.run_stream_phase(
+        &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x1_0000, len: n as u64 })],
+        &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x8_0000, len: 4 * n as u64 })],
+        &scalar_args,
+    ) {
+        Ok(stats) => {
+            let out = board
+                .dram
+                .dump_bytes(0x8_0000, n.min(16))
+                .unwrap_or_default();
+            println!("input  ({n} tokens): {:?}...", &data[..n.min(16)]);
+            println!("output (first {}): {:?}", out.len(), out);
+            println!(
+                "phase: {:.1} µs ({} B in, {} B out); per stage:",
+                stats.ns / 1e3,
+                stats.bytes_in,
+                stats.bytes_out
+            );
+            for (name, cycles) in &stats.per_stage {
+                println!("  {name:<24} {cycles} cycles");
+            }
+            // VCD trace for GTKWave.
+            let vcd = accelsoc::platform::trace::trace_phase(&stats).to_vcd();
+            std::fs::write("sim.vcd", vcd).ok();
+            println!("waveform: sim.vcd");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn write_artifacts(
+    dir: &Path,
+    engine: &FlowEngine,
+    art: &accelsoc::core::flow::FlowArtifacts,
+) -> std::io::Result<()> {
+    let _ = engine;
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("design.tcl"), &art.tcl)?;
+    std::fs::write(dir.join("utilization.rpt"), art.synth.render())?;
+    std::fs::write(dir.join("system.dts"), &art.dts)?;
+    std::fs::write(dir.join("system.bit"), &art.bitstream.data)?;
+    std::fs::write(dir.join("BOOT.BIN"), &art.boot.data)?;
+    std::fs::write(dir.join("main.c"), &art.main_c)?;
+    std::fs::write(dir.join("Makefile"), &art.makefile)?;
+    let hls_dir = dir.join("hls");
+    std::fs::create_dir_all(&hls_dir)?;
+    for (name, r) in &art.hls {
+        std::fs::write(hls_dir.join(format!("{name}.rpt")), r.report.render())?;
+        std::fs::write(hls_dir.join(format!("{name}.v")), &r.verilog)?;
+        std::fs::write(hls_dir.join(format!("{name}_directives.tcl")), &r.directives_tcl)?;
+    }
+    if !art.capi.is_empty() {
+        let api_dir = dir.join("api");
+        std::fs::create_dir_all(&api_dir)?;
+        for (name, header, impl_) in &art.capi {
+            std::fs::write(api_dir.join(format!("{name}.h")), header)?;
+            std::fs::write(api_dir.join(format!("{name}.c")), impl_)?;
+        }
+    }
+    Ok(())
+}

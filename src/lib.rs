@@ -1,0 +1,43 @@
+//! # accelsoc — facade crate
+//!
+//! Re-exports the entire accelsoc workspace behind one import, so examples
+//! and downstream users can write `use accelsoc::prelude::*;`.
+//!
+//! accelsoc is a Rust reproduction of the IPPS 2016 paper *"Scala-Based
+//! Domain-Specific Language for Creating Accelerator-Based SoCs"* (Durelli,
+//! Spada, Pilato, Santambrogio). It provides:
+//!
+//! * a **DSL** (textual, per the paper's EBNF, plus an embedded Rust
+//!   builder and a `tg!` macro) for describing accelerator-based SoC
+//!   architectures as task graphs with AXI-Lite / AXI-Stream interfaces;
+//! * a **High-Level Synthesis simulator** standing in for Xilinx Vivado
+//!   HLS (scheduling, pipelining, binding, interface synthesis, resource
+//!   estimation, RTL emission);
+//! * a **system-integration flow** standing in for the Xilinx Vivado
+//!   Design Suite (block design, tcl generation, synthesis, placement,
+//!   routing, timing, bitstream);
+//! * a **ZedBoard platform simulator** (ARM PS cost model, AXI buses, DMA,
+//!   DRAM) on which generated architectures actually execute;
+//! * **software generation** (device tree, `/dev` nodes, DMA driver, C API
+//!   text, boot image), mirroring the paper's PetaLinux flow.
+
+pub use accelsoc_apps as apps;
+pub use accelsoc_axi as axi;
+pub use accelsoc_core as core;
+pub use accelsoc_dse as dse;
+pub use accelsoc_hls as hls;
+pub use accelsoc_htg as htg;
+pub use accelsoc_integration as integration;
+pub use accelsoc_kernel as kernel;
+pub use accelsoc_platform as platform;
+pub use accelsoc_swgen as swgen;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use accelsoc_core::builder::TaskGraphBuilder;
+    pub use accelsoc_core::dsl::{parse, PrintStyle};
+    pub use accelsoc_core::flow::{FlowEngine, FlowOptions};
+    pub use accelsoc_core::graph::{InterfaceKind, Port, TaskGraph};
+    pub use accelsoc_htg::{Htg, Mapping, Partition};
+    pub use accelsoc_integration::device::Device;
+}

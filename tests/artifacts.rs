@@ -1,0 +1,88 @@
+//! Cross-artifact consistency: the pieces a flow run emits (tcl, address
+//! map, device tree, /dev registry, C API, main.c, boot image) must all
+//! agree with each other — the paper's whole point is that manual
+//! coordination of these artifacts is where human error creeps in.
+
+use accelsoc::apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc::apps::demo::{fig4_flow_engine, fig4_graph};
+use accelsoc::swgen::devfs::DevFs;
+
+#[test]
+fn capi_base_addresses_match_the_address_map() {
+    let mut engine = fig4_flow_engine();
+    let art = engine.run(&fig4_graph()).unwrap();
+    assert_eq!(art.capi.len(), 2, "MUL and ADD");
+    for (name, header, _) in &art.capi {
+        let base = art.block_design.base_of(name).unwrap();
+        let expect = format!("#define {}_BASE 0x{base:08X}u", name.to_uppercase());
+        assert!(header.contains(&expect), "{name}: missing `{expect}`");
+    }
+}
+
+#[test]
+fn devfs_matches_device_tree() {
+    let mut engine = otsu_flow_engine();
+    for arch in Arch::all() {
+        let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
+        let fs = DevFs::from_design(&art.block_design);
+        // One /dev node per address-mapped cell.
+        assert_eq!(fs.paths().len(), art.block_design.address_map.len(), "{arch:?}");
+        // Every node's base appears in the DTS reg property.
+        for path in fs.paths() {
+            let node = fs.node(path).unwrap();
+            let reg = format!("reg = <0x{:08x}", node.base);
+            assert!(art.dts.contains(&reg), "{arch:?}: {path} base missing from DTS");
+        }
+    }
+}
+
+#[test]
+fn main_c_references_each_dma_and_lite_core() {
+    let mut engine = fig4_flow_engine();
+    let art = engine.run(&fig4_graph()).unwrap();
+    for i in 0..art.block_design.dma_count() {
+        assert!(art.main_c.contains(&format!("/dev/dma{i}")));
+    }
+    for (name, _, _) in &art.capi {
+        assert!(art.main_c.contains(&format!("{name}_run(")), "{name}");
+        assert!(art.main_c.contains(&format!("#include \"{name}.h\"")));
+        assert!(art.makefile.contains(&format!("{name}.o")));
+    }
+}
+
+#[test]
+fn tcl_address_assignments_cover_the_map_exactly() {
+    let mut engine = otsu_flow_engine();
+    let art = engine.run_source(&arch_dsl_source(Arch::Arch4)).unwrap();
+    let assigns = art.tcl.matches("assign_bd_address").count();
+    assert_eq!(assigns, art.block_design.address_map.len());
+}
+
+#[test]
+fn boot_image_embeds_the_exact_bitstream_and_dts() {
+    use accelsoc::swgen::boot::{BootImage, PartitionKind};
+    let mut engine = otsu_flow_engine();
+    let art = engine.run_source(&arch_dsl_source(Arch::Arch2)).unwrap();
+    let parts = BootImage::verify(&art.boot.data).unwrap();
+    let bits = parts.iter().find(|(k, _)| *k == PartitionKind::Bitstream).unwrap();
+    assert_eq!(bits.1, art.bitstream.data);
+    let dts = parts.iter().find(|(k, _)| *k == PartitionKind::DeviceTree).unwrap();
+    assert_eq!(&dts.1[..], art.dts.as_bytes());
+}
+
+#[test]
+fn hls_reports_sum_below_system_totals() {
+    // System totals include infrastructure on top of the cores.
+    let mut engine = otsu_flow_engine();
+    for arch in Arch::all() {
+        let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
+        let cores_lut: u32 = art.hls.iter().map(|(_, r)| r.report.resources.lut).sum();
+        assert!(
+            art.synth.total.lut > cores_lut / 2,
+            "{arch:?}: optimization cannot erase the cores"
+        );
+        let raw = art.block_design.raw_resources();
+        assert!(raw.lut >= cores_lut, "{arch:?}: design includes all cores");
+        assert!(art.synth.total.lut < raw.lut, "{arch:?}: optimization helps");
+    }
+}

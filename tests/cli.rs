@@ -1,0 +1,138 @@
+//! Integration tests for the `accelsoc` CLI binary — the user-facing
+//! analogue of "executing" the paper's Scala program.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_accelsoc"))
+}
+
+fn write_tg(dir: &std::path::Path, name: &str, body: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, body).unwrap();
+    p
+}
+
+const PIPE: &str = r#"
+object pipe extends App {
+  tg nodes;
+    tg node "GAUSS" is "in" is "out" end;
+    tg node "EDGE" is "in" is "out" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("GAUSS","in") end;
+    tg link ("GAUSS","out") to ("EDGE","in") end;
+    tg link ("EDGE","out") to 'soc end;
+  tg end_edges;
+}
+"#;
+
+#[test]
+fn check_accepts_valid_and_rejects_invalid() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = write_tg(&dir, "good.tg", PIPE);
+    let out = bin().arg("check").arg(&good).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("project `pipe`"));
+    assert!(stdout.contains("2 nodes"));
+
+    let bad = write_tg(&dir, "bad.tg", "tg nodes; nonsense");
+    let out = bin().arg("check").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn fmt_emits_reparseable_canonical_form() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_fmt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = write_tg(&dir, "p.tg", PIPE);
+    let out = bin().arg("fmt").arg(&src).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed = accelsoc::core::dsl::parse(&text).unwrap();
+    assert_eq!(parsed.project, "pipe");
+    assert_eq!(parsed.nodes.len(), 2);
+}
+
+#[test]
+fn build_writes_complete_artifact_set() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_build");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = write_tg(&dir, "p.tg", PIPE);
+    let out_dir = dir.join("out");
+    let out = bin()
+        .args(["build"])
+        .arg(&src)
+        .args(["--out"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in ["design.tcl", "utilization.rpt", "system.bit", "BOOT.BIN", "system.dts",
+              "main.c", "Makefile"] {
+        assert!(out_dir.join(f).exists(), "missing {f}");
+    }
+    for core in ["GAUSS", "EDGE"] {
+        for ext in ["rpt", "v"] {
+            assert!(out_dir.join("hls").join(format!("{core}.{ext}")).exists());
+        }
+    }
+    // The bitstream on disk verifies.
+    let bits = std::fs::read(out_dir.join("system.bit")).unwrap();
+    accelsoc_integration::bitstream::verify(&bits.into()).unwrap();
+}
+
+#[test]
+fn build_rejects_unknown_node() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_unknown");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = write_tg(
+        &dir,
+        "u.tg",
+        r#"
+        tg nodes; tg node "NOKERNEL" is "in" is "out" end; tg end_nodes;
+        tg edges;
+          tg link 'soc to ("NOKERNEL","in") end;
+          tg link ("NOKERNEL","out") to 'soc end;
+        tg end_edges;
+        "#,
+    );
+    let out = bin().arg("build").arg(&src).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no kernel registered"));
+}
+
+#[test]
+fn kernels_lists_library() {
+    let out = bin().arg("kernels").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for k in ["grayScale", "computeHistogram", "halfProbability", "segment", "ADD", "GAUSS"] {
+        assert!(stdout.contains(k), "missing {k}");
+    }
+}
+
+#[test]
+fn sim_runs_pipeline_and_emits_vcd() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_sim");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = write_tg(&dir, "p.tg", PIPE);
+    let out = bin()
+        .current_dir(&dir)
+        .args(["sim"])
+        .arg(&src)
+        .args(["--n", "32"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("input  (32 tokens)"));
+    assert!(stdout.contains("per stage:"));
+    assert!(dir.join("sim.vcd").exists());
+    let vcd = std::fs::read_to_string(dir.join("sim.vcd")).unwrap();
+    assert!(vcd.contains("$enddefinitions"));
+}

@@ -1,0 +1,109 @@
+//! Property-based round-trip tests over the three DSL front-ends.
+
+use accelsoc::core::dsl::{parse, print, PrintStyle};
+use accelsoc::core::graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+/// Random, structurally well-formed task graphs (names unique, all link
+/// endpoints refer to declared stream ports — not necessarily
+/// semantically valid, which is exactly what a parser round-trip needs).
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (
+        ident(),
+        proptest::collection::vec((ident(), proptest::collection::vec((ident(), any::<bool>()), 1..5)), 1..6),
+    )
+        .prop_map(|(project, raw_nodes)| {
+            let mut g = TaskGraph::new(&project);
+            for (i, (name, ports)) in raw_nodes.into_iter().enumerate() {
+                let name = format!("{name}_{i}"); // force uniqueness
+                let ports = ports
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, (pname, stream))| Port {
+                        name: format!("{pname}_{j}"),
+                        kind: if stream { InterfaceKind::Stream } else { InterfaceKind::Lite },
+                    })
+                    .collect();
+                g.nodes.push(DslNode { name, ports });
+            }
+            // Edges: connect every node with a lite port, link first
+            // stream port of each node from 'soc.
+            let nodes = g.nodes.clone();
+            for n in &nodes {
+                if n.ports.iter().any(|p| p.kind == InterfaceKind::Lite) {
+                    g.edges.push(DslEdge::Connect { node: n.name.clone() });
+                }
+                if let Some(p) = n.ports.iter().find(|p| p.kind == InterfaceKind::Stream) {
+                    g.edges.push(DslEdge::Link {
+                        from: LinkEnd::Soc,
+                        to: LinkEnd::Port { node: n.name.clone(), port: p.name.clone() },
+                    });
+                }
+            }
+            if g.edges.is_empty() {
+                // Grammar requires at least one edge.
+                let n = &g.nodes[0];
+                g.edges.push(DslEdge::Connect { node: n.name.clone() });
+            }
+            g
+        })
+}
+
+proptest! {
+    /// print → parse is the identity in ScalaObject style.
+    #[test]
+    fn print_parse_roundtrip(g in arb_graph()) {
+        let text = print(&g, PrintStyle::ScalaObject);
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(back, g);
+    }
+
+    /// Bare style loses only the project name.
+    #[test]
+    fn bare_roundtrip_preserves_structure(g in arb_graph()) {
+        let text = print(&g, PrintStyle::Bare);
+        let mut back = parse(&text).unwrap();
+        prop_assert_eq!(back.project.as_str(), "anonymous");
+        back.project = g.project.clone();
+        prop_assert_eq!(back, g);
+    }
+
+    /// Printing is deterministic and parsing is a function (idempotent
+    /// round trip: print(parse(print(g))) == print(g)).
+    #[test]
+    fn print_is_stable(g in arb_graph()) {
+        let t1 = print(&g, PrintStyle::ScalaObject);
+        let t2 = print(&parse(&t1).unwrap(), PrintStyle::ScalaObject);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Whitespace injection between tokens never changes the parse.
+    #[test]
+    fn whitespace_insensitive(g in arb_graph(), pad in 1usize..4) {
+        let text = print(&g, PrintStyle::ScalaObject);
+        let spaced: String = text
+            .chars()
+            .flat_map(|c| {
+                let pad_str = if c == ';' { " ".repeat(pad) } else { String::new() };
+                std::iter::once(c).chain(pad_str.chars().collect::<Vec<_>>())
+            })
+            .collect();
+        prop_assert_eq!(parse(&spaced).unwrap(), g);
+    }
+}
+
+#[test]
+fn paper_listing4_roundtrips_verbatim() {
+    let src = accelsoc::apps::archs::arch_dsl_source(accelsoc::apps::archs::Arch::Arch4);
+    let g = parse(&src).unwrap();
+    let printed = print(&g, PrintStyle::ScalaObject);
+    assert_eq!(parse(&printed).unwrap(), g);
+    // Node names of Listing 4 survive.
+    for n in ["grayScale", "computeHistogram", "halfProbability", "segment"] {
+        assert!(printed.contains(n));
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: DSL source → flow → artifacts → boot →
+//! execution on the simulated board, for the paper's case study.
+
+use accelsoc::apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc::apps::image::{synthetic_scene, RgbImage};
+use accelsoc::apps::otsu::{otsu_reference, run_application};
+use accelsoc::core::flow::FlowPhase;
+use accelsoc::swgen::boot::BootImage;
+use accelsoc_integration::bitstream;
+
+#[test]
+fn every_architecture_flows_to_verified_boot_artifacts() {
+    let mut engine = otsu_flow_engine();
+    for arch in Arch::all() {
+        let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
+        // Bitstream framing + CRC verify (configuration-engine view).
+        let payload = bitstream::verify(&art.bitstream.data)
+            .unwrap_or_else(|e| panic!("{arch:?}: {e}"));
+        assert!(!payload.is_empty());
+        // Boot container: all four partitions present and intact.
+        let parts = BootImage::verify(&art.boot.data).unwrap();
+        assert_eq!(parts.len(), 4, "{arch:?}");
+        // Device tree names every mapped cell.
+        for (cell, _, _) in &art.block_design.address_map {
+            assert!(
+                art.dts.contains(&cell.to_lowercase()),
+                "{arch:?}: {cell} missing from DTS"
+            );
+        }
+        // Timing met, device fits.
+        assert!(art.timing.met(), "{arch:?}");
+        assert!(art.synth.utilization < 0.5, "{arch:?}: case study is small");
+    }
+}
+
+#[test]
+fn application_results_identical_across_all_mappings() {
+    // The central correctness claim: whatever the partitioning, the
+    // application computes the same result — here, bit-exact.
+    let scene = synthetic_scene(40, 32, 99);
+    let rgb = RgbImage::from_gray(&scene);
+    let (reference, thr) = otsu_reference(&rgb);
+    let mut engine = otsu_flow_engine();
+    for arch in Arch::all() {
+        let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
+        let run = run_application(arch, &engine, &art, &rgb).unwrap();
+        assert_eq!(run.threshold, thr, "{arch:?}");
+        assert_eq!(run.output.data, reference.data, "{arch:?}");
+    }
+}
+
+#[test]
+fn hls_core_reuse_across_architectures() {
+    // Paper §VI.B: cores are generated once per function. After running
+    // Arch4 (all four cores), the other architectures' HLS phase is free.
+    let mut engine = otsu_flow_engine();
+    let a4 = engine.run_source(&arch_dsl_source(Arch::Arch4)).unwrap();
+    assert!(a4.phase(FlowPhase::Hls).unwrap().modeled_s > 0.0);
+    assert_eq!(engine.cached_cores(), 4);
+    for arch in [Arch::Arch1, Arch::Arch2, Arch::Arch3] {
+        let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
+        assert_eq!(
+            art.phase(FlowPhase::Hls).unwrap().modeled_s,
+            0.0,
+            "{arch:?} should reuse cached cores"
+        );
+    }
+}
+
+#[test]
+fn synthesis_totals_follow_table2_shape() {
+    let mut engine = otsu_flow_engine();
+    let totals: Vec<_> = Arch::all()
+        .iter()
+        .map(|&a| engine.run_source(&arch_dsl_source(a)).unwrap().synth.total)
+        .collect();
+    // LUT and FF strictly increase Arch1 -> Arch4.
+    for w in totals.windows(2) {
+        assert!(w[0].lut < w[1].lut, "{:?} < {:?}", w[0], w[1]);
+        assert!(w[0].ff < w[1].ff);
+    }
+    // DSP: none for Arch1 (histogram), present from Arch2 on (otsuMethod).
+    assert_eq!(totals[0].dsp, 0);
+    for t in &totals[1..] {
+        assert!(t.dsp >= 1 && t.dsp <= 8, "single-digit DSPs: {}", t.dsp);
+    }
+    // RAMB18 single-digit everywhere (DMA FIFOs + histogram BRAM).
+    for t in &totals {
+        assert!(t.bram18 >= 2 && t.bram18 <= 9, "bram = {}", t.bram18);
+    }
+}
+
+#[test]
+fn dsl_conciseness_in_paper_band() {
+    use accelsoc::core::metrics::Conciseness;
+    let mut engine = otsu_flow_engine();
+    for arch in Arch::all() {
+        let src = arch_dsl_source(arch);
+        let art = engine.run_source(&src).unwrap();
+        let c = Conciseness::compare(&src, &art.tcl);
+        assert!(
+            (2.0..=8.0).contains(&c.line_ratio()),
+            "{arch:?}: line ratio {:.1}",
+            c.line_ratio()
+        );
+        assert!(
+            (3.0..=12.0).contains(&c.char_ratio()),
+            "{arch:?}: char ratio {:.1}",
+            c.char_ratio()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests over the whole flow: random valid pipeline
+//! architectures must flow to verified artifacts and compute correctly on
+//! the simulated board.
+
+use accelsoc::core::builder::TaskGraphBuilder;
+use accelsoc::core::flow::{FlowEngine, FlowOptions};
+use accelsoc_axi::dma::DmaDescriptor;
+use accelsoc_kernel::builder::*;
+use accelsoc_kernel::types::Ty;
+use proptest::prelude::*;
+
+/// A stage that adds a constant to every token (mod 256).
+fn stage_kernel(name: &str, delta: i64) -> accelsoc_kernel::ir::Kernel {
+    KernelBuilder::new(name)
+        .scalar_in("n", Ty::U32)
+        .stream_in("in", Ty::U8)
+        .stream_out("out", Ty::U8)
+        .push(for_pipelined("i", c(0), var("n"), vec![
+            write("out", add(read("in"), c(delta))),
+        ]))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any linear pipeline of 1..=5 add-constant stages flows to timing-
+    /// clean artifacts and computes the correct elementwise sum on the
+    /// board, regardless of stage deltas and input data.
+    #[test]
+    fn random_pipelines_flow_and_compute(
+        deltas in proptest::collection::vec(0i64..256, 1..=5),
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let names: Vec<String> =
+            (0..deltas.len()).map(|i| format!("STAGE{i}")).collect();
+        let mut engine = FlowEngine::new(FlowOptions::default());
+        for (name, &d) in names.iter().zip(&deltas) {
+            engine.register_kernel(stage_kernel(name, d));
+        }
+        let mut b = TaskGraphBuilder::new("pipe");
+        for name in &names {
+            b = b.node(name, |n| n.stream("in").stream("out"));
+        }
+        b = b.link_soc_to(&names[0], "in");
+        for w in names.windows(2) {
+            b = b.link((&w[0], "out"), (&w[1], "in"));
+        }
+        b = b.link_to_soc(names.last().unwrap(), "out");
+        let graph = b.build();
+
+        let art = engine.run(&graph).expect("flow succeeds");
+        prop_assert!(art.timing.met());
+        prop_assert_eq!(art.block_design.dma_count(), 1);
+        accelsoc_integration::bitstream::verify(&art.bitstream.data).unwrap();
+        accelsoc::swgen::boot::BootImage::verify(&art.boot.data).unwrap();
+
+        // Execute on the board.
+        let mut board = engine.build_board(&art, 1 << 20);
+        board.dram.load_bytes(0x1000, &data).unwrap();
+        let n = data.len() as i64;
+        let scalar_args: Vec<(usize, &str, i64)> =
+            (0..names.len()).map(|i| (i, "n", n)).collect();
+        board
+            .run_stream_phase(
+                &[(0, DmaDescriptor { addr: 0x1000, len: n as u64 })],
+                &[(0, DmaDescriptor { addr: 0x8000, len: n as u64 })],
+                &scalar_args,
+            )
+            .unwrap();
+        let out = board.dram.dump_bytes(0x8000, data.len()).unwrap();
+        let total: i64 = deltas.iter().sum();
+        let expect: Vec<u8> =
+            data.iter().map(|&v| (v as i64 + total) as u8).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// DSL print→parse→flow equivalence: running the flow on a printed-
+    /// and-reparsed graph yields identical synthesis totals and tcl.
+    #[test]
+    fn flow_is_stable_under_dsl_roundtrip(deltas in proptest::collection::vec(0i64..256, 1..=3)) {
+        let names: Vec<String> =
+            (0..deltas.len()).map(|i| format!("S{i}")).collect();
+        let mut engine = FlowEngine::new(FlowOptions::default());
+        for (name, &d) in names.iter().zip(&deltas) {
+            engine.register_kernel(stage_kernel(name, d));
+        }
+        let mut b = TaskGraphBuilder::new("pipe");
+        for name in &names {
+            b = b.node(name, |n| n.stream("in").stream("out"));
+        }
+        b = b.link_soc_to(&names[0], "in");
+        for w in names.windows(2) {
+            b = b.link((&w[0], "out"), (&w[1], "in"));
+        }
+        b = b.link_to_soc(names.last().unwrap(), "out");
+        let graph = b.build();
+
+        let direct = engine.run(&graph).unwrap();
+        let text =
+            accelsoc::core::dsl::print(&graph, accelsoc::core::dsl::PrintStyle::ScalaObject);
+        let roundtripped = engine.run_source(&text).unwrap();
+        prop_assert_eq!(direct.synth.total, roundtripped.synth.total);
+        prop_assert_eq!(direct.tcl, roundtripped.tcl);
+        prop_assert_eq!(direct.bitstream.data, roundtripped.bitstream.data);
+    }
+}
