@@ -1,0 +1,97 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace (scoped
+//! fan-out of per-node HLS workers). Since Rust 1.63 the standard library
+//! provides scoped threads, so this shim maps crossbeam's API — a scope
+//! closure receiving `&Scope`, spawn closures receiving `&Scope`, and a
+//! `Result` carrying child panics — directly onto `std::thread::scope`.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to the `scope` closure and to every spawned
+    /// worker (crossbeam's workers can spawn siblings; ours can too).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                handle: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        handle: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.handle.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned.
+    /// Returns `Err` if the closure or any unjoined child panicked,
+    /// mirroring crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&v| s.spawn(move |_| v * 10))
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn child_panic_reported_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("worker failed"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn mutable_slot_pattern() {
+        // The pattern used by HlsProject::synthesize_all.
+        let inputs = vec![5usize, 6, 7];
+        let mut out: Vec<Option<usize>> = vec![None; 3];
+        super::thread::scope(|s| {
+            for (slot, v) in out.iter_mut().zip(&inputs) {
+                s.spawn(move |_| {
+                    *slot = Some(v * 2);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![Some(10), Some(12), Some(14)]);
+    }
+}

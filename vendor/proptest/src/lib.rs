@@ -1,0 +1,496 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! optional `#![proptest_config(...)]`, `x in strategy` bindings,
+//! integer range / range-inclusive strategies, tuples, `any::<T>()`,
+//! `collection::vec`, `&str` patterns as a small regex-like string
+//! generator, `.prop_map`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted offline:
+//! cases are generated from a fixed per-test seed (fully deterministic,
+//! no `PROPTEST_*` env handling), failures panic immediately with the
+//! offending values' Debug output instead of shrinking, and the default
+//! case count is 32 rather than 256.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator; seeded from the test name so
+    /// every run of a given test sees the same case sequence.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, mixed with a fixed offset so
+            // an empty name still has a non-trivial state.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_usize_below(&mut self, bound: usize) -> usize {
+            debug_assert!(bound > 0);
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Mirror of upstream's config type; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Upstream strategies carry shrinking machinery; here a strategy is
+/// just a seeded generator.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { base: self, f }
+    }
+}
+
+pub struct MapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary_from(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary_from(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_from(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_from(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps Debug output of failures readable.
+        (b' ' + (rng.next_u64() % 95) as u8) as char
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary_from(rng: &mut TestRng) -> Self {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arbitrary_from(rng))
+        } else {
+            None
+        }
+    }
+}
+
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_from(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// `&str` patterns act as a miniature regex generator: literal
+/// characters, `[...]` classes with ranges, and `{m,n}` repetition of
+/// the preceding atom (enough for patterns like
+/// `"[A-Za-z][A-Za-z0-9_]{0,10}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = match atom.repeat {
+                Some((lo, hi)) => lo + rng.next_usize_below(hi - lo + 1),
+                None => 1,
+            };
+            for _ in 0..count {
+                out.push(atom.chars[rng.next_usize_below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    repeat: Option<(usize, usize)>,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms: Vec<PatternAtom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let mut class = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad char class range in {pat:?}");
+                        for c in lo..=hi {
+                            class.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        class.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in {pat:?}");
+                i += 1; // ']'
+                atoms.push(PatternAtom { chars: class, repeat: None });
+            }
+            '{' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pat:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((l, h)) => (
+                        l.trim().parse().expect("bad quantifier"),
+                        h.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                let last = atoms.last_mut().expect("quantifier without atom");
+                assert!(last.repeat.is_none(), "double quantifier in {pat:?}");
+                last.repeat = Some((lo, hi));
+                i += close + 1;
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in {pat:?}");
+                atoms.push(PatternAtom { chars: vec![chars[i]], repeat: None });
+                i += 1;
+            }
+            c => {
+                atoms.push(PatternAtom { chars: vec![c], repeat: None });
+                i += 1;
+            }
+        }
+    }
+    atoms
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Upstream's size specification: built from `usize`, `Range`, or
+    /// `RangeInclusive`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_incl: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_incl: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_incl: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_incl - self.size.min + 1;
+            let len = self.size.min + rng.next_usize_below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Define property tests. Each `fn name(x in strategy, ...) { body }`
+/// item becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // The closure gives `prop_assume!` an early-exit point;
+                // a panic inside is a test failure as usual.
+                let __run = move || { $body };
+                __run();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Skip the rest of the current case when `cond` is false. (Upstream
+/// counts rejections against a limit; this stub just moves on.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (1u8..=63).generate(&mut rng);
+            assert!((1..=63).contains(&v));
+            let v = (8u64..0x2000).generate(&mut rng);
+            assert!((8..0x2000).contains(&v));
+            let v = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_identifiers() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ident");
+        for _ in 0..100 {
+            let s = "[A-Za-z][A-Za-z0-9_]{0,10}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("vec");
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u8>(), 1..200).generate(&mut rng);
+            assert!((1..200).contains(&v.len()));
+            let v = crate::collection::vec(0i64..256, 1..=5).generate(&mut rng);
+            assert!((1..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0..256).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: bindings, tuples, prop_map, assume.
+        #[test]
+        fn macro_smoke(x in 0u32..10, pair in (any::<bool>(), 1usize..4),
+                       s in "[a-c]{2,3}".prop_map(|s| s)) {
+            prop_assume!(x != 9);
+            prop_assert!(x < 9);
+            prop_assert!((1..4).contains(&pair.1));
+            prop_assert!(s.len() == 2 || s.len() == 3);
+            prop_assert_eq!(s.chars().filter(|c| ('a'..='c').contains(c)).count(), s.len());
+        }
+    }
+}

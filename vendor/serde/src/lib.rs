@@ -1,0 +1,243 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! patches `serde` to this local implementation. Instead of upstream's
+//! format-generic `Serializer` visitors, [`Serialize`] renders directly
+//! into a JSON value tree ([`value::Value`]) — the only format this
+//! workspace ever serializes to (experiment records and flow traces).
+//! `serde_json` (also vendored) re-exports the value type and layers the
+//! text encoding on top.
+//!
+//! [`Deserialize`] is a marker trait: nothing in the workspace
+//! deserializes into derived types (`serde_json::from_str` targets
+//! `Value` only), but `#[derive(Deserialize)]` must still compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+/// Serialize into a JSON value tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> value::Value;
+}
+
+/// Marker for types that could be deserialized (derive compatibility
+/// only; see the crate docs).
+pub trait Deserialize {}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> value::Value {
+                value::Value::from(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {}
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> value::Value {
+                value::Value::from(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {}
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::from(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::from(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::String(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Null
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> value::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> value::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> value::Value {
+        match self {
+            None => value::Value::Null,
+            Some(v) => v.to_json_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> value::Value {
+                value::Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Deserialize for std::collections::VecDeque<T> where T: Deserialize {}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_json_value(&self) -> value::Value {
+        // Deterministic output regardless of hash order.
+        let mut items: Vec<value::Value> =
+            self.iter().map(Serialize::to_json_value).collect();
+        items.sort_by_key(|v| v.to_string());
+        value::Value::Array(items)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+/// Map keys must render to JSON strings; like upstream `serde_json`,
+/// string keys pass through and unit enum variants / numbers stringify.
+fn key_string<K: Serialize>(key: &K) -> String {
+    match key.to_json_value() {
+        value::Value::String(s) => s,
+        other => other.to_string(),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> value::Value {
+        let mut m = value::Map::new();
+        // Deterministic output regardless of hash order.
+        let mut entries: Vec<(String, value::Value)> =
+            self.iter().map(|(k, v)| (key_string(k), v.to_json_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        value::Value::Object(m)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> value::Value {
+        let mut m = value::Map::new();
+        for (k, v) in self {
+            m.insert(key_string(k), v.to_json_value());
+        }
+        value::Value::Object(m)
+    }
+}
+
+impl Serialize for value::Value {
+    fn to_json_value(&self) -> value::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for bool {}
+impl Deserialize for f32 {}
+impl Deserialize for f64 {}
+impl Deserialize for String {}
+impl Deserialize for value::Value {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_to_value() {
+        assert_eq!(5u32.to_json_value().to_string(), "5");
+        assert_eq!((-3i64).to_json_value().to_string(), "-3");
+        assert_eq!(true.to_json_value().to_string(), "true");
+        assert_eq!("hi".to_json_value().to_string(), "\"hi\"");
+        assert_eq!(Option::<u8>::None.to_json_value().to_string(), "null");
+    }
+
+    #[test]
+    fn compound_to_value() {
+        let v = vec![(1u8, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(v.to_json_value().to_string(), r#"[[1,"a"],[2,"b"]]"#);
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the JSON value tree from the vendored `serde` stub and
+//! layers the text format on top: `to_string` / `to_string_pretty`
+//! (compact and 2-space-indented rendering), a hand-written `from_str`
+//! parser producing [`Value`], and a `json!` macro covering the literal
+//! shapes this workspace uses (objects, arrays, `null`, and arbitrary
+//! serializable expressions).
+
+pub use serde::value::{Map, Number, Value};
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        Error { msg: msg.into(), line, column }
+    }
+
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serializable value into a [`Value`] tree.
+///
+/// Infallible in this stub (upstream returns `Result` only for
+/// non-string map keys and custom `Serialize` failures, neither of
+/// which exist here), so it returns `Value` directly — which is also
+/// what the `json!` expansion needs.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().pretty())
+}
+
+/// Parse JSON text into a [`Value`].
+///
+/// Unlike upstream this is not generic over `Deserialize` — nothing in
+/// the workspace deserializes into derived types; traces and experiment
+/// records are read back as `Value` trees.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = consumed.iter().filter(|&&b| b == b'\n').count() + 1;
+        let column = consumed.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
+        Error::new(msg, line, column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut m = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            m.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // crate's own escaping; reject rather than
+                            // mis-decode.
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Build a [`Value`] from a JSON-like literal.
+///
+/// Object values may be nested `{...}`/`[...]` literals, `null`, or any
+/// expression whose type implements `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __json_map = $crate::Map::new();
+        $crate::json_internal!(@object __json_map $($body)*);
+        $crate::Value::Object(__json_map)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __json_vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@array __json_vec $($body)*);
+        $crate::Value::Array(__json_vec)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Object entries. Group/keyword values must be tried before the
+    // generic expression fallback.
+    (@object $m:ident) => {};
+    (@object $m:ident $k:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $m.insert($k.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_internal!(@object $m $($rest)*);
+    };
+    (@object $m:ident $k:literal : { $($inner:tt)* }) => {
+        $m.insert($k.to_string(), $crate::json!({ $($inner)* }));
+    };
+    (@object $m:ident $k:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $m.insert($k.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@object $m $($rest)*);
+    };
+    (@object $m:ident $k:literal : [ $($inner:tt)* ]) => {
+        $m.insert($k.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    (@object $m:ident $k:literal : null , $($rest:tt)*) => {
+        $m.insert($k.to_string(), $crate::Value::Null);
+        $crate::json_internal!(@object $m $($rest)*);
+    };
+    (@object $m:ident $k:literal : null) => {
+        $m.insert($k.to_string(), $crate::Value::Null);
+    };
+    (@object $m:ident $k:literal : $v:expr , $($rest:tt)*) => {
+        $m.insert($k.to_string(), $crate::to_value(&$v));
+        $crate::json_internal!(@object $m $($rest)*);
+    };
+    (@object $m:ident $k:literal : $v:expr) => {
+        $m.insert($k.to_string(), $crate::to_value(&$v));
+    };
+
+    // Array elements.
+    (@array $vec:ident) => {};
+    (@array $vec:ident { $($inner:tt)* } , $($rest:tt)*) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@array $vec $($rest)*);
+    };
+    (@array $vec:ident { $($inner:tt)* }) => {
+        $vec.push($crate::json!({ $($inner)* }));
+    };
+    (@array $vec:ident [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@array $vec $($rest)*);
+    };
+    (@array $vec:ident [ $($inner:tt)* ]) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+    };
+    (@array $vec:ident null , $($rest:tt)*) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_internal!(@array $vec $($rest)*);
+    };
+    (@array $vec:ident null) => {
+        $vec.push($crate::Value::Null);
+    };
+    (@array $vec:ident $v:expr , $($rest:tt)*) => {
+        $vec.push($crate::to_value(&$v));
+        $crate::json_internal!(@array $vec $($rest)*);
+    };
+    (@array $vec:ident $v:expr) => {
+        $vec.push($crate::to_value(&$v));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "arch1";
+        let v = json!({
+            "arch": name,
+            "measured": { "lut": 120u32, "ff": 88u32 },
+            "ratio": 2.5,
+            "tags": ["a", "b"],
+            "none": null,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"arch":"arch1","measured":{"lut":120,"ff":88},"ratio":2.5,"tags":["a","b"],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_scalar() {
+        assert_eq!(json!(3.5).to_string(), "3.5");
+        assert_eq!(json!("s").to_string(), "\"s\"");
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({
+            "a": [1u8, 2u8, 3u8],
+            "b": { "c": true, "d": "x\"y\n" },
+            "e": -7i64,
+            "f": 1.25,
+        });
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = from_str("{\"a\": }").unwrap_err();
+        assert_eq!(e.line(), 1);
+        assert!(e.column() > 1);
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("12 34").is_err());
+    }
+
+    #[test]
+    fn integers_preserved_exactly() {
+        let v = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v = from_str("-42").unwrap();
+        assert_eq!(v.as_i64(), Some(-42));
+    }
+}
