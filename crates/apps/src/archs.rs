@@ -126,8 +126,7 @@ mod tests {
         for arch in Arch::all() {
             let src = arch_dsl_source(arch);
             let g = accelsoc_core::dsl::parse(&src).unwrap();
-            accelsoc_core::semantics::elaborate(&g)
-                .unwrap_or_else(|e| panic!("{arch:?}: {e}"));
+            accelsoc_core::semantics::elaborate(&g).unwrap_or_else(|e| panic!("{arch:?}: {e}"));
         }
     }
 

@@ -19,6 +19,7 @@ pub fn fig4_graph() -> TaskGraph {
         .connect("MUL")
         .connect("ADD")
         .build()
+        .expect("fig4 graph is structurally valid")
 }
 
 /// A flow engine with the four Fig. 4 kernels registered.
@@ -51,7 +52,7 @@ mod tests {
     fn fig4_lite_cores_compute_on_the_board() {
         let mut e = fig4_flow_engine();
         let art = e.run(&fig4_graph()).unwrap();
-        let mut board = e.build_board(&art, 1 << 16);
+        let mut board = e.build_board(&art, 1 << 16).unwrap();
         let mul_idx = art.hls.iter().position(|(n, _)| n == "MUL").unwrap();
         let add_idx = art.hls.iter().position(|(n, _)| n == "ADD").unwrap();
         let (m, _) = board.invoke_lite(mul_idx, &[("A", 6), ("B", 7)]).unwrap();
@@ -64,18 +65,29 @@ mod tests {
     fn fig4_stream_pipeline_filters_on_the_board() {
         let mut e = fig4_flow_engine();
         let art = e.run(&fig4_graph()).unwrap();
-        let mut board = e.build_board(&art, 1 << 20);
+        let mut board = e.build_board(&art, 1 << 20).unwrap();
         // Step signal through GAUSS -> EDGE: expect a smoothed-gradient
         // response, zero in flat regions.
-        let input: Vec<u8> =
-            (0..64).map(|i| if i < 32 { 10 } else { 200 }).collect();
+        let input: Vec<u8> = (0..64).map(|i| if i < 32 { 10 } else { 200 }).collect();
         board.dram.load_bytes(0x1000, &input).unwrap();
         let gauss = art.hls.iter().position(|(n, _)| n == "GAUSS").unwrap();
         let edge = art.hls.iter().position(|(n, _)| n == "EDGE").unwrap();
         board
             .run_stream_phase(
-                &[(0, DmaDescriptor { addr: 0x1000, len: 64 })],
-                &[(0, DmaDescriptor { addr: 0x2000, len: 64 })],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: 0x1000,
+                        len: 64,
+                    },
+                )],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: 0x2000,
+                        len: 64,
+                    },
+                )],
                 &[(gauss, "n", 64), (edge, "n", 64)],
             )
             .unwrap();

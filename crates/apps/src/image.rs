@@ -27,7 +27,11 @@ pub struct RgbImage {
 
 impl GrayImage {
     pub fn new(width: u32, height: u32) -> Self {
-        GrayImage { width, height, data: vec![0; (width * height) as usize] }
+        GrayImage {
+            width,
+            height,
+            data: vec![0; (width * height) as usize],
+        }
     }
 
     pub fn pixels(&self) -> usize {
@@ -68,11 +72,21 @@ impl GrayImage {
         if it.next() != Some("P5") {
             return Err("not a P5 PGM".into());
         }
-        let width: u32 = it.next().ok_or("missing width")?.parse().map_err(|_| "bad width")?;
-        let height: u32 =
-            it.next().ok_or("missing height")?.parse().map_err(|_| "bad height")?;
-        let maxval: u32 =
-            it.next().ok_or("missing maxval")?.parse().map_err(|_| "bad maxval")?;
+        let width: u32 = it
+            .next()
+            .ok_or("missing width")?
+            .parse()
+            .map_err(|_| "bad width")?;
+        let height: u32 = it
+            .next()
+            .ok_or("missing height")?
+            .parse()
+            .map_err(|_| "bad height")?;
+        let maxval: u32 = it
+            .next()
+            .ok_or("missing maxval")?
+            .parse()
+            .map_err(|_| "bad maxval")?;
         if maxval != 255 {
             return Err(format!("unsupported maxval {maxval}"));
         }
@@ -85,7 +99,11 @@ impl GrayImage {
                 height
             ));
         }
-        Ok(GrayImage { width, height, data })
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
     }
 }
 
@@ -124,7 +142,11 @@ pub fn synthetic_scene(width: u32, height: u32, seed: u64) -> GrayImage {
         }
     }
     // Bright disc in the lower-right quadrant.
-    let (cx, cy, r) = (3 * width as i64 / 4, 3 * height as i64 / 4, height as i64 / 6);
+    let (cx, cy, r) = (
+        3 * width as i64 / 4,
+        3 * height as i64 / 4,
+        height as i64 / 6,
+    );
     for y in 0..height as i64 {
         for x in 0..width as i64 {
             if (x - cx).pow(2) + (y - cy).pow(2) <= r * r {

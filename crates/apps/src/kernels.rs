@@ -28,21 +28,29 @@ pub fn grayscale() -> Kernel {
         .local("g", Ty::U8)
         .local("b", Ty::U8)
         .local("y", Ty::U8)
-        .push(for_pipelined("i", c(0), var("n"), vec![
-            assign("px", read("imageIn")),
-            assign("r", band(shr(var("px"), c(16)), c(255))),
-            assign("g", band(shr(var("px"), c(8)), c(255))),
-            assign("b", band(var("px"), c(255))),
-            assign(
-                "y",
-                shr(
-                    add(add(mul(var("r"), c(77)), mul(var("g"), c(150))), mul(var("b"), c(29))),
-                    c(8),
+        .push(for_pipelined(
+            "i",
+            c(0),
+            var("n"),
+            vec![
+                assign("px", read("imageIn")),
+                assign("r", band(shr(var("px"), c(16)), c(255))),
+                assign("g", band(shr(var("px"), c(8)), c(255))),
+                assign("b", band(var("px"), c(255))),
+                assign(
+                    "y",
+                    shr(
+                        add(
+                            add(mul(var("r"), c(77)), mul(var("g"), c(150))),
+                            mul(var("b"), c(29)),
+                        ),
+                        c(8),
+                    ),
                 ),
-            ),
-            write("imageOutCH", var("y")),
-            write("imageOutSEG", var("y")),
-        ]))
+                write("imageOutCH", var("y")),
+                write("imageOutSEG", var("y")),
+            ],
+        ))
         .build()
 }
 
@@ -57,11 +65,21 @@ pub fn compute_histogram() -> Kernel {
         .array("bins", Ty::U32, 256)
         .local("v", Ty::U8)
         .body(vec![
-            for_pipelined("i", c(0), var("n"), vec![
-                assign("v", read("grayScaleImage")),
-                store("bins", var("v"), add(idx("bins", var("v")), c(1))),
-            ]),
-            for_pipelined("j", c(0), c(256), vec![write("histogram", idx("bins", var("j")))]),
+            for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![
+                    assign("v", read("grayScaleImage")),
+                    store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                ],
+            ),
+            for_pipelined(
+                "j",
+                c(0),
+                c(256),
+                vec![write("histogram", idx("bins", var("j")))],
+            ),
         ])
         .build()
 }
@@ -92,35 +110,54 @@ pub fn half_probability() -> Kernel {
         .local("maxVar", Ty::unsigned(56))
         .local("thr", Ty::U8)
         .body(vec![
-            for_pipelined("i", c(0), c(256), vec![
-                store("h", var("i"), read("histogram")),
-            ]),
+            for_pipelined(
+                "i",
+                c(0),
+                c(256),
+                vec![store("h", var("i"), read("histogram"))],
+            ),
             assign("total", c(0)),
             assign("sumAll", c(0)),
-            for_("i", c(0), c(256), vec![
-                assign("total", add(var("total"), idx("h", var("i")))),
-                assign("sumAll", add(var("sumAll"), mul(var("i"), idx("h", var("i"))))),
-            ]),
+            for_(
+                "i",
+                c(0),
+                c(256),
+                vec![
+                    assign("total", add(var("total"), idx("h", var("i")))),
+                    assign(
+                        "sumAll",
+                        add(var("sumAll"), mul(var("i"), idx("h", var("i")))),
+                    ),
+                ],
+            ),
             assign("wB", c(0)),
             assign("sumB", c(0)),
             assign("maxVar", c(0)),
             assign("thr", c(0)),
-            for_("t", c(0), c(256), vec![
-                assign("wB", add(var("wB"), idx("h", var("t")))),
-                assign("sumB", add(var("sumB"), mul(var("t"), idx("h", var("t"))))),
-                assign("wF", sub(var("total"), var("wB"))),
-                if_(band(gt(var("wB"), c(0)), gt(var("wF"), c(0))), vec![
-                    assign("mB", div(var("sumB"), var("wB"))),
-                    assign("mF", div(sub(var("sumAll"), var("sumB")), var("wF"))),
-                    assign("d", sub(var("mB"), var("mF"))),
-                    assign("dd", mul(var("d"), var("d"))),
-                    assign("between", mul(mul(var("wB"), var("wF")), var("dd"))),
-                    if_(gt(var("between"), var("maxVar")), vec![
-                        assign("maxVar", var("between")),
-                        assign("thr", var("t")),
-                    ]),
-                ]),
-            ]),
+            for_(
+                "t",
+                c(0),
+                c(256),
+                vec![
+                    assign("wB", add(var("wB"), idx("h", var("t")))),
+                    assign("sumB", add(var("sumB"), mul(var("t"), idx("h", var("t"))))),
+                    assign("wF", sub(var("total"), var("wB"))),
+                    if_(
+                        band(gt(var("wB"), c(0)), gt(var("wF"), c(0))),
+                        vec![
+                            assign("mB", div(var("sumB"), var("wB"))),
+                            assign("mF", div(sub(var("sumAll"), var("sumB")), var("wF"))),
+                            assign("d", sub(var("mB"), var("mF"))),
+                            assign("dd", mul(var("d"), var("d"))),
+                            assign("between", mul(mul(var("wB"), var("wF")), var("dd"))),
+                            if_(
+                                gt(var("between"), var("maxVar")),
+                                vec![assign("maxVar", var("between")), assign("thr", var("t"))],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
             write("probability", var("thr")),
         ])
         .build()
@@ -139,17 +176,30 @@ pub fn segment() -> Kernel {
         .local("v", Ty::U8)
         .body(vec![
             assign("thr", read("otsuThreshold")),
-            for_pipelined("i", c(0), var("n"), vec![
-                assign("v", read("grayScaleImage")),
-                write("segmentedGrayImage", select(gt(var("v"), var("thr")), c(255), c(0))),
-            ]),
+            for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![
+                    assign("v", read("grayScaleImage")),
+                    write(
+                        "segmentedGrayImage",
+                        select(gt(var("v"), var("thr")), c(255), c(0)),
+                    ),
+                ],
+            ),
         ])
         .build()
 }
 
 /// All four Otsu kernels, keyed by their Listing-4 node names.
 pub fn otsu_kernels() -> Vec<Kernel> {
-    vec![grayscale(), compute_histogram(), half_probability(), segment()]
+    vec![
+        grayscale(),
+        compute_histogram(),
+        half_probability(),
+        segment(),
+    ]
 }
 
 // --- Fig. 4 demo kernels -------------------------------------------------
@@ -188,15 +238,23 @@ pub fn gauss_core() -> Kernel {
         .body(vec![
             assign("prev", c(0)),
             assign("pprev", c(0)),
-            for_pipelined("i", c(0), var("n"), vec![
-                assign("v", read("in")),
-                write(
-                    "out",
-                    shr(add(add(var("pprev"), shl(var("prev"), c(1))), var("v")), c(2)),
-                ),
-                assign("pprev", var("prev")),
-                assign("prev", var("v")),
-            ]),
+            for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![
+                    assign("v", read("in")),
+                    write(
+                        "out",
+                        shr(
+                            add(add(var("pprev"), shl(var("prev"), c(1))), var("v")),
+                            c(2),
+                        ),
+                    ),
+                    assign("pprev", var("prev")),
+                    assign("prev", var("v")),
+                ],
+            ),
         ])
         .build()
 }
@@ -215,13 +273,18 @@ pub fn edge_core() -> Kernel {
         .body(vec![
             assign("prev", c(0)),
             assign("pprev", c(0)),
-            for_pipelined("i", c(0), var("n"), vec![
-                assign("v", read("in")),
-                assign("g", sub(var("v"), var("pprev"))),
-                write("out", select(lt(var("g"), c(0)), neg(var("g")), var("g"))),
-                assign("pprev", var("prev")),
-                assign("prev", var("v")),
-            ]),
+            for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![
+                    assign("v", read("in")),
+                    assign("g", sub(var("v"), var("pprev"))),
+                    write("out", select(lt(var("g"), c(0)), neg(var("g")), var("g"))),
+                    assign("pprev", var("prev")),
+                    assign("prev", var("v")),
+                ],
+            ),
         ])
         .build()
 }
@@ -338,9 +401,10 @@ mod tests {
     #[test]
     fn all_kernels_pass_verification_and_hls() {
         use accelsoc_hls::project::{synthesize_kernel, HlsOptions};
-        for k in otsu_kernels()
-            .into_iter()
-            .chain([add_core(), mul_core(), gauss_core(), edge_core()])
+        for k in
+            otsu_kernels()
+                .into_iter()
+                .chain([add_core(), mul_core(), gauss_core(), edge_core()])
         {
             let r = synthesize_kernel(&k, &HlsOptions::default());
             assert!(r.is_ok(), "{} failed HLS", k.name);
@@ -353,8 +417,9 @@ mod tests {
         let hist = synthesize_kernel(&compute_histogram(), &HlsOptions::default())
             .unwrap()
             .report;
-        let otsu =
-            synthesize_kernel(&half_probability(), &HlsOptions::default()).unwrap().report;
+        let otsu = synthesize_kernel(&half_probability(), &HlsOptions::default())
+            .unwrap()
+            .report;
         // The paper's Table II signature: histogram has BRAM but no DSPs;
         // otsuMethod claims DSPs (multiplies) and far more LUTs (dividers).
         assert_eq!(hist.resources.dsp, 0);
@@ -438,7 +503,10 @@ pub fn gauss2d_core() -> Kernel {
         add(
             add(
                 add(add(var("t0"), shl(var("t1"), c(1))), var("t2")),
-                add(add(shl(var("m0"), c(1)), shl(var("m1"), c(2))), shl(var("m2"), c(1))),
+                add(
+                    add(shl(var("m0"), c(1)), shl(var("m1"), c(2))),
+                    shl(var("m2"), c(1)),
+                ),
             ),
             add(add(var("b0"), shl(var("b1"), c(1))), var("b2")),
         ),
@@ -470,10 +538,19 @@ pub fn sobel2d_core() -> Kernel {
             add(add(var("t0"), shl(var("t1"), c(1))), var("t2")),
         ),
     ));
-    body.push(assign("ax", select(lt(var("gx"), c(0)), neg(var("gx")), var("gx"))));
-    body.push(assign("ay", select(lt(var("gy"), c(0)), neg(var("gy")), var("gy"))));
+    body.push(assign(
+        "ax",
+        select(lt(var("gx"), c(0)), neg(var("gx")), var("gx")),
+    ));
+    body.push(assign(
+        "ay",
+        select(lt(var("gy"), c(0)), neg(var("gy")), var("gy")),
+    ));
     body.push(assign("mag", add(var("ax"), var("ay"))));
-    body.push(write("out", select(gt(var("mag"), c(255)), c(255), var("mag"))));
+    body.push(write(
+        "out",
+        select(gt(var("mag"), c(255)), c(255), var("mag")),
+    ));
     body.extend(conv3x3_epilogue());
     conv3x3_builder("SOBEL2D")
         .local("gx", Ty::I16)

@@ -6,7 +6,7 @@
 use crate::archs::Arch;
 use crate::image::{GrayImage, RgbImage};
 use accelsoc_axi::dma::DmaDescriptor;
-use accelsoc_core::flow::{FlowArtifacts, FlowEngine};
+use accelsoc_core::flow::{FlowArtifacts, FlowEngine, FlowError};
 use accelsoc_kernel::interp::{ExecStats, Interpreter, StreamBundle};
 use accelsoc_platform::board::BoardError;
 use std::collections::HashMap;
@@ -37,7 +37,11 @@ pub fn histogram_reference(img: &GrayImage) -> [u32; 256] {
 /// bit-identical to the `halfProbability` kernel (first maximum wins).
 pub fn otsu_threshold_from_hist(h: &[u32; 256]) -> u8 {
     let total: u64 = h.iter().map(|&v| v as u64).sum();
-    let sum_all: u64 = h.iter().enumerate().map(|(i, &v)| i as u64 * v as u64).sum();
+    let sum_all: u64 = h
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| i as u64 * v as u64)
+        .sum();
     let (mut w_b, mut sum_b) = (0u64, 0u64);
     let (mut max_var, mut thr) = (0u64, 0u8);
     for t in 0..256usize {
@@ -64,7 +68,11 @@ pub fn binarize_reference(img: &GrayImage, thr: u8) -> GrayImage {
     GrayImage {
         width: img.width,
         height: img.height,
-        data: img.data.iter().map(|&v| if v > thr { 255 } else { 0 }).collect(),
+        data: img
+            .data
+            .iter()
+            .map(|&v| if v > thr { 255 } else { 0 })
+            .collect(),
     }
 }
 
@@ -95,6 +103,7 @@ pub struct AppRun {
 #[derive(Debug)]
 pub enum AppError {
     Board(BoardError),
+    Flow(FlowError),
     Exec(accelsoc_kernel::interp::ExecError),
 }
 
@@ -102,6 +111,7 @@ impl std::fmt::Display for AppError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AppError::Board(e) => write!(f, "{e}"),
+            AppError::Flow(e) => write!(f, "{e}"),
             AppError::Exec(e) => write!(f, "{e}"),
         }
     }
@@ -112,6 +122,12 @@ impl std::error::Error for AppError {}
 impl From<BoardError> for AppError {
     fn from(e: BoardError) -> Self {
         AppError::Board(e)
+    }
+}
+
+impl From<FlowError> for AppError {
+    fn from(e: FlowError) -> Self {
+        AppError::Flow(e)
     }
 }
 
@@ -133,7 +149,7 @@ pub fn run_application(
     artifacts: &FlowArtifacts,
     input: &RgbImage,
 ) -> Result<AppRun, AppError> {
-    let mut board = engine.build_board(artifacts, 64 << 20);
+    let mut board = engine.build_board(artifacts, 64 << 20)?;
     let n = input.data.len() as i64;
     let mut tasks: Vec<(String, f64, bool)> = Vec::new();
     let mut dma_bytes = 0u64;
@@ -142,9 +158,8 @@ pub fn run_application(
     let read_ns = input.data.len() as f64 * 4.0 * 50.0;
     tasks.push(("readImage".into(), read_ns, false));
 
-    let accel_of = |name: &str| -> Option<usize> {
-        artifacts.hls.iter().position(|(n, _)| n == name)
-    };
+    let accel_of =
+        |name: &str| -> Option<usize> { artifacts.hls.iter().position(|(n, _)| n == name) };
 
     // Software-task helper: run a kernel on the CPU model.
     let sw = |kernel: &accelsoc_kernel::ir::Kernel,
@@ -182,8 +197,20 @@ pub fn run_application(
             let in_bytes: Vec<u8> = gray.iter().map(|&v| v as u8).collect();
             board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
             let stats = board.run_stream_phase(
-                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
-                &[(0, DmaDescriptor { addr: OUT_BUF, len: 256 * 4 })],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: IN_BUF,
+                        len: in_bytes.len() as u64,
+                    },
+                )],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: OUT_BUF,
+                        len: 256 * 4,
+                    },
+                )],
                 &[(accel_of("computeHistogram").unwrap(), "n", n)],
             )?;
             dma_bytes += stats.bytes_in + stats.bytes_out;
@@ -205,8 +232,20 @@ pub fn run_application(
             let in_bytes = u32s_to_bytes(&hist);
             board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
             let stats = board.run_stream_phase(
-                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
-                &[(0, DmaDescriptor { addr: OUT_BUF, len: 4 })],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: IN_BUF,
+                        len: in_bytes.len() as u64,
+                    },
+                )],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: OUT_BUF,
+                        len: 4,
+                    },
+                )],
                 &[],
             )?;
             dma_bytes += stats.bytes_in + stats.bytes_out;
@@ -219,8 +258,20 @@ pub fn run_application(
             let in_bytes: Vec<u8> = gray.iter().map(|&v| v as u8).collect();
             board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
             let stats = board.run_stream_phase(
-                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
-                &[(0, DmaDescriptor { addr: OUT_BUF, len: 4 })],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: IN_BUF,
+                        len: in_bytes.len() as u64,
+                    },
+                )],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: OUT_BUF,
+                        len: 4,
+                    },
+                )],
                 &[(accel_of("computeHistogram").unwrap(), "n", n)],
             )?;
             dma_bytes += stats.bytes_in + stats.bytes_out;
@@ -233,8 +284,20 @@ pub fn run_application(
             let in_bytes = u32s_to_bytes(&input.data);
             board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
             let stats = board.run_stream_phase(
-                &[(0, DmaDescriptor { addr: IN_BUF, len: in_bytes.len() as u64 })],
-                &[(0, DmaDescriptor { addr: OUT_BUF, len: input.data.len() as u64 })],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: IN_BUF,
+                        len: in_bytes.len() as u64,
+                    },
+                )],
+                &[(
+                    0,
+                    DmaDescriptor {
+                        addr: OUT_BUF,
+                        len: input.data.len() as u64,
+                    },
+                )],
                 &[
                     (accel_of("grayScale").unwrap(), "n", n),
                     (accel_of("computeHistogram").unwrap(), "n", n),
@@ -243,13 +306,15 @@ pub fn run_application(
             )?;
             dma_bytes += stats.bytes_in + stats.bytes_out;
             let seg = board.dram.dump_bytes(OUT_BUF, input.data.len()).unwrap();
-            tasks.push(("grayScale+histogram+otsuMethod+binarization".into(), stats.ns, true));
+            tasks.push((
+                "grayScale+histogram+otsuMethod+binarization".into(),
+                stats.ns,
+                true,
+            ));
             // The threshold never leaves the PL in Arch4 (it flows core to
             // core); recompute it host-side for reporting only — no CPU
             // time charged.
-            let thr = otsu_threshold_from_hist(&histogram_reference(&grayscale_reference(
-                input,
-            )));
+            let thr = otsu_threshold_from_hist(&histogram_reference(&grayscale_reference(input)));
             (Vec::new(), Some(thr), Some(seg), stats.ns)
         }
     };
@@ -280,7 +345,10 @@ pub fn run_application(
             let before = board.cpu.busy_ns;
             sw(&k, &[("n", n)], &mut b, &mut board)?;
             tasks.push(("binarization".into(), board.cpu.busy_ns - before, false));
-            b.output("segmentedGrayImage").iter().map(|&v| v as u8).collect()
+            b.output("segmentedGrayImage")
+                .iter()
+                .map(|&v| v as u8)
+                .collect()
         }
     };
 
@@ -291,7 +359,11 @@ pub fn run_application(
     let total_ns: f64 = tasks.iter().map(|(_, ns, _)| ns).sum();
     Ok(AppRun {
         arch,
-        output: GrayImage { width: input.width, height: input.height, data: seg_data },
+        output: GrayImage {
+            width: input.width,
+            height: input.height,
+            data: seg_data,
+        },
         threshold,
         total_ns,
         tasks,
@@ -304,7 +376,9 @@ fn u32s_to_bytes(v: &[u32]) -> Vec<u8> {
 }
 
 fn bytes_to_u32s(b: &[u8]) -> Vec<u32> {
-    b.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+    b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -335,7 +409,9 @@ mod tests {
         let (expect, expect_thr) = otsu_reference(&rgb);
         let mut engine = otsu_flow_engine();
         for arch in Arch::all() {
-            let artifacts = engine.run_source(&crate::archs::arch_dsl_source(arch)).unwrap();
+            let artifacts = engine
+                .run_source(&crate::archs::arch_dsl_source(arch))
+                .unwrap();
             let run = run_application(arch, &engine, &artifacts, &rgb).unwrap();
             assert_eq!(run.threshold, expect_thr, "{arch:?} threshold");
             assert_eq!(run.output, expect, "{arch:?} pixels");
@@ -348,8 +424,12 @@ mod tests {
         let scene = synthetic_scene(32, 32, 5);
         let rgb = RgbImage::from_gray(&scene);
         let mut engine = otsu_flow_engine();
-        let a1 = engine.run_source(&crate::archs::arch_dsl_source(Arch::Arch1)).unwrap();
-        let a4 = engine.run_source(&crate::archs::arch_dsl_source(Arch::Arch4)).unwrap();
+        let a1 = engine
+            .run_source(&crate::archs::arch_dsl_source(Arch::Arch1))
+            .unwrap();
+        let a4 = engine
+            .run_source(&crate::archs::arch_dsl_source(Arch::Arch4))
+            .unwrap();
         let r1 = run_application(Arch::Arch1, &engine, &a1, &rgb).unwrap();
         let r4 = run_application(Arch::Arch4, &engine, &a4, &rgb).unwrap();
         let sw_ns = |r: &AppRun| -> f64 {

@@ -72,7 +72,11 @@ fn interior_equal(a: &[u8], b: &[u8], w: usize, h: usize) -> bool {
     for r in 2..h {
         for x in 2..w {
             if a[r * w + x] != b[r * w + x] {
-                eprintln!("mismatch at ({r},{x}): {} vs {}", a[r * w + x], b[r * w + x]);
+                eprintln!(
+                    "mismatch at ({r},{x}): {} vs {}",
+                    a[r * w + x],
+                    b[r * w + x]
+                );
                 return false;
             }
         }
@@ -111,8 +115,9 @@ fn sobel2d_responds_to_edges_only() {
         }
     }
     // Vertical step: strong response at the step column.
-    let step: Vec<u8> =
-        (0..w * h).map(|i| if i % w < w / 2 { 10 } else { 200 }).collect();
+    let step: Vec<u8> = (0..w * h)
+        .map(|i| if i % w < w / 2 { 10 } else { 200 })
+        .collect();
     let out = run_kernel(&sobel2d_core(), &step, w as u32);
     let mid = 4 * w + w / 2;
     assert!(out[mid] > 100 || out[mid + 1] > 100, "step edge detected");
@@ -150,7 +155,8 @@ fn gauss2d_then_sobel2d_pipeline_on_board() {
         .link_soc_to("GAUSS2D", "in")
         .link(("GAUSS2D", "out"), ("SOBEL2D", "in"))
         .link_to_soc("SOBEL2D", "out")
-        .build();
+        .build()
+        .unwrap();
     let mut engine = FlowEngine::new(FlowOptions::default());
     engine.register_kernel(gauss2d_core());
     engine.register_kernel(sobel2d_core());
@@ -160,13 +166,30 @@ fn gauss2d_then_sobel2d_pipeline_on_board() {
     let (w, h) = (16u32, 8u32);
     let img = synthetic_scene(w, h, 3);
     let n = (w * h) as i64;
-    let mut board = engine.build_board(&art, 1 << 20);
+    let mut board = engine.build_board(&art, 1 << 20).unwrap();
     board.dram.load_bytes(0x1000, &img.data).unwrap();
     board
         .run_stream_phase(
-            &[(0, DmaDescriptor { addr: 0x1000, len: n as u64 })],
-            &[(0, DmaDescriptor { addr: 0x4000, len: n as u64 })],
-            &[(0, "n", n), (0, "W", w as i64), (1, "n", n), (1, "W", w as i64)],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x1000,
+                    len: n as u64,
+                },
+            )],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x4000,
+                    len: n as u64,
+                },
+            )],
+            &[
+                (0, "n", n),
+                (0, "W", w as i64),
+                (1, "n", n),
+                (1, "W", w as i64),
+            ],
         )
         .unwrap();
     let hw = board.dram.dump_bytes(0x4000, n as usize).unwrap();

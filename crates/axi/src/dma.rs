@@ -32,9 +32,15 @@ pub struct DmaDescriptor {
 pub enum DmaError {
     Mem(MemError),
     /// S2MM: destination buffer filled before TLAST arrived.
-    BufferOverrun { got: u64, capacity: u64 },
+    BufferOverrun {
+        got: u64,
+        capacity: u64,
+    },
     /// Transfer length not a multiple of the stream beat size.
-    LengthMisaligned { len: u64, beat_bytes: u32 },
+    LengthMisaligned {
+        len: u64,
+        beat_bytes: u32,
+    },
     ZeroLength,
 }
 
@@ -49,7 +55,10 @@ impl fmt::Display for DmaError {
         match self {
             DmaError::Mem(e) => write!(f, "DMA memory fault: {e}"),
             DmaError::BufferOverrun { got, capacity } => {
-                write!(f, "S2MM overrun: stream produced >{got} bytes into {capacity}-byte buffer")
+                write!(
+                    f,
+                    "S2MM overrun: stream produced >{got} bytes into {capacity}-byte buffer"
+                )
             }
             DmaError::LengthMisaligned { len, beat_bytes } => {
                 write!(f, "length {len} not a multiple of beat size {beat_bytes}")
@@ -115,8 +124,11 @@ impl DmaEngine {
             return Err(DmaError::ZeroLength);
         }
         let bb = stream.beat_bytes();
-        if desc.len % bb as u64 != 0 {
-            return Err(DmaError::LengthMisaligned { len: desc.len, beat_bytes: bb });
+        if !desc.len.is_multiple_of(bb as u64) {
+            return Err(DmaError::LengthMisaligned {
+                len: desc.len,
+                beat_bytes: bb,
+            });
         }
         let mut buf = vec![0u8; desc.len as usize];
         mem.read(desc.addr, &mut buf)?;
@@ -127,14 +139,21 @@ impl DmaEngine {
                 data |= (*b as u64) << (8 * j);
             }
             // TLM: FIFO capacity is advisory; grow through forced push.
-            let beat = Beat { data, last: i as u64 + 1 == beats };
+            let beat = Beat {
+                data,
+                last: i as u64 + 1 == beats,
+            };
             if stream.push(beat).is_err() {
                 // Model consumer-side drain: the platform simulator
                 // co-schedules; at pure TLM level we expand the FIFO.
                 stream.force_push(beat);
             }
         }
-        let stats = DmaStats { bytes: desc.len, beats, cycles: self.cycles_for(beats) };
+        let stats = DmaStats {
+            bytes: desc.len,
+            beats,
+            cycles: self.cycles_for(beats),
+        };
         self.accumulate(stats);
         Ok(stats)
     }
@@ -157,7 +176,10 @@ impl DmaEngine {
         let mut buf = Vec::with_capacity(desc.len as usize);
         while let Some(beat) = stream.pop() {
             if written + bb > desc.len {
-                return Err(DmaError::BufferOverrun { got: written + bb, capacity: desc.len });
+                return Err(DmaError::BufferOverrun {
+                    got: written + bb,
+                    capacity: desc.len,
+                });
             }
             for j in 0..bb {
                 buf.push(((beat.data >> (8 * j)) & 0xff) as u8);
@@ -169,7 +191,11 @@ impl DmaEngine {
             }
         }
         mem.write(desc.addr, &buf)?;
-        let stats = DmaStats { bytes: written, beats, cycles: self.cycles_for(beats) };
+        let stats = DmaStats {
+            bytes: written,
+            beats,
+            cycles: self.cycles_for(beats),
+        };
         self.accumulate(stats);
         Ok(stats)
     }
@@ -203,7 +229,9 @@ mod tests {
         mem.write(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         let mut dma = DmaEngine::new("dma0");
         let mut ch = AxiStreamChannel::new("s", 8, 64);
-        let st = dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 8 }, &mut ch).unwrap();
+        let st = dma
+            .mm2s(&mut mem, DmaDescriptor { addr: 0, len: 8 }, &mut ch)
+            .unwrap();
         assert_eq!(st.bytes, 8);
         assert_eq!(st.beats, 8);
         // Last beat carries TLAST.
@@ -215,7 +243,8 @@ mod tests {
         for b in &beats {
             ch2.push(*b).unwrap();
         }
-        dma.s2mm(&mut mem, DmaDescriptor { addr: 0x40, len: 8 }, &mut ch2).unwrap();
+        dma.s2mm(&mut mem, DmaDescriptor { addr: 0x40, len: 8 }, &mut ch2)
+            .unwrap();
         let mut out = [0u8; 8];
         mem.read(0x40, &mut out).unwrap();
         assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
@@ -227,7 +256,8 @@ mod tests {
         mem.write(0, &[0x11, 0x22, 0x33, 0x44]).unwrap();
         let mut dma = DmaEngine::new("d");
         let mut ch = AxiStreamChannel::new("s", 32, 8);
-        dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 4 }, &mut ch).unwrap();
+        dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 4 }, &mut ch)
+            .unwrap();
         let b = ch.pop().unwrap();
         assert_eq!(b.data, 0x4433_2211);
         assert!(b.last);
@@ -239,9 +269,15 @@ mod tests {
         let mut dma = DmaEngine::new("d");
         let mut ch = AxiStreamChannel::new("s", 8, 16);
         for i in 0..4 {
-            ch.push(Beat { data: i, last: i == 1 }).unwrap(); // TLAST after 2 beats
+            ch.push(Beat {
+                data: i,
+                last: i == 1,
+            })
+            .unwrap(); // TLAST after 2 beats
         }
-        let st = dma.s2mm(&mut mem, DmaDescriptor { addr: 0, len: 16 }, &mut ch).unwrap();
+        let st = dma
+            .s2mm(&mut mem, DmaDescriptor { addr: 0, len: 16 }, &mut ch)
+            .unwrap();
         assert_eq!(st.bytes, 2);
         assert_eq!(ch.len(), 2, "post-TLAST beats remain queued");
     }
@@ -252,9 +288,15 @@ mod tests {
         let mut dma = DmaEngine::new("d");
         let mut ch = AxiStreamChannel::new("s", 8, 16);
         for i in 0..8 {
-            ch.push(Beat { data: i, last: i == 7 }).unwrap();
+            ch.push(Beat {
+                data: i,
+                last: i == 7,
+            })
+            .unwrap();
         }
-        let err = dma.s2mm(&mut mem, DmaDescriptor { addr: 0, len: 4 }, &mut ch).unwrap_err();
+        let err = dma
+            .s2mm(&mut mem, DmaDescriptor { addr: 0, len: 4 }, &mut ch)
+            .unwrap_err();
         assert!(matches!(err, DmaError::BufferOverrun { .. }));
     }
 
@@ -264,11 +306,16 @@ mod tests {
         let mut dma = DmaEngine::new("d");
         let mut ch = AxiStreamChannel::new("s", 32, 8);
         assert_eq!(
-            dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 6 }, &mut ch).unwrap_err(),
-            DmaError::LengthMisaligned { len: 6, beat_bytes: 4 }
+            dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 6 }, &mut ch)
+                .unwrap_err(),
+            DmaError::LengthMisaligned {
+                len: 6,
+                beat_bytes: 4
+            }
         );
         assert_eq!(
-            dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 0 }, &mut ch).unwrap_err(),
+            dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 0 }, &mut ch)
+                .unwrap_err(),
             DmaError::ZeroLength
         );
     }
@@ -278,7 +325,9 @@ mod tests {
         let mut mem = VecMemory::new(8);
         let mut dma = DmaEngine::new("d");
         let mut ch = AxiStreamChannel::new("s", 8, 64);
-        let err = dma.mm2s(&mut mem, DmaDescriptor { addr: 4, len: 8 }, &mut ch).unwrap_err();
+        let err = dma
+            .mm2s(&mut mem, DmaDescriptor { addr: 4, len: 8 }, &mut ch)
+            .unwrap_err();
         assert!(matches!(err, DmaError::Mem(_)));
     }
 
@@ -287,7 +336,9 @@ mod tests {
         let mut mem = VecMemory::new(1024);
         let mut dma = DmaEngine::new("d");
         let mut ch = AxiStreamChannel::new("s", 8, 2048);
-        let st = dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 256 }, &mut ch).unwrap();
+        let st = dma
+            .mm2s(&mut mem, DmaDescriptor { addr: 0, len: 256 }, &mut ch)
+            .unwrap();
         // 256 beats, 16 bursts: 30 + 256 + 16*8 = 414.
         assert_eq!(st.cycles, 30 + 256 + 16 * 8);
         assert_eq!(dma.total.cycles, st.cycles);
@@ -298,9 +349,11 @@ mod tests {
         let mut mem = VecMemory::new(64);
         let mut dma = DmaEngine::new("d");
         let mut ch = AxiStreamChannel::new("s", 8, 256);
-        dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 16 }, &mut ch).unwrap();
+        dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 16 }, &mut ch)
+            .unwrap();
         ch.clear();
-        dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 16 }, &mut ch).unwrap();
+        dma.mm2s(&mut mem, DmaDescriptor { addr: 0, len: 16 }, &mut ch)
+            .unwrap();
         assert_eq!(dma.total.bytes, 32);
         assert_eq!(dma.total.beats, 32);
     }

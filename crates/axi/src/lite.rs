@@ -110,7 +110,7 @@ impl AddressMap {
     /// Register a window. Spans must be powers of two and bases aligned.
     pub fn add(&mut self, name: &str, base: u64, span: u64) -> Result<(), AxiLiteError> {
         let span = span.next_power_of_two();
-        if base % span != 0 {
+        if !base.is_multiple_of(span) {
             return Err(AxiLiteError::Misaligned { base, span });
         }
         for &(b, s, _) in &self.windows {
@@ -174,7 +174,12 @@ pub struct AxiLiteBus {
 
 impl AxiLiteBus {
     pub fn new() -> Self {
-        AxiLiteBus { map: AddressMap::new(), slaves: Vec::new(), cycles_per_txn: 5, txn_count: 0 }
+        AxiLiteBus {
+            map: AddressMap::new(),
+            slaves: Vec::new(),
+            cycles_per_txn: 5,
+            txn_count: 0,
+        }
     }
 
     pub fn attach(
@@ -216,9 +221,10 @@ impl AxiLiteBus {
     pub fn write(&mut self, addr: u64, value: u32) -> (AxiResp, u32) {
         self.txn_count += 1;
         match self.map.decode(addr) {
-            Some((i, _, off)) => {
-                (self.slaves[i].write32((off & !0x3) as u32, value), self.cycles_per_txn)
-            }
+            Some((i, _, off)) => (
+                self.slaves[i].write32((off & !0x3) as u32, value),
+                self.cycles_per_txn,
+            ),
             None => (AxiResp::DecErr, self.cycles_per_txn),
         }
     }
@@ -273,7 +279,10 @@ mod tests {
         m.add("a", 0x1000, 0x1000).unwrap();
         assert_eq!(
             m.add("b", 0x1000, 0x1000).unwrap_err(),
-            AxiLiteError::Overlap { base: 0x1000, span: 0x1000 }
+            AxiLiteError::Overlap {
+                base: 0x1000,
+                span: 0x1000
+            }
         );
     }
 
@@ -289,8 +298,10 @@ mod tests {
     #[test]
     fn bus_routes_to_correct_slave() {
         let mut bus = AxiLiteBus::new();
-        bus.attach("core0", 0x4000_0000, 0x1000, Box::new(ctrl_regfile())).unwrap();
-        bus.attach("core1", 0x4000_1000, 0x1000, Box::new(ctrl_regfile())).unwrap();
+        bus.attach("core0", 0x4000_0000, 0x1000, Box::new(ctrl_regfile()))
+            .unwrap();
+        bus.attach("core1", 0x4000_1000, 0x1000, Box::new(ctrl_regfile()))
+            .unwrap();
         let (resp, cycles) = bus.write(0x4000_1010, 99);
         assert_eq!(resp, AxiResp::Okay);
         assert_eq!(cycles, 5);
@@ -311,7 +322,8 @@ mod tests {
     #[test]
     fn unaligned_access_rounds_down_to_word() {
         let mut bus = AxiLiteBus::new();
-        bus.attach("c", 0x0, 0x1000, Box::new(ctrl_regfile())).unwrap();
+        bus.attach("c", 0x0, 0x1000, Box::new(ctrl_regfile()))
+            .unwrap();
         bus.write(0x10, 5);
         assert_eq!(bus.read(0x13).0, 5, "byte-offset read hits the same word");
     }

@@ -55,7 +55,9 @@ pub struct VecMemory {
 
 impl VecMemory {
     pub fn new(size: usize) -> Self {
-        VecMemory { data: vec![0; size] }
+        VecMemory {
+            data: vec![0; size],
+        }
     }
 
     pub fn as_slice(&self) -> &[u8] {
@@ -113,7 +115,14 @@ mod tests {
     fn out_of_range_detected() {
         let mut m = VecMemory::new(16);
         let err = m.write(14, &[0; 4]).unwrap_err();
-        assert_eq!(err, MemError::OutOfRange { addr: 14, len: 4, size: 16 });
+        assert_eq!(
+            err,
+            MemError::OutOfRange {
+                addr: 14,
+                len: 4,
+                size: 16
+            }
+        );
         let mut buf = [0u8; 8];
         assert!(m.read(12, &mut buf).is_err());
     }

@@ -121,7 +121,11 @@ mod tests {
     fn fifo_order_preserved() {
         let mut ch = AxiStreamChannel::new("s", 8, 4);
         for i in 0..4 {
-            ch.push(Beat { data: i, last: i == 3 }).unwrap();
+            ch.push(Beat {
+                data: i,
+                last: i == 3,
+            })
+            .unwrap();
         }
         for i in 0..4 {
             let b = ch.pop().unwrap();
@@ -135,15 +139,33 @@ mod tests {
     #[test]
     fn backpressure_on_full() {
         let mut ch = AxiStreamChannel::new("s", 32, 2);
-        ch.push(Beat { data: 1, last: false }).unwrap();
-        ch.push(Beat { data: 2, last: false }).unwrap();
+        ch.push(Beat {
+            data: 1,
+            last: false,
+        })
+        .unwrap();
+        ch.push(Beat {
+            data: 2,
+            last: false,
+        })
+        .unwrap();
         assert!(!ch.can_push());
-        assert_eq!(ch.push(Beat { data: 3, last: false }), Err(StreamError::Full));
+        assert_eq!(
+            ch.push(Beat {
+                data: 3,
+                last: false
+            }),
+            Err(StreamError::Full)
+        );
         assert_eq!(ch.backpressure_events, 1);
         // Draining one slot re-enables pushing.
         ch.pop();
         assert!(ch.can_push());
-        ch.push(Beat { data: 3, last: true }).unwrap();
+        ch.push(Beat {
+            data: 3,
+            last: true,
+        })
+        .unwrap();
         assert_eq!(ch.len(), 2);
     }
 
@@ -157,7 +179,11 @@ mod tests {
     #[test]
     fn clear_empties_channel() {
         let mut ch = AxiStreamChannel::new("s", 8, 8);
-        ch.push(Beat { data: 1, last: false }).unwrap();
+        ch.push(Beat {
+            data: 1,
+            last: false,
+        })
+        .unwrap();
         ch.clear();
         assert!(ch.is_empty());
         // Transfer count is cumulative, not reset.
@@ -168,7 +194,11 @@ mod tests {
     fn zero_capacity_clamped_to_one() {
         let mut ch = AxiStreamChannel::new("s", 8, 0);
         assert_eq!(ch.capacity(), 1);
-        ch.push(Beat { data: 1, last: true }).unwrap();
+        ch.push(Beat {
+            data: 1,
+            last: true,
+        })
+        .unwrap();
         assert!(!ch.can_push());
     }
 }

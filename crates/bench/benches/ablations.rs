@@ -20,9 +20,7 @@ use accelsoc_kernel::types::Ty;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn compute_kernel(pipelined: bool) -> accelsoc_kernel::ir::Kernel {
-    let body = vec![
-        store("a", var("i"), mul(var("x"), add(var("x"), var("i")))),
-    ];
+    let body = vec![store("a", var("i"), mul(var("x"), add(var("x"), var("i"))))];
     let lp = if pipelined {
         for_pipelined("i", c(0), c(64), body)
     } else {
@@ -70,7 +68,9 @@ fn bench_unroll_factors(c: &mut Criterion) {
     group.sample_size(10);
     let base = compute_kernel(false);
     let opts = HlsOptions::default();
-    group.bench_function("x1", |b| b.iter(|| synthesize_kernel(&base, &opts).unwrap()));
+    group.bench_function("x1", |b| {
+        b.iter(|| synthesize_kernel(&base, &opts).unwrap())
+    });
     for factor in [2u32, 4, 8] {
         let unrolled = unroll_loop(&base, "i", factor).unwrap();
         group.bench_function(format!("x{factor}"), |b| {
@@ -88,8 +88,14 @@ fn bench_pipeline_directive(c: &mut Criterion) {
         group.bench_function(label, |b| b.iter(|| synthesize_kernel(&k, &opts).unwrap()));
     }
     // Print the quality difference once, so the bench log documents it.
-    let off = synthesize_kernel(&compute_kernel(false), &opts).unwrap().report.latency;
-    let on = synthesize_kernel(&compute_kernel(true), &opts).unwrap().report.latency;
+    let off = synthesize_kernel(&compute_kernel(false), &opts)
+        .unwrap()
+        .report
+        .latency;
+    let on = synthesize_kernel(&compute_kernel(true), &opts)
+        .unwrap()
+        .report
+        .latency;
     println!("ablation_pipeline: latency off={off} on={on} cycles");
     group.finish();
 }
@@ -102,18 +108,28 @@ fn bench_placement_effort(c: &mut Criterion) {
     for i in 0..12 {
         bd.add_cell(Cell {
             name: format!("c{i}"),
-            kind: CellKind::AxiInterconnect { masters: 1, slaves: 1 },
+            kind: CellKind::AxiInterconnect {
+                masters: 1,
+                slaves: 1,
+            },
         });
     }
     for i in 0..11 {
-        bd.connect((&format!("c{i}"), "M"), (&format!("c{}", i + 1), "S"), NetKind::AxiStream);
+        bd.connect(
+            (&format!("c{i}"), "M"),
+            (&format!("c{}", i + 1), "S"),
+            NetKind::AxiStream,
+        );
     }
     let device = Device::zynq7020();
     let mut group = c.benchmark_group("ablation_placement");
     group.sample_size(10);
     group.bench_function("anneal_12cell_chain", |b| b.iter(|| place(&bd, &device)));
     let p = place(&bd, &device);
-    println!("ablation_placement: wirelength={} iterations={}", p.wirelength, p.iterations);
+    println!(
+        "ablation_placement: wirelength={} iterations={}",
+        p.wirelength, p.iterations
+    );
     group.finish();
 }
 

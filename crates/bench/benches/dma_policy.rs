@@ -48,14 +48,14 @@ fn bench_policies(c: &mut Criterion) {
         for o in 0..n_out {
             g = g.link_to_soc("VEC", &format!("out{o}"));
         }
-        let graph = g.build();
-        for (label, policy) in
-            [("shared", DmaPolicy::SharedChannel), ("per_link", DmaPolicy::PerSocLink)]
-        {
+        let graph = g.build().expect("generated graph is structurally valid");
+        for (label, policy) in [
+            ("shared", DmaPolicy::SharedChannel),
+            ("per_link", DmaPolicy::PerSocLink),
+        ] {
             group.bench_function(format!("{label}_{}params", n_in + n_out), |b| {
                 b.iter(|| {
-                    let opts =
-                        FlowOptions { dma_policy: policy, ..FlowOptions::default() };
+                    let opts = FlowOptions::builder().dma_policy(policy).build();
                     let mut e = FlowEngine::new(opts);
                     e.register_kernel(kernel.clone());
                     e.run(&graph).unwrap()

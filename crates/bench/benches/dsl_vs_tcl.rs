@@ -42,5 +42,10 @@ fn bench_conciseness_measure(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse_print, bench_tcl_generation, bench_conciseness_measure);
+criterion_group!(
+    benches,
+    bench_parse_print,
+    bench_tcl_generation,
+    bench_conciseness_measure
+);
 criterion_main!(benches);

@@ -53,5 +53,10 @@ fn bench_dsl_phase_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_flow, bench_cached_flow, bench_dsl_phase_only);
+criterion_group!(
+    benches,
+    bench_full_flow,
+    bench_cached_flow,
+    bench_dsl_phase_only
+);
 criterion_main!(benches);

@@ -52,5 +52,10 @@ fn bench_dse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hls_per_kernel, bench_scheduling_internals, bench_dse);
+criterion_group!(
+    benches,
+    bench_hls_per_kernel,
+    bench_scheduling_internals,
+    bench_dse
+);
 criterion_main!(benches);

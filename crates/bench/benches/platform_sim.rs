@@ -35,7 +35,10 @@ fn bench_dma(c: &mut Criterion) {
                 let mut ch = AxiStreamChannel::new("s", 32, 1 << 16);
                 dma.mm2s(
                     &mut mem,
-                    DmaDescriptor { addr: 0, len: (kib * 1024) as u64 },
+                    DmaDescriptor {
+                        addr: 0,
+                        len: (kib * 1024) as u64,
+                    },
                     &mut ch,
                 )
                 .unwrap()
@@ -58,13 +61,25 @@ fn bench_stream_phase(c: &mut Criterion) {
     for n in [256usize, 4096] {
         group.bench_function(format!("{n}_tokens"), |b| {
             b.iter(|| {
-                let mut board = engine.build_board(&art, 1 << 20);
+                let mut board = engine.build_board(&art, 1 << 20).unwrap();
                 let data: Vec<u8> = (0..n).map(|i| (i & 0xff) as u8).collect();
                 board.dram.load_bytes(0x1000, &data).unwrap();
                 board
                     .run_stream_phase(
-                        &[(0, DmaDescriptor { addr: 0x1000, len: n as u64 })],
-                        &[(0, DmaDescriptor { addr: 0x8_0000, len: n as u64 })],
+                        &[(
+                            0,
+                            DmaDescriptor {
+                                addr: 0x1000,
+                                len: n as u64,
+                            },
+                        )],
+                        &[(
+                            0,
+                            DmaDescriptor {
+                                addr: 0x8_0000,
+                                len: n as u64,
+                            },
+                        )],
                         &[(gauss, "n", n as i64), (edge, "n", n as i64)],
                     )
                     .unwrap()

@@ -27,7 +27,15 @@ fn main() {
             Command::new(sibling).status()
         } else {
             Command::new("cargo")
-                .args(["run", "-q", "-p", "accelsoc-bench", "--release", "--bin", bin])
+                .args([
+                    "run",
+                    "-q",
+                    "-p",
+                    "accelsoc-bench",
+                    "--release",
+                    "--bin",
+                    bin,
+                ])
                 .status()
         }
         .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));

@@ -18,7 +18,10 @@ fn main() {
         ("Arch1", vec!["histogram"]),
         ("Arch2", vec!["otsuMethod"]),
         ("Arch3", vec!["histogram", "otsuMethod"]),
-        ("Arch4", vec!["binarization", "grayScale", "histogram", "otsuMethod"]),
+        (
+            "Arch4",
+            vec!["binarization", "grayScale", "histogram", "otsuMethod"],
+        ),
     ];
     let label_of = |hw: &[String]| -> String {
         table_i
@@ -29,8 +32,14 @@ fn main() {
     };
 
     let front = pareto_front(&points);
-    let mut table =
-        Table::new(vec!["runtime (ms)", "LUT", "BRAM", "DSP", "crossings", "hw set"]);
+    let mut table = Table::new(vec![
+        "runtime (ms)",
+        "LUT",
+        "BRAM",
+        "DSP",
+        "crossings",
+        "hw set",
+    ]);
     for p in &points {
         let on_front = front.iter().any(|f| f.hw_tasks == p.hw_tasks);
         let marker = if on_front { "*" } else { " " };

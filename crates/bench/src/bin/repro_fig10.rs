@@ -14,10 +14,10 @@ fn color_of(cell: &CellKind, name: &str) -> &'static str {
         CellKind::AxiDma => "palegreen",
         CellKind::ProcSysReset => "lightgray",
         CellKind::HlsCore(_) => match name {
-            "halfProbability" => "salmon",      // otsuMethod — red in the paper
-            "computeHistogram" => "orange",     // histogram — orange
-            "grayScale" => "lightcyan",         // light blue
-            "segment" => "plum",                // binarization — purple
+            "halfProbability" => "salmon",  // otsuMethod — red in the paper
+            "computeHistogram" => "orange", // histogram — orange
+            "grayScale" => "lightcyan",     // light blue
+            "segment" => "plum",            // binarization — purple
             _ => "wheat",
         },
     }
@@ -27,7 +27,10 @@ fn to_dot(bd: &BlockDesign) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "digraph {} {{", bd.name);
     let _ = writeln!(s, "  rankdir=LR;");
-    let _ = writeln!(s, "  node [shape=box, style=filled, fontname=\"Helvetica\"];");
+    let _ = writeln!(
+        s,
+        "  node [shape=box, style=filled, fontname=\"Helvetica\"];"
+    );
     for cell in &bd.cells {
         let r = cell.resources();
         let label = if cell.is_hls_core() {
@@ -55,7 +58,11 @@ fn to_dot(bd: &BlockDesign) -> String {
             net.from.0,
             net.to.0,
             style,
-            if net.kind == NetKind::AxiStream { "AXIS" } else { "AXI" }
+            if net.kind == NetKind::AxiStream {
+                "AXIS"
+            } else {
+                "AXI"
+            }
         );
     }
     let _ = writeln!(s, "}}");

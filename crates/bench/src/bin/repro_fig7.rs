@@ -21,15 +21,27 @@ fn main() {
 
     let fg = filtered.data.iter().filter(|&&v| v == 255).count();
     println!("== Fig. 7: Otsu filter example ==\n");
-    println!("input : {} ({}x{})", orig_path.display(), scene.width, scene.height);
-    println!("output: {} (binary, threshold = {})", filt_path.display(), thr);
+    println!(
+        "input : {} ({}x{})",
+        orig_path.display(),
+        scene.width,
+        scene.height
+    );
+    println!(
+        "output: {} (binary, threshold = {})",
+        filt_path.display(),
+        thr
+    );
     println!(
         "foreground: {:.1}% of pixels ({} of {})",
         100.0 * fg as f64 / filtered.pixels() as f64,
         fg,
         filtered.pixels()
     );
-    assert!(filtered.data.iter().all(|&v| v == 0 || v == 255), "output is binary");
+    assert!(
+        filtered.data.iter().all(|&v| v == 0 || v == 255),
+        "output is binary"
+    );
     println!("\n(The paper shows a photograph; we use the synthetic bimodal scene —");
     println!(" the experiment is the segmentation itself, which is reproduced exactly.)");
 }

@@ -14,9 +14,20 @@
 use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
 use accelsoc_bench::{save_json, Table};
 use accelsoc_core::flow::FlowPhase;
+use accelsoc_core::JsonTraceObserver;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 fn main() {
     let mut engine = otsu_flow_engine();
+    // Full-flow JSON-lines trace next to the experiment record: one
+    // FlowStarted..FlowFinished block per architecture, with per-kernel
+    // HlsCacheQuery events showing the Arch4-first cache reuse.
+    let trace_dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&trace_dir).expect("create experiments dir");
+    let trace_path = trace_dir.join("fig9_trace.jsonl");
+    engine.options.observer =
+        Arc::new(JsonTraceObserver::create(&trace_path).expect("create trace file"));
     // Paper's order: Arch4 first, then the subsets.
     let order = [Arch::Arch4, Arch::Arch1, Arch::Arch2, Arch::Arch3];
     let phases = [
@@ -28,7 +39,14 @@ fn main() {
         FlowPhase::SwGen,
     ];
     let mut table = Table::new(vec![
-        "Arch", "SCALA(s)", "HLS(s)", "PROJ(s)", "SYNTH(s)", "IMPL(s)", "SWGEN(s)", "total(s)",
+        "Arch",
+        "SCALA(s)",
+        "HLS(s)",
+        "PROJ(s)",
+        "SYNTH(s)",
+        "IMPL(s)",
+        "SWGEN(s)",
+        "total(s)",
         "measured(ms)",
     ]);
     let mut records = Vec::new();
@@ -45,8 +63,11 @@ fn main() {
         let total = art.modeled_total_seconds();
         grand_total += total;
         row.push(format!("{total:.1}"));
-        let measured_ms: f64 =
-            art.phase_timings.iter().map(|p| p.actual.as_secs_f64() * 1e3).sum();
+        let measured_ms: f64 = art
+            .phase_timings
+            .iter()
+            .map(|p| p.actual.as_secs_f64() * 1e3)
+            .sum();
         row.push(format!("{measured_ms:.1}"));
         rec.insert("total_s".into(), serde_json::json!(total));
         rec.insert("measured_ms".into(), serde_json::json!(measured_ms));
@@ -64,4 +85,5 @@ fn main() {
     println!("exactly as in the paper. Synthesis+implementation dominate, as in Fig. 9.");
     let p = save_json("fig9", &records);
     println!("record: {}", p.display());
+    println!("trace : {}", trace_path.display());
 }

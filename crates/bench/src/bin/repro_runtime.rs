@@ -17,7 +17,13 @@ fn main() {
 
     let mut engine = otsu_flow_engine();
     let mut table = Table::new(vec![
-        "Arch", "total (ms)", "sw compute (ms)", "hw phase (ms)", "DMA (KiB)", "thr", "output",
+        "Arch",
+        "total (ms)",
+        "sw compute (ms)",
+        "hw phase (ms)",
+        "DMA (KiB)",
+        "thr",
+        "output",
     ]);
     let mut records = Vec::new();
     for arch in Arch::all() {
@@ -30,8 +36,12 @@ fn main() {
             .filter(|(n, _, hw)| !hw && n != "readImage" && n != "writeImage")
             .map(|(_, ns, _)| ns / 1e6)
             .sum();
-        let hw_ms: f64 =
-            run.tasks.iter().filter(|(_, _, hw)| *hw).map(|(_, ns, _)| ns / 1e6).sum();
+        let hw_ms: f64 = run
+            .tasks
+            .iter()
+            .filter(|(_, _, hw)| *hw)
+            .map(|(_, ns, _)| ns / 1e6)
+            .sum();
         table.row(vec![
             arch.name().to_string(),
             format!("{:.2}", run.total_ns / 1e6),
@@ -39,7 +49,11 @@ fn main() {
             format!("{hw_ms:.2}"),
             format!("{}", run.dma_bytes / 1024),
             run.threshold.to_string(),
-            if ok { "exact".to_string() } else { "MISMATCH".to_string() },
+            if ok {
+                "exact".to_string()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
         records.push(serde_json::json!({
             "arch": arch.name(),
@@ -54,9 +68,7 @@ fn main() {
         }));
         assert!(ok, "{arch:?} output must match the software reference");
     }
-    println!(
-        "== Ext-1: Otsu application runtime on the simulated ZedBoard ({side}x{side}) ==\n"
-    );
+    println!("== Ext-1: Otsu application runtime on the simulated ZedBoard ({side}x{side}) ==\n");
     print!("{}", table.render());
     println!("\nShape: compute shifts from the CPU columns into the (pipelined) HW phase");
     println!("as more functions move to hardware; Arch4 offloads all per-pixel work.");

@@ -37,8 +37,13 @@ fn vector_kernel(n_in: usize, n_out: usize) -> accelsoc_kernel::ir::Kernel {
 
 fn main() {
     let mut table = Table::new(vec![
-        "N params", "shared LUT", "shared BRAM", "per-link LUT", "per-link BRAM",
-        "LUT overhead", "DMAs (shared/per-link)",
+        "N params",
+        "shared LUT",
+        "shared BRAM",
+        "per-link LUT",
+        "per-link BRAM",
+        "LUT overhead",
+        "DMAs (shared/per-link)",
     ]);
     let mut records = Vec::new();
     for n in [2usize, 3, 4, 6, 8] {
@@ -60,11 +65,10 @@ fn main() {
         for o in 0..n_out {
             g = g.link_to_soc("VEC", &format!("out{o}"));
         }
-        let graph = g.build();
+        let graph = g.build().expect("generated graph is structurally valid");
 
         let run = |policy: DmaPolicy| {
-            let opts = FlowOptions { dma_policy: policy, ..FlowOptions::default() };
-            
+            let opts = FlowOptions::builder().dma_policy(policy).build();
             let mut e = FlowEngine::new(opts);
             e.register_kernel(kernel.clone());
             let art = e.run(&graph).expect("flow");

@@ -19,8 +19,13 @@ const FUNCTIONS: [(&str, &str); 4] = [
 ];
 
 fn main() {
-    let mut table =
-        Table::new(vec!["Solution", "grayScale", "histogram", "otsuMethod", "binarization"]);
+    let mut table = Table::new(vec![
+        "Solution",
+        "grayScale",
+        "histogram",
+        "otsuMethod",
+        "binarization",
+    ]);
     let mut records = Vec::new();
     for arch in Arch::all() {
         let g = parse(&arch_dsl_source(arch)).expect("arch DSL parses");

@@ -16,11 +16,21 @@ use accelsoc_bench::{save_json, Table, PAPER_TABLE2};
 fn main() {
     let mut engine = otsu_flow_engine();
     let mut table = Table::new(vec![
-        "Solution", "LUT", "FF", "RAMB18", "DSP", "| paper LUT", "FF", "RAMB18", "DSP",
+        "Solution",
+        "LUT",
+        "FF",
+        "RAMB18",
+        "DSP",
+        "| paper LUT",
+        "FF",
+        "RAMB18",
+        "DSP",
     ]);
     let mut records = Vec::new();
     for (arch, paper) in Arch::all().into_iter().zip(PAPER_TABLE2) {
-        let art = engine.run_source(&arch_dsl_source(arch)).expect("flow runs");
+        let art = engine
+            .run_source(&arch_dsl_source(arch))
+            .expect("flow runs");
         let r = art.synth.total;
         table.row(vec![
             arch.name().to_string(),

@@ -15,7 +15,13 @@ use accelsoc_core::metrics::Conciseness;
 fn main() {
     let mut engine = otsu_flow_engine();
     let mut table = Table::new(vec![
-        "Arch", "DSL lines", "tcl lines", "ratio", "DSL chars", "tcl chars", "ratio",
+        "Arch",
+        "DSL lines",
+        "tcl lines",
+        "ratio",
+        "DSL chars",
+        "tcl chars",
+        "ratio",
     ]);
     let mut records = Vec::new();
     let mut ratios = Vec::new();
@@ -51,7 +57,10 @@ fn main() {
     let proj = art.phase(FlowPhase::ProjectGen).unwrap().modeled_s;
     println!("\nmodeled DSL compile: {scala:.1} s (paper ~6 s)");
     println!("modeled project generation: {proj:.1} s (paper ~50 s)");
-    println!("total to a ready Vivado project: {:.1} s (paper: <1 min)", scala + proj);
+    println!(
+        "total to a ready Vivado project: {:.1} s (paper: <1 min)",
+        scala + proj
+    );
     println!("GUI baseline (paper): after 48 s only the Zynq PS was instantiated.");
     let p = save_json("tcl_comparison", &records);
     println!("record: {}", p.display());

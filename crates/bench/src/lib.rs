@@ -30,7 +30,10 @@ pub struct Table {
 
 impl Table {
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
@@ -56,7 +59,11 @@ impl Table {
             line.trim_end().to_string()
         };
         let _ = writeln!(s, "{}", fmt_row(&self.header, &widths));
-        let _ = writeln!(s, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+        let _ = writeln!(
+            s,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * ncols)
+        );
         for row in &self.rows {
             let _ = writeln!(s, "{}", fmt_row(row, &widths));
         }

@@ -2,8 +2,63 @@
 //! plus the `tg!` macro that mirrors the paper's syntax.
 
 use crate::graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
+use std::fmt;
+
+/// Why [`TaskGraphBuilder::build`] rejected the accumulated graph.
+///
+/// The builder validates *structural* consistency — that every statement
+/// refers to things that were declared. Semantic rules that need the whole
+/// graph (direction inference, dangling stream ports, orphan nodes) stay
+/// in [`crate::semantics::elaborate`], which also covers graphs built by
+/// the parser or the `tg!` macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The project name is empty.
+    EmptyProject,
+    /// A node name was declared twice.
+    DuplicateNode { node: String },
+    /// A port name was declared twice on the same node.
+    DuplicatePort { node: String, port: String },
+    /// An edge references a node that was never declared.
+    UnknownNode { node: String },
+    /// A link endpoint references a port the node doesn't declare.
+    UnknownPort { node: String, port: String },
+    /// A `link` endpoint names an AXI-Lite (`i`) port.
+    LinkOnLitePort { node: String, port: String },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyProject => write!(f, "project name is empty"),
+            BuildError::DuplicateNode { node } => write!(f, "node `{node}` declared twice"),
+            BuildError::DuplicatePort { node, port } => {
+                write!(f, "port `{port}` declared twice on `{node}`")
+            }
+            BuildError::UnknownNode { node } => {
+                write!(f, "edge references undeclared node `{node}`")
+            }
+            BuildError::UnknownPort { node, port } => {
+                write!(f, "node `{node}` has no port `{port}`")
+            }
+            BuildError::LinkOnLitePort { node, port } => {
+                write!(
+                    f,
+                    "`link` endpoint `{node}.{port}` is an AXI-Lite (`i`) port"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Builder for [`TaskGraph`]s.
+///
+/// Statements accumulate unchecked; [`TaskGraphBuilder::build`] validates
+/// the whole graph at once and returns `Err(BuildError)` for structural
+/// mistakes (duplicate declarations, references to undeclared nodes or
+/// ports) instead of letting them surface later in the flow.
 ///
 /// ```
 /// use accelsoc_core::builder::TaskGraphBuilder;
@@ -13,7 +68,8 @@ use crate::graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
 ///     .connect("MUL")
 ///     .link_soc_to("GAUSS", "in")
 ///     .link_to_soc("GAUSS", "out")
-///     .build();
+///     .build()
+///     .unwrap();
 /// assert_eq!(g.nodes.len(), 2);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -30,39 +86,58 @@ pub struct NodeBuilder {
 impl NodeBuilder {
     /// Declare an AXI-Lite (`i`) port.
     pub fn lite(mut self, name: &str) -> Self {
-        self.ports.push(Port { name: name.into(), kind: InterfaceKind::Lite });
+        self.ports.push(Port {
+            name: name.into(),
+            kind: InterfaceKind::Lite,
+        });
         self
     }
 
     /// Declare an AXI-Stream (`is`) port.
     pub fn stream(mut self, name: &str) -> Self {
-        self.ports.push(Port { name: name.into(), kind: InterfaceKind::Stream });
+        self.ports.push(Port {
+            name: name.into(),
+            kind: InterfaceKind::Stream,
+        });
         self
     }
 }
 
 impl TaskGraphBuilder {
     pub fn new(project: &str) -> Self {
-        TaskGraphBuilder { graph: TaskGraph::new(project) }
+        TaskGraphBuilder {
+            graph: TaskGraph::new(project),
+        }
     }
 
     pub fn node(mut self, name: &str, f: impl FnOnce(NodeBuilder) -> NodeBuilder) -> Self {
         let nb = f(NodeBuilder::default());
-        self.graph.nodes.push(DslNode { name: name.into(), ports: nb.ports });
+        self.graph.nodes.push(DslNode {
+            name: name.into(),
+            ports: nb.ports,
+        });
         self
     }
 
     /// `tg connect "node"` — AXI-Lite attachment.
     pub fn connect(mut self, node: &str) -> Self {
-        self.graph.edges.push(DslEdge::Connect { node: node.into() });
+        self.graph
+            .edges
+            .push(DslEdge::Connect { node: node.into() });
         self
     }
 
     /// `tg link (a, pa) to (b, pb) end` — core-to-core stream.
     pub fn link(mut self, from: (&str, &str), to: (&str, &str)) -> Self {
         self.graph.edges.push(DslEdge::Link {
-            from: LinkEnd::Port { node: from.0.into(), port: from.1.into() },
-            to: LinkEnd::Port { node: to.0.into(), port: to.1.into() },
+            from: LinkEnd::Port {
+                node: from.0.into(),
+                port: from.1.into(),
+            },
+            to: LinkEnd::Port {
+                node: to.0.into(),
+                port: to.1.into(),
+            },
         });
         self
     }
@@ -71,7 +146,10 @@ impl TaskGraphBuilder {
     pub fn link_soc_to(mut self, node: &str, port: &str) -> Self {
         self.graph.edges.push(DslEdge::Link {
             from: LinkEnd::Soc,
-            to: LinkEnd::Port { node: node.into(), port: port.into() },
+            to: LinkEnd::Port {
+                node: node.into(),
+                port: port.into(),
+            },
         });
         self
     }
@@ -79,14 +157,69 @@ impl TaskGraphBuilder {
     /// `tg link (node, port) to 'soc end`.
     pub fn link_to_soc(mut self, node: &str, port: &str) -> Self {
         self.graph.edges.push(DslEdge::Link {
-            from: LinkEnd::Port { node: node.into(), port: port.into() },
+            from: LinkEnd::Port {
+                node: node.into(),
+                port: port.into(),
+            },
             to: LinkEnd::Soc,
         });
         self
     }
 
-    pub fn build(self) -> TaskGraph {
-        self.graph
+    /// Validate the accumulated statements and hand over the graph.
+    pub fn build(self) -> Result<TaskGraph, BuildError> {
+        let g = self.graph;
+        if g.project.is_empty() {
+            return Err(BuildError::EmptyProject);
+        }
+        for (i, n) in g.nodes.iter().enumerate() {
+            if g.nodes.iter().skip(i + 1).any(|m| m.name == n.name) {
+                return Err(BuildError::DuplicateNode {
+                    node: n.name.clone(),
+                });
+            }
+            for (j, p) in n.ports.iter().enumerate() {
+                if n.ports.iter().skip(j + 1).any(|q| q.name == p.name) {
+                    return Err(BuildError::DuplicatePort {
+                        node: n.name.clone(),
+                        port: p.name.clone(),
+                    });
+                }
+            }
+        }
+        let check_end = |node: &str, port: &str| -> Result<(), BuildError> {
+            let n = g.node(node).ok_or_else(|| BuildError::UnknownNode {
+                node: node.to_string(),
+            })?;
+            let p = n.port(port).ok_or_else(|| BuildError::UnknownPort {
+                node: node.to_string(),
+                port: port.to_string(),
+            })?;
+            if p.kind == InterfaceKind::Lite {
+                return Err(BuildError::LinkOnLitePort {
+                    node: node.to_string(),
+                    port: port.to_string(),
+                });
+            }
+            Ok(())
+        };
+        for e in &g.edges {
+            match e {
+                DslEdge::Connect { node } => {
+                    if g.node(node).is_none() {
+                        return Err(BuildError::UnknownNode { node: node.clone() });
+                    }
+                }
+                DslEdge::Link { from, to } => {
+                    for end in [from, to] {
+                        if let LinkEnd::Port { node, port } = end {
+                            check_end(node, port)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(g)
     }
 }
 
@@ -122,13 +255,14 @@ macro_rules! tg_items {
     ($g:ident;) => {};
     ($g:ident; node $nname:literal { $( $pkind:ident $pname:literal ; )+ } $($rest:tt)*) => {
         {
-            let mut ports: Vec<$crate::graph::Port> = Vec::new();
-            $(
-                ports.push($crate::graph::Port {
-                    name: $pname.to_string(),
-                    kind: $crate::tg_port_kind!($pkind),
-                });
-            )+
+            let ports: Vec<$crate::graph::Port> = vec![
+                $(
+                    $crate::graph::Port {
+                        name: $pname.to_string(),
+                        kind: $crate::tg_port_kind!($pkind),
+                    },
+                )+
+            ];
             $g.nodes.push($crate::graph::DslNode { name: $nname.to_string(), ports });
         }
         $crate::tg_items!($g; $($rest)*);
@@ -195,7 +329,8 @@ mod tests {
             .connect("MUL")
             .link_soc_to("GAUSS", "in")
             .link_to_soc("GAUSS", "out")
-            .build();
+            .build()
+            .unwrap();
         let mac = crate::tg! {
             project fig4;
             node "MUL" { i "A"; i "B"; i "return"; }
@@ -232,5 +367,85 @@ mod tests {
         };
         assert_eq!(g.links().count(), 1);
         assert_eq!(g.soc_link_count(), 0);
+    }
+
+    #[test]
+    fn build_rejects_duplicate_declarations() {
+        let err = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("p"))
+            .node("A", |n| n.lite("p"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::DuplicateNode { node: "A".into() });
+
+        let err = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("p").lite("p"))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DuplicatePort {
+                node: "A".into(),
+                port: "p".into()
+            }
+        );
+    }
+
+    #[test]
+    fn build_rejects_dangling_references() {
+        let err = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("in"))
+            .link_soc_to("GHOST", "in")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownNode {
+                node: "GHOST".into()
+            }
+        );
+
+        let err = TaskGraphBuilder::new("x")
+            .node("A", |n| n.stream("in"))
+            .link_soc_to("A", "nope")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownPort {
+                node: "A".into(),
+                port: "nope".into()
+            }
+        );
+
+        let err = TaskGraphBuilder::new("x")
+            .connect("GHOST")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownNode {
+                node: "GHOST".into()
+            }
+        );
+    }
+
+    #[test]
+    fn build_rejects_lite_link_and_empty_project() {
+        let err = TaskGraphBuilder::new("x")
+            .node("A", |n| n.lite("ctl"))
+            .link_soc_to("A", "ctl")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::LinkOnLitePort {
+                node: "A".into(),
+                port: "ctl".into()
+            }
+        );
+
+        let err = TaskGraphBuilder::new("").build().unwrap_err();
+        assert_eq!(err, BuildError::EmptyProject);
     }
 }

@@ -77,7 +77,11 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.chars().peekable(), line: 1, col: 1 }
+        Lexer {
+            src: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Tokenize the whole input (appends an EOF token).
@@ -131,7 +135,11 @@ impl<'a> Lexer<'a> {
         }
         let (line, col) = (self.line, self.col);
         let Some(&c) = self.src.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, line, col });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+                col,
+            });
         };
         let kind = match c {
             ';' => {
@@ -206,7 +214,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -260,7 +273,10 @@ mod tests {
     #[test]
     fn unterminated_string_reported() {
         let err = Lexer::new("tg \"abc").tokenize().unwrap_err();
-        assert!(matches!(err, LexError::UnterminatedString { line: 1, col: 4 }));
+        assert!(matches!(
+            err,
+            LexError::UnterminatedString { line: 1, col: 4 }
+        ));
     }
 
     #[test]

@@ -22,6 +22,6 @@ mod lexer;
 mod parser;
 mod printer;
 
-pub use lexer::{Lexer, LexError, Token, TokenKind};
+pub use lexer::{LexError, Lexer, Token, TokenKind};
 pub use parser::{parse, ParseError};
 pub use printer::{print, PrintStyle};

@@ -8,9 +8,18 @@ use std::fmt;
 pub enum ParseError {
     Lex(LexError),
     /// `{line}:{col}: expected {expected}, found {found}`.
-    Unexpected { expected: String, found: String, line: u32, col: u32 },
+    Unexpected {
+        expected: String,
+        found: String,
+        line: u32,
+        col: u32,
+    },
     /// Sections may not be empty per the grammar (`<Node>+`, `<Edge>+`).
-    EmptySection { section: &'static str, line: u32, col: u32 },
+    EmptySection {
+        section: &'static str,
+        line: u32,
+        col: u32,
+    },
 }
 
 impl From<LexError> for ParseError {
@@ -23,11 +32,19 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { expected, found, line, col } => {
+            ParseError::Unexpected {
+                expected,
+                found,
+                line,
+                col,
+            } => {
                 write!(f, "{line}:{col}: expected {expected}, found {found}")
             }
             ParseError::EmptySection { section, line, col } => {
-                write!(f, "{line}:{col}: `{section}` section must contain at least one element")
+                write!(
+                    f,
+                    "{line}:{col}: `{section}` section must contain at least one element"
+                )
             }
         }
     }
@@ -148,7 +165,11 @@ impl Parser {
             g.nodes.push(self.node()?);
         }
         if g.nodes.is_empty() {
-            return Err(ParseError::EmptySection { section: "nodes", line, col });
+            return Err(ParseError::EmptySection {
+                section: "nodes",
+                line,
+                col,
+            });
         }
         Ok(())
     }
@@ -204,7 +225,11 @@ impl Parser {
             g.edges.push(self.edge()?);
         }
         if g.edges.is_empty() {
-            return Err(ParseError::EmptySection { section: "edges", line, col });
+            return Err(ParseError::EmptySection {
+                section: "edges",
+                line,
+                col,
+            });
         }
         Ok(())
     }
@@ -331,7 +356,13 @@ mod tests {
     #[test]
     fn empty_sections_rejected() {
         let err = parse("tg nodes; tg end_nodes; tg edges; tg end_edges;").unwrap_err();
-        assert!(matches!(err, ParseError::EmptySection { section: "nodes", .. }));
+        assert!(matches!(
+            err,
+            ParseError::EmptySection {
+                section: "nodes",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -340,7 +371,13 @@ mod tests {
             r#"tg nodes; tg node "A" end; tg end_nodes; tg edges; tg connect "A"; tg end_edges;"#,
         )
         .unwrap_err();
-        assert!(matches!(err, ParseError::EmptySection { section: "node interfaces", .. }));
+        assert!(matches!(
+            err,
+            ParseError::EmptySection {
+                section: "node interfaces",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! print` is the identity (round-trip property, tested here and in the
 //! property suite).
 
-use crate::graph::{DslEdge, LinkEnd, InterfaceKind, TaskGraph};
+use crate::graph::{DslEdge, InterfaceKind, LinkEnd, TaskGraph};
 use std::fmt::Write;
 
 /// Output style.
@@ -76,15 +76,27 @@ mod tests {
                 DslNode {
                     name: "ADD".into(),
                     ports: vec![
-                        Port { name: "A".into(), kind: InterfaceKind::Lite },
-                        Port { name: "return".into(), kind: InterfaceKind::Lite },
+                        Port {
+                            name: "A".into(),
+                            kind: InterfaceKind::Lite,
+                        },
+                        Port {
+                            name: "return".into(),
+                            kind: InterfaceKind::Lite,
+                        },
                     ],
                 },
                 DslNode {
                     name: "GAUSS".into(),
                     ports: vec![
-                        Port { name: "in".into(), kind: InterfaceKind::Stream },
-                        Port { name: "out".into(), kind: InterfaceKind::Stream },
+                        Port {
+                            name: "in".into(),
+                            kind: InterfaceKind::Stream,
+                        },
+                        Port {
+                            name: "out".into(),
+                            kind: InterfaceKind::Stream,
+                        },
                     ],
                 },
             ],
@@ -92,10 +104,16 @@ mod tests {
                 DslEdge::Connect { node: "ADD".into() },
                 DslEdge::Link {
                     from: LinkEnd::Soc,
-                    to: LinkEnd::Port { node: "GAUSS".into(), port: "in".into() },
+                    to: LinkEnd::Port {
+                        node: "GAUSS".into(),
+                        port: "in".into(),
+                    },
                 },
                 DslEdge::Link {
-                    from: LinkEnd::Port { node: "GAUSS".into(), port: "out".into() },
+                    from: LinkEnd::Port {
+                        node: "GAUSS".into(),
+                        port: "out".into(),
+                    },
                     to: LinkEnd::Soc,
                 },
             ],
@@ -123,8 +141,16 @@ mod tests {
     #[test]
     fn printed_text_uses_paper_keywords() {
         let text = print(&sample(), PrintStyle::Bare);
-        for kw in ["tg nodes;", "tg end_nodes;", "tg edges;", "tg end_edges;",
-                   "tg node \"ADD\"", "is \"in\"", "'soc", "tg connect"] {
+        for kw in [
+            "tg nodes;",
+            "tg end_nodes;",
+            "tg edges;",
+            "tg end_edges;",
+            "tg node \"ADD\"",
+            "is \"in\"",
+            "'soc",
+            "tg connect",
+        ] {
             assert!(text.contains(kw), "missing {kw} in:\n{text}");
         }
     }

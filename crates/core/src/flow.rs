@@ -16,13 +16,20 @@
 //! Each phase is timed (measured wall-clock of our simulated tools) and
 //! also annotated with modeled vendor-tool seconds (for the Fig. 9
 //! reproduction at the paper's scale).
+//!
+//! Every phase is wrapped in an observer span ([`accelsoc_observe::PhaseSpan`]):
+//! the [`FlowObserver`] configured via [`FlowOptions::builder`] receives
+//! `PhaseStarted`/`PhaseEnded` pairs (well-nested even on error paths),
+//! plus the fine-grained events the lower layers emit (HLS cache queries,
+//! placement cooling, timing closure, …). A [`MetricsObserver`] always
+//! rides along and its aggregate is returned as [`FlowArtifacts::metrics`].
 
 use crate::dsl::{parse, ParseError};
 use crate::graph::{InterfaceKind, LinkEnd, TaskGraph};
 use crate::semantics::{elaborate, Elaborated, PortDirection, SemanticError};
-use accelsoc_hls::project::{synthesize_kernel, HlsError, HlsOptions, HlsResult};
+use accelsoc_hls::project::{synthesize_kernel_observed, HlsError, HlsOptions, HlsResult};
 use accelsoc_integration::assembler::{
-    assemble, AssembleError, ArchSpec, CoreSpec, DmaPolicy, LinkSpec, SocEndpoint,
+    assemble, ArchSpec, AssembleError, CoreSpec, DmaPolicy, LinkSpec, SocEndpoint,
 };
 use accelsoc_integration::bitstream::Bitstream;
 use accelsoc_integration::blockdesign::BlockDesign;
@@ -34,38 +41,20 @@ use accelsoc_integration::tcl::TclBackend;
 use accelsoc_integration::timing::TimingReport;
 use accelsoc_integration::{flowtime, place, route, synth, tcl, timing};
 use accelsoc_kernel::ir::{Kernel, ParamKind};
+use accelsoc_observe::{
+    null_observer, FanoutObserver, FlowEvent, FlowMetrics, MetricsObserver, PhaseSpan,
+    SharedObserver, SpanOutcome,
+};
 use accelsoc_platform::accel::AccelInstance;
-use accelsoc_platform::board::{Board, Endpoint};
+use accelsoc_platform::board::{Board, BoardError, Endpoint};
 use accelsoc_swgen::boot::BootImage;
 use accelsoc_swgen::{capi, devicetree};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Flow phases, in order (the bars of Fig. 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FlowPhase {
-    DslCompile,
-    Hls,
-    ProjectGen,
-    Synthesis,
-    Implementation,
-    SwGen,
-}
-
-impl fmt::Display for FlowPhase {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            FlowPhase::DslCompile => "SCALA",
-            FlowPhase::Hls => "HLS",
-            FlowPhase::ProjectGen => "PROJECT_GEN",
-            FlowPhase::Synthesis => "SYNTHESIS",
-            FlowPhase::Implementation => "IMPLEMENTATION",
-            FlowPhase::SwGen => "SW_GEN",
-        };
-        f.write_str(s)
-    }
-}
+pub use accelsoc_observe::FlowPhase;
 
 /// Timing record for one phase.
 #[derive(Debug, Clone)]
@@ -78,12 +67,19 @@ pub struct PhaseTiming {
 }
 
 /// Options for a flow run.
-#[derive(Debug, Clone)]
+///
+/// Marked `#[non_exhaustive]`: construct with [`FlowOptions::default`] or
+/// [`FlowOptions::builder`] and mutate fields, rather than with a struct
+/// literal, so new knobs can be added without breaking downstream code.
+#[derive(Clone)]
+#[non_exhaustive]
 pub struct FlowOptions {
     pub device: Device,
     pub tcl_backend: TclBackend,
     pub dma_policy: DmaPolicy,
     pub hls: HlsOptions,
+    /// Observer receiving flow events. Defaults to a no-op sink.
+    pub observer: SharedObserver,
 }
 
 impl Default for FlowOptions {
@@ -93,23 +89,148 @@ impl Default for FlowOptions {
             tcl_backend: TclBackend::default(),
             dma_policy: DmaPolicy::SharedChannel,
             hls: HlsOptions::default(),
+            observer: null_observer(),
         }
     }
 }
 
+impl fmt::Debug for FlowOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowOptions")
+            .field("device", &self.device)
+            .field("tcl_backend", &self.tcl_backend)
+            .field("dma_policy", &self.dma_policy)
+            .field("hls", &self.hls)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlowOptions {
+    /// Start building a [`FlowOptions`] from the defaults.
+    pub fn builder() -> FlowOptionsBuilder {
+        FlowOptionsBuilder {
+            options: FlowOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`FlowOptions`] (see [`FlowOptions::builder`]).
+///
+/// ```
+/// use accelsoc_core::flow::FlowOptions;
+/// use accelsoc_integration::assembler::DmaPolicy;
+/// let opts = FlowOptions::builder()
+///     .dma_policy(DmaPolicy::PerSocLink)
+///     .build();
+/// assert_eq!(opts.dma_policy, DmaPolicy::PerSocLink);
+/// ```
+#[derive(Clone, Default)]
+pub struct FlowOptionsBuilder {
+    options: FlowOptions,
+}
+
+impl FlowOptionsBuilder {
+    pub fn device(mut self, device: Device) -> Self {
+        self.options.device = device;
+        self
+    }
+
+    pub fn tcl_backend(mut self, backend: TclBackend) -> Self {
+        self.options.tcl_backend = backend;
+        self
+    }
+
+    pub fn dma_policy(mut self, policy: DmaPolicy) -> Self {
+        self.options.dma_policy = policy;
+        self
+    }
+
+    pub fn hls(mut self, hls: HlsOptions) -> Self {
+        self.options.hls = hls;
+        self
+    }
+
+    /// Attach an observer; it receives every event of every run.
+    pub fn observer(mut self, observer: SharedObserver) -> Self {
+        self.options.observer = observer;
+        self
+    }
+
+    pub fn build(self) -> FlowOptions {
+        self.options
+    }
+}
+
+/// How a DSL port disagrees with the registered kernel's interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortIssue {
+    /// The kernel declares the port as a stream *input* but the graph
+    /// links it as a source (driving data out of the node).
+    StreamInputUsedAsSource,
+    /// The kernel declares the port as a stream *output* but the graph
+    /// links it as a destination.
+    StreamOutputUsedAsDestination,
+    /// Interface kinds disagree outright (`None` when the kernel has no
+    /// such parameter at all).
+    KindMismatch {
+        declared: InterfaceKind,
+        found: Option<ParamKind>,
+    },
+}
+
+impl fmt::Display for PortIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortIssue::StreamInputUsedAsSource => {
+                write!(f, "stream input in the kernel but used as a link source")
+            }
+            PortIssue::StreamOutputUsedAsDestination => {
+                write!(
+                    f,
+                    "stream output in the kernel but used as a link destination"
+                )
+            }
+            PortIssue::KindMismatch { declared, found } => {
+                write!(
+                    f,
+                    "declared {declared:?} in the DSL but kernel has {found:?}"
+                )
+            }
+        }
+    }
+}
+
+/// Everything that can go wrong executing a flow. Every variant carries
+/// typed context; the wrapped layer errors are reachable via
+/// [`std::error::Error::source`].
 #[derive(Debug)]
 pub enum FlowError {
     Parse(ParseError),
     Semantic(SemanticError),
     /// A DSL node has no registered kernel.
-    MissingKernel(String),
-    /// DSL ports don't match the kernel's interface.
-    PortMismatch { node: String, detail: String },
-    Hls { node: String, err: HlsError },
+    MissingKernel {
+        node: String,
+    },
+    /// A DSL port doesn't match the kernel's interface.
+    PortMismatch {
+        node: String,
+        port: String,
+        issue: PortIssue,
+    },
+    Hls {
+        node: String,
+        source: HlsError,
+    },
     Assemble(AssembleError),
     Synth(SynthError),
     /// Post-route timing failed to close at the PL clock.
     TimingFailure(TimingReport),
+    /// Board construction from the artifacts failed.
+    Board(BoardError),
+    /// A flow invariant was violated (e.g. a worker thread panicked).
+    Internal {
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -117,23 +238,52 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Parse(e) => write!(f, "DSL parse error: {e}"),
             FlowError::Semantic(e) => write!(f, "semantic error: {e}"),
-            FlowError::MissingKernel(n) => {
-                write!(f, "no kernel registered for node `{n}` (need a C-equivalent source)")
+            FlowError::MissingKernel { node } => {
+                write!(
+                    f,
+                    "no kernel registered for node `{node}` (need a C-equivalent source)"
+                )
             }
-            FlowError::PortMismatch { node, detail } => {
-                write!(f, "node `{node}` interface mismatch: {detail}")
+            FlowError::PortMismatch { node, port, issue } => {
+                write!(
+                    f,
+                    "node `{node}` interface mismatch on port `{port}`: {issue}"
+                )
             }
-            FlowError::Hls { node, err } => write!(f, "HLS failed for `{node}`: {err}"),
+            FlowError::Hls { node, source } => write!(f, "HLS failed for `{node}`: {source}"),
             FlowError::Assemble(e) => write!(f, "integration failed: {e}"),
             FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
             FlowError::TimingFailure(t) => {
-                write!(f, "timing failure: achieved {:.2} ns > target {:.2} ns", t.achieved_ns, t.target_ns)
+                write!(
+                    f,
+                    "timing failure: achieved {:.2} ns > target {:.2} ns",
+                    t.achieved_ns, t.target_ns
+                )
+            }
+            FlowError::Board(e) => write!(f, "board construction failed: {e}"),
+            FlowError::Internal { context } => {
+                write!(f, "internal flow invariant violated: {context}")
             }
         }
     }
 }
 
-impl std::error::Error for FlowError {}
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Parse(e) => Some(e),
+            FlowError::Semantic(e) => Some(e),
+            FlowError::Hls { source, .. } => Some(source),
+            FlowError::Assemble(e) => Some(e),
+            FlowError::Synth(e) => Some(e),
+            FlowError::Board(e) => Some(e),
+            FlowError::MissingKernel { .. }
+            | FlowError::PortMismatch { .. }
+            | FlowError::TimingFailure(_)
+            | FlowError::Internal { .. } => None,
+        }
+    }
+}
 
 /// Everything a flow run produces — the paper's "bitstream + boot files +
 /// API" bundle plus all intermediate reports.
@@ -157,6 +307,9 @@ pub struct FlowArtifacts {
     pub main_c: String,
     pub makefile: String,
     pub phase_timings: Vec<PhaseTiming>,
+    /// Aggregated observer-side metrics for this run (phase spans, HLS
+    /// cache behaviour, placement/routing/timing summaries).
+    pub metrics: FlowMetrics,
 }
 
 impl FlowArtifacts {
@@ -179,7 +332,11 @@ pub struct FlowEngine {
 
 impl FlowEngine {
     pub fn new(options: FlowOptions) -> Self {
-        FlowEngine { options, kernels: HashMap::new(), hls_cache: HashMap::new() }
+        FlowEngine {
+            options,
+            kernels: HashMap::new(),
+            hls_cache: HashMap::new(),
+        }
     }
 
     /// Register the kernel implementing a node (by kernel name).
@@ -215,100 +372,193 @@ impl FlowEngine {
         graph: &TaskGraph,
         parse_start: Option<Instant>,
     ) -> Result<FlowArtifacts, FlowError> {
+        // Every run fans out to the user's observer plus a metrics
+        // aggregator whose snapshot lands in the artifacts.
+        let metrics = Arc::new(MetricsObserver::new());
+        let mut fanout = FanoutObserver::new(vec![self.options.observer.clone()]);
+        fanout.push(metrics.clone());
+        let observer: SharedObserver = Arc::new(fanout);
+
+        observer.on_event(&FlowEvent::FlowStarted {
+            design: graph.project.clone(),
+            nodes: graph.nodes.len(),
+        });
+        let result = self.run_phases(graph, parse_start, &observer);
+        let snapshot = metrics.snapshot();
+        let (outcome, modeled) = match &result {
+            Ok(_) => (SpanOutcome::Success, snapshot.modeled_total_seconds()),
+            Err(e) => (
+                SpanOutcome::Failed(e.to_string()),
+                snapshot.modeled_total_seconds(),
+            ),
+        };
+        observer.on_event(&FlowEvent::FlowFinished {
+            outcome,
+            modeled_total_s: modeled,
+        });
+        result.map(|mut art| {
+            art.metrics = snapshot;
+            art
+        })
+    }
+
+    fn run_phases(
+        &mut self,
+        graph: &TaskGraph,
+        parse_start: Option<Instant>,
+        observer: &SharedObserver,
+    ) -> Result<FlowArtifacts, FlowError> {
         let mut timings = Vec::new();
 
         // --- Phase 1: DSL compile (parse + elaborate) ---
+        // A dropped span reports `Aborted`, so `?` exits still produce a
+        // matching PhaseEnded for every PhaseStarted.
+        let span = PhaseSpan::enter(observer.clone(), FlowPhase::DslCompile);
         let t = parse_start.unwrap_or_else(Instant::now);
         let elaborated = elaborate(graph).map_err(FlowError::Semantic)?;
         self.check_kernels(&elaborated)?;
+        let modeled = flowtime::dsl_compile_seconds(graph.nodes.len(), graph.edges.len());
         timings.push(PhaseTiming {
             phase: FlowPhase::DslCompile,
             actual: t.elapsed(),
-            modeled_s: flowtime::dsl_compile_seconds(graph.nodes.len(), graph.edges.len()),
+            modeled_s: modeled,
         });
+        span.finish(modeled);
 
         // --- Phase 2: HLS per node (cached, parallel) ---
+        let span = PhaseSpan::enter(observer.clone(), FlowPhase::Hls);
         let t = Instant::now();
         let mut fresh_seconds = 0.0;
-        let missing: Vec<&str> = graph
-            .nodes
-            .iter()
-            .map(|n| n.name.as_str())
-            .filter(|n| !self.hls_cache.contains_key(*n))
-            .collect();
-        let mut fresh: Vec<(String, Result<HlsResult, HlsError>)> =
-            Vec::with_capacity(missing.len());
-        crossbeam::thread::scope(|s| {
+        let mut missing: Vec<(String, &Kernel)> = Vec::new();
+        for n in &graph.nodes {
+            let hit = self.hls_cache.contains_key(&n.name);
+            observer.on_event(&FlowEvent::HlsCacheQuery {
+                kernel: n.name.clone(),
+                hit,
+            });
+            if !hit {
+                let kernel = self
+                    .kernels
+                    .get(&n.name)
+                    .ok_or_else(|| FlowError::MissingKernel {
+                        node: n.name.clone(),
+                    })?;
+                missing.push((n.name.clone(), kernel));
+            }
+        }
+        // Worker results, or `Err(())` if any worker thread panicked.
+        type WorkerResults = Result<Vec<(String, Result<HlsResult, HlsError>)>, ()>;
+        let scope_result: WorkerResults = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = missing
                 .iter()
-                .map(|name| {
-                    let kernel = &self.kernels[*name];
+                .map(|(name, kernel)| {
                     let opts = &self.options.hls;
-                    s.spawn(move |_| (name.to_string(), synthesize_kernel(kernel, opts)))
+                    let obs = observer.as_ref();
+                    s.spawn(move |_| (name.clone(), synthesize_kernel_observed(kernel, opts, obs)))
                 })
                 .collect();
+            let mut out = Vec::with_capacity(handles.len());
             for h in handles {
-                fresh.push(h.join().expect("HLS worker panicked"));
+                out.push(h.join().map_err(|_| ())?);
             }
+            Ok(out)
         })
-        .expect("HLS scope failed");
+        .unwrap_or(Err(()));
+        let fresh = scope_result.map_err(|()| FlowError::Internal {
+            context: "HLS worker thread panicked",
+        })?;
         for (name, result) in fresh {
-            let r = result.map_err(|err| FlowError::Hls { node: name.clone(), err })?;
+            let r = result.map_err(|source| FlowError::Hls {
+                node: name.clone(),
+                source,
+            })?;
             fresh_seconds += r.report.modeled_tool_seconds;
             self.hls_cache.insert(name, r);
         }
         let hls: Vec<(String, HlsResult)> = graph
             .nodes
             .iter()
-            .map(|n| (n.name.clone(), self.hls_cache[&n.name].clone()))
-            .collect();
+            .map(|n| {
+                self.hls_cache
+                    .get(&n.name)
+                    .map(|r| (n.name.clone(), r.clone()))
+                    .ok_or(FlowError::Internal {
+                        context: "HLS cache missing a synthesized kernel",
+                    })
+            })
+            .collect::<Result<_, _>>()?;
         timings.push(PhaseTiming {
             phase: FlowPhase::Hls,
             actual: t.elapsed(),
             modeled_s: fresh_seconds,
         });
+        span.finish(fresh_seconds);
 
         // --- Phase 3: project generation (assembly + tcl) ---
+        let span = PhaseSpan::enter(observer.clone(), FlowPhase::ProjectGen);
         let t = Instant::now();
         let spec = self.arch_spec(graph, &hls);
         let block_design = assemble(&spec).map_err(FlowError::Assemble)?;
-        let tcl_text = tcl::generate(&block_design, self.options.tcl_backend, &self.options.device.part);
+        let tcl_text = tcl::generate(
+            &block_design,
+            self.options.tcl_backend,
+            &self.options.device.part,
+        );
+        let modeled = flowtime::project_gen_seconds(&block_design);
         timings.push(PhaseTiming {
             phase: FlowPhase::ProjectGen,
             actual: t.elapsed(),
-            modeled_s: flowtime::project_gen_seconds(&block_design),
+            modeled_s: modeled,
         });
+        span.finish(modeled);
 
         // --- Phase 4: synthesis ---
+        let span = PhaseSpan::enter(observer.clone(), FlowPhase::Synthesis);
         let t = Instant::now();
         let synth_report =
-            synth::synthesize(&block_design, &self.options.device).map_err(FlowError::Synth)?;
+            synth::synthesize_observed(&block_design, &self.options.device, observer.as_ref())
+                .map_err(FlowError::Synth)?;
+        let modeled = flowtime::synth_seconds(synth_report.total.lut);
         timings.push(PhaseTiming {
             phase: FlowPhase::Synthesis,
             actual: t.elapsed(),
-            modeled_s: flowtime::synth_seconds(synth_report.total.lut),
+            modeled_s: modeled,
         });
+        span.finish(modeled);
 
         // --- Phase 5: implementation (place, route, timing, bitstream) ---
+        let span = PhaseSpan::enter(observer.clone(), FlowPhase::Implementation);
         let t = Instant::now();
-        let placement = place::place(&block_design, &self.options.device);
-        let route_report = route::route(&block_design, &placement, &self.options.device);
-        let timing_report = timing::analyze(&synth_report, &route_report, 10.0);
+        let placement =
+            place::place_observed(&block_design, &self.options.device, observer.as_ref());
+        let route_report = route::route_observed(
+            &block_design,
+            &placement,
+            &self.options.device,
+            observer.as_ref(),
+        );
+        let timing_report =
+            timing::analyze_observed(&synth_report, &route_report, 10.0, observer.as_ref());
         if !timing_report.met() {
-            return Err(FlowError::TimingFailure(timing_report));
+            let err = FlowError::TimingFailure(timing_report);
+            span.fail(err.to_string());
+            return Err(err);
         }
         let bitstream = accelsoc_integration::bitstream::generate(
             &block_design,
             &placement,
             &self.options.device.part,
         );
+        let modeled = flowtime::impl_seconds(synth_report.total.lut, &placement);
         timings.push(PhaseTiming {
             phase: FlowPhase::Implementation,
             actual: t.elapsed(),
-            modeled_s: flowtime::impl_seconds(synth_report.total.lut, &placement),
+            modeled_s: modeled,
         });
+        span.finish(modeled);
 
         // --- Phase 6: software generation ---
+        let span = PhaseSpan::enter(observer.clone(), FlowPhase::SwGen);
         let t = Instant::now();
         let dts = devicetree::generate_dts(&block_design);
         let boot = BootImage::assemble(&bitstream, &dts);
@@ -330,11 +580,13 @@ impl FlowEngine {
             .collect();
         let main_c = accelsoc_swgen::app::generate_main_c(&block_design, &lite_reports);
         let makefile = accelsoc_swgen::app::generate_makefile(&block_design, &lite_reports);
+        let modeled = 8.0 + 1.5 * capi_files.len() as f64;
         timings.push(PhaseTiming {
             phase: FlowPhase::SwGen,
             actual: t.elapsed(),
-            modeled_s: 8.0 + 1.5 * capi_files.len() as f64,
+            modeled_s: modeled,
         });
+        span.finish(modeled);
 
         Ok(FlowArtifacts {
             elaborated,
@@ -352,6 +604,7 @@ impl FlowEngine {
             main_c,
             makefile,
             phase_timings: timings,
+            metrics: FlowMetrics::default(),
         })
     }
 
@@ -361,7 +614,9 @@ impl FlowEngine {
             let kernel = self
                 .kernels
                 .get(&n.name)
-                .ok_or_else(|| FlowError::MissingKernel(n.name.clone()))?;
+                .ok_or_else(|| FlowError::MissingKernel {
+                    node: n.name.clone(),
+                })?;
             for p in &n.ports {
                 let param = kernel.param(&p.name);
                 match (p.kind, param.map(|p| p.kind)) {
@@ -370,10 +625,8 @@ impl FlowEngine {
                         if e.direction(&n.name, &p.name) != Some(PortDirection::Input) {
                             return Err(FlowError::PortMismatch {
                                 node: n.name.clone(),
-                                detail: format!(
-                                    "`{}` is a stream input in the kernel but used as a link source",
-                                    p.name
-                                ),
+                                port: p.name.clone(),
+                                issue: PortIssue::StreamInputUsedAsSource,
                             });
                         }
                     }
@@ -381,20 +634,16 @@ impl FlowEngine {
                         if e.direction(&n.name, &p.name) != Some(PortDirection::Output) {
                             return Err(FlowError::PortMismatch {
                                 node: n.name.clone(),
-                                detail: format!(
-                                    "`{}` is a stream output in the kernel but used as a link destination",
-                                    p.name
-                                ),
+                                port: p.name.clone(),
+                                issue: PortIssue::StreamOutputUsedAsDestination,
                             });
                         }
                     }
-                    (kind, found) => {
+                    (declared, found) => {
                         return Err(FlowError::PortMismatch {
                             node: n.name.clone(),
-                            detail: format!(
-                                "port `{}` declared {:?} in the DSL but kernel has {:?}",
-                                p.name, kind, found
-                            ),
+                            port: p.name.clone(),
+                            issue: PortIssue::KindMismatch { declared, found },
                         });
                     }
                 }
@@ -408,11 +657,16 @@ impl FlowEngine {
             name: graph.project.clone(),
             cores: hls
                 .iter()
-                .map(|(_, r)| CoreSpec { report: r.report.clone() })
+                .map(|(_, r)| CoreSpec {
+                    report: r.report.clone(),
+                })
                 .collect(),
             stream_links: graph
                 .links()
-                .map(|(from, to)| LinkSpec { from: conv_end(from), to: conv_end(to) })
+                .map(|(from, to)| LinkSpec {
+                    from: conv_end(from),
+                    to: conv_end(to),
+                })
                 .collect(),
             lite_cores: graph.connects().map(|s| s.to_string()).collect(),
             dma_policy: self.options.dma_policy,
@@ -421,14 +675,22 @@ impl FlowEngine {
 
     /// Build a simulated board from the artifacts, wiring accelerators and
     /// DMA engines per the block design, ready to execute the application.
-    pub fn build_board(&self, artifacts: &FlowArtifacts, dram_bytes: usize) -> Board {
+    /// The board inherits the engine's observer, so stream-phase counters
+    /// (DMA bursts, bus stalls) land in the same trace as the build.
+    pub fn build_board(
+        &self,
+        artifacts: &FlowArtifacts,
+        dram_bytes: usize,
+    ) -> Result<Board, FlowError> {
         let mut board = Board::new(dram_bytes);
+        board.set_observer(self.options.observer.clone());
         let mut accel_index = HashMap::new();
         for (name, r) in &artifacts.hls {
-            let idx = board.add_accel(AccelInstance::new(
-                self.kernels[name].clone(),
-                r.report.clone(),
-            ));
+            let kernel = self
+                .kernels
+                .get(name)
+                .ok_or_else(|| FlowError::MissingKernel { node: name.clone() })?;
+            let idx = board.add_accel(AccelInstance::new(kernel.clone(), r.report.clone()));
             accel_index.insert(name.clone(), idx);
         }
         for _ in 0..artifacts.block_design.dma_count() {
@@ -445,32 +707,36 @@ impl FlowEngine {
                 soc_seen += 1;
                 Endpoint::Dma(idx)
             };
+            let accel_ep = |node: &str, port: &str| -> Result<Endpoint, FlowError> {
+                let accel = *accel_index.get(node).ok_or(FlowError::Internal {
+                    context: "link references an unbuilt accelerator",
+                })?;
+                Ok(Endpoint::Accel {
+                    accel,
+                    port: port.to_string(),
+                })
+            };
             let from_ep = match from {
                 LinkEnd::Soc => dma_ep(),
-                LinkEnd::Port { node, port } => {
-                    Endpoint::Accel { accel: accel_index[node], port: port.clone() }
-                }
+                LinkEnd::Port { node, port } => accel_ep(node, port)?,
             };
             let to_ep = match to {
                 LinkEnd::Soc => dma_ep(),
-                LinkEnd::Port { node, port } => {
-                    Endpoint::Accel { accel: accel_index[node], port: port.clone() }
-                }
+                LinkEnd::Port { node, port } => accel_ep(node, port)?,
             };
-            board
-                .link(from_ep, to_ep)
-                .expect("flow-validated links must be linkable on the board");
+            board.link(from_ep, to_ep).map_err(FlowError::Board)?;
         }
-        board
+        Ok(board)
     }
 }
 
 fn conv_end(e: &LinkEnd) -> SocEndpoint {
     match e {
         LinkEnd::Soc => SocEndpoint::Soc,
-        LinkEnd::Port { node, port } => {
-            SocEndpoint::Core { core: node.clone(), port: port.clone() }
-        }
+        LinkEnd::Port { node, port } => SocEndpoint::Core {
+            core: node.clone(),
+            port: port.clone(),
+        },
     }
 }
 
@@ -480,13 +746,19 @@ mod tests {
     use crate::builder::TaskGraphBuilder;
     use accelsoc_kernel::builder::*;
     use accelsoc_kernel::types::Ty;
+    use accelsoc_observe::CollectObserver;
 
     fn inc_kernel(name: &str) -> Kernel {
         KernelBuilder::new(name)
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", add(read("in"), c(1)))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", add(read("in"), c(1)))],
+            ))
             .build()
     }
 
@@ -507,6 +779,7 @@ mod tests {
             .link(("S1", "out"), ("S2", "in"))
             .link_to_soc("S2", "out")
             .build()
+            .unwrap()
     }
 
     fn engine_with_pipeline() -> FlowEngine {
@@ -532,6 +805,19 @@ mod tests {
     }
 
     #[test]
+    fn metrics_agree_with_phase_timings() {
+        let mut e = engine_with_pipeline();
+        let art = e.run(&pipeline_graph()).unwrap();
+        // The observer-side aggregate must match the artifact-side sum.
+        assert_eq!(art.metrics.phases.len(), 6);
+        let diff = (art.metrics.modeled_total_seconds() - art.modeled_total_seconds()).abs();
+        assert!(diff < 1e-9, "metrics/timings disagree by {diff}");
+        assert_eq!(art.metrics.hls_cache_misses, 2);
+        assert_eq!(art.metrics.kernels_synthesized, 2);
+        assert!(art.metrics.timing_met);
+    }
+
+    #[test]
     fn hls_cache_reused_across_runs() {
         let mut e = engine_with_pipeline();
         let a1 = e.run(&pipeline_graph()).unwrap();
@@ -541,6 +827,96 @@ mod tests {
         let a2 = e.run(&pipeline_graph()).unwrap();
         // Second run: everything cached, no fresh HLS seconds.
         assert_eq!(a2.phase(FlowPhase::Hls).unwrap().modeled_s, 0.0);
+        assert_eq!(a2.metrics.hls_cache_hits, 2);
+        assert_eq!(a2.metrics.hls_cache_misses, 0);
+    }
+
+    #[test]
+    fn observer_sees_all_phases_in_order() {
+        let collect = Arc::new(CollectObserver::new());
+        let mut e = FlowEngine::new(FlowOptions::builder().observer(collect.clone()).build());
+        e.register_kernel(inc_kernel("S1"));
+        e.register_kernel(inc_kernel("S2"));
+        e.run(&pipeline_graph()).unwrap();
+        let events = collect.take();
+        assert!(matches!(
+            events.first(),
+            Some(FlowEvent::FlowStarted { nodes: 2, .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(FlowEvent::FlowFinished {
+                outcome: SpanOutcome::Success,
+                ..
+            })
+        ));
+        let started: Vec<FlowPhase> = events
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::PhaseStarted { phase } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, FlowPhase::ALL.to_vec());
+        // Every start has a matching successful end.
+        let ended_ok = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FlowEvent::PhaseEnded {
+                        outcome: SpanOutcome::Success,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(ended_ok, 6);
+    }
+
+    #[test]
+    fn failed_flow_still_closes_spans() {
+        let collect = Arc::new(CollectObserver::new());
+        let mut e = FlowEngine::new(FlowOptions::builder().observer(collect.clone()).build());
+        e.register_kernel(inc_kernel("S1"));
+        // S2 unregistered: the flow dies inside the DslCompile span.
+        let err = e.run(&pipeline_graph()).unwrap_err();
+        assert!(matches!(err, FlowError::MissingKernel { ref node } if node == "S2"));
+        let events = collect.take();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::PhaseStarted { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::PhaseEnded { .. }))
+            .count();
+        assert_eq!(starts, 1);
+        assert_eq!(ends, 1, "aborted span must still emit PhaseEnded");
+        assert!(matches!(
+            events.last(),
+            Some(FlowEvent::FlowFinished {
+                outcome: SpanOutcome::Failed(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn flow_error_exposes_sources() {
+        let mut e = engine_with_pipeline();
+        let err = e.run_source("tg nodes; garbage").unwrap_err();
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "Parse must carry a source"
+        );
+        let mut e = FlowEngine::new(FlowOptions::default());
+        e.register_kernel(inc_kernel("S1"));
+        let err = e.run(&pipeline_graph()).unwrap_err();
+        assert!(
+            std::error::Error::source(&err).is_none(),
+            "MissingKernel is a leaf error"
+        );
     }
 
     #[test]
@@ -548,7 +924,7 @@ mod tests {
         let mut e = FlowEngine::new(FlowOptions::default());
         e.register_kernel(inc_kernel("S1"));
         let err = e.run(&pipeline_graph()).unwrap_err();
-        assert!(matches!(err, FlowError::MissingKernel(n) if n == "S2"));
+        assert!(matches!(err, FlowError::MissingKernel { ref node } if node == "S2"));
     }
 
     #[test]
@@ -563,8 +939,16 @@ mod tests {
             .link_soc_to("S1", "in")
             .link(("S1", "wrong"), ("S2", "in"))
             .link_to_soc("S2", "out")
-            .build();
-        assert!(matches!(e.run(&g).unwrap_err(), FlowError::PortMismatch { .. }));
+            .build()
+            .unwrap();
+        match e.run(&g).unwrap_err() {
+            FlowError::PortMismatch { node, port, issue } => {
+                assert_eq!(node, "S1");
+                assert_eq!(port, "wrong");
+                assert!(matches!(issue, PortIssue::KindMismatch { found: None, .. }));
+            }
+            other => panic!("expected PortMismatch, got {other}"),
+        }
     }
 
     #[test]
@@ -574,7 +958,8 @@ mod tests {
         let g = TaskGraphBuilder::new("lite")
             .node("ADD", |n| n.lite("A").lite("B").lite("ret"))
             .connect("ADD")
-            .build();
+            .build()
+            .unwrap();
         let art = e.run(&g).unwrap();
         assert_eq!(art.capi.len(), 1);
         let (name, header, impl_) = &art.capi[0];
@@ -589,12 +974,24 @@ mod tests {
     fn board_from_artifacts_runs_pipeline() {
         let mut e = engine_with_pipeline();
         let art = e.run(&pipeline_graph()).unwrap();
-        let mut board = e.build_board(&art, 1 << 16);
+        let mut board = e.build_board(&art, 1 << 16).unwrap();
         board.dram.load_bytes(0x100, &[1, 2, 3, 4]).unwrap();
         let stats = board
             .run_stream_phase(
-                &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x100, len: 4 })],
-                &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x200, len: 4 })],
+                &[(
+                    0,
+                    accelsoc_axi::dma::DmaDescriptor {
+                        addr: 0x100,
+                        len: 4,
+                    },
+                )],
+                &[(
+                    0,
+                    accelsoc_axi::dma::DmaDescriptor {
+                        addr: 0x200,
+                        len: 4,
+                    },
+                )],
                 &[(0, "n", 4), (1, "n", 4)],
             )
             .unwrap();
@@ -627,6 +1024,9 @@ mod tests {
     #[test]
     fn parse_error_surfaces() {
         let mut e = engine_with_pipeline();
-        assert!(matches!(e.run_source("tg nodes; garbage").unwrap_err(), FlowError::Parse(_)));
+        assert!(matches!(
+            e.run_source("tg nodes; garbage").unwrap_err(),
+            FlowError::Parse(_)
+        ));
     }
 }

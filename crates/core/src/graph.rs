@@ -32,7 +32,9 @@ impl DslNode {
     }
 
     pub fn stream_ports(&self) -> impl Iterator<Item = &Port> {
-        self.ports.iter().filter(|p| p.kind == InterfaceKind::Stream)
+        self.ports
+            .iter()
+            .filter(|p| p.kind == InterfaceKind::Stream)
     }
 
     pub fn lite_ports(&self) -> impl Iterator<Item = &Port> {
@@ -77,7 +79,10 @@ pub struct TaskGraph {
 
 impl TaskGraph {
     pub fn new(project: &str) -> Self {
-        TaskGraph { project: project.to_string(), ..Default::default() }
+        TaskGraph {
+            project: project.to_string(),
+            ..Default::default()
+        }
     }
 
     pub fn node(&self, name: &str) -> Option<&DslNode> {
@@ -117,15 +122,27 @@ mod tests {
                 DslNode {
                     name: "MUL".into(),
                     ports: vec![
-                        Port { name: "A".into(), kind: InterfaceKind::Lite },
-                        Port { name: "B".into(), kind: InterfaceKind::Lite },
+                        Port {
+                            name: "A".into(),
+                            kind: InterfaceKind::Lite,
+                        },
+                        Port {
+                            name: "B".into(),
+                            kind: InterfaceKind::Lite,
+                        },
                     ],
                 },
                 DslNode {
                     name: "GAUSS".into(),
                     ports: vec![
-                        Port { name: "in".into(), kind: InterfaceKind::Stream },
-                        Port { name: "out".into(), kind: InterfaceKind::Stream },
+                        Port {
+                            name: "in".into(),
+                            kind: InterfaceKind::Stream,
+                        },
+                        Port {
+                            name: "out".into(),
+                            kind: InterfaceKind::Stream,
+                        },
                     ],
                 },
             ],
@@ -133,10 +150,16 @@ mod tests {
                 DslEdge::Connect { node: "MUL".into() },
                 DslEdge::Link {
                     from: LinkEnd::Soc,
-                    to: LinkEnd::Port { node: "GAUSS".into(), port: "in".into() },
+                    to: LinkEnd::Port {
+                        node: "GAUSS".into(),
+                        port: "in".into(),
+                    },
                 },
                 DslEdge::Link {
-                    from: LinkEnd::Port { node: "GAUSS".into(), port: "out".into() },
+                    from: LinkEnd::Port {
+                        node: "GAUSS".into(),
+                        port: "out".into(),
+                    },
                     to: LinkEnd::Soc,
                 },
             ],
@@ -158,7 +181,10 @@ mod tests {
     #[test]
     fn link_end_display() {
         assert_eq!(LinkEnd::Soc.to_string(), "'soc");
-        let p = LinkEnd::Port { node: "A".into(), port: "x".into() };
+        let p = LinkEnd::Port {
+            node: "A".into(),
+            port: "x".into(),
+        };
         assert_eq!(p.to_string(), "(\"A\",\"x\")");
     }
 }

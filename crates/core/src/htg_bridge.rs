@@ -26,9 +26,15 @@ use std::fmt;
 pub enum BridgeError {
     Partition(PartitionError),
     /// A hardware-mapped task/actor names a kernel that is not registered.
-    MissingKernel { node: String, kernel: String },
+    MissingKernel {
+        node: String,
+        kernel: String,
+    },
     /// A dataflow actor's declared ports don't exist on its kernel.
-    ActorPortMismatch { actor: String, port: String },
+    ActorPortMismatch {
+        actor: String,
+        port: String,
+    },
 }
 
 impl fmt::Display for BridgeError {
@@ -36,10 +42,16 @@ impl fmt::Display for BridgeError {
         match self {
             BridgeError::Partition(e) => write!(f, "invalid partition: {e}"),
             BridgeError::MissingKernel { node, kernel } => {
-                write!(f, "node `{node}` needs kernel `{kernel}`, which is not registered")
+                write!(
+                    f,
+                    "node `{node}` needs kernel `{kernel}`, which is not registered"
+                )
             }
             BridgeError::ActorPortMismatch { actor, port } => {
-                write!(f, "actor `{actor}` declares port `{port}` missing from its kernel")
+                write!(
+                    f,
+                    "actor `{actor}` declares port `{port}` missing from its kernel"
+                )
             }
         }
     }
@@ -74,9 +86,13 @@ pub fn lower_htg(
         let name = htg.name(id);
         match htg.kind(id) {
             NodeKind::Task(task) => {
-                let kernel = kernels.get(&task.kernel).ok_or_else(|| {
-                    BridgeError::MissingKernel { node: name.into(), kernel: task.kernel.clone() }
-                })?;
+                let kernel =
+                    kernels
+                        .get(&task.kernel)
+                        .ok_or_else(|| BridgeError::MissingKernel {
+                            node: name.into(),
+                            kernel: task.kernel.clone(),
+                        })?;
                 // AXI-Lite node: scalar parameters become `i` ports.
                 let ports = kernel
                     .params
@@ -90,7 +106,10 @@ pub fn lower_htg(
                         },
                     })
                     .collect();
-                g.nodes.push(DslNode { name: name.into(), ports });
+                g.nodes.push(DslNode {
+                    name: name.into(),
+                    ports,
+                });
                 g.edges.push(DslEdge::Connect { node: name.into() });
             }
             NodeKind::Phase(df) => {
@@ -107,10 +126,12 @@ fn lower_phase(
     g: &mut TaskGraph,
 ) -> Result<(), BridgeError> {
     for (_, actor) in df.actors() {
-        let kernel = kernels.get(&actor.kernel).ok_or_else(|| BridgeError::MissingKernel {
-            node: actor.name.clone(),
-            kernel: actor.kernel.clone(),
-        })?;
+        let kernel = kernels
+            .get(&actor.kernel)
+            .ok_or_else(|| BridgeError::MissingKernel {
+                node: actor.name.clone(),
+                kernel: actor.kernel.clone(),
+            })?;
         // Validate the actor's declared ports against the kernel.
         for p in actor.inputs.iter().chain(&actor.outputs) {
             let ok = kernel
@@ -133,7 +154,10 @@ fn lower_phase(
                 kind: InterfaceKind::Stream,
             })
             .collect();
-        g.nodes.push(DslNode { name: actor.name.clone(), ports });
+        g.nodes.push(DslNode {
+            name: actor.name.clone(),
+            ports,
+        });
     }
     for s in df.streams() {
         let from = match &s.src {
@@ -177,7 +201,12 @@ mod tests {
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            ))
             .build()
     }
 
@@ -185,13 +214,34 @@ mod tests {
     fn fig1() -> (Htg, Partition, HashMap<String, Kernel>) {
         let mut htg = Htg::new();
         let n1 = htg
-            .add_task("N1", TaskNode { kernel: "n1".into(), sw_cycles: 10, sw_only: true })
+            .add_task(
+                "N1",
+                TaskNode {
+                    kernel: "n1".into(),
+                    sw_cycles: 10,
+                    sw_only: true,
+                },
+            )
             .unwrap();
         let addn = htg
-            .add_task("ADD", TaskNode { kernel: "add_k".into(), sw_cycles: 100, sw_only: false })
+            .add_task(
+                "ADD",
+                TaskNode {
+                    kernel: "add_k".into(),
+                    sw_cycles: 100,
+                    sw_only: false,
+                },
+            )
             .unwrap();
         let muln = htg
-            .add_task("MUL", TaskNode { kernel: "mul_k".into(), sw_cycles: 100, sw_only: false })
+            .add_task(
+                "MUL",
+                TaskNode {
+                    kernel: "mul_k".into(),
+                    sw_cycles: 100,
+                    sw_only: false,
+                },
+            )
             .unwrap();
         let mut df = DataflowGraph::new();
         let gauss = df
@@ -236,11 +286,25 @@ mod tests {
         .unwrap();
         let image = htg.add_phase("IMAGE", df).unwrap();
         let n4 = htg
-            .add_task("N4", TaskNode { kernel: "n4".into(), sw_cycles: 10, sw_only: true })
+            .add_task(
+                "N4",
+                TaskNode {
+                    kernel: "n4".into(),
+                    sw_cycles: 10,
+                    sw_only: true,
+                },
+            )
             .unwrap();
-        for (a, b) in [(n1, addn), (n1, muln), (n1, image), (addn, n4), (muln, n4), (image, n4)]
-        {
-            htg.add_edge(a, b, TransferKind::SharedBuffer { bytes: 64 }).unwrap();
+        for (a, b) in [
+            (n1, addn),
+            (n1, muln),
+            (n1, image),
+            (addn, n4),
+            (muln, n4),
+            (image, n4),
+        ] {
+            htg.add_edge(a, b, TransferKind::SharedBuffer { bytes: 64 })
+                .unwrap();
         }
         let partition = Partition::hardware_set(&htg, ["ADD", "MUL", "IMAGE"]);
         let mut kernels = HashMap::new();
@@ -306,7 +370,10 @@ mod tests {
         let err = lower_htg(&htg, &partition, &kernels).unwrap_err();
         assert_eq!(
             err,
-            BridgeError::MissingKernel { node: "GAUSS".into(), kernel: "gauss_k".into() }
+            BridgeError::MissingKernel {
+                node: "GAUSS".into(),
+                kernel: "gauss_k".into()
+            }
         );
     }
 
@@ -332,7 +399,10 @@ mod tests {
         let err = lower_htg(&htg, &partition, &kernels).unwrap_err();
         assert_eq!(
             err,
-            BridgeError::ActorPortMismatch { actor: "GAUSS".into(), port: "out".into() }
+            BridgeError::ActorPortMismatch {
+                actor: "GAUSS".into(),
+                port: "out".into()
+            }
         );
     }
 }

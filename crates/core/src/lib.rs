@@ -28,8 +28,18 @@ pub mod htg_bridge;
 pub mod metrics;
 pub mod semantics;
 
-pub use builder::TaskGraphBuilder;
-pub use flow::{FlowArtifacts, FlowEngine, FlowError, FlowOptions, FlowPhase};
+pub use builder::{BuildError, TaskGraphBuilder};
+pub use flow::{
+    FlowArtifacts, FlowEngine, FlowError, FlowOptions, FlowOptionsBuilder, FlowPhase, PortIssue,
+};
 pub use graph::{DslEdge, DslNode, InterfaceKind, LinkEnd, Port, TaskGraph};
 pub use htg_bridge::{lower_htg, BridgeError};
 pub use semantics::{Elaborated, SemanticError};
+
+// Observability vocabulary, re-exported so downstream users don't need a
+// direct dependency on `accelsoc-observe`.
+pub use accelsoc_observe as observe;
+pub use accelsoc_observe::{
+    CollectObserver, FanoutObserver, FlowEvent, FlowMetrics, FlowObserver, JsonTraceObserver,
+    LogObserver, NullObserver, SharedObserver, SpanOutcome,
+};

@@ -36,7 +36,10 @@ pub struct Conciseness {
 
 impl Conciseness {
     pub fn compare(dsl_src: &str, tcl_src: &str) -> Self {
-        Conciseness { dsl: measure(dsl_src), tcl: measure(tcl_src) }
+        Conciseness {
+            dsl: measure(dsl_src),
+            tcl: measure(tcl_src),
+        }
     }
 
     /// tcl lines / DSL lines (paper: ≈ 4×).
@@ -65,8 +68,14 @@ mod tests {
     #[test]
     fn ratios() {
         let c = Conciseness {
-            dsl: SourceMetrics { lines: 10, chars: 100 },
-            tcl: SourceMetrics { lines: 40, chars: 700 },
+            dsl: SourceMetrics {
+                lines: 10,
+                chars: 100,
+            },
+            tcl: SourceMetrics {
+                lines: 40,
+                chars: 700,
+            },
         };
         assert_eq!(c.line_ratio(), 4.0);
         assert_eq!(c.char_ratio(), 7.0);
@@ -76,7 +85,10 @@ mod tests {
     fn zero_dsl_does_not_divide_by_zero() {
         let c = Conciseness {
             dsl: SourceMetrics { lines: 0, chars: 0 },
-            tcl: SourceMetrics { lines: 5, chars: 50 },
+            tcl: SourceMetrics {
+                lines: 5,
+                chars: 50,
+            },
         };
         assert!(c.line_ratio().is_finite());
         assert!(c.char_ratio().is_finite());

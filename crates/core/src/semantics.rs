@@ -22,21 +22,39 @@ pub enum PortDirection {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SemanticError {
     DuplicateNode(String),
-    DuplicatePort { node: String, port: String },
+    DuplicatePort {
+        node: String,
+        port: String,
+    },
     UnknownNode(String),
-    UnknownPort { node: String, port: String },
+    UnknownPort {
+        node: String,
+        port: String,
+    },
     /// `connect` on a node with no AXI-Lite ports.
     ConnectWithoutLitePorts(String),
     /// A node was never referenced by any edge.
     OrphanNode(String),
     /// A `link` endpoint names an AXI-Lite port.
-    LinkOnLitePort { node: String, port: String },
+    LinkOnLitePort {
+        node: String,
+        port: String,
+    },
     /// Stream port linked more than once.
-    PortLinkedTwice { node: String, port: String },
+    PortLinkedTwice {
+        node: String,
+        port: String,
+    },
     /// Port used both as source and destination.
-    ConflictingDirection { node: String, port: String },
+    ConflictingDirection {
+        node: String,
+        port: String,
+    },
     /// Stream port never linked.
-    UnlinkedStreamPort { node: String, port: String },
+    UnlinkedStreamPort {
+        node: String,
+        port: String,
+    },
     SocToSoc,
     /// Same node both `connect`ed and stream-linked is allowed (control +
     /// data), but connecting twice is not.
@@ -56,11 +74,17 @@ impl fmt::Display for SemanticError {
             }
             OrphanNode(n) => write!(f, "node `{n}` is not referenced by any edge"),
             LinkOnLitePort { node, port } => {
-                write!(f, "`link` endpoint `{node}.{port}` is an AXI-Lite (`i`) port")
+                write!(
+                    f,
+                    "`link` endpoint `{node}.{port}` is an AXI-Lite (`i`) port"
+                )
             }
             PortLinkedTwice { node, port } => write!(f, "port `{node}.{port}` linked twice"),
             ConflictingDirection { node, port } => {
-                write!(f, "port `{node}.{port}` used both as source and destination")
+                write!(
+                    f,
+                    "port `{node}.{port}` used both as source and destination"
+                )
             }
             UnlinkedStreamPort { node, port } => {
                 write!(f, "stream port `{node}.{port}` is never linked")
@@ -83,7 +107,9 @@ pub struct Elaborated {
 
 impl Elaborated {
     pub fn direction(&self, node: &str, port: &str) -> Option<PortDirection> {
-        self.directions.get(&(node.to_string(), port.to_string())).copied()
+        self.directions
+            .get(&(node.to_string(), port.to_string()))
+            .copied()
     }
 }
 
@@ -142,28 +168,29 @@ pub fn elaborate(graph: &TaskGraph) -> Result<Elaborated, SemanticError> {
                 if *from == LinkEnd::Soc && *to == LinkEnd::Soc {
                     return Err(SemanticError::SocToSoc);
                 }
-                let mut set_dir = |end: &LinkEnd, dir: PortDirection| -> Result<(), SemanticError> {
-                    if let LinkEnd::Port { node, port } = end {
-                        check_port(node, port)?;
-                        let key = (node.clone(), port.clone());
-                        match directions.get(&key) {
-                            None => {
-                                directions.insert(key, dir);
-                                Ok(())
+                let mut set_dir =
+                    |end: &LinkEnd, dir: PortDirection| -> Result<(), SemanticError> {
+                        if let LinkEnd::Port { node, port } = end {
+                            check_port(node, port)?;
+                            let key = (node.clone(), port.clone());
+                            match directions.get(&key) {
+                                None => {
+                                    directions.insert(key, dir);
+                                    Ok(())
+                                }
+                                Some(d) if *d == dir => Err(SemanticError::PortLinkedTwice {
+                                    node: node.clone(),
+                                    port: port.clone(),
+                                }),
+                                Some(_) => Err(SemanticError::ConflictingDirection {
+                                    node: node.clone(),
+                                    port: port.clone(),
+                                }),
                             }
-                            Some(d) if *d == dir => Err(SemanticError::PortLinkedTwice {
-                                node: node.clone(),
-                                port: port.clone(),
-                            }),
-                            Some(_) => Err(SemanticError::ConflictingDirection {
-                                node: node.clone(),
-                                port: port.clone(),
-                            }),
+                        } else {
+                            Ok(())
                         }
-                    } else {
-                        Ok(())
-                    }
-                };
+                    };
                 set_dir(from, PortDirection::Output)?;
                 set_dir(to, PortDirection::Input)?;
             }
@@ -188,7 +215,10 @@ pub fn elaborate(graph: &TaskGraph) -> Result<Elaborated, SemanticError> {
         }
     }
 
-    Ok(Elaborated { graph: graph.clone(), directions })
+    Ok(Elaborated {
+        graph: graph.clone(),
+        directions,
+    })
 }
 
 #[cfg(test)]
@@ -208,6 +238,7 @@ mod tests {
             .connect("MUL")
             .connect("ADD")
             .build()
+            .unwrap()
     }
 
     #[test]
@@ -219,22 +250,33 @@ mod tests {
         assert_eq!(e.direction("EDGE", "out"), Some(PortDirection::Output));
     }
 
+    // Graphs the builder would refuse to produce (the parser and `tg!`
+    // macro still can) are constructed with `tg!` here, since `elaborate`
+    // must reject them regardless of front-end.
     #[test]
     fn unknown_node_and_port_rejected() {
-        let g = TaskGraphBuilder::new("x")
-            .node("A", |n| n.stream("in").stream("out"))
-            .link_soc_to("GHOST", "in")
-            .link_soc_to("A", "in")
-            .link_to_soc("A", "out")
-            .build();
-        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::UnknownNode("GHOST".into()));
+        let g = crate::tg! {
+            project x;
+            node "A" { is "in"; is "out"; }
+            link soc => ("GHOST", "in");
+            link soc => ("A", "in");
+            link ("A", "out") => soc;
+        };
+        assert_eq!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::UnknownNode("GHOST".into())
+        );
 
-        let g = TaskGraphBuilder::new("x")
-            .node("A", |n| n.stream("in").stream("out"))
-            .link_soc_to("A", "nope")
-            .link_to_soc("A", "out")
-            .build();
-        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::UnknownPort { .. }));
+        let g = crate::tg! {
+            project x;
+            node "A" { is "in"; is "out"; }
+            link soc => ("A", "nope");
+            link ("A", "out") => soc;
+        };
+        assert!(matches!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::UnknownPort { .. }
+        ));
     }
 
     #[test]
@@ -242,10 +284,14 @@ mod tests {
         let g = TaskGraphBuilder::new("x")
             .node("A", |n| n.stream("in").stream("out"))
             .link_soc_to("A", "in")
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(
             elaborate(&g).unwrap_err(),
-            SemanticError::UnlinkedStreamPort { node: "A".into(), port: "out".into() }
+            SemanticError::UnlinkedStreamPort {
+                node: "A".into(),
+                port: "out".into()
+            }
         );
     }
 
@@ -256,8 +302,12 @@ mod tests {
             .link_soc_to("A", "in")
             .link_soc_to("A", "in")
             .link_to_soc("A", "out")
-            .build();
-        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::PortLinkedTwice { .. }));
+            .build()
+            .unwrap();
+        assert!(matches!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::PortLinkedTwice { .. }
+        ));
 
         let g = TaskGraphBuilder::new("x")
             .node("A", |n| n.stream("x").stream("out"))
@@ -265,7 +315,8 @@ mod tests {
             .link_soc_to("A", "x")
             .link(("A", "x"), ("B", "in"))
             .link_to_soc("A", "out")
-            .build();
+            .build()
+            .unwrap();
         assert!(matches!(
             elaborate(&g).unwrap_err(),
             SemanticError::ConflictingDirection { .. }
@@ -279,7 +330,8 @@ mod tests {
             .connect("A")
             .link_soc_to("A", "in")
             .link_to_soc("A", "out")
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(
             elaborate(&g).unwrap_err(),
             SemanticError::ConnectWithoutLitePorts("A".into())
@@ -288,12 +340,16 @@ mod tests {
 
     #[test]
     fn link_on_lite_port_rejected() {
-        let g = TaskGraphBuilder::new("x")
-            .node("A", |n| n.lite("A").stream("out"))
-            .link_soc_to("A", "A")
-            .link_to_soc("A", "out")
-            .build();
-        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::LinkOnLitePort { .. }));
+        let g = crate::tg! {
+            project x;
+            node "A" { i "A"; is "out"; }
+            link soc => ("A", "A");
+            link ("A", "out") => soc;
+        };
+        assert!(matches!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::LinkOnLitePort { .. }
+        ));
     }
 
     #[test]
@@ -302,24 +358,36 @@ mod tests {
             .node("A", |n| n.lite("A"))
             .node("B", |n| n.lite("B"))
             .connect("A")
-            .build();
-        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::OrphanNode("B".into()));
+            .build()
+            .unwrap();
+        assert_eq!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::OrphanNode("B".into())
+        );
     }
 
     #[test]
     fn duplicate_declarations_rejected() {
-        let g = TaskGraphBuilder::new("x")
-            .node("A", |n| n.lite("p"))
-            .node("A", |n| n.lite("p"))
-            .connect("A")
-            .build();
-        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::DuplicateNode("A".into()));
+        let g = crate::tg! {
+            project x;
+            node "A" { i "p"; }
+            node "A" { i "p"; }
+            connect "A";
+        };
+        assert_eq!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::DuplicateNode("A".into())
+        );
 
-        let g = TaskGraphBuilder::new("x")
-            .node("A", |n| n.lite("p").lite("p"))
-            .connect("A")
-            .build();
-        assert!(matches!(elaborate(&g).unwrap_err(), SemanticError::DuplicatePort { .. }));
+        let g = crate::tg! {
+            project x;
+            node "A" { i "p"; i "p"; }
+            connect "A";
+        };
+        assert!(matches!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::DuplicatePort { .. }
+        ));
     }
 
     #[test]
@@ -328,7 +396,11 @@ mod tests {
             .node("A", |n| n.lite("p"))
             .connect("A")
             .connect("A")
-            .build();
-        assert_eq!(elaborate(&g).unwrap_err(), SemanticError::DuplicateConnect("A".into()));
+            .build()
+            .unwrap();
+        assert_eq!(
+            elaborate(&g).unwrap_err(),
+            SemanticError::DuplicateConnect("A".into())
+        );
     }
 }

@@ -15,8 +15,14 @@ fn arb_valid_graph() -> impl Strategy<Value = TaskGraph> {
             g.nodes.push(DslNode {
                 name: format!("S{i}"),
                 ports: vec![
-                    Port { name: "in".into(), kind: InterfaceKind::Stream },
-                    Port { name: "out".into(), kind: InterfaceKind::Stream },
+                    Port {
+                        name: "in".into(),
+                        kind: InterfaceKind::Stream,
+                    },
+                    Port {
+                        name: "out".into(),
+                        kind: InterfaceKind::Stream,
+                    },
                 ],
             });
         }
@@ -24,24 +30,44 @@ fn arb_valid_graph() -> impl Strategy<Value = TaskGraph> {
             g.nodes.push(DslNode {
                 name: format!("L{i}"),
                 ports: vec![
-                    Port { name: "A".into(), kind: InterfaceKind::Lite },
-                    Port { name: "ret".into(), kind: InterfaceKind::Lite },
+                    Port {
+                        name: "A".into(),
+                        kind: InterfaceKind::Lite,
+                    },
+                    Port {
+                        name: "ret".into(),
+                        kind: InterfaceKind::Lite,
+                    },
                 ],
             });
-            g.edges.push(DslEdge::Connect { node: format!("L{i}") });
+            g.edges.push(DslEdge::Connect {
+                node: format!("L{i}"),
+            });
         }
         g.edges.push(DslEdge::Link {
             from: LinkEnd::Soc,
-            to: LinkEnd::Port { node: "S0".into(), port: "in".into() },
+            to: LinkEnd::Port {
+                node: "S0".into(),
+                port: "in".into(),
+            },
         });
         for i in 0..stages - 1 {
             g.edges.push(DslEdge::Link {
-                from: LinkEnd::Port { node: format!("S{i}"), port: "out".into() },
-                to: LinkEnd::Port { node: format!("S{}", i + 1), port: "in".into() },
+                from: LinkEnd::Port {
+                    node: format!("S{i}"),
+                    port: "out".into(),
+                },
+                to: LinkEnd::Port {
+                    node: format!("S{}", i + 1),
+                    port: "in".into(),
+                },
             });
         }
         g.edges.push(DslEdge::Link {
-            from: LinkEnd::Port { node: format!("S{}", stages - 1), port: "out".into() },
+            from: LinkEnd::Port {
+                node: format!("S{}", stages - 1),
+                port: "out".into(),
+            },
             to: LinkEnd::Soc,
         });
         g

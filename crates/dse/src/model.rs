@@ -88,8 +88,7 @@ impl ChainModel {
             let seg_in = self.tasks[i].input_bytes;
             let seg_out = self.tasks[j - 1].output_bytes;
             crossings += 2;
-            runtime += self.dma_setup_ns * 2.0
-                + (seg_in + seg_out) as f64 * self.dma_ns_per_byte;
+            runtime += self.dma_setup_ns * 2.0 + (seg_in + seg_out) as f64 * self.dma_ns_per_byte;
             runtime += fill + slowest;
             i = j;
         }
@@ -99,12 +98,22 @@ impl ChainModel {
         let feasible = !violates && area.fits_in(&self.capacity);
         let mut hw_tasks: Vec<String> = hw.iter().map(|s| s.to_string()).collect();
         hw_tasks.sort();
-        DesignPoint { hw_tasks, runtime_ns: runtime, area, crossings, feasible }
+        DesignPoint {
+            hw_tasks,
+            runtime_ns: runtime,
+            area,
+            crossings,
+            feasible,
+        }
     }
 
     /// Names of partitionable (non-sw-only) tasks.
     pub fn partitionable(&self) -> Vec<&str> {
-        self.tasks.iter().filter(|t| !t.sw_only).map(|t| t.name.as_str()).collect()
+        self.tasks
+            .iter()
+            .filter(|t| !t.sw_only)
+            .map(|t| t.name.as_str())
+            .collect()
     }
 }
 

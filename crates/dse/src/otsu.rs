@@ -48,17 +48,27 @@ pub fn otsu_chain_model(pixels: u64) -> ChainModel {
         }
         let inputs: HashMap<String, i64> =
             scalars.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        let out = Interpreter::new(kernel).run(&inputs, &mut s).expect("profile run");
+        let out = Interpreter::new(kernel)
+            .run(&inputs, &mut s)
+            .expect("profile run");
         cpu.cycles_for(&out.stats) as f64 * accelsoc_platform::PS_CLK_NS
     };
 
     let hw_ns = |kernel: &accelsoc_kernel::ir::Kernel, tokens: u64| -> (f64, ResourceEstimate) {
         let r = synthesize_kernel(kernel, &opts).expect("hls");
-        let ii = r.report.loop_iis.iter().map(|(_, ii)| *ii as u64).max().unwrap_or(1);
+        let ii = r
+            .report
+            .loop_iis
+            .iter()
+            .map(|(_, ii)| *ii as u64)
+            .max()
+            .unwrap_or(1);
         ((40 + ii * tokens) as f64 * PL_CLK_NS, r.report.resources)
     };
 
-    let probe_rgb: Vec<i64> = (0..probe_pixels as i64).map(|i| (i * 79) & 0xFFFFFF).collect();
+    let probe_rgb: Vec<i64> = (0..probe_pixels as i64)
+        .map(|i| (i * 79) & 0xFFFFFF)
+        .collect();
     let probe_gray: Vec<i64> = (0..probe_pixels as i64).map(|i| i & 0xFF).collect();
     let hist: Vec<i64> = {
         let mut h = vec![0i64; 256];
@@ -84,9 +94,11 @@ pub fn otsu_chain_model(pixels: u64) -> ChainModel {
 
     // histogram.
     let k = accelsoc_apps::kernels::compute_histogram();
-    let sw =
-        run_sw(&k, &[("n", probe_pixels as i64)], &[("grayScaleImage", probe_gray.clone())])
-            * scale;
+    let sw = run_sw(
+        &k,
+        &[("n", probe_pixels as i64)],
+        &[("grayScaleImage", probe_gray.clone())],
+    ) * scale;
     let (hw, area) = hw_ns(&k, pixels);
     profiles.push(TaskProfile {
         name: "histogram".into(),
@@ -173,9 +185,9 @@ mod tests {
             vec!["histogram", "otsuMethod"],
             vec!["binarization", "grayScale", "histogram", "otsuMethod"],
         ] {
-            let found = pts.iter().any(|p| {
-                p.hw_tasks.iter().map(|s| s.as_str()).collect::<Vec<_>>() == arch_hw
-            });
+            let found = pts
+                .iter()
+                .any(|p| p.hw_tasks.iter().map(|s| s.as_str()).collect::<Vec<_>>() == arch_hw);
             assert!(found, "missing {arch_hw:?}");
         }
     }
@@ -193,7 +205,10 @@ mod tests {
         // a dramatic win (this is why the paper's DSE question is real).
         let hist = m.evaluate(&HashSet::from(["histogram"]));
         let gain = none.runtime_ns - hist.runtime_ns;
-        assert!(gain.abs() < 0.5 * none.runtime_ns, "near break-even, gain={gain}");
+        assert!(
+            gain.abs() < 0.5 * none.runtime_ns,
+            "near break-even, gain={gain}"
+        );
         // The full pipeline overlaps all four stages and one DMA pass:
         // fastest of the Table I points.
         let all = m.evaluate(&HashSet::from([
@@ -208,7 +223,11 @@ mod tests {
             HashSet::from(["histogram", "otsuMethod"]),
         ] {
             let p = m.evaluate(&subset);
-            assert!(all.runtime_ns < p.runtime_ns, "Arch4 beats {:?}", p.hw_tasks);
+            assert!(
+                all.runtime_ns < p.runtime_ns,
+                "Arch4 beats {:?}",
+                p.hw_tasks
+            );
         }
     }
 
@@ -218,7 +237,11 @@ mod tests {
         let front = pareto_front(&exhaustive(&m));
         assert!(!front.is_empty());
         assert!(front.iter().any(|p| p.hw_tasks.is_empty()), "all-SW anchor");
-        assert!(front.len() >= 3, "several useful tradeoffs: {}", front.len());
+        assert!(
+            front.len() >= 3,
+            "several useful tradeoffs: {}",
+            front.len()
+        );
     }
 
     #[test]

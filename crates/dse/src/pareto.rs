@@ -58,10 +58,7 @@ mod tests {
 
     #[test]
     fn front_sorted_by_area() {
-        let pts = vec![
-            point("b", 10.0, 100, true),
-            point("a", 100.0, 10, true),
-        ];
+        let pts = vec![point("b", 10.0, 100, true), point("a", 100.0, 10, true)];
         let front = pareto_front(&pts);
         assert_eq!(front[0].hw_tasks[0], "a");
         assert_eq!(front[1].hw_tasks[0], "b");

@@ -9,7 +9,10 @@ use std::collections::HashSet;
 pub fn exhaustive(model: &ChainModel) -> Vec<DesignPoint> {
     let tasks = model.partitionable();
     let n = tasks.len();
-    assert!(n <= 20, "exhaustive search over 2^{n} points is unreasonable");
+    assert!(
+        n <= 20,
+        "exhaustive search over 2^{n} points is unreasonable"
+    );
     (0..(1u32 << n))
         .map(|mask| {
             let hw: HashSet<&str> = tasks

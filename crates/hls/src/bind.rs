@@ -61,11 +61,14 @@ pub fn bind(dfg: &RegionDfg, sched: &Schedule, lib: &TechLib) -> Binding {
 
     let mut assignment = vec![None; n];
     // Per class: per unit, (busy intervals, max width).
-    let mut pools: HashMap<FuClass, Vec<(Vec<(u32, u32)>, u8)>> = HashMap::new();
+    type UnitState = (Vec<(u32, u32)>, u8);
+    let mut pools: HashMap<FuClass, Vec<UnitState>> = HashMap::new();
 
     for i in order {
         let op = &dfg.ops[i];
-        let Some(class) = lib.fu_class(op.class) else { continue };
+        let Some(class) = lib.fu_class(op.class) else {
+            continue;
+        };
         let lat = lib.op_cost(op.class, op.bits).latency.max(1);
         let (s, e) = (sched.start[i], sched.start[i] + lat);
         let pool = pools.entry(class).or_default();
@@ -156,8 +159,14 @@ mod tests {
         let mut by_unit: HashMap<(FuClass, u32), Vec<(u32, u32)>> = HashMap::new();
         for (i, asg) in b.assignment.iter().enumerate() {
             if let Some((c, u)) = asg {
-                let lat = lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency.max(1);
-                by_unit.entry((*c, *u)).or_default().push((sched.start[i], sched.start[i] + lat));
+                let lat = lib
+                    .op_cost(dfg.ops[i].class, dfg.ops[i].bits)
+                    .latency
+                    .max(1);
+                by_unit
+                    .entry((*c, *u))
+                    .or_default()
+                    .push((sched.start[i], sched.start[i] + lat));
             }
         }
         for ivs in by_unit.values() {
@@ -177,7 +186,10 @@ mod tests {
             .scalar_in("a", Ty::U32)
             .scalar_in("b", Ty::U32)
             .scalar_out("r", Ty::U32)
-            .push(assign("r", mul(add(var("a"), var("b")), sub(var("a"), var("b")))))
+            .push(assign(
+                "r",
+                mul(add(var("a"), var("b")), sub(var("a"), var("b"))),
+            ))
             .build();
         let (dfg, sched, lib) = setup(&k);
         let bits = register_bits(&dfg, &sched, &lib);

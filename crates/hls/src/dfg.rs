@@ -192,9 +192,20 @@ impl SegCtx {
         }
     }
 
-    fn push(&mut self, class: OpClass, bits: u8, deps: Vec<usize>, target: Option<String>) -> usize {
+    fn push(
+        &mut self,
+        class: OpClass,
+        bits: u8,
+        deps: Vec<usize>,
+        target: Option<String>,
+    ) -> usize {
         let id = self.dfg.ops.len();
-        self.dfg.ops.push(OpNode { class, bits, deps, target });
+        self.dfg.ops.push(OpNode {
+            class,
+            bits,
+            deps,
+            target,
+        });
         id
     }
 
@@ -212,7 +223,10 @@ impl SegCtx {
 
 impl<'k> Lowerer<'k> {
     fn lower_region(&mut self, stmts: &[Stmt], label: String) -> Result<Region, DfgError> {
-        let mut region = Region { label, items: Vec::new() };
+        let mut region = Region {
+            label,
+            items: Vec::new(),
+        };
         let mut seg = SegCtx::new();
         self.lower_stmts(stmts, &mut seg, &mut region, None)?;
         if !seg.dfg.ops.is_empty() {
@@ -267,7 +281,13 @@ impl<'k> Lowerer<'k> {
                         }
                     }
                 }
-                Stmt::For { var, start, end, body, pipeline } => {
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                    pipeline,
+                } => {
                     // Flush the running segment, then lower the loop body
                     // as its own region.
                     if !seg.dfg.ops.is_empty() {
@@ -284,11 +304,19 @@ impl<'k> Lowerer<'k> {
                     let body_region =
                         self.lower_region(body, format!("{}_{}", region.label, var))?;
                     region.items.push(RegionItem::Loop {
-                        attrs: LoopAttrs { var: var.clone(), trip, pipelined: *pipeline },
+                        attrs: LoopAttrs {
+                            var: var.clone(),
+                            trip,
+                            pipelined: *pipeline,
+                        },
                         body: Box::new(body_region),
                     });
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     let c = self.lower_expr(cond, seg)?;
                     let combined = match pred {
                         Some(p) => seg.push(OpClass::Bit, 1, vec![p, c], None),
@@ -312,8 +340,7 @@ impl<'k> Lowerer<'k> {
                     let else_env = seg.env.clone();
                     // Merge: variables whose binding differs get a mux.
                     let mut merged = snapshot;
-                    let mut names: Vec<&String> =
-                        then_env.keys().chain(else_env.keys()).collect();
+                    let mut names: Vec<&String> = then_env.keys().chain(else_env.keys()).collect();
                     names.sort();
                     names.dedup();
                     for name in names {
@@ -322,8 +349,7 @@ impl<'k> Lowerer<'k> {
                         match (t, e) {
                             (Some(tv), Some(ev)) if tv != ev => {
                                 let bits = self.var_bits(name);
-                                let m =
-                                    seg.push(OpClass::Mux, bits, vec![combined, tv, ev], None);
+                                let m = seg.push(OpClass::Mux, bits, vec![combined, tv, ev], None);
                                 merged.insert(name.clone(), m);
                             }
                             (Some(v), _) | (_, Some(v)) => {
@@ -433,9 +459,11 @@ impl<'k> Lowerer<'k> {
 fn contains_loop(s: &Stmt) -> bool {
     match s {
         Stmt::For { .. } => true,
-        Stmt::If { then_body, else_body, .. } => {
-            then_body.iter().chain(else_body).any(contains_loop)
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => then_body.iter().chain(else_body).any(contains_loop),
         _ => false,
     }
 }
@@ -476,7 +504,12 @@ mod tests {
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            ))
             .build();
         let region = lower(&k).unwrap();
         assert_eq!(region.items.len(), 1);
@@ -512,10 +545,7 @@ mod tests {
         let k = KernelBuilder::new("k")
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .body(vec![
-                write("out", read("in")),
-                write("out", read("in")),
-            ])
+            .body(vec![write("out", read("in")), write("out", read("in"))])
             .build();
         let region = lower(&k).unwrap();
         let seg = region.segments()[0];
@@ -553,8 +583,16 @@ mod tests {
             .build();
         let region = lower(&k).unwrap();
         let seg = region.segments()[0];
-        let w = seg.ops.iter().position(|o| o.class == OpClass::MemWrite).unwrap();
-        let r = seg.ops.iter().position(|o| o.class == OpClass::MemRead).unwrap();
+        let w = seg
+            .ops
+            .iter()
+            .position(|o| o.class == OpClass::MemWrite)
+            .unwrap();
+        let r = seg
+            .ops
+            .iter()
+            .position(|o| o.class == OpClass::MemRead)
+            .unwrap();
         assert!(seg.ops[r].deps.contains(&w));
     }
 
@@ -588,10 +626,15 @@ mod tests {
             .array("bins", Ty::U32, 16)
             .local("v", Ty::U8)
             .body(vec![
-                for_("i", c(0), var("n"), vec![
-                    assign("v", read("px")),
-                    store("bins", var("v"), add(idx("bins", var("v")), c(1))),
-                ]),
+                for_(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![
+                        assign("v", read("px")),
+                        store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                    ],
+                ),
                 for_("i", c(0), c(16), vec![write("h", idx("bins", var("i")))]),
             ])
             .build();
@@ -614,9 +657,15 @@ mod tests {
             .local("acc", Ty::U32)
             .body(vec![
                 assign("acc", c(0)),
-                for_("i", c(0), var("n"), vec![
-                    if_(gt(var("i"), c(2)), vec![assign("acc", add(var("acc"), var("i")))]),
-                ]),
+                for_(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![if_(
+                        gt(var("i"), c(2)),
+                        vec![assign("acc", add(var("acc"), var("i")))],
+                    )],
+                ),
                 assign("r", var("acc")),
             ])
             .build();

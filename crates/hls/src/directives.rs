@@ -32,7 +32,10 @@ impl DirectivesFile {
     /// directive per parameter (plus the block-level control interface)
     /// and a pipeline directive per pipelined loop.
     pub fn for_kernel(kernel: &Kernel) -> Self {
-        let mut d = DirectivesFile { kernel: kernel.name.clone(), directives: Vec::new() };
+        let mut d = DirectivesFile {
+            kernel: kernel.name.clone(),
+            directives: Vec::new(),
+        };
         d.directives.push(Directive::Interface {
             mode: "s_axilite".into(),
             port: "return".into(),
@@ -42,7 +45,10 @@ impl DirectivesFile {
                 ParamKind::ScalarIn | ParamKind::ScalarOut => "s_axilite",
                 ParamKind::StreamIn | ParamKind::StreamOut => "axis",
             };
-            d.directives.push(Directive::Interface { mode: mode.into(), port: p.name.clone() });
+            d.directives.push(Directive::Interface {
+                mode: mode.into(),
+                port: p.name.clone(),
+            });
         }
         collect_pipelines(&kernel.body, &mut d.directives);
         d
@@ -81,13 +87,24 @@ fn collect_pipelines(stmts: &[accelsoc_kernel::ir::Stmt], out: &mut Vec<Directiv
     use accelsoc_kernel::ir::Stmt;
     for s in stmts {
         match s {
-            Stmt::For { var, body, pipeline, .. } => {
+            Stmt::For {
+                var,
+                body,
+                pipeline,
+                ..
+            } => {
                 if *pipeline {
-                    out.push(Directive::Pipeline { loop_label: format!("loop_{var}") });
+                    out.push(Directive::Pipeline {
+                        loop_label: format!("loop_{var}"),
+                    });
                 }
                 collect_pipelines(body, out);
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_pipelines(then_body, out);
                 collect_pipelines(else_body, out);
             }
@@ -108,7 +125,12 @@ mod tests {
             .scalar_in("width", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("width"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("width"),
+                vec![write("out", read("in"))],
+            ))
             .build();
         let d = DirectivesFile::for_kernel(&k);
         let text = d.render();
@@ -125,12 +147,17 @@ mod tests {
         let k = KernelBuilder::new("k")
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_("r", c(0), c(4), vec![for_pipelined(
-                "c",
+            .push(for_(
+                "r",
                 c(0),
                 c(4),
-                vec![write("out", read("in"))],
-            )]))
+                vec![for_pipelined(
+                    "c",
+                    c(0),
+                    c(4),
+                    vec![write("out", read("in"))],
+                )],
+            ))
             .build();
         let d = DirectivesFile::for_kernel(&k);
         assert!(d

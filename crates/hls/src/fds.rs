@@ -14,7 +14,10 @@ use std::collections::HashMap;
 pub fn force_directed_schedule(dfg: &RegionDfg, lib: &TechLib, deadline: u32) -> Schedule {
     let n = dfg.ops.len();
     if n == 0 {
-        return Schedule { start: vec![], latency: 0 };
+        return Schedule {
+            start: vec![],
+            latency: 0,
+        };
     }
     let a = asap(dfg, lib);
     let deadline = deadline.max(a.latency);
@@ -24,15 +27,20 @@ pub fn force_directed_schedule(dfg: &RegionDfg, lib: &TechLib, deadline: u32) ->
     let mut late: Vec<u32> = alap(dfg, lib, deadline).start;
     let mut fixed = vec![false; n];
 
-    let lat =
-        |i: usize| lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency.max(1);
+    let lat = |i: usize| {
+        lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits)
+            .latency
+            .max(1)
+    };
 
     // Iteratively fix the (op, cycle) with minimal force.
     for _round in 0..n {
         // Distribution graphs: expected occupancy per (class, cycle).
         let mut dg: HashMap<FuClass, Vec<f64>> = HashMap::new();
         for i in 0..n {
-            let Some(class) = lib.fu_class(dfg.ops[i].class) else { continue };
+            let Some(class) = lib.fu_class(dfg.ops[i].class) else {
+                continue;
+            };
             let width = (late[i] - early[i] + 1) as f64;
             let slots = dg
                 .entry(class)
@@ -56,8 +64,7 @@ pub fn force_directed_schedule(dfg: &RegionDfg, lib: &TechLib, deadline: u32) ->
                     None => 0.0,
                     Some(cl) => {
                         let slots = &dg[&cl];
-                        let avg: f64 =
-                            slots.iter().sum::<f64>() / slots.len().max(1) as f64;
+                        let avg: f64 = slots.iter().sum::<f64>() / slots.len().max(1) as f64;
                         (s..s + lat(i))
                             .map(|t| slots[t as usize] - avg)
                             .sum::<f64>()
@@ -66,9 +73,7 @@ pub fn force_directed_schedule(dfg: &RegionDfg, lib: &TechLib, deadline: u32) ->
                 // Prefer earlier cycles on ties for determinism.
                 let better = match best {
                     None => true,
-                    Some((_, _, bf)) => {
-                        force < bf - 1e-12
-                    }
+                    Some((_, _, bf)) => force < bf - 1e-12,
                 };
                 if better {
                     best = Some((i, s, force));
@@ -91,12 +96,7 @@ pub fn force_directed_schedule(dfg: &RegionDfg, lib: &TechLib, deadline: u32) ->
 /// Restore frame consistency after fixing an op: successors cannot start
 /// before their predecessors finish, predecessors must finish before
 /// their successors start.
-fn propagate(
-    dfg: &RegionDfg,
-    early: &mut [u32],
-    late: &mut [u32],
-    lat: &impl Fn(usize) -> u32,
-) {
+fn propagate(dfg: &RegionDfg, early: &mut [u32], late: &mut [u32], lat: &impl Fn(usize) -> u32) {
     let n = dfg.ops.len();
     // Forward: earliest starts (indices are topological).
     for i in 0..n {
@@ -160,7 +160,9 @@ mod tests {
             .scalar_out("r", Ty::U32)
             .local("acc", Ty::U32);
         for i in 0..6 {
-            b = b.scalar_in(&format!("x{i}"), Ty::U16).local(&format!("t{i}"), Ty::U32);
+            b = b
+                .scalar_in(&format!("x{i}"), Ty::U16)
+                .local(&format!("t{i}"), Ty::U32);
         }
         let mut body = vec![];
         for i in 0..6 {
@@ -190,7 +192,11 @@ mod tests {
         for slack in [0u32, 4, 10] {
             let s = force_directed_schedule(&dfg, &lib, a.latency + slack);
             assert!(s.respects_deps(&dfg, &lib), "slack {slack}");
-            assert!(s.latency <= a.latency + slack + 1, "slack {slack}: {}", s.latency);
+            assert!(
+                s.latency <= a.latency + slack + 1,
+                "slack {slack}: {}",
+                s.latency
+            );
         }
     }
 

@@ -93,10 +93,30 @@ impl CoreInterface {
 /// Synthesize the interface for a kernel.
 pub fn synthesize(kernel: &Kernel) -> CoreInterface {
     let mut regs = vec![
-        AxiLiteRegister { name: "CTRL".into(), offset: CTRL_OFFSET, bits: 32, host_writable: true },
-        AxiLiteRegister { name: "GIE".into(), offset: GIE_OFFSET, bits: 32, host_writable: true },
-        AxiLiteRegister { name: "IER".into(), offset: IER_OFFSET, bits: 32, host_writable: true },
-        AxiLiteRegister { name: "ISR".into(), offset: ISR_OFFSET, bits: 32, host_writable: true },
+        AxiLiteRegister {
+            name: "CTRL".into(),
+            offset: CTRL_OFFSET,
+            bits: 32,
+            host_writable: true,
+        },
+        AxiLiteRegister {
+            name: "GIE".into(),
+            offset: GIE_OFFSET,
+            bits: 32,
+            host_writable: true,
+        },
+        AxiLiteRegister {
+            name: "IER".into(),
+            offset: IER_OFFSET,
+            bits: 32,
+            host_writable: true,
+        },
+        AxiLiteRegister {
+            name: "ISR".into(),
+            offset: ISR_OFFSET,
+            bits: 32,
+            host_writable: true,
+        },
     ];
     let mut offset = ARGS_BASE;
     let mut streams = Vec::new();
@@ -203,11 +223,19 @@ mod tests {
         // Three 32-bit stream buffers cost more FFs than a couple of
         // scalar registers? Not necessarily; just check both nonzero and
         // stream FF grows with width.
-        let one = StreamPort { name: "x".into(), dir: StreamDir::In, tdata_bits: 8 };
+        let one = StreamPort {
+            name: "x".into(),
+            dir: StreamDir::In,
+            tdata_bits: 8,
+        };
         let mut i1 = CoreInterface::default();
         i1.stream_ports.push(one);
         let mut i2 = CoreInterface::default();
-        i2.stream_ports.push(StreamPort { name: "x".into(), dir: StreamDir::In, tdata_bits: 64 });
+        i2.stream_ports.push(StreamPort {
+            name: "x".into(),
+            dir: StreamDir::In,
+            tdata_bits: 64,
+        });
         assert!(i2.adapter_cost().ff > i1.adapter_cost().ff);
     }
 }

@@ -28,8 +28,8 @@
 
 pub mod bind;
 pub mod dfg;
-pub mod fds;
 pub mod directives;
+pub mod fds;
 pub mod interface;
 pub mod pipeline;
 pub mod project;

@@ -67,8 +67,7 @@ fn longest_read_to_write_chain(seg: &RegionDfg, array: &str, lib: &TechLib) -> O
     for i in 0..n {
         let op = &seg.ops[i];
         let lat = lib.op_cost(op.class, op.bits).latency;
-        let is_source =
-            op.class == OpClass::MemRead && op.target.as_deref() == Some(array);
+        let is_source = op.class == OpClass::MemRead && op.target.as_deref() == Some(array);
         let mut d = if is_source { Some(lat) } else { None };
         for &p in &op.deps {
             if let Some(pd) = dist[p] {
@@ -109,7 +108,12 @@ mod tests {
         let k = KernelBuilder::new("copy")
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), c(10), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                c(10),
+                vec![write("out", read("in"))],
+            ))
             .build();
         let body = body_of(&k);
         let lib = TechLib::default();
@@ -127,11 +131,16 @@ mod tests {
             .stream_out("dummy", Ty::U8)
             .array("bins", Ty::U32, 16)
             .local("v", Ty::U8)
-            .push(for_pipelined("i", c(0), c(10), vec![
-                assign("v", read("px")),
-                store("bins", var("v"), add(idx("bins", var("v")), c(1))),
-                write("dummy", var("v")),
-            ]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                c(10),
+                vec![
+                    assign("v", read("px")),
+                    store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                    write("dummy", var("v")),
+                ],
+            ))
             .build();
         let body = body_of(&k);
         let lib = TechLib::default();
@@ -148,11 +157,16 @@ mod tests {
             .stream_out("out", Ty::U16)
             .local("a", Ty::U32)
             .local("b", Ty::U32)
-            .push(for_pipelined("i", c(0), c(10), vec![
-                assign("a", mul(read("in"), var("k"))),
-                assign("b", mul(var("a"), var("k"))),
-                write("out", var("b")),
-            ]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                c(10),
+                vec![
+                    assign("a", mul(read("in"), var("k"))),
+                    assign("b", mul(var("a"), var("k"))),
+                    write("out", var("b")),
+                ],
+            ))
             .build();
         let body = body_of(&k);
         let lib = TechLib::default();
@@ -172,10 +186,12 @@ mod tests {
             .stream_out("out", Ty::U8)
             .array("lut", Ty::U8, 16)
             .local("v", Ty::U8)
-            .push(for_pipelined("i", c(0), c(10), vec![
-                assign("v", read("in")),
-                write("out", idx("lut", var("v"))),
-            ]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                c(10),
+                vec![assign("v", read("in")), write("out", idx("lut", var("v")))],
+            ))
             .build();
         let body = body_of(&k);
         assert_eq!(rec_mii(&body, &TechLib::default()), 1);
@@ -184,6 +200,9 @@ mod tests {
     #[test]
     fn empty_segment_res_mii_is_one() {
         let lib = TechLib::default();
-        assert_eq!(res_mii(&RegionDfg::default(), &lib, &ResourceConstraints::new()), 1);
+        assert_eq!(
+            res_mii(&RegionDfg::default(), &lib, &ResourceConstraints::new()),
+            1
+        );
     }
 }

@@ -14,6 +14,7 @@ use crate::schedule::{list_schedule, schedule_region, ResourceConstraints};
 use crate::techlib::{FuClass, TechLib};
 use accelsoc_kernel::ir::Kernel;
 use accelsoc_kernel::verify::{verify, VerifyError};
+use accelsoc_observe::{null_observer, FlowEvent, FlowObserver, SharedObserver};
 use std::fmt;
 
 /// Options controlling an HLS run.
@@ -25,7 +26,10 @@ pub struct HlsOptions {
 
 impl Default for HlsOptions {
     fn default() -> Self {
-        HlsOptions { lib: TechLib::default(), constraints: ResourceConstraints::vivado_like() }
+        HlsOptions {
+            lib: TechLib::default(),
+            constraints: ResourceConstraints::vivado_like(),
+        }
     }
 }
 
@@ -68,7 +72,11 @@ pub struct HlsProject {
 
 impl HlsProject {
     pub fn new(name: &str) -> Self {
-        HlsProject { name: name.to_string(), kernels: Vec::new(), options: HlsOptions::default() }
+        HlsProject {
+            name: name.to_string(),
+            kernels: Vec::new(),
+            options: HlsOptions::default(),
+        }
     }
 
     pub fn add_kernel(&mut self, kernel: Kernel) {
@@ -79,26 +87,52 @@ impl HlsProject {
     /// crossbeam scoped threads — the paper's flow runs independent node
     /// syntheses concurrently with the software flow).
     pub fn synthesize_all(&self) -> Vec<Result<HlsResult, HlsError>> {
+        self.synthesize_all_observed(&null_observer())
+    }
+
+    /// [`HlsProject::synthesize_all`], reporting per-kernel statistics to
+    /// `observer` (which is shared across the worker threads).
+    pub fn synthesize_all_observed(
+        &self,
+        observer: &SharedObserver,
+    ) -> Vec<Result<HlsResult, HlsError>> {
         if self.kernels.len() <= 1 {
-            return self.kernels.iter().map(|k| synthesize_kernel(k, &self.options)).collect();
+            return self
+                .kernels
+                .iter()
+                .map(|k| synthesize_kernel_observed(k, &self.options, observer.as_ref()))
+                .collect();
         }
         let mut out: Vec<Option<Result<HlsResult, HlsError>>> =
             (0..self.kernels.len()).map(|_| None).collect();
         crossbeam::thread::scope(|s| {
             for (slot, kernel) in out.iter_mut().zip(&self.kernels) {
                 let opts = &self.options;
+                let observer = observer.clone();
                 s.spawn(move |_| {
-                    *slot = Some(synthesize_kernel(kernel, opts));
+                    *slot = Some(synthesize_kernel_observed(kernel, opts, observer.as_ref()));
                 });
             }
         })
         .expect("synthesis worker panicked");
-        out.into_iter().map(|r| r.expect("worker filled slot")).collect()
+        out.into_iter()
+            .map(|r| r.expect("worker filled slot"))
+            .collect()
     }
 }
 
 /// Synthesize one kernel into a complete [`HlsResult`].
 pub fn synthesize_kernel(kernel: &Kernel, options: &HlsOptions) -> Result<HlsResult, HlsError> {
+    synthesize_kernel_observed(kernel, options, &accelsoc_observe::NullObserver)
+}
+
+/// [`synthesize_kernel`], reporting the resulting schedule/resource
+/// statistics as a [`FlowEvent::HlsKernelSynthesized`].
+pub fn synthesize_kernel_observed(
+    kernel: &Kernel,
+    options: &HlsOptions,
+    observer: &dyn FlowObserver,
+) -> Result<HlsResult, HlsError> {
     verify(kernel).map_err(HlsError::Verify)?;
     let lib = &options.lib;
     let region = lower(kernel).map_err(HlsError::Lower)?;
@@ -176,10 +210,33 @@ pub fn synthesize_kernel(kernel: &Kernel, options: &HlsOptions) -> Result<HlsRes
         clock_estimate_ns,
         modeled_tool_seconds,
     };
-    let rtl = RtlModule::from_parts(&kernel.name, &iface, &seg_bindings, &memories, rs.fsm_states);
+    observer.on_event(&FlowEvent::HlsKernelSynthesized {
+        kernel: report.kernel.clone(),
+        latency: report.latency,
+        pipelined_loops: report.loop_iis.len(),
+        lut: report.resources.lut,
+        ff: report.resources.ff,
+        bram18: report.resources.bram18,
+        dsp: report.resources.dsp,
+        clock_estimate_ns: report.clock_estimate_ns,
+        modeled_tool_seconds: report.modeled_tool_seconds,
+    });
+    let rtl = RtlModule::from_parts(
+        &kernel.name,
+        &iface,
+        &seg_bindings,
+        &memories,
+        rs.fsm_states,
+    );
     let verilog = rtl.to_verilog();
     let directives_tcl = DirectivesFile::for_kernel(kernel).render();
-    Ok(HlsResult { report, rtl, verilog, directives_tcl, region })
+    Ok(HlsResult {
+        report,
+        rtl,
+        verilog,
+        directives_tcl,
+        region,
+    })
 }
 
 fn representative_op(class: FuClass) -> crate::dfg::OpClass {
@@ -230,11 +287,21 @@ mod tests {
             .array("bins", Ty::U32, 256)
             .local("v", Ty::U8)
             .body(vec![
-                for_pipelined("i", c(0), var("n"), vec![
-                    assign("v", read("px")),
-                    store("bins", var("v"), add(idx("bins", var("v")), c(1))),
-                ]),
-                for_pipelined("j", c(0), c(256), vec![write("hist", idx("bins", var("j")))]),
+                for_pipelined(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![
+                        assign("v", read("px")),
+                        store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                    ],
+                ),
+                for_pipelined(
+                    "j",
+                    c(0),
+                    c(256),
+                    vec![write("hist", idx("bins", var("j")))],
+                ),
             ])
             .build()
     }
@@ -278,8 +345,11 @@ mod tests {
         let r = synthesize_kernel(&divider_heavy(), &HlsOptions::default()).unwrap();
         assert!(r.report.resources.dsp >= 1, "multiply should claim DSP");
         // The 48-bit divider dominates LUTs.
-        let adder_luts =
-            synthesize_kernel(&adder(), &HlsOptions::default()).unwrap().report.resources.lut;
+        let adder_luts = synthesize_kernel(&adder(), &HlsOptions::default())
+            .unwrap()
+            .report
+            .resources
+            .lut;
         assert!(r.report.resources.lut > adder_luts);
         // 32-bit operands feed the divider: >= 32 cycles of iteration.
         assert!(r.report.latency >= 32, "iterative divide is long-latency");
@@ -287,7 +357,12 @@ mod tests {
 
     #[test]
     fn malformed_kernel_rejected() {
-        let k = Kernel { name: "broken".into(), params: vec![], locals: vec![], body: vec![] };
+        let k = Kernel {
+            name: "broken".into(),
+            params: vec![],
+            locals: vec![],
+            body: vec![],
+        };
         let err = synthesize_kernel(&k, &HlsOptions::default()).unwrap_err();
         assert!(matches!(err, HlsError::Verify(_)));
     }
@@ -306,6 +381,34 @@ mod tests {
             assert_eq!(par.report.resources, solo.report.resources, "{}", k.name);
             assert_eq!(par.report.latency, solo.report.latency);
         }
+    }
+
+    #[test]
+    fn observed_synthesis_reports_kernel_stats() {
+        use accelsoc_observe::{CollectObserver, FlowEvent, SharedObserver};
+        use std::sync::Arc;
+        let collect = Arc::new(CollectObserver::new());
+        let mut p = HlsProject::new("proj");
+        p.add_kernel(adder());
+        p.add_kernel(hist());
+        let results = p.synthesize_all_observed(&(collect.clone() as SharedObserver));
+        assert!(results.iter().all(|r| r.is_ok()));
+        let names: Vec<String> = collect
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::HlsKernelSynthesized {
+                    kernel, latency, ..
+                } => {
+                    assert!(*latency > 0);
+                    Some(kernel.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(sorted, ["add", "histogram"]);
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl HlsReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "== Synthesis Report for '{}' ==", self.kernel);
-        let _ = writeln!(s, "* Timing: target 10.00 ns, estimated {:.2} ns", self.clock_estimate_ns);
+        let _ = writeln!(
+            s,
+            "* Timing: target 10.00 ns, estimated {:.2} ns",
+            self.clock_estimate_ns
+        );
         let _ = writeln!(s, "* Latency: {} cycles", self.latency);
         if !self.loop_iis.is_empty() {
             let _ = writeln!(s, "* Pipelined loops:");

@@ -16,10 +16,20 @@ pub struct ResourceEstimate {
 }
 
 impl ResourceEstimate {
-    pub const ZERO: ResourceEstimate = ResourceEstimate { lut: 0, ff: 0, bram18: 0, dsp: 0 };
+    pub const ZERO: ResourceEstimate = ResourceEstimate {
+        lut: 0,
+        ff: 0,
+        bram18: 0,
+        dsp: 0,
+    };
 
     pub fn new(lut: u32, ff: u32, bram18: u32, dsp: u32) -> Self {
-        ResourceEstimate { lut, ff, bram18, dsp }
+        ResourceEstimate {
+            lut,
+            ff,
+            bram18,
+            dsp,
+        }
     }
 
     /// Elementwise max — used when two schedule regions share functional

@@ -55,8 +55,16 @@ impl RtlModule {
         fsm_states: u64,
     ) -> Self {
         let mut ports = vec![
-            RtlPort { name: "ap_clk".into(), dir: PortDir::In, bits: 1 },
-            RtlPort { name: "ap_rst_n".into(), dir: PortDir::In, bits: 1 },
+            RtlPort {
+                name: "ap_clk".into(),
+                dir: PortDir::In,
+                bits: 1,
+            },
+            RtlPort {
+                name: "ap_rst_n".into(),
+                dir: PortDir::In,
+                bits: 1,
+            },
         ];
         if !iface.axilite_registers.is_empty() {
             for (n, d, b) in [
@@ -74,7 +82,11 @@ impl RtlModule {
                 ("s_axi_ctrl_rready", PortDir::In, 1),
                 ("s_axi_ctrl_bresp", PortDir::Out, 2),
             ] {
-                ports.push(RtlPort { name: n.into(), dir: d, bits: b });
+                ports.push(RtlPort {
+                    name: n.into(),
+                    dir: d,
+                    bits: b,
+                });
             }
         }
         for sp in &iface.stream_ports {
@@ -82,15 +94,33 @@ impl RtlModule {
                 StreamDir::In => (format!("s_axis_{}", sp.name), PortDir::In),
                 StreamDir::Out => (format!("m_axis_{}", sp.name), PortDir::Out),
             };
-            let rev = |d: PortDir| if d == PortDir::In { PortDir::Out } else { PortDir::In };
+            let rev = |d: PortDir| {
+                if d == PortDir::In {
+                    PortDir::Out
+                } else {
+                    PortDir::In
+                }
+            };
             ports.push(RtlPort {
                 name: format!("{prefix}_tdata"),
                 dir: data_dir,
                 bits: sp.tdata_bits,
             });
-            ports.push(RtlPort { name: format!("{prefix}_tvalid"), dir: data_dir, bits: 1 });
-            ports.push(RtlPort { name: format!("{prefix}_tlast"), dir: data_dir, bits: 1 });
-            ports.push(RtlPort { name: format!("{prefix}_tready"), dir: rev(data_dir), bits: 1 });
+            ports.push(RtlPort {
+                name: format!("{prefix}_tvalid"),
+                dir: data_dir,
+                bits: 1,
+            });
+            ports.push(RtlPort {
+                name: format!("{prefix}_tlast"),
+                dir: data_dir,
+                bits: 1,
+            });
+            ports.push(RtlPort {
+                name: format!("{prefix}_tready"),
+                dir: rev(data_dir),
+                bits: 1,
+            });
         }
 
         let mut instances = Vec::new();
@@ -122,7 +152,11 @@ impl RtlModule {
             width: fsm_states as u32,
         });
 
-        RtlModule { name: name.to_string(), ports, instances }
+        RtlModule {
+            name: name.to_string(),
+            ports,
+            instances,
+        }
     }
 
     /// Emit Verilog text (structural skeleton with behavioural stubs).
@@ -202,12 +236,21 @@ mod tests {
             .build();
         let iface = synthesize(&k);
         let m = RtlModule::from_parts("f", &iface, &[], &[], 2);
-        for sig in ["s_axis_in_tdata", "s_axis_in_tvalid", "s_axis_in_tready",
-                    "m_axis_out_tdata", "m_axis_out_tlast"] {
+        for sig in [
+            "s_axis_in_tdata",
+            "s_axis_in_tvalid",
+            "s_axis_in_tready",
+            "m_axis_out_tdata",
+            "m_axis_out_tlast",
+        ] {
             assert!(m.ports.iter().any(|p| p.name == sig), "missing {sig}");
         }
         // tready on an input stream is an output of the core.
-        let tready = m.ports.iter().find(|p| p.name == "s_axis_in_tready").unwrap();
+        let tready = m
+            .ports
+            .iter()
+            .find(|p| p.name == "s_axis_in_tready")
+            .unwrap();
         assert_eq!(tready.dir, PortDir::Out);
     }
 

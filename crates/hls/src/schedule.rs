@@ -55,7 +55,8 @@ impl Schedule {
     pub fn respects_deps(&self, dfg: &RegionDfg, lib: &TechLib) -> bool {
         dfg.ops.iter().enumerate().all(|(i, op)| {
             op.deps.iter().all(|&d| {
-                let dep_end = self.start[d] + lib.op_cost(dfg.ops[d].class, dfg.ops[d].bits).latency;
+                let dep_end =
+                    self.start[d] + lib.op_cost(dfg.ops[d].class, dfg.ops[d].bits).latency;
                 self.start[i] >= dep_end
             })
         })
@@ -100,7 +101,10 @@ pub fn alap(dfg: &RegionDfg, lib: &TechLib, deadline: u32) -> Schedule {
     let start: Vec<u32> = (0..n)
         .map(|i| finish[i] - lib.op_cost(dfg.ops[i].class, dfg.ops[i].bits).latency)
         .collect();
-    Schedule { start, latency: deadline }
+    Schedule {
+        start,
+        latency: deadline,
+    }
 }
 
 /// Resource-constrained list scheduling. Priority = ALAP slack (critical
@@ -109,7 +113,10 @@ pub fn alap(dfg: &RegionDfg, lib: &TechLib, deadline: u32) -> Schedule {
 pub fn list_schedule(dfg: &RegionDfg, lib: &TechLib, rc: &ResourceConstraints) -> Schedule {
     let n = dfg.ops.len();
     if n == 0 {
-        return Schedule { start: vec![], latency: 0 };
+        return Schedule {
+            start: vec![],
+            latency: 0,
+        };
     }
     let asap_sched = asap(dfg, lib);
     let alap_sched = alap(dfg, lib, asap_sched.latency);
@@ -127,7 +134,17 @@ pub fn list_schedule(dfg: &RegionDfg, lib: &TechLib, rc: &ResourceConstraints) -
         // phis) and their consumers can all issue in the same cstep.
         loop {
             let scheduled_before = remaining;
-            schedule_ready_at(dfg, lib, rc, cycle, &alap_sched, &mut start, &mut done, &mut remaining, &mut busy);
+            schedule_ready_at(
+                dfg,
+                lib,
+                rc,
+                cycle,
+                &alap_sched,
+                &mut start,
+                &mut done,
+                &mut remaining,
+                &mut busy,
+            );
             if remaining == scheduled_before {
                 break;
             }
@@ -164,8 +181,7 @@ fn schedule_ready_at(
                     && start[i] == u32::MAX
                     && dfg.ops[i].deps.iter().all(|&d| {
                         start[d] != u32::MAX
-                            && start[d]
-                                + lib.op_cost(dfg.ops[d].class, dfg.ops[d].bits).latency
+                            && start[d] + lib.op_cost(dfg.ops[d].class, dfg.ops[d].bits).latency
                                 <= cycle
                     })
             })
@@ -184,9 +200,9 @@ fn schedule_ready_at(
                     let cap = rc.limit(class);
                     let units = busy.entry(class).or_default();
                     // Find a free unit (no overlap with [cycle, end)).
-                    let slot = units.iter_mut().position(|u| {
-                        u.iter().all(|&(s, e)| end <= s || cycle >= e)
-                    });
+                    let slot = units
+                        .iter_mut()
+                        .position(|u| u.iter().all(|&(s, e)| end <= s || cycle >= e));
                     match slot {
                         Some(s) => {
                             units[s].push((cycle, end));
@@ -341,7 +357,10 @@ mod tests {
             .scalar_in("a", Ty::U32)
             .scalar_in("b", Ty::U32)
             .scalar_out("r", Ty::U32)
-            .push(assign("r", mul(add(var("a"), var("b")), sub(var("a"), var("b")))))
+            .push(assign(
+                "r",
+                mul(add(var("a"), var("b")), sub(var("a"), var("b"))),
+            ))
             .build();
         let region = lower(&k).unwrap();
         region.segments()[0].clone()

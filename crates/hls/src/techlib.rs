@@ -46,7 +46,10 @@ pub struct TechLib {
 
 impl Default for TechLib {
     fn default() -> Self {
-        TechLib { clock_ns: 10.0, bram_threshold_bits: 1024 }
+        TechLib {
+            clock_ns: 10.0,
+            bram_threshold_bits: 1024,
+        }
     }
 }
 
@@ -59,7 +62,12 @@ impl TechLib {
     pub fn op_cost(&self, class: OpClass, bits: u8) -> OpCost {
         let b = bits as u32;
         match class {
-            OpClass::Add => OpCost { latency: 1, lut: b, ff: 0, dsp: 0 },
+            OpClass::Add => OpCost {
+                latency: 1,
+                lut: b,
+                ff: 0,
+                dsp: 0,
+            },
             // One DSP48E1 covers a 25x18 multiply; wider needs a cascade.
             OpClass::Mul => {
                 let dsp = if bits <= 18 {
@@ -69,25 +77,61 @@ impl TechLib {
                 } else {
                     4
                 };
-                OpCost { latency: 3, lut: b / 2, ff: 2 * b, dsp }
+                OpCost {
+                    latency: 3,
+                    lut: b / 2,
+                    ff: 2 * b,
+                    dsp,
+                }
             }
             // Pipelined restoring divider: one quotient bit per stage,
             // fabric only — the LUT-dominant operator (cf. Table II's
             // otsuMethod core).
-            OpClass::Div => OpCost { latency: b.max(8), lut: 28 * b, ff: 8 * b, dsp: 0 },
-            OpClass::Compare => OpCost { latency: 1, lut: b / 2 + 1, ff: 0, dsp: 0 },
-            OpClass::Bit => OpCost { latency: 1, lut: b / 2 + 1, ff: 0, dsp: 0 },
-            OpClass::Mux => OpCost { latency: 1, lut: b / 2 + 1, ff: 0, dsp: 0 },
+            OpClass::Div => OpCost {
+                latency: b.max(8),
+                lut: 28 * b,
+                ff: 8 * b,
+                dsp: 0,
+            },
+            OpClass::Compare => OpCost {
+                latency: 1,
+                lut: b / 2 + 1,
+                ff: 0,
+                dsp: 0,
+            },
+            OpClass::Bit => OpCost {
+                latency: 1,
+                lut: b / 2 + 1,
+                ff: 0,
+                dsp: 0,
+            },
+            OpClass::Mux => OpCost {
+                latency: 1,
+                lut: b / 2 + 1,
+                ff: 0,
+                dsp: 0,
+            },
             // Synchronous RAM: 1-cycle read, 1-cycle write; area is in the
             // memory macro, the port itself costs address logic.
-            OpClass::MemRead | OpClass::MemWrite => {
-                OpCost { latency: 1, lut: 8, ff: 0, dsp: 0 }
-            }
+            OpClass::MemRead | OpClass::MemWrite => OpCost {
+                latency: 1,
+                lut: 8,
+                ff: 0,
+                dsp: 0,
+            },
             // Handshake (ready/valid) register stage.
-            OpClass::StreamRead | OpClass::StreamWrite => {
-                OpCost { latency: 1, lut: 6, ff: b, dsp: 0 }
-            }
-            OpClass::Const | OpClass::Phi => OpCost { latency: 0, lut: 0, ff: 0, dsp: 0 },
+            OpClass::StreamRead | OpClass::StreamWrite => OpCost {
+                latency: 1,
+                lut: 6,
+                ff: b,
+                dsp: 0,
+            },
+            OpClass::Const | OpClass::Phi => OpCost {
+                latency: 0,
+                lut: 0,
+                ff: 0,
+                dsp: 0,
+            },
         }
     }
 

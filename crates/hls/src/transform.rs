@@ -20,7 +20,9 @@ pub enum TransformError {
     ArrayNotFound(String),
     /// Cyclic partitioning with a runtime index needs bank muxes we do
     /// not synthesize; only statically resolvable accesses are supported.
-    NonConstantIndex { array: String },
+    NonConstantIndex {
+        array: String,
+    },
 }
 
 impl fmt::Display for TransformError {
@@ -30,7 +32,10 @@ impl fmt::Display for TransformError {
             TransformError::BadFactor(x) => write!(f, "factor must be >= 2, got {x}"),
             TransformError::ArrayNotFound(a) => write!(f, "no local array `{a}`"),
             TransformError::NonConstantIndex { array } => {
-                write!(f, "array `{array}` has non-constant indices; cannot partition")
+                write!(
+                    f,
+                    "array `{array}` has non-constant indices; cannot partition"
+                )
             }
         }
     }
@@ -59,7 +64,13 @@ fn unroll_block(stmts: &[Stmt], var: &str, factor: u32, found: &mut bool) -> Vec
     stmts
         .iter()
         .flat_map(|s| match s {
-            Stmt::For { var: v, start, end, body, pipeline } => {
+            Stmt::For {
+                var: v,
+                start,
+                end,
+                body,
+                pipeline,
+            } => {
                 if v == var {
                     if let (Expr::Const(lo), Expr::Const(hi)) = (start, end) {
                         *found = true;
@@ -74,7 +85,11 @@ fn unroll_block(stmts: &[Stmt], var: &str, factor: u32, found: &mut bool) -> Vec
                     pipeline: *pipeline,
                 }]
             }
-            Stmt::If { cond, then_body, else_body } => vec![Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => vec![Stmt::If {
                 cond: cond.clone(),
                 then_body: unroll_block(then_body, var, factor, found),
                 else_body: unroll_block(else_body, var, factor, found),
@@ -143,13 +158,17 @@ fn subst_stmt(s: &Stmt, var: &str, with: &Expr) -> Stmt {
         Stmt::Assign { dst, value } => Stmt::Assign {
             dst: match dst {
                 LValue::Var(v) => LValue::Var(v.clone()),
-                LValue::Index(a, i) => {
-                    LValue::Index(a.clone(), Box::new(subst_expr(i, var, with)))
-                }
+                LValue::Index(a, i) => LValue::Index(a.clone(), Box::new(subst_expr(i, var, with))),
             },
             value: subst_expr(value, var, with),
         },
-        Stmt::For { var: v, start, end, body, pipeline } => Stmt::For {
+        Stmt::For {
+            var: v,
+            start,
+            end,
+            body,
+            pipeline,
+        } => Stmt::For {
             var: v.clone(),
             start: subst_expr(start, var, with),
             end: subst_expr(end, var, with),
@@ -157,7 +176,11 @@ fn subst_stmt(s: &Stmt, var: &str, with: &Expr) -> Stmt {
             body: body.iter().map(|s| subst_stmt(s, var, with)).collect(),
             pipeline: *pipeline,
         },
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: subst_expr(cond, var, with),
             then_body: then_body.iter().map(|s| subst_stmt(s, var, with)).collect(),
             else_body: else_body.iter().map(|s| subst_stmt(s, var, with)).collect(),
@@ -192,16 +215,16 @@ fn subst_expr(e: &Expr, var: &str, with: &Expr) -> Expr {
 /// Cyclically partition local array `name` into `banks` banks. All
 /// accesses must have constant indices after unrolling (the usual HLS
 /// recipe: unroll by the bank count, then partition).
-pub fn partition_array(
-    kernel: &Kernel,
-    name: &str,
-    banks: u32,
-) -> Result<Kernel, TransformError> {
+pub fn partition_array(kernel: &Kernel, name: &str, banks: u32) -> Result<Kernel, TransformError> {
     if banks < 2 {
         return Err(TransformError::BadFactor(banks));
     }
     let mut k = kernel.clone();
-    let Some(pos) = k.locals.iter().position(|l| l.name == name && l.len.is_some()) else {
+    let Some(pos) = k
+        .locals
+        .iter()
+        .position(|l| l.name == name && l.len.is_some())
+    else {
         return Err(TransformError::ArrayNotFound(name.to_string()));
     };
     let original = k.locals.remove(pos);
@@ -250,14 +273,24 @@ fn rewrite_block(
                 },
                 value: rewrite_expr(value, name, banks, err),
             },
-            Stmt::For { var, start, end, body, pipeline } => Stmt::For {
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+                pipeline,
+            } => Stmt::For {
                 var: var.clone(),
                 start: rewrite_expr(start, name, banks, err),
                 end: rewrite_expr(end, name, banks, err),
                 body: rewrite_block(body, name, banks, err),
                 pipeline: *pipeline,
             },
-            Stmt::If { cond, then_body, else_body } => Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
                 cond: rewrite_expr(cond, name, banks, err),
                 then_body: rewrite_block(then_body, name, banks, err),
                 else_body: rewrite_block(else_body, name, banks, err),
@@ -278,15 +311,14 @@ fn rewrite_expr(e: &Expr, name: &str, banks: u32, err: &mut Option<TransformErro
                 Box::new(Expr::Const(idx / banks as i64)),
             ),
             None => {
-                *err =
-                    Some(TransformError::NonConstantIndex { array: name.to_string() });
+                *err = Some(TransformError::NonConstantIndex {
+                    array: name.to_string(),
+                });
                 e.clone()
             }
         },
         Expr::Const(_) | Expr::Var(_) | Expr::StreamRead(_) => e.clone(),
-        Expr::Index(a, i) => {
-            Expr::Index(a.clone(), Box::new(rewrite_expr(i, name, banks, err)))
-        }
+        Expr::Index(a, i) => Expr::Index(a.clone(), Box::new(rewrite_expr(i, name, banks, err))),
         Expr::Unary(op, x) => Expr::Unary(*op, Box::new(rewrite_expr(x, name, banks, err))),
         Expr::Binary(op, a, b) => Expr::Binary(
             *op,
@@ -336,9 +368,19 @@ mod tests {
             .array("a", Ty::U32, 16)
             .local("acc", Ty::U32)
             .body(vec![
-                for_("i", c(0), c(16), vec![store("a", var("i"), add(var("i"), var("seed")))]),
+                for_(
+                    "i",
+                    c(0),
+                    c(16),
+                    vec![store("a", var("i"), add(var("i"), var("seed")))],
+                ),
                 assign("acc", c(0)),
-                for_("i", c(0), c(16), vec![assign("acc", add(var("acc"), idx("a", var("i"))))]),
+                for_(
+                    "i",
+                    c(0),
+                    c(16),
+                    vec![assign("acc", add(var("acc"), idx("a", var("i"))))],
+                ),
                 assign("r", var("acc")),
             ])
             .build()
@@ -347,7 +389,10 @@ mod tests {
     fn run(k: &Kernel, seed: i64) -> i64 {
         let inputs = HashMap::from([("seed".to_string(), seed)]);
         let mut s = StreamBundle::new();
-        Interpreter::new(k).run(&inputs, &mut s).unwrap().scalar_outputs["r"]
+        Interpreter::new(k)
+            .run(&inputs, &mut s)
+            .unwrap()
+            .scalar_outputs["r"]
     }
 
     #[test]
@@ -378,9 +423,12 @@ mod tests {
             .array("a", Ty::U32, 8)
             .local("acc", Ty::U32)
             .body(vec![
-                for_("i", c(0), c(8), vec![
-                    store("a", var("i"), mul(var("x"), var("x"))),
-                ]),
+                for_(
+                    "i",
+                    c(0),
+                    c(8),
+                    vec![store("a", var("i"), mul(var("x"), var("x")))],
+                ),
                 assign("acc", add(idx("a", c(0)), idx("a", c(7)))),
                 assign("r", var("acc")),
             ])
@@ -401,19 +449,33 @@ mod tests {
     #[test]
     fn unroll_errors() {
         let k = sum_kernel();
-        assert_eq!(unroll_loop(&k, "zz", 2).unwrap_err(), TransformError::LoopNotFound("zz".into()));
-        assert_eq!(unroll_loop(&k, "i", 1).unwrap_err(), TransformError::BadFactor(1));
+        assert_eq!(
+            unroll_loop(&k, "zz", 2).unwrap_err(),
+            TransformError::LoopNotFound("zz".into())
+        );
+        assert_eq!(
+            unroll_loop(&k, "i", 1).unwrap_err(),
+            TransformError::BadFactor(1)
+        );
         // Runtime-bounded loops are not unrollable.
         let rt = KernelBuilder::new("rt")
             .scalar_in("n", Ty::U32)
             .scalar_out("r", Ty::U32)
             .local("acc", Ty::U32)
             .body(vec![
-                for_("i", c(0), var("n"), vec![assign("acc", add(var("acc"), c(1)))]),
+                for_(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![assign("acc", add(var("acc"), c(1)))],
+                ),
                 assign("r", var("acc")),
             ])
             .build();
-        assert!(matches!(unroll_loop(&rt, "i", 2), Err(TransformError::LoopNotFound(_))));
+        assert!(matches!(
+            unroll_loop(&rt, "i", 2),
+            Err(TransformError::LoopNotFound(_))
+        ));
     }
 
     #[test]
@@ -445,7 +507,10 @@ mod tests {
             partition_array(&k, "ghost", 2).unwrap_err(),
             TransformError::ArrayNotFound("ghost".into())
         );
-        assert_eq!(partition_array(&k, "a", 1).unwrap_err(), TransformError::BadFactor(1));
+        assert_eq!(
+            partition_array(&k, "a", 1).unwrap_err(),
+            TransformError::BadFactor(1)
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use std::collections::HashMap;
 /// (topological by construction).
 fn arb_dfg() -> impl Strategy<Value = RegionDfg> {
     proptest::collection::vec(
-        (0u8..10, proptest::collection::vec(any::<u16>(), 0..3), 1u8..49),
+        (
+            0u8..10,
+            proptest::collection::vec(any::<u16>(), 0..3),
+            1u8..49,
+        ),
         1..40,
     )
     .prop_map(|raw| {
@@ -33,8 +37,7 @@ fn arb_dfg() -> impl Strategy<Value = RegionDfg> {
             let deps: Vec<usize> = if i == 0 {
                 vec![]
             } else {
-                let mut d: Vec<usize> =
-                    deps_raw.into_iter().map(|r| (r as usize) % i).collect();
+                let mut d: Vec<usize> = deps_raw.into_iter().map(|r| (r as usize) % i).collect();
                 d.sort();
                 d.dedup();
                 d
@@ -44,7 +47,12 @@ fn arb_dfg() -> impl Strategy<Value = RegionDfg> {
                 OpClass::StreamRead => Some("s".to_string()),
                 _ => None,
             };
-            dfg.ops.push(OpNode { class, bits, deps, target });
+            dfg.ops.push(OpNode {
+                class,
+                bits,
+                deps,
+                target,
+            });
         }
         dfg
     })

@@ -130,7 +130,11 @@ impl DataflowGraph {
             .actors
             .get(id.0 as usize)
             .ok_or(DataflowError::UnknownActor(id))?;
-        let ports = if is_input { &actor.inputs } else { &actor.outputs };
+        let ports = if is_input {
+            &actor.inputs
+        } else {
+            &actor.outputs
+        };
         if !ports.iter().any(|p| p == port) {
             return Err(DataflowError::UnknownPort {
                 actor: actor.name.clone(),
@@ -159,11 +163,17 @@ impl DataflowGraph {
     }
 
     pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> {
-        self.actors.iter().enumerate().map(|(i, a)| (ActorId(i as u32), a))
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActorId(i as u32), a))
     }
 
     pub fn lookup(&self, name: &str) -> Option<ActorId> {
-        self.actors.iter().position(|a| a.name == name).map(|i| ActorId(i as u32))
+        self.actors
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ActorId(i as u32))
     }
 
     pub fn streams(&self) -> &[StreamEdge] {
@@ -318,7 +328,8 @@ mod tests {
         let g = df.add_actor(actor("GAUSS", &["in"], &["out"])).unwrap();
         let e = df.add_actor(actor("EDGE", &["in"], &["out"])).unwrap();
         df.add_stream(stream(None, Some((g, "in")), 1, 1)).unwrap();
-        df.add_stream(stream(Some((g, "out")), Some((e, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((g, "out")), Some((e, "in")), 1, 1))
+            .unwrap();
         df.add_stream(stream(Some((e, "out")), None, 1, 1)).unwrap();
         assert_eq!(df.actor_count(), 2);
         assert_eq!(df.streams().len(), 3);
@@ -329,7 +340,9 @@ mod tests {
     fn unknown_port_rejected() {
         let mut df = DataflowGraph::new();
         let g = df.add_actor(actor("G", &["in"], &["out"])).unwrap();
-        let err = df.add_stream(stream(Some((g, "nope")), None, 1, 1)).unwrap_err();
+        let err = df
+            .add_stream(stream(Some((g, "nope")), None, 1, 1))
+            .unwrap_err();
         assert!(matches!(err, DataflowError::UnknownPort { .. }));
     }
 
@@ -338,7 +351,9 @@ mod tests {
         let mut df = DataflowGraph::new();
         let g = df.add_actor(actor("G", &["in"], &["out"])).unwrap();
         df.add_stream(stream(None, Some((g, "in")), 1, 1)).unwrap();
-        let err = df.add_stream(stream(None, Some((g, "in")), 1, 1)).unwrap_err();
+        let err = df
+            .add_stream(stream(None, Some((g, "in")), 1, 1))
+            .unwrap_err();
         assert!(matches!(err, DataflowError::PortAlreadyConnected { .. }));
     }
 
@@ -357,7 +372,8 @@ mod tests {
         let mut df = DataflowGraph::new();
         let a = df.add_actor(actor("A", &[], &["out"])).unwrap();
         let b = df.add_actor(actor("B", &["in"], &[])).unwrap();
-        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 2, 3)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 2, 3))
+            .unwrap();
         assert_eq!(df.repetition_vector(), Some(vec![3, 2]));
     }
 
@@ -367,9 +383,11 @@ mod tests {
         let mut df = DataflowGraph::new();
         let a = df.add_actor(actor("A", &["x"], &["out"])).unwrap();
         let b = df.add_actor(actor("B", &["in"], &["y"])).unwrap();
-        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1))
+            .unwrap();
         // Feedback with a rate that contradicts the forward edge.
-        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 2, 1)).unwrap();
+        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 2, 1))
+            .unwrap();
         assert_eq!(df.repetition_vector(), None);
     }
 

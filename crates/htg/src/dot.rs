@@ -15,7 +15,11 @@ pub fn to_dot(htg: &Htg, partition: Option<&Partition>) -> String {
     for id in htg.node_ids() {
         let name = htg.name(id);
         let hw = partition.and_then(|p| p.mapping(htg, id)) == Some(Mapping::Hardware);
-        let style = if hw { ", style=filled, fillcolor=lightblue" } else { "" };
+        let style = if hw {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
         match htg.kind(id) {
             NodeKind::Task(_) => {
                 let _ = writeln!(s, "  {id} [label=\"{name}\", shape=box{style}];");
@@ -102,10 +106,18 @@ mod tests {
 
         let mut htg = Htg::new();
         let t = htg
-            .add_task("N1", TaskNode { kernel: "n1".into(), sw_cycles: 5, sw_only: true })
+            .add_task(
+                "N1",
+                TaskNode {
+                    kernel: "n1".into(),
+                    sw_cycles: 5,
+                    sw_only: true,
+                },
+            )
             .unwrap();
         let p = htg.add_phase("IMAGE", df).unwrap();
-        htg.add_edge(t, p, TransferKind::SharedBuffer { bytes: 1024 }).unwrap();
+        htg.add_edge(t, p, TransferKind::SharedBuffer { bytes: 1024 })
+            .unwrap();
 
         let part = Partition::hardware_set(&htg, ["IMAGE"]);
         let dot = to_dot(&htg, Some(&part));
@@ -122,8 +134,15 @@ mod tests {
     #[test]
     fn dot_without_partition_has_no_fill() {
         let mut htg = Htg::new();
-        htg.add_task("A", TaskNode { kernel: "a".into(), sw_cycles: 1, sw_only: false })
-            .unwrap();
+        htg.add_task(
+            "A",
+            TaskNode {
+                kernel: "a".into(),
+                sw_cycles: 1,
+                sw_only: false,
+            },
+        )
+        .unwrap();
         let dot = to_dot(&htg, None);
         assert!(!dot.contains("lightblue"));
     }

@@ -163,7 +163,10 @@ impl Htg {
     }
 
     pub fn lookup(&self, name: &str) -> Option<NodeId> {
-        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
     }
 
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
@@ -176,22 +179,32 @@ impl Htg {
 
     /// Direct predecessors of `id`.
     pub fn preds(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.edges.iter().filter(move |e| e.dst == id).map(|e| e.src)
+        self.edges
+            .iter()
+            .filter(move |e| e.dst == id)
+            .map(|e| e.src)
     }
 
     /// Direct successors of `id`.
     pub fn succs(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.edges.iter().filter(move |e| e.src == id).map(|e| e.dst)
+        self.edges
+            .iter()
+            .filter(move |e| e.src == id)
+            .map(|e| e.dst)
     }
 
     /// Nodes with no incoming edges (application entry points).
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.preds(n).next().is_none()).collect()
+        self.node_ids()
+            .filter(|&n| self.preds(n).next().is_none())
+            .collect()
     }
 
     /// Nodes with no outgoing edges (application exits).
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.succs(n).next().is_none()).collect()
+        self.node_ids()
+            .filter(|&n| self.succs(n).next().is_none())
+            .collect()
     }
 
     /// Total bytes transferred across all top-level edges.
@@ -205,7 +218,11 @@ mod tests {
     use super::*;
 
     fn task(name: &str) -> TaskNode {
-        TaskNode { kernel: name.to_string(), sw_cycles: 1000, sw_only: false }
+        TaskNode {
+            kernel: name.to_string(),
+            sw_cycles: 1000,
+            sw_only: false,
+        }
     }
 
     #[test]
@@ -213,7 +230,8 @@ mod tests {
         let mut g = Htg::new();
         let a = g.add_task("A", task("a")).unwrap();
         let b = g.add_task("B", task("b")).unwrap();
-        g.add_edge(a, b, TransferKind::SharedBuffer { bytes: 64 }).unwrap();
+        g.add_edge(a, b, TransferKind::SharedBuffer { bytes: 64 })
+            .unwrap();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b]);

@@ -58,10 +58,7 @@ impl Partition {
 
     /// Build a partition where the named nodes go to hardware and all
     /// others to software.
-    pub fn hardware_set<I: IntoIterator<Item = S>, S: Into<String>>(
-        htg: &Htg,
-        hw: I,
-    ) -> Self {
+    pub fn hardware_set<I: IntoIterator<Item = S>, S: Into<String>>(htg: &Htg, hw: I) -> Self {
         let mut p = Partition::new();
         for id in htg.node_ids() {
             p.map.insert(htg.name(id).to_string(), Mapping::Software);
@@ -129,7 +126,10 @@ impl Partition {
 
     /// Number of hardware-mapped nodes.
     pub fn hardware_count(&self) -> usize {
-        self.map.values().filter(|m| **m == Mapping::Hardware).count()
+        self.map
+            .values()
+            .filter(|m| **m == Mapping::Hardware)
+            .count()
     }
 }
 
@@ -142,12 +142,20 @@ mod tests {
         let mut g = Htg::new();
         g.add_task(
             "readImage",
-            TaskNode { kernel: "read".into(), sw_cycles: 100, sw_only: true },
+            TaskNode {
+                kernel: "read".into(),
+                sw_cycles: 100,
+                sw_only: true,
+            },
         )
         .unwrap();
         g.add_task(
             "histogram",
-            TaskNode { kernel: "hist".into(), sw_cycles: 5000, sw_only: false },
+            TaskNode {
+                kernel: "hist".into(),
+                sw_cycles: 5000,
+                sw_only: false,
+            },
         )
         .unwrap();
         g
@@ -178,7 +186,10 @@ mod tests {
         let g = sample_htg();
         let mut p = Partition::new();
         p.set("histogram", Mapping::Hardware);
-        assert_eq!(p.validate(&g), Err(PartitionError::Unmapped("readImage".into())));
+        assert_eq!(
+            p.validate(&g),
+            Err(PartitionError::Unmapped("readImage".into()))
+        );
     }
 
     #[test]
@@ -186,7 +197,10 @@ mod tests {
         let g = sample_htg();
         let mut p = Partition::all_software(&g);
         p.set("ghost", Mapping::Hardware);
-        assert_eq!(p.validate(&g), Err(PartitionError::UnknownNode("ghost".into())));
+        assert_eq!(
+            p.validate(&g),
+            Err(PartitionError::UnknownNode("ghost".into()))
+        );
     }
 
     #[test]

@@ -86,11 +86,12 @@ pub fn simulate(df: &DataflowGraph, iterations: u64) -> Result<SdfRun, SdfError>
         // source bursting a whole iteration ahead.
         let a = (0..n)
             .filter(|&a| can_fire(a, &tokens, &fired))
-            .min_by(|&x, &y| {
-                (fired[x] * target[y].max(1)).cmp(&(fired[y] * target[x].max(1)))
-            });
+            .min_by(|&x, &y| (fired[x] * target[y].max(1)).cmp(&(fired[y] * target[x].max(1))));
         let Some(a) = a else {
-            return Err(SdfError::Deadlock { fired: total_fired, needed: total_needed });
+            return Err(SdfError::Deadlock {
+                fired: total_fired,
+                needed: total_needed,
+            });
         };
         // Consume.
         for (si, s) in streams.iter().enumerate() {
@@ -126,7 +127,13 @@ pub fn simulate(df: &DataflowGraph, iterations: u64) -> Result<SdfRun, SdfError>
         tokens.iter().all(|&t| t == 0),
         "SDF iteration must return buffers to empty: {tokens:?}"
     );
-    Ok(SdfRun { schedule, firings: fired, peak_tokens: peak, boundary_in, boundary_out })
+    Ok(SdfRun {
+        schedule,
+        firings: fired,
+        peak_tokens: peak,
+        boundary_in,
+        boundary_out,
+    })
 }
 
 #[cfg(test)]
@@ -163,7 +170,8 @@ mod tests {
         let a = df.add_actor(actor("A", &["in"], &["out"])).unwrap();
         let b = df.add_actor(actor("B", &["in"], &["out"])).unwrap();
         df.add_stream(stream(None, Some((a, "in")), 1, 1)).unwrap();
-        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1))
+            .unwrap();
         df.add_stream(stream(Some((b, "out")), None, 1, 1)).unwrap();
         df
     }
@@ -186,7 +194,8 @@ mod tests {
         let mut df = DataflowGraph::new();
         let a = df.add_actor(actor("A", &[], &["out"])).unwrap();
         let b = df.add_actor(actor("B", &["in"], &[])).unwrap();
-        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 2, 3)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 2, 3))
+            .unwrap();
         let run = simulate(&df, 2).unwrap();
         assert_eq!(run.firings, vec![6, 4]);
         // Peak occupancy: A fires up to 3 times before B can drain twice.
@@ -200,9 +209,12 @@ mod tests {
         let src = df.add_actor(actor("SRC", &[], &["out"])).unwrap();
         let d4 = df.add_actor(actor("D4", &["in"], &["out"])).unwrap();
         let d2 = df.add_actor(actor("D2", &["in"], &["out"])).unwrap();
-        df.add_stream(stream(Some((src, "out")), Some((d4, "in")), 1, 4)).unwrap();
-        df.add_stream(stream(Some((d4, "out")), Some((d2, "in")), 1, 2)).unwrap();
-        df.add_stream(stream(Some((d2, "out")), None, 1, 1)).unwrap();
+        df.add_stream(stream(Some((src, "out")), Some((d4, "in")), 1, 4))
+            .unwrap();
+        df.add_stream(stream(Some((d4, "out")), Some((d2, "in")), 1, 2))
+            .unwrap();
+        df.add_stream(stream(Some((d2, "out")), None, 1, 1))
+            .unwrap();
         assert_eq!(df.repetition_vector(), Some(vec![8, 2, 1]));
         let run = simulate(&df, 1).unwrap();
         assert_eq!(run.firings, vec![8, 2, 1]);
@@ -214,8 +226,10 @@ mod tests {
         let mut df = DataflowGraph::new();
         let a = df.add_actor(actor("A", &["x"], &["out"])).unwrap();
         let b = df.add_actor(actor("B", &["in"], &["y"])).unwrap();
-        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
-        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 2, 1)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1))
+            .unwrap();
+        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 2, 1))
+            .unwrap();
         assert_eq!(simulate(&df, 1).unwrap_err(), SdfError::Inconsistent);
     }
 
@@ -225,8 +239,10 @@ mod tests {
         let mut df = DataflowGraph::new();
         let a = df.add_actor(actor("A", &["x"], &["out"])).unwrap();
         let b = df.add_actor(actor("B", &["in"], &["y"])).unwrap();
-        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1)).unwrap();
-        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 1, 1)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 1, 1))
+            .unwrap();
+        df.add_stream(stream(Some((b, "y")), Some((a, "x")), 1, 1))
+            .unwrap();
         assert_eq!(df.repetition_vector(), Some(vec![1, 1]));
         let err = simulate(&df, 1).unwrap_err();
         assert!(matches!(err, SdfError::Deadlock { fired: 0, .. }));
@@ -238,7 +254,8 @@ mod tests {
         let mut df = DataflowGraph::new();
         let a = df.add_actor(actor("A", &[], &["out"])).unwrap();
         let b = df.add_actor(actor("B", &["in"], &[])).unwrap();
-        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 8, 1)).unwrap();
+        df.add_stream(stream(Some((a, "out")), Some((b, "in")), 8, 1))
+            .unwrap();
         let run = simulate(&df, 1).unwrap();
         assert_eq!(run.firings, vec![1, 8]);
         assert_eq!(run.peak_tokens[0], 8, "FIFO must hold a full burst");

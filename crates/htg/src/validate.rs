@@ -94,7 +94,9 @@ pub fn validate(htg: &Htg) -> ValidationReport {
         if let NodeKind::Phase(df) = htg.kind(id) {
             let name = htg.name(id).to_string();
             if df.repetition_vector().is_none() {
-                errors.push(ValidationError::InconsistentRates { phase: name.clone() });
+                errors.push(ValidationError::InconsistentRates {
+                    phase: name.clone(),
+                });
             }
             if df.actor_count() > 0 && !has_boundary(df) {
                 errors.push(ValidationError::IsolatedPhase { phase: name });
@@ -106,7 +108,9 @@ pub fn validate(htg: &Htg) -> ValidationReport {
 }
 
 fn has_boundary(df: &DataflowGraph) -> bool {
-    df.streams().iter().any(|s| s.src.is_none() || s.dst.is_none())
+    df.streams()
+        .iter()
+        .any(|s| s.src.is_none() || s.dst.is_none())
 }
 
 /// Kahn's algorithm; on a cycle, returns the nodes still carrying incoming
@@ -117,8 +121,10 @@ pub fn topo_sort(htg: &Htg) -> Result<Vec<NodeId>, Vec<NodeId>> {
     for e in htg.edges() {
         indeg[e.dst.0 as usize] += 1;
     }
-    let mut ready: Vec<NodeId> =
-        htg.node_ids().filter(|id| indeg[id.0 as usize] == 0).collect();
+    let mut ready: Vec<NodeId> = htg
+        .node_ids()
+        .filter(|id| indeg[id.0 as usize] == 0)
+        .collect();
     let mut order = Vec::with_capacity(n);
     while let Some(id) = ready.pop() {
         order.push(id);
@@ -132,7 +138,10 @@ pub fn topo_sort(htg: &Htg) -> Result<Vec<NodeId>, Vec<NodeId>> {
     if order.len() == n {
         Ok(order)
     } else {
-        Err(htg.node_ids().filter(|id| indeg[id.0 as usize] > 0).collect())
+        Err(htg
+            .node_ids()
+            .filter(|id| indeg[id.0 as usize] > 0)
+            .collect())
     }
 }
 
@@ -143,7 +152,11 @@ mod tests {
     use crate::graph::{TaskNode, TransferKind};
 
     fn task(n: &str) -> TaskNode {
-        TaskNode { kernel: n.into(), sw_cycles: 10, sw_only: false }
+        TaskNode {
+            kernel: n.into(),
+            sw_cycles: 10,
+            sw_only: false,
+        }
     }
 
     fn buf() -> TransferKind {
@@ -191,7 +204,10 @@ mod tests {
         g.add_edge(c, d, buf()).unwrap();
         g.add_edge(d, c, buf()).unwrap();
         let rep = validate(&g);
-        assert!(rep.errors.iter().any(|e| matches!(e, ValidationError::Cycle(_))));
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::Cycle(_))));
     }
 
     #[test]

@@ -7,13 +7,20 @@ use proptest::prelude::*;
 /// Build a random DAG: `n` nodes, edges only from lower to higher index, so
 /// the graph is acyclic by construction.
 fn arb_dag() -> impl Strategy<Value = Htg> {
-    (2usize..24, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u64..4096), 0..60))
+    (
+        2usize..24,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u64..4096), 0..60),
+    )
         .prop_map(|(n, raw_edges)| {
             let mut g = Htg::new();
             for i in 0..n {
                 g.add_task(
                     &format!("t{i}"),
-                    TaskNode { kernel: format!("k{i}"), sw_cycles: 100, sw_only: false },
+                    TaskNode {
+                        kernel: format!("k{i}"),
+                        sw_cycles: 100,
+                        sw_only: false,
+                    },
                 )
                 .unwrap();
             }
@@ -22,7 +29,8 @@ fn arb_dag() -> impl Strategy<Value = Htg> {
                 let a = (a as usize) % n;
                 let b = (b as usize) % n;
                 if a < b {
-                    g.add_edge(ids[a], ids[b], TransferKind::SharedBuffer { bytes }).unwrap();
+                    g.add_edge(ids[a], ids[b], TransferKind::SharedBuffer { bytes })
+                        .unwrap();
                 }
             }
             g

@@ -66,10 +66,25 @@ pub struct ArchSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AssembleError {
     UnknownCore(String),
-    UnknownPort { core: String, port: String },
-    DirectionMismatch { core: String, port: String, expected: &'static str },
-    WidthMismatch { from: String, to: String, from_bits: u32, to_bits: u32 },
-    PortAlreadyLinked { core: String, port: String },
+    UnknownPort {
+        core: String,
+        port: String,
+    },
+    DirectionMismatch {
+        core: String,
+        port: String,
+        expected: &'static str,
+    },
+    WidthMismatch {
+        from: String,
+        to: String,
+        from_bits: u32,
+        to_bits: u32,
+    },
+    PortAlreadyLinked {
+        core: String,
+        port: String,
+    },
     SocToSocLink,
     DuplicateCore(String),
 }
@@ -80,11 +95,23 @@ impl fmt::Display for AssembleError {
         match self {
             UnknownCore(c) => write!(f, "link references unknown core `{c}`"),
             UnknownPort { core, port } => write!(f, "core `{core}` has no stream port `{port}`"),
-            DirectionMismatch { core, port, expected } => {
+            DirectionMismatch {
+                core,
+                port,
+                expected,
+            } => {
                 write!(f, "port `{core}.{port}` cannot be used as {expected}")
             }
-            WidthMismatch { from, to, from_bits, to_bits } => {
-                write!(f, "stream width mismatch {from}({from_bits}b) -> {to}({to_bits}b)")
+            WidthMismatch {
+                from,
+                to,
+                from_bits,
+                to_bits,
+            } => {
+                write!(
+                    f,
+                    "stream width mismatch {from}({from_bits}b) -> {to}({to_bits}b)"
+                )
             }
             PortAlreadyLinked { core, port } => write!(f, "port `{core}.{port}` linked twice"),
             SocToSocLink => write!(f, "a link cannot connect 'soc to 'soc"),
@@ -120,7 +147,10 @@ pub fn assemble(spec: &ArchSpec) -> Result<BlockDesign, AssembleError> {
             hp_slaves: if soc_links > 0 { 1 } else { 0 },
         },
     });
-    bd.add_cell(Cell { name: "rst_ps7".into(), kind: CellKind::ProcSysReset });
+    bd.add_cell(Cell {
+        name: "rst_ps7".into(),
+        kind: CellKind::ProcSysReset,
+    });
 
     // 2. HLS cores.
     for c in &spec.cores {
@@ -137,7 +167,10 @@ pub fn assemble(spec: &ArchSpec) -> Result<BlockDesign, AssembleError> {
         (DmaPolicy::SharedChannel, _) => 1,
     };
     for i in 0..dma_count {
-        bd.add_cell(Cell { name: format!("axi_dma_{i}"), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: format!("axi_dma_{i}"),
+            kind: CellKind::AxiDma,
+        });
     }
 
     // 4. Stream wiring.
@@ -195,9 +228,16 @@ pub fn assemble(spec: &ArchSpec) -> Result<BlockDesign, AssembleError> {
     if !lite_slaves.is_empty() {
         bd.add_cell(Cell {
             name: "axi_ic_ctrl".into(),
-            kind: CellKind::AxiInterconnect { masters: 1, slaves: lite_slaves.len() as u32 },
+            kind: CellKind::AxiInterconnect {
+                masters: 1,
+                slaves: lite_slaves.len() as u32,
+            },
         });
-        bd.connect(("ps7", "M_AXI_GP0"), ("axi_ic_ctrl", "S00_AXI"), NetKind::AxiLite);
+        bd.connect(
+            ("ps7", "M_AXI_GP0"),
+            ("axi_ic_ctrl", "S00_AXI"),
+            NetKind::AxiLite,
+        );
         for (i, s) in lite_slaves.iter().enumerate() {
             bd.connect(
                 ("axi_ic_ctrl", &format!("M{i:02}_AXI")),
@@ -211,7 +251,10 @@ pub fn assemble(spec: &ArchSpec) -> Result<BlockDesign, AssembleError> {
     if dma_count > 0 {
         bd.add_cell(Cell {
             name: "axi_ic_hp0".into(),
-            kind: CellKind::AxiInterconnect { masters: dma_count as u32 * 2, slaves: 1 },
+            kind: CellKind::AxiInterconnect {
+                masters: dma_count as u32 * 2,
+                slaves: 1,
+            },
         });
         for i in 0..dma_count {
             bd.connect(
@@ -225,7 +268,11 @@ pub fn assemble(spec: &ArchSpec) -> Result<BlockDesign, AssembleError> {
                 NetKind::AxiLite,
             );
         }
-        bd.connect(("axi_ic_hp0", "M00_AXI"), ("ps7", "S_AXI_HP0"), NetKind::AxiLite);
+        bd.connect(
+            ("axi_ic_hp0", "M00_AXI"),
+            ("ps7", "S_AXI_HP0"),
+            NetKind::AxiLite,
+        );
     }
 
     // 7. Address map.
@@ -239,7 +286,8 @@ pub fn assemble(spec: &ArchSpec) -> Result<BlockDesign, AssembleError> {
     let mut next = CORE_BASE;
     for c in &spec.cores {
         if !c.report.interface.axilite_registers.is_empty() {
-            bd.address_map.push((c.report.kernel.clone(), next, SEGMENT_SPAN));
+            bd.address_map
+                .push((c.report.kernel.clone(), next, SEGMENT_SPAN));
             next += SEGMENT_SPAN;
         }
     }
@@ -250,23 +298,40 @@ pub fn assemble(spec: &ArchSpec) -> Result<BlockDesign, AssembleError> {
 fn validate(spec: &ArchSpec) -> Result<(), AssembleError> {
     // Duplicate core names.
     for (i, a) in spec.cores.iter().enumerate() {
-        if spec.cores.iter().skip(i + 1).any(|b| b.report.kernel == a.report.kernel) {
+        if spec
+            .cores
+            .iter()
+            .skip(i + 1)
+            .any(|b| b.report.kernel == a.report.kernel)
+        {
             return Err(AssembleError::DuplicateCore(a.report.kernel.clone()));
         }
     }
     let find = |name: &str| spec.cores.iter().find(|c| c.report.kernel == name);
     let port_of = |core: &str, port: &str, want_out: bool| -> Result<u32, AssembleError> {
         let c = find(core).ok_or_else(|| AssembleError::UnknownCore(core.to_string()))?;
-        let sp = c.report.interface.stream(port).ok_or_else(|| AssembleError::UnknownPort {
-            core: core.to_string(),
-            port: port.to_string(),
-        })?;
-        let ok = if want_out { sp.dir == StreamDir::Out } else { sp.dir == StreamDir::In };
+        let sp = c
+            .report
+            .interface
+            .stream(port)
+            .ok_or_else(|| AssembleError::UnknownPort {
+                core: core.to_string(),
+                port: port.to_string(),
+            })?;
+        let ok = if want_out {
+            sp.dir == StreamDir::Out
+        } else {
+            sp.dir == StreamDir::In
+        };
         if !ok {
             return Err(AssembleError::DirectionMismatch {
                 core: core.to_string(),
                 port: port.to_string(),
-                expected: if want_out { "a stream source" } else { "a stream destination" },
+                expected: if want_out {
+                    "a stream source"
+                } else {
+                    "a stream destination"
+                },
             });
         }
         Ok(sp.tdata_bits)
@@ -331,7 +396,9 @@ mod tests {
     use accelsoc_kernel::types::Ty;
 
     fn report_for(k: accelsoc_kernel::ir::Kernel) -> HlsReport {
-        synthesize_kernel(&k, &HlsOptions::default()).unwrap().report
+        synthesize_kernel(&k, &HlsOptions::default())
+            .unwrap()
+            .report
     }
 
     fn stream_core(name: &str) -> CoreSpec {
@@ -339,9 +406,16 @@ mod tests {
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            ))
             .build();
-        CoreSpec { report: report_for(k) }
+        CoreSpec {
+            report: report_for(k),
+        }
     }
 
     fn lite_core(name: &str) -> CoreSpec {
@@ -351,7 +425,9 @@ mod tests {
             .scalar_out("ret", Ty::U32)
             .push(assign("ret", add(var("A"), var("B"))))
             .build();
-        CoreSpec { report: report_for(k) }
+        CoreSpec {
+            report: report_for(k),
+        }
     }
 
     fn soc() -> SocEndpoint {
@@ -359,7 +435,10 @@ mod tests {
     }
 
     fn ep(core: &str, port: &str) -> SocEndpoint {
-        SocEndpoint::Core { core: core.into(), port: port.into() }
+        SocEndpoint::Core {
+            core: core.into(),
+            port: port.into(),
+        }
     }
 
     fn fig4_spec(policy: DmaPolicy) -> ArchSpec {
@@ -374,9 +453,18 @@ mod tests {
                 stream_core("EDGE"),
             ],
             stream_links: vec![
-                LinkSpec { from: soc(), to: ep("GAUSS", "in") },
-                LinkSpec { from: ep("GAUSS", "out"), to: ep("EDGE", "in") },
-                LinkSpec { from: ep("EDGE", "out"), to: soc() },
+                LinkSpec {
+                    from: soc(),
+                    to: ep("GAUSS", "in"),
+                },
+                LinkSpec {
+                    from: ep("GAUSS", "out"),
+                    to: ep("EDGE", "in"),
+                },
+                LinkSpec {
+                    from: ep("EDGE", "out"),
+                    to: soc(),
+                },
             ],
             lite_cores: vec!["MUL".into(), "ADD".into()],
             dma_policy: policy,
@@ -396,8 +484,11 @@ mod tests {
             _ => panic!(),
         }
         // Stream nets: soc->GAUSS, GAUSS->EDGE, EDGE->soc.
-        let stream_nets =
-            bd.nets.iter().filter(|n| n.kind == NetKind::AxiStream).count();
+        let stream_nets = bd
+            .nets
+            .iter()
+            .filter(|n| n.kind == NetKind::AxiStream)
+            .count();
         assert_eq!(stream_nets, 3);
     }
 
@@ -447,23 +538,38 @@ mod tests {
     #[test]
     fn bad_links_rejected() {
         let mut spec = fig4_spec(DmaPolicy::SharedChannel);
-        spec.stream_links.push(LinkSpec { from: soc(), to: soc() });
+        spec.stream_links.push(LinkSpec {
+            from: soc(),
+            to: soc(),
+        });
         assert_eq!(assemble(&spec).unwrap_err(), AssembleError::SocToSocLink);
 
         let mut spec = fig4_spec(DmaPolicy::SharedChannel);
-        spec.stream_links.push(LinkSpec { from: soc(), to: ep("GHOST", "in") });
+        spec.stream_links.push(LinkSpec {
+            from: soc(),
+            to: ep("GHOST", "in"),
+        });
         assert_eq!(
             assemble(&spec).unwrap_err(),
             AssembleError::UnknownCore("GHOST".into())
         );
 
         let mut spec = fig4_spec(DmaPolicy::SharedChannel);
-        spec.stream_links.push(LinkSpec { from: soc(), to: ep("GAUSS", "nope") });
-        assert!(matches!(assemble(&spec).unwrap_err(), AssembleError::UnknownPort { .. }));
+        spec.stream_links.push(LinkSpec {
+            from: soc(),
+            to: ep("GAUSS", "nope"),
+        });
+        assert!(matches!(
+            assemble(&spec).unwrap_err(),
+            AssembleError::UnknownPort { .. }
+        ));
 
         // Using an output port as a destination.
         let mut spec = fig4_spec(DmaPolicy::SharedChannel);
-        spec.stream_links.push(LinkSpec { from: soc(), to: ep("GAUSS", "out") });
+        spec.stream_links.push(LinkSpec {
+            from: soc(),
+            to: ep("GAUSS", "out"),
+        });
         assert!(matches!(
             assemble(&spec).unwrap_err(),
             AssembleError::DirectionMismatch { .. }
@@ -473,7 +579,10 @@ mod tests {
     #[test]
     fn double_linked_port_rejected() {
         let mut spec = fig4_spec(DmaPolicy::SharedChannel);
-        spec.stream_links.push(LinkSpec { from: soc(), to: ep("GAUSS", "in") });
+        spec.stream_links.push(LinkSpec {
+            from: soc(),
+            to: ep("GAUSS", "in"),
+        });
         assert!(matches!(
             assemble(&spec).unwrap_err(),
             AssembleError::PortAlreadyLinked { .. }
@@ -486,11 +595,21 @@ mod tests {
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U32)
             .stream_out("out", Ty::U32)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            ))
             .build();
         let spec = ArchSpec {
             name: "mismatch".into(),
-            cores: vec![stream_core("NARROW"), CoreSpec { report: report_for(wide) }],
+            cores: vec![
+                stream_core("NARROW"),
+                CoreSpec {
+                    report: report_for(wide),
+                },
+            ],
             stream_links: vec![LinkSpec {
                 from: ep("NARROW", "out"),
                 to: ep("WIDE", "in"),
@@ -498,7 +617,10 @@ mod tests {
             lite_cores: vec![],
             dma_policy: DmaPolicy::SharedChannel,
         };
-        assert!(matches!(assemble(&spec).unwrap_err(), AssembleError::WidthMismatch { .. }));
+        assert!(matches!(
+            assemble(&spec).unwrap_err(),
+            AssembleError::WidthMismatch { .. }
+        ));
     }
 
     #[test]
@@ -510,6 +632,9 @@ mod tests {
             lite_cores: vec![],
             dma_policy: DmaPolicy::SharedChannel,
         };
-        assert_eq!(assemble(&spec).unwrap_err(), AssembleError::DuplicateCore("ADD".into()));
+        assert_eq!(
+            assemble(&spec).unwrap_err(),
+            AssembleError::DuplicateCore("ADD".into())
+        );
     }
 }

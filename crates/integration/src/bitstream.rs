@@ -17,7 +17,11 @@ pub const FRAME_BYTES: usize = 96;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BitstreamError {
     BadSyncWord(u32),
-    CrcMismatch { frame: usize, expected: u32, actual: u32 },
+    CrcMismatch {
+        frame: usize,
+        expected: u32,
+        actual: u32,
+    },
     Truncated,
 }
 
@@ -25,8 +29,15 @@ impl fmt::Display for BitstreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BitstreamError::BadSyncWord(w) => write!(f, "bad sync word 0x{w:08x}"),
-            BitstreamError::CrcMismatch { frame, expected, actual } => {
-                write!(f, "frame {frame}: CRC 0x{actual:08x} != expected 0x{expected:08x}")
+            BitstreamError::CrcMismatch {
+                frame,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "frame {frame}: CRC 0x{actual:08x} != expected 0x{expected:08x}"
+                )
             }
             BitstreamError::Truncated => write!(f, "truncated bitstream"),
         }
@@ -104,7 +115,12 @@ pub fn generate(bd: &BlockDesign, placement: &Placement, part: &str) -> Bitstrea
         out.put_slice(&frame);
         out.put_u32(crc32(&frame));
     }
-    Bitstream { design: bd.name.clone(), part: part.to_string(), data: out.freeze(), frame_count }
+    Bitstream {
+        design: bd.name.clone(),
+        part: part.to_string(),
+        data: out.freeze(),
+        frame_count,
+    }
 }
 
 /// Verify framing and CRCs (what the board's configuration engine does at
@@ -129,7 +145,11 @@ pub fn verify(data: &Bytes) -> Result<Bytes, BitstreamError> {
         let expected = buf.get_u32();
         let actual = crc32(&frame);
         if actual != expected {
-            return Err(BitstreamError::CrcMismatch { frame: i, expected, actual });
+            return Err(BitstreamError::CrcMismatch {
+                frame: i,
+                expected,
+                actual,
+            });
         }
         payload.put_slice(&frame);
     }
@@ -147,10 +167,17 @@ mod tests {
         let mut bd = BlockDesign::new("sys");
         bd.add_cell(Cell {
             name: "ps7".into(),
-            kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 1 },
+            kind: CellKind::ZynqPs {
+                gp_masters: 1,
+                hp_slaves: 1,
+            },
         });
-        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
-        bd.address_map.push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
+        bd.add_cell(Cell {
+            name: "axi_dma_0".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.address_map
+            .push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
         let p = place(&bd, &Device::zynq7020());
         (bd, p)
     }
@@ -159,7 +186,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -202,7 +232,10 @@ mod tests {
         let bs = generate(&bd, &p, "xc7z020clg484-1");
         let bytes = bs.data.slice(0..bs.data.len() - 10);
         assert_eq!(verify(&bytes).unwrap_err(), BitstreamError::Truncated);
-        assert_eq!(verify(&bs.data.slice(0..4)).unwrap_err(), BitstreamError::Truncated);
+        assert_eq!(
+            verify(&bs.data.slice(0..4)).unwrap_err(),
+            BitstreamError::Truncated
+        );
     }
 
     #[test]

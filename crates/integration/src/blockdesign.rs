@@ -81,7 +81,10 @@ pub struct BlockDesign {
 
 impl BlockDesign {
     pub fn new(name: &str) -> Self {
-        BlockDesign { name: name.to_string(), ..Default::default() }
+        BlockDesign {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     pub fn cell(&self, name: &str) -> Option<&Cell> {
@@ -89,7 +92,11 @@ impl BlockDesign {
     }
 
     pub fn add_cell(&mut self, cell: Cell) {
-        debug_assert!(self.cell(&cell.name).is_none(), "duplicate cell {}", cell.name);
+        debug_assert!(
+            self.cell(&cell.name).is_none(),
+            "duplicate cell {}",
+            cell.name
+        );
         self.cells.push(cell);
     }
 
@@ -111,12 +118,18 @@ impl BlockDesign {
     }
 
     pub fn dma_count(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c.kind, CellKind::AxiDma)).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::AxiDma))
+            .count()
     }
 
     /// Base address assigned to a cell's AXI-Lite slave.
     pub fn base_of(&self, cell: &str) -> Option<u64> {
-        self.address_map.iter().find(|(n, _, _)| n == cell).map(|(_, b, _)| *b)
+        self.address_map
+            .iter()
+            .find(|(n, _, _)| n == cell)
+            .map(|(_, b, _)| *b)
     }
 }
 
@@ -126,13 +139,25 @@ mod tests {
 
     #[test]
     fn infrastructure_resource_model() {
-        let ps = Cell { name: "ps7".into(), kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 1 } };
+        let ps = Cell {
+            name: "ps7".into(),
+            kind: CellKind::ZynqPs {
+                gp_masters: 1,
+                hp_slaves: 1,
+            },
+        };
         assert_eq!(ps.resources(), ResourceEstimate::ZERO);
-        let dma = Cell { name: "dma0".into(), kind: CellKind::AxiDma };
+        let dma = Cell {
+            name: "dma0".into(),
+            kind: CellKind::AxiDma,
+        };
         assert_eq!(dma.resources().bram18, 2);
         let ic = Cell {
             name: "ic".into(),
-            kind: CellKind::AxiInterconnect { masters: 1, slaves: 4 },
+            kind: CellKind::AxiInterconnect {
+                masters: 1,
+                slaves: 4,
+            },
         };
         assert_eq!(ic.resources().lut, 300 + 150 * 5);
     }
@@ -140,8 +165,14 @@ mod tests {
     #[test]
     fn design_accumulates_resources() {
         let mut bd = BlockDesign::new("d");
-        bd.add_cell(Cell { name: "dma0".into(), kind: CellKind::AxiDma });
-        bd.add_cell(Cell { name: "dma1".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "dma0".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.add_cell(Cell {
+            name: "dma1".into(),
+            kind: CellKind::AxiDma,
+        });
         let total = bd.raw_resources();
         assert_eq!(total.bram18, 4);
         assert_eq!(bd.dma_count(), 2);
@@ -150,9 +181,19 @@ mod tests {
     #[test]
     fn nets_and_lookup() {
         let mut bd = BlockDesign::new("d");
-        bd.add_cell(Cell { name: "a".into(), kind: CellKind::AxiDma });
-        bd.add_cell(Cell { name: "b".into(), kind: CellKind::AxiDma });
-        bd.connect(("a", "M_AXIS_MM2S"), ("b", "S_AXIS_S2MM"), NetKind::AxiStream);
+        bd.add_cell(Cell {
+            name: "a".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.add_cell(Cell {
+            name: "b".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.connect(
+            ("a", "M_AXIS_MM2S"),
+            ("b", "S_AXIS_S2MM"),
+            NetKind::AxiStream,
+        );
         assert_eq!(bd.nets.len(), 1);
         assert!(bd.cell("a").is_some());
         assert!(bd.cell("zz").is_none());

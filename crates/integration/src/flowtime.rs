@@ -75,7 +75,10 @@ mod tests {
     fn project_gen_under_a_minute_for_case_study_scale() {
         let mut bd = BlockDesign::new("d");
         for i in 0..8 {
-            bd.add_cell(Cell { name: format!("c{i}"), kind: CellKind::AxiDma });
+            bd.add_cell(Cell {
+                name: format!("c{i}"),
+                kind: CellKind::AxiDma,
+            });
         }
         let s = project_gen_seconds(&bd);
         assert!((30.0..60.0).contains(&s), "{s}");
@@ -86,7 +89,10 @@ mod tests {
         // A ~9k-LUT Arch4-scale design: synth+impl should dwarf project gen.
         let synth = synth_seconds(9_312);
         let mut bd = BlockDesign::new("d");
-        bd.add_cell(Cell { name: "a".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "a".into(),
+            kind: CellKind::AxiDma,
+        });
         let p = place(&bd, &Device::zynq7020());
         let im = impl_seconds(9_312, &p);
         assert!(synth + im > 4.0 * project_gen_seconds(&bd) / 2.0);

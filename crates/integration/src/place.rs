@@ -5,6 +5,7 @@
 
 use crate::blockdesign::BlockDesign;
 use crate::device::Device;
+use accelsoc_observe::{FlowEvent, FlowObserver, NullObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -36,6 +37,14 @@ const SEED: u64 = 0x5eed_0acc;
 /// Place the design. Cells with zero resources (the PS is hard silicon)
 /// are pinned at the die edge (column 0).
 pub fn place(bd: &BlockDesign, device: &Device) -> Placement {
+    place_observed(bd, device, &NullObserver)
+}
+
+/// [`place`], reporting annealing progress: one
+/// [`FlowEvent::PlacementProgress`] per temperature step (current
+/// temperature and best half-perimeter wirelength so far), plus a final
+/// [`FlowEvent::PlacementDone`].
+pub fn place_observed(bd: &BlockDesign, device: &Device, observer: &dyn FlowObserver) -> Placement {
     let mut rng = StdRng::seed_from_u64(SEED);
     let names: Vec<&str> = bd.cells.iter().map(|c| c.name.as_str()).collect();
     let movable: Vec<bool> = bd
@@ -84,6 +93,7 @@ pub fn place(bd: &BlockDesign, device: &Device) -> Placement {
     if n_movable > 0 && !nets.is_empty() {
         // Geometric cooling schedule.
         let mut temp = (device.cols + device.rows) as f64;
+        let mut step = 0u32;
         while temp > 0.5 {
             for _ in 0..(64 * n_movable) {
                 iterations += 1;
@@ -108,10 +118,21 @@ pub fn place(bd: &BlockDesign, device: &Device) -> Placement {
                     pos[i] = old;
                 }
             }
+            observer.on_event(&FlowEvent::PlacementProgress {
+                step,
+                temperature: temp,
+                hpwl: best_cost,
+            });
+            step += 1;
             temp *= 0.85;
         }
     }
 
+    observer.on_event(&FlowEvent::PlacementDone {
+        cells: names.len(),
+        hpwl: best_cost,
+        moves: iterations,
+    });
     Placement {
         positions: names
             .iter()
@@ -133,7 +154,10 @@ mod tests {
         for i in 0..n {
             bd.add_cell(Cell {
                 name: format!("c{i}"),
-                kind: CellKind::AxiInterconnect { masters: 1, slaves: 1 },
+                kind: CellKind::AxiInterconnect {
+                    masters: 1,
+                    slaves: 1,
+                },
             });
         }
         for i in 0..n - 1 {
@@ -182,7 +206,10 @@ mod tests {
         let mut bd = chain_design(3);
         bd.add_cell(Cell {
             name: "ps7".into(),
-            kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 1 },
+            kind: CellKind::ZynqPs {
+                gp_masters: 1,
+                hp_slaves: 1,
+            },
         });
         let d = Device::zynq7020();
         let p = place(&bd, &d);
@@ -190,9 +217,43 @@ mod tests {
     }
 
     #[test]
+    fn observed_placement_reports_cooling_progress() {
+        use accelsoc_observe::{CollectObserver, FlowEvent};
+        let bd = chain_design(5);
+        let d = Device::zynq7020();
+        let collect = CollectObserver::new();
+        let p = place_observed(&bd, &d, &collect);
+        let events = collect.events();
+        let mut last_temp = f64::INFINITY;
+        let mut steps = 0u64;
+        for e in &events {
+            if let FlowEvent::PlacementProgress { temperature, .. } = e {
+                assert!(
+                    *temperature < last_temp,
+                    "temperature must cool monotonically"
+                );
+                last_temp = *temperature;
+                steps += 1;
+            }
+        }
+        assert!(steps > 10, "one event per temperature step, got {steps}");
+        match events.last() {
+            Some(FlowEvent::PlacementDone { cells, hpwl, moves }) => {
+                assert_eq!(*cells, 5);
+                assert_eq!(*hpwl, p.wirelength);
+                assert_eq!(*moves, p.iterations);
+            }
+            other => panic!("expected trailing PlacementDone, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn netless_design_places_without_iterations() {
         let mut bd = BlockDesign::new("solo");
-        bd.add_cell(Cell { name: "a".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "a".into(),
+            kind: CellKind::AxiDma,
+        });
         let p = place(&bd, &Device::zynq7020());
         assert_eq!(p.wirelength, 0);
         assert_eq!(p.positions.len(), 1);

@@ -5,6 +5,7 @@
 use crate::blockdesign::BlockDesign;
 use crate::device::Device;
 use crate::place::Placement;
+use accelsoc_observe::{FlowEvent, FlowObserver, NullObserver};
 use serde::{Deserialize, Serialize};
 
 /// Routing result.
@@ -25,6 +26,16 @@ const CHANNEL_CAPACITY: f64 = 28.0;
 
 /// Route the placed design.
 pub fn route(bd: &BlockDesign, placement: &Placement, device: &Device) -> RouteReport {
+    route_observed(bd, placement, device, &NullObserver)
+}
+
+/// [`route`], reporting the result as a [`FlowEvent::RouteDone`].
+pub fn route_observed(
+    bd: &BlockDesign,
+    placement: &Placement,
+    device: &Device,
+    observer: &dyn FlowObserver,
+) -> RouteReport {
     let mut nets = Vec::new();
     let mut total = 0u64;
     let mut max_len = 0u32;
@@ -33,9 +44,10 @@ pub fn route(bd: &BlockDesign, placement: &Placement, device: &Device) -> RouteR
     let mut row_demand = vec![0u32; device.rows as usize];
 
     for net in &bd.nets {
-        let (Some((ax, ay)), Some((bx, by))) =
-            (placement.position(&net.from.0), placement.position(&net.to.0))
-        else {
+        let (Some((ax, ay)), Some((bx, by))) = (
+            placement.position(&net.from.0),
+            placement.position(&net.to.0),
+        ) else {
             continue;
         };
         let len = ax.abs_diff(bx) + ay.abs_diff(by);
@@ -56,12 +68,19 @@ pub fn route(bd: &BlockDesign, placement: &Placement, device: &Device) -> RouteR
         .copied()
         .max()
         .unwrap_or(0) as f64;
-    RouteReport {
+    let report = RouteReport {
         nets,
         total_wirelength: total,
         max_net_length: max_len,
         congestion: peak / CHANNEL_CAPACITY,
-    }
+    };
+    observer.on_event(&FlowEvent::RouteDone {
+        nets: report.nets.len(),
+        total_wirelength: report.total_wirelength,
+        max_net_length: report.max_net_length,
+        congestion: report.congestion,
+    });
+    report
 }
 
 #[cfg(test)]
@@ -72,8 +91,14 @@ mod tests {
 
     fn two_cell_design() -> BlockDesign {
         let mut bd = BlockDesign::new("two");
-        bd.add_cell(Cell { name: "a".into(), kind: CellKind::AxiDma });
-        bd.add_cell(Cell { name: "b".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "a".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.add_cell(Cell {
+            name: "b".into(),
+            kind: CellKind::AxiDma,
+        });
         bd.connect(("a", "M"), ("b", "S"), NetKind::AxiStream);
         bd
     }
@@ -86,7 +111,10 @@ mod tests {
         let r = route(&bd, &p, &d);
         let (ax, ay) = p.position("a").unwrap();
         let (bx, by) = p.position("b").unwrap();
-        assert_eq!(r.total_wirelength, (ax.abs_diff(bx) + ay.abs_diff(by)) as u64);
+        assert_eq!(
+            r.total_wirelength,
+            (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+        );
         assert_eq!(r.nets.len(), 1);
         assert_eq!(r.max_net_length as u64, r.total_wirelength);
     }
@@ -96,7 +124,11 @@ mod tests {
         // Many nets between the same two cells share channels.
         let mut bd = two_cell_design();
         for i in 0..40 {
-            bd.connect(("a", &format!("M{i}")), ("b", &format!("S{i}")), NetKind::AxiStream);
+            bd.connect(
+                ("a", &format!("M{i}")),
+                ("b", &format!("S{i}")),
+                NetKind::AxiStream,
+            );
         }
         let d = Device::zynq7020();
         let p = place(&bd, &d);

@@ -5,6 +5,7 @@
 use crate::blockdesign::BlockDesign;
 use crate::device::Device;
 use accelsoc_hls::resource::ResourceEstimate;
+use accelsoc_observe::{FlowEvent, FlowObserver, NullObserver};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -23,7 +24,11 @@ pub enum SynthError {
 impl fmt::Display for SynthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SynthError::Overutilization { used, capacity, worst_fraction } => write!(
+            SynthError::Overutilization {
+                used,
+                capacity,
+                worst_fraction,
+            } => write!(
                 f,
                 "design over capacity ({:.1}%): uses {used}, device has {capacity}",
                 worst_fraction * 100.0
@@ -56,8 +61,16 @@ impl SynthReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "== Utilization report: {} on {} ==", self.design, self.part);
-        let _ = writeln!(s, "{:<24} {:>8} {:>8} {:>8} {:>6}", "Cell", "LUT", "FF", "RAMB18", "DSP");
+        let _ = writeln!(
+            s,
+            "== Utilization report: {} on {} ==",
+            self.design, self.part
+        );
+        let _ = writeln!(
+            s,
+            "{:<24} {:>8} {:>8} {:>8} {:>6}",
+            "Cell", "LUT", "FF", "RAMB18", "DSP"
+        );
         for (name, r) in &self.per_cell {
             let _ = writeln!(
                 s,
@@ -82,6 +95,15 @@ const OPT_FF_RECOVERY: f64 = 0.06;
 
 /// Run synthesis.
 pub fn synthesize(bd: &BlockDesign, device: &Device) -> Result<SynthReport, SynthError> {
+    synthesize_observed(bd, device, &NullObserver)
+}
+
+/// [`synthesize`], reporting success as a [`FlowEvent::SynthesisDone`].
+pub fn synthesize_observed(
+    bd: &BlockDesign,
+    device: &Device,
+    observer: &dyn FlowObserver,
+) -> Result<SynthReport, SynthError> {
     if bd.cells.is_empty() {
         return Err(SynthError::EmptyDesign);
     }
@@ -113,14 +135,24 @@ pub fn synthesize(bd: &BlockDesign, device: &Device) -> Result<SynthReport, Synt
             worst_fraction: utilization,
         });
     }
-    Ok(SynthReport {
+    let report = SynthReport {
         design: bd.name.clone(),
         part: device.part.clone(),
         total,
         per_cell,
         utilization,
         clock_ns: if clock_ns == 0.0 { 7.0 } else { clock_ns },
-    })
+    };
+    observer.on_event(&FlowEvent::SynthesisDone {
+        design: report.design.clone(),
+        part: report.part.clone(),
+        lut: report.total.lut,
+        ff: report.total.ff,
+        bram18: report.total.bram18,
+        dsp: report.total.dsp,
+        utilization: report.utilization,
+    });
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -133,7 +165,10 @@ mod tests {
         // Fake a big core by stacking interconnects (deterministic sizes).
         bd.add_cell(Cell {
             name: "ps7".into(),
-            kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 0 },
+            kind: CellKind::ZynqPs {
+                gp_masters: 1,
+                hp_slaves: 0,
+            },
         });
         let mut remaining = lut as i64;
         let mut i = 0;
@@ -141,7 +176,10 @@ mod tests {
             // Each 16-port interconnect ≈ 300 + 150*16 = 2700 LUT raw.
             bd.add_cell(Cell {
                 name: format!("ic{i}"),
-                kind: CellKind::AxiInterconnect { masters: 8, slaves: 8 },
+                kind: CellKind::AxiInterconnect {
+                    masters: 8,
+                    slaves: 8,
+                },
             });
             remaining -= 2700;
             i += 1;
@@ -187,7 +225,10 @@ mod tests {
     #[test]
     fn empty_design_rejected() {
         let bd = BlockDesign::new("empty");
-        assert_eq!(synthesize(&bd, &Device::zynq7020()).unwrap_err(), SynthError::EmptyDesign);
+        assert_eq!(
+            synthesize(&bd, &Device::zynq7020()).unwrap_err(),
+            SynthError::EmptyDesign
+        );
     }
 
     #[test]
@@ -195,7 +236,10 @@ mod tests {
         let mut bd = BlockDesign::new("ps_only");
         bd.add_cell(Cell {
             name: "ps7".into(),
-            kind: CellKind::ZynqPs { gp_masters: 2, hp_slaves: 4 },
+            kind: CellKind::ZynqPs {
+                gp_masters: 2,
+                hp_slaves: 4,
+            },
         });
         let rpt = synthesize(&bd, &Device::zynq7020()).unwrap();
         assert_eq!(rpt.total, ResourceEstimate::ZERO);

@@ -62,10 +62,20 @@ impl TclBackend {
 pub fn generate(bd: &BlockDesign, backend: TclBackend, part: &str) -> String {
     let mut s = String::new();
     let w = &mut s;
-    let _ = writeln!(w, "# Auto-generated for Vivado {} — do not edit", backend.version_string());
+    let _ = writeln!(
+        w,
+        "# Auto-generated for Vivado {} — do not edit",
+        backend.version_string()
+    );
     let _ = writeln!(w, "create_project {} ./{} -part {}", bd.name, bd.name, part);
-    let _ = writeln!(w, "set_property board_part em.avnet.com:zed:part0:1.0 [current_project]");
-    let _ = writeln!(w, "set_property ip_repo_paths ./hls_cores [current_project]");
+    let _ = writeln!(
+        w,
+        "set_property board_part em.avnet.com:zed:part0:1.0 [current_project]"
+    );
+    let _ = writeln!(
+        w,
+        "set_property ip_repo_paths ./hls_cores [current_project]"
+    );
     let _ = writeln!(w, "update_ip_catalog");
     let _ = writeln!(w, "create_bd_design \"{}\"", bd.name);
 
@@ -168,15 +178,29 @@ mod tests {
         let mut bd = BlockDesign::new("sys");
         bd.add_cell(Cell {
             name: "ps7".into(),
-            kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 1 },
+            kind: CellKind::ZynqPs {
+                gp_masters: 1,
+                hp_slaves: 1,
+            },
         });
-        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "axi_dma_0".into(),
+            kind: CellKind::AxiDma,
+        });
         bd.add_cell(Cell {
             name: "axi_ic_ctrl".into(),
-            kind: CellKind::AxiInterconnect { masters: 1, slaves: 2 },
+            kind: CellKind::AxiInterconnect {
+                masters: 1,
+                slaves: 2,
+            },
         });
-        bd.connect(("ps7", "M_AXI_GP0"), ("axi_ic_ctrl", "S00_AXI"), NetKind::AxiLite);
-        bd.address_map.push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
+        bd.connect(
+            ("ps7", "M_AXI_GP0"),
+            ("axi_ic_ctrl", "S00_AXI"),
+            NetKind::AxiLite,
+        );
+        bd.address_map
+            .push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
         bd
     }
 
@@ -208,7 +232,10 @@ mod tests {
         // The diff is small: most lines shared (maintainability claim).
         let set_a: std::collections::HashSet<&str> = a.lines().collect();
         let differing = b.lines().filter(|l| !set_a.contains(l)).count();
-        assert!(differing <= 4, "only a handful of commands changed, got {differing}");
+        assert!(
+            differing <= 4,
+            "only a handful of commands changed, got {differing}"
+        );
     }
 
     #[test]

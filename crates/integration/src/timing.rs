@@ -3,6 +3,7 @@
 
 use crate::route::RouteReport;
 use crate::synth::SynthReport;
+use accelsoc_observe::{FlowEvent, FlowObserver, NullObserver};
 use serde::{Deserialize, Serialize};
 
 /// Timing closure result against the 100 MHz PL clock.
@@ -28,21 +29,38 @@ const NS_PER_GRID_UNIT: f64 = 0.035;
 
 /// Analyse timing after synthesis + routing.
 pub fn analyze(synth: &SynthReport, route: &RouteReport, target_ns: f64) -> TimingReport {
+    analyze_observed(synth, route, target_ns, &NullObserver)
+}
+
+/// [`analyze`], reporting the result as a [`FlowEvent::TimingDone`].
+pub fn analyze_observed(
+    synth: &SynthReport,
+    route: &RouteReport,
+    target_ns: f64,
+    observer: &dyn FlowObserver,
+) -> TimingReport {
     let congestion_penalty = if route.congestion > 1.0 {
         // Detoured nets: delay grows with overflow.
         1.0 + 0.5 * (route.congestion - 1.0)
     } else {
         1.0
     };
-    let interconnect_ns =
-        route.max_net_length as f64 * NS_PER_GRID_UNIT * congestion_penalty;
+    let interconnect_ns = route.max_net_length as f64 * NS_PER_GRID_UNIT * congestion_penalty;
     let achieved = synth.clock_ns + interconnect_ns;
-    TimingReport {
+    let report = TimingReport {
         target_ns,
         achieved_ns: achieved,
         slack_ns: target_ns - achieved,
         fmax_mhz: 1000.0 / achieved,
-    }
+    };
+    observer.on_event(&FlowEvent::TimingDone {
+        target_ns: report.target_ns,
+        achieved_ns: report.achieved_ns,
+        slack_ns: report.slack_ns,
+        fmax_mhz: report.fmax_mhz,
+        met: report.met(),
+    });
+    report
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@ fn arb_design() -> impl Strategy<Value = BlockDesign> {
             let mut bd = BlockDesign::new("prop");
             bd.add_cell(Cell {
                 name: "ps7".into(),
-                kind: CellKind::ZynqPs { gp_masters: 1, hp_slaves: 1 },
+                kind: CellKind::ZynqPs {
+                    gp_masters: 1,
+                    hp_slaves: 1,
+                },
             });
             for i in 0..n_cells {
                 let kind = if i % 3 == 0 {
@@ -31,7 +34,10 @@ fn arb_design() -> impl Strategy<Value = BlockDesign> {
                         slaves: (i % 3) as u32 + 1,
                     }
                 };
-                bd.add_cell(Cell { name: format!("c{i}"), kind });
+                bd.add_cell(Cell {
+                    name: format!("c{i}"),
+                    kind,
+                });
             }
             for (a, b) in raw_nets {
                 let a = (a as usize) % n_cells;

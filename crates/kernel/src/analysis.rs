@@ -31,7 +31,11 @@ impl OpCensus {
 
     /// Number of *distinct static operators* (what binding shares).
     pub fn static_operator_count(&self) -> u64 {
-        self.adders + self.multipliers + self.dividers + self.comparators + self.bit_ops
+        self.adders
+            + self.multipliers
+            + self.dividers
+            + self.comparators
+            + self.bit_ops
             + self.muxes
     }
 }
@@ -65,7 +69,10 @@ pub struct KernelAnalysis {
 
 /// Analyse a kernel.
 pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
-    let mut a = KernelAnalysis { array_bits: kernel.local_array_bits(), ..Default::default() };
+    let mut a = KernelAnalysis {
+        array_bits: kernel.local_array_bits(),
+        ..Default::default()
+    };
     let mut stream_counts: Vec<(String, u64)> = Vec::new();
     walk_block(&kernel.body, 1, 0, &mut a, &mut stream_counts);
     // Merge duplicate port entries.
@@ -99,12 +106,22 @@ fn walk_block(
                 }
                 a.census.weighted_ops += weight;
             }
-            Stmt::For { var, start, end, body, pipeline } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+                pipeline,
+            } => {
                 walk_expr(start, weight, a, streams);
                 walk_expr(end, weight, a, streams);
-                let trip = const_of(start)
-                    .zip(const_of(end))
-                    .map(|(lo, hi)| if hi > lo { (hi - lo) as u64 } else { 0 });
+                let trip = const_of(start).zip(const_of(end)).map(|(lo, hi)| {
+                    if hi > lo {
+                        (hi - lo) as u64
+                    } else {
+                        0
+                    }
+                });
                 let inner = trip.unwrap_or(OpCensus::DEFAULT_TRIP);
                 a.loops.push(LoopInfo {
                     var: var.clone(),
@@ -114,9 +131,19 @@ fn walk_block(
                     body_stmts: body.len(),
                 });
                 a.max_loop_depth = a.max_loop_depth.max(depth + 1);
-                walk_block(body, weight.saturating_mul(inner.max(1)), depth + 1, a, streams);
+                walk_block(
+                    body,
+                    weight.saturating_mul(inner.max(1)),
+                    depth + 1,
+                    a,
+                    streams,
+                );
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 walk_expr(cond, weight, a, streams);
                 a.census.muxes += 1;
                 walk_block(then_body, weight, depth, a, streams);
@@ -221,7 +248,12 @@ mod tests {
             .scalar_out("r", Ty::U32)
             .local("acc", Ty::U32)
             .body(vec![
-                for_("i", c(0), var("n"), vec![assign("acc", add(var("acc"), c(1)))]),
+                for_(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![assign("acc", add(var("acc"), c(1)))],
+                ),
                 assign("r", var("acc")),
             ])
             .build();
@@ -236,12 +268,17 @@ mod tests {
             .scalar_out("r", Ty::U32)
             .local("acc", Ty::U32)
             .body(vec![
-                for_("i", c(0), c(4), vec![for_pipelined(
-                    "j",
+                for_(
+                    "i",
                     c(0),
-                    c(8),
-                    vec![assign("acc", add(var("acc"), c(1)))],
-                )]),
+                    c(4),
+                    vec![for_pipelined(
+                        "j",
+                        c(0),
+                        c(8),
+                        vec![assign("acc", add(var("acc"), c(1)))],
+                    )],
+                ),
                 assign("r", var("acc")),
             ])
             .build();

@@ -55,33 +55,62 @@ binops! {
 // --- statement helpers ---------------------------------------------------
 
 pub fn assign(dst: &str, value: Expr) -> Stmt {
-    Stmt::Assign { dst: LValue::Var(dst.to_string()), value }
+    Stmt::Assign {
+        dst: LValue::Var(dst.to_string()),
+        value,
+    }
 }
 
 pub fn store(array: &str, index: Expr, value: Expr) -> Stmt {
-    Stmt::Assign { dst: LValue::Index(array.to_string(), Box::new(index)), value }
+    Stmt::Assign {
+        dst: LValue::Index(array.to_string(), Box::new(index)),
+        value,
+    }
 }
 
 pub fn write(port: &str, value: Expr) -> Stmt {
-    Stmt::StreamWrite { port: port.to_string(), value }
+    Stmt::StreamWrite {
+        port: port.to_string(),
+        value,
+    }
 }
 
 /// A sequential `for` loop.
 pub fn for_(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::For { var: var.to_string(), start, end, body, pipeline: false }
+    Stmt::For {
+        var: var.to_string(),
+        start,
+        end,
+        body,
+        pipeline: false,
+    }
 }
 
 /// A pipelined `for` loop (`#pragma HLS pipeline` analogue).
 pub fn for_pipelined(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::For { var: var.to_string(), start, end, body, pipeline: true }
+    Stmt::For {
+        var: var.to_string(),
+        start,
+        end,
+        body,
+        pipeline: true,
+    }
 }
 
 pub fn if_(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then_body, else_body: Vec::new() }
+    Stmt::If {
+        cond,
+        then_body,
+        else_body: Vec::new(),
+    }
 }
 
 pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then_body, else_body }
+    Stmt::If {
+        cond,
+        then_body,
+        else_body,
+    }
 }
 
 // --- kernel builder -------------------------------------------------------
@@ -105,32 +134,56 @@ impl KernelBuilder {
     }
 
     pub fn scalar_in(mut self, name: &str, ty: Ty) -> Self {
-        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::ScalarIn, ty });
+        self.kernel.params.push(Param {
+            name: name.into(),
+            kind: ParamKind::ScalarIn,
+            ty,
+        });
         self
     }
 
     pub fn scalar_out(mut self, name: &str, ty: Ty) -> Self {
-        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::ScalarOut, ty });
+        self.kernel.params.push(Param {
+            name: name.into(),
+            kind: ParamKind::ScalarOut,
+            ty,
+        });
         self
     }
 
     pub fn stream_in(mut self, name: &str, ty: Ty) -> Self {
-        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::StreamIn, ty });
+        self.kernel.params.push(Param {
+            name: name.into(),
+            kind: ParamKind::StreamIn,
+            ty,
+        });
         self
     }
 
     pub fn stream_out(mut self, name: &str, ty: Ty) -> Self {
-        self.kernel.params.push(Param { name: name.into(), kind: ParamKind::StreamOut, ty });
+        self.kernel.params.push(Param {
+            name: name.into(),
+            kind: ParamKind::StreamOut,
+            ty,
+        });
         self
     }
 
     pub fn local(mut self, name: &str, ty: Ty) -> Self {
-        self.kernel.locals.push(Local { name: name.into(), ty, len: None });
+        self.kernel.locals.push(Local {
+            name: name.into(),
+            ty,
+            len: None,
+        });
         self
     }
 
     pub fn array(mut self, name: &str, ty: Ty, len: u32) -> Self {
-        self.kernel.locals.push(Local { name: name.into(), ty, len: Some(len) });
+        self.kernel.locals.push(Local {
+            name: name.into(),
+            ty,
+            len: Some(len),
+        });
         self
     }
 
@@ -199,7 +252,11 @@ mod tests {
 
     #[test]
     fn expression_helpers_compose() {
-        let e = select(lt(var("x"), c(10)), add(var("x"), c(1)), sub(var("x"), c(1)));
+        let e = select(
+            lt(var("x"), c(10)),
+            add(var("x"), c(1)),
+            sub(var("x"), c(1)),
+        );
         match e {
             Expr::Select(c0, a, b) => {
                 assert!(matches!(*c0, Expr::Binary(BinOp::Lt, _, _)));

@@ -24,7 +24,10 @@ impl StreamBundle {
 
     /// Preload an input stream with tokens.
     pub fn feed<I: IntoIterator<Item = i64>>(&mut self, port: &str, tokens: I) {
-        self.inputs.entry(port.to_string()).or_default().extend(tokens);
+        self.inputs
+            .entry(port.to_string())
+            .or_default()
+            .extend(tokens);
     }
 
     pub fn output(&self, port: &str) -> &[i64] {
@@ -80,7 +83,10 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::MissingScalarInput(p) => write!(f, "missing scalar input `{p}`"),
             ExecError::StreamUnderflow(p) => {
-                write!(f, "stream `{p}` underflow: kernel read past available tokens")
+                write!(
+                    f,
+                    "stream `{p}` underflow: kernel read past available tokens"
+                )
             }
             ExecError::DivideByZero => write!(f, "division by zero"),
             ExecError::OutOfBounds { array, index, len } => {
@@ -114,7 +120,10 @@ pub struct Interpreter<'k> {
 
 impl<'k> Interpreter<'k> {
     pub fn new(kernel: &'k Kernel) -> Self {
-        Interpreter { kernel, step_limit: 500_000_000 }
+        Interpreter {
+            kernel,
+            step_limit: 500_000_000,
+        }
     }
 
     pub fn with_step_limit(kernel: &'k Kernel, step_limit: u64) -> Self {
@@ -149,17 +158,29 @@ impl<'k> Interpreter<'k> {
             streams.outputs.entry(p.name.clone()).or_default();
         }
 
-        let mut st = State { env, streams, stats: ExecStats::default(), limit: self.step_limit };
+        let mut st = State {
+            env,
+            streams,
+            stats: ExecStats::default(),
+            limit: self.step_limit,
+        };
         exec_block(&mut st, &self.kernel.body)?;
 
         let mut scalar_outputs = HashMap::new();
-        for p in self.kernel.params.iter().filter(|p| p.kind == crate::ir::ParamKind::ScalarOut)
+        for p in self
+            .kernel
+            .params
+            .iter()
+            .filter(|p| p.kind == crate::ir::ParamKind::ScalarOut)
         {
             if let Some(Slot::Scalar(_, v)) = st.env.get(&p.name) {
                 scalar_outputs.insert(p.name.clone(), *v);
             }
         }
-        Ok(ExecOutcome { scalar_outputs, stats: st.stats })
+        Ok(ExecOutcome {
+            scalar_outputs,
+            stats: st.stats,
+        })
     }
 }
 
@@ -218,7 +239,13 @@ fn exec_stmt(st: &mut State, stmt: &Stmt) -> Result<(), ExecError> {
             }
             Ok(())
         }
-        Stmt::For { var, start, end, body, .. } => {
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+            ..
+        } => {
             let lo = eval(st, start)?;
             let hi = eval(st, end)?;
             st.env.insert(var.clone(), Slot::Scalar(Ty::signed(63), lo));
@@ -234,7 +261,11 @@ fn exec_stmt(st: &mut State, stmt: &Stmt) -> Result<(), ExecError> {
             st.env.remove(var);
             Ok(())
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let cv = eval(st, cond)?;
             st.stats.branches += 1;
             if cv != 0 {
@@ -388,10 +419,12 @@ mod tests {
     use crate::types::Ty;
 
     fn run_scalars(k: &Kernel, ins: &[(&str, i64)]) -> HashMap<String, i64> {
-        let inputs: HashMap<String, i64> =
-            ins.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        let inputs: HashMap<String, i64> = ins.iter().map(|(n, v)| (n.to_string(), *v)).collect();
         let mut streams = StreamBundle::new();
-        Interpreter::new(k).run(&inputs, &mut streams).unwrap().scalar_outputs
+        Interpreter::new(k)
+            .run(&inputs, &mut streams)
+            .unwrap()
+            .scalar_outputs
     }
 
     #[test]
@@ -423,7 +456,12 @@ mod tests {
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            ))
             .build();
         let mut streams = StreamBundle::new();
         streams.feed("in", [1, 2, 3, 4]);
@@ -458,10 +496,15 @@ mod tests {
             .array("bins", Ty::U32, 8)
             .local("v", Ty::U8)
             .body(vec![
-                for_("i", c(0), var("n"), vec![
-                    assign("v", read("px")),
-                    store("bins", var("v"), add(idx("bins", var("v")), c(1))),
-                ]),
+                for_(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![
+                        assign("v", read("px")),
+                        store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                    ],
+                ),
                 for_("i", c(0), c(8), vec![write("hist", idx("bins", var("i")))]),
             ])
             .build();
@@ -499,7 +542,14 @@ mod tests {
         let inputs = HashMap::from([("i".to_string(), 9i64)]);
         let mut s = StreamBundle::new();
         let err = Interpreter::new(&k).run(&inputs, &mut s).unwrap_err();
-        assert_eq!(err, ExecError::OutOfBounds { array: "a".into(), index: 9, len: 4 });
+        assert_eq!(
+            err,
+            ExecError::OutOfBounds {
+                array: "a".into(),
+                index: 9,
+                len: 4
+            }
+        );
     }
 
     #[test]
@@ -507,7 +557,12 @@ mod tests {
         let k = KernelBuilder::new("long")
             .scalar_out("r", Ty::U32)
             .push(assign("r", c(0)))
-            .push(for_("i", c(0), c(1_000_000), vec![assign("r", add(var("r"), c(1)))]))
+            .push(for_(
+                "i",
+                c(0),
+                c(1_000_000),
+                vec![assign("r", add(var("r"), c(1)))],
+            ))
             .build();
         let mut s = StreamBundle::new();
         let err = Interpreter::with_step_limit(&k, 1000)
@@ -522,7 +577,10 @@ mod tests {
             .scalar_in("a", Ty::I32)
             .scalar_in("b", Ty::I32)
             .scalar_out("m", Ty::I32)
-            .push(assign("m", select(gt(var("a"), var("b")), var("a"), var("b"))))
+            .push(assign(
+                "m",
+                select(gt(var("a"), var("b")), var("a"), var("b")),
+            ))
             .build();
         assert_eq!(run_scalars(&k, &[("a", -5), ("b", 3)])["m"], 3);
         assert_eq!(run_scalars(&k, &[("a", 7), ("b", 3)])["m"], 7);
@@ -537,7 +595,9 @@ mod tests {
             .build();
         let mut s = StreamBundle::new();
         assert_eq!(
-            Interpreter::new(&k).run(&HashMap::new(), &mut s).unwrap_err(),
+            Interpreter::new(&k)
+                .run(&HashMap::new(), &mut s)
+                .unwrap_err(),
             ExecError::MissingScalarInput("a".into())
         );
     }

@@ -71,7 +71,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators (1-bit result).
     pub fn is_compare(&self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 
@@ -137,14 +140,30 @@ pub enum LValue {
 /// Statements.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Stmt {
-    Assign { dst: LValue, value: Expr },
+    Assign {
+        dst: LValue,
+        value: Expr,
+    },
     /// `for var in start..end { body }`; `pipeline` requests loop
     /// pipelining from the HLS scheduler (the `#pragma HLS pipeline`
     /// analogue). Bounds are evaluated once on entry.
-    For { var: String, start: Expr, end: Expr, body: Vec<Stmt>, pipeline: bool },
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    For {
+        var: String,
+        start: Expr,
+        end: Expr,
+        body: Vec<Stmt>,
+        pipeline: bool,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// Write one token to an output stream port.
-    StreamWrite { port: String, value: Expr },
+    StreamWrite {
+        port: String,
+        value: Expr,
+    },
 }
 
 /// A complete kernel: the unit handed to HLS (one per DSL node).
@@ -170,7 +189,9 @@ impl Kernel {
     }
 
     pub fn stream_outputs(&self) -> impl Iterator<Item = &Param> {
-        self.params.iter().filter(|p| p.kind == ParamKind::StreamOut)
+        self.params
+            .iter()
+            .filter(|p| p.kind == ParamKind::StreamOut)
     }
 
     pub fn scalar_params(&self) -> impl Iterator<Item = &Param> {
@@ -194,15 +215,43 @@ mod tests {
         Kernel {
             name: "add".into(),
             params: vec![
-                Param { name: "a".into(), kind: ParamKind::ScalarIn, ty: Ty::U32 },
-                Param { name: "b".into(), kind: ParamKind::ScalarIn, ty: Ty::U32 },
-                Param { name: "ret".into(), kind: ParamKind::ScalarOut, ty: Ty::U32 },
-                Param { name: "sin".into(), kind: ParamKind::StreamIn, ty: Ty::U8 },
-                Param { name: "sout".into(), kind: ParamKind::StreamOut, ty: Ty::U8 },
+                Param {
+                    name: "a".into(),
+                    kind: ParamKind::ScalarIn,
+                    ty: Ty::U32,
+                },
+                Param {
+                    name: "b".into(),
+                    kind: ParamKind::ScalarIn,
+                    ty: Ty::U32,
+                },
+                Param {
+                    name: "ret".into(),
+                    kind: ParamKind::ScalarOut,
+                    ty: Ty::U32,
+                },
+                Param {
+                    name: "sin".into(),
+                    kind: ParamKind::StreamIn,
+                    ty: Ty::U8,
+                },
+                Param {
+                    name: "sout".into(),
+                    kind: ParamKind::StreamOut,
+                    ty: Ty::U8,
+                },
             ],
             locals: vec![
-                Local { name: "hist".into(), ty: Ty::U32, len: Some(256) },
-                Local { name: "acc".into(), ty: Ty::U32, len: None },
+                Local {
+                    name: "hist".into(),
+                    ty: Ty::U32,
+                    len: Some(256),
+                },
+                Local {
+                    name: "acc".into(),
+                    ty: Ty::U32,
+                    len: None,
+                },
             ],
             body: vec![],
         }

@@ -17,7 +17,10 @@ pub struct Ty {
 impl Ty {
     pub const fn unsigned(bits: u8) -> Self {
         assert!(bits >= 1 && bits <= 63);
-        Ty { bits, signed: false }
+        Ty {
+            bits,
+            signed: false,
+        }
     }
 
     pub const fn signed(bits: u8) -> Self {
@@ -38,7 +41,11 @@ impl Ty {
     /// Wrap `v` to this type (truncate to `bits`, then sign- or
     /// zero-extend), matching hardware register semantics.
     pub fn wrap(&self, v: i64) -> i64 {
-        let mask: u64 = if self.bits >= 64 { u64::MAX } else { (1u64 << self.bits) - 1 };
+        let mask: u64 = if self.bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
         let t = (v as u64) & mask;
         if self.signed {
             let sign_bit = 1u64 << (self.bits - 1);

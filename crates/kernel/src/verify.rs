@@ -69,10 +69,18 @@ pub fn verify(kernel: &Kernel) -> Result<(), VerifyError> {
         }
     }
 
-    let mut ctx = Ctx { kernel, loop_vars: Vec::new(), written_outputs: HashSet::new() };
+    let mut ctx = Ctx {
+        kernel,
+        loop_vars: Vec::new(),
+        written_outputs: HashSet::new(),
+    };
     check_block(&mut ctx, &kernel.body)?;
 
-    for p in kernel.params.iter().filter(|p| p.kind == ParamKind::ScalarOut) {
+    for p in kernel
+        .params
+        .iter()
+        .filter(|p| p.kind == ParamKind::ScalarOut)
+    {
         if !ctx.written_outputs.contains(&p.name) {
             return Err(VerifyError::OutputNeverWritten(p.name.clone()));
         }
@@ -93,7 +101,13 @@ fn check_stmt(ctx: &mut Ctx, stmt: &Stmt) -> Result<(), VerifyError> {
             check_expr(ctx, value)?;
             check_lvalue(ctx, dst)
         }
-        Stmt::For { var, start, end, body, .. } => {
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+            ..
+        } => {
             check_expr(ctx, start)?;
             check_expr(ctx, end)?;
             if ctx.kernel.param(var).is_some() || ctx.kernel.local(var).is_some() {
@@ -104,7 +118,11 @@ fn check_stmt(ctx: &mut Ctx, stmt: &Stmt) -> Result<(), VerifyError> {
             ctx.loop_vars.pop();
             r
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             check_expr(ctx, cond)?;
             check_block(ctx, then_body)?;
             check_block(ctx, else_body)

@@ -1,0 +1,340 @@
+//! The event vocabulary of the flow: phases, spans, and per-stage
+//! progress reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Flow phases, in order (the bars of Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowPhase {
+    DslCompile,
+    Hls,
+    ProjectGen,
+    Synthesis,
+    Implementation,
+    SwGen,
+}
+
+impl FlowPhase {
+    /// All phases, in flow order.
+    pub const ALL: [FlowPhase; 6] = [
+        FlowPhase::DslCompile,
+        FlowPhase::Hls,
+        FlowPhase::ProjectGen,
+        FlowPhase::Synthesis,
+        FlowPhase::Implementation,
+        FlowPhase::SwGen,
+    ];
+
+    /// The paper's Fig. 9 bar label for this phase.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FlowPhase::DslCompile => "SCALA",
+            FlowPhase::Hls => "HLS",
+            FlowPhase::ProjectGen => "PROJECT_GEN",
+            FlowPhase::Synthesis => "SYNTHESIS",
+            FlowPhase::Implementation => "IMPLEMENTATION",
+            FlowPhase::SwGen => "SW_GEN",
+        }
+    }
+}
+
+impl fmt::Display for FlowPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a phase span (or the whole flow) ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanOutcome {
+    /// The phase ran to completion.
+    Success,
+    /// The span guard was dropped without an explicit finish — an error
+    /// unwound past it (the guard still closes the span so traces stay
+    /// well-nested).
+    Aborted,
+    /// The phase failed with the given error rendering.
+    Failed(String),
+}
+
+impl SpanOutcome {
+    pub fn is_success(&self) -> bool {
+        matches!(self, SpanOutcome::Success)
+    }
+}
+
+impl fmt::Display for SpanOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanOutcome::Success => f.write_str("ok"),
+            SpanOutcome::Aborted => f.write_str("aborted"),
+            SpanOutcome::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// One observation from the running flow.
+///
+/// Serialized externally tagged (`{"PhaseStarted": {...}}`), one event
+/// per line, in the JSON-lines trace format written by
+/// [`crate::JsonTraceObserver`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowEvent {
+    /// A flow run began: the design name and its node count.
+    FlowStarted { design: String, nodes: usize },
+    /// The flow run ended (after the last `PhaseEnded`).
+    FlowFinished {
+        outcome: SpanOutcome,
+        modeled_total_s: f64,
+    },
+    /// A phase span opened. Always balanced by a `PhaseEnded` with the
+    /// same phase, even on error paths (see [`crate::PhaseSpan`]).
+    PhaseStarted { phase: FlowPhase },
+    /// A phase span closed. `modeled_s` is the modeled vendor-tool
+    /// seconds (paper scale); `wall_us` the measured wall time of our
+    /// simulated tool.
+    PhaseEnded {
+        phase: FlowPhase,
+        outcome: SpanOutcome,
+        modeled_s: f64,
+        wall_us: u64,
+    },
+    /// The HLS core cache was consulted for a kernel.
+    HlsCacheQuery { kernel: String, hit: bool },
+    /// One kernel finished HLS: scheduling and resource statistics from
+    /// its synthesis report.
+    HlsKernelSynthesized {
+        kernel: String,
+        latency: u64,
+        pipelined_loops: usize,
+        lut: u32,
+        ff: u32,
+        bram18: u32,
+        dsp: u32,
+        clock_estimate_ns: f64,
+        modeled_tool_seconds: f64,
+    },
+    /// System-level synthesis finished (resource aggregation + capacity
+    /// check against the device).
+    SynthesisDone {
+        design: String,
+        part: String,
+        lut: u32,
+        ff: u32,
+        bram18: u32,
+        dsp: u32,
+        utilization: f64,
+    },
+    /// One temperature step of the simulated-annealing placer: current
+    /// temperature and half-perimeter wirelength cost.
+    PlacementProgress {
+        step: u32,
+        temperature: f64,
+        hpwl: u64,
+    },
+    /// Placement converged.
+    PlacementDone { cells: usize, hpwl: u64, moves: u64 },
+    /// Routing finished.
+    RouteDone {
+        nets: usize,
+        total_wirelength: u64,
+        max_net_length: u32,
+        congestion: f64,
+    },
+    /// Static timing analysis finished.
+    TimingDone {
+        target_ns: f64,
+        achieved_ns: f64,
+        slack_ns: f64,
+        fmax_mhz: f64,
+        met: bool,
+    },
+    /// The platform simulator completed one streaming phase: simulated
+    /// time plus DMA and bus contention counters.
+    SimPhaseDone {
+        label: String,
+        ns: f64,
+        fill_cycles: u64,
+        steady_cycles: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        dma_bursts: u64,
+        bus_stall_cycles: u64,
+    },
+}
+
+impl fmt::Display for FlowEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowEvent::FlowStarted { design, nodes } => {
+                write!(f, "flow '{design}' started ({nodes} nodes)")
+            }
+            FlowEvent::FlowFinished {
+                outcome,
+                modeled_total_s,
+            } => {
+                write!(
+                    f,
+                    "flow finished: {outcome} (modeled {modeled_total_s:.1} s)"
+                )
+            }
+            FlowEvent::PhaseStarted { phase } => write!(f, "[{phase}] started"),
+            FlowEvent::PhaseEnded {
+                phase,
+                outcome,
+                modeled_s,
+                wall_us,
+            } => {
+                write!(
+                    f,
+                    "[{phase}] ended: {outcome} (modeled {modeled_s:.1} s, {wall_us} us)"
+                )
+            }
+            FlowEvent::HlsCacheQuery { kernel, hit } => {
+                let verdict = if *hit { "hit" } else { "miss" };
+                write!(f, "[HLS] core cache {verdict} for '{kernel}'")
+            }
+            FlowEvent::HlsKernelSynthesized {
+                kernel,
+                latency,
+                lut,
+                dsp,
+                clock_estimate_ns,
+                ..
+            } => {
+                write!(
+                    f,
+                    "[HLS] '{kernel}': latency {latency}, {lut} LUT, {dsp} DSP, \
+                     clock {clock_estimate_ns:.2} ns"
+                )
+            }
+            FlowEvent::SynthesisDone {
+                design,
+                lut,
+                utilization,
+                ..
+            } => {
+                write!(
+                    f,
+                    "[SYNTHESIS] '{design}': {lut} LUT, {:.1}% utilized",
+                    utilization * 100.0
+                )
+            }
+            FlowEvent::PlacementProgress {
+                step,
+                temperature,
+                hpwl,
+            } => {
+                write!(
+                    f,
+                    "[IMPLEMENTATION] SA step {step}: T={temperature:.2}, HPWL={hpwl}"
+                )
+            }
+            FlowEvent::PlacementDone { cells, hpwl, moves } => {
+                write!(
+                    f,
+                    "[IMPLEMENTATION] placed {cells} cells, HPWL={hpwl} ({moves} moves)"
+                )
+            }
+            FlowEvent::RouteDone {
+                nets,
+                total_wirelength,
+                congestion,
+                ..
+            } => {
+                write!(
+                    f,
+                    "[IMPLEMENTATION] routed {nets} nets, wirelength {total_wirelength}, \
+                     congestion {congestion:.2}"
+                )
+            }
+            FlowEvent::TimingDone {
+                achieved_ns,
+                fmax_mhz,
+                met,
+                ..
+            } => {
+                let verdict = if *met { "met" } else { "VIOLATED" };
+                write!(
+                    f,
+                    "[IMPLEMENTATION] timing {verdict}: {achieved_ns:.2} ns ({fmax_mhz:.1} MHz)"
+                )
+            }
+            FlowEvent::SimPhaseDone {
+                label,
+                ns,
+                bytes_in,
+                bytes_out,
+                bus_stall_cycles,
+                ..
+            } => {
+                write!(
+                    f,
+                    "[SIM] phase '{label}': {ns:.0} ns, {bytes_in} B in / {bytes_out} B out, \
+                     {bus_stall_cycles} stall cycles"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_match_fig9() {
+        let labels: Vec<&str> = FlowPhase::ALL.iter().map(|p| p.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "SCALA",
+                "HLS",
+                "PROJECT_GEN",
+                "SYNTHESIS",
+                "IMPLEMENTATION",
+                "SW_GEN"
+            ]
+        );
+    }
+
+    #[test]
+    fn events_serialize_externally_tagged() {
+        let e = FlowEvent::PhaseStarted {
+            phase: FlowPhase::Hls,
+        };
+        let v = serde_json::to_value(&e);
+        assert_eq!(v["PhaseStarted"]["phase"].as_str(), Some("Hls"));
+
+        let e = FlowEvent::HlsCacheQuery {
+            kernel: "mul".into(),
+            hit: true,
+        };
+        let v = serde_json::to_value(&e);
+        assert_eq!(v["HlsCacheQuery"]["hit"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn outcome_serializes_both_shapes() {
+        assert_eq!(
+            serde_json::to_value(&SpanOutcome::Success).as_str(),
+            Some("Success")
+        );
+        let v = serde_json::to_value(&SpanOutcome::Failed("boom".into()));
+        assert_eq!(v["Failed"].as_str(), Some("boom"));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = FlowEvent::PhaseEnded {
+            phase: FlowPhase::Synthesis,
+            outcome: SpanOutcome::Success,
+            modeled_s: 12.5,
+            wall_us: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("SYNTHESIS"), "{s}");
+        assert!(s.contains("12.5"), "{s}");
+    }
+}

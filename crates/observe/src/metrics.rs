@@ -1,0 +1,234 @@
+//! Aggregated flow metrics: the event stream folded into one summary,
+//! embedded in `FlowArtifacts` after every run.
+
+use crate::event::{FlowEvent, FlowPhase};
+use crate::observer::FlowObserver;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// One completed phase span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetric {
+    pub phase: FlowPhase,
+    /// Modeled vendor-tool seconds (paper scale).
+    pub modeled_s: f64,
+    /// Measured wall time of our simulated tool, in microseconds.
+    pub wall_us: u64,
+    pub ok: bool,
+}
+
+/// Everything the observer bus learned during one flow run, folded down
+/// to counters and totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowMetrics {
+    /// Completed phase spans, in completion order.
+    pub phases: Vec<PhaseMetric>,
+    pub hls_cache_hits: u64,
+    pub hls_cache_misses: u64,
+    pub kernels_synthesized: u64,
+    /// Simulated-annealing temperature steps the placer reported.
+    pub placement_steps: u64,
+    /// Final half-perimeter wirelength after placement.
+    pub placement_hpwl: u64,
+    pub route_wirelength: u64,
+    pub route_congestion: f64,
+    pub timing_fmax_mhz: f64,
+    pub timing_met: bool,
+    /// Streaming phases the platform simulator completed.
+    pub sim_phases: u64,
+    pub sim_bytes_in: u64,
+    pub sim_bytes_out: u64,
+    pub sim_dma_bursts: u64,
+    pub sim_bus_stall_cycles: u64,
+}
+
+impl FlowMetrics {
+    /// Sum of modeled seconds across all completed phase spans — by
+    /// construction equal to `FlowArtifacts::modeled_total_seconds()`.
+    pub fn modeled_total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.modeled_s).sum()
+    }
+
+    /// Modeled seconds spent in one phase (summed over repeated spans).
+    pub fn phase_modeled_seconds(&self, phase: FlowPhase) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.phase == phase)
+            .map(|p| p.modeled_s)
+            .sum()
+    }
+
+    /// Fold one event into the summary.
+    pub fn record(&mut self, event: &FlowEvent) {
+        match event {
+            FlowEvent::PhaseEnded {
+                phase,
+                outcome,
+                modeled_s,
+                wall_us,
+            } => {
+                self.phases.push(PhaseMetric {
+                    phase: *phase,
+                    modeled_s: *modeled_s,
+                    wall_us: *wall_us,
+                    ok: outcome.is_success(),
+                });
+            }
+            FlowEvent::HlsCacheQuery { hit, .. } => {
+                if *hit {
+                    self.hls_cache_hits += 1;
+                } else {
+                    self.hls_cache_misses += 1;
+                }
+            }
+            FlowEvent::HlsKernelSynthesized { .. } => self.kernels_synthesized += 1,
+            FlowEvent::PlacementProgress { .. } => self.placement_steps += 1,
+            FlowEvent::PlacementDone { hpwl, .. } => self.placement_hpwl = *hpwl,
+            FlowEvent::RouteDone {
+                total_wirelength,
+                congestion,
+                ..
+            } => {
+                self.route_wirelength = *total_wirelength;
+                self.route_congestion = *congestion;
+            }
+            FlowEvent::TimingDone { fmax_mhz, met, .. } => {
+                self.timing_fmax_mhz = *fmax_mhz;
+                self.timing_met = *met;
+            }
+            FlowEvent::SimPhaseDone {
+                bytes_in,
+                bytes_out,
+                dma_bursts,
+                bus_stall_cycles,
+                ..
+            } => {
+                self.sim_phases += 1;
+                self.sim_bytes_in += bytes_in;
+                self.sim_bytes_out += bytes_out;
+                self.sim_dma_bursts += dma_bursts;
+                self.sim_bus_stall_cycles += bus_stall_cycles;
+            }
+            FlowEvent::FlowStarted { .. }
+            | FlowEvent::FlowFinished { .. }
+            | FlowEvent::PhaseStarted { .. }
+            | FlowEvent::SynthesisDone { .. } => {}
+        }
+    }
+}
+
+/// Observer that folds the stream into a [`FlowMetrics`] as it arrives.
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    inner: Mutex<FlowMetrics>,
+}
+
+impl MetricsObserver {
+    pub fn new() -> Self {
+        MetricsObserver::default()
+    }
+
+    /// Snapshot of the aggregate so far.
+    pub fn snapshot(&self) -> FlowMetrics {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+impl FlowObserver for MetricsObserver {
+    fn on_event(&self, event: &FlowEvent) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanOutcome;
+
+    #[test]
+    fn phases_sum_to_modeled_total() {
+        let mut m = FlowMetrics::default();
+        for (phase, s) in [(FlowPhase::Hls, 221.8), (FlowPhase::Synthesis, 30.0)] {
+            m.record(&FlowEvent::PhaseEnded {
+                phase,
+                outcome: SpanOutcome::Success,
+                modeled_s: s,
+                wall_us: 1,
+            });
+        }
+        assert!((m.modeled_total_seconds() - 251.8).abs() < 1e-9);
+        assert_eq!(m.phase_modeled_seconds(FlowPhase::Hls), 221.8);
+        assert_eq!(m.phase_modeled_seconds(FlowPhase::SwGen), 0.0);
+    }
+
+    #[test]
+    fn cache_and_sim_counters_accumulate() {
+        let obs = MetricsObserver::new();
+        obs.on_event(&FlowEvent::HlsCacheQuery {
+            kernel: "a".into(),
+            hit: true,
+        });
+        obs.on_event(&FlowEvent::HlsCacheQuery {
+            kernel: "b".into(),
+            hit: false,
+        });
+        for _ in 0..2 {
+            obs.on_event(&FlowEvent::SimPhaseDone {
+                label: "phase".into(),
+                ns: 100.0,
+                fill_cycles: 3,
+                steady_cycles: 7,
+                bytes_in: 64,
+                bytes_out: 32,
+                dma_bursts: 4,
+                bus_stall_cycles: 5,
+            });
+        }
+        let m = obs.snapshot();
+        assert_eq!((m.hls_cache_hits, m.hls_cache_misses), (1, 1));
+        assert_eq!(m.sim_phases, 2);
+        assert_eq!(m.sim_bytes_in, 128);
+        assert_eq!(m.sim_dma_bursts, 8);
+        assert_eq!(m.sim_bus_stall_cycles, 10);
+    }
+
+    #[test]
+    fn implementation_results_overwrite_not_accumulate() {
+        let mut m = FlowMetrics::default();
+        m.record(&FlowEvent::PlacementDone {
+            cells: 4,
+            hpwl: 900,
+            moves: 100,
+        });
+        m.record(&FlowEvent::PlacementDone {
+            cells: 4,
+            hpwl: 700,
+            moves: 100,
+        });
+        m.record(&FlowEvent::TimingDone {
+            target_ns: 10.0,
+            achieved_ns: 8.0,
+            slack_ns: 2.0,
+            fmax_mhz: 125.0,
+            met: true,
+        });
+        assert_eq!(m.placement_hpwl, 700);
+        assert!(m.timing_met);
+        assert_eq!(m.timing_fmax_mhz, 125.0);
+    }
+
+    #[test]
+    fn metrics_serialize_for_artifact_embedding() {
+        let mut m = FlowMetrics::default();
+        m.record(&FlowEvent::HlsCacheQuery {
+            kernel: "k".into(),
+            hit: true,
+        });
+        let v = serde_json::to_value(&m);
+        assert_eq!(v["hls_cache_hits"].as_u64(), Some(1));
+        assert!(v["phases"].as_array().unwrap().is_empty());
+    }
+}

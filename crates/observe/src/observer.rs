@@ -1,0 +1,188 @@
+//! The observer trait (the event bus) and the RAII phase-span guard.
+
+use crate::event::{FlowEvent, FlowPhase, SpanOutcome};
+use crate::sinks::NullObserver;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Receives every [`FlowEvent`] the flow emits.
+///
+/// Observers must be `Send + Sync`: the HLS phase synthesizes kernels on
+/// crossbeam-scoped worker threads, all reporting into the same
+/// observer. Implementations therefore serialize internally (every sink
+/// in [`crate::sinks`] wraps its state in a mutex or is stateless).
+pub trait FlowObserver: Send + Sync {
+    fn on_event(&self, event: &FlowEvent);
+}
+
+/// A shareable observer handle, cloned into worker threads.
+pub type SharedObserver = Arc<dyn FlowObserver>;
+
+/// The do-nothing default observer.
+pub fn null_observer() -> SharedObserver {
+    Arc::new(NullObserver)
+}
+
+/// RAII guard for one flow phase.
+///
+/// Construction emits [`FlowEvent::PhaseStarted`]; exactly one matching
+/// [`FlowEvent::PhaseEnded`] is emitted no matter how the phase exits:
+///
+/// * [`PhaseSpan::finish`] — success, with the phase's modeled seconds;
+/// * [`PhaseSpan::fail`] — failure, with the error rendering;
+/// * dropping the guard (an `?` unwinding past it) — `Aborted`.
+///
+/// This is what keeps traces well-nested on error paths.
+pub struct PhaseSpan {
+    observer: SharedObserver,
+    phase: FlowPhase,
+    start: Instant,
+    finished: bool,
+}
+
+impl PhaseSpan {
+    /// Open a span: emits `PhaseStarted` immediately.
+    pub fn enter(observer: SharedObserver, phase: FlowPhase) -> Self {
+        observer.on_event(&FlowEvent::PhaseStarted { phase });
+        PhaseSpan {
+            observer,
+            phase,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    pub fn phase(&self) -> FlowPhase {
+        self.phase
+    }
+
+    /// Wall time since the span opened.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    fn emit_end(&mut self, outcome: SpanOutcome, modeled_s: f64) {
+        self.finished = true;
+        let wall_us = self.start.elapsed().as_micros() as u64;
+        self.observer.on_event(&FlowEvent::PhaseEnded {
+            phase: self.phase,
+            outcome,
+            modeled_s,
+            wall_us,
+        });
+    }
+
+    /// Close the span successfully, recording modeled vendor-tool seconds.
+    pub fn finish(mut self, modeled_s: f64) {
+        self.emit_end(SpanOutcome::Success, modeled_s);
+    }
+
+    /// Close the span as failed, recording the error rendering.
+    pub fn fail(mut self, error: impl Into<String>) {
+        self.emit_end(SpanOutcome::Failed(error.into()), 0.0);
+    }
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.emit_end(SpanOutcome::Aborted, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::CollectObserver;
+
+    fn spans_well_nested(events: &[FlowEvent]) -> bool {
+        let mut stack: Vec<FlowPhase> = Vec::new();
+        for e in events {
+            match e {
+                FlowEvent::PhaseStarted { phase } => stack.push(*phase),
+                FlowEvent::PhaseEnded { phase, .. } => {
+                    if stack.pop() != Some(*phase) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.is_empty()
+    }
+
+    #[test]
+    fn finish_emits_matching_end() {
+        let collect = Arc::new(CollectObserver::default());
+        let obs: SharedObserver = collect.clone();
+        PhaseSpan::enter(obs, FlowPhase::Hls).finish(3.5);
+        let events = collect.events();
+        assert!(spans_well_nested(&events));
+        match &events[1] {
+            FlowEvent::PhaseEnded {
+                phase,
+                outcome,
+                modeled_s,
+                ..
+            } => {
+                assert_eq!(*phase, FlowPhase::Hls);
+                assert!(outcome.is_success());
+                assert_eq!(*modeled_s, 3.5);
+            }
+            other => panic!("expected PhaseEnded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_closes_span_as_aborted() {
+        let collect = Arc::new(CollectObserver::default());
+        let obs: SharedObserver = collect.clone();
+        fn early_exit(obs: SharedObserver) -> Result<(), &'static str> {
+            let _span = PhaseSpan::enter(obs, FlowPhase::Synthesis);
+            Err("synth exploded")? // span dropped here
+        }
+        let _ = early_exit(obs);
+        let events = collect.events();
+        assert!(spans_well_nested(&events));
+        assert!(matches!(
+            events[1],
+            FlowEvent::PhaseEnded {
+                outcome: SpanOutcome::Aborted,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fail_records_error_text() {
+        let collect = Arc::new(CollectObserver::default());
+        let obs: SharedObserver = collect.clone();
+        PhaseSpan::enter(obs, FlowPhase::Implementation).fail("timing violated");
+        match &collect.events()[1] {
+            FlowEvent::PhaseEnded {
+                outcome: SpanOutcome::Failed(msg),
+                ..
+            } => {
+                assert_eq!(msg, "timing violated");
+            }
+            other => panic!("expected Failed end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observer_is_object_safe_and_shareable() {
+        let obs = null_observer();
+        let obs2 = obs.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                obs2.on_event(&FlowEvent::PhaseStarted {
+                    phase: FlowPhase::Hls,
+                })
+            });
+        });
+        obs.on_event(&FlowEvent::PhaseStarted {
+            phase: FlowPhase::SwGen,
+        });
+    }
+}

@@ -1,0 +1,264 @@
+//! Observer sinks: null, human-readable log, JSON-lines trace,
+//! collecting (for tests), and fan-out.
+
+use crate::event::FlowEvent;
+use crate::observer::{FlowObserver, SharedObserver};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Recover the guarded value even if a worker thread panicked while
+/// holding the lock (sinks must keep working across HLS worker panics).
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Discards every event: the default observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl FlowObserver for NullObserver {
+    fn on_event(&self, _event: &FlowEvent) {}
+}
+
+/// Writes one human-readable line per event (the flow's `-v` output).
+pub struct LogObserver {
+    out: Mutex<Box<dyn Write + Send>>,
+    prefix: &'static str,
+}
+
+impl LogObserver {
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        LogObserver {
+            out: Mutex::new(Box::new(out)),
+            prefix: "accelsoc",
+        }
+    }
+
+    /// Log to standard error (the conventional destination: stdout
+    /// carries the flow's own reports).
+    pub fn stderr() -> Self {
+        LogObserver::new(io::stderr())
+    }
+}
+
+impl FlowObserver for LogObserver {
+    fn on_event(&self, event: &FlowEvent) {
+        let mut out = lock_recovering(&self.out);
+        let _ = writeln!(out, "[{}] {event}", self.prefix);
+        let _ = out.flush();
+    }
+}
+
+/// Writes the trace as JSON lines: one externally-tagged [`FlowEvent`]
+/// object per line, flushed per event so a crash loses at most the
+/// event in flight. This is the format behind `accelsoc build
+/// --trace-json <path>`.
+pub struct JsonTraceObserver {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonTraceObserver {
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        JsonTraceObserver {
+            out: Mutex::new(Box::new(out)),
+        }
+    }
+
+    /// Create (or truncate) a trace file, creating parent directories.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonTraceObserver::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl FlowObserver for JsonTraceObserver {
+    fn on_event(&self, event: &FlowEvent) {
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut out = lock_recovering(&self.out);
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Buffers every event in memory — the test sink, and the backing for
+/// span-nesting assertions.
+#[derive(Debug, Default)]
+pub struct CollectObserver {
+    events: Mutex<Vec<FlowEvent>>,
+}
+
+impl CollectObserver {
+    pub fn new() -> Self {
+        CollectObserver::default()
+    }
+
+    /// Snapshot of everything observed so far.
+    pub fn events(&self) -> Vec<FlowEvent> {
+        lock_recovering(&self.events).clone()
+    }
+
+    /// Drain the buffer, returning everything observed so far.
+    pub fn take(&self) -> Vec<FlowEvent> {
+        std::mem::take(&mut *lock_recovering(&self.events))
+    }
+
+    pub fn len(&self) -> usize {
+        lock_recovering(&self.events).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl FlowObserver for CollectObserver {
+    fn on_event(&self, event: &FlowEvent) {
+        lock_recovering(&self.events).push(event.clone());
+    }
+}
+
+/// Tees events to several observers (e.g. a JSON trace *and* the
+/// metrics aggregator the flow always runs).
+#[derive(Default)]
+pub struct FanoutObserver {
+    sinks: Vec<SharedObserver>,
+}
+
+impl FanoutObserver {
+    pub fn new(sinks: Vec<SharedObserver>) -> Self {
+        FanoutObserver { sinks }
+    }
+
+    pub fn push(&mut self, sink: SharedObserver) {
+        self.sinks.push(sink);
+    }
+}
+
+impl FlowObserver for FanoutObserver {
+    fn on_event(&self, event: &FlowEvent) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FlowPhase, SpanOutcome};
+    use std::sync::Arc;
+
+    /// A `Write` handle into a shared buffer, so tests can read back
+    /// what a sink wrote after handing it ownership of the writer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(lock_recovering(&self.0).clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            lock_recovering(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_events() -> Vec<FlowEvent> {
+        vec![
+            FlowEvent::PhaseStarted {
+                phase: FlowPhase::Hls,
+            },
+            FlowEvent::HlsCacheQuery {
+                kernel: "mul".into(),
+                hit: false,
+            },
+            FlowEvent::PhaseEnded {
+                phase: FlowPhase::Hls,
+                outcome: SpanOutcome::Success,
+                modeled_s: 221.8,
+                wall_us: 90,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_trace_is_one_parseable_object_per_line() {
+        let buf = SharedBuf::default();
+        let sink = JsonTraceObserver::new(buf.clone());
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let v = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(v["HlsCacheQuery"]["kernel"].as_str(), Some("mul"));
+        let v = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(v["PhaseEnded"]["modeled_s"].as_f64(), Some(221.8));
+    }
+
+    #[test]
+    fn log_observer_writes_human_lines() {
+        let buf = SharedBuf::default();
+        let sink = LogObserver::new(buf.clone());
+        sink.on_event(&FlowEvent::PhaseStarted {
+            phase: FlowPhase::Synthesis,
+        });
+        let text = buf.contents();
+        assert!(text.contains("[accelsoc]"), "{text}");
+        assert!(text.contains("SYNTHESIS"), "{text}");
+    }
+
+    #[test]
+    fn collect_records_and_drains() {
+        let sink = CollectObserver::new();
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.take().len(), 3);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        let a = Arc::new(CollectObserver::new());
+        let b = Arc::new(CollectObserver::new());
+        let tee = FanoutObserver::new(vec![a.clone() as SharedObserver, b.clone() as _]);
+        for e in sample_events() {
+            tee.on_event(&e);
+        }
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        let sink: SharedObserver = Arc::new(CollectObserver::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sink = sink.clone();
+                s.spawn(move || {
+                    for e in sample_events() {
+                        sink.on_event(&e);
+                    }
+                });
+            }
+        });
+    }
+}

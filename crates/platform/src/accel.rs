@@ -39,7 +39,12 @@ impl AccelInstance {
 
     /// Worst II among the core's pipelined loops (1 if none recorded).
     pub fn ii_max(&self) -> u64 {
-        self.report.loop_iis.iter().map(|(_, ii)| *ii as u64).max().unwrap_or(1)
+        self.report
+            .loop_iis
+            .iter()
+            .map(|(_, ii)| *ii as u64)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Fabric cycles to process `tokens` input tokens in one invocation.
@@ -83,7 +88,12 @@ mod tests {
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            ))
             .build();
         let r = synthesize_kernel(&k, &HlsOptions::default()).unwrap();
         AccelInstance::new(k, r.report)
@@ -119,10 +129,15 @@ mod tests {
             .array("bins", Ty::U32, 256)
             .local("v", Ty::U8)
             .body(vec![
-                for_pipelined("i", c(0), var("n"), vec![
-                    assign("v", read("px")),
-                    store("bins", var("v"), add(idx("bins", var("v")), c(1))),
-                ]),
+                for_pipelined(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![
+                        assign("v", read("px")),
+                        store("bins", var("v"), add(idx("bins", var("v")), c(1))),
+                    ],
+                ),
                 for_pipelined("j", c(0), c(256), vec![write("h", idx("bins", var("j")))]),
             ])
             .build();

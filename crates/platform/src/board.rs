@@ -21,6 +21,7 @@ use accelsoc_axi::dma::{DmaDescriptor, DmaEngine, DmaError};
 use accelsoc_axi::lite::AxiLiteBus;
 use accelsoc_axi::stream::AxiStreamChannel;
 use accelsoc_kernel::interp::{ExecError, StreamBundle};
+use accelsoc_observe::{null_observer, FlowEvent, SharedObserver};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -43,14 +44,28 @@ pub struct StreamLink {
 #[derive(Debug)]
 pub enum BoardError {
     UnknownAccel(usize),
-    UnknownPort { accel: String, port: String },
-    WidthMismatch { from: String, to: String, from_bits: u32, to_bits: u32 },
-    Exec { accel: String, err: ExecError },
+    UnknownPort {
+        accel: String,
+        port: String,
+    },
+    WidthMismatch {
+        from: String,
+        to: String,
+        from_bits: u32,
+        to_bits: u32,
+    },
+    Exec {
+        accel: String,
+        err: ExecError,
+    },
     Dma(DmaError),
     /// The stream topology has a cycle — no feed-forward firing order.
     CyclicTopology,
     /// No link feeds one of the inputs an accelerator needs.
-    UnconnectedInput { accel: String, port: String },
+    UnconnectedInput {
+        accel: String,
+        port: String,
+    },
 }
 
 impl fmt::Display for BoardError {
@@ -60,7 +75,12 @@ impl fmt::Display for BoardError {
             BoardError::UnknownPort { accel, port } => {
                 write!(f, "accelerator `{accel}` has no stream port `{port}`")
             }
-            BoardError::WidthMismatch { from, to, from_bits, to_bits } => write!(
+            BoardError::WidthMismatch {
+                from,
+                to,
+                from_bits,
+                to_bits,
+            } => write!(
                 f,
                 "stream width mismatch: {from} ({from_bits}b) -> {to} ({to_bits}b)"
             ),
@@ -111,6 +131,10 @@ pub struct Board {
     /// All of a phase's DMA traffic shares this port, so total bytes over
     /// this bandwidth lower-bounds the steady-state phase time.
     pub hp_bytes_per_cycle: u64,
+    /// Event bus for phase-level counters (DMA bursts, bus stalls).
+    observer: SharedObserver,
+    /// Streaming phases executed so far (labels the emitted events).
+    phases_run: u64,
 }
 
 impl Board {
@@ -124,7 +148,14 @@ impl Board {
             links: Vec::new(),
             poll_interval_cycles: 50,
             hp_bytes_per_cycle: 8,
+            observer: null_observer(),
+            phases_run: 0,
         }
+    }
+
+    /// Report streaming-phase counters to `observer` from now on.
+    pub fn set_observer(&mut self, observer: SharedObserver) {
+        self.observer = observer;
     }
 
     pub fn add_accel(&mut self, accel: AccelInstance) -> usize {
@@ -133,7 +164,8 @@ impl Board {
     }
 
     pub fn add_dma(&mut self) -> usize {
-        self.dmas.push(DmaEngine::new(&format!("dma{}", self.dmas.len())));
+        self.dmas
+            .push(DmaEngine::new(&format!("dma{}", self.dmas.len())));
         self.dmas.len() - 1
     }
 
@@ -159,12 +191,24 @@ impl Board {
         match ep {
             Endpoint::Dma(_) => Ok(None), // DMA adapts to any width
             Endpoint::Accel { accel, port } => {
-                let a = self.accels.get(*accel).ok_or(BoardError::UnknownAccel(*accel))?;
-                let sp = a.report.interface.stream(port).ok_or_else(|| {
-                    BoardError::UnknownPort { accel: a.kernel.name.clone(), port: port.clone() }
-                })?;
+                let a = self
+                    .accels
+                    .get(*accel)
+                    .ok_or(BoardError::UnknownAccel(*accel))?;
+                let sp =
+                    a.report
+                        .interface
+                        .stream(port)
+                        .ok_or_else(|| BoardError::UnknownPort {
+                            accel: a.kernel.name.clone(),
+                            port: port.clone(),
+                        })?;
                 use accelsoc_hls::interface::StreamDir;
-                let ok = if is_dest { sp.dir == StreamDir::In } else { sp.dir == StreamDir::Out };
+                let ok = if is_dest {
+                    sp.dir == StreamDir::In
+                } else {
+                    sp.dir == StreamDir::Out
+                };
                 if !ok {
                     return Err(BoardError::UnknownPort {
                         accel: a.kernel.name.clone(),
@@ -192,14 +236,18 @@ impl Board {
         accel: usize,
         args: &[(&str, i64)],
     ) -> Result<(HashMap<String, i64>, f64), BoardError> {
-        let a = self.accels.get_mut(accel).ok_or(BoardError::UnknownAccel(accel))?;
+        let a = self
+            .accels
+            .get_mut(accel)
+            .ok_or(BoardError::UnknownAccel(accel))?;
         for (name, v) in args {
             a.set_arg(name, *v);
         }
         let mut streams = StreamBundle::new();
-        let (outs, _) = a
-            .invoke(&mut streams)
-            .map_err(|err| BoardError::Exec { accel: a.kernel.name.clone(), err })?;
+        let (outs, _) = a.invoke(&mut streams).map_err(|err| BoardError::Exec {
+            accel: a.kernel.name.clone(),
+            err,
+        })?;
         // Bus cost: one write per argument + start write; polls until the
         // core's latency elapses; one read per output register.
         let txn = 5u64; // AXI-Lite cycles per single-beat transaction
@@ -258,11 +306,16 @@ impl Board {
         scalar_args: &[(usize, &str, i64)],
     ) -> Result<PhaseStats, BoardError> {
         for (accel, name, v) in scalar_args {
-            let a = self.accels.get_mut(*accel).ok_or(BoardError::UnknownAccel(*accel))?;
+            let a = self
+                .accels
+                .get_mut(*accel)
+                .ok_or(BoardError::UnknownAccel(*accel))?;
             a.set_arg(name, *v);
         }
 
         let mut stats = PhaseStats::default();
+        // AXI bursts issued by the phase's DMA transfers (event counter).
+        let mut dma_bursts = 0u64;
         // Input token buffers per (accel, port).
         let mut inbox: HashMap<(usize, String), Vec<i64>> = HashMap::new();
 
@@ -284,9 +337,13 @@ impl Board {
             let dma = &mut self.dmas[*dma_idx];
             let st = dma.mm2s(&mut self.dram, *desc, &mut ch)?;
             stats.bytes_in += st.bytes;
-            stats.per_stage.push((format!("dma{}:mm2s", dma_idx), st.cycles));
-            let tokens: Vec<i64> =
-                std::iter::from_fn(|| ch.pop()).map(|b| b.data as i64).collect();
+            dma_bursts += st.beats.div_ceil(dma.burst_beats as u64);
+            stats
+                .per_stage
+                .push((format!("dma{}:mm2s", dma_idx), st.cycles));
+            let tokens: Vec<i64> = std::iter::from_fn(|| ch.pop())
+                .map(|b| b.data as i64)
+                .collect();
             inbox.entry((accel, port)).or_default().extend(tokens);
         }
 
@@ -321,15 +378,15 @@ impl Board {
                         port: port.clone(),
                     });
                 }
-                let tokens =
-                    inbox.remove(&(accel_idx, port.clone())).unwrap_or_default();
+                let tokens = inbox.remove(&(accel_idx, port.clone())).unwrap_or_default();
                 bundle.feed(port, tokens);
             }
             let a = &mut self.accels[accel_idx];
             let name = a.kernel.name.clone();
-            let (_, cycles) = a
-                .invoke(&mut bundle)
-                .map_err(|err| BoardError::Exec { accel: name.clone(), err })?;
+            let (_, cycles) = a.invoke(&mut bundle).map_err(|err| BoardError::Exec {
+                accel: name.clone(),
+                err,
+            })?;
             stats.per_stage.push((name, cycles));
             // Distribute outputs along links.
             let out_ports: Vec<String> = self.accels[accel_idx]
@@ -345,7 +402,10 @@ impl Board {
                 match link {
                     Some(l) => match &l.to {
                         Endpoint::Accel { accel, port } => {
-                            inbox.entry((*accel, port.clone())).or_default().extend(tokens);
+                            inbox
+                                .entry((*accel, port.clone()))
+                                .or_default()
+                                .extend(tokens);
                         }
                         Endpoint::Dma(d) => {
                             let bits = self.accels[accel_idx]
@@ -369,7 +429,10 @@ impl Board {
             let mut ch = AxiStreamChannel::new("s2mm", bits, tokens.len().max(1));
             let n = tokens.len();
             for (i, t) in tokens.into_iter().enumerate() {
-                ch.force_push(accelsoc_axi::stream::Beat { data: t as u64, last: i + 1 == n });
+                ch.force_push(accelsoc_axi::stream::Beat {
+                    data: t as u64,
+                    last: i + 1 == n,
+                });
             }
             if n == 0 {
                 continue;
@@ -377,7 +440,10 @@ impl Board {
             let dma = &mut self.dmas[*dma_idx];
             let st = dma.s2mm(&mut self.dram, *desc, &mut ch)?;
             stats.bytes_out += st.bytes;
-            stats.per_stage.push((format!("dma{}:s2mm", dma_idx), st.cycles));
+            dma_bursts += st.beats.div_ceil(dma.burst_beats as u64);
+            stats
+                .per_stage
+                .push((format!("dma{}:s2mm", dma_idx), st.cycles));
         }
 
         // Pipeline timing: fill = per-stage startups (+DMA setup folded into
@@ -391,14 +457,23 @@ impl Board {
         // port's bandwidth on the phase's total DMA traffic — whichever
         // binds.
         let hp_cycles = (stats.bytes_in + stats.bytes_out) / self.hp_bytes_per_cycle.max(1);
-        stats.steady_cycles = stats
-            .per_stage
-            .iter()
-            .map(|(_, c)| *c)
-            .max()
-            .unwrap_or(0)
-            .max(hp_cycles);
+        let slowest_stage = stats.per_stage.iter().map(|(_, c)| *c).max().unwrap_or(0);
+        stats.steady_cycles = slowest_stage.max(hp_cycles);
         stats.ns = (stats.fill_cycles + stats.steady_cycles) as f64 * PL_CLK_NS;
+        // Cycles the pipeline spends waiting on the shared HP port beyond
+        // what compute alone would take: bus contention stalls.
+        let bus_stall_cycles = stats.steady_cycles - slowest_stage;
+        self.observer.on_event(&FlowEvent::SimPhaseDone {
+            label: format!("phase{}", self.phases_run),
+            ns: stats.ns,
+            fill_cycles: stats.fill_cycles,
+            steady_cycles: stats.steady_cycles,
+            bytes_in: stats.bytes_in,
+            bytes_out: stats.bytes_out,
+            dma_bursts,
+            bus_stall_cycles,
+        });
+        self.phases_run += 1;
         Ok(stats)
     }
 }
@@ -429,7 +504,12 @@ mod tests {
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U8)
             .stream_out("out", Ty::U8)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", add(read("in"), c(1)))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", add(read("in"), c(1)))],
+            ))
             .build()
     }
 
@@ -449,19 +529,51 @@ mod tests {
         let s2 = b.add_accel(make_accel(inc_kernel("S2")));
         let din = b.add_dma();
         let dout = b.add_dma();
-        b.link(Endpoint::Dma(din), Endpoint::Accel { accel: s1, port: "in".into() }).unwrap();
         b.link(
-            Endpoint::Accel { accel: s1, port: "out".into() },
-            Endpoint::Accel { accel: s2, port: "in".into() },
+            Endpoint::Dma(din),
+            Endpoint::Accel {
+                accel: s1,
+                port: "in".into(),
+            },
         )
         .unwrap();
-        b.link(Endpoint::Accel { accel: s2, port: "out".into() }, Endpoint::Dma(dout)).unwrap();
+        b.link(
+            Endpoint::Accel {
+                accel: s1,
+                port: "out".into(),
+            },
+            Endpoint::Accel {
+                accel: s2,
+                port: "in".into(),
+            },
+        )
+        .unwrap();
+        b.link(
+            Endpoint::Accel {
+                accel: s2,
+                port: "out".into(),
+            },
+            Endpoint::Dma(dout),
+        )
+        .unwrap();
 
         b.dram.load_bytes(0x100, &[10, 20, 30, 40]).unwrap();
         let stats = b
             .run_stream_phase(
-                &[(din, DmaDescriptor { addr: 0x100, len: 4 })],
-                &[(dout, DmaDescriptor { addr: 0x200, len: 4 })],
+                &[(
+                    din,
+                    DmaDescriptor {
+                        addr: 0x100,
+                        len: 4,
+                    },
+                )],
+                &[(
+                    dout,
+                    DmaDescriptor {
+                        addr: 0x200,
+                        len: 4,
+                    },
+                )],
                 &[(s1, "n", 4), (s2, "n", 4)],
             )
             .unwrap();
@@ -482,32 +594,66 @@ mod tests {
         let a1 = fast.add_accel(make_accel(inc_kernel("S1")));
         let din = fast.add_dma();
         let dout = fast.add_dma();
-        fast.link(Endpoint::Dma(din), Endpoint::Accel { accel: a1, port: "in".into() })
-            .unwrap();
-        fast.link(Endpoint::Accel { accel: a1, port: "out".into() }, Endpoint::Dma(dout))
-            .unwrap();
+        fast.link(
+            Endpoint::Dma(din),
+            Endpoint::Accel {
+                accel: a1,
+                port: "in".into(),
+            },
+        )
+        .unwrap();
+        fast.link(
+            Endpoint::Accel {
+                accel: a1,
+                port: "out".into(),
+            },
+            Endpoint::Dma(dout),
+        )
+        .unwrap();
         let mut slow = Board::new(1 << 20);
         slow.hp_bytes_per_cycle = 1; // starved port
         let b1 = slow.add_accel(make_accel(inc_kernel("S1")));
         let din2 = slow.add_dma();
         let dout2 = slow.add_dma();
-        slow.link(Endpoint::Dma(din2), Endpoint::Accel { accel: b1, port: "in".into() })
-            .unwrap();
-        slow.link(Endpoint::Accel { accel: b1, port: "out".into() }, Endpoint::Dma(dout2))
-            .unwrap();
+        slow.link(
+            Endpoint::Dma(din2),
+            Endpoint::Accel {
+                accel: b1,
+                port: "in".into(),
+            },
+        )
+        .unwrap();
+        slow.link(
+            Endpoint::Accel {
+                accel: b1,
+                port: "out".into(),
+            },
+            Endpoint::Dma(dout2),
+        )
+        .unwrap();
 
         let data = vec![7u8; 4096];
-        for (board, a, di, do_) in
-            [(&mut fast, a1, din, dout), (&mut slow, b1, din2, dout2)]
-        {
+        for (board, a, di, do_) in [(&mut fast, a1, din, dout), (&mut slow, b1, din2, dout2)] {
             board.dram.load_bytes(0x1000, &data).unwrap();
             let _ = (a, di, do_);
         }
         let run = |board: &mut Board, a: usize, di: usize, do_: usize| {
             board
                 .run_stream_phase(
-                    &[(di, DmaDescriptor { addr: 0x1000, len: 4096 })],
-                    &[(do_, DmaDescriptor { addr: 0x8000, len: 4096 })],
+                    &[(
+                        di,
+                        DmaDescriptor {
+                            addr: 0x1000,
+                            len: 4096,
+                        },
+                    )],
+                    &[(
+                        do_,
+                        DmaDescriptor {
+                            addr: 0x8000,
+                            len: 4096,
+                        },
+                    )],
                     &[(a, "n", 4096)],
                 )
                 .unwrap()
@@ -520,20 +666,98 @@ mod tests {
     }
 
     #[test]
+    fn stream_phase_emits_sim_counters() {
+        use accelsoc_observe::{CollectObserver, FlowEvent};
+        use std::sync::Arc;
+        let collect = Arc::new(CollectObserver::new());
+        let mut b = Board::new(1 << 16);
+        b.set_observer(collect.clone());
+        let s1 = b.add_accel(make_accel(inc_kernel("S1")));
+        let din = b.add_dma();
+        let dout = b.add_dma();
+        b.link(
+            Endpoint::Dma(din),
+            Endpoint::Accel {
+                accel: s1,
+                port: "in".into(),
+            },
+        )
+        .unwrap();
+        b.link(
+            Endpoint::Accel {
+                accel: s1,
+                port: "out".into(),
+            },
+            Endpoint::Dma(dout),
+        )
+        .unwrap();
+        b.dram.load_bytes(0x100, &[1, 2, 3, 4]).unwrap();
+        let stats = b
+            .run_stream_phase(
+                &[(
+                    din,
+                    DmaDescriptor {
+                        addr: 0x100,
+                        len: 4,
+                    },
+                )],
+                &[(
+                    dout,
+                    DmaDescriptor {
+                        addr: 0x200,
+                        len: 4,
+                    },
+                )],
+                &[(s1, "n", 4)],
+            )
+            .unwrap();
+        let events = collect.events();
+        match events.as_slice() {
+            [FlowEvent::SimPhaseDone {
+                label,
+                ns,
+                bytes_in,
+                bytes_out,
+                dma_bursts,
+                ..
+            }] => {
+                assert_eq!(label, "phase0");
+                assert_eq!(*ns, stats.ns);
+                assert_eq!(*bytes_in, 4);
+                assert_eq!(*bytes_out, 4);
+                // 4 one-byte beats in + 4 out = one burst each way.
+                assert_eq!(*dma_bursts, 2);
+            }
+            other => panic!("expected one SimPhaseDone, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn width_mismatch_rejected_at_link_time() {
         let wide = KernelBuilder::new("W")
             .scalar_in("n", Ty::U32)
             .stream_in("in", Ty::U32)
             .stream_out("out", Ty::U32)
-            .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", read("in"))],
+            ))
             .build();
         let mut b = Board::new(1 << 12);
         let narrow = b.add_accel(make_accel(inc_kernel("N")));
         let wide = b.add_accel(make_accel(wide));
         let err = b
             .link(
-                Endpoint::Accel { accel: narrow, port: "out".into() },
-                Endpoint::Accel { accel: wide, port: "in".into() },
+                Endpoint::Accel {
+                    accel: narrow,
+                    port: "out".into(),
+                },
+                Endpoint::Accel {
+                    accel: wide,
+                    port: "in".into(),
+                },
             )
             .unwrap_err();
         assert!(matches!(err, BoardError::WidthMismatch { .. }));
@@ -545,7 +769,13 @@ mod tests {
         let a = b.add_accel(make_accel(inc_kernel("A")));
         // Using an input port as a source.
         let err = b
-            .link(Endpoint::Accel { accel: a, port: "in".into() }, Endpoint::Dma(0))
+            .link(
+                Endpoint::Accel {
+                    accel: a,
+                    port: "in".into(),
+                },
+                Endpoint::Dma(0),
+            )
             .unwrap_err();
         assert!(matches!(err, BoardError::UnknownPort { .. }));
     }
@@ -555,9 +785,20 @@ mod tests {
         let mut b = Board::new(1 << 12);
         let a = b.add_accel(make_accel(inc_kernel("A")));
         let dout = b.add_dma();
-        b.link(Endpoint::Accel { accel: a, port: "out".into() }, Endpoint::Dma(dout)).unwrap();
+        b.link(
+            Endpoint::Accel {
+                accel: a,
+                port: "out".into(),
+            },
+            Endpoint::Dma(dout),
+        )
+        .unwrap();
         let err = b
-            .run_stream_phase(&[], &[(dout, DmaDescriptor { addr: 0, len: 4 })], &[(a, "n", 0)])
+            .run_stream_phase(
+                &[],
+                &[(dout, DmaDescriptor { addr: 0, len: 4 })],
+                &[(a, "n", 0)],
+            )
             .unwrap_err();
         assert!(matches!(err, BoardError::UnconnectedInput { .. }));
     }
@@ -568,13 +809,25 @@ mod tests {
         let a1 = b.add_accel(make_accel(inc_kernel("A1")));
         let a2 = b.add_accel(make_accel(inc_kernel("A2")));
         b.link(
-            Endpoint::Accel { accel: a1, port: "out".into() },
-            Endpoint::Accel { accel: a2, port: "in".into() },
+            Endpoint::Accel {
+                accel: a1,
+                port: "out".into(),
+            },
+            Endpoint::Accel {
+                accel: a2,
+                port: "in".into(),
+            },
         )
         .unwrap();
         b.link(
-            Endpoint::Accel { accel: a2, port: "out".into() },
-            Endpoint::Accel { accel: a1, port: "in".into() },
+            Endpoint::Accel {
+                accel: a2,
+                port: "out".into(),
+            },
+            Endpoint::Accel {
+                accel: a1,
+                port: "in".into(),
+            },
         )
         .unwrap();
         let err = b.run_stream_phase(&[], &[], &[]).unwrap_err();

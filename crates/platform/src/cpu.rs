@@ -73,15 +73,24 @@ mod tests {
     #[test]
     fn divides_cost_more_than_adds() {
         let cpu = Cpu::cortex_a9();
-        let adds = ExecStats { adds: 100, ..Default::default() };
-        let divs = ExecStats { divs: 100, ..Default::default() };
+        let adds = ExecStats {
+            adds: 100,
+            ..Default::default()
+        };
+        let divs = ExecStats {
+            divs: 100,
+            ..Default::default()
+        };
         assert!(cpu.cycles_for(&divs) > 10 * cpu.cycles_for(&adds));
     }
 
     #[test]
     fn execute_accrues_busy_time() {
         let mut cpu = Cpu::cortex_a9();
-        let s = ExecStats { adds: 1000, ..Default::default() };
+        let s = ExecStats {
+            adds: 1000,
+            ..Default::default()
+        };
         let ns = cpu.execute(&s);
         assert!(ns > 0.0);
         assert_eq!(cpu.busy_ns, ns);

@@ -6,8 +6,8 @@
 //! application take on Arch2?": phase/stage durations come from
 //! [`crate::board::Board`] measurements, dependencies from the HTG.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A schedulable resource pool (e.g. 2 CPU cores, 1 instance of the
 /// `histogram` accelerator, 1 DMA engine pair).
@@ -108,7 +108,9 @@ impl TaskSim {
                 }
             }
             // Advance to the next completion.
-            let Some(Reverse((_, i))) = events.pop() else { break };
+            let Some(Reverse((_, i))) = events.pop() else {
+                break;
+            };
             now = spans[i].1;
             finished[i] = true;
             *free.get_mut(&self.tasks[i].resource).unwrap() += 1;
@@ -119,7 +121,10 @@ impl TaskSim {
             }
         }
 
-        assert!(finished.iter().all(|&f| f), "deadlock: some tasks never ran");
+        assert!(
+            finished.iter().all(|&f| f),
+            "deadlock: some tasks never ran"
+        );
         let makespan_ns = spans.iter().map(|s| s.1).fold(0.0, f64::max);
         TaskSimResult {
             spans,
@@ -134,7 +139,12 @@ mod tests {
     use super::*;
 
     fn task(name: &str, d: f64, deps: Vec<usize>, r: &ResourceId) -> SimTask {
-        SimTask { name: name.into(), duration_ns: d, deps, resource: r.clone() }
+        SimTask {
+            name: name.into(),
+            duration_ns: d,
+            deps,
+            resource: r.clone(),
+        }
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl Trace {
     /// Record that `signal` was busy during `[start_ns, end_ns)`.
     pub fn record(&mut self, signal: &str, start_ns: f64, end_ns: f64) {
         assert!(end_ns >= start_ns, "span must not be negative");
-        self.spans.push(Span { signal: signal.to_string(), start_ns, end_ns });
+        self.spans.push(Span {
+            signal: signal.to_string(),
+            start_ns,
+            end_ns,
+        });
     }
 
     pub fn spans(&self) -> &[Span] {

@@ -49,7 +49,10 @@ fn otsu_chain_with_hw_overlap() {
         resource: cpu,
     });
     let r = sim.run();
-    assert_eq!(r.makespan_ns, 1000.0 + 500.0 + 800.0 + 200.0 + 400.0 + 1000.0);
+    assert_eq!(
+        r.makespan_ns,
+        1000.0 + 500.0 + 800.0 + 200.0 + 400.0 + 1000.0
+    );
 }
 
 #[test]

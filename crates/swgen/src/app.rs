@@ -12,7 +12,11 @@ use std::fmt::Write;
 pub fn generate_main_c(bd: &BlockDesign, lite_cores: &[&HlsReport]) -> String {
     let mut s = String::new();
     let w = &mut s;
-    let _ = writeln!(w, "/* Auto-generated host application for `{}` — edit freely. */", bd.name);
+    let _ = writeln!(
+        w,
+        "/* Auto-generated host application for `{}` — edit freely. */",
+        bd.name
+    );
     let _ = writeln!(w, "#include <stdio.h>");
     let _ = writeln!(w, "#include <stdint.h>");
     let _ = writeln!(w, "#include <stdlib.h>");
@@ -20,14 +24,21 @@ pub fn generate_main_c(bd: &BlockDesign, lite_cores: &[&HlsReport]) -> String {
     for r in lite_cores {
         let _ = writeln!(w, "#include \"{}.h\"", r.kernel);
     }
-    let _ = writeln!(w, "");
+    let _ = writeln!(w);
     let _ = writeln!(w, "#define BUF_BYTES (1024 * 1024)");
-    let _ = writeln!(w, "");
+    let _ = writeln!(w);
     let _ = writeln!(w, "int main(void) {{");
-    let dma_count = bd.cells.iter().filter(|c| matches!(c.kind, CellKind::AxiDma)).count();
+    let dma_count = bd
+        .cells
+        .iter()
+        .filter(|c| matches!(c.kind, CellKind::AxiDma))
+        .count();
     for i in 0..dma_count {
         let _ = writeln!(w, "    int dma{i} = openDMA(\"/dev/dma{i}\");");
-        let _ = writeln!(w, "    if (dma{i} < 0) {{ perror(\"/dev/dma{i}\"); return 1; }}");
+        let _ = writeln!(
+            w,
+            "    if (dma{i} < 0) {{ perror(\"/dev/dma{i}\"); return 1; }}"
+        );
     }
     if dma_count > 0 {
         let _ = writeln!(w, "    uint8_t *in_buf  = malloc(BUF_BYTES);");
@@ -41,7 +52,9 @@ pub fn generate_main_c(bd: &BlockDesign, lite_cores: &[&HlsReport]) -> String {
             .interface
             .axilite_registers
             .iter()
-            .filter(|x| x.host_writable && !matches!(x.name.as_str(), "CTRL" | "GIE" | "IER" | "ISR"))
+            .filter(|x| {
+                x.host_writable && !matches!(x.name.as_str(), "CTRL" | "GIE" | "IER" | "ISR")
+            })
             .map(|x| x.name.as_str())
             .collect();
         let outs: Vec<&str> = r
@@ -74,20 +87,22 @@ pub fn generate_main_c(bd: &BlockDesign, lite_cores: &[&HlsReport]) -> String {
 pub fn generate_makefile(bd: &BlockDesign, lite_cores: &[&HlsReport]) -> String {
     let mut s = String::new();
     let w = &mut s;
-    let objs: Vec<String> =
-        lite_cores.iter().map(|r| format!("{}.o", r.kernel)).collect();
+    let objs: Vec<String> = lite_cores
+        .iter()
+        .map(|r| format!("{}.o", r.kernel))
+        .collect();
     let _ = writeln!(w, "# Auto-generated Makefile for `{}`", bd.name);
     let _ = writeln!(w, "CROSS   ?= arm-linux-gnueabihf-");
     let _ = writeln!(w, "CC      := $(CROSS)gcc");
     let _ = writeln!(w, "CFLAGS  := -O2 -Wall");
     let _ = writeln!(w, "OBJS    := main.o dma_driver.o {}", objs.join(" "));
-    let _ = writeln!(w, "");
+    let _ = writeln!(w);
     let _ = writeln!(w, "{}.elf: $(OBJS)", bd.name);
     let _ = writeln!(w, "\t$(CC) $(CFLAGS) -o $@ $^");
-    let _ = writeln!(w, "");
+    let _ = writeln!(w);
     let _ = writeln!(w, "%.o: %.c");
     let _ = writeln!(w, "\t$(CC) $(CFLAGS) -c -o $@ $<");
-    let _ = writeln!(w, "");
+    let _ = writeln!(w);
     let _ = writeln!(w, "clean:");
     let _ = writeln!(w, "\trm -f *.o {}.elf", bd.name);
     s
@@ -108,12 +123,17 @@ mod tests {
             .scalar_out("ret", Ty::U32)
             .push(assign("ret", add(var("a"), var("b"))))
             .build();
-        synthesize_kernel(&k, &HlsOptions::default()).unwrap().report
+        synthesize_kernel(&k, &HlsOptions::default())
+            .unwrap()
+            .report
     }
 
     fn design() -> BlockDesign {
         let mut bd = BlockDesign::new("sys");
-        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "axi_dma_0".into(),
+            kind: CellKind::AxiDma,
+        });
         bd
     }
 

@@ -20,9 +20,9 @@ pub enum PartitionKind {
 impl PartitionKind {
     fn tag(&self) -> u32 {
         match self {
-            PartitionKind::Fsbl => 0x4653_424C,      // "FSBL"
-            PartitionKind::Bitstream => 0x4249_5453, // "BITS"
-            PartitionKind::Kernel => 0x4B52_4E4C,    // "KRNL"
+            PartitionKind::Fsbl => 0x4653_424C,       // "FSBL"
+            PartitionKind::Bitstream => 0x4249_5453,  // "BITS"
+            PartitionKind::Kernel => 0x4B52_4E4C,     // "KRNL"
             PartitionKind::DeviceTree => 0x4454_4253, // "DTBS"
         }
     }
@@ -88,7 +88,10 @@ impl BootImage {
             out.put_slice(payload);
             index.push((*kind, payload.len()));
         }
-        BootImage { data: out.freeze(), partitions: index }
+        BootImage {
+            data: out.freeze(),
+            partitions: index,
+        }
     }
 
     /// Validate the container (what a boot ROM / loader would do).
@@ -140,7 +143,10 @@ mod tests {
 
     fn sample_bitstream() -> Bitstream {
         let mut bd = BlockDesign::new("sys");
-        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
+        bd.add_cell(Cell {
+            name: "axi_dma_0".into(),
+            kind: CellKind::AxiDma,
+        });
         let p = place(&bd, &Device::zynq7020());
         accelsoc_integration::bitstream::generate(&bd, &p, "xc7z020clg484-1")
     }
@@ -152,7 +158,10 @@ mod tests {
         assert_eq!(parts.len(), 4);
         assert_eq!(img.partitions.len(), 4);
         // The bitstream partition carries the real bitstream bytes.
-        let bits = parts.iter().find(|(k, _)| *k == PartitionKind::Bitstream).unwrap();
+        let bits = parts
+            .iter()
+            .find(|(k, _)| *k == PartitionKind::Bitstream)
+            .unwrap();
         assert_eq!(bits.1, sample_bitstream().data);
     }
 
@@ -178,8 +187,10 @@ mod tests {
         let dts = "/dts-v1/; / { amba_pl {}; };";
         let img = BootImage::assemble(&sample_bitstream(), dts);
         let parts = BootImage::verify(&img.data).unwrap();
-        let (_, payload) =
-            parts.into_iter().find(|(k, _)| *k == PartitionKind::DeviceTree).unwrap();
+        let (_, payload) = parts
+            .into_iter()
+            .find(|(k, _)| *k == PartitionKind::DeviceTree)
+            .unwrap();
         assert_eq!(&payload[..], dts.as_bytes());
     }
 }

@@ -20,7 +20,12 @@ pub fn generate_header(report: &HlsReport, base_addr: u64) -> String {
     let _ = writeln!(s, "#include <stdint.h>");
     let _ = writeln!(s, "#define {upper}_BASE 0x{base_addr:08X}u");
     for r in &report.interface.axilite_registers {
-        let _ = writeln!(s, "#define {upper}_REG_{} 0x{:02X}u", r.name.to_uppercase(), r.offset);
+        let _ = writeln!(
+            s,
+            "#define {upper}_REG_{} 0x{:02X}u",
+            r.name.to_uppercase(),
+            r.offset
+        );
     }
     // Signature: inputs by value, outputs by pointer.
     let ins: Vec<String> = report
@@ -37,7 +42,12 @@ pub fn generate_header(report: &HlsReport, base_addr: u64) -> String {
         .filter(|r| !r.host_writable)
         .map(|r| format!("uint32_t *{}", r.name))
         .collect();
-    let args = ins.iter().chain(outs.iter()).cloned().collect::<Vec<_>>().join(", ");
+    let args = ins
+        .iter()
+        .chain(outs.iter())
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(", ");
     let _ = writeln!(s, "int {k}_run({args});");
     let _ = writeln!(s, "#endif // {upper}_H");
     s
@@ -51,7 +61,7 @@ pub fn generate_impl(report: &HlsReport) -> String {
     let upper = k.to_uppercase();
     let _ = writeln!(s, "#include \"{k}.h\"");
     let _ = writeln!(s, "#include \"mmio.h\"");
-    let _ = writeln!(s, "");
+    let _ = writeln!(s);
     let ins: Vec<&str> = report
         .interface
         .axilite_registers
@@ -75,14 +85,13 @@ pub fn generate_impl(report: &HlsReport) -> String {
     let _ = writeln!(s, "int {k}_run({sig}) {{");
     let _ = writeln!(s, "    volatile uint32_t *base = mmio_map({upper}_BASE);");
     for n in &ins {
-        let _ = writeln!(
-            s,
-            "    base[{upper}_REG_{} / 4] = {n};",
-            n.to_uppercase()
-        );
+        let _ = writeln!(s, "    base[{upper}_REG_{} / 4] = {n};", n.to_uppercase());
     }
     let _ = writeln!(s, "    base[{upper}_REG_CTRL / 4] = 0x1; // ap_start");
-    let _ = writeln!(s, "    while (!(base[{upper}_REG_CTRL / 4] & 0x2)) {{ /* poll ap_done */ }}");
+    let _ = writeln!(
+        s,
+        "    while (!(base[{upper}_REG_CTRL / 4] & 0x2)) {{ /* poll ap_done */ }}"
+    );
     for n in &outs {
         let _ = writeln!(s, "    *{n} = base[{upper}_REG_{} / 4];", n.to_uppercase());
     }
@@ -109,7 +118,9 @@ mod tests {
             .scalar_out("ret", Ty::U32)
             .push(assign("ret", add(var("a"), var("b"))))
             .build();
-        synthesize_kernel(&k, &HlsOptions::default()).unwrap().report
+        synthesize_kernel(&k, &HlsOptions::default())
+            .unwrap()
+            .report
     }
 
     #[test]

@@ -49,10 +49,9 @@ impl DevFs {
     /// UIO-style nodes for cores.
     pub fn from_design(bd: &BlockDesign) -> Self {
         let mut fs = DevFs::default();
-        let mut minor = 0u32;
         let mut dma_idx = 0usize;
         let mut uio_idx = 0usize;
-        for (name, base, span) in &bd.address_map {
+        for (minor, (name, base, span)) in bd.address_map.iter().enumerate() {
             let path = match bd.cell(name).map(|c| &c.kind) {
                 Some(CellKind::AxiDma) => {
                     let p = format!("/dev/dma{dma_idx}");
@@ -67,9 +66,13 @@ impl DevFs {
             };
             fs.nodes.insert(
                 path.clone(),
-                DevNode { path, base: *base, span: *span, minor },
+                DevNode {
+                    path,
+                    base: *base,
+                    span: *span,
+                    minor: minor as u32,
+                },
             );
-            minor += 1;
         }
         fs
     }
@@ -114,9 +117,14 @@ mod tests {
 
     fn design() -> BlockDesign {
         let mut bd = BlockDesign::new("sys");
-        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
-        bd.address_map.push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
-        bd.address_map.push(("histogram".into(), 0x43C0_0000, 0x1_0000));
+        bd.add_cell(Cell {
+            name: "axi_dma_0".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.address_map
+            .push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
+        bd.address_map
+            .push(("histogram".into(), 0x43C0_0000, 0x1_0000));
         bd
     }
 
@@ -133,7 +141,10 @@ mod tests {
         let mut fs = DevFs::from_design(&design());
         let node = fs.open("/dev/dma0").unwrap();
         assert_eq!(node.base, 0x4040_0000);
-        assert_eq!(fs.open("/dev/dma0").unwrap_err(), DevFsError::AlreadyOpen("/dev/dma0".into()));
+        assert_eq!(
+            fs.open("/dev/dma0").unwrap_err(),
+            DevFsError::AlreadyOpen("/dev/dma0".into())
+        );
         fs.close("/dev/dma0").unwrap();
         assert!(fs.open("/dev/dma0").is_ok());
     }
@@ -145,6 +156,9 @@ mod tests {
             fs.open("/dev/dma9").unwrap_err(),
             DevFsError::NoSuchDevice("/dev/dma9".into())
         );
-        assert_eq!(fs.close("/dev/dma0").unwrap_err(), DevFsError::NotOpen("/dev/dma0".into()));
+        assert_eq!(
+            fs.close("/dev/dma0").unwrap_err(),
+            DevFsError::NotOpen("/dev/dma0".into())
+        );
     }
 }

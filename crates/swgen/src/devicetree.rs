@@ -25,7 +25,13 @@ pub fn generate_dts(bd: &BlockDesign) -> String {
             Some(CellKind::HlsCore(_)) => format!("xlnx,{}-1.0", name.to_lowercase()),
             _ => "generic-uio".to_string(),
         };
-        let _ = writeln!(s, "\t\t{}: {}@{:08x} {{", name.to_lowercase(), name.to_lowercase(), base);
+        let _ = writeln!(
+            s,
+            "\t\t{}: {}@{:08x} {{",
+            name.to_lowercase(),
+            name.to_lowercase(),
+            base
+        );
         let _ = writeln!(s, "\t\t\tcompatible = \"{compatible}\";");
         let _ = writeln!(s, "\t\t\treg = <0x{base:08x} 0x{span:x}>;");
         if matches!(bd.cell(name).map(|c| &c.kind), Some(CellKind::AxiDma)) {
@@ -46,9 +52,14 @@ mod tests {
 
     fn design() -> BlockDesign {
         let mut bd = BlockDesign::new("sys");
-        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
-        bd.address_map.push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
-        bd.address_map.push(("histogram".into(), 0x43C0_0000, 0x1_0000));
+        bd.add_cell(Cell {
+            name: "axi_dma_0".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.address_map
+            .push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
+        bd.address_map
+            .push(("histogram".into(), 0x43C0_0000, 0x1_0000));
         bd
     }
 

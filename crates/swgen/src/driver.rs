@@ -56,9 +56,9 @@ impl DmaDriver {
             fs.close(path).ok();
             return Err(DriverError::NotADma(path.to_string()));
         };
-        let dma_index: usize = idx_str.parse().map_err(|_| {
-            DriverError::NotADma(path.to_string())
-        })?;
+        let dma_index: usize = idx_str
+            .parse()
+            .map_err(|_| DriverError::NotADma(path.to_string()))?;
         Ok(DmaDriver { node, dma_index })
     }
 
@@ -81,7 +81,10 @@ impl DmaDriver {
             .dram
             .load_bytes(addr, data)
             .map_err(|e| DriverError::Board(BoardError::Dma(e.into())))?;
-        Ok(DmaDescriptor { addr, len: data.len() as u64 })
+        Ok(DmaDescriptor {
+            addr,
+            len: data.len() as u64,
+        })
     }
 
     /// `readDMA`: fetch `len` bytes from DRAM at `addr` after an S2MM
@@ -111,8 +114,12 @@ mod tests {
 
     fn fs_with_dma() -> DevFs {
         let mut bd = BlockDesign::new("sys");
-        bd.add_cell(Cell { name: "axi_dma_0".into(), kind: CellKind::AxiDma });
-        bd.address_map.push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
+        bd.add_cell(Cell {
+            name: "axi_dma_0".into(),
+            kind: CellKind::AxiDma,
+        });
+        bd.address_map
+            .push(("axi_dma_0".into(), 0x4040_0000, 0x1_0000));
         bd.address_map.push(("core".into(), 0x43C0_0000, 0x1_0000));
         DevFs::from_design(&bd)
     }

@@ -24,7 +24,11 @@ fn main() {
     let art_old = old_engine.run_source(&src).unwrap();
 
     let new_lines: std::collections::HashSet<&str> = art_new.tcl.lines().collect();
-    let changed = art_old.tcl.lines().filter(|l| !new_lines.contains(l)).count();
+    let changed = art_old
+        .tcl
+        .lines()
+        .filter(|l| !new_lines.contains(l))
+        .count();
     println!("=== backend port (paper: done in under a day) ===");
     println!("tcl lines total: {}", art_old.tcl.lines().count());
     println!("lines differing between 2014.2 and 2015.3 backends: {changed}");
@@ -41,10 +45,7 @@ fn main() {
         rows: 20,
         site_luts: 13,
     };
-    let mut small_engine = FlowEngine::new(FlowOptions {
-        device: tiny,
-        ..FlowOptions::default()
-    });
+    let mut small_engine = FlowEngine::new(FlowOptions::builder().device(tiny).build());
     for k in accelsoc::apps::kernels::otsu_kernels() {
         small_engine.register_kernel(k);
     }
@@ -56,14 +57,14 @@ fn main() {
     }
 
     // The smallest architecture still fits the real Zynq-7010.
-    let mut z7010_engine = FlowEngine::new(FlowOptions {
-        device: Device::zynq7010(),
-        ..FlowOptions::default()
-    });
+    let mut z7010_engine =
+        FlowEngine::new(FlowOptions::builder().device(Device::zynq7010()).build());
     for k in accelsoc::apps::kernels::otsu_kernels() {
         z7010_engine.register_kernel(k);
     }
-    let art = z7010_engine.run_source(&arch_dsl_source(Arch::Arch1)).unwrap();
+    let art = z7010_engine
+        .run_source(&arch_dsl_source(Arch::Arch1))
+        .unwrap();
     println!(
         "\nArch1 retargeted to {}: {} ({:.1}% utilization)",
         z7010_engine.options.device.part,

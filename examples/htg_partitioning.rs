@@ -20,13 +20,34 @@ fn main() {
     // --- 1. the application as a two-level HTG (Fig. 1) ---------------
     let mut htg = Htg::new();
     let n1 = htg
-        .add_task("N1", TaskNode { kernel: "io_in".into(), sw_cycles: 2_000, sw_only: true })
+        .add_task(
+            "N1",
+            TaskNode {
+                kernel: "io_in".into(),
+                sw_cycles: 2_000,
+                sw_only: true,
+            },
+        )
         .unwrap();
     let add = htg
-        .add_task("ADD", TaskNode { kernel: "ADD".into(), sw_cycles: 400, sw_only: false })
+        .add_task(
+            "ADD",
+            TaskNode {
+                kernel: "ADD".into(),
+                sw_cycles: 400,
+                sw_only: false,
+            },
+        )
         .unwrap();
     let mul = htg
-        .add_task("MUL", TaskNode { kernel: "MUL".into(), sw_cycles: 900, sw_only: false })
+        .add_task(
+            "MUL",
+            TaskNode {
+                kernel: "MUL".into(),
+                sw_cycles: 900,
+                sw_only: false,
+            },
+        )
         .unwrap();
 
     // The IMAGE phase: a GAUSS -> EDGE dataflow pipeline.
@@ -54,14 +75,27 @@ fn main() {
         consume: Rate(1),
         token_bytes: 1,
     };
-    df.add_stream(one(None, Some((gauss, "in".into())))).unwrap();
-    df.add_stream(one(Some((gauss, "out".into())), Some((edge, "in".into())))).unwrap();
-    df.add_stream(one(Some((edge, "out".into())), None)).unwrap();
-    println!("IMAGE phase repetition vector: {:?}", df.repetition_vector().unwrap());
+    df.add_stream(one(None, Some((gauss, "in".into()))))
+        .unwrap();
+    df.add_stream(one(Some((gauss, "out".into())), Some((edge, "in".into()))))
+        .unwrap();
+    df.add_stream(one(Some((edge, "out".into())), None))
+        .unwrap();
+    println!(
+        "IMAGE phase repetition vector: {:?}",
+        df.repetition_vector().unwrap()
+    );
     let image = htg.add_phase("IMAGE", df).unwrap();
 
     let n4 = htg
-        .add_task("N4", TaskNode { kernel: "io_out".into(), sw_cycles: 2_000, sw_only: true })
+        .add_task(
+            "N4",
+            TaskNode {
+                kernel: "io_out".into(),
+                sw_cycles: 2_000,
+                sw_only: true,
+            },
+        )
         .unwrap();
     let buf = |b| TransferKind::SharedBuffer { bytes: b };
     htg.add_edge(n1, add, buf(8)).unwrap();
@@ -77,7 +111,11 @@ fn main() {
         "HTG: {} nodes, {} edges, topological order {:?}",
         htg.node_count(),
         htg.edge_count(),
-        report.topo_order.iter().map(|&id| htg.name(id)).collect::<Vec<_>>()
+        report
+            .topo_order
+            .iter()
+            .map(|&id| htg.name(id))
+            .collect::<Vec<_>>()
     );
 
     // --- 2. partition (the paper's manual step) ------------------------
@@ -86,7 +124,11 @@ fn main() {
     println!(
         "partition: {} hardware nodes, software: {:?}",
         partition.hardware_count(),
-        partition.software_nodes(&htg).iter().map(|&id| htg.name(id)).collect::<Vec<_>>()
+        partition
+            .software_nodes(&htg)
+            .iter()
+            .map(|&id| htg.name(id))
+            .collect::<Vec<_>>()
     );
 
     // --- 3. lower to the DSL automatically -----------------------------
@@ -96,8 +138,10 @@ fn main() {
         kernels::gauss_core(),
         kernels::edge_core(),
     ];
-    let kernel_map: HashMap<String, _> =
-        kernel_list.iter().map(|k| (k.name.clone(), k.clone())).collect();
+    let kernel_map: HashMap<String, _> = kernel_list
+        .iter()
+        .map(|k| (k.name.clone(), k.clone()))
+        .collect();
     let graph = lower_htg(&htg, &partition, &kernel_map).unwrap();
     println!("\nderived DSL description (the paper writes this by hand):\n");
     println!("{}", print(&graph, PrintStyle::ScalaObject));
@@ -108,7 +152,11 @@ fn main() {
         engine.register_kernel(k);
     }
     let art = engine.run(&graph).unwrap();
-    println!("flow complete: {} | timing {}", art.synth.total, if art.timing.met() { "met" } else { "FAILED" });
+    println!(
+        "flow complete: {} | timing {}",
+        art.synth.total,
+        if art.timing.met() { "met" } else { "FAILED" }
+    );
     println!(
         "block design: {} cells, {} DMA, bitstream {} frames",
         art.block_design.cells.len(),

@@ -50,20 +50,48 @@ fn main() {
     }
 
     // AXI-Lite style: the host writes argument registers and polls done.
-    let mut board = engine.build_board(&art, 1 << 20);
+    let mut board = engine
+        .build_board(&art, 1 << 20)
+        .expect("board should build");
     let idx = |n: &str| art.hls.iter().position(|(name, _)| name == n).unwrap();
-    let (r, ns) = board.invoke_lite(idx("ADD"), &[("A", 40), ("B", 2)]).unwrap();
-    println!("\nADD(40, 2)  = {} ({:.1} µs over AXI-Lite)", r["return"], ns / 1e3);
-    let (r, ns) = board.invoke_lite(idx("MUL"), &[("A", 6), ("B", 7)]).unwrap();
-    println!("MUL(6, 7)   = {} ({:.1} µs over AXI-Lite)", r["return"], ns / 1e3);
+    let (r, ns) = board
+        .invoke_lite(idx("ADD"), &[("A", 40), ("B", 2)])
+        .unwrap();
+    println!(
+        "\nADD(40, 2)  = {} ({:.1} µs over AXI-Lite)",
+        r["return"],
+        ns / 1e3
+    );
+    let (r, ns) = board
+        .invoke_lite(idx("MUL"), &[("A", 6), ("B", 7)])
+        .unwrap();
+    println!(
+        "MUL(6, 7)   = {} ({:.1} µs over AXI-Lite)",
+        r["return"],
+        ns / 1e3
+    );
 
     // AXI-Stream style: DMA a scanline through GAUSS -> EDGE.
-    let line: Vec<u8> = (0..128).map(|i| if i / 16 % 2 == 0 { 30 } else { 220 }).collect();
+    let line: Vec<u8> = (0..128)
+        .map(|i| if i / 16 % 2 == 0 { 30 } else { 220 })
+        .collect();
     board.dram.load_bytes(0x1_0000, &line).unwrap();
     let stats = board
         .run_stream_phase(
-            &[(0, DmaDescriptor { addr: 0x1_0000, len: 128 })],
-            &[(0, DmaDescriptor { addr: 0x2_0000, len: 128 })],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x1_0000,
+                    len: 128,
+                },
+            )],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x2_0000,
+                    len: 128,
+                },
+            )],
             &[(idx("GAUSS"), "n", 128), (idx("EDGE"), "n", 128)],
         )
         .unwrap();

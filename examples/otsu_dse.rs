@@ -40,7 +40,11 @@ fn main() {
     let model = otsu_chain_model((scene.width * scene.height) as u64);
     let points = exhaustive(&model);
     let front = pareto_front(&points);
-    println!("{} points evaluated, {} on the Pareto front:", points.len(), front.len());
+    println!(
+        "{} points evaluated, {} on the Pareto front:",
+        points.len(),
+        front.len()
+    );
     for p in &front {
         println!(
             "  {:>7.2} ms @ {:>6} LUT  {{{}}}",

@@ -18,19 +18,27 @@ fn main() {
         .scalar_in("n", Ty::U32)
         .stream_in("in", Ty::U8)
         .stream_out("out", Ty::U16)
-        .push(for_pipelined("i", c(0), var("n"), vec![
-            write("out", add(read("in"), c(64))),
-        ]))
+        .push(for_pipelined(
+            "i",
+            c(0),
+            var("n"),
+            vec![write("out", add(read("in"), c(64)))],
+        ))
         .build();
     let clamp = KernelBuilder::new("CLAMP")
         .scalar_in("n", Ty::U32)
         .stream_in("in", Ty::U16)
         .stream_out("out", Ty::U8)
         .local("v", Ty::U16)
-        .push(for_pipelined("i", c(0), var("n"), vec![
-            assign("v", read("in")),
-            write("out", select(gt(var("v"), c(255)), c(255), var("v"))),
-        ]))
+        .push(for_pipelined(
+            "i",
+            c(0),
+            var("n"),
+            vec![
+                assign("v", read("in")),
+                write("out", select(gt(var("v"), c(255)), c(255), var("v"))),
+            ],
+        ))
         .build();
 
     // 2. The architecture, in the textual DSL (the paper's Listing 2/3
@@ -76,18 +84,37 @@ fn main() {
         artifacts.dts.lines().count()
     );
     for pt in &artifacts.phase_timings {
-        println!("phase {:>14}: modeled {:>6.1}s (measured {:?})", pt.phase.to_string(), pt.modeled_s, pt.actual);
+        println!(
+            "phase {:>14}: modeled {:>6.1}s (measured {:?})",
+            pt.phase.to_string(),
+            pt.modeled_s,
+            pt.actual
+        );
     }
     assert!(artifacts.phase(FlowPhase::Hls).is_some());
 
     // 4. Run data through the generated system on the simulated board.
-    let mut board = engine.build_board(&artifacts, 1 << 20);
+    let mut board = engine
+        .build_board(&artifacts, 1 << 20)
+        .expect("board should build");
     let input: Vec<u8> = vec![0, 100, 200, 250];
     board.dram.load_bytes(0x1000, &input).unwrap();
     let stats = board
         .run_stream_phase(
-            &[(0, DmaDescriptor { addr: 0x1000, len: 4 })],
-            &[(0, DmaDescriptor { addr: 0x2000, len: 4 })],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x1000,
+                    len: 4,
+                },
+            )],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x2000,
+                    len: 4,
+                },
+            )],
             &[(0, "n", 4), (1, "n", 4)],
         )
         .unwrap();
@@ -95,7 +122,12 @@ fn main() {
     println!("\n=== execution on the simulated board ===");
     println!("input : {input:?}");
     println!("output: {out:?} (boost by 64, clamp at 255)");
-    println!("phase time: {:.1} µs, DMA {} bytes in / {} out", stats.ns / 1e3, stats.bytes_in, stats.bytes_out);
+    println!(
+        "phase time: {:.1} µs, DMA {} bytes in / {} out",
+        stats.ns / 1e3,
+        stats.bytes_in,
+        stats.bytes_out
+    );
     assert_eq!(out, vec![64, 164, 255, 255]);
     println!("\nOK.");
 }

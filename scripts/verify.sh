@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything must pass offline (the build environment has
+# no network access; all external deps are vendored stubs, see
+# vendor/README.md). Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline, all targets)"
+cargo build --offline --release --workspace --all-targets
+
+echo "==> cargo test (offline)"
+cargo test --offline --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+# Clippy is not part of the minimal toolchain baked into every image;
+# lint hard when it exists, skip quietly when it doesn't.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -p accelsoc-core (offline, -D warnings)"
+    cargo clippy --offline -p accelsoc-core --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint step"
+fi
+
+echo "==> verify OK"

@@ -13,6 +13,8 @@
 //!   --backend <v>       tcl dialect: 2014.2|2015.3  [default: 2015.3]
 //!   --device <part>     7z020|7z010                 [default: 7z020]
 //!   --dma <policy>      shared|per-link             [default: shared]
+//!   --trace-json <f>    write a JSON-lines flow trace to <f>
+//!   --verbose           log flow events to stderr
 //! ```
 //!
 //! The built-in kernel library holds the case-study and demo kernels
@@ -22,6 +24,7 @@
 use accelsoc::core::dsl::{parse, print, PrintStyle};
 use accelsoc::core::flow::{FlowEngine, FlowOptions};
 use accelsoc::core::semantics::elaborate;
+use accelsoc::core::{JsonTraceObserver, LogObserver};
 use accelsoc::integration::device::Device;
 use accelsoc::integration::tcl::TclBackend;
 use accelsoc_integration::assembler::DmaPolicy;
@@ -54,12 +57,17 @@ fn main() -> ExitCode {
             for k in builtin_kernels() {
                 let streams = k.params.iter().filter(|p| p.kind.is_stream()).count();
                 let scalars = k.params.len() - streams;
-                println!("  {:<18} {scalars} scalar / {streams} stream params", k.name);
+                println!(
+                    "  {:<18} {scalars} scalar / {streams} stream params",
+                    k.name
+                );
             }
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: accelsoc <check|fmt|build|kernels> [args]  (see --help in the README)");
+            eprintln!(
+                "usage: accelsoc <check|fmt|build|kernels> [args]  (see --help in the README)"
+            );
             ExitCode::from(2)
         }
     }
@@ -85,9 +93,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(c) => return c,
     };
-    match parse(&src).map_err(|e| e.to_string()).and_then(|g| {
-        elaborate(&g).map_err(|e| e.to_string()).map(|e| (g, e))
-    }) {
+    match parse(&src)
+        .map_err(|e| e.to_string())
+        .and_then(|g| elaborate(&g).map_err(|e| e.to_string()).map(|e| (g, e)))
+    {
         Ok((g, _)) => {
             println!(
                 "{}: OK — project `{}`, {} nodes, {} edges ({} stream links, {} via 'soc)",
@@ -131,6 +140,8 @@ fn cmd_build(args: &[String]) -> ExitCode {
     };
     let mut out_dir = PathBuf::from("accelsoc-out");
     let mut options = FlowOptions::default();
+    let mut trace_path: Option<PathBuf> = None;
+    let mut verbose = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -171,11 +182,42 @@ fn cmd_build(args: &[String]) -> ExitCode {
                 };
                 i += 2;
             }
+            "--trace-json" if i + 1 < args.len() => {
+                trace_path = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
+            // Value-taking flags at the end of the argument list fall
+            // through their guarded arms above.
+            flag @ ("--out" | "--backend" | "--device" | "--dma" | "--trace-json") => {
+                eprintln!("error: `{flag}` requires a value");
+                return ExitCode::from(2);
+            }
             other => {
                 eprintln!("error: unknown option `{other}`");
                 return ExitCode::from(2);
             }
         }
+    }
+
+    let mut sinks: Vec<accelsoc::core::SharedObserver> = Vec::new();
+    if let Some(trace) = &trace_path {
+        match JsonTraceObserver::create(trace) {
+            Ok(obs) => sinks.push(std::sync::Arc::new(obs)),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {}: {e}", trace.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if verbose {
+        sinks.push(std::sync::Arc::new(LogObserver::stderr()));
+    }
+    if !sinks.is_empty() {
+        options.observer = std::sync::Arc::new(accelsoc::core::observe::FanoutObserver::new(sinks));
     }
 
     let mut engine = FlowEngine::new(options);
@@ -190,6 +232,9 @@ fn cmd_build(args: &[String]) -> ExitCode {
         }
     };
 
+    if let Some(trace) = &trace_path {
+        println!("trace    : {}", trace.display());
+    }
     if let Err(e) = write_artifacts(&out_dir, &engine, &artifacts) {
         eprintln!("error writing artifacts: {e}");
         return ExitCode::FAILURE;
@@ -199,12 +244,21 @@ fn cmd_build(args: &[String]) -> ExitCode {
     println!(
         "timing   : {:.2} ns ({}; Fmax {:.0} MHz)",
         artifacts.timing.achieved_ns,
-        if artifacts.timing.met() { "met" } else { "FAILED" },
+        if artifacts.timing.met() {
+            "met"
+        } else {
+            "FAILED"
+        },
         artifacts.timing.fmax_mhz
     );
     println!("artifacts: {}", out_dir.display());
     for pt in &artifacts.phase_timings {
-        println!("  {:<14} modeled {:>7.1}s  measured {:?}", pt.phase.to_string(), pt.modeled_s, pt.actual);
+        println!(
+            "  {:<14} modeled {:>7.1}s  measured {:?}",
+            pt.phase.to_string(),
+            pt.modeled_s,
+            pt.actual
+        );
     }
     ExitCode::SUCCESS
 }
@@ -242,7 +296,13 @@ fn cmd_sim(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut board = engine.build_board(&art, 64 << 20);
+    let mut board = match engine.build_board(&art, 64 << 20) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{}: board error: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
     let data: Vec<u8> = (0..n).map(|i| (i & 0xff) as u8).collect();
     board.dram.load_bytes(0x1_0000, &data).unwrap();
     // Every streaming node that takes an `n`/`W` scalar gets the count.
@@ -255,8 +315,20 @@ fn cmd_sim(args: &[String]) -> ExitCode {
         }
     }
     match board.run_stream_phase(
-        &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x1_0000, len: n as u64 })],
-        &[(0, accelsoc_axi::dma::DmaDescriptor { addr: 0x8_0000, len: 4 * n as u64 })],
+        &[(
+            0,
+            accelsoc_axi::dma::DmaDescriptor {
+                addr: 0x1_0000,
+                len: n as u64,
+            },
+        )],
+        &[(
+            0,
+            accelsoc_axi::dma::DmaDescriptor {
+                addr: 0x8_0000,
+                len: 4 * n as u64,
+            },
+        )],
         &scalar_args,
     ) {
         Ok(stats) => {
@@ -307,7 +379,10 @@ fn write_artifacts(
     for (name, r) in &art.hls {
         std::fs::write(hls_dir.join(format!("{name}.rpt")), r.report.render())?;
         std::fs::write(hls_dir.join(format!("{name}.v")), &r.verilog)?;
-        std::fs::write(hls_dir.join(format!("{name}_directives.tcl")), &r.directives_tcl)?;
+        std::fs::write(
+            hls_dir.join(format!("{name}_directives.tcl")),
+            &r.directives_tcl,
+        )?;
     }
     if !art.capi.is_empty() {
         let api_dir = dir.join("api");

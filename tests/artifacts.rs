@@ -26,12 +26,19 @@ fn devfs_matches_device_tree() {
         let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
         let fs = DevFs::from_design(&art.block_design);
         // One /dev node per address-mapped cell.
-        assert_eq!(fs.paths().len(), art.block_design.address_map.len(), "{arch:?}");
+        assert_eq!(
+            fs.paths().len(),
+            art.block_design.address_map.len(),
+            "{arch:?}"
+        );
         // Every node's base appears in the DTS reg property.
         for path in fs.paths() {
             let node = fs.node(path).unwrap();
             let reg = format!("reg = <0x{:08x}", node.base);
-            assert!(art.dts.contains(&reg), "{arch:?}: {path} base missing from DTS");
+            assert!(
+                art.dts.contains(&reg),
+                "{arch:?}: {path} base missing from DTS"
+            );
         }
     }
 }
@@ -64,9 +71,15 @@ fn boot_image_embeds_the_exact_bitstream_and_dts() {
     let mut engine = otsu_flow_engine();
     let art = engine.run_source(&arch_dsl_source(Arch::Arch2)).unwrap();
     let parts = BootImage::verify(&art.boot.data).unwrap();
-    let bits = parts.iter().find(|(k, _)| *k == PartitionKind::Bitstream).unwrap();
+    let bits = parts
+        .iter()
+        .find(|(k, _)| *k == PartitionKind::Bitstream)
+        .unwrap();
     assert_eq!(bits.1, art.bitstream.data);
-    let dts = parts.iter().find(|(k, _)| *k == PartitionKind::DeviceTree).unwrap();
+    let dts = parts
+        .iter()
+        .find(|(k, _)| *k == PartitionKind::DeviceTree)
+        .unwrap();
     assert_eq!(&dts.1[..], art.dts.as_bytes());
 }
 
@@ -83,6 +96,9 @@ fn hls_reports_sum_below_system_totals() {
         );
         let raw = art.block_design.raw_resources();
         assert!(raw.lut >= cores_lut, "{arch:?}: design includes all cores");
-        assert!(art.synth.total.lut < raw.lut, "{arch:?}: optimization helps");
+        assert!(
+            art.synth.total.lut < raw.lut,
+            "{arch:?}: optimization helps"
+        );
     }
 }

@@ -34,7 +34,11 @@ fn check_accepts_valid_and_rejects_invalid() {
     std::fs::create_dir_all(&dir).unwrap();
     let good = write_tg(&dir, "good.tg", PIPE);
     let out = bin().arg("check").arg(&good).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("project `pipe`"));
     assert!(stdout.contains("2 nodes"));
@@ -71,9 +75,20 @@ fn build_writes_complete_artifact_set() {
         .arg(&out_dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    for f in ["design.tcl", "utilization.rpt", "system.bit", "BOOT.BIN", "system.dts",
-              "main.c", "Makefile"] {
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in [
+        "design.tcl",
+        "utilization.rpt",
+        "system.bit",
+        "BOOT.BIN",
+        "system.dts",
+        "main.c",
+        "Makefile",
+    ] {
         assert!(out_dir.join(f).exists(), "missing {f}");
     }
     for core in ["GAUSS", "EDGE"] {
@@ -111,7 +126,14 @@ fn kernels_lists_library() {
     let out = bin().arg("kernels").output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for k in ["grayScale", "computeHistogram", "halfProbability", "segment", "ADD", "GAUSS"] {
+    for k in [
+        "grayScale",
+        "computeHistogram",
+        "halfProbability",
+        "segment",
+        "ADD",
+        "GAUSS",
+    ] {
         assert!(stdout.contains(k), "missing {k}");
     }
 }
@@ -128,7 +150,11 @@ fn sim_runs_pipeline_and_emits_vcd() {
         .args(["--n", "32"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("input  (32 tokens)"));
     assert!(stdout.contains("per stage:"));

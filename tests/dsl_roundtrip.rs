@@ -14,7 +14,13 @@ fn ident() -> impl Strategy<Value = String> {
 fn arb_graph() -> impl Strategy<Value = TaskGraph> {
     (
         ident(),
-        proptest::collection::vec((ident(), proptest::collection::vec((ident(), any::<bool>()), 1..5)), 1..6),
+        proptest::collection::vec(
+            (
+                ident(),
+                proptest::collection::vec((ident(), any::<bool>()), 1..5),
+            ),
+            1..6,
+        ),
     )
         .prop_map(|(project, raw_nodes)| {
             let mut g = TaskGraph::new(&project);
@@ -25,7 +31,11 @@ fn arb_graph() -> impl Strategy<Value = TaskGraph> {
                     .enumerate()
                     .map(|(j, (pname, stream))| Port {
                         name: format!("{pname}_{j}"),
-                        kind: if stream { InterfaceKind::Stream } else { InterfaceKind::Lite },
+                        kind: if stream {
+                            InterfaceKind::Stream
+                        } else {
+                            InterfaceKind::Lite
+                        },
                     })
                     .collect();
                 g.nodes.push(DslNode { name, ports });
@@ -35,19 +45,26 @@ fn arb_graph() -> impl Strategy<Value = TaskGraph> {
             let nodes = g.nodes.clone();
             for n in &nodes {
                 if n.ports.iter().any(|p| p.kind == InterfaceKind::Lite) {
-                    g.edges.push(DslEdge::Connect { node: n.name.clone() });
+                    g.edges.push(DslEdge::Connect {
+                        node: n.name.clone(),
+                    });
                 }
                 if let Some(p) = n.ports.iter().find(|p| p.kind == InterfaceKind::Stream) {
                     g.edges.push(DslEdge::Link {
                         from: LinkEnd::Soc,
-                        to: LinkEnd::Port { node: n.name.clone(), port: p.name.clone() },
+                        to: LinkEnd::Port {
+                            node: n.name.clone(),
+                            port: p.name.clone(),
+                        },
                     });
                 }
             }
             if g.edges.is_empty() {
                 // Grammar requires at least one edge.
                 let n = &g.nodes[0];
-                g.edges.push(DslEdge::Connect { node: n.name.clone() });
+                g.edges.push(DslEdge::Connect {
+                    node: n.name.clone(),
+                });
             }
             g
         })
@@ -103,7 +120,12 @@ fn paper_listing4_roundtrips_verbatim() {
     let printed = print(&g, PrintStyle::ScalaObject);
     assert_eq!(parse(&printed).unwrap(), g);
     // Node names of Listing 4 survive.
-    for n in ["grayScale", "computeHistogram", "halfProbability", "segment"] {
+    for n in [
+        "grayScale",
+        "computeHistogram",
+        "halfProbability",
+        "segment",
+    ] {
         assert!(printed.contains(n));
     }
 }

@@ -14,8 +14,8 @@ fn every_architecture_flows_to_verified_boot_artifacts() {
     for arch in Arch::all() {
         let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
         // Bitstream framing + CRC verify (configuration-engine view).
-        let payload = bitstream::verify(&art.bitstream.data)
-            .unwrap_or_else(|e| panic!("{arch:?}: {e}"));
+        let payload =
+            bitstream::verify(&art.bitstream.data).unwrap_or_else(|e| panic!("{arch:?}: {e}"));
         assert!(!payload.is_empty());
         // Boot container: all four partitions present and intact.
         let parts = BootImage::verify(&art.boot.data).unwrap();

@@ -5,7 +5,7 @@
 
 use accelsoc::apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
 use accelsoc::core::builder::TaskGraphBuilder;
-use accelsoc::core::flow::{FlowEngine, FlowError, FlowOptions};
+use accelsoc::core::flow::{FlowEngine, FlowError, FlowOptions, PortIssue};
 use accelsoc::integration::device::Device;
 use accelsoc_hls::resource::ResourceEstimate;
 use accelsoc_kernel::builder::*;
@@ -16,14 +16,21 @@ fn stream_kernel(name: &str) -> accelsoc_kernel::ir::Kernel {
         .scalar_in("n", Ty::U32)
         .stream_in("in", Ty::U8)
         .stream_out("out", Ty::U8)
-        .push(for_pipelined("i", c(0), var("n"), vec![write("out", read("in"))]))
+        .push(for_pipelined(
+            "i",
+            c(0),
+            var("n"),
+            vec![write("out", read("in"))],
+        ))
         .build()
 }
 
 #[test]
 fn syntax_errors_carry_positions() {
     let mut e = otsu_flow_engine();
-    let err = e.run_source("tg nodes;\n  tg node MISSING_QUOTES i \"x\" end;\n").unwrap_err();
+    let err = e
+        .run_source("tg nodes;\n  tg node MISSING_QUOTES i \"x\" end;\n")
+        .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("2:"), "line number in: {msg}");
     assert!(msg.contains("node name string"), "{msg}");
@@ -37,7 +44,8 @@ fn semantic_errors_name_the_culprit() {
     let g = TaskGraphBuilder::new("bad")
         .node("A", |n| n.stream("in").stream("out"))
         .link_soc_to("A", "in")
-        .build();
+        .build()
+        .unwrap();
     let msg = e.run(&g).unwrap_err().to_string();
     assert!(msg.contains("A.out"), "{msg}");
 }
@@ -51,11 +59,13 @@ fn kernel_interface_mismatches_rejected() {
         .node("A", |n| n.lite("in").stream("out"))
         .connect("A")
         .link_to_soc("A", "out")
-        .build();
+        .build()
+        .unwrap();
     match e.run(&g).unwrap_err() {
-        FlowError::PortMismatch { node, detail } => {
+        FlowError::PortMismatch { node, port, issue } => {
             assert_eq!(node, "A");
-            assert!(detail.contains("in"), "{detail}");
+            assert_eq!(port, "in");
+            assert!(matches!(issue, PortIssue::KindMismatch { .. }), "{issue}");
         }
         other => panic!("expected PortMismatch, got {other}"),
     }
@@ -75,9 +85,13 @@ fn direction_reversal_rejected() {
         // B.out as a *destination* instead.
         .link(("A", "out"), ("B", "out"))
         .link_soc_to("B", "in")
-        .build();
+        .build()
+        .unwrap();
     let err = e.run(&g).unwrap_err();
-    assert!(matches!(err, FlowError::Semantic(_) | FlowError::PortMismatch { .. }), "{err}");
+    assert!(
+        matches!(err, FlowError::Semantic(_) | FlowError::PortMismatch { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -89,7 +103,7 @@ fn overcapacity_fails_synthesis_not_later() {
         rows: 10,
         site_luts: 20,
     };
-    let mut e = FlowEngine::new(FlowOptions { device: tiny, ..FlowOptions::default() });
+    let mut e = FlowEngine::new(FlowOptions::builder().device(tiny).build());
     for k in accelsoc::apps::kernels::otsu_kernels() {
         e.register_kernel(k);
     }
@@ -125,14 +139,26 @@ fn board_runtime_errors_surface_cleanly() {
     use accelsoc_axi::dma::DmaDescriptor;
     let mut e = otsu_flow_engine();
     let art = e.run_source(&arch_dsl_source(Arch::Arch1)).unwrap();
-    let mut board = e.build_board(&art, 1 << 16);
+    let mut board = e.build_board(&art, 1 << 16).unwrap();
     // Feed fewer tokens than the core's `n` demands: the stream underflow
     // must name the accelerator.
     board.dram.load_bytes(0x100, &[1, 2, 3, 4]).unwrap();
     let err = board
         .run_stream_phase(
-            &[(0, DmaDescriptor { addr: 0x100, len: 4 })],
-            &[(0, DmaDescriptor { addr: 0x200, len: 1024 })],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x100,
+                    len: 4,
+                },
+            )],
+            &[(
+                0,
+                DmaDescriptor {
+                    addr: 0x200,
+                    len: 1024,
+                },
+            )],
             &[(0, "n", 100)],
         )
         .unwrap_err();

@@ -15,9 +15,12 @@ fn stage_kernel(name: &str, delta: i64) -> accelsoc_kernel::ir::Kernel {
         .scalar_in("n", Ty::U32)
         .stream_in("in", Ty::U8)
         .stream_out("out", Ty::U8)
-        .push(for_pipelined("i", c(0), var("n"), vec![
-            write("out", add(read("in"), c(delta))),
-        ]))
+        .push(for_pipelined(
+            "i",
+            c(0),
+            var("n"),
+            vec![write("out", add(read("in"), c(delta)))],
+        ))
         .build()
 }
 
@@ -47,7 +50,7 @@ proptest! {
             b = b.link((&w[0], "out"), (&w[1], "in"));
         }
         b = b.link_to_soc(names.last().unwrap(), "out");
-        let graph = b.build();
+        let graph = b.build().expect("generated pipeline is structurally valid");
 
         let art = engine.run(&graph).expect("flow succeeds");
         prop_assert!(art.timing.met());
@@ -56,7 +59,7 @@ proptest! {
         accelsoc::swgen::boot::BootImage::verify(&art.boot.data).unwrap();
 
         // Execute on the board.
-        let mut board = engine.build_board(&art, 1 << 20);
+        let mut board = engine.build_board(&art, 1 << 20).expect("board builds");
         board.dram.load_bytes(0x1000, &data).unwrap();
         let n = data.len() as i64;
         let scalar_args: Vec<(usize, &str, i64)> =
@@ -94,7 +97,7 @@ proptest! {
             b = b.link((&w[0], "out"), (&w[1], "in"));
         }
         b = b.link_to_soc(names.last().unwrap(), "out");
-        let graph = b.build();
+        let graph = b.build().expect("generated pipeline is structurally valid");
 
         let direct = engine.run(&graph).unwrap();
         let text =

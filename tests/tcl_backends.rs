@@ -7,7 +7,7 @@ use accelsoc::core::FlowEngine;
 use accelsoc::integration::tcl::TclBackend;
 
 fn engine_with(backend: TclBackend) -> FlowEngine {
-    let mut e = FlowEngine::new(FlowOptions { tcl_backend: backend, ..FlowOptions::default() });
+    let mut e = FlowEngine::new(FlowOptions::builder().tcl_backend(backend).build());
     for k in accelsoc::apps::kernels::otsu_kernels() {
         e.register_kernel(k);
     }
@@ -27,11 +27,17 @@ fn both_backends_produce_complete_scripts_for_all_archs() {
                 "launch_runs synth_1",
                 "write_bitstream",
             ] {
-                assert!(art.tcl.contains(required), "{backend:?}/{arch:?}: missing {required}");
+                assert!(
+                    art.tcl.contains(required),
+                    "{backend:?}/{arch:?}: missing {required}"
+                );
             }
             // Every HLS core is instantiated.
             for (name, _) in &art.hls {
-                assert!(art.tcl.contains(&format!("xilinx.com:hls:{name}")), "{name}");
+                assert!(
+                    art.tcl.contains(&format!("xilinx.com:hls:{name}")),
+                    "{name}"
+                );
             }
             // Every address-map entry is assigned.
             for (cell, base, _) in &art.block_design.address_map {
@@ -60,7 +66,10 @@ fn backend_port_is_a_small_diff() {
     assert_eq!(old.len(), new.len(), "same command count");
     let differing = old.iter().zip(&new).filter(|(a, b)| a != b).count();
     assert!(differing >= 1, "versions must actually differ");
-    assert!(differing <= 4, "the port touches a handful of lines, got {differing}");
+    assert!(
+        differing <= 4,
+        "the port touches a handful of lines, got {differing}"
+    );
 }
 
 #[test]

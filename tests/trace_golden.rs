@@ -1,0 +1,389 @@
+//! Trace-format guarantees of the observability layer:
+//!
+//! * a **golden test** pinning the JSON-lines trace of a two-node flow
+//!   (normalized: volatile wall times zeroed, concurrent HLS worker
+//!   reports sorted);
+//! * a **property test** that phase spans are well-nested — every
+//!   `PhaseStarted` balanced by a matching `PhaseEnded` — on success
+//!   *and* on every error path we can inject;
+//! * **failure-injection** checks that malformed input through the
+//!   public entry points returns `Err` (never panics) while still
+//!   closing every open span.
+//!
+//! Regenerate the golden file after an intentional trace change with
+//! `UPDATE_GOLDEN=1 cargo test --test trace_golden`.
+
+use accelsoc::core::builder::TaskGraphBuilder;
+use accelsoc::core::flow::{FlowEngine, FlowOptions};
+use accelsoc::core::{CollectObserver, FlowEvent, JsonTraceObserver, SharedObserver};
+use accelsoc_kernel::builder::*;
+use accelsoc_kernel::types::Ty;
+use proptest::prelude::*;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/two_node_trace.jsonl"
+);
+
+/// A `Write` handle into a shared buffer so the test can read back what
+/// `JsonTraceObserver` wrote after handing it ownership of the writer.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A stage that adds a constant to every token (mod 256).
+fn stage_kernel(name: &str, delta: i64) -> accelsoc_kernel::ir::Kernel {
+    KernelBuilder::new(name)
+        .scalar_in("n", Ty::U32)
+        .stream_in("in", Ty::U8)
+        .stream_out("out", Ty::U8)
+        .push(for_pipelined(
+            "i",
+            c(0),
+            var("n"),
+            vec![write("out", add(read("in"), c(delta)))],
+        ))
+        .build()
+}
+
+const TWO_NODE_DSL: &str = r#"
+    object golden extends App {
+      tg nodes;
+        tg node "A" is "in" is "out" end;
+        tg node "B" is "in" is "out" end;
+      tg end_nodes;
+      tg edges;
+        tg link 'soc to ("A","in") end;
+        tg link ("A","out") to ("B","in") end;
+        tg link ("B","out") to 'soc end;
+      tg end_edges;
+    }
+"#;
+
+fn two_node_engine(observer: SharedObserver) -> FlowEngine {
+    let mut engine = FlowEngine::new(FlowOptions::builder().observer(observer).build());
+    engine.register_kernel(stage_kernel("A", 3));
+    engine.register_kernel(stage_kernel("B", 7));
+    engine
+}
+
+/// Rebuild a trace event with any `PhaseEnded.wall_us` zeroed (the
+/// vendored JSON value tree is immutable-access only).
+fn zero_wall_us(v: &serde_json::Value) -> serde_json::Value {
+    use serde_json::Value;
+    match v {
+        Value::Object(m) => Value::Object(
+            m.iter()
+                .map(|(k, inner)| {
+                    let inner = match inner {
+                        Value::Object(pm) if k == "PhaseEnded" => {
+                            let mut pm = pm.clone();
+                            pm.insert("wall_us".to_string(), serde_json::json!(0));
+                            Value::Object(pm)
+                        }
+                        other => other.clone(),
+                    };
+                    (k.clone(), inner)
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Normalize one raw trace into comparable lines: zero the measured
+/// wall times (the only nondeterministic *values*), and sort each
+/// consecutive run of `HlsKernelSynthesized` lines by kernel name (the
+/// only nondeterministic *ordering* — they are reported by concurrent
+/// HLS workers).
+fn normalize(raw: &str) -> Vec<String> {
+    let lines: Vec<serde_json::Value> = raw
+        .lines()
+        .map(|l| {
+            let v: serde_json::Value =
+                serde_json::from_str(l).expect("every trace line parses as JSON");
+            zero_wall_us(&v)
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].get("HlsKernelSynthesized").is_some() {
+            let mut run = Vec::new();
+            while i < lines.len() && lines[i].get("HlsKernelSynthesized").is_some() {
+                run.push(lines[i].clone());
+                i += 1;
+            }
+            run.sort_by_key(|v| v["HlsKernelSynthesized"]["kernel"].to_string());
+            out.extend(run);
+        } else {
+            out.push(lines[i].clone());
+            i += 1;
+        }
+    }
+    out.iter()
+        .map(|v| serde_json::to_string(v).unwrap())
+        .collect()
+}
+
+#[test]
+fn golden_two_node_trace() {
+    let buf = SharedBuf::default();
+    let mut engine = two_node_engine(Arc::new(JsonTraceObserver::new(buf.clone())));
+    engine
+        .run_source(TWO_NODE_DSL)
+        .expect("two-node flow succeeds");
+
+    let actual = normalize(&buf.contents());
+    let golden_path = Path::new(GOLDEN);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(golden_path, actual.join("\n") + "\n").unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden trace missing: run with UPDATE_GOLDEN=1 to create it");
+    let expected: Vec<String> = golden.lines().map(str::to_string).collect();
+    assert_eq!(
+        actual, expected,
+        "normalized trace diverged from {GOLDEN}; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// Check the span discipline of an observed event stream:
+/// `FlowStarted` first, `FlowFinished` last, and phase spans strictly
+/// well-nested (every start balanced by an end for the same phase, no
+/// end without a start, nothing left open).
+fn check_well_nested(events: &[FlowEvent]) -> Result<(), String> {
+    if events.is_empty() {
+        // A parse failure rejects the source before the flow starts;
+        // an empty stream is vacuously well-nested.
+        return Ok(());
+    }
+    if !matches!(events.first(), Some(FlowEvent::FlowStarted { .. })) {
+        return Err("first event must be FlowStarted".into());
+    }
+    if !matches!(events.last(), Some(FlowEvent::FlowFinished { .. })) {
+        return Err("last event must be FlowFinished".into());
+    }
+    let mut open = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            FlowEvent::FlowStarted { .. } if i != 0 => {
+                return Err(format!("FlowStarted again at index {i}"));
+            }
+            FlowEvent::FlowFinished { .. } if i != events.len() - 1 => {
+                return Err(format!("FlowFinished early at index {i}"));
+            }
+            FlowEvent::PhaseStarted { phase } => open.push(*phase),
+            FlowEvent::PhaseEnded { phase, .. } => match open.pop() {
+                Some(p) if p == *phase => {}
+                Some(p) => return Err(format!("span mismatch: started {p}, ended {phase}")),
+                None => return Err(format!("PhaseEnded {phase} with no open span")),
+            },
+            _ => {}
+        }
+    }
+    if !open.is_empty() {
+        return Err(format!("{} spans left open: {open:?}", open.len()));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random pipelines — valid, or sabotaged so the flow fails in its
+    /// kernel-lookup or port-check stages — always produce a
+    /// well-nested trace, and the flow outcome matches the event
+    /// stream's outcome.
+    #[test]
+    fn spans_well_nested_even_on_error(
+        deltas in proptest::collection::vec(0i64..256, 1..=4),
+        sabotage in 0usize..3,
+        victim in 0usize..4,
+    ) {
+        let names: Vec<String> =
+            (0..deltas.len()).map(|i| format!("STAGE{i}")).collect();
+        let victim = victim % names.len();
+        let collect = Arc::new(CollectObserver::new());
+        let mut engine = FlowEngine::new(
+            FlowOptions::builder().observer(collect.clone()).build(),
+        );
+        for (i, (name, &d)) in names.iter().zip(&deltas).enumerate() {
+            match sabotage {
+                // 1: drop one kernel entirely → MissingKernel.
+                1 if i == victim => {}
+                // 2: register a kernel whose ports don't match the
+                // graph's declared interface → PortMismatch.
+                2 if i == victim => {
+                    engine.register_kernel(
+                        KernelBuilder::new(name.as_str())
+                            .scalar_in("n", Ty::U32)
+                            .stream_in("wrong_in", Ty::U8)
+                            .stream_out("out", Ty::U8)
+                            .push(for_pipelined("i", c(0), var("n"), vec![
+                                write("out", read("wrong_in")),
+                            ]))
+                            .build(),
+                    );
+                }
+                _ => engine.register_kernel(stage_kernel(name, d)),
+            }
+        }
+        let mut b = TaskGraphBuilder::new("prop");
+        for name in &names {
+            b = b.node(name, |n| n.stream("in").stream("out"));
+        }
+        b = b.link_soc_to(&names[0], "in");
+        for w in names.windows(2) {
+            b = b.link((&w[0], "out"), (&w[1], "in"));
+        }
+        b = b.link_to_soc(names.last().unwrap(), "out");
+        let graph = b.build().expect("generated pipeline is structurally valid");
+
+        let result = engine.run(&graph);
+        prop_assert_eq!(result.is_ok(), sabotage == 0, "sabotage {} outcome", sabotage);
+
+        let events = collect.take();
+        let nested = check_well_nested(&events);
+        prop_assert!(nested.is_ok(), "trace not well-nested: {:?}", nested);
+        // The trailing FlowFinished agrees with the Result.
+        match events.last() {
+            Some(FlowEvent::FlowFinished { outcome, .. }) => {
+                prop_assert_eq!(outcome.is_success(), sabotage == 0);
+            }
+            other => prop_assert!(false, "unexpected tail event {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn parse_and_semantic_failures_close_spans_without_panicking() {
+    let malformed = [
+        // Not the DSL at all.
+        "this is not a task graph",
+        // Truncated mid-node.
+        "object x extends App { tg nodes; tg node \"A\" is \"in\"",
+        // Semantically broken: link references an undeclared node.
+        r#"object x extends App {
+             tg nodes; tg node "A" is "in" is "out" end; tg end_nodes;
+             tg edges; tg link 'soc to ("GHOST","in") end; tg end_edges;
+           }"#,
+        // Orphan node: declared but never linked.
+        r#"object x extends App {
+             tg nodes;
+               tg node "A" is "in" is "out" end;
+               tg node "B" is "in" is "out" end;
+             tg end_nodes;
+             tg edges;
+               tg link 'soc to ("A","in") end;
+               tg link ("A","out") to 'soc end;
+             tg end_edges;
+           }"#,
+    ];
+    for src in malformed {
+        let collect = Arc::new(CollectObserver::new());
+        let mut engine = two_node_engine(collect.clone());
+        let result = engine.run_source(src);
+        assert!(result.is_err(), "malformed source must be rejected:\n{src}");
+        let events = collect.take();
+        check_well_nested(&events).unwrap_or_else(|msg| {
+            panic!("trace not well-nested for malformed source ({msg}):\n{src}")
+        });
+    }
+}
+
+#[test]
+fn builder_misuse_errors_instead_of_panicking() {
+    use accelsoc::core::builder::BuildError;
+
+    // Empty project name.
+    assert!(matches!(
+        TaskGraphBuilder::new("").build(),
+        Err(BuildError::EmptyProject)
+    ));
+
+    // Duplicate node declaration.
+    let b = TaskGraphBuilder::new("d")
+        .node("A", |n| n.stream("in"))
+        .node("A", |n| n.stream("in"));
+    assert!(matches!(b.build(), Err(BuildError::DuplicateNode { .. })));
+
+    // Link to a port that was never declared.
+    let b = TaskGraphBuilder::new("u")
+        .node("A", |n| n.stream("in"))
+        .link_soc_to("A", "nope");
+    assert!(matches!(b.build(), Err(BuildError::UnknownPort { .. })));
+
+    // Link endpoint on an undeclared node.
+    let b = TaskGraphBuilder::new("n")
+        .node("A", |n| n.stream("out"))
+        .link(("A", "out"), ("GHOST", "in"));
+    assert!(matches!(b.build(), Err(BuildError::UnknownNode { .. })));
+}
+
+#[test]
+fn golden_trace_contains_every_phase_and_cache_outcome() {
+    // Independent of the byte-exact golden: the trace schema carries
+    // the four-phase-per-run structure the bench binaries rely on.
+    let buf = SharedBuf::default();
+    let mut engine = two_node_engine(Arc::new(JsonTraceObserver::new(buf.clone())));
+    engine.run_source(TWO_NODE_DSL).expect("flow succeeds");
+    // Second run: both kernels now come from the HLS cache.
+    engine
+        .run_source(TWO_NODE_DSL)
+        .expect("second flow succeeds");
+
+    let lines: Vec<serde_json::Value> = buf
+        .contents()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    let phase_starts: Vec<&str> = lines
+        .iter()
+        .filter_map(|v| v.get("PhaseStarted").and_then(|p| p["phase"].as_str()))
+        .collect();
+    assert_eq!(
+        phase_starts,
+        [
+            "DslCompile",
+            "Hls",
+            "ProjectGen",
+            "Synthesis",
+            "Implementation",
+            "SwGen",
+            "DslCompile",
+            "Hls",
+            "ProjectGen",
+            "Synthesis",
+            "Implementation",
+            "SwGen",
+        ]
+    );
+    let hits: Vec<bool> = lines
+        .iter()
+        .filter_map(|v| v.get("HlsCacheQuery").and_then(|q| q["hit"].as_bool()))
+        .collect();
+    assert_eq!(hits, [false, false, true, true], "run 1 misses, run 2 hits");
+}
