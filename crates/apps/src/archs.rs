@@ -110,7 +110,14 @@ object otsu extends App {
 /// A flow engine with all four Otsu kernels registered — the analogue of
 /// the paper's project directory holding the Vivado-HLS-ready C sources.
 pub fn otsu_flow_engine() -> FlowEngine {
-    let mut e = FlowEngine::new(FlowOptions::default());
+    otsu_flow_engine_with(FlowOptions::default())
+}
+
+/// [`otsu_flow_engine`] with caller-supplied [`FlowOptions`] — needed when
+/// the options must be fixed before engine construction (e.g. a persistent
+/// HLS cache directory, which is resolved in [`FlowEngine::new`]).
+pub fn otsu_flow_engine_with(options: FlowOptions) -> FlowEngine {
+    let mut e = FlowEngine::new(options);
     for k in kernels::otsu_kernels() {
         e.register_kernel(k);
     }

@@ -44,9 +44,9 @@ pub fn otsu_threshold_from_hist(h: &[u32; 256]) -> u8 {
         .sum();
     let (mut w_b, mut sum_b) = (0u64, 0u64);
     let (mut max_var, mut thr) = (0u64, 0u8);
-    for t in 0..256usize {
-        w_b += h[t] as u64;
-        sum_b += t as u64 * h[t] as u64;
+    for (t, &count) in h.iter().enumerate() {
+        w_b += count as u64;
+        sum_b += t as u64 * count as u64;
         let w_f = total - w_b;
         if w_b > 0 && w_f > 0 {
             let m_b = sum_b / w_b;
@@ -175,19 +175,18 @@ pub fn run_application(
     };
 
     // --- grayScale ---
-    let gray: Vec<i64>;
     let hw_gray = arch.hw_tasks().contains(&"grayScale");
-    if !hw_gray {
+    let gray: Vec<i64> = if !hw_gray {
         let mut b = StreamBundle::new();
         b.feed("imageIn", input.data.iter().map(|&p| p as i64));
         let k = crate::kernels::grayscale();
         let before = board.cpu.busy_ns;
         sw(&k, &[("n", n)], &mut b, &mut board)?;
         tasks.push(("grayScale".into(), board.cpu.busy_ns - before, false));
-        gray = b.output("imageOutCH").to_vec();
+        b.output("imageOutCH").to_vec()
     } else {
-        gray = Vec::new(); // produced inside the hardware phase
-    }
+        Vec::new() // produced inside the hardware phase
+    };
 
     // --- the hardware streaming phase (contiguous HW tasks) ---
     // Build per-arch input/output token streams and run one phase.

@@ -3,15 +3,47 @@
 //! chain. Reports every point, marks the paper's four hand-picked
 //! architectures, and prints the area/runtime Pareto front.
 
+//! Candidate evaluation fans out over scoped worker threads
+//! (`exhaustive_parallel`), which is bit-identical to the sequential
+//! sweep; `--cache-dir <dir>` persists the four kernel HLS runs that
+//! feed the cost model, so repeated sweeps skip synthesis entirely.
+
 use accelsoc_bench::{save_json, Table};
-use accelsoc_dse::otsu::otsu_chain_model;
+use accelsoc_dse::otsu::otsu_chain_model_cached;
 use accelsoc_dse::pareto::pareto_front;
-use accelsoc_dse::search::{exhaustive, greedy};
+use accelsoc_dse::search::{exhaustive_parallel, greedy};
+use accelsoc_hls::cache::HlsCache;
+use accelsoc_observe::NullObserver;
+use std::path::PathBuf;
 
 fn main() {
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut threads: usize = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" if i + 1 < args.len() => {
+                cache_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                threads = args[i + 1].parse().expect("--threads takes a number");
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: repro_dse [--cache-dir <dir>] [--threads <n>]  (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cache = match cache_dir {
+        Some(dir) => HlsCache::persistent(dir),
+        None => HlsCache::in_memory(),
+    };
     let pixels = 512 * 512;
-    let model = otsu_chain_model(pixels);
-    let mut points = exhaustive(&model);
+    let model = otsu_chain_model_cached(pixels, &cache, &NullObserver);
+    let mut points = exhaustive_parallel(&model, threads);
     points.sort_by(|a, b| a.runtime_ns.partial_cmp(&b.runtime_ns).unwrap());
 
     let table_i = [

@@ -11,23 +11,44 @@
 //!   generation ≈ 50 s), and
 //! * **measured milliseconds** — what our simulated tools actually took.
 
-use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+//! With `--cache-dir <dir>` the HLS results are additionally persisted
+//! (content-addressed) in `<dir>`: a second invocation with the same
+//! directory starts with all four cores warm — the trace then shows one
+//! `HlsCachePersistedHit` per kernel and the HLS column collapses to ~0
+//! for every architecture, including Arch4.
+
+use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine_with, Arch};
 use accelsoc_bench::{save_json, Table};
-use accelsoc_core::flow::FlowPhase;
+use accelsoc_core::flow::{FlowOptions, FlowPhase};
 use accelsoc_core::JsonTraceObserver;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 fn main() {
-    let mut engine = otsu_flow_engine();
+    let mut options = FlowOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" if i + 1 < args.len() => {
+                options.cache_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: repro_fig9 [--cache-dir <dir>]  (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
     // Full-flow JSON-lines trace next to the experiment record: one
     // FlowStarted..FlowFinished block per architecture, with per-kernel
-    // HlsCacheQuery events showing the Arch4-first cache reuse.
+    // HlsCacheQuery events showing the Arch4-first cache reuse (and, with
+    // a warm --cache-dir, HlsCachePersistedHit events).
     let trace_dir = PathBuf::from("target/experiments");
     std::fs::create_dir_all(&trace_dir).expect("create experiments dir");
     let trace_path = trace_dir.join("fig9_trace.jsonl");
-    engine.options.observer =
-        Arc::new(JsonTraceObserver::create(&trace_path).expect("create trace file"));
+    options.observer = Arc::new(JsonTraceObserver::create(&trace_path).expect("create trace file"));
+    let mut engine = otsu_flow_engine_with(options);
     // Paper's order: Arch4 first, then the subsets.
     let order = [Arch::Arch4, Arch::Arch1, Arch::Arch2, Arch::Arch3];
     let phases = [

@@ -5,9 +5,12 @@
 //! 1. **DSL compile** — parse (if textual) + semantic elaboration (the
 //!    paper's "SCALA" phase);
 //! 2. **HLS** — synthesize each node's kernel with `accelsoc-hls`; cores
-//!    are cached by kernel name, so re-running for another architecture
+//!    are cached under a content-addressed key ([`accelsoc_hls::CacheKey`]:
+//!    a digest of the kernel IR, its interface directives, and the HLS
+//!    options incl. clock target), so re-running for another architecture
 //!    reuses them (the paper generates Arch4 first for exactly this
-//!    reason);
+//!    reason). With [`FlowOptions::cache_dir`] set, results also persist
+//!    on disk and warm-start later processes;
 //! 3. **Project generation** — assemble the block design and emit tcl;
 //! 4. **Synthesis** — aggregate/optimize resources, check capacity;
 //! 5. **Implementation** — place, route, timing, bitstream;
@@ -27,6 +30,7 @@
 use crate::dsl::{parse, ParseError};
 use crate::graph::{InterfaceKind, LinkEnd, TaskGraph};
 use crate::semantics::{elaborate, Elaborated, PortDirection, SemanticError};
+use accelsoc_hls::cache::{CacheKey, HlsCache};
 use accelsoc_hls::project::{synthesize_kernel_observed, HlsError, HlsOptions, HlsResult};
 use accelsoc_integration::assembler::{
     assemble, ArchSpec, AssembleError, CoreSpec, DmaPolicy, LinkSpec, SocEndpoint,
@@ -51,6 +55,7 @@ use accelsoc_swgen::boot::BootImage;
 use accelsoc_swgen::{capi, devicetree};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +85,17 @@ pub struct FlowOptions {
     pub hls: HlsOptions,
     /// Observer receiving flow events. Defaults to a no-op sink.
     pub observer: SharedObserver,
+    /// Directory for the persistent HLS cache tier. `None` (the
+    /// default) keeps the cache in-memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Master switch for HLS result reuse. `false` forces every node
+    /// through fresh synthesis (every cache query is a miss and nothing
+    /// is stored) — the CLI's `--no-cache`.
+    pub use_cache: bool,
+    /// An explicit cache instance to share between engines (e.g. DSE
+    /// workers evaluating candidates concurrently). Takes precedence
+    /// over `cache_dir` when set.
+    pub cache: Option<Arc<HlsCache>>,
 }
 
 impl Default for FlowOptions {
@@ -90,6 +106,9 @@ impl Default for FlowOptions {
             dma_policy: DmaPolicy::SharedChannel,
             hls: HlsOptions::default(),
             observer: null_observer(),
+            cache_dir: None,
+            use_cache: true,
+            cache: None,
         }
     }
 }
@@ -101,6 +120,8 @@ impl fmt::Debug for FlowOptions {
             .field("tcl_backend", &self.tcl_backend)
             .field("dma_policy", &self.dma_policy)
             .field("hls", &self.hls)
+            .field("cache_dir", &self.cache_dir)
+            .field("use_cache", &self.use_cache)
             .finish_non_exhaustive()
     }
 }
@@ -153,6 +174,27 @@ impl FlowOptionsBuilder {
     /// Attach an observer; it receives every event of every run.
     pub fn observer(mut self, observer: SharedObserver) -> Self {
         self.options.observer = observer;
+        self
+    }
+
+    /// Persist HLS results under `dir` (and warm-start from entries
+    /// already there).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.options.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable/disable HLS result reuse entirely (`use_cache(false)` is
+    /// the CLI's `--no-cache`).
+    pub fn use_cache(mut self, on: bool) -> Self {
+        self.options.use_cache = on;
+        self
+    }
+
+    /// Share an existing cache instance with this engine (overrides
+    /// `cache_dir`).
+    pub fn shared_cache(mut self, cache: Arc<HlsCache>) -> Self {
+        self.options.cache = Some(cache);
         self
     }
 
@@ -323,20 +365,33 @@ impl FlowArtifacts {
 }
 
 /// The engine. Holds the kernel library (the "synthesizable C/C++ files")
-/// and the HLS cache shared across runs.
+/// and the content-addressed HLS cache shared across runs (and, when
+/// built with a `cache_dir` or a shared cache, across engines and
+/// processes).
 pub struct FlowEngine {
     pub options: FlowOptions,
     kernels: HashMap<String, Kernel>,
-    hls_cache: HashMap<String, HlsResult>,
+    hls_cache: Arc<HlsCache>,
 }
 
 impl FlowEngine {
     pub fn new(options: FlowOptions) -> Self {
+        let hls_cache = match (&options.cache, &options.cache_dir) {
+            (Some(shared), _) => shared.clone(),
+            (None, Some(dir)) => Arc::new(HlsCache::persistent(dir)),
+            (None, None) => Arc::new(HlsCache::in_memory()),
+        };
         FlowEngine {
             options,
             kernels: HashMap::new(),
-            hls_cache: HashMap::new(),
+            hls_cache,
         }
+    }
+
+    /// The engine's HLS cache (shareable with other engines via
+    /// [`FlowOptionsBuilder::shared_cache`]).
+    pub fn cache(&self) -> &Arc<HlsCache> {
+        &self.hls_cache
     }
 
     /// Register the kernel implementing a node (by kernel name).
@@ -425,36 +480,60 @@ impl FlowEngine {
         });
         span.finish(modeled);
 
-        // --- Phase 2: HLS per node (cached, parallel) ---
+        // --- Phase 2: HLS per node (content-addressed cache, parallel) ---
         let span = PhaseSpan::enter(observer.clone(), FlowPhase::Hls);
         let t = Instant::now();
         let mut fresh_seconds = 0.0;
-        let mut missing: Vec<(String, &Kernel)> = Vec::new();
+        let mut results: HashMap<String, HlsResult> = HashMap::new();
+        let mut missing: Vec<(String, Option<CacheKey>, &Kernel)> = Vec::new();
         for n in &graph.nodes {
-            let hit = self.hls_cache.contains_key(&n.name);
+            let kernel = self
+                .kernels
+                .get(&n.name)
+                .ok_or_else(|| FlowError::MissingKernel {
+                    node: n.name.clone(),
+                })?;
+            // The key digests the kernel body + directives + HLS
+            // options, so a re-registered kernel under the same node
+            // name (or a different clock target) can never alias a
+            // stale result.
+            let (key, found) = if self.options.use_cache {
+                let key = CacheKey::compute(kernel, &self.options.hls);
+                let found = self
+                    .hls_cache
+                    .lookup(key, &n.name, observer.as_ref())
+                    .map(|(r, _tier)| r);
+                (Some(key), found)
+            } else {
+                (None, None)
+            };
             observer.on_event(&FlowEvent::HlsCacheQuery {
                 kernel: n.name.clone(),
-                hit,
+                hit: found.is_some(),
             });
-            if !hit {
-                let kernel = self
-                    .kernels
-                    .get(&n.name)
-                    .ok_or_else(|| FlowError::MissingKernel {
-                        node: n.name.clone(),
-                    })?;
-                missing.push((n.name.clone(), kernel));
+            match found {
+                Some(r) => {
+                    results.insert(n.name.clone(), r);
+                }
+                None => missing.push((n.name.clone(), key, kernel)),
             }
         }
         // Worker results, or `Err(())` if any worker thread panicked.
-        type WorkerResults = Result<Vec<(String, Result<HlsResult, HlsError>)>, ()>;
+        type WorkerResults =
+            Result<Vec<(String, Option<CacheKey>, Result<HlsResult, HlsError>)>, ()>;
         let scope_result: WorkerResults = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = missing
                 .iter()
-                .map(|(name, kernel)| {
+                .map(|(name, key, kernel)| {
                     let opts = &self.options.hls;
                     let obs = observer.as_ref();
-                    s.spawn(move |_| (name.clone(), synthesize_kernel_observed(kernel, opts, obs)))
+                    s.spawn(move |_| {
+                        (
+                            name.clone(),
+                            *key,
+                            synthesize_kernel_observed(kernel, opts, obs),
+                        )
+                    })
                 })
                 .collect();
             let mut out = Vec::with_capacity(handles.len());
@@ -467,23 +546,27 @@ impl FlowEngine {
         let fresh = scope_result.map_err(|()| FlowError::Internal {
             context: "HLS worker thread panicked",
         })?;
-        for (name, result) in fresh {
+        for (name, key, result) in fresh {
             let r = result.map_err(|source| FlowError::Hls {
                 node: name.clone(),
                 source,
             })?;
             fresh_seconds += r.report.modeled_tool_seconds;
-            self.hls_cache.insert(name, r);
+            if let Some(key) = key {
+                self.hls_cache
+                    .insert(key, &name, r.clone(), observer.as_ref());
+            }
+            results.insert(name, r);
         }
         let hls: Vec<(String, HlsResult)> = graph
             .nodes
             .iter()
             .map(|n| {
-                self.hls_cache
-                    .get(&n.name)
-                    .map(|r| (n.name.clone(), r.clone()))
+                results
+                    .remove(&n.name)
+                    .map(|r| (n.name.clone(), r))
                     .ok_or(FlowError::Internal {
-                        context: "HLS cache missing a synthesized kernel",
+                        context: "HLS phase missing a synthesized kernel",
                     })
             })
             .collect::<Result<_, _>>()?;
@@ -829,6 +912,124 @@ mod tests {
         assert_eq!(a2.phase(FlowPhase::Hls).unwrap().modeled_s, 0.0);
         assert_eq!(a2.metrics.hls_cache_hits, 2);
         assert_eq!(a2.metrics.hls_cache_misses, 0);
+    }
+
+    /// A dividing variant of [`inc_kernel`]: same name, same interface,
+    /// different body (and so different IR, directives, and RTL — the
+    /// divider instantiates its own functional unit where the increment
+    /// used a plain adder).
+    fn scale_kernel(name: &str) -> Kernel {
+        KernelBuilder::new(name)
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .push(for_pipelined(
+                "i",
+                c(0),
+                var("n"),
+                vec![write("out", div(read("in"), c(3)))],
+            ))
+            .build()
+    }
+
+    /// Regression for the name-keyed cache collision: re-registering a
+    /// *different* kernel under the same node name must re-synthesize,
+    /// not serve the stale core. (Under the old `HashMap<String, _>`
+    /// cache the second run reported two hits and returned S1's old
+    /// RTL.)
+    #[test]
+    fn reregistered_kernel_with_new_body_is_resynthesized() {
+        let mut e = engine_with_pipeline();
+        let a1 = e.run(&pipeline_graph()).unwrap();
+
+        e.register_kernel(scale_kernel("S1"));
+        let a2 = e.run(&pipeline_graph()).unwrap();
+
+        // S2 unchanged: hit. S1 changed: miss, fresh synthesis.
+        assert_eq!(a2.metrics.hls_cache_hits, 1);
+        assert_eq!(a2.metrics.hls_cache_misses, 1);
+        assert_eq!(a2.metrics.kernels_synthesized, 1);
+        let v1 = &a1.hls.iter().find(|(n, _)| n == "S1").unwrap().1.verilog;
+        let v2 = &a2.hls.iter().find(|(n, _)| n == "S1").unwrap().1.verilog;
+        assert_ne!(v1, v2, "stale RTL served for a re-registered kernel");
+        // Both cores are retained under their distinct content keys.
+        assert_eq!(e.cached_cores(), 3);
+    }
+
+    /// Different HLS options (clock target) must also miss, even for a
+    /// byte-identical kernel.
+    #[test]
+    fn different_clock_target_is_a_cache_miss() {
+        let shared = Arc::new(accelsoc_hls::HlsCache::in_memory());
+        let mut e1 = FlowEngine::new(FlowOptions::builder().shared_cache(shared.clone()).build());
+        e1.register_kernel(inc_kernel("S1"));
+        e1.register_kernel(inc_kernel("S2"));
+        e1.run(&pipeline_graph()).unwrap();
+
+        let mut fast_hls = HlsOptions::default();
+        fast_hls.lib.clock_ns /= 2.0;
+        let mut e2 = FlowEngine::new(
+            FlowOptions::builder()
+                .shared_cache(shared.clone())
+                .hls(fast_hls)
+                .build(),
+        );
+        e2.register_kernel(inc_kernel("S1"));
+        e2.register_kernel(inc_kernel("S2"));
+        let art = e2.run(&pipeline_graph()).unwrap();
+        assert_eq!(art.metrics.hls_cache_hits, 0);
+        assert_eq!(art.metrics.hls_cache_misses, 2);
+        assert_eq!(shared.len(), 4);
+    }
+
+    #[test]
+    fn no_cache_forces_fresh_synthesis_every_run() {
+        let mut e = FlowEngine::new(FlowOptions::builder().use_cache(false).build());
+        e.register_kernel(inc_kernel("S1"));
+        e.register_kernel(inc_kernel("S2"));
+        e.run(&pipeline_graph()).unwrap();
+        let a2 = e.run(&pipeline_graph()).unwrap();
+        assert_eq!(a2.metrics.hls_cache_hits, 0);
+        assert_eq!(a2.metrics.hls_cache_misses, 2);
+        assert_eq!(a2.metrics.kernels_synthesized, 2);
+        assert_eq!(e.cached_cores(), 0);
+        assert!(a2.phase(FlowPhase::Hls).unwrap().modeled_s > 0.0);
+    }
+
+    #[test]
+    fn persistent_cache_warms_a_fresh_engine() {
+        let dir =
+            std::env::temp_dir().join(format!("accelsoc-flow-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cold = FlowEngine::new(FlowOptions::builder().cache_dir(&dir).build());
+        cold.register_kernel(inc_kernel("S1"));
+        cold.register_kernel(inc_kernel("S2"));
+        let a1 = cold.run(&pipeline_graph()).unwrap();
+        assert_eq!(a1.metrics.hls_cache_misses, 2);
+        assert_eq!(a1.metrics.hls_cache_stored, 2);
+
+        // A brand-new engine over the same dir models a new process:
+        // all hits come from the persistent tier, no fresh synthesis.
+        let mut warm = FlowEngine::new(FlowOptions::builder().cache_dir(&dir).build());
+        warm.register_kernel(inc_kernel("S1"));
+        warm.register_kernel(inc_kernel("S2"));
+        let a2 = warm.run(&pipeline_graph()).unwrap();
+        assert_eq!(a2.metrics.hls_cache_hits, 2);
+        assert_eq!(a2.metrics.hls_persisted_hits, 2);
+        assert_eq!(a2.metrics.kernels_synthesized, 0);
+        assert_eq!(a2.phase(FlowPhase::Hls).unwrap().modeled_s, 0.0);
+
+        // Warm-run artifacts are byte-identical to the cold run's.
+        assert_eq!(a1.tcl, a2.tcl);
+        assert_eq!(a1.dts, a2.dts);
+        assert_eq!(a1.bitstream.data, a2.bitstream.data);
+        for ((n1, r1), (n2, r2)) in a1.hls.iter().zip(&a2.hls) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.verilog, r2.verilog);
+            assert_eq!(r1.directives_tcl, r2.directives_tcl);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

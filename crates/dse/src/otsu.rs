@@ -3,9 +3,11 @@
 //! areas from real HLS runs of the four kernels.
 
 use crate::model::{ChainModel, TaskProfile};
-use accelsoc_hls::project::{synthesize_kernel, HlsOptions};
+use accelsoc_hls::cache::HlsCache;
+use accelsoc_hls::project::HlsOptions;
 use accelsoc_hls::resource::ResourceEstimate;
 use accelsoc_kernel::interp::{Interpreter, StreamBundle};
+use accelsoc_observe::{FlowObserver, NullObserver};
 use accelsoc_platform::cpu::Cpu;
 use accelsoc_platform::PL_CLK_NS;
 use std::collections::HashMap;
@@ -16,7 +18,24 @@ use std::collections::HashMap;
 /// token stream of the right shape to get its dynamic operation counts
 /// (→ CPU nanoseconds via the A9 model) and synthesized through
 /// `accelsoc-hls` to get its II and area (→ PL nanoseconds).
+///
+/// Synthesis goes through a throwaway in-memory cache; to amortize the
+/// four HLS runs across model builds or processes, use
+/// [`otsu_chain_model_cached`] with a shared/persistent [`HlsCache`].
 pub fn otsu_chain_model(pixels: u64) -> ChainModel {
+    otsu_chain_model_cached(pixels, &HlsCache::in_memory(), &NullObserver)
+}
+
+/// [`otsu_chain_model`] with the HLS runs routed through `cache` under
+/// their content keys: a warm cache (in-memory from a previous build,
+/// or persistent via [`HlsCache::persistent`]) skips all four kernel
+/// syntheses. Cache events (queries, persisted hits, corrupt entries)
+/// go to `observer`.
+pub fn otsu_chain_model_cached(
+    pixels: u64,
+    cache: &HlsCache,
+    observer: &dyn FlowObserver,
+) -> ChainModel {
     let opts = HlsOptions::default();
     let cpu = Cpu::cortex_a9();
 
@@ -55,7 +74,9 @@ pub fn otsu_chain_model(pixels: u64) -> ChainModel {
     };
 
     let hw_ns = |kernel: &accelsoc_kernel::ir::Kernel, tokens: u64| -> (f64, ResourceEstimate) {
-        let r = synthesize_kernel(kernel, &opts).expect("hls");
+        let (r, _hit) = cache
+            .get_or_synthesize(kernel, &opts, observer)
+            .expect("hls");
         let ii = r
             .report
             .loop_iis
@@ -172,6 +193,35 @@ mod tests {
 
     fn model() -> ChainModel {
         otsu_chain_model(512 * 512)
+    }
+
+    #[test]
+    fn cached_model_matches_uncached_and_reuses_hls() {
+        use accelsoc_observe::{CollectObserver, FlowEvent};
+
+        let cache = HlsCache::in_memory();
+        let a = otsu_chain_model(64 * 64);
+        let b = otsu_chain_model_cached(64 * 64, &cache, &NullObserver);
+        assert_eq!(cache.len(), 4, "four Otsu kernels synthesized once each");
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.sw_ns.to_bits(), y.sw_ns.to_bits());
+            assert_eq!(x.hw_ns.to_bits(), y.hw_ns.to_bits());
+            assert_eq!(x.area, y.area);
+        }
+
+        // Warm rebuild from the same cache: every HLS lookup hits.
+        let obs = CollectObserver::new();
+        let c = otsu_chain_model_cached(64 * 64, &cache, &obs);
+        let (hits, misses) = obs.events().iter().fold((0, 0), |(h, m), e| match e {
+            FlowEvent::HlsCacheQuery { hit: true, .. } => (h + 1, m),
+            FlowEvent::HlsCacheQuery { hit: false, .. } => (h, m + 1),
+            _ => (h, m),
+        });
+        assert_eq!((hits, misses), (4, 0));
+        for (x, y) in b.tasks.iter().zip(&c.tasks) {
+            assert_eq!(x.hw_ns.to_bits(), y.hw_ns.to_bits());
+        }
     }
 
     #[test]

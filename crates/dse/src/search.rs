@@ -26,6 +26,54 @@ pub fn exhaustive(model: &ChainModel) -> Vec<DesignPoint> {
         .collect()
 }
 
+/// [`exhaustive`], fanned out over `threads` crossbeam scoped threads.
+///
+/// The mask range is split into contiguous chunks, one per worker, and
+/// the chunk outputs are stitched back in mask order — so the result is
+/// element-for-element identical to the sequential enumeration (the
+/// differential property `tests/prop_cache.rs` pins this). The cost
+/// model itself is pure, so workers share nothing but the model; when
+/// the profiles came from a cache-aware build (see
+/// [`crate::otsu::otsu_chain_model_cached`]), the expensive HLS work
+/// has already been amortized once, before the sweep.
+pub fn exhaustive_parallel(model: &ChainModel, threads: usize) -> Vec<DesignPoint> {
+    let tasks = model.partitionable();
+    let n = tasks.len();
+    assert!(
+        n <= 20,
+        "exhaustive search over 2^{n} points is unreasonable"
+    );
+    let total = 1u32 << n;
+    let threads = threads.clamp(1, total as usize);
+    let chunk = total.div_ceil(threads as u32);
+    let mut slots: Vec<Option<Vec<DesignPoint>>> = (0..threads).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (t, slot) in slots.iter_mut().enumerate() {
+            let tasks = &tasks;
+            s.spawn(move |_| {
+                let lo = (t as u32).saturating_mul(chunk).min(total);
+                let hi = lo.saturating_add(chunk).min(total);
+                let mut out = Vec::with_capacity((hi - lo) as usize);
+                for mask in lo..hi {
+                    let hw: HashSet<&str> = tasks
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, t)| *t)
+                        .collect();
+                    out.push(model.evaluate(&hw));
+                }
+                *slot = Some(out);
+            });
+        }
+    })
+    .expect("DSE evaluation worker panicked");
+    slots
+        .into_iter()
+        .flat_map(|v| v.expect("worker filled its slot"))
+        .collect()
+}
+
 /// Greedy accretion: starting from all-software, repeatedly move the task
 /// with the best runtime-gain per added LUT to hardware, while feasible.
 /// Returns the trajectory (one point per step, starting at all-SW).
@@ -49,7 +97,7 @@ pub fn greedy(model: &ChainModel) -> Vec<DesignPoint> {
             let gain = current - p.runtime_ns;
             let cost = (p.area.lut.max(1)) as f64;
             let score = gain / cost;
-            if gain > 0.0 && best.as_ref().map_or(true, |(_, s, _)| score > *s) {
+            if gain > 0.0 && best.as_ref().is_none_or(|(_, s, _)| score > *s) {
                 best = Some((t, score, p));
             }
         }
@@ -127,6 +175,27 @@ mod tests {
         sets.sort();
         sets.dedup();
         assert_eq!(sets.len(), 16);
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical_to_sequential() {
+        let m = model();
+        let seq = exhaustive(&m);
+        for threads in [1, 2, 3, 4, 7, 16, 64] {
+            let par = exhaustive_parallel(&m, threads);
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.hw_tasks, b.hw_tasks, "threads={threads}");
+                assert_eq!(
+                    a.runtime_ns.to_bits(),
+                    b.runtime_ns.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(a.area, b.area, "threads={threads}");
+                assert_eq!(a.crossings, b.crossings, "threads={threads}");
+                assert_eq!(a.feasible, b.feasible, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //!    numbers the integration flow and the platform simulator consume.
 
 pub mod bind;
+pub mod cache;
 pub mod dfg;
 pub mod directives;
 pub mod fds;
@@ -40,6 +41,7 @@ pub mod schedule;
 pub mod techlib;
 pub mod transform;
 
+pub use cache::{CacheKey, CacheTier, HlsCache, CACHE_FORMAT_VERSION};
 pub use dfg::{DfgError, OpClass, OpNode, RegionDfg};
 pub use interface::{AxiLiteRegister, CoreInterface, StreamPort};
 pub use project::{HlsOptions, HlsProject, HlsResult};

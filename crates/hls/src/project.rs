@@ -15,10 +15,11 @@ use crate::techlib::{FuClass, TechLib};
 use accelsoc_kernel::ir::Kernel;
 use accelsoc_kernel::verify::{verify, VerifyError};
 use accelsoc_observe::{null_observer, FlowEvent, FlowObserver, SharedObserver};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Options controlling an HLS run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HlsOptions {
     pub lib: TechLib,
     pub constraints: ResourceConstraints,
@@ -34,7 +35,7 @@ impl Default for HlsOptions {
 }
 
 /// Everything produced for one core.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HlsResult {
     pub report: HlsReport,
     pub rtl: RtlModule,

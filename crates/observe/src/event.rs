@@ -102,6 +102,15 @@ pub enum FlowEvent {
     },
     /// The HLS core cache was consulted for a kernel.
     HlsCacheQuery { kernel: String, hit: bool },
+    /// A cache hit was satisfied from the persistent (on-disk) tier
+    /// rather than the in-memory map; `key` is the content digest hex.
+    HlsCachePersistedHit { kernel: String, key: String },
+    /// A persistent cache entry could not be used — truncated, corrupt,
+    /// version-mismatched, or unreadable. The entry is treated as a
+    /// miss; synthesis proceeds normally.
+    HlsCacheCorrupt { path: String, reason: String },
+    /// A freshly synthesized result was written to the persistent tier.
+    HlsCacheStored { kernel: String, key: String },
     /// One kernel finished HLS: scheduling and resource statistics from
     /// its synthesis report.
     HlsKernelSynthesized {
@@ -194,6 +203,15 @@ impl fmt::Display for FlowEvent {
             FlowEvent::HlsCacheQuery { kernel, hit } => {
                 let verdict = if *hit { "hit" } else { "miss" };
                 write!(f, "[HLS] core cache {verdict} for '{kernel}'")
+            }
+            FlowEvent::HlsCachePersistedHit { kernel, key } => {
+                write!(f, "[HLS] persisted cache hit for '{kernel}' ({key})")
+            }
+            FlowEvent::HlsCacheCorrupt { path, reason } => {
+                write!(f, "[HLS] cache entry unusable at {path}: {reason}")
+            }
+            FlowEvent::HlsCacheStored { kernel, key } => {
+                write!(f, "[HLS] stored '{kernel}' in persistent cache ({key})")
             }
             FlowEvent::HlsKernelSynthesized {
                 kernel,

@@ -25,6 +25,14 @@ pub struct FlowMetrics {
     pub phases: Vec<PhaseMetric>,
     pub hls_cache_hits: u64,
     pub hls_cache_misses: u64,
+    /// Subset of `hls_cache_hits` satisfied from the persistent (disk)
+    /// tier rather than the in-memory map.
+    pub hls_persisted_hits: u64,
+    /// Persistent cache entries rejected as corrupt/stale (each was
+    /// treated as a miss).
+    pub hls_cache_corrupt: u64,
+    /// Results written to the persistent tier.
+    pub hls_cache_stored: u64,
     pub kernels_synthesized: u64,
     /// Simulated-annealing temperature steps the placer reported.
     pub placement_steps: u64,
@@ -81,6 +89,9 @@ impl FlowMetrics {
                     self.hls_cache_misses += 1;
                 }
             }
+            FlowEvent::HlsCachePersistedHit { .. } => self.hls_persisted_hits += 1,
+            FlowEvent::HlsCacheCorrupt { .. } => self.hls_cache_corrupt += 1,
+            FlowEvent::HlsCacheStored { .. } => self.hls_cache_stored += 1,
             FlowEvent::HlsKernelSynthesized { .. } => self.kernels_synthesized += 1,
             FlowEvent::PlacementProgress { .. } => self.placement_steps += 1,
             FlowEvent::PlacementDone { hpwl, .. } => self.placement_hpwl = *hpwl,
@@ -193,6 +204,29 @@ mod tests {
         assert_eq!(m.sim_bytes_in, 128);
         assert_eq!(m.sim_dma_bursts, 8);
         assert_eq!(m.sim_bus_stall_cycles, 10);
+    }
+
+    #[test]
+    fn persisted_tier_counters_accumulate() {
+        let mut m = FlowMetrics::default();
+        m.record(&FlowEvent::HlsCachePersistedHit {
+            kernel: "k".into(),
+            key: "deadbeef".into(),
+        });
+        m.record(&FlowEvent::HlsCacheCorrupt {
+            path: "/tmp/x.json".into(),
+            reason: "truncated".into(),
+        });
+        m.record(&FlowEvent::HlsCacheStored {
+            kernel: "k".into(),
+            key: "deadbeef".into(),
+        });
+        assert_eq!(m.hls_persisted_hits, 1);
+        assert_eq!(m.hls_cache_corrupt, 1);
+        assert_eq!(m.hls_cache_stored, 1);
+        // A persisted hit is reported *alongside* the ordinary query
+        // event, so it does not itself bump hit/miss counters.
+        assert_eq!((m.hls_cache_hits, m.hls_cache_misses), (0, 0));
     }
 
     #[test]

@@ -18,10 +18,24 @@ cargo fmt --check
 # Clippy is not part of the minimal toolchain baked into every image;
 # lint hard when it exists, skip quietly when it doesn't.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p accelsoc-core (offline, -D warnings)"
-    cargo clippy --offline -p accelsoc-core --all-targets -- -D warnings
+    echo "==> cargo clippy -p accelsoc-core -p accelsoc-hls -p accelsoc-dse (offline, -D warnings)"
+    cargo clippy --offline -p accelsoc-core -p accelsoc-hls -p accelsoc-dse \
+        --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable; skipping lint step"
 fi
+
+echo "==> cold+warm persistent HLS cache smoke (repro_fig9)"
+CACHE_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR"' EXIT
+./target/release/repro_fig9 --cache-dir "$CACHE_DIR" >/dev/null
+cold_hits=$(grep -c HlsCachePersistedHit target/experiments/fig9_trace.jsonl || true)
+./target/release/repro_fig9 --cache-dir "$CACHE_DIR" >/dev/null
+warm_hits=$(grep -c HlsCachePersistedHit target/experiments/fig9_trace.jsonl || true)
+if [ "$cold_hits" -ne 0 ] || [ "$warm_hits" -ne 4 ]; then
+    echo "FAIL: expected 0 cold / 4 warm persisted hits, got $cold_hits / $warm_hits"
+    exit 1
+fi
+echo "    cold run: $cold_hits persisted hits; warm run: $warm_hits (one per kernel)"
 
 echo "==> verify OK"

@@ -13,6 +13,8 @@
 //!   --backend <v>       tcl dialect: 2014.2|2015.3  [default: 2015.3]
 //!   --device <part>     7z020|7z010                 [default: 7z020]
 //!   --dma <policy>      shared|per-link             [default: shared]
+//!   --cache-dir <dir>   persist HLS results (content-addressed) in <dir>
+//!   --no-cache          disable HLS result caching entirely
 //!   --trace-json <f>    write a JSON-lines flow trace to <f>
 //!   --verbose           log flow events to stderr
 //! ```
@@ -182,6 +184,14 @@ fn cmd_build(args: &[String]) -> ExitCode {
                 };
                 i += 2;
             }
+            "--cache-dir" if i + 1 < args.len() => {
+                options.cache_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--no-cache" => {
+                options.use_cache = false;
+                i += 1;
+            }
             "--trace-json" if i + 1 < args.len() => {
                 trace_path = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
@@ -192,7 +202,8 @@ fn cmd_build(args: &[String]) -> ExitCode {
             }
             // Value-taking flags at the end of the argument list fall
             // through their guarded arms above.
-            flag @ ("--out" | "--backend" | "--device" | "--dma" | "--trace-json") => {
+            flag @ ("--out" | "--backend" | "--device" | "--dma" | "--cache-dir"
+            | "--trace-json") => {
                 eprintln!("error: `{flag}` requires a value");
                 return ExitCode::from(2);
             }

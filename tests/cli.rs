@@ -139,6 +139,98 @@ fn kernels_lists_library() {
 }
 
 #[test]
+fn build_cache_dir_second_invocation_is_warm() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_cache_warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = write_tg(&dir, "p.tg", PIPE);
+    let cache = dir.join("cache");
+
+    let run = |out: &str, trace: &str| {
+        let o = bin()
+            .arg("build")
+            .arg(&src)
+            .args(["--out"])
+            .arg(dir.join(out))
+            .args(["--cache-dir"])
+            .arg(&cache)
+            .args(["--trace-json"])
+            .arg(dir.join(trace))
+            .output()
+            .unwrap();
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+        std::fs::read_to_string(dir.join(trace)).unwrap()
+    };
+
+    // Cold process: every kernel is a miss, and both get persisted.
+    let t1 = run("out1", "t1.jsonl");
+    assert_eq!(t1.matches("\"HlsCacheStored\"").count(), 2, "{t1}");
+    assert_eq!(t1.matches("\"HlsCachePersistedHit\"").count(), 0);
+    assert_eq!(t1.matches("\"hit\":false").count(), 2);
+
+    // Warm *separate process*: both kernels come off disk — nonzero
+    // persisted hits in the trace, nothing synthesized, same artifacts.
+    let t2 = run("out2", "t2.jsonl");
+    assert_eq!(t2.matches("\"HlsCachePersistedHit\"").count(), 2, "{t2}");
+    assert_eq!(t2.matches("\"hit\":true").count(), 2);
+    assert_eq!(t2.matches("\"HlsKernelSynthesized\"").count(), 0);
+    for core in ["GAUSS", "EDGE"] {
+        let a = std::fs::read(dir.join("out1/hls").join(format!("{core}.v"))).unwrap();
+        let b = std::fs::read(dir.join("out2/hls").join(format!("{core}.v"))).unwrap();
+        assert_eq!(a, b, "warm {core} RTL differs from cold");
+    }
+}
+
+#[test]
+fn build_no_cache_disables_lookup_and_persistence() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_no_cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = write_tg(&dir, "p.tg", PIPE);
+    let cache = dir.join("cache");
+    for (out, trace) in [("out1", "t1.jsonl"), ("out2", "t2.jsonl")] {
+        let o = bin()
+            .arg("build")
+            .arg(&src)
+            .args(["--out"])
+            .arg(dir.join(out))
+            .args(["--cache-dir"])
+            .arg(&cache)
+            .arg("--no-cache")
+            .args(["--trace-json"])
+            .arg(dir.join(trace))
+            .output()
+            .unwrap();
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+        let t = std::fs::read_to_string(dir.join(trace)).unwrap();
+        // Every query misses (even on the second run over the same
+        // directory) and nothing is ever stored.
+        assert_eq!(t.matches("\"hit\":false").count(), 2, "{t}");
+        assert_eq!(t.matches("\"hit\":true").count(), 0);
+        assert_eq!(t.matches("\"HlsCacheStored\"").count(), 0);
+        assert_eq!(t.matches("\"HlsKernelSynthesized\"").count(), 2);
+    }
+    // --no-cache kept the persistent tier empty.
+    let entries = std::fs::read_dir(&cache).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(entries, 0, "cache dir must stay empty under --no-cache");
+}
+
+#[test]
+fn build_cache_dir_requires_a_value() {
+    let dir = std::env::temp_dir().join("accelsoc_cli_cache_argerr");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = write_tg(&dir, "p.tg", PIPE);
+    let out = bin()
+        .arg("build")
+        .arg(&src)
+        .arg("--cache-dir")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+}
+
+#[test]
 fn sim_runs_pipeline_and_emits_vcd() {
     let dir = std::env::temp_dir().join("accelsoc_cli_sim");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,55 @@
+//! Golden test pinning the content-addressed cache-key digests of the
+//! four Otsu case-study kernels under the default HLS options.
+//!
+//! The digest is the persistence format's identity: a changed key
+//! silently invalidates every on-disk cache entry ever written (old
+//! entries become unreachable misses). That is sometimes *intended* —
+//! e.g. the IR serialization or directive rendering changed and stale
+//! reuse would be wrong — but it must never happen by accident.
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_cache_keys`.
+
+use accelsoc_apps::kernels;
+use accelsoc_hls::cache::CacheKey;
+use accelsoc_hls::project::HlsOptions;
+use std::path::Path;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/cache_keys.txt");
+
+#[test]
+fn otsu_kernel_cache_keys_are_stable() {
+    let opts = HlsOptions::default();
+    let actual: String = [
+        kernels::grayscale(),
+        kernels::compute_histogram(),
+        kernels::half_probability(),
+        kernels::segment(),
+    ]
+    .iter()
+    .map(|k| format!("{} {}\n", k.name, CacheKey::compute(k, &opts).to_hex()))
+    .collect();
+
+    let golden_path = Path::new(GOLDEN);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(golden_path, &actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden cache keys missing: run with UPDATE_GOLDEN=1 to create them");
+    assert_eq!(
+        actual, golden,
+        "cache-key digests diverged from {GOLDEN}; every persisted cache \
+         entry is invalidated by this change — rerun with UPDATE_GOLDEN=1 \
+         only if that is intentional"
+    );
+}
+
+#[test]
+fn cache_keys_roundtrip_through_hex() {
+    let opts = HlsOptions::default();
+    for k in [kernels::grayscale(), kernels::segment()] {
+        let key = CacheKey::compute(&k, &opts);
+        assert_eq!(CacheKey::from_hex(&key.to_hex()), Some(key));
+    }
+}

@@ -1,0 +1,182 @@
+//! Differential properties of the content-addressed HLS cache and the
+//! parallel DSE evaluator:
+//!
+//! * a **cold** persistent-cache run produces byte-identical artifacts
+//!   to an uncached run, and a **warm** run (fresh engine, same cache
+//!   directory, zero syntheses) reproduces them again byte-for-byte;
+//! * **parallel** DSE enumeration is bit-identical to the sequential
+//!   sweep for any thread count, so the Pareto front never depends on
+//!   how the evaluation was scheduled.
+
+use accelsoc::core::builder::TaskGraphBuilder;
+use accelsoc::core::flow::{FlowEngine, FlowOptions};
+use accelsoc::core::graph::TaskGraph;
+use accelsoc_dse::model::{ChainModel, TaskProfile};
+use accelsoc_dse::pareto::pareto_front;
+use accelsoc_dse::search::{exhaustive, exhaustive_parallel};
+use accelsoc_hls::resource::ResourceEstimate;
+use accelsoc_kernel::builder::*;
+use accelsoc_kernel::types::Ty;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stage that adds a constant to every token (mod 256).
+fn stage_kernel(name: &str, delta: i64) -> accelsoc_kernel::ir::Kernel {
+    KernelBuilder::new(name)
+        .scalar_in("n", Ty::U32)
+        .stream_in("in", Ty::U8)
+        .stream_out("out", Ty::U8)
+        .push(for_pipelined(
+            "i",
+            c(0),
+            var("n"),
+            vec![write("out", add(read("in"), c(delta)))],
+        ))
+        .build()
+}
+
+fn pipeline_graph(names: &[String]) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("pipe");
+    for name in names {
+        b = b.node(name, |n| n.stream("in").stream("out"));
+    }
+    b = b.link_soc_to(&names[0], "in");
+    for w in names.windows(2) {
+        b = b.link((&w[0], "out"), (&w[1], "in"));
+    }
+    b = b.link_to_soc(names.last().unwrap(), "out");
+    b.build().expect("generated pipeline is structurally valid")
+}
+
+fn engine_with(names: &[String], deltas: &[i64], options: FlowOptions) -> FlowEngine {
+    let mut engine = FlowEngine::new(options);
+    for (name, &d) in names.iter().zip(deltas) {
+        engine.register_kernel(stage_kernel(name, d));
+    }
+    engine
+}
+
+/// Per-case unique cache directory (proptest shrinks re-enter the test
+/// body, so a fixed path would leak warm state between cases).
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_cache_dir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "accelsoc_prop_cache_{}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Cold-vs-warm differential: for any pipeline, routing HLS through
+    /// a persistent cache changes nothing about the artifacts — and a
+    /// second engine reading the warmed directory (synthesizing zero
+    /// kernels) emits the same bytes again.
+    #[test]
+    fn warm_cache_runs_are_byte_identical(
+        deltas in proptest::collection::vec(0i64..256, 1..=4),
+    ) {
+        let names: Vec<String> =
+            (0..deltas.len()).map(|i| format!("STAGE{i}")).collect();
+        let graph = pipeline_graph(&names);
+        let cache_dir = fresh_cache_dir();
+
+        // Baseline: plain in-memory engine, no persistence.
+        let mut plain = engine_with(&names, &deltas, FlowOptions::default());
+        let baseline = plain.run(&graph).expect("uncached flow succeeds");
+
+        // Cold persistent run: synthesizes everything, stores entries.
+        let mut cold_engine = engine_with(
+            &names,
+            &deltas,
+            FlowOptions::builder().cache_dir(&cache_dir).build(),
+        );
+        let cold = cold_engine.run(&graph).expect("cold cached flow succeeds");
+        prop_assert_eq!(cold.metrics.hls_cache_stored as usize, names.len());
+        prop_assert_eq!(cold.metrics.hls_persisted_hits, 0);
+
+        // Warm run: a *fresh* engine over the same directory — every
+        // kernel comes off disk, nothing is synthesized.
+        let mut warm_engine = engine_with(
+            &names,
+            &deltas,
+            FlowOptions::builder().cache_dir(&cache_dir).build(),
+        );
+        let warm = warm_engine.run(&graph).expect("warm cached flow succeeds");
+        prop_assert_eq!(warm.metrics.hls_persisted_hits as usize, names.len());
+        prop_assert_eq!(warm.metrics.kernels_synthesized, 0);
+
+        for other in [&cold, &warm] {
+            prop_assert_eq!(&baseline.tcl, &other.tcl);
+            prop_assert_eq!(&baseline.dts, &other.dts);
+            prop_assert_eq!(&baseline.main_c, &other.main_c);
+            prop_assert_eq!(&baseline.bitstream.data, &other.bitstream.data);
+            prop_assert_eq!(baseline.hls.len(), other.hls.len());
+            for ((an, ar), (bn, br)) in baseline.hls.iter().zip(&other.hls) {
+                prop_assert_eq!(an, bn);
+                prop_assert_eq!(&ar.verilog, &br.verilog);
+                prop_assert_eq!(&ar.rtl, &br.rtl);
+                prop_assert_eq!(&ar.directives_tcl, &br.directives_tcl);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    /// Scheduling differential: the parallel evaluator is a pure
+    /// reordering of work — element-for-element and bit-for-bit equal
+    /// to the sequential enumeration, for any model and thread count,
+    /// hence an identical Pareto front.
+    #[test]
+    fn parallel_dse_matches_sequential(
+        costs in proptest::collection::vec(
+            (1u32..100_000, 1u32..100_000, 0u32..20_000, 0u32..20_000),
+            1..=6,
+        ),
+        threads in 1usize..=32,
+    ) {
+        let tasks: Vec<TaskProfile> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &(sw, hw, lut, ff))| TaskProfile {
+                name: format!("t{i}"),
+                sw_ns: sw as f64 * 10.0,
+                hw_ns: hw as f64,
+                area: ResourceEstimate::new(lut, ff, (lut % 7) as u32, (ff % 5) as u32),
+                input_bytes: 512,
+                output_bytes: 512,
+                sw_only: false,
+            })
+            .collect();
+        let model = ChainModel {
+            tasks,
+            dma_ns_per_byte: 0.5,
+            dma_setup_ns: 300.0,
+            infra_area: ResourceEstimate::new(3000, 4000, 4, 0),
+            capacity: ResourceEstimate::new(53_200, 106_400, 280, 220),
+        };
+
+        let seq = exhaustive(&model);
+        let par = exhaustive_parallel(&model, threads);
+        prop_assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            prop_assert_eq!(&a.hw_tasks, &b.hw_tasks);
+            prop_assert_eq!(a.runtime_ns.to_bits(), b.runtime_ns.to_bits());
+            prop_assert_eq!(a.area, b.area);
+            prop_assert_eq!(a.crossings, b.crossings);
+            prop_assert_eq!(a.feasible, b.feasible);
+        }
+
+        let front_seq = pareto_front(&seq);
+        let front_par = pareto_front(&par);
+        prop_assert_eq!(
+            front_seq.iter().map(|p| &p.hw_tasks).collect::<Vec<_>>(),
+            front_par.iter().map(|p| &p.hw_tasks).collect::<Vec<_>>()
+        );
+    }
+}

@@ -8,9 +8,13 @@
 //! `serde_json` (also vendored) re-exports the value type and layers the
 //! text encoding on top.
 //!
-//! [`Deserialize`] is a marker trait: nothing in the workspace
-//! deserializes into derived types (`serde_json::from_str` targets
-//! `Value` only), but `#[derive(Deserialize)]` must still compile.
+//! [`Deserialize`] is the mirror image: it decodes a [`value::Value`]
+//! tree back into a typed value (`serde_json::from_value` layers on
+//! top of it, and `from_str` still targets `Value` directly). The
+//! derive macro generates decoders matching the encoding conventions of
+//! the `Serialize` derive: structs as objects, tuple structs as arrays
+//! (single-field tuple structs transparently), and externally-tagged
+//! enums.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -21,9 +25,49 @@ pub trait Serialize {
     fn to_json_value(&self) -> value::Value;
 }
 
-/// Marker for types that could be deserialized (derive compatibility
-/// only; see the crate docs).
-pub trait Deserialize {}
+/// Decoding error for [`Deserialize`]; carries a human-readable path
+/// and expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Prefix the message with a field/element context, building a path
+    /// as errors propagate outward.
+    pub fn context(self, ctx: impl std::fmt::Display) -> Self {
+        DeError { msg: format!("{}: {}", ctx, self.msg) }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn type_err(expected: &str, got: &value::Value) -> DeError {
+    let kind = match got {
+        value::Value::Null => "null",
+        value::Value::Bool(_) => "a boolean",
+        value::Value::Number(_) => "a number",
+        value::Value::String(_) => "a string",
+        value::Value::Array(_) => "an array",
+        value::Value::Object(_) => "an object",
+    };
+    DeError::new(format!("expected {expected}, got {kind}"))
+}
+
+/// Deserialize from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError>;
+}
 
 macro_rules! impl_int {
     ($($ty:ty),*) => {$(
@@ -32,7 +76,17 @@ macro_rules! impl_int {
                 value::Value::from(*self as i64)
             }
         }
-        impl Deserialize for $ty {}
+        impl Deserialize for $ty {
+            fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| type_err("an integer", v))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
     )*};
 }
 
@@ -43,7 +97,17 @@ macro_rules! impl_uint {
                 value::Value::from(*self as u64)
             }
         }
-        impl Deserialize for $ty {}
+        impl Deserialize for $ty {
+            fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| type_err("an unsigned integer", v))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
     )*};
 }
 
@@ -62,9 +126,33 @@ impl Serialize for f64 {
     }
 }
 
+// Non-finite floats render as `null` in the text encoding, so `null`
+// decodes to NaN rather than erroring (lossy for Infinity, like
+// upstream serde_json's `null`-for-non-finite convention).
+impl Deserialize for f64 {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        match v {
+            value::Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| type_err("a number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
 impl Serialize for bool {
     fn to_json_value(&self) -> value::Value {
         value::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| type_err("a boolean", v))
     }
 }
 
@@ -80,15 +168,41 @@ impl Serialize for String {
     }
 }
 
+impl Deserialize for String {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| type_err("a string", v))
+    }
+}
+
 impl Serialize for () {
     fn to_json_value(&self) -> value::Value {
         value::Value::Null
     }
 }
 
+impl Deserialize for () {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        match v {
+            value::Value::Null => Ok(()),
+            other => Err(type_err("null", other)),
+        }
+    }
+}
+
 impl Serialize for char {
     fn to_json_value(&self) -> value::Value {
         value::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| type_err("a one-character string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected a one-character string, got {s:?}"))),
+        }
     }
 }
 
@@ -104,6 +218,12 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_json_value(&self) -> value::Value {
         match self {
@@ -113,9 +233,32 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        match v {
+            value::Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json_value(&self) -> value::Value {
         value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+fn elements<T: Deserialize>(v: &value::Value) -> Result<Vec<T>, DeError> {
+    let arr = v.as_array().ok_or_else(|| type_err("an array", v))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, e)| T::from_json_value(e).map_err(|err| err.context(format!("[{i}]"))))
+        .collect()
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        elements(v)
     }
 }
 
@@ -131,23 +274,48 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        let items: Vec<T> = elements(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected an array of {N} elements, got {got}")))
+    }
+}
+
 macro_rules! impl_tuple {
-    ($(($($name:ident . $idx:tt),+))*) => {$(
+    ($(($($name:ident . $idx:tt),+ ; $len:expr))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_json_value(&self) -> value::Value {
                 value::Value::Array(vec![$(self.$idx.to_json_value()),+])
             }
         }
-        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| type_err("an array", v))?;
+                if arr.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected a {}-element array, got {}",
+                        $len,
+                        arr.len()
+                    )));
+                }
+                Ok(($(
+                    $name::from_json_value(&arr[$idx])
+                        .map_err(|e| e.context(format!("[{}]", $idx)))?,
+                )+))
+            }
+        }
     )*};
 }
 
 impl_tuple! {
-    (A.0)
-    (A.0, B.1)
-    (A.0, B.1, C.2)
-    (A.0, B.1, C.2, D.3)
-    (A.0, B.1, C.2, D.3, E.4)
+    (A.0 ; 1)
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+    (A.0, B.1, C.2, D.3, E.4 ; 5)
 }
 
 impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
@@ -156,7 +324,11 @@ impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
     }
 }
 
-impl<T: Serialize> Deserialize for std::collections::VecDeque<T> where T: Deserialize {}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        elements(v).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
 
 impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
     fn to_json_value(&self) -> value::Value {
@@ -168,9 +340,25 @@ impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
     }
 }
 
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        elements(v).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
+
 impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
     fn to_json_value(&self) -> value::Value {
         value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        elements(v).map(Vec::into_iter).map(|it| it.collect())
     }
 }
 
@@ -181,6 +369,46 @@ fn key_string<K: Serialize>(key: &K) -> String {
         value::Value::String(s) => s,
         other => other.to_string(),
     }
+}
+
+/// Inverse of [`key_string`]: reconstruct a map key from its string
+/// form. String-like keys (String, unit enum variants, char) decode
+/// from the string directly; numeric keys fall back to parsing the
+/// digits.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_json_value(&value::Value::String(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_json_value(&value::Value::from(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_json_value(&value::Value::from(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if let Ok(k) = K::from_json_value(&value::Value::from(f)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::new(format!("cannot decode map key from {s:?}")))
+}
+
+fn map_entries<K: Deserialize, V: Deserialize>(
+    v: &value::Value,
+) -> Result<Vec<(K, V)>, DeError> {
+    let obj = v.as_object().ok_or_else(|| type_err("an object", v))?;
+    obj.iter()
+        .map(|(k, val)| {
+            let key = key_from_string(k).map_err(|e| e.context(format!("key {k:?}")))?;
+            let value =
+                V::from_json_value(val).map_err(|e| e.context(format!("[{k:?}]")))?;
+            Ok((key, value))
+        })
+        .collect()
 }
 
 impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
@@ -197,6 +425,17 @@ impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V
     }
 }
 
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        map_entries(v).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
+
 impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_json_value(&self) -> value::Value {
         let mut m = value::Map::new();
@@ -207,20 +446,27 @@ impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> 
     }
 }
 
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        map_entries(v).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
+
 impl Serialize for value::Value {
     fn to_json_value(&self) -> value::Value {
         self.clone()
     }
 }
 
-impl Deserialize for bool {}
-impl Deserialize for f32 {}
-impl Deserialize for f64 {}
-impl Deserialize for String {}
-impl Deserialize for value::Value {}
-impl<T: Deserialize> Deserialize for Option<T> {}
-impl<T: Deserialize> Deserialize for Vec<T> {}
-impl<T: Deserialize> Deserialize for Box<T> {}
+impl Deserialize for value::Value {
+    fn from_json_value(v: &value::Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -239,5 +485,50 @@ mod tests {
     fn compound_to_value() {
         let v = vec![(1u8, "a".to_string()), (2, "b".to_string())];
         assert_eq!(v.to_json_value().to_string(), r#"[[1,"a"],[2,"b"]]"#);
+    }
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = v.to_json_value();
+        let dec = T::from_json_value(&enc).expect("roundtrip decode");
+        assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(42u8);
+        roundtrip(-7i64);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip("hello".to_string());
+        roundtrip('x');
+        roundtrip(Some(9u32));
+        roundtrip(Option::<u32>::None);
+    }
+
+    #[test]
+    fn compounds_roundtrip() {
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip((1u8, "a".to_string()));
+        roundtrip([1u32, 2, 3]);
+        let mut m = std::collections::HashMap::new();
+        m.insert("k".to_string(), 5u64);
+        roundtrip(m);
+        let mut b = std::collections::BTreeMap::new();
+        b.insert(3u32, "v".to_string());
+        roundtrip(b);
+        let s: std::collections::HashSet<u32> = [4, 5, 6].into_iter().collect();
+        roundtrip(s);
+    }
+
+    #[test]
+    fn out_of_range_int_errors() {
+        let v = value::Value::from(300u64);
+        assert!(u8::from_json_value(&v).is_err());
+    }
+
+    #[test]
+    fn wrong_shape_errors_mention_expectation() {
+        let err = u32::from_json_value(&value::Value::String("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected"));
     }
 }

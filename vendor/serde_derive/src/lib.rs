@@ -25,9 +25,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
-            .parse()
-            .unwrap(),
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
         Err(msg) => compile_error(&msg),
     }
 }
@@ -265,5 +263,173 @@ fn gen_serialize(item: &Item) -> String {
     format!(
         "impl ::serde::Serialize for {name} {{\n\
          fn to_json_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Decode one value expression into an inferred field/element type, with
+/// a context label attached to any error.
+fn decode_expr(value_expr: &str, ctx: &str) -> String {
+    format!(
+        "::serde::Deserialize::from_json_value({value_expr}).map_err(|e| e.context({ctx:?}))?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!(
+            "match __v {{\n\
+             ::serde::value::Value::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(::serde::DeError::new(\
+             format!(\"{name}: expected null, got {{__other}}\"))),\n\
+             }}"
+        ),
+        Shape::Struct(fields) if fields.is_empty() => format!(
+            "__v.as_object().ok_or_else(|| \
+             ::serde::DeError::new(\"{name}: expected an object\"))?;\n\
+             ::std::result::Result::Ok({name} {{}})"
+        ),
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"{name}: expected an object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                let getter = format!(
+                    "__m.get({f:?}).ok_or_else(|| \
+                     ::serde::DeError::new(\"{name}: missing field `{f}`\"))?"
+                );
+                s.push_str(&format!(
+                    "{f}: {},\n",
+                    decode_expr(&getter, &format!("{name}.{f}"))
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(n) => {
+            if *n == 1 {
+                // Single-field tuple structs serialize transparently.
+                format!(
+                    "::std::result::Result::Ok({name}({}))",
+                    decode_expr("__v", &format!("{name}.0"))
+                )
+            } else {
+                let mut s = format!(
+                    "let __a = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(\"{name}: expected an array\"))?;\n\
+                     if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(format!(\
+                     \"{name}: expected {n} elements, got {{}}\", __a.len()))); }}\n\
+                     ::std::result::Result::Ok({name}(\n"
+                );
+                for i in 0..*n {
+                    s.push_str(&format!(
+                        "{},\n",
+                        decode_expr(&format!("&__a[{i}]"), &format!("{name}.{i}"))
+                    ));
+                }
+                s.push_str("))");
+                s
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}({}))",
+                                decode_expr("__payload", &format!("{name}::{vname}"))
+                            )
+                        } else {
+                            let mut s = format!(
+                                "{{ let __a = __payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\"{name}::{vname}: expected an array\"))?;\n\
+                                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::new(format!(\
+                                 \"{name}::{vname}: expected {n} elements, got {{}}\", __a.len()))); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}(\n"
+                            );
+                            for i in 0..*n {
+                                s.push_str(&format!(
+                                    "{},\n",
+                                    decode_expr(
+                                        &format!("&__a[{i}]"),
+                                        &format!("{name}::{vname}.{i}")
+                                    )
+                                ));
+                            }
+                            s.push_str(")) }");
+                            s
+                        };
+                        payload_arms.push_str(&format!("{vname:?} => {body},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut s = format!(
+                            "{{ let __inner = __payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"{name}::{vname}: expected an object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            let getter = format!(
+                                "__inner.get({f:?}).ok_or_else(|| \
+                                 ::serde::DeError::new(\"{name}::{vname}: missing field `{f}`\"))?"
+                            );
+                            s.push_str(&format!(
+                                "{f}: {},\n",
+                                decode_expr(&getter, &format!("{name}::{vname}.{f}"))
+                            ));
+                        }
+                        s.push_str("}) }");
+                        payload_arms.push_str(&format!("{vname:?} => {s},\n"));
+                    }
+                }
+            }
+            let object_arm = if payload_arms.is_empty() {
+                format!(
+                    "::serde::value::Value::Object(_) => ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"{name}: expected a variant-name string\")),\n"
+                )
+            } else {
+                format!(
+                    "::serde::value::Value::Object(__m) => {{\n\
+                     if __m.len() != 1 {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"{name}: expected a single-key object\")); }}\n\
+                     let (__tag, __payload) = __m.iter().next().unwrap();\n\
+                     match __tag.as_str() {{\n\
+                     {payload_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                     format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }}\n\
+                     }},\n"
+                )
+            };
+            format!(
+                "match __v {{\n\
+                 ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 {object_arm}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"{name}: expected a string or single-key object, got {{__other}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
     )
 }

@@ -60,10 +60,19 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(value.to_json_value().pretty())
 }
 
+/// Decode a [`Value`] tree into a typed value.
+///
+/// Takes the value by reference (unlike upstream's by-value signature)
+/// because the vendored `Deserialize` decodes from borrowed trees; the
+/// error carries the decoder's path message with no line/column info.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_json_value(value).map_err(|e| Error::new(e.to_string(), 0, 0))
+}
+
 /// Parse JSON text into a [`Value`].
 ///
-/// Unlike upstream this is not generic over `Deserialize` — nothing in
-/// the workspace deserializes into derived types; traces and experiment
+/// Unlike upstream this is not generic over `Deserialize` — typed
+/// decoding layers on top via [`from_value`]; traces and experiment
 /// records are read back as `Value` trees.
 pub fn from_str(s: &str) -> Result<Value> {
     let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
