@@ -1,0 +1,154 @@
+//! Batched throughput runs: N independent simulated boards process a
+//! stream of images in parallel host threads.
+//!
+//! Every image is simulated on its **own** `Board` instance (boards are
+//! independent SoCs; there is no cross-image contention to model), so
+//! per-image simulated latency is a pure function of (architecture,
+//! image, board knobs). Host threads only parallelise the *host* work of
+//! running the simulations — the aggregated [`BatchReport`] is therefore
+//! **byte-identical across `--threads` values and across repeated runs**:
+//! results land in their input slot regardless of which worker computed
+//! them, and all derived statistics are computed from that ordered list.
+
+use crate::archs::Arch;
+use crate::image::RgbImage;
+use crate::otsu::{run_application_with, AppConfig, AppError};
+use accelsoc_core::flow::{FlowArtifacts, FlowEngine};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic aggregate of one batched run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    pub arch: String,
+    pub images: usize,
+    /// Simulated latency of each image, nanoseconds, in input order.
+    pub per_image_ns: Vec<f64>,
+    /// Nearest-rank percentiles over `per_image_ns`.
+    pub p50_ns: f64,
+    pub p99_ns: f64,
+    pub mean_ns: f64,
+    /// Sum of per-image simulated time: one board processing the batch
+    /// back to back.
+    pub total_board_ns: f64,
+    /// Simulated throughput of a single board: `images / total_board_ns`.
+    pub images_per_sec_single_board: f64,
+}
+
+/// Nearest-rank percentile (`p` in [0, 100]) over unsorted samples.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Run `images` through `arch` on `threads` parallel host threads (one
+/// fresh board per image) and fold the per-image simulated latencies
+/// into a [`BatchReport`].
+pub fn run_batch(
+    arch: Arch,
+    engine: &FlowEngine,
+    artifacts: &FlowArtifacts,
+    images: &[RgbImage],
+    threads: usize,
+    cfg: &AppConfig,
+) -> Result<BatchReport, AppError> {
+    let threads = threads.max(1);
+    let mut latencies: Vec<Option<Result<f64, AppError>>> = Vec::new();
+    latencies.resize_with(images.len(), || None);
+    let chunk = images.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|s| {
+        for (img_chunk, out_chunk) in images.chunks(chunk).zip(latencies.chunks_mut(chunk)) {
+            s.spawn(move |_| {
+                for (img, slot) in img_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(
+                        run_application_with(arch, engine, artifacts, img, cfg)
+                            .map(|run| run.total_ns),
+                    );
+                }
+            });
+        }
+    })
+    .expect("batch worker panicked");
+    let mut per_image_ns = Vec::with_capacity(images.len());
+    for slot in latencies {
+        per_image_ns.push(slot.expect("every image slot filled")?);
+    }
+    let mut sorted = per_image_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let total_board_ns: f64 = per_image_ns.iter().sum();
+    let mean_ns = if per_image_ns.is_empty() {
+        0.0
+    } else {
+        total_board_ns / per_image_ns.len() as f64
+    };
+    let images_per_sec_single_board = if total_board_ns > 0.0 {
+        per_image_ns.len() as f64 / (total_board_ns * 1e-9)
+    } else {
+        0.0
+    };
+    Ok(BatchReport {
+        arch: arch.name().to_string(),
+        images: per_image_ns.len(),
+        p50_ns: percentile(&sorted, 50.0),
+        p99_ns: percentile(&sorted, 99.0),
+        mean_ns,
+        total_board_ns,
+        images_per_sec_single_board,
+        per_image_ns,
+    })
+}
+
+/// Deterministic image stream for throughput runs: `count` synthetic
+/// scenes whose object layout varies with the image index.
+pub fn image_stream(count: usize, side: u32) -> Vec<RgbImage> {
+    (0..count)
+        .map(|i| RgbImage::from_gray(&crate::image::synthetic_scene(side, side, 11 + i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archs::{arch_dsl_source, otsu_flow_engine};
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+    }
+
+    #[test]
+    fn batch_report_independent_of_thread_count() {
+        let mut engine = otsu_flow_engine();
+        let artifacts = engine.run_source(&arch_dsl_source(Arch::Arch1)).unwrap();
+        let images = image_stream(5, 24);
+        let cfg = AppConfig::default();
+        let seq = run_batch(Arch::Arch1, &engine, &artifacts, &images, 1, &cfg).unwrap();
+        let par = run_batch(Arch::Arch1, &engine, &artifacts, &images, 4, &cfg).unwrap();
+        assert_eq!(seq, par);
+        // And byte-identical once serialized (the repro-report contract).
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap()
+        );
+        assert_eq!(seq.images, 5);
+        assert!(seq.p50_ns > 0.0 && seq.p99_ns >= seq.p50_ns);
+        assert!(seq.images_per_sec_single_board > 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_threads_are_fine() {
+        let mut engine = otsu_flow_engine();
+        let artifacts = engine.run_source(&arch_dsl_source(Arch::Arch2)).unwrap();
+        let images = image_stream(2, 16);
+        let cfg = AppConfig::default();
+        let r = run_batch(Arch::Arch2, &engine, &artifacts, &images, 16, &cfg).unwrap();
+        assert_eq!(r.per_image_ns.len(), 2);
+    }
+}

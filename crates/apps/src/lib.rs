@@ -12,15 +12,20 @@
 //!   hardware phases on the simulated board);
 //! * [`archs`] — the four DSL architecture descriptions of Table I and a
 //!   preconfigured [`accelsoc_core::flow::FlowEngine`] for them;
+//! * [`batch`] — batched throughput runs: a stream of images simulated on
+//!   independent boards across host threads, with a deterministic
+//!   latency/throughput report;
 //! * [`demo`] — the Fig. 4 example system (ADD/MULT on AXI-Lite, a
 //!   GAUSS→EDGE stream pipeline).
 
 pub mod archs;
+pub mod batch;
 pub mod demo;
 pub mod image;
 pub mod kernels;
 pub mod otsu;
 
 pub use archs::{arch_dsl_source, otsu_flow_engine, Arch};
+pub use batch::{image_stream, run_batch, BatchReport};
 pub use image::{GrayImage, RgbImage};
-pub use otsu::{otsu_reference, run_application, AppRun};
+pub use otsu::{otsu_reference, run_application, run_application_with, AppConfig, AppRun};

@@ -140,6 +140,24 @@ impl From<accelsoc_kernel::interp::ExecError> for AppError {
 const IN_BUF: u64 = 0x10_0000;
 const OUT_BUF: u64 = 0x20_0000;
 
+/// Board-level knobs for an application run.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Depth of every AXI-Stream FIFO on the board (clamped to ≥ 1).
+    pub stream_fifo_depth: usize,
+    /// Simulated DRAM size in bytes.
+    pub dram_bytes: usize,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        AppConfig {
+            stream_fifo_depth: 16,
+            dram_bytes: 64 << 20,
+        }
+    }
+}
+
 /// Execute the six-task application on `arch`, using hardware for the
 /// tasks that architecture implements in the PL (Table I) and the CPU
 /// model for the rest. Returns pixel-exact results plus timing.
@@ -149,7 +167,20 @@ pub fn run_application(
     artifacts: &FlowArtifacts,
     input: &RgbImage,
 ) -> Result<AppRun, AppError> {
-    let mut board = engine.build_board(artifacts, 64 << 20)?;
+    run_application_with(arch, engine, artifacts, input, &AppConfig::default())
+}
+
+/// [`run_application`] with explicit board knobs — used by the property
+/// tests to vary FIFO depth and by the batch driver.
+pub fn run_application_with(
+    arch: Arch,
+    engine: &FlowEngine,
+    artifacts: &FlowArtifacts,
+    input: &RgbImage,
+    cfg: &AppConfig,
+) -> Result<AppRun, AppError> {
+    let mut board = engine.build_board(artifacts, cfg.dram_bytes)?;
+    board.stream_fifo_depth = cfg.stream_fifo_depth.max(1);
     let n = input.data.len() as i64;
     let mut tasks: Vec<(String, f64, bool)> = Vec::new();
     let mut dma_bytes = 0u64;

@@ -9,6 +9,15 @@
 //! * **S2MM** (stream to memory-mapped): drains an AXI-Stream channel into
 //!   a DRAM buffer, terminating at TLAST or when the buffer is full.
 //!
+//! Both channels are **resumable transfer state machines**
+//! ([`Mm2sTransfer`], [`S2mmTransfer`]): a co-scheduling simulator pumps
+//! them a bounded number of beats at a time, and a full (or empty) FIFO
+//! *stalls* the channel — it never bypasses capacity. The batch
+//! convenience wrappers [`DmaEngine::mm2s`]/[`DmaEngine::s2mm`] drive the
+//! state machines to completion in one call for TLM-style use where the
+//! channel is known to have room, and fail with [`DmaError::Stalled`]
+//! rather than overrunning the FIFO.
+//!
 //! Timing model: `setup + ceil(bytes/beat_bytes)` beats, each beat costing
 //! one bus cycle, plus a DRAM burst overhead per `burst_beats` chunk. The
 //! platform simulator schedules these cycle counts; functional data
@@ -42,6 +51,19 @@ pub enum DmaError {
         beat_bytes: u32,
     },
     ZeroLength,
+    /// S2MM: the stream produced no data at all — the transfer would
+    /// silently complete with 0 bytes, which a real driver reports as an
+    /// underrun/timeout rather than success.
+    Underrun {
+        expected: u64,
+    },
+    /// A batch-mode transfer could not make progress: the channel is
+    /// full (MM2S) or empty (S2MM) and no co-scheduled peer will drain
+    /// or fill it within this call. `done_beats` beats moved before the
+    /// stall.
+    Stalled {
+        done_beats: u64,
+    },
 }
 
 impl From<MemError> for DmaError {
@@ -64,6 +86,19 @@ impl fmt::Display for DmaError {
                 write!(f, "length {len} not a multiple of beat size {beat_bytes}")
             }
             DmaError::ZeroLength => write!(f, "zero-length DMA transfer"),
+            DmaError::Underrun { expected } => {
+                write!(
+                    f,
+                    "S2MM underrun: stream delivered no data ({expected} bytes expected)"
+                )
+            }
+            DmaError::Stalled { done_beats } => {
+                write!(
+                    f,
+                    "DMA stalled after {done_beats} beats: channel backpressure with no \
+                     co-scheduled peer"
+                )
+            }
         }
     }
 }
@@ -77,6 +112,174 @@ pub struct DmaStats {
     pub beats: u64,
     /// Modelled bus cycles for the whole transfer.
     pub cycles: u64,
+}
+
+/// Resumable MM2S transfer: memory has been read into a staging buffer
+/// (the descriptor fetch + burst read), and beats are pushed into the
+/// stream as the FIFO accepts them. `pump` moves at most `max_beats`
+/// beats and stops early — without error — when the FIFO fills, so a
+/// co-scheduler can interleave producer and consumer.
+#[derive(Debug, Clone)]
+pub struct Mm2sTransfer {
+    buf: Vec<u8>,
+    beat_bytes: u32,
+    beats_total: u64,
+    next_beat: u64,
+}
+
+impl Mm2sTransfer {
+    /// Validate the descriptor and fetch the source buffer from memory.
+    pub fn start(
+        mem: &mut dyn MemoryPort,
+        desc: DmaDescriptor,
+        beat_bytes: u32,
+    ) -> Result<Self, DmaError> {
+        if desc.len == 0 {
+            return Err(DmaError::ZeroLength);
+        }
+        if !desc.len.is_multiple_of(beat_bytes as u64) {
+            return Err(DmaError::LengthMisaligned {
+                len: desc.len,
+                beat_bytes,
+            });
+        }
+        let mut buf = vec![0u8; desc.len as usize];
+        mem.read(desc.addr, &mut buf)?;
+        Ok(Mm2sTransfer {
+            buf,
+            beat_bytes,
+            beats_total: desc.len / beat_bytes as u64,
+            next_beat: 0,
+        })
+    }
+
+    /// Push up to `max_beats` beats into `stream`; returns how many were
+    /// accepted. Fewer than `max_beats` (including 0) means the FIFO
+    /// filled: the transfer is stalled, not failed — call `pump` again
+    /// once the consumer drains.
+    pub fn pump(&mut self, stream: &mut AxiStreamChannel, max_beats: u64) -> u64 {
+        let mut moved = 0;
+        while moved < max_beats && self.next_beat < self.beats_total {
+            if !stream.can_push() {
+                break;
+            }
+            let i = self.next_beat as usize;
+            let bb = self.beat_bytes as usize;
+            let chunk = &self.buf[i * bb..(i + 1) * bb];
+            let mut data = 0u64;
+            for (j, b) in chunk.iter().enumerate() {
+                data |= (*b as u64) << (8 * j);
+            }
+            let beat = Beat {
+                data,
+                last: self.next_beat + 1 == self.beats_total,
+            };
+            stream
+                .push(beat)
+                .expect("can_push checked; push cannot fail");
+            self.next_beat += 1;
+            moved += 1;
+        }
+        moved
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.next_beat == self.beats_total
+    }
+
+    pub fn beats_total(&self) -> u64 {
+        self.beats_total
+    }
+
+    pub fn beats_moved(&self) -> u64 {
+        self.next_beat
+    }
+}
+
+/// Resumable S2MM transfer: beats are drained from the stream into an
+/// incrementally grown buffer; the DRAM write happens once at `finish`
+/// (the model's burst write-back). The buffer grows beat by beat —
+/// nothing is reserved up front, so a descriptor advertising a huge
+/// `len` costs nothing until data actually arrives.
+#[derive(Debug, Clone)]
+pub struct S2mmTransfer {
+    desc: DmaDescriptor,
+    beat_bytes: u32,
+    buf: Vec<u8>,
+    beats: u64,
+    saw_last: bool,
+}
+
+impl S2mmTransfer {
+    /// Validate the descriptor (same checks as MM2S: zero-length and
+    /// beat alignment are rejected symmetrically).
+    pub fn start(desc: DmaDescriptor, beat_bytes: u32) -> Result<Self, DmaError> {
+        if desc.len == 0 {
+            return Err(DmaError::ZeroLength);
+        }
+        if !desc.len.is_multiple_of(beat_bytes as u64) {
+            return Err(DmaError::LengthMisaligned {
+                len: desc.len,
+                beat_bytes,
+            });
+        }
+        Ok(S2mmTransfer {
+            desc,
+            beat_bytes,
+            buf: Vec::new(),
+            beats: 0,
+            saw_last: false,
+        })
+    }
+
+    /// Drain up to `max_beats` beats from `stream`. Returns how many
+    /// moved; stops early at TLAST or on an empty FIFO (stall — resume
+    /// later). Errors if the buffer would overrun before TLAST.
+    pub fn pump(&mut self, stream: &mut AxiStreamChannel, max_beats: u64) -> Result<u64, DmaError> {
+        let bb = self.beat_bytes as u64;
+        let mut moved = 0;
+        while moved < max_beats && !self.saw_last {
+            let Some(beat) = stream.pop() else {
+                break;
+            };
+            if self.buf.len() as u64 + bb > self.desc.len {
+                return Err(DmaError::BufferOverrun {
+                    got: self.buf.len() as u64 + bb,
+                    capacity: self.desc.len,
+                });
+            }
+            for j in 0..bb {
+                self.buf.push(((beat.data >> (8 * j)) & 0xff) as u8);
+            }
+            self.beats += 1;
+            moved += 1;
+            if beat.last {
+                self.saw_last = true;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// TLAST seen or buffer exactly full: nothing more to drain.
+    pub fn is_done(&self) -> bool {
+        self.saw_last || self.buf.len() as u64 == self.desc.len
+    }
+
+    pub fn beats_moved(&self) -> u64 {
+        self.beats
+    }
+
+    /// Commit the received bytes to memory. An empty transfer (no beats
+    /// ever arrived) is an **underrun error**, not a silent 0-byte `Ok`.
+    pub fn finish(self, mem: &mut dyn MemoryPort) -> Result<(u64, u64), DmaError> {
+        if self.beats == 0 {
+            return Err(DmaError::Underrun {
+                expected: self.desc.len,
+            });
+        }
+        mem.write(self.desc.addr, &self.buf)?;
+        Ok((self.buf.len() as u64, self.beats))
+    }
 }
 
 /// A two-channel DMA engine.
@@ -104,51 +307,31 @@ impl DmaEngine {
         }
     }
 
-    fn cycles_for(&self, beats: u64) -> u64 {
+    pub fn cycles_for(&self, beats: u64) -> u64 {
         let bursts = beats.div_ceil(self.burst_beats as u64);
         self.setup_cycles as u64 + beats + bursts * self.burst_overhead_cycles as u64
     }
 
-    /// MM2S: move `desc` from memory into `stream`. The stream channel is
-    /// assumed drained by the consumer during the transfer (TLM
-    /// simplification: capacity pressure is modelled by the platform
-    /// simulator's co-scheduling, not here), so this pushes unconditionally
-    /// via an unbounded temporary if needed.
+    /// MM2S batch mode: move `desc` from memory into `stream` in one
+    /// call. The channel must have room for the whole transfer (batch
+    /// callers size it; co-scheduled callers use [`Mm2sTransfer`]
+    /// directly): a full FIFO is a [`DmaError::Stalled`] error, never a
+    /// capacity bypass.
     pub fn mm2s(
         &mut self,
         mem: &mut dyn MemoryPort,
         desc: DmaDescriptor,
         stream: &mut AxiStreamChannel,
     ) -> Result<DmaStats, DmaError> {
-        if desc.len == 0 {
-            return Err(DmaError::ZeroLength);
-        }
-        let bb = stream.beat_bytes();
-        if !desc.len.is_multiple_of(bb as u64) {
-            return Err(DmaError::LengthMisaligned {
-                len: desc.len,
-                beat_bytes: bb,
-            });
-        }
-        let mut buf = vec![0u8; desc.len as usize];
-        mem.read(desc.addr, &mut buf)?;
-        let beats = desc.len / bb as u64;
-        for (i, chunk) in buf.chunks(bb as usize).enumerate() {
-            let mut data = 0u64;
-            for (j, b) in chunk.iter().enumerate() {
-                data |= (*b as u64) << (8 * j);
-            }
-            // TLM: FIFO capacity is advisory; grow through forced push.
-            let beat = Beat {
-                data,
-                last: i as u64 + 1 == beats,
-            };
-            if stream.push(beat).is_err() {
-                // Model consumer-side drain: the platform simulator
-                // co-schedules; at pure TLM level we expand the FIFO.
-                stream.force_push(beat);
+        let mut xfer = Mm2sTransfer::start(mem, desc, stream.beat_bytes())?;
+        while !xfer.is_done() {
+            if xfer.pump(stream, u64::MAX) == 0 {
+                return Err(DmaError::Stalled {
+                    done_beats: xfer.beats_moved(),
+                });
             }
         }
+        let beats = xfer.beats_total();
         let stats = DmaStats {
             bytes: desc.len,
             beats,
@@ -158,41 +341,27 @@ impl DmaEngine {
         Ok(stats)
     }
 
-    /// S2MM: drain `stream` into memory at `desc`, stopping at TLAST or
-    /// after `desc.len` bytes. Errors if the stream carries more data than
-    /// the buffer before TLAST.
+    /// S2MM batch mode: drain `stream` into memory at `desc`, stopping at
+    /// TLAST or after `desc.len` bytes. Errors if the stream carries more
+    /// data than the buffer before TLAST, and — symmetrically with MM2S —
+    /// rejects misaligned lengths and reports an empty stream as an
+    /// underrun instead of a silent 0-byte success.
     pub fn s2mm(
         &mut self,
         mem: &mut dyn MemoryPort,
         desc: DmaDescriptor,
         stream: &mut AxiStreamChannel,
     ) -> Result<DmaStats, DmaError> {
-        if desc.len == 0 {
-            return Err(DmaError::ZeroLength);
-        }
-        let bb = stream.beat_bytes() as u64;
-        let mut written = 0u64;
-        let mut beats = 0u64;
-        let mut buf = Vec::with_capacity(desc.len as usize);
-        while let Some(beat) = stream.pop() {
-            if written + bb > desc.len {
-                return Err(DmaError::BufferOverrun {
-                    got: written + bb,
-                    capacity: desc.len,
-                });
-            }
-            for j in 0..bb {
-                buf.push(((beat.data >> (8 * j)) & 0xff) as u8);
-            }
-            written += bb;
-            beats += 1;
-            if beat.last {
+        let mut xfer = S2mmTransfer::start(desc, stream.beat_bytes())?;
+        loop {
+            let moved = xfer.pump(stream, u64::MAX)?;
+            if xfer.is_done() || moved == 0 {
                 break;
             }
         }
-        mem.write(desc.addr, &buf)?;
+        let (bytes, beats) = xfer.finish(mem)?;
         let stats = DmaStats {
-            bytes: written,
+            bytes,
             beats,
             cycles: self.cycles_for(beats),
         };
@@ -200,21 +369,17 @@ impl DmaEngine {
         Ok(stats)
     }
 
+    /// Record a transfer driven externally through the resumable state
+    /// machines ([`Mm2sTransfer`]/[`S2mmTransfer`]) in the engine's
+    /// cumulative statistics.
+    pub fn record(&mut self, s: DmaStats) {
+        self.accumulate(s);
+    }
+
     fn accumulate(&mut self, s: DmaStats) {
         self.total.bytes += s.bytes;
         self.total.beats += s.beats;
         self.total.cycles += s.cycles;
-    }
-}
-
-impl AxiStreamChannel {
-    /// Push ignoring capacity (used by TLM-level DMA; see
-    /// [`DmaEngine::mm2s`]). Records the event as backpressure so
-    /// utilisation statistics still expose the pressure.
-    pub fn force_push(&mut self, beat: Beat) {
-        self.backpressure_events += 1;
-        self.beats_transferred += 1;
-        self.force_push_inner(beat);
     }
 }
 
@@ -318,6 +483,74 @@ mod tests {
                 .unwrap_err(),
             DmaError::ZeroLength
         );
+    }
+
+    #[test]
+    fn s2mm_validates_like_mm2s() {
+        // The seed's S2MM accepted any `len` and returned Ok(0 bytes) on
+        // an empty stream; both are now rejected symmetrically.
+        let mut mem = VecMemory::new(64);
+        let mut dma = DmaEngine::new("d");
+        let mut ch = AxiStreamChannel::new("s", 32, 8);
+        assert_eq!(
+            dma.s2mm(&mut mem, DmaDescriptor { addr: 0, len: 6 }, &mut ch)
+                .unwrap_err(),
+            DmaError::LengthMisaligned {
+                len: 6,
+                beat_bytes: 4
+            }
+        );
+        assert_eq!(
+            dma.s2mm(&mut mem, DmaDescriptor { addr: 0, len: 0 }, &mut ch)
+                .unwrap_err(),
+            DmaError::ZeroLength
+        );
+        // Aligned descriptor, but the stream never produces a beat.
+        let err = dma
+            .s2mm(&mut mem, DmaDescriptor { addr: 0, len: 8 }, &mut ch)
+            .unwrap_err();
+        assert_eq!(err, DmaError::Underrun { expected: 8 });
+    }
+
+    #[test]
+    fn mm2s_into_full_channel_stalls_instead_of_overrunning() {
+        let mut mem = VecMemory::new(64);
+        let mut dma = DmaEngine::new("d");
+        // Capacity 4 < 16 beats: with nobody draining, batch mode must
+        // stop at the FIFO boundary and report the stall.
+        let mut ch = AxiStreamChannel::new("s", 8, 4);
+        let err = dma
+            .mm2s(&mut mem, DmaDescriptor { addr: 0, len: 16 }, &mut ch)
+            .unwrap_err();
+        assert_eq!(err, DmaError::Stalled { done_beats: 4 });
+        assert_eq!(ch.len(), 4, "FIFO holds exactly its capacity");
+    }
+
+    #[test]
+    fn resumable_mm2s_s2mm_pump_in_lockstep() {
+        // Co-scheduled style: a depth-2 FIFO between producer and
+        // consumer, pumped alternately — the whole transfer completes
+        // without the FIFO ever exceeding its capacity.
+        let mut mem = VecMemory::new(128);
+        let data: Vec<u8> = (0..32).collect();
+        mem.write(0, &data).unwrap();
+        let mut ch = AxiStreamChannel::new("s", 8, 2);
+        let mut src = Mm2sTransfer::start(&mut mem, DmaDescriptor { addr: 0, len: 32 }, 1).unwrap();
+        let mut dst = S2mmTransfer::start(DmaDescriptor { addr: 64, len: 32 }, 1).unwrap();
+        let mut rounds = 0;
+        while !(src.is_done() && dst.is_done()) {
+            src.pump(&mut ch, 1);
+            dst.pump(&mut ch, 1).unwrap();
+            assert!(ch.len() <= 2, "bounded FIFO never overruns");
+            rounds += 1;
+            assert!(rounds < 1000, "must terminate");
+        }
+        assert_eq!(dst.beats_moved(), 32);
+        let (bytes, beats) = dst.finish(&mut mem).unwrap();
+        assert_eq!((bytes, beats), (32, 32));
+        let mut out = vec![0u8; 32];
+        mem.read(64, &mut out).unwrap();
+        assert_eq!(out, data);
     }
 
     #[test]

@@ -105,12 +105,6 @@ impl AxiStreamChannel {
     pub fn clear(&mut self) {
         self.fifo.clear();
     }
-
-    /// Capacity-ignoring enqueue, for TLM-level producers (see
-    /// `DmaEngine::mm2s`). Does not update statistics.
-    pub(crate) fn force_push_inner(&mut self, beat: Beat) {
-        self.fifo.push_back(beat);
-    }
 }
 
 #[cfg(test)]

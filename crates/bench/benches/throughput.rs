@@ -1,0 +1,39 @@
+//! Host-side throughput of the batched application driver: how fast the
+//! simulator itself chews through a stream of images, per architecture
+//! and per host-thread count, plus the simulated per-image latency
+//! distribution (p50/p99) and single-board images/sec each batch reports.
+
+use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc_apps::batch::{image_stream, run_batch};
+use accelsoc_apps::otsu::AppConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput_8x32x32");
+    group.sample_size(10);
+    let images = image_stream(8, 32);
+    let cfg = AppConfig::default();
+    let mut engine = otsu_flow_engine();
+    for arch in [Arch::Arch1, Arch::Arch4] {
+        let art = engine.run_source(&arch_dsl_source(arch)).unwrap();
+        for threads in [1usize, 4] {
+            group.bench_function(format!("{}_t{threads}", arch.name()), |b| {
+                b.iter(|| run_batch(arch, &engine, &art, &images, threads, &cfg).unwrap());
+            });
+        }
+        // Report the simulated numbers once per arch so the bench output
+        // doubles as a throughput summary.
+        let rep = run_batch(arch, &engine, &art, &images, 2, &cfg).unwrap();
+        println!(
+            "{}: p50 {:.3} ms, p99 {:.3} ms, {:.1} images/s on one board",
+            arch.name(),
+            rep.p50_ns / 1e6,
+            rep.p99_ns / 1e6,
+            rep.images_per_sec_single_board
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -160,7 +160,8 @@ pub enum FlowEvent {
         met: bool,
     },
     /// The platform simulator completed one streaming phase: simulated
-    /// time plus DMA and bus contention counters.
+    /// time plus DMA, FIFO and bus contention counters from the
+    /// co-scheduled bounded-FIFO cycle simulation.
     SimPhaseDone {
         label: String,
         ns: f64,
@@ -169,7 +170,13 @@ pub enum FlowEvent {
         bytes_in: u64,
         bytes_out: u64,
         dma_bursts: u64,
+        /// Cycles any endpoint waited for the shared HP port's byte
+        /// budget (bus contention).
         bus_stall_cycles: u64,
+        /// Cycles producers waited on a full stream FIFO.
+        backpressure_stall_cycles: u64,
+        /// Cycles consumers waited on an empty stream FIFO.
+        starvation_stall_cycles: u64,
     },
 }
 
@@ -285,12 +292,15 @@ impl fmt::Display for FlowEvent {
                 bytes_in,
                 bytes_out,
                 bus_stall_cycles,
+                backpressure_stall_cycles,
+                starvation_stall_cycles,
                 ..
             } => {
                 write!(
                     f,
                     "[SIM] phase '{label}': {ns:.0} ns, {bytes_in} B in / {bytes_out} B out, \
-                     {bus_stall_cycles} stall cycles"
+                     stalls: {bus_stall_cycles} bus / {backpressure_stall_cycles} backpressure / \
+                     {starvation_stall_cycles} starvation"
                 )
             }
         }

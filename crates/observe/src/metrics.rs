@@ -48,6 +48,10 @@ pub struct FlowMetrics {
     pub sim_bytes_out: u64,
     pub sim_dma_bursts: u64,
     pub sim_bus_stall_cycles: u64,
+    /// Producer-side FIFO-full stall cycles across simulated phases.
+    pub sim_backpressure_stall_cycles: u64,
+    /// Consumer-side FIFO-empty stall cycles across simulated phases.
+    pub sim_starvation_stall_cycles: u64,
 }
 
 impl FlowMetrics {
@@ -112,6 +116,8 @@ impl FlowMetrics {
                 bytes_out,
                 dma_bursts,
                 bus_stall_cycles,
+                backpressure_stall_cycles,
+                starvation_stall_cycles,
                 ..
             } => {
                 self.sim_phases += 1;
@@ -119,6 +125,8 @@ impl FlowMetrics {
                 self.sim_bytes_out += bytes_out;
                 self.sim_dma_bursts += dma_bursts;
                 self.sim_bus_stall_cycles += bus_stall_cycles;
+                self.sim_backpressure_stall_cycles += backpressure_stall_cycles;
+                self.sim_starvation_stall_cycles += starvation_stall_cycles;
             }
             FlowEvent::FlowStarted { .. }
             | FlowEvent::FlowFinished { .. }
@@ -196,6 +204,8 @@ mod tests {
                 bytes_out: 32,
                 dma_bursts: 4,
                 bus_stall_cycles: 5,
+                backpressure_stall_cycles: 11,
+                starvation_stall_cycles: 2,
             });
         }
         let m = obs.snapshot();
@@ -204,6 +214,8 @@ mod tests {
         assert_eq!(m.sim_bytes_in, 128);
         assert_eq!(m.sim_dma_bursts, 8);
         assert_eq!(m.sim_bus_stall_cycles, 10);
+        assert_eq!(m.sim_backpressure_stall_cycles, 22);
+        assert_eq!(m.sim_starvation_stall_cycles, 4);
     }
 
     #[test]

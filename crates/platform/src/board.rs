@@ -14,12 +14,13 @@
 //!   sum of stages.
 
 use crate::accel::AccelInstance;
+use crate::cosim::{self, CosimPhase, SinkSpec, SourceSpec, StagePort, StageSpec};
 use crate::cpu::Cpu;
 use crate::memory::Dram;
 use crate::PL_CLK_NS;
-use accelsoc_axi::dma::{DmaDescriptor, DmaEngine, DmaError};
+use accelsoc_axi::dma::{DmaDescriptor, DmaEngine, DmaError, DmaStats, Mm2sTransfer, S2mmTransfer};
 use accelsoc_axi::lite::AxiLiteBus;
-use accelsoc_axi::stream::AxiStreamChannel;
+use accelsoc_axi::stream::{AxiStreamChannel, Beat};
 use accelsoc_kernel::interp::{ExecError, StreamBundle};
 use accelsoc_observe::{null_observer, FlowEvent, SharedObserver};
 use std::collections::HashMap;
@@ -66,6 +67,11 @@ pub enum BoardError {
         accel: String,
         port: String,
     },
+    /// The co-scheduled cycle simulation hit its safety cap without all
+    /// endpoints finishing — the token accounting is inconsistent.
+    SimDiverged {
+        cycles: u64,
+    },
 }
 
 impl fmt::Display for BoardError {
@@ -90,6 +96,12 @@ impl fmt::Display for BoardError {
             BoardError::UnconnectedInput { accel, port } => {
                 write!(f, "input `{accel}.{port}` is not fed by any link")
             }
+            BoardError::SimDiverged { cycles } => {
+                write!(
+                    f,
+                    "cycle simulation did not converge within {cycles} cycles"
+                )
+            }
         }
     }
 }
@@ -102,15 +114,25 @@ impl From<DmaError> for BoardError {
     }
 }
 
-/// Statistics of one streaming-phase execution.
+/// Statistics of one streaming-phase execution. Timing comes from the
+/// co-scheduled bounded-FIFO cycle simulation ([`crate::cosim`]).
 #[derive(Debug, Clone, Default)]
 pub struct PhaseStats {
     /// Total modelled wall time.
     pub ns: f64,
-    /// Pipeline-fill cycles (startup of every stage + DMA setup).
+    /// Total cycles of the co-scheduled simulation.
+    pub total_cycles: u64,
+    /// Cycles until the first result beat reached an S2MM channel
+    /// (pipeline fill: DMA setup + stage startups + first traversal).
     pub fill_cycles: u64,
-    /// Steady-state cycles (slowest stage).
+    /// `total_cycles - fill_cycles`.
     pub steady_cycles: u64,
+    /// Cycles producers spent blocked on a full stream FIFO.
+    pub backpressure_stall_cycles: u64,
+    /// Cycles consumers spent blocked on an empty stream FIFO.
+    pub starvation_stall_cycles: u64,
+    /// Cycles DMA endpoints spent waiting for HP-port byte budget.
+    pub hp_stall_cycles: u64,
     /// Per-stage busy cycles: (stage name, cycles).
     pub per_stage: Vec<(String, u64)>,
     pub bytes_in: u64,
@@ -131,6 +153,11 @@ pub struct Board {
     /// All of a phase's DMA traffic shares this port, so total bytes over
     /// this bandwidth lower-bounds the steady-state phase time.
     pub hp_bytes_per_cycle: u64,
+    /// Depth of every AXI-Stream FIFO on the board (Vivado-style skid
+    /// buffer default is 16). Shallower FIFOs surface more backpressure.
+    pub stream_fifo_depth: usize,
+    /// Safety cap for the co-scheduled cycle simulation.
+    pub max_sim_cycles: u64,
     /// Event bus for phase-level counters (DMA bursts, bus stalls).
     observer: SharedObserver,
     /// Streaming phases executed so far (labels the emitted events).
@@ -148,6 +175,8 @@ impl Board {
             links: Vec::new(),
             poll_interval_cycles: 50,
             hp_bytes_per_cycle: 8,
+            stream_fifo_depth: 16,
+            max_sim_cycles: 50_000_000,
             observer: null_observer(),
             phases_run: 0,
         }
@@ -318,32 +347,63 @@ impl Board {
         let mut dma_bursts = 0u64;
         // Input token buffers per (accel, port).
         let mut inbox: HashMap<(usize, String), Vec<i64>> = HashMap::new();
+        // Tokens that traversed each stream link during the functional
+        // pass, indexed like `self.links` — the cycle simulation replays
+        // exactly this traffic over bounded FIFOs.
+        let mut link_tokens = vec![0u64; self.links.len()];
+        // DMA endpoints observed this phase, for the cycle simulation:
+        // (link index, beats, bytes per beat, setup, burst beats, burst
+        // overhead, stage label).
+        let mut src_specs: Vec<(usize, u64, u64, u64, u64, u64, String)> = Vec::new();
+        let mut sink_specs: Vec<(usize, u64, u64, u64, u64, u64, String)> = Vec::new();
 
-        // 1. MM2S: DRAM -> head channels.
+        // 1. MM2S: DRAM -> head channels, co-scheduled with the inbox
+        // drain over a bounded FIFO (the resumable state machine stalls
+        // whenever the FIFO fills; the drain frees it).
         for (dma_idx, desc) in inputs {
             // Find the link leaving this DMA.
-            let link = self
+            let (link_idx, link) = self
                 .links
                 .iter()
-                .find(|l| l.from == Endpoint::Dma(*dma_idx))
-                .cloned()
+                .enumerate()
+                .find(|(_, l)| l.from == Endpoint::Dma(*dma_idx))
+                .map(|(i, l)| (i, l.clone()))
                 .ok_or(BoardError::UnknownAccel(*dma_idx))?;
             let (accel, port) = match &link.to {
                 Endpoint::Accel { accel, port } => (*accel, port.clone()),
                 Endpoint::Dma(_) => continue, // DMA->DMA loopback: nothing to compute
             };
             let bits = self.endpoint_bits(&link.to, true)?.unwrap_or(32);
-            let mut ch = AxiStreamChannel::new("mm2s", bits, 1 << 20);
+            let mut ch = AxiStreamChannel::new("mm2s", bits, self.stream_fifo_depth);
+            let mut xfer = Mm2sTransfer::start(&mut self.dram, *desc, ch.beat_bytes())?;
+            let mut tokens: Vec<i64> = Vec::new();
+            while !xfer.is_done() || !ch.is_empty() {
+                xfer.pump(&mut ch, self.stream_fifo_depth as u64);
+                while let Some(b) = ch.pop() {
+                    tokens.push(b.data as i64);
+                }
+            }
             let dma = &mut self.dmas[*dma_idx];
-            let st = dma.mm2s(&mut self.dram, *desc, &mut ch)?;
+            let st = DmaStats {
+                bytes: desc.len,
+                beats: xfer.beats_total(),
+                cycles: dma.cycles_for(xfer.beats_total()),
+            };
+            dma.record(st);
             stats.bytes_in += st.bytes;
             dma_bursts += st.beats.div_ceil(dma.burst_beats as u64);
-            stats
-                .per_stage
-                .push((format!("dma{}:mm2s", dma_idx), st.cycles));
-            let tokens: Vec<i64> = std::iter::from_fn(|| ch.pop())
-                .map(|b| b.data as i64)
-                .collect();
+            let label = format!("dma{dma_idx}:mm2s");
+            stats.per_stage.push((label.clone(), st.cycles));
+            src_specs.push((
+                link_idx,
+                st.beats,
+                ch.beat_bytes() as u64,
+                dma.setup_cycles as u64,
+                dma.burst_beats as u64,
+                dma.burst_overhead_cycles as u64,
+                label,
+            ));
+            link_tokens[link_idx] += tokens.len() as u64;
             inbox.entry((accel, port)).or_default().extend(tokens);
         }
 
@@ -396,73 +456,176 @@ impl Board {
                 .collect();
             for port in &out_ports {
                 let tokens = bundle.outputs.remove(port).unwrap_or_default();
-                let link = self.links.iter().find(|l| {
+                let link = self.links.iter().enumerate().find(|(_, l)| {
                     matches!(&l.from, Endpoint::Accel { accel, port: p } if *accel == accel_idx && p == port)
                 });
                 match link {
-                    Some(l) => match &l.to {
-                        Endpoint::Accel { accel, port } => {
-                            inbox
-                                .entry((*accel, port.clone()))
-                                .or_default()
-                                .extend(tokens);
+                    Some((li, l)) => {
+                        link_tokens[li] += tokens.len() as u64;
+                        match &l.to {
+                            Endpoint::Accel { accel, port } => {
+                                inbox
+                                    .entry((*accel, port.clone()))
+                                    .or_default()
+                                    .extend(tokens);
+                            }
+                            Endpoint::Dma(d) => {
+                                let bits = self.accels[accel_idx]
+                                    .report
+                                    .interface
+                                    .stream(port)
+                                    .map(|p| p.tdata_bits)
+                                    .unwrap_or(32);
+                                let e = outbox.entry(*d).or_insert_with(|| (Vec::new(), bits));
+                                e.0.extend(tokens);
+                            }
                         }
-                        Endpoint::Dma(d) => {
-                            let bits = self.accels[accel_idx]
-                                .report
-                                .interface
-                                .stream(port)
-                                .map(|p| p.tdata_bits)
-                                .unwrap_or(32);
-                            let e = outbox.entry(*d).or_insert_with(|| (Vec::new(), bits));
-                            e.0.extend(tokens);
-                        }
-                    },
+                    }
                     None => { /* dangling output: tokens dropped (warn-level) */ }
                 }
             }
         }
 
-        // 3. S2MM: tail channels -> DRAM.
+        // 3. S2MM: tail channels -> DRAM, again co-scheduled over a
+        // bounded FIFO: the producer refills as the resumable S2MM state
+        // machine drains, and the FIFO never exceeds its capacity.
         for (dma_idx, desc) in outputs {
             let (tokens, bits) = outbox.remove(dma_idx).unwrap_or((Vec::new(), 32));
-            let mut ch = AxiStreamChannel::new("s2mm", bits, tokens.len().max(1));
             let n = tokens.len();
-            for (i, t) in tokens.into_iter().enumerate() {
-                ch.force_push(accelsoc_axi::stream::Beat {
-                    data: t as u64,
-                    last: i + 1 == n,
-                });
-            }
             if n == 0 {
                 continue;
             }
+            let link_idx = self
+                .links
+                .iter()
+                .position(|l| l.to == Endpoint::Dma(*dma_idx));
+            let mut ch = AxiStreamChannel::new("s2mm", bits, self.stream_fifo_depth);
+            let mut xfer = S2mmTransfer::start(*desc, ch.beat_bytes())?;
+            let mut iter = tokens.into_iter().enumerate();
+            let mut pending = iter.next();
+            while !xfer.is_done() {
+                while let Some((i, t)) = pending {
+                    if !ch.can_push() {
+                        pending = Some((i, t));
+                        break;
+                    }
+                    ch.push(Beat {
+                        data: t as u64,
+                        last: i + 1 == n,
+                    })
+                    .expect("can_push checked; push cannot fail");
+                    pending = iter.next();
+                }
+                let moved = xfer.pump(&mut ch, self.stream_fifo_depth as u64)?;
+                if moved == 0 && pending.is_none() && ch.is_empty() {
+                    break;
+                }
+            }
             let dma = &mut self.dmas[*dma_idx];
-            let st = dma.s2mm(&mut self.dram, *desc, &mut ch)?;
+            let (bytes, beats) = xfer.finish(&mut self.dram)?;
+            let st = DmaStats {
+                bytes,
+                beats,
+                cycles: dma.cycles_for(beats),
+            };
+            dma.record(st);
             stats.bytes_out += st.bytes;
             dma_bursts += st.beats.div_ceil(dma.burst_beats as u64);
-            stats
-                .per_stage
-                .push((format!("dma{}:s2mm", dma_idx), st.cycles));
+            let label = format!("dma{dma_idx}:s2mm");
+            stats.per_stage.push((label.clone(), st.cycles));
+            if let Some(li) = link_idx {
+                sink_specs.push((
+                    li,
+                    st.beats,
+                    ch.beat_bytes() as u64,
+                    dma.setup_cycles as u64,
+                    dma.burst_beats as u64,
+                    dma.burst_overhead_cycles as u64,
+                    label,
+                ));
+            }
         }
 
-        // Pipeline timing: fill = per-stage startups (+DMA setup folded into
-        // stage cycles); steady state = slowest stage.
-        stats.fill_cycles = stats
-            .per_stage
-            .iter()
-            .map(|_| 40u64) // startup per pipeline stage
-            .sum();
-        // Steady state: the slowest pipeline stage, or the shared HP
-        // port's bandwidth on the phase's total DMA traffic — whichever
-        // binds.
-        let hp_cycles = (stats.bytes_in + stats.bytes_out) / self.hp_bytes_per_cycle.max(1);
-        let slowest_stage = stats.per_stage.iter().map(|(_, c)| *c).max().unwrap_or(0);
-        stats.steady_cycles = slowest_stage.max(hp_cycles);
-        stats.ns = (stats.fill_cycles + stats.steady_cycles) as f64 * PL_CLK_NS;
-        // Cycles the pipeline spends waiting on the shared HP port beyond
-        // what compute alone would take: bus contention stalls.
-        let bus_stall_cycles = stats.steady_cycles - slowest_stage;
+        // 4. Timing: replay the phase's traffic through the co-scheduled
+        // bounded-FIFO cycle simulation — one FIFO per stream link, one
+        // stage per participating accelerator, MM2S/S2MM endpoints
+        // sharing the HP port's per-cycle byte budget.
+        let mut phase = CosimPhase::default();
+        for _ in &self.links {
+            phase.add_fifo(self.stream_fifo_depth as u64);
+        }
+        for (li, beats, bpb, setup, bb, bo, name) in src_specs {
+            phase.sources.push(SourceSpec {
+                name,
+                beats,
+                bytes_per_beat: bpb,
+                setup_cycles: setup,
+                burst_beats: bb,
+                burst_overhead: bo,
+                out_fifo: li,
+            });
+        }
+        for accel_idx in self.topo_order()? {
+            let inputs: Vec<StagePort> = self
+                .links
+                .iter()
+                .enumerate()
+                .filter(
+                    |(_, l)| matches!(&l.to, Endpoint::Accel { accel, .. } if *accel == accel_idx),
+                )
+                .map(|(li, _)| StagePort {
+                    fifo: li,
+                    tokens: link_tokens[li],
+                })
+                .collect();
+            let outputs: Vec<StagePort> = self
+                .links
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    matches!(&l.from, Endpoint::Accel { accel, .. } if *accel == accel_idx)
+                })
+                .map(|(li, _)| StagePort {
+                    fifo: li,
+                    tokens: link_tokens[li],
+                })
+                .collect();
+            if inputs.is_empty() && outputs.is_empty() {
+                continue;
+            }
+            let a = &self.accels[accel_idx];
+            phase.stages.push(StageSpec {
+                name: a.kernel.name.clone(),
+                startup_cycles: a.startup_cycles,
+                ii: a.ii_max(),
+                inputs,
+                outputs,
+            });
+        }
+        for (li, beats, bpb, setup, bb, bo, name) in sink_specs {
+            phase.sinks.push(SinkSpec {
+                name,
+                beats,
+                bytes_per_beat: bpb,
+                setup_cycles: setup,
+                burst_beats: bb,
+                burst_overhead: bo,
+                in_fifo: li,
+            });
+        }
+        let r = cosim::run(&phase, self.hp_bytes_per_cycle, self.max_sim_cycles);
+        if r.capped {
+            return Err(BoardError::SimDiverged {
+                cycles: r.total_cycles,
+            });
+        }
+        stats.total_cycles = r.total_cycles;
+        stats.fill_cycles = r.fill_cycles;
+        stats.steady_cycles = r.steady_cycles;
+        stats.backpressure_stall_cycles = r.backpressure_stall_cycles;
+        stats.starvation_stall_cycles = r.starvation_stall_cycles;
+        stats.hp_stall_cycles = r.hp_stall_cycles;
+        stats.ns = stats.total_cycles as f64 * PL_CLK_NS;
         self.observer.on_event(&FlowEvent::SimPhaseDone {
             label: format!("phase{}", self.phases_run),
             ns: stats.ns,
@@ -471,7 +634,9 @@ impl Board {
             bytes_in: stats.bytes_in,
             bytes_out: stats.bytes_out,
             dma_bursts,
-            bus_stall_cycles,
+            bus_stall_cycles: stats.hp_stall_cycles,
+            backpressure_stall_cycles: stats.backpressure_stall_cycles,
+            starvation_stall_cycles: stats.starvation_stall_cycles,
         });
         self.phases_run += 1;
         Ok(stats)
@@ -660,9 +825,70 @@ mod tests {
         };
         let f = run(&mut fast, a1, din, dout);
         let s = run(&mut slow, b1, din2, dout2);
-        assert!(s.steady_cycles > f.steady_cycles);
+        assert!(s.total_cycles > f.total_cycles);
         // 8192 bytes over 1 B/cycle = 8192 cycles lower bound.
-        assert!(s.steady_cycles >= 8192);
+        assert!(s.total_cycles >= 8192);
+        // The starved port shows up as bus-contention stall cycles.
+        assert!(s.hp_stall_cycles > f.hp_stall_cycles);
+    }
+
+    #[test]
+    fn shallow_fifos_surface_backpressure_stalls() {
+        // Same single-stage pipeline twice; the shallow-FIFO board must
+        // report strictly more producer stalls and no fewer cycles.
+        let build = |depth: usize| {
+            let mut b = Board::new(1 << 20);
+            b.stream_fifo_depth = depth;
+            let a = b.add_accel(make_accel(inc_kernel("S1")));
+            let din = b.add_dma();
+            let dout = b.add_dma();
+            b.link(
+                Endpoint::Dma(din),
+                Endpoint::Accel {
+                    accel: a,
+                    port: "in".into(),
+                },
+            )
+            .unwrap();
+            b.link(
+                Endpoint::Accel {
+                    accel: a,
+                    port: "out".into(),
+                },
+                Endpoint::Dma(dout),
+            )
+            .unwrap();
+            let data = vec![9u8; 2048];
+            b.dram.load_bytes(0x1000, &data).unwrap();
+            let stats = b
+                .run_stream_phase(
+                    &[(
+                        din,
+                        DmaDescriptor {
+                            addr: 0x1000,
+                            len: 2048,
+                        },
+                    )],
+                    &[(
+                        dout,
+                        DmaDescriptor {
+                            addr: 0x8000,
+                            len: 2048,
+                        },
+                    )],
+                    &[(a, "n", 2048)],
+                )
+                .unwrap();
+            (stats, b.dram.dump_bytes(0x8000, 4).unwrap())
+        };
+        let (shallow, out_shallow) = build(1);
+        let (deep, out_deep) = build(64);
+        // Functional output is identical — capacity only affects timing.
+        assert_eq!(out_shallow, out_deep);
+        assert_eq!(out_shallow, vec![10, 10, 10, 10]);
+        assert!(shallow.backpressure_stall_cycles > deep.backpressure_stall_cycles);
+        assert!(shallow.total_cycles >= deep.total_cycles);
+        assert!(shallow.backpressure_stall_cycles > 0);
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //!   AXI-Stream topology, DMA engines, DRAM, accelerators; it can execute
 //!   memory-mapped core invocations and streaming phases functionally and
 //!   return cycle-accurate-ish statistics;
-//! * [`sim::TaskSim`] — a discrete-event scheduler that composes task
-//!   durations and dependencies into an application makespan (used to
-//!   compare Arch1–4 end to end).
+//! * [`cosim`] — the co-scheduled bounded-FIFO cycle simulation behind
+//!   streaming-phase timing: every DMA endpoint and accelerator steps one
+//!   PL cycle at a time over integer-occupancy FIFOs, surfacing
+//!   backpressure, starvation and HP-port contention stalls;
+//! * [`sim::TaskSim`] — a discrete-event scheduler on an integer
+//!   picosecond calendar that composes task durations and dependencies
+//!   into an application makespan (used to compare Arch1–4 end to end).
 //!
 //! Clocks: the PL runs at 100 MHz (10 ns/cycle), the PS at 666.7 MHz
 //! (1.5 ns/cycle), matching ZedBoard defaults. All times are reported in
@@ -27,6 +31,7 @@
 
 pub mod accel;
 pub mod board;
+pub mod cosim;
 pub mod cpu;
 pub mod memory;
 pub mod sim;
@@ -34,10 +39,11 @@ pub mod trace;
 
 pub use accel::AccelInstance;
 pub use board::{Board, BoardError, PhaseStats};
+pub use cosim::CosimResult;
 pub use cpu::Cpu;
 pub use memory::Dram;
 pub use sim::{SimTask, TaskSim, TaskSimResult};
-pub use trace::{trace_phase, Trace};
+pub use trace::{trace_phase, Trace, TraceError};
 
 /// PL fabric clock period in nanoseconds (100 MHz).
 pub const PL_CLK_NS: f64 = 10.0;

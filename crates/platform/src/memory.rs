@@ -44,11 +44,22 @@ impl Dram {
         self.write(addr, data)
     }
 
-    /// Convenience: read `len` bytes at `addr`.
-    pub fn dump_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
-        let mut buf = vec![0u8; len];
-        self.read(addr, &mut buf)?;
-        Ok(buf)
+    /// Debug read: `len` bytes at `addr` **without** touching the
+    /// utilisation counters — reported DRAM traffic only counts
+    /// simulated accesses through the [`MemoryPort`] interface.
+    pub fn peek_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        let size = self.mem.size();
+        let end = addr.checked_add(len as u64).filter(|&e| e <= size);
+        if end.is_none() {
+            return Err(MemError::OutOfRange { addr, len, size });
+        }
+        Ok(self.mem.as_slice()[addr as usize..addr as usize + len].to_vec())
+    }
+
+    /// Convenience: read `len` bytes at `addr`. A debug dump — routed
+    /// around the stat counters (see [`Dram::peek_bytes`]).
+    pub fn dump_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        self.peek_bytes(addr, len)
     }
 }
 
@@ -80,7 +91,20 @@ mod tests {
         d.load_bytes(0x100, &[7, 8, 9]).unwrap();
         assert_eq!(d.dump_bytes(0x100, 3).unwrap(), vec![7, 8, 9]);
         assert_eq!(d.bytes_written, 3);
-        assert_eq!(d.bytes_read, 3);
+        // Debug dumps do not inflate the read-utilisation counter.
+        assert_eq!(d.bytes_read, 0);
+    }
+
+    #[test]
+    fn simulated_reads_still_counted() {
+        let mut d = Dram::new(64);
+        d.load_bytes(0, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(d.bytes_read, 4);
+        // A peek in between changes nothing.
+        assert_eq!(d.peek_bytes(0, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(d.bytes_read, 4);
     }
 
     #[test]

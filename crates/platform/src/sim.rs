@@ -5,9 +5,37 @@
 //! This is the layer that answers "how long does the whole Otsu
 //! application take on Arch2?": phase/stage durations come from
 //! [`crate::board::Board`] measurements, dependencies from the HTG.
+//!
+//! # Timebase
+//!
+//! The event calendar is kept in **integer picoseconds** (`u64`), the way
+//! SST-style discrete-event frameworks and gem5 keep an integer tick
+//! counter: event ordering is exact, ties are broken deterministically by
+//! task index, and `now` never moves backwards. The seed implementation
+//! ordered completions through a lossy `(t_ns * 1000.0) as u64` float
+//! key, which truncated sub-tick fractions so that two distinct
+//! completion times could collapse onto one key and be replayed in index
+//! order rather than time order. Durations arriving from the cost models
+//! in (f64) nanoseconds are converted once, on task creation, via
+//! [`ps_from_ns`]; everything after that is integer arithmetic.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Integer simulation ticks per nanosecond (the calendar runs in ps).
+pub const PS_PER_NS: u64 = 1_000;
+
+/// Convert a (possibly fractional) nanosecond duration from a cost model
+/// into integer picosecond ticks, rounding to the nearest tick.
+pub fn ps_from_ns(ns: f64) -> u64 {
+    debug_assert!(ns >= 0.0, "durations must be non-negative");
+    (ns * PS_PER_NS as f64).round() as u64
+}
+
+/// Convert integer picosecond ticks back to nanoseconds for reporting.
+pub fn ns_from_ps(ps: u64) -> f64 {
+    ps as f64 / PS_PER_NS as f64
+}
 
 /// A schedulable resource pool (e.g. 2 CPU cores, 1 instance of the
 /// `histogram` accelerator, 1 DMA engine pair).
@@ -18,22 +46,56 @@ pub struct ResourceId(pub String);
 #[derive(Debug, Clone)]
 pub struct SimTask {
     pub name: String,
-    /// Duration in nanoseconds.
-    pub duration_ns: f64,
+    /// Duration in integer picoseconds (see [`ps_from_ns`]).
+    pub duration_ps: u64,
     /// Indices of tasks that must finish first.
     pub deps: Vec<usize>,
     /// Resource this task occupies for its whole duration (one unit).
     pub resource: ResourceId,
 }
 
-/// Scheduling result.
+impl SimTask {
+    /// Build a task from a nanosecond duration (cost models report ns).
+    pub fn from_ns(name: &str, duration_ns: f64, deps: Vec<usize>, resource: &ResourceId) -> Self {
+        SimTask {
+            name: name.to_string(),
+            duration_ps: ps_from_ns(duration_ns),
+            deps,
+            resource: resource.clone(),
+        }
+    }
+}
+
+/// Scheduling result. All times are integer picosecond ticks; the `_ns`
+/// accessors convert for reporting.
 #[derive(Debug, Clone)]
 pub struct TaskSimResult {
-    /// (start_ns, finish_ns) per task.
-    pub spans: Vec<(f64, f64)>,
-    pub makespan_ns: f64,
+    /// (start_ps, finish_ps) per task.
+    pub spans_ps: Vec<(u64, u64)>,
+    pub makespan_ps: u64,
     /// Busy time per resource, for utilisation reporting.
-    pub busy_ns: Vec<(ResourceId, f64)>,
+    pub busy_ps: Vec<(ResourceId, u64)>,
+}
+
+impl TaskSimResult {
+    pub fn makespan_ns(&self) -> f64 {
+        ns_from_ps(self.makespan_ps)
+    }
+
+    /// (start_ns, finish_ns) of one task.
+    pub fn span_ns(&self, task: usize) -> (f64, f64) {
+        let (s, e) = self.spans_ps[task];
+        (ns_from_ps(s), ns_from_ps(e))
+    }
+
+    /// Busy nanoseconds of a resource pool (0.0 if unknown).
+    pub fn busy_ns(&self, resource: &str) -> f64 {
+        self.busy_ps
+            .iter()
+            .find(|(id, _)| id.0 == resource)
+            .map(|(_, ps)| ns_from_ps(*ps))
+            .unwrap_or(0.0)
+    }
 }
 
 /// The simulator: event-driven list scheduling over resource pools.
@@ -75,16 +137,18 @@ impl TaskSim {
         let mut remaining_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
         let mut free: std::collections::BTreeMap<&ResourceId, u32> =
             self.capacity.iter().map(|(k, v)| (k, *v)).collect();
-        let mut spans = vec![(0.0f64, 0.0f64); n];
+        let mut spans = vec![(0u64, 0u64); n];
         let mut started = vec![false; n];
         let mut finished = vec![false; n];
-        let mut busy: std::collections::BTreeMap<ResourceId, f64> =
-            self.capacity.keys().map(|k| (k.clone(), 0.0)).collect();
+        let mut busy: std::collections::BTreeMap<ResourceId, u64> =
+            self.capacity.keys().map(|k| (k.clone(), 0)).collect();
 
-        // Event queue of task completions: (finish_time_bits, task).
+        // Event calendar of task completions, keyed by exact integer
+        // finish tick; equal ticks are delivered in ascending task index
+        // order — deterministic, and consistent with the start policy
+        // below, which also scans in ascending index order.
         let mut events: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        let mut now = 0.0f64;
-        let key = |t: f64| (t * 1000.0) as u64; // µs-resolution ordering key
+        let mut now: u64 = 0;
 
         loop {
             // Start every ready task whose resource has a free unit.
@@ -98,20 +162,21 @@ impl TaskSim {
                         if free[r] > 0 {
                             *free.get_mut(r).unwrap() -= 1;
                             started[i] = true;
-                            let finish = now + self.tasks[i].duration_ns;
+                            let finish = now + self.tasks[i].duration_ps;
                             spans[i] = (now, finish);
-                            *busy.get_mut(r).unwrap() += self.tasks[i].duration_ns;
-                            events.push(Reverse((key(finish), i)));
+                            *busy.get_mut(r).unwrap() += self.tasks[i].duration_ps;
+                            events.push(Reverse((finish, i)));
                             progressed = true;
                         }
                     }
                 }
             }
             // Advance to the next completion.
-            let Some(Reverse((_, i))) = events.pop() else {
+            let Some(Reverse((finish, i))) = events.pop() else {
                 break;
             };
-            now = spans[i].1;
+            debug_assert!(finish >= now, "event calendar must be monotone");
+            now = finish;
             finished[i] = true;
             *free.get_mut(&self.tasks[i].resource).unwrap() += 1;
             for (j, t) in self.tasks.iter().enumerate() {
@@ -125,11 +190,11 @@ impl TaskSim {
             finished.iter().all(|&f| f),
             "deadlock: some tasks never ran"
         );
-        let makespan_ns = spans.iter().map(|s| s.1).fold(0.0, f64::max);
+        let makespan_ps = spans.iter().map(|s| s.1).max().unwrap_or(0);
         TaskSimResult {
-            spans,
-            makespan_ns,
-            busy_ns: busy.into_iter().collect(),
+            spans_ps: spans,
+            makespan_ps,
+            busy_ps: busy.into_iter().collect(),
         }
     }
 }
@@ -138,13 +203,8 @@ impl TaskSim {
 mod tests {
     use super::*;
 
-    fn task(name: &str, d: f64, deps: Vec<usize>, r: &ResourceId) -> SimTask {
-        SimTask {
-            name: name.into(),
-            duration_ns: d,
-            deps,
-            resource: r.clone(),
-        }
+    fn task(name: &str, d_ns: f64, deps: Vec<usize>, r: &ResourceId) -> SimTask {
+        SimTask::from_ns(name, d_ns, deps, r)
     }
 
     #[test]
@@ -155,8 +215,8 @@ mod tests {
         let b = sim.add_task(task("b", 20.0, vec![a], &cpu));
         sim.add_task(task("c", 5.0, vec![b], &cpu));
         let r = sim.run();
-        assert_eq!(r.makespan_ns, 35.0);
-        assert_eq!(r.spans[1].0, 10.0);
+        assert_eq!(r.makespan_ns(), 35.0);
+        assert_eq!(r.span_ns(1).0, 10.0);
     }
 
     #[test]
@@ -166,7 +226,7 @@ mod tests {
         sim.add_task(task("a", 10.0, vec![], &cpu));
         sim.add_task(task("b", 10.0, vec![], &cpu));
         let r = sim.run();
-        assert_eq!(r.makespan_ns, 10.0);
+        assert_eq!(r.makespan_ns(), 10.0);
     }
 
     #[test]
@@ -176,7 +236,7 @@ mod tests {
         sim.add_task(task("a", 10.0, vec![], &cpu));
         sim.add_task(task("b", 10.0, vec![], &cpu));
         let r = sim.run();
-        assert_eq!(r.makespan_ns, 20.0);
+        assert_eq!(r.makespan_ns(), 20.0);
     }
 
     #[test]
@@ -189,8 +249,8 @@ mod tests {
         sim.add_task(task("other_sw", 25.0, vec![a], &cpu));
         let r = sim.run();
         // SW work overlaps the accelerator: makespan = 10 + 30, not 10+30+25.
-        assert_eq!(r.makespan_ns, 40.0);
-        assert_eq!(r.spans[b].0, 10.0);
+        assert_eq!(r.makespan_ns(), 40.0);
+        assert_eq!(r.span_ns(b).0, 10.0);
     }
 
     #[test]
@@ -200,8 +260,7 @@ mod tests {
         sim.add_task(task("a", 15.0, vec![], &cpu));
         sim.add_task(task("b", 5.0, vec![], &cpu));
         let r = sim.run();
-        let (_, busy) = &r.busy_ns[0];
-        assert_eq!(*busy, 20.0);
+        assert_eq!(r.busy_ns("cpu"), 20.0);
     }
 
     #[test]
@@ -213,7 +272,7 @@ mod tests {
         let c0 = sim.add_task(task("c", 30.0, vec![a], &cpu));
         sim.add_task(task("d", 5.0, vec![b, c0], &cpu));
         let r = sim.run();
-        assert_eq!(r.makespan_ns, 10.0 + 30.0 + 5.0);
+        assert_eq!(r.makespan_ns(), 10.0 + 30.0 + 5.0);
     }
 
     #[test]
@@ -222,9 +281,66 @@ mod tests {
         let mut sim = TaskSim::new();
         sim.add_task(SimTask {
             name: "x".into(),
-            duration_ns: 1.0,
+            duration_ps: 1,
             deps: vec![],
             resource: ResourceId("ghost".into()),
         });
+    }
+
+    /// Regression for the seed's float ordering key: two completions
+    /// 0.4 ns apart must stay distinct ticks and fire in time order —
+    /// the lossy `(t * 1000.0) as u64` key truncated fractional ticks,
+    /// collapsing distinct finish times onto one key and replaying them
+    /// in index order instead.
+    #[test]
+    fn sub_ns_gaps_keep_exact_order() {
+        let mut sim = TaskSim::new();
+        let r0 = sim.add_resource("r0", 1);
+        let r1 = sim.add_resource("r1", 1);
+        // b (higher index) finishes 0.4 ns BEFORE a: the collapse replayed
+        // a first because ties broke by index.
+        let a = sim.add_task(task("a", 10.7, vec![], &r0));
+        let b = sim.add_task(task("b", 10.3, vec![], &r1));
+        // c depends on b only, on b's resource: it must start exactly at
+        // b's finish (10.3 ns), not at a's (10.7 ns).
+        let c = sim.add_task(task("c", 1.0, vec![b], &r1));
+        let r = sim.run();
+        assert_eq!(r.spans_ps[a], (0, 10_700));
+        assert_eq!(r.spans_ps[b], (0, 10_300));
+        assert_eq!(r.spans_ps[c], (10_300, 11_300));
+        assert_eq!(r.makespan_ps, 11_300);
+    }
+
+    /// The old key also merged completions whose sub-tick fractions
+    /// truncated to the same integer (e.g. 10.0002 vs 10.0006 ns).
+    /// With round-on-ingest + exact integer ticks, distinct rounded
+    /// durations never merge and `now` is monotone.
+    #[test]
+    fn fractional_ns_durations_round_once_then_stay_exact() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 1);
+        let a = sim.add_task(task("a", 10.0004, vec![], &cpu));
+        let b = sim.add_task(task("b", 10.0006, vec![a], &cpu));
+        let r = sim.run();
+        // 10.0004 ns -> 10_000 ps, 10.0006 ns -> 10_001 ps: rounding
+        // happens once at ingest, after which arithmetic is exact.
+        assert_eq!(r.spans_ps[a], (0, 10_000));
+        assert_eq!(r.spans_ps[b], (10_000, 20_001));
+        assert_eq!(r.makespan_ps, 20_001);
+    }
+
+    /// Many equal-duration tasks on one unit: completions tie on every
+    /// tick; index order must break the ties deterministically.
+    #[test]
+    fn equal_ticks_break_ties_by_index() {
+        let mut sim = TaskSim::new();
+        let cpu = sim.add_resource("cpu", 3);
+        for _ in 0..9 {
+            sim.add_task(task("t", 7.0, vec![], &cpu));
+        }
+        let r1 = sim.run();
+        let r2 = sim.run();
+        assert_eq!(r1.spans_ps, r2.spans_ps, "bit-deterministic replay");
+        assert_eq!(r1.makespan_ps, 3 * 7_000);
     }
 }

@@ -3,6 +3,7 @@
 //! board runs can be inspected in GTKWave — the observability a real
 //! ZedBoard bring-up would get from an ILA core.
 
+use std::fmt;
 use std::fmt::Write;
 
 /// One recorded activity interval.
@@ -15,15 +16,55 @@ pub struct Span {
     pub end_ns: f64,
 }
 
+/// Errors from VCD export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A span references a signal that was never declared (only possible
+    /// when [`Trace::declare`] pinned the signal set explicitly).
+    UndeclaredSignal { signal: String },
+    /// More signals than single-character VCD identifier codes ('!'..'~').
+    TooManySignals { count: usize, max: usize },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UndeclaredSignal { signal } => {
+                write!(f, "span references undeclared signal `{signal}`")
+            }
+            TraceError::TooManySignals { count, max } => {
+                write!(f, "{count} signals exceed the {max} VCD identifier codes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Single-character VCD identifier codes: printable ASCII '!'..='~'.
+const MAX_VCD_SIGNALS: usize = (b'~' - b'!' + 1) as usize;
+
 /// A trace: an ordered collection of activity spans.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     spans: Vec<Span>,
+    /// Explicitly declared signals, in declaration order. When empty,
+    /// the signal set is inferred from the spans.
+    declared: Vec<String>,
 }
 
 impl Trace {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pin `signal` into the VCD header. Once any signal is declared,
+    /// export rejects spans naming signals outside the declared set
+    /// instead of inventing wires on the fly.
+    pub fn declare(&mut self, signal: &str) {
+        if !self.declared.iter().any(|s| s == signal) {
+            self.declared.push(signal.to_string());
+        }
     }
 
     /// Record that `signal` was busy during `[start_ns, end_ns)`.
@@ -53,8 +94,12 @@ impl Trace {
             .sum()
     }
 
-    /// Distinct signal names, in first-appearance order.
+    /// Signal names for export: the declared set if one was pinned,
+    /// otherwise the span signals in first-appearance order.
     pub fn signals(&self) -> Vec<&str> {
+        if !self.declared.is_empty() {
+            return self.declared.iter().map(|s| s.as_str()).collect();
+        }
         let mut out: Vec<&str> = Vec::new();
         for s in &self.spans {
             if !out.contains(&s.signal.as_str()) {
@@ -65,12 +110,18 @@ impl Trace {
     }
 
     /// Export as VCD: one 1-bit "busy" wire per signal, 1 ns timescale.
-    pub fn to_vcd(&self) -> String {
+    pub fn to_vcd(&self) -> Result<String, TraceError> {
+        let signals = self.signals();
+        if signals.len() > MAX_VCD_SIGNALS {
+            return Err(TraceError::TooManySignals {
+                count: signals.len(),
+                max: MAX_VCD_SIGNALS,
+            });
+        }
         let mut s = String::new();
         let _ = writeln!(s, "$date accelsoc simulation $end");
         let _ = writeln!(s, "$timescale 1ns $end");
         let _ = writeln!(s, "$scope module board $end");
-        let signals = self.signals();
         // VCD identifier codes: printable ASCII starting at '!'.
         let code = |i: usize| -> char { (b'!' + i as u8) as char };
         for (i, name) in signals.iter().enumerate() {
@@ -85,7 +136,12 @@ impl Trace {
         // Events: (time, code, value).
         let mut events: Vec<(u64, char, u8)> = Vec::new();
         for span in &self.spans {
-            let i = signals.iter().position(|n| *n == span.signal).unwrap();
+            let i = signals
+                .iter()
+                .position(|n| *n == span.signal)
+                .ok_or_else(|| TraceError::UndeclaredSignal {
+                    signal: span.signal.clone(),
+                })?;
             events.push((span.start_ns.round() as u64, code(i), 1));
             events.push((span.end_ns.round() as u64, code(i), 0));
         }
@@ -102,7 +158,7 @@ impl Trace {
             }
             let _ = writeln!(s, "{v}{c}");
         }
-        s
+        Ok(s)
     }
 }
 
@@ -140,7 +196,7 @@ mod tests {
         let mut t = Trace::new();
         t.record("accel.GAUSS", 10.0, 50.0);
         t.record("dma0.mm2s", 0.0, 30.0);
-        let vcd = t.to_vcd();
+        let vcd = t.to_vcd().unwrap();
         assert!(vcd.contains("$timescale 1ns $end"));
         assert!(vcd.contains("$var wire 1 ! accel_GAUSS $end"));
         assert!(vcd.contains("$var wire 1 \" dma0_mm2s $end"));
@@ -156,21 +212,60 @@ mod tests {
     }
 
     #[test]
+    fn undeclared_signal_is_typed_error_not_panic() {
+        // Failure injection: pin the signal set, then record a span the
+        // header doesn't know. The seed's exporter panicked via
+        // `position(..).unwrap()`; this must surface a typed error.
+        let mut t = Trace::new();
+        t.declare("dma0");
+        t.record("dma0", 0.0, 10.0);
+        t.record("ghost", 5.0, 15.0);
+        let err = t.to_vcd().unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::UndeclaredSignal {
+                signal: "ghost".into()
+            }
+        );
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn declared_signals_appear_even_without_spans() {
+        let mut t = Trace::new();
+        t.declare("idle_core");
+        t.declare("dma0");
+        t.record("dma0", 0.0, 10.0);
+        let vcd = t.to_vcd().unwrap();
+        assert!(vcd.contains("idle_core"));
+        // Declaration order fixes the identifier codes.
+        assert!(vcd.contains("$var wire 1 ! idle_core $end"));
+    }
+
+    #[test]
+    fn too_many_signals_rejected() {
+        let mut t = Trace::new();
+        for i in 0..(MAX_VCD_SIGNALS + 1) {
+            t.record(&format!("sig{i}"), 0.0, 1.0);
+        }
+        let err = t.to_vcd().unwrap_err();
+        assert!(matches!(err, TraceError::TooManySignals { count, .. } if count == 95));
+    }
+
+    #[test]
     fn trace_from_phase_stats() {
         let stats = crate::board::PhaseStats {
-            ns: 0.0,
-            fill_cycles: 80,
-            steady_cycles: 100,
             per_stage: vec![("dma0:mm2s".into(), 50), ("S1".into(), 100)],
             bytes_in: 4,
             bytes_out: 4,
+            ..Default::default()
         };
         let t = trace_phase(&stats);
         assert_eq!(t.spans().len(), 2);
         // Second stage starts one fill unit later and overlaps the first.
         assert_eq!(t.spans()[1].start_ns, 400.0);
         assert!(t.spans()[1].start_ns < t.spans()[0].end_ns);
-        let vcd = t.to_vcd();
+        let vcd = t.to_vcd().unwrap();
         assert!(vcd.contains("dma0_mm2s"));
     }
 

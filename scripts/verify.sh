@@ -18,8 +18,9 @@ cargo fmt --check
 # Clippy is not part of the minimal toolchain baked into every image;
 # lint hard when it exists, skip quietly when it doesn't.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p accelsoc-core -p accelsoc-hls -p accelsoc-dse (offline, -D warnings)"
+    echo "==> cargo clippy -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi (offline, -D warnings)"
     cargo clippy --offline -p accelsoc-core -p accelsoc-hls -p accelsoc-dse \
+        -p accelsoc-platform -p accelsoc-axi \
         --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable; skipping lint step"
@@ -37,5 +38,17 @@ if [ "$cold_hits" -ne 0 ] || [ "$warm_hits" -ne 4 ]; then
     exit 1
 fi
 echo "    cold run: $cold_hits persisted hits; warm run: $warm_hits (one per kernel)"
+
+echo "==> backpressure + batch determinism smoke (repro_runtime)"
+# The throughput report must be bit-identical across host thread counts:
+# simulated time only, no wall-clock, index-ordered aggregation.
+./target/release/repro_runtime --images 4 --threads 1 --side 48 >/dev/null
+cp target/experiments/throughput.json "$CACHE_DIR/throughput_t1.json"
+./target/release/repro_runtime --images 4 --threads 4 --side 48 >/dev/null
+if ! cmp -s "$CACHE_DIR/throughput_t1.json" target/experiments/throughput.json; then
+    echo "FAIL: throughput.json differs between --threads 1 and --threads 4"
+    exit 1
+fi
+echo "    throughput report bit-identical for --threads 1 vs 4"
 
 echo "==> verify OK"

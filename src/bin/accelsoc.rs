@@ -283,11 +283,16 @@ fn cmd_sim(args: &[String]) -> ExitCode {
         Err(c) => return c,
     };
     let mut n: usize = 64;
+    let mut fifo_depth: usize = 16;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--n" if i + 1 < args.len() => {
                 n = args[i + 1].parse().unwrap_or(64);
+                i += 2;
+            }
+            "--fifo-depth" if i + 1 < args.len() => {
+                fifo_depth = args[i + 1].parse().unwrap_or(16);
                 i += 2;
             }
             other => {
@@ -314,6 +319,7 @@ fn cmd_sim(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    board.stream_fifo_depth = fifo_depth.max(1);
     let data: Vec<u8> = (0..n).map(|i| (i & 0xff) as u8).collect();
     board.dram.load_bytes(0x1_0000, &data).unwrap();
     // Every streaming node that takes an `n`/`W` scalar gets the count.
@@ -358,10 +364,20 @@ fn cmd_sim(args: &[String]) -> ExitCode {
             for (name, cycles) in &stats.per_stage {
                 println!("  {name:<24} {cycles} cycles");
             }
+            println!(
+                "stalls (fifo depth {fifo_depth}): {} backpressure, {} starvation, {} bus",
+                stats.backpressure_stall_cycles,
+                stats.starvation_stall_cycles,
+                stats.hp_stall_cycles
+            );
             // VCD trace for GTKWave.
-            let vcd = accelsoc::platform::trace::trace_phase(&stats).to_vcd();
-            std::fs::write("sim.vcd", vcd).ok();
-            println!("waveform: sim.vcd");
+            match accelsoc::platform::trace::trace_phase(&stats).to_vcd() {
+                Ok(vcd) => {
+                    std::fs::write("sim.vcd", vcd).ok();
+                    println!("waveform: sim.vcd");
+                }
+                Err(e) => eprintln!("warning: VCD export skipped: {e}"),
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
