@@ -174,9 +174,13 @@ impl Mm2sTransfer {
                 data,
                 last: self.next_beat + 1 == self.beats_total,
             };
-            stream
-                .push(beat)
-                .expect("can_push checked; push cannot fail");
+            // `can_push` was just checked, but treat a refused push as a
+            // stall (the beat is re-derived from `next_beat` on resume)
+            // rather than a panic — a scheduler must survive any FIFO
+            // state a malformed job puts it in.
+            if stream.push(beat).is_err() {
+                break;
+            }
             self.next_beat += 1;
             moved += 1;
         }

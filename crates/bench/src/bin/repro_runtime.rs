@@ -21,6 +21,11 @@ fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let images = arg_u64(&args, "--images", 6) as usize;
     let threads = arg_u64(&args, "--threads", 2) as usize;
     let batch_side = arg_u64(&args, "--side", 64) as u32;
@@ -94,6 +99,7 @@ fn main() {
     // board; host threads parallelise the simulation work. The report is
     // bit-identical across --threads values (and across repeated runs):
     // only simulated time enters the JSON, never wall-clock.
+    let mut reports = Vec::new();
     if images > 0 {
         let stream = image_stream(images, batch_side);
         let cfg = AppConfig::default();
@@ -105,7 +111,6 @@ fn main() {
             "mean (ms)",
             "img/s (1 board)",
         ]);
-        let mut reports = Vec::new();
         let wall = std::time::Instant::now();
         for arch in Arch::all() {
             let art = engine.run_source(&arch_dsl_source(arch)).expect("flow");
@@ -129,5 +134,20 @@ fn main() {
         println!("\nhost wall time: {wall_s:.2}s ({threads} threads)");
         let p = save_json("throughput", &reports);
         println!("record: {}", p.display());
+    }
+
+    // Machine-readable combined record (virtual-time only, so stable
+    // across reruns and host thread counts).
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "schema": "accelsoc-bench-runtime/1",
+            "side": side,
+            "batch": { "images": images, "side": batch_side },
+            "runtime": records,
+            "throughput": reports,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write --json output");
+        println!("json   : {path}");
     }
 }

@@ -1,0 +1,195 @@
+//! **Ext-3** (beyond the paper): multi-tenant serving on a pool of
+//! simulated boards. Sweeps scheduling policy × board-pool size ×
+//! offered load over one seeded three-tenant workload and reports
+//! throughput, deadline misses, fairness and per-tenant tail latency.
+//!
+//! The report is deterministic: everything printed (and written to the
+//! JSON record) is virtual-time only, so reruns — at any host thread
+//! count — are byte-identical.
+//!
+//! ```text
+//! repro_serve [--jobs N] [--seed S] [--json <file>]
+//! ```
+//!
+//! `--json` additionally writes a versioned machine-readable record
+//! (schema `accelsoc-bench-serve/1`), e.g. `BENCH_serve.json`.
+
+use accelsoc_apps::archs::Arch;
+use accelsoc_bench::{save_json, Table};
+use accelsoc_observe::NullObserver;
+use accelsoc_serve::{
+    generate_workload, run_serve_seeded, DseEstimator, PolicyKind, ServeConfig, ServeReport,
+    TenantProfile, WorkloadSpec,
+};
+
+fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn tenants() -> Vec<TenantProfile> {
+    vec![
+        TenantProfile {
+            name: "interactive".into(),
+            weight: 3,
+            sides: vec![16, 24],
+            archs: vec![Arch::Arch4],
+            deadline_slack_pct: Some(5_000),
+            fault_rate: 0.0,
+        },
+        TenantProfile {
+            name: "analytics".into(),
+            weight: 2,
+            sides: vec![24, 32],
+            archs: vec![Arch::Arch3],
+            deadline_slack_pct: None,
+            fault_rate: 0.1,
+        },
+        TenantProfile {
+            name: "batch".into(),
+            weight: 1,
+            sides: vec![32],
+            archs: vec![Arch::Arch1],
+            deadline_slack_pct: None,
+            fault_rate: 0.0,
+        },
+    ]
+}
+
+fn tenant_p99_ms(report: &ServeReport, tenant: &str) -> f64 {
+    report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == tenant)
+        .map(|t| t.p99_latency_ps as f64 / 1e9)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = arg_u64(&args, "--jobs", 48) as usize;
+    let seed = arg_u64(&args, "--seed", 42);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let profiles = tenants();
+    let tenant_names: Vec<String> = profiles.iter().map(|t| t.name.clone()).collect();
+
+    // Mean service estimate over the tenant mix, used to place the
+    // offered load relative to a *single board's* capacity (so larger
+    // pools show throughput scaling on the same workload).
+    let mut est = DseEstimator::new();
+    let mix: Vec<u64> = profiles
+        .iter()
+        .flat_map(|t| {
+            t.archs
+                .iter()
+                .flat_map(|&a| t.sides.iter().map(move |&s| (a, s)).collect::<Vec<_>>())
+        })
+        .map(|(a, s)| est.estimate_ps(a, s))
+        .collect();
+    let mean_est_ps = mix.iter().sum::<u64>() / mix.len() as u64;
+
+    const BOARDS: [usize; 3] = [1, 2, 4];
+    const LOADS: [f64; 2] = [0.5, 2.5];
+
+    let mut table = Table::new(vec![
+        "policy",
+        "boards",
+        "load",
+        "adm/sub",
+        "done",
+        "miss",
+        "qfull",
+        "retry",
+        "thr (job/s)",
+        "fairness",
+        "p99 int (ms)",
+        "p99 batch (ms)",
+    ]);
+    let mut sweeps = Vec::new();
+    for &load in &LOADS {
+        let spec = WorkloadSpec {
+            tenants: profiles.clone(),
+            jobs,
+            mean_interarrival_ps: ((mean_est_ps as f64 / load).max(1.0)) as u64,
+            seed,
+        };
+        let workload = generate_workload(&spec, &mut est);
+        for policy in PolicyKind::ALL {
+            for &boards in &BOARDS {
+                let cfg = ServeConfig {
+                    tenants: tenant_names.clone(),
+                    boards,
+                    policy,
+                    ..ServeConfig::default()
+                };
+                let r = run_serve_seeded(&workload, &cfg, seed, &NullObserver).expect("serve run");
+                table.row(vec![
+                    policy.name().to_string(),
+                    boards.to_string(),
+                    format!("{load:.1}"),
+                    format!("{}/{}", r.admitted, r.submitted),
+                    r.completed.to_string(),
+                    r.deadline_misses.to_string(),
+                    r.rejections.queue_full.to_string(),
+                    r.retries.to_string(),
+                    format!("{:.0}", r.throughput_jobs_per_s),
+                    format!("{:.3}", r.fairness),
+                    format!("{:.2}", tenant_p99_ms(&r, "interactive")),
+                    format!("{:.2}", tenant_p99_ms(&r, "batch")),
+                ]);
+                sweeps.push(serde_json::json!({
+                    "policy": policy.name(),
+                    "boards": boards,
+                    "offered_load": load,
+                    "submitted": r.submitted,
+                    "admitted": r.admitted,
+                    "rejections": r.rejections,
+                    "completed": r.completed,
+                    "completed_late": r.completed_late,
+                    "timed_out": r.timed_out,
+                    "deadline_misses": r.deadline_misses,
+                    "retries": r.retries,
+                    "batches": r.batches,
+                    "makespan_ps": r.makespan_ps,
+                    "throughput_jobs_per_s": r.throughput_jobs_per_s,
+                    "fairness": r.fairness,
+                    "tenants": r.tenants,
+                }));
+            }
+        }
+    }
+
+    println!("== Ext-3: multi-tenant serving ({jobs} jobs, 3 tenants, seed {seed}) ==\n");
+    print!("{}", table.render());
+    println!("\nShape: at load 0.5 every policy clears the queue and extra boards only");
+    println!("cut tail latency. At load 2.5 a single board saturates: the bounded");
+    println!("queues reject the overflow (qfull), SJF buys interactive-tenant tail");
+    println!("latency at the cost of the batch tenant's, and RR posts the highest");
+    println!("fairness index. Growing the pool absorbs the same load without loss.");
+
+    let doc = serde_json::json!({
+        "schema": "accelsoc-bench-serve/1",
+        "jobs": jobs,
+        "seed": seed,
+        "tenants": tenant_names,
+        "boards_swept": BOARDS,
+        "loads_swept": LOADS,
+        "policies_swept": PolicyKind::ALL.iter().map(|p| p.name()).collect::<Vec<_>>(),
+        "sweeps": sweeps,
+    });
+    let p = save_json("serve", &doc);
+    println!("record: {}", p.display());
+    if let Some(path) = json_path {
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write --json output");
+        println!("json   : {path}");
+    }
+}

@@ -178,6 +178,53 @@ pub enum FlowEvent {
         /// Cycles consumers waited on an empty stream FIFO.
         starvation_stall_cycles: u64,
     },
+    /// A serving-runtime job passed admission control and entered its
+    /// tenant's queue. `est_ns` is the DSE latency estimate used by
+    /// size-aware policies.
+    JobAdmitted {
+        job: u64,
+        tenant: String,
+        est_ns: f64,
+    },
+    /// A serving-runtime job was refused at admission. `reason` is the
+    /// stable `AdmissionError` kind (`QueueFull`, `JobTooLarge`,
+    /// `DeadlineImpossible`, `InvalidGraph`, `UnknownTenant`).
+    JobRejected {
+        job: u64,
+        tenant: String,
+        reason: String,
+    },
+    /// A job left its queue for a board (possibly batched with others).
+    JobDispatched {
+        job: u64,
+        tenant: String,
+        board: usize,
+        /// Jobs coalesced into the same board phase, including this one.
+        batch: usize,
+        at_ps: u64,
+    },
+    /// A job finished on a board within its deadline (or had none).
+    JobCompleted {
+        job: u64,
+        tenant: String,
+        board: usize,
+        latency_ps: u64,
+    },
+    /// A job's execution hit a transient fault; the scheduler requeued
+    /// it for `attempt` (1-based retry count), avoiding `from_board`.
+    JobRetried {
+        job: u64,
+        tenant: String,
+        from_board: usize,
+        attempt: u32,
+    },
+    /// A job missed its deadline — either it expired in the queue or it
+    /// finished `late_ps` picoseconds past the deadline.
+    JobDeadlineMissed {
+        job: u64,
+        tenant: String,
+        late_ps: u64,
+    },
 }
 
 impl fmt::Display for FlowEvent {
@@ -301,6 +348,67 @@ impl fmt::Display for FlowEvent {
                     "[SIM] phase '{label}': {ns:.0} ns, {bytes_in} B in / {bytes_out} B out, \
                      stalls: {bus_stall_cycles} bus / {backpressure_stall_cycles} backpressure / \
                      {starvation_stall_cycles} starvation"
+                )
+            }
+            FlowEvent::JobAdmitted {
+                job,
+                tenant,
+                est_ns,
+            } => {
+                write!(
+                    f,
+                    "[SERVE] job {job} ({tenant}) admitted, est {est_ns:.0} ns"
+                )
+            }
+            FlowEvent::JobRejected {
+                job,
+                tenant,
+                reason,
+            } => {
+                write!(f, "[SERVE] job {job} ({tenant}) rejected: {reason}")
+            }
+            FlowEvent::JobDispatched {
+                job,
+                tenant,
+                board,
+                batch,
+                at_ps,
+            } => {
+                write!(
+                    f,
+                    "[SERVE] job {job} ({tenant}) -> board {board} at {at_ps} ps (batch of {batch})"
+                )
+            }
+            FlowEvent::JobCompleted {
+                job,
+                tenant,
+                board,
+                latency_ps,
+            } => {
+                write!(
+                    f,
+                    "[SERVE] job {job} ({tenant}) done on board {board}, latency {latency_ps} ps"
+                )
+            }
+            FlowEvent::JobRetried {
+                job,
+                tenant,
+                from_board,
+                attempt,
+            } => {
+                write!(
+                    f,
+                    "[SERVE] job {job} ({tenant}) faulted on board {from_board}, retry #{attempt}"
+                )
+            }
+            FlowEvent::JobDeadlineMissed {
+                job,
+                tenant,
+                late_ps,
+            } => {
+                write!(
+                    f,
+                    "[SERVE] job {job} ({tenant}) missed deadline by {late_ps} ps"
                 )
             }
         }

@@ -30,6 +30,6 @@ pub mod observer;
 pub mod sinks;
 
 pub use event::{FlowEvent, FlowPhase, SpanOutcome};
-pub use metrics::{FlowMetrics, MetricsObserver, PhaseMetric};
+pub use metrics::{percentile_ps, FlowMetrics, MetricsObserver, PhaseMetric};
 pub use observer::{null_observer, FlowObserver, PhaseSpan, SharedObserver};
 pub use sinks::{CollectObserver, FanoutObserver, JsonTraceObserver, LogObserver, NullObserver};

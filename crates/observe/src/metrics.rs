@@ -52,6 +52,34 @@ pub struct FlowMetrics {
     pub sim_backpressure_stall_cycles: u64,
     /// Consumer-side FIFO-empty stall cycles across simulated phases.
     pub sim_starvation_stall_cycles: u64,
+    /// Serving runtime: jobs that passed admission control.
+    pub jobs_admitted: u64,
+    /// Serving runtime: jobs refused at admission (any reason).
+    pub jobs_rejected: u64,
+    /// Serving runtime: queue-to-board dispatches (retries re-count).
+    pub jobs_dispatched: u64,
+    /// Serving runtime: jobs that completed within their deadline.
+    pub jobs_completed: u64,
+    /// Serving runtime: transient-fault retries.
+    pub jobs_retried: u64,
+    /// Serving runtime: deadline misses (queue expiry or late finish).
+    pub jobs_deadline_missed: u64,
+    /// Serving runtime: completed-job latencies per tenant, in
+    /// completion order (tenants in first-completion order). Folded from
+    /// `JobCompleted`; percentiles via [`FlowMetrics::tenant_latency_ps`].
+    pub serve_tenant_latency_ps: Vec<(String, Vec<u64>)>,
+}
+
+/// Nearest-rank percentile of a sample set (`p` in 0..=100). Integer
+/// picoseconds in, integer picoseconds out — no float ordering anywhere.
+pub fn percentile_ps(samples: &[u64], p: u32) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p as usize * sorted.len()).div_ceil(100).max(1);
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 impl FlowMetrics {
@@ -59,6 +87,16 @@ impl FlowMetrics {
     /// construction equal to `FlowArtifacts::modeled_total_seconds()`.
     pub fn modeled_total_seconds(&self) -> f64 {
         self.phases.iter().map(|p| p.modeled_s).sum()
+    }
+
+    /// Completed-job latency percentile for one tenant (nearest rank;
+    /// `p` in 0..=100). Returns `None` for a tenant with no completions.
+    pub fn tenant_latency_ps(&self, tenant: &str, p: u32) -> Option<u64> {
+        self.serve_tenant_latency_ps
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(_, v)| percentile_ps(v, p))
     }
 
     /// Modeled seconds spent in one phase (summed over repeated spans).
@@ -128,6 +166,26 @@ impl FlowMetrics {
                 self.sim_backpressure_stall_cycles += backpressure_stall_cycles;
                 self.sim_starvation_stall_cycles += starvation_stall_cycles;
             }
+            FlowEvent::JobAdmitted { .. } => self.jobs_admitted += 1,
+            FlowEvent::JobRejected { .. } => self.jobs_rejected += 1,
+            FlowEvent::JobDispatched { .. } => self.jobs_dispatched += 1,
+            FlowEvent::JobCompleted {
+                tenant, latency_ps, ..
+            } => {
+                self.jobs_completed += 1;
+                match self
+                    .serve_tenant_latency_ps
+                    .iter_mut()
+                    .find(|(t, _)| t == tenant)
+                {
+                    Some((_, v)) => v.push(*latency_ps),
+                    None => self
+                        .serve_tenant_latency_ps
+                        .push((tenant.clone(), vec![*latency_ps])),
+                }
+            }
+            FlowEvent::JobRetried { .. } => self.jobs_retried += 1,
+            FlowEvent::JobDeadlineMissed { .. } => self.jobs_deadline_missed += 1,
             FlowEvent::FlowStarted { .. }
             | FlowEvent::FlowFinished { .. }
             | FlowEvent::PhaseStarted { .. }
@@ -264,6 +322,67 @@ mod tests {
         assert_eq!(m.placement_hpwl, 700);
         assert!(m.timing_met);
         assert_eq!(m.timing_fmax_mhz, 125.0);
+    }
+
+    #[test]
+    fn serve_counters_and_tenant_latencies_fold() {
+        let mut m = FlowMetrics::default();
+        m.record(&FlowEvent::JobAdmitted {
+            job: 1,
+            tenant: "a".into(),
+            est_ns: 100.0,
+        });
+        m.record(&FlowEvent::JobRejected {
+            job: 2,
+            tenant: "b".into(),
+            reason: "QueueFull".into(),
+        });
+        m.record(&FlowEvent::JobDispatched {
+            job: 1,
+            tenant: "a".into(),
+            board: 0,
+            batch: 1,
+            at_ps: 10,
+        });
+        for (job, lat) in [(1u64, 500u64), (3, 700), (4, 900)] {
+            m.record(&FlowEvent::JobCompleted {
+                job,
+                tenant: "a".into(),
+                board: 0,
+                latency_ps: lat,
+            });
+        }
+        m.record(&FlowEvent::JobRetried {
+            job: 5,
+            tenant: "a".into(),
+            from_board: 0,
+            attempt: 1,
+        });
+        m.record(&FlowEvent::JobDeadlineMissed {
+            job: 6,
+            tenant: "a".into(),
+            late_ps: 42,
+        });
+        assert_eq!(m.jobs_admitted, 1);
+        assert_eq!(m.jobs_rejected, 1);
+        assert_eq!(m.jobs_dispatched, 1);
+        assert_eq!(m.jobs_completed, 3);
+        assert_eq!(m.jobs_retried, 1);
+        assert_eq!(m.jobs_deadline_missed, 1);
+        assert_eq!(m.tenant_latency_ps("a", 50), Some(700));
+        assert_eq!(m.tenant_latency_ps("a", 99), Some(900));
+        assert_eq!(m.tenant_latency_ps("b", 50), None);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_on_integers() {
+        assert_eq!(percentile_ps(&[], 50), 0);
+        assert_eq!(percentile_ps(&[10], 99), 10);
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ps(&s, 50), 50);
+        assert_eq!(percentile_ps(&s, 99), 99);
+        assert_eq!(percentile_ps(&s, 100), 100);
+        assert_eq!(percentile_ps(&s, 0), 1);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct StreamLink {
 #[derive(Debug)]
 pub enum BoardError {
     UnknownAccel(usize),
+    UnknownDma(usize),
     UnknownPort {
         accel: String,
         port: String,
@@ -78,6 +79,7 @@ impl fmt::Display for BoardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BoardError::UnknownAccel(i) => write!(f, "no accelerator with index {i}"),
+            BoardError::UnknownDma(i) => write!(f, "no DMA engine with index {i}"),
             BoardError::UnknownPort { accel, port } => {
                 write!(f, "accelerator `{accel}` has no stream port `{port}`")
             }
@@ -252,9 +254,10 @@ impl Board {
     fn endpoint_name(&self, ep: &Endpoint) -> String {
         match ep {
             Endpoint::Dma(i) => format!("dma{i}"),
-            Endpoint::Accel { accel, port } => {
-                format!("{}.{}", self.accels[*accel].kernel.name, port)
-            }
+            Endpoint::Accel { accel, port } => match self.accels.get(*accel) {
+                Some(a) => format!("{}.{}", a.kernel.name, port),
+                None => format!("accel{accel}.{port}"),
+            },
         }
     }
 
@@ -368,7 +371,7 @@ impl Board {
                 .enumerate()
                 .find(|(_, l)| l.from == Endpoint::Dma(*dma_idx))
                 .map(|(i, l)| (i, l.clone()))
-                .ok_or(BoardError::UnknownAccel(*dma_idx))?;
+                .ok_or(BoardError::UnknownDma(*dma_idx))?;
             let (accel, port) = match &link.to {
                 Endpoint::Accel { accel, port } => (*accel, port.clone()),
                 Endpoint::Dma(_) => continue, // DMA->DMA loopback: nothing to compute
@@ -383,7 +386,10 @@ impl Board {
                     tokens.push(b.data as i64);
                 }
             }
-            let dma = &mut self.dmas[*dma_idx];
+            let dma = self
+                .dmas
+                .get_mut(*dma_idx)
+                .ok_or(BoardError::UnknownDma(*dma_idx))?;
             let st = DmaStats {
                 bytes: desc.len,
                 beats: xfer.beats_total(),
@@ -509,11 +515,18 @@ impl Board {
                         pending = Some((i, t));
                         break;
                     }
-                    ch.push(Beat {
+                    // `can_push` was just checked, but treat a refused
+                    // push as a stall (the beat stays pending) rather
+                    // than a panic — a malformed phase must surface as
+                    // a typed error or a stall, never a crash.
+                    let beat = Beat {
                         data: t as u64,
                         last: i + 1 == n,
-                    })
-                    .expect("can_push checked; push cannot fail");
+                    };
+                    if ch.push(beat).is_err() {
+                        pending = Some((i, t));
+                        break;
+                    }
                     pending = iter.next();
                 }
                 let moved = xfer.pump(&mut ch, self.stream_fifo_depth as u64)?;
@@ -521,7 +534,10 @@ impl Board {
                     break;
                 }
             }
-            let dma = &mut self.dmas[*dma_idx];
+            let dma = self
+                .dmas
+                .get_mut(*dma_idx)
+                .ok_or(BoardError::UnknownDma(*dma_idx))?;
             let (bytes, beats) = xfer.finish(&mut self.dram)?;
             let st = DmaStats {
                 bytes,

@@ -1,0 +1,203 @@
+//! Job vocabulary of the serving runtime: what a tenant submits, why a
+//! submission can be refused, and what the scheduler records about each
+//! accepted job.
+
+use accelsoc_apps::archs::Arch;
+use accelsoc_htg::graph::Htg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One accelerator request, as submitted by a tenant.
+///
+/// A job is an Otsu segmentation request: one synthetic image of
+/// `side × side` pixels (seeded by `image_seed`) pushed through the
+/// architecture `arch` on some board of the pool. All times are in
+/// **virtual integer picoseconds** — the serving runtime never consults
+/// a wall clock.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique, monotonically increasing id (doubles as the FIFO key).
+    pub id: u64,
+    pub tenant: String,
+    pub arch: Arch,
+    /// Image side in pixels (the image is square).
+    pub side: u32,
+    /// Seed of the synthetic input scene.
+    pub image_seed: u64,
+    /// Virtual arrival time.
+    pub submit_ps: u64,
+    /// Absolute virtual deadline; `None` = best-effort.
+    pub deadline_ps: Option<u64>,
+    /// Seeded transient fault: the first execution of this job fails and
+    /// the scheduler must retry it (on a different board when the pool
+    /// allows).
+    pub transient_fault: bool,
+    /// Optional explicit task graph. When present it is validated at
+    /// admission time with `accelsoc_htg::validate` — a graph whose
+    /// stream links would deadlock (a cycle without buffering) is
+    /// rejected with [`AdmissionError::InvalidGraph`] instead of failing
+    /// mid-dispatch.
+    pub graph: Option<Htg>,
+}
+
+impl JobSpec {
+    pub fn pixels(&self) -> u64 {
+        self.side as u64 * self.side as u64
+    }
+
+    /// Bytes of DRAM the job's input occupies (RGBA words).
+    pub fn input_bytes(&self) -> u64 {
+        self.pixels() * 4
+    }
+}
+
+/// Why a submission was refused at the admission queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The tenant's admission queue is at its bounded depth.
+    QueueFull { tenant: String, depth: usize },
+    /// The job's working set exceeds what any board in the pool can hold.
+    JobTooLarge { bytes: u64, capacity: u64 },
+    /// Even an idle board could not finish before the deadline.
+    DeadlineImpossible {
+        deadline_ps: u64,
+        earliest_finish_ps: u64,
+    },
+    /// The job's task graph failed `accelsoc_htg::validate` — e.g. a
+    /// stream-link cycle with no buffering, which would deadlock the
+    /// board mid-dispatch.
+    InvalidGraph { detail: String },
+    /// The job names a tenant the runtime was not configured with.
+    UnknownTenant(String),
+}
+
+impl AdmissionError {
+    /// Stable label used in `JobRejected` events and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmissionError::QueueFull { .. } => "QueueFull",
+            AdmissionError::JobTooLarge { .. } => "JobTooLarge",
+            AdmissionError::DeadlineImpossible { .. } => "DeadlineImpossible",
+            AdmissionError::InvalidGraph { .. } => "InvalidGraph",
+            AdmissionError::UnknownTenant(_) => "UnknownTenant",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { tenant, depth } => {
+                write!(f, "tenant `{tenant}` queue full (depth {depth})")
+            }
+            AdmissionError::JobTooLarge { bytes, capacity } => {
+                write!(f, "job needs {bytes} B, boards hold {capacity} B")
+            }
+            AdmissionError::DeadlineImpossible {
+                deadline_ps,
+                earliest_finish_ps,
+            } => write!(
+                f,
+                "deadline {deadline_ps} ps before earliest possible finish {earliest_finish_ps} ps"
+            ),
+            AdmissionError::InvalidGraph { detail } => {
+                write!(f, "invalid task graph: {detail}")
+            }
+            AdmissionError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// How one admitted job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Finished within its deadline (or had none).
+    Completed,
+    /// Finished, but after its deadline.
+    CompletedLate,
+    /// Expired in the queue before it could be dispatched.
+    TimedOut,
+}
+
+/// Per-job record in the [`crate::report::ServeReport`], in completion
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    pub id: u64,
+    pub tenant: String,
+    pub arch: String,
+    pub side: u32,
+    pub board: Option<usize>,
+    pub outcome: JobOutcome,
+    pub submit_ps: u64,
+    /// Virtual completion (or expiry) time.
+    pub finish_ps: u64,
+    /// `finish - submit`; queue wait plus service.
+    pub latency_ps: u64,
+    /// Executions beyond the first (transient-fault recoveries).
+    pub retries: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> JobSpec {
+        JobSpec {
+            id: 7,
+            tenant: "t0".into(),
+            arch: Arch::Arch1,
+            side: 32,
+            image_seed: 1,
+            submit_ps: 0,
+            deadline_ps: None,
+            transient_fault: false,
+            graph: None,
+        }
+    }
+
+    #[test]
+    fn sizes_derive_from_side() {
+        let j = job();
+        assert_eq!(j.pixels(), 1024);
+        assert_eq!(j.input_bytes(), 4096);
+    }
+
+    #[test]
+    fn admission_error_kinds_are_stable() {
+        let errs: Vec<AdmissionError> = vec![
+            AdmissionError::QueueFull {
+                tenant: "a".into(),
+                depth: 4,
+            },
+            AdmissionError::JobTooLarge {
+                bytes: 10,
+                capacity: 5,
+            },
+            AdmissionError::DeadlineImpossible {
+                deadline_ps: 1,
+                earliest_finish_ps: 2,
+            },
+            AdmissionError::InvalidGraph {
+                detail: "cycle".into(),
+            },
+            AdmissionError::UnknownTenant("x".into()),
+        ];
+        let kinds: Vec<&str> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "QueueFull",
+                "JobTooLarge",
+                "DeadlineImpossible",
+                "InvalidGraph",
+                "UnknownTenant"
+            ]
+        );
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

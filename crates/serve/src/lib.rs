@@ -1,0 +1,50 @@
+//! # accelsoc-serve — multi-tenant accelerator serving runtime
+//!
+//! The paper's generated software stack ends at a single host program
+//! pushing one job at a time through `/dev` nodes; this crate is the
+//! runtime that sits between many clients and a **pool** of simulated
+//! SoCs. It multiplexes a stream of accelerator requests (Otsu
+//! segmentation jobs at varying image sizes, any of the four Table I
+//! architectures) across `N` boards:
+//!
+//! * **admission control** — bounded per-tenant queues with typed
+//!   rejection ([`AdmissionError`]: `QueueFull`, `JobTooLarge`,
+//!   `DeadlineImpossible`, `InvalidGraph` via `htg::validate`,
+//!   `UnknownTenant`);
+//! * **pluggable policies** — the [`SchedPolicy`] trait with FIFO,
+//!   round-robin-per-tenant and shortest-job-first (sized by the
+//!   `accelsoc-dse` latency model through [`DseEstimator`]);
+//! * **dynamic batching** — same-architecture jobs at queue heads are
+//!   coalesced into one board phase sharing reconfiguration and
+//!   dispatch overhead;
+//! * **deadlines and retries** — queue expiry, late-finish detection,
+//!   and bounded retry of transiently-faulted jobs on a *different*
+//!   board.
+//!
+//! The whole runtime is **deterministic**: virtual time only (integer
+//! picoseconds, the PR 3 calendar discipline), a seeded workload
+//! generator, and a strict split between a parallel-but-pure latency
+//! precompute and a sequential event loop. The same
+//! `(workload, config)` produces a byte-identical [`ServeReport`] for
+//! any host thread count — see `DESIGN.md` §10 for the argument.
+//!
+//! Observability rides on `accelsoc-observe`: every admission, dispatch,
+//! completion, retry and deadline miss is a `FlowEvent`, and
+//! `FlowMetrics` folds them into counters plus per-tenant latency
+//! percentiles.
+
+pub mod estimator;
+pub mod job;
+pub mod policy;
+pub mod queue;
+pub mod report;
+pub mod scheduler;
+pub mod workload;
+
+pub use estimator::DseEstimator;
+pub use job::{AdmissionError, JobOutcome, JobRecord, JobSpec};
+pub use policy::{Fifo, PolicyKind, RoundRobin, SchedPolicy, Sjf};
+pub use queue::{ActiveJob, TenantQueue};
+pub use report::{RejectionCounts, ServeReport, TenantReport};
+pub use scheduler::{run_serve, run_serve_seeded, ServeConfig, ServeError};
+pub use workload::{generate_workload, TenantProfile, WorkloadSpec};

@@ -1,0 +1,207 @@
+//! Pluggable scheduling policies.
+//!
+//! A policy never touches wall-clock time or host-thread state: it sees
+//! only the tenant queues and the current virtual time, and every
+//! tie-break bottoms out at the global job id. That — plus the fact that
+//! queues are `Vec`-indexed in fixed tenant order — is what makes a
+//! whole serve run bit-reproducible.
+
+use crate::queue::TenantQueue;
+
+/// A scheduling discipline: given the per-tenant queues, pick which
+/// tenant's **head** job should be dispatched next.
+///
+/// Only queue heads are eligible (per-tenant FIFO order is invariant
+/// across policies). Returning `None` means "nothing dispatchable".
+pub trait SchedPolicy {
+    fn name(&self) -> &'static str;
+
+    /// Index into `queues` of the tenant to serve next.
+    fn select(&mut self, queues: &[TenantQueue], now_ps: u64) -> Option<usize>;
+
+    /// Hook invoked after a job from `tenant` left its queue.
+    fn on_dispatch(&mut self, _tenant: usize) {}
+}
+
+/// Globally-FIFO: the oldest admitted job (smallest id) across all
+/// tenants goes first.
+#[derive(Debug, Default)]
+pub struct Fifo;
+
+impl SchedPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select(&mut self, queues: &[TenantQueue], _now_ps: u64) -> Option<usize> {
+        queues
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.head().map(|j| (j.spec.id, i)))
+            .min()
+            .map(|(_, i)| i)
+    }
+}
+
+/// Round-robin over tenants: a rotating cursor gives each tenant with
+/// queued work one dispatch per revolution, so a low-rate tenant cannot
+/// be starved by a flood from a high-rate one. `cursor` is the next
+/// tenant to consider.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl SchedPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn select(&mut self, queues: &[TenantQueue], _now_ps: u64) -> Option<usize> {
+        if queues.is_empty() {
+            return None;
+        }
+        (0..queues.len())
+            .map(|k| (self.cursor + k) % queues.len())
+            .find(|&i| !queues[i].is_empty())
+    }
+
+    fn on_dispatch(&mut self, tenant: usize) {
+        self.cursor = tenant + 1;
+    }
+}
+
+/// Shortest-job-first by the DSE latency estimate; ties broken by job id
+/// so equal-size jobs keep FIFO order.
+#[derive(Debug, Default)]
+pub struct Sjf;
+
+impl SchedPolicy for Sjf {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn select(&mut self, queues: &[TenantQueue], _now_ps: u64) -> Option<usize> {
+        queues
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.head().map(|j| (j.est_ps, j.spec.id, i)))
+            .min()
+            .map(|(_, _, i)| i)
+    }
+}
+
+/// The built-in policies, for CLI/bench selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    Fifo,
+    RoundRobin,
+    Sjf,
+}
+
+impl PolicyKind {
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Fifo, PolicyKind::RoundRobin, PolicyKind::Sjf];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::RoundRobin => "rr",
+            PolicyKind::Sjf => "sjf",
+        }
+    }
+
+    pub fn make(&self) -> Box<dyn SchedPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(Fifo),
+            PolicyKind::RoundRobin => Box::new(RoundRobin::default()),
+            PolicyKind::Sjf => Box::new(Sjf),
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(PolicyKind::Fifo),
+            "rr" | "round-robin" => Ok(PolicyKind::RoundRobin),
+            "sjf" => Ok(PolicyKind::Sjf),
+            other => Err(format!("unknown policy `{other}` (fifo|rr|sjf)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::queue::ActiveJob;
+    use accelsoc_apps::archs::Arch;
+
+    fn queue(name: &str, jobs: &[(u64, u64)]) -> TenantQueue {
+        let mut q = TenantQueue::new(name, 16);
+        for &(id, est_ps) in jobs {
+            q.push(ActiveJob {
+                spec: JobSpec {
+                    id,
+                    tenant: name.into(),
+                    arch: Arch::Arch1,
+                    side: 16,
+                    image_seed: id,
+                    submit_ps: 0,
+                    deadline_ps: None,
+                    transient_fault: false,
+                    graph: None,
+                },
+                est_ps,
+                lat_ps: est_ps,
+                attempts: 0,
+                excluded_board: None,
+            });
+        }
+        q
+    }
+
+    #[test]
+    fn fifo_picks_globally_oldest() {
+        let queues = vec![queue("a", &[(5, 10)]), queue("b", &[(2, 99)])];
+        assert_eq!(Fifo.select(&queues, 0), Some(1));
+        assert_eq!(Fifo.select(&[queue("a", &[]), queue("b", &[])], 0), None);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_empty() {
+        let queues = vec![
+            queue("a", &[(1, 10), (4, 10)]),
+            queue("b", &[]),
+            queue("c", &[(2, 10)]),
+        ];
+        let mut rr = RoundRobin::default();
+        let first = rr.select(&queues, 0).unwrap();
+        assert_eq!(first, 0);
+        rr.on_dispatch(first);
+        // Tenant b is empty, so the cursor skips to c.
+        assert_eq!(rr.select(&queues, 0), Some(2));
+        rr.on_dispatch(2);
+        assert_eq!(rr.select(&queues, 0), Some(0));
+    }
+
+    #[test]
+    fn sjf_picks_smallest_estimate_then_id() {
+        let queues = vec![queue("a", &[(1, 500)]), queue("b", &[(2, 100)])];
+        assert_eq!(Sjf.select(&queues, 0), Some(1));
+        let tied = vec![queue("a", &[(7, 100)]), queue("b", &[(3, 100)])];
+        assert_eq!(Sjf.select(&tied, 0), Some(1), "tie falls back to id");
+    }
+
+    #[test]
+    fn policy_kind_round_trips() {
+        for kind in PolicyKind::ALL {
+            let parsed: PolicyKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.make().name(), kind.name());
+        }
+        assert!("edf".parse::<PolicyKind>().is_err());
+    }
+}

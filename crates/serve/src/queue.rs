@@ -1,0 +1,155 @@
+//! Bounded per-tenant admission queues.
+
+use crate::job::JobSpec;
+use std::collections::VecDeque;
+
+/// One admitted job waiting in (or moving through) the system.
+#[derive(Debug, Clone)]
+pub struct ActiveJob {
+    pub spec: JobSpec,
+    /// DSE latency estimate (integer picoseconds) — the key size-aware
+    /// policies sort by.
+    pub est_ps: u64,
+    /// True simulated board latency (integer picoseconds).
+    pub lat_ps: u64,
+    /// Executions so far (0 before the first dispatch).
+    pub attempts: u32,
+    /// Board the job faulted on; the scheduler avoids it on retry when
+    /// the pool has an alternative.
+    pub excluded_board: Option<usize>,
+}
+
+/// A bounded FIFO of admitted jobs for one tenant. Jobs leave from the
+/// front only (per-tenant FIFO order is preserved under every policy);
+/// policies choose *which tenant's* front job goes next.
+#[derive(Debug)]
+pub struct TenantQueue {
+    pub name: String,
+    pub depth: usize,
+    jobs: VecDeque<ActiveJob>,
+}
+
+impl TenantQueue {
+    pub fn new(name: impl Into<String>, depth: usize) -> Self {
+        TenantQueue {
+            name: name.into(),
+            depth: depth.max(1),
+            jobs: VecDeque::new(),
+        }
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.jobs.len() >= self.depth
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The job a policy may dispatch next (per-tenant FIFO head).
+    pub fn head(&self) -> Option<&ActiveJob> {
+        self.jobs.front()
+    }
+
+    pub fn push(&mut self, job: ActiveJob) {
+        debug_assert!(!self.is_full(), "admission must check is_full first");
+        self.jobs.push_back(job);
+    }
+
+    /// Requeue a faulted job at the front so its retry is not penalised
+    /// by jobs that arrived while it was executing.
+    pub fn push_front(&mut self, job: ActiveJob) {
+        self.jobs.push_front(job);
+    }
+
+    pub fn pop(&mut self) -> Option<ActiveJob> {
+        self.jobs.pop_front()
+    }
+
+    /// Remove every queued job whose deadline is at or before `now_ps`
+    /// and return them (queue-expiry deadline misses).
+    pub fn drain_expired(&mut self, now_ps: u64) -> Vec<ActiveJob> {
+        let mut expired = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.jobs.len());
+        for job in self.jobs.drain(..) {
+            match job.spec.deadline_ps {
+                Some(d) if d <= now_ps => expired.push(job),
+                _ => keep.push_back(job),
+            }
+        }
+        self.jobs = keep;
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_apps::archs::Arch;
+
+    fn job(id: u64, deadline_ps: Option<u64>) -> ActiveJob {
+        ActiveJob {
+            spec: JobSpec {
+                id,
+                tenant: "t".into(),
+                arch: Arch::Arch1,
+                side: 16,
+                image_seed: id,
+                submit_ps: 0,
+                deadline_ps,
+                transient_fault: false,
+                graph: None,
+            },
+            est_ps: 100,
+            lat_ps: 100,
+            attempts: 0,
+            excluded_board: None,
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_order() {
+        let mut q = TenantQueue::new("t", 2);
+        assert!(q.is_empty());
+        q.push(job(1, None));
+        q.push(job(2, None));
+        assert!(q.is_full());
+        assert_eq!(q.head().unwrap().spec.id, 1);
+        assert_eq!(q.pop().unwrap().spec.id, 1);
+        assert_eq!(q.pop().unwrap().spec.id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn expiry_keeps_relative_order_of_survivors() {
+        let mut q = TenantQueue::new("t", 8);
+        q.push(job(1, Some(50)));
+        q.push(job(2, None));
+        q.push(job(3, Some(200)));
+        q.push(job(4, Some(49)));
+        let expired = q.drain_expired(50);
+        assert_eq!(
+            expired.iter().map(|j| j.spec.id).collect::<Vec<_>>(),
+            [1, 4]
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().spec.id, 2);
+        assert_eq!(q.pop().unwrap().spec.id, 3);
+    }
+
+    #[test]
+    fn retry_requeues_at_front() {
+        let mut q = TenantQueue::new("t", 8);
+        q.push(job(1, None));
+        q.push(job(2, None));
+        let mut j = q.pop().unwrap();
+        j.attempts = 1;
+        q.push_front(j);
+        assert_eq!(q.head().unwrap().spec.id, 1);
+        assert_eq!(q.head().unwrap().attempts, 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The deterministic output of one serve run.
+//!
+//! Every field is computed from integer virtual-time quantities in a
+//! fixed order, so serializing a [`ServeReport`] yields byte-identical
+//! JSON for the same (workload, config) regardless of host thread count.
+
+use crate::job::{JobOutcome, JobRecord};
+use accelsoc_observe::percentile_ps;
+use serde::{Deserialize, Serialize};
+
+/// Per-tenant aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    pub tenant: String,
+    /// Jobs this tenant submitted (admitted + rejected).
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    /// Queue expiries + late finishes.
+    pub deadline_missed: u64,
+    /// Latency percentiles over completed (on-time or late) jobs.
+    pub p50_latency_ps: u64,
+    pub p99_latency_ps: u64,
+    pub mean_latency_ps: u64,
+}
+
+/// Counts of admission rejections by typed reason.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RejectionCounts {
+    pub queue_full: u64,
+    pub job_too_large: u64,
+    pub deadline_impossible: u64,
+    pub invalid_graph: u64,
+    pub unknown_tenant: u64,
+}
+
+impl RejectionCounts {
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.job_too_large
+            + self.deadline_impossible
+            + self.invalid_graph
+            + self.unknown_tenant
+    }
+}
+
+/// Everything one serve run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    pub policy: String,
+    pub boards: usize,
+    pub seed: u64,
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejections: RejectionCounts,
+    pub completed: u64,
+    pub completed_late: u64,
+    pub timed_out: u64,
+    /// `completed_late + timed_out`.
+    pub deadline_misses: u64,
+    pub retries: u64,
+    /// Board phases dispatched (a batch of n jobs is one phase).
+    pub batches: u64,
+    /// Virtual time of the last completion (or expiry).
+    pub makespan_ps: u64,
+    /// Completed jobs per virtual second (0 for an empty run).
+    pub throughput_jobs_per_s: f64,
+    /// Jain fairness index over per-tenant completion counts, in (0, 1];
+    /// 1.0 = perfectly even service.
+    pub fairness: f64,
+    pub tenants: Vec<TenantReport>,
+    /// Busy virtual time per board, by board index.
+    pub board_busy_ps: Vec<u64>,
+    /// Per-job records in completion/expiry order (the determinism
+    /// witness: this order is part of the report equality).
+    pub records: Vec<JobRecord>,
+}
+
+impl ServeReport {
+    /// Fold per-job records into the per-tenant aggregates. `tenants`
+    /// fixes the row order; `submitted`/`rejected` come from admission
+    /// bookkeeping (rejected jobs have no record).
+    pub fn tenant_rows(
+        tenants: &[String],
+        submitted: &[u64],
+        rejected: &[u64],
+        records: &[JobRecord],
+    ) -> Vec<TenantReport> {
+        tenants
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let latencies: Vec<u64> = records
+                    .iter()
+                    .filter(|r| {
+                        &r.tenant == name
+                            && matches!(
+                                r.outcome,
+                                JobOutcome::Completed | JobOutcome::CompletedLate
+                            )
+                    })
+                    .map(|r| r.latency_ps)
+                    .collect();
+                let missed = records
+                    .iter()
+                    .filter(|r| {
+                        &r.tenant == name
+                            && matches!(r.outcome, JobOutcome::CompletedLate | JobOutcome::TimedOut)
+                    })
+                    .count() as u64;
+                let mean = if latencies.is_empty() {
+                    0
+                } else {
+                    latencies.iter().sum::<u64>() / latencies.len() as u64
+                };
+                TenantReport {
+                    tenant: name.clone(),
+                    submitted: submitted[i],
+                    admitted: submitted[i] - rejected[i],
+                    rejected: rejected[i],
+                    completed: latencies.len() as u64,
+                    deadline_missed: missed,
+                    p50_latency_ps: percentile_ps(&latencies, 50),
+                    p99_latency_ps: percentile_ps(&latencies, 99),
+                    mean_latency_ps: mean,
+                }
+            })
+            .collect()
+    }
+
+    /// Jain fairness index over per-tenant completion counts: tenants
+    /// that submitted nothing are excluded.
+    pub fn jain_fairness(tenants: &[TenantReport]) -> f64 {
+        let xs: Vec<u64> = tenants
+            .iter()
+            .filter(|t| t.submitted > 0)
+            .map(|t| t.completed)
+            .collect();
+        if xs.is_empty() {
+            return 1.0;
+        }
+        let sum: u64 = xs.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let sum_sq: u64 = xs.iter().map(|&x| x * x).sum();
+        (sum as f64 * sum as f64) / (xs.len() as f64 * sum_sq as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tenant: &str, outcome: JobOutcome, latency_ps: u64) -> JobRecord {
+        JobRecord {
+            id: 0,
+            tenant: tenant.into(),
+            arch: "Arch1".into(),
+            side: 16,
+            board: Some(0),
+            outcome,
+            submit_ps: 0,
+            finish_ps: latency_ps,
+            latency_ps,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn tenant_rows_fold_outcomes() {
+        let records = vec![
+            record("a", JobOutcome::Completed, 100),
+            record("a", JobOutcome::CompletedLate, 300),
+            record("a", JobOutcome::TimedOut, 50),
+            record("b", JobOutcome::Completed, 200),
+        ];
+        let rows = ServeReport::tenant_rows(&["a".into(), "b".into()], &[4, 1], &[1, 0], &records);
+        assert_eq!(rows[0].completed, 2, "late still counts as completed");
+        assert_eq!(rows[0].deadline_missed, 2, "late + timed out");
+        assert_eq!(rows[0].admitted, 3);
+        assert_eq!(rows[0].p50_latency_ps, 100);
+        assert_eq!(rows[0].p99_latency_ps, 300);
+        assert_eq!(rows[0].mean_latency_ps, 200);
+        assert_eq!(rows[1].completed, 1);
+        assert_eq!(rows[1].deadline_missed, 0);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        let even = ServeReport::tenant_rows(
+            &["a".into(), "b".into()],
+            &[2, 2],
+            &[0, 0],
+            &[
+                record("a", JobOutcome::Completed, 1),
+                record("a", JobOutcome::Completed, 1),
+                record("b", JobOutcome::Completed, 1),
+                record("b", JobOutcome::Completed, 1),
+            ],
+        );
+        assert_eq!(ServeReport::jain_fairness(&even), 1.0);
+
+        let skewed = ServeReport::tenant_rows(
+            &["a".into(), "b".into()],
+            &[4, 4],
+            &[0, 0],
+            &[
+                record("a", JobOutcome::Completed, 1),
+                record("a", JobOutcome::Completed, 1),
+                record("a", JobOutcome::Completed, 1),
+                record("a", JobOutcome::Completed, 1),
+            ],
+        );
+        let j = ServeReport::jain_fairness(&skewed);
+        assert!(j < 0.6 && j > 0.0, "one-sided service: {j}");
+        assert_eq!(ServeReport::jain_fairness(&[]), 1.0);
+    }
+}

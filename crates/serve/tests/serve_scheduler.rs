@@ -1,0 +1,362 @@
+//! End-to-end scheduler tests: determinism across host thread counts,
+//! saturation behaviour, typed admission errors, retries and deadlines.
+
+use accelsoc_apps::archs::Arch;
+use accelsoc_htg::graph::{Htg, TaskNode, TransferKind};
+use accelsoc_observe::{CollectObserver, FlowEvent, MetricsObserver, NullObserver};
+use accelsoc_serve::{
+    generate_workload, run_serve, run_serve_seeded, DseEstimator, JobOutcome, JobSpec, PolicyKind,
+    ServeConfig, TenantProfile, WorkloadSpec,
+};
+
+fn two_tenant_spec(seed: u64, jobs: usize, mean_interarrival_ps: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        tenants: vec![
+            TenantProfile {
+                name: "interactive".into(),
+                weight: 2,
+                sides: vec![16, 24],
+                archs: vec![Arch::Arch4],
+                deadline_slack_pct: Some(5_000), // 50× the estimate: generous
+                fault_rate: 0.0,
+            },
+            TenantProfile {
+                name: "batch".into(),
+                weight: 1,
+                sides: vec![24],
+                archs: vec![Arch::Arch1],
+                deadline_slack_pct: None,
+                fault_rate: 0.0,
+            },
+        ],
+        jobs,
+        mean_interarrival_ps,
+        seed,
+    }
+}
+
+fn config(policy: PolicyKind, boards: usize, threads: usize) -> ServeConfig {
+    ServeConfig {
+        tenants: vec!["interactive".into(), "batch".into()],
+        boards,
+        policy,
+        threads,
+        ..ServeConfig::default()
+    }
+}
+
+fn plain_job(id: u64, tenant: &str, submit_ps: u64) -> JobSpec {
+    JobSpec {
+        id,
+        tenant: tenant.into(),
+        arch: Arch::Arch1,
+        side: 16,
+        image_seed: id,
+        submit_ps,
+        deadline_ps: None,
+        transient_fault: false,
+        graph: None,
+    }
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts_and_policies() {
+    // The acceptance-criterion property: same (seed, policy, boards) ⇒
+    // identical ServeReport — job completion order, per-tenant latency
+    // percentiles, retry counts — independent of host threads.
+    let spec = two_tenant_spec(42, 24, 50_000_000);
+    let mut est = DseEstimator::new();
+    let jobs = generate_workload(&spec, &mut est);
+    for policy in PolicyKind::ALL {
+        let seq = run_serve_seeded(&jobs, &config(policy, 2, 1), spec.seed, &NullObserver).unwrap();
+        let par = run_serve_seeded(&jobs, &config(policy, 2, 4), spec.seed, &NullObserver).unwrap();
+        assert_eq!(seq, par, "{policy:?} differs across thread counts");
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap(),
+            "{policy:?} serialization differs"
+        );
+        assert_eq!(seq.completed + seq.completed_late, seq.admitted);
+        assert!(seq.makespan_ps > 0);
+    }
+}
+
+#[test]
+fn saturation_bounds_queues_and_round_robin_protects_low_rate_tenant() {
+    // Offered load far above capacity: arrivals every ~2 us against a
+    // per-job service time of hundreds of us on a single board.
+    let spec = WorkloadSpec {
+        tenants: vec![
+            TenantProfile::simple("flood", 8, 24, Arch::Arch1),
+            TenantProfile::simple("trickle", 1, 16, Arch::Arch4),
+        ],
+        jobs: 48,
+        mean_interarrival_ps: 2_000_000,
+        seed: 7,
+    };
+    let mut est = DseEstimator::new();
+    let jobs = generate_workload(&spec, &mut est);
+    let cfg = ServeConfig {
+        tenants: vec!["flood".into(), "trickle".into()],
+        boards: 1,
+        policy: PolicyKind::RoundRobin,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    };
+    let report = run_serve(&jobs, &cfg, &NullObserver).unwrap();
+
+    // Queues stayed bounded: the overload shows up as typed QueueFull
+    // rejections, not as unbounded buffering.
+    assert!(
+        report.rejections.queue_full > 0,
+        "overload must hit the bounded queues: {:?}",
+        report.rejections
+    );
+    assert_eq!(
+        report.admitted + report.rejections.total(),
+        report.submitted
+    );
+
+    // No starvation: every tenant's admitted jobs complete (no deadlines
+    // here, so nothing can time out).
+    for t in &report.tenants {
+        assert_eq!(
+            t.completed, t.admitted,
+            "tenant {} starved: {t:?}",
+            t.tenant
+        );
+    }
+    let trickle = report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "trickle")
+        .unwrap();
+    assert!(trickle.admitted > 0, "low-rate tenant got service");
+}
+
+#[test]
+fn typed_admission_errors_are_counted_and_reported() {
+    let obs = CollectObserver::new();
+    let cfg = ServeConfig {
+        tenants: vec!["t".into()],
+        boards: 1,
+        ..ServeConfig::default()
+    };
+
+    // JobTooLarge: a 6000×6000 RGBA image does not fit 64 MiB DRAM.
+    let mut too_large = plain_job(0, "t", 1_000);
+    too_large.side = 6_000;
+    // DeadlineImpossible: a deadline before even an idle board could
+    // finish.
+    let mut hopeless = plain_job(1, "t", 2_000);
+    hopeless.deadline_ps = Some(2_001);
+    // UnknownTenant.
+    let stranger = plain_job(2, "nobody", 3_000);
+    // InvalidGraph: two tasks in a buffered cycle.
+    let mut cyclic = plain_job(3, "t", 4_000);
+    cyclic.graph = Some({
+        let mut g = Htg::new();
+        let a = g
+            .add_task(
+                "A",
+                TaskNode {
+                    kernel: "a".into(),
+                    sw_cycles: 1,
+                    sw_only: false,
+                },
+            )
+            .unwrap();
+        let b = g
+            .add_task(
+                "B",
+                TaskNode {
+                    kernel: "b".into(),
+                    sw_cycles: 1,
+                    sw_only: false,
+                },
+            )
+            .unwrap();
+        g.add_edge(a, b, TransferKind::SharedBuffer { bytes: 4 })
+            .unwrap();
+        g.add_edge(b, a, TransferKind::SharedBuffer { bytes: 4 })
+            .unwrap();
+        g
+    });
+    // And one good job so the run isn't empty.
+    let good = plain_job(4, "t", 5_000);
+
+    let jobs = vec![too_large, hopeless, stranger, cyclic, good];
+    let report = run_serve(&jobs, &cfg, &obs).unwrap();
+
+    assert_eq!(report.rejections.job_too_large, 1);
+    assert_eq!(report.rejections.deadline_impossible, 1);
+    assert_eq!(report.rejections.unknown_tenant, 1);
+    assert_eq!(report.rejections.invalid_graph, 1);
+    assert_eq!(report.rejections.queue_full, 0);
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.completed, 1);
+
+    // The event stream carries the stable reason labels.
+    let reasons: Vec<String> = obs
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            FlowEvent::JobRejected { reason, .. } => Some(reason.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        reasons,
+        [
+            "JobTooLarge",
+            "DeadlineImpossible",
+            "UnknownTenant",
+            "InvalidGraph"
+        ]
+    );
+}
+
+#[test]
+fn transient_fault_retries_on_a_different_board() {
+    let obs = CollectObserver::new();
+    let cfg = ServeConfig {
+        tenants: vec!["t".into()],
+        boards: 2,
+        ..ServeConfig::default()
+    };
+    let mut faulty = plain_job(0, "t", 1_000);
+    faulty.transient_fault = true;
+    let report = run_serve(&[faulty], &cfg, &obs).unwrap();
+
+    assert_eq!(report.retries, 1);
+    assert_eq!(report.completed, 1);
+    let rec = &report.records[0];
+    assert_eq!(rec.retries, 1);
+    assert_eq!(rec.outcome, JobOutcome::Completed);
+
+    // The retry ran on a different board than the faulting execution.
+    let fault_board = obs
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            FlowEvent::JobRetried { from_board, .. } => Some(*from_board),
+            _ => None,
+        })
+        .expect("JobRetried emitted");
+    assert_ne!(rec.board, Some(fault_board), "retry moved boards");
+
+    // Dispatched twice (original + retry), completed once.
+    let dispatches = obs
+        .events()
+        .iter()
+        .filter(|e| matches!(e, FlowEvent::JobDispatched { .. }))
+        .count();
+    assert_eq!(dispatches, 2);
+}
+
+#[test]
+fn deadline_expiry_in_queue_is_a_timeout_record() {
+    // One board, two jobs arriving together; the second has a deadline
+    // shorter than the first job's service time, so it expires while
+    // queued.
+    let cfg = ServeConfig {
+        tenants: vec!["t".into()],
+        boards: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let first = plain_job(0, "t", 1_000);
+    let mut second = plain_job(1, "t", 2_000);
+    // Estimate for a 16×16 Arch1 job is ~hundreds of us; give the second
+    // job just enough slack to pass admission but not to survive the
+    // queue behind `first`.
+    let mut est = DseEstimator::new();
+    let est_ps = est.estimate_ps(Arch::Arch1, 16);
+    second.deadline_ps = Some(2_000 + cfg.dispatch_overhead_ps + est_ps + 1);
+    let report = run_serve(&[first, second], &cfg, &NullObserver).unwrap();
+
+    assert_eq!(report.admitted, 2, "both pass admission");
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.timed_out, 1);
+    assert_eq!(report.deadline_misses, 1);
+    let timed_out = report
+        .records
+        .iter()
+        .find(|r| r.outcome == JobOutcome::TimedOut)
+        .unwrap();
+    assert_eq!(timed_out.id, 1);
+    assert_eq!(timed_out.board, None, "never dispatched");
+}
+
+#[test]
+fn batching_coalesces_same_arch_jobs_and_metrics_fold() {
+    let metrics = MetricsObserver::new();
+    let cfg = ServeConfig {
+        tenants: vec!["t".into()],
+        boards: 1,
+        max_batch: 4,
+        ..ServeConfig::default()
+    };
+    // Four same-arch jobs arrive while the board is busy with the first:
+    // jobs 1-3 coalesce into one batch when it frees.
+    let jobs: Vec<JobSpec> = (0..4).map(|i| plain_job(i, "t", 1_000 + i)).collect();
+    let report = run_serve(&jobs, &cfg, &metrics).unwrap();
+    assert_eq!(report.completed, 4);
+    assert!(
+        report.batches < 4,
+        "same-arch queue drains in {} batches (< 4)",
+        report.batches
+    );
+
+    let m = metrics.snapshot();
+    assert_eq!(m.jobs_admitted, 4);
+    assert_eq!(m.jobs_dispatched, 4);
+    assert_eq!(m.jobs_completed, 4);
+    assert_eq!(m.jobs_rejected, 0);
+    assert_eq!(m.jobs_deadline_missed, 0);
+    let p50 = m.tenant_latency_ps("t", 50).unwrap();
+    let p99 = m.tenant_latency_ps("t", 99).unwrap();
+    assert!(p50 > 0 && p99 >= p50);
+}
+
+#[test]
+fn sjf_prefers_small_jobs_under_contention() {
+    // One board busy; a large and a small job queue up together. SJF
+    // runs the small one first, FIFO the older (large) one.
+    let mk_jobs = || {
+        let mut large = plain_job(1, "t", 2_000);
+        large.side = 48;
+        let mut small = plain_job(2, "t2", 2_001);
+        small.side = 16;
+        vec![plain_job(0, "t", 1_000), large, small]
+    };
+    let base = ServeConfig {
+        tenants: vec!["t".into(), "t2".into()],
+        boards: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let sjf = run_serve(
+        &mk_jobs(),
+        &ServeConfig {
+            policy: PolicyKind::Sjf,
+            ..base.clone()
+        },
+        &NullObserver,
+    )
+    .unwrap();
+    let fifo = run_serve(
+        &mk_jobs(),
+        &ServeConfig {
+            policy: PolicyKind::Fifo,
+            ..base
+        },
+        &NullObserver,
+    )
+    .unwrap();
+    let order = |r: &accelsoc_serve::ServeReport| -> Vec<u64> {
+        r.records.iter().map(|rec| rec.id).collect()
+    };
+    assert_eq!(order(&sjf), vec![0, 2, 1], "small job jumps the queue");
+    assert_eq!(order(&fifo), vec![0, 1, 2], "fifo keeps arrival order");
+}

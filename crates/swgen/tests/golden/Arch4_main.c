@@ -1,0 +1,19 @@
+/* Auto-generated host application for `otsu` — edit freely. */
+#include <stdio.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include "dma_driver.h" /* readDMA / writeDMA */
+
+#define BUF_BYTES (1024 * 1024)
+
+int main(void) {
+    int dma0 = openDMA("/dev/dma0");
+    if (dma0 < 0) { perror("/dev/dma0"); return 1; }
+    uint8_t *in_buf  = malloc(BUF_BYTES);
+    uint8_t *out_buf = malloc(BUF_BYTES);
+    /* TODO: fill in_buf with application data. */
+    writeDMA(dma0, in_buf, BUF_BYTES);
+    readDMA(dma0, out_buf, BUF_BYTES);
+    closeDMA(dma0);
+    return 0;
+}

@@ -1,0 +1,101 @@
+//! Golden tests pinning the generated software artifacts for the four
+//! Table I architectures: the `/dev` registry layout (paths, physical
+//! bases, spans, minors) and the host application skeleton (`main.c`).
+//!
+//! Any intentional codegen change must update the files under
+//! `tests/golden/` — run with `UPDATE_GOLDEN=1` to regenerate them, then
+//! review the diff like any other source change.
+
+use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc_swgen::DevFs;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Render the `/dev` registry as a stable one-line-per-node text form.
+fn devfs_layout(fs: &DevFs) -> String {
+    let mut s = String::new();
+    for path in fs.paths() {
+        let n = fs.node(path).expect("listed path resolves");
+        writeln!(
+            s,
+            "{} base=0x{:08x} span=0x{:x} minor={}",
+            n.path, n.base, n.span, n.minor
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn check_golden(name: &str, actual: &str, mismatches: &mut Vec<String>) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(expected) if expected == actual => {}
+        Ok(_) => mismatches.push(format!(
+            "{name}: output differs from the pinned golden file \
+             (rerun with UPDATE_GOLDEN=1 if the change is intentional)"
+        )),
+        Err(e) => mismatches.push(format!("{name}: cannot read golden file: {e}")),
+    }
+}
+
+#[test]
+fn devfs_and_main_c_are_pinned_per_architecture() {
+    let mut engine = otsu_flow_engine();
+    let mut mismatches = Vec::new();
+    for arch in Arch::all() {
+        let art = engine
+            .run_source(&arch_dsl_source(arch))
+            .expect("flow succeeds");
+        let fs = DevFs::from_design(&art.block_design);
+        check_golden(
+            &format!("{}_devfs.txt", arch.name()),
+            &devfs_layout(&fs),
+            &mut mismatches,
+        );
+        check_golden(
+            &format!("{}_main.c", arch.name()),
+            &art.main_c,
+            &mut mismatches,
+        );
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}
+
+#[test]
+fn devfs_layout_tracks_architecture_hw_share() {
+    // Structural sanity on top of the byte-for-byte pins: every
+    // architecture exposes at least one DMA node, and moving more
+    // functions to hardware never shrinks the device registry.
+    let mut engine = otsu_flow_engine();
+    let mut node_counts = Vec::new();
+    for arch in Arch::all() {
+        let art = engine
+            .run_source(&arch_dsl_source(arch))
+            .expect("flow succeeds");
+        let fs = DevFs::from_design(&art.block_design);
+        let paths = fs.paths();
+        assert!(
+            paths.iter().any(|p| p.starts_with("/dev/dma")),
+            "{}: no DMA node in {paths:?}",
+            arch.name()
+        );
+        node_counts.push((arch.hw_tasks().len(), paths.len()));
+    }
+    for w in node_counts.windows(2) {
+        if w[1].0 >= w[0].0 {
+            assert!(
+                w[1].1 >= w[0].1,
+                "more hw tasks must not shrink /dev: {node_counts:?}"
+            );
+        }
+    }
+}

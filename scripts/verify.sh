@@ -18,9 +18,9 @@ cargo fmt --check
 # Clippy is not part of the minimal toolchain baked into every image;
 # lint hard when it exists, skip quietly when it doesn't.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi (offline, -D warnings)"
+    echo "==> cargo clippy -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve (offline, -D warnings)"
     cargo clippy --offline -p accelsoc-core -p accelsoc-hls -p accelsoc-dse \
-        -p accelsoc-platform -p accelsoc-axi \
+        -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve \
         --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable; skipping lint step"
@@ -50,5 +50,23 @@ if ! cmp -s "$CACHE_DIR/throughput_t1.json" target/experiments/throughput.json; 
     exit 1
 fi
 echo "    throughput report bit-identical for --threads 1 vs 4"
+
+echo "==> serve determinism smoke (accelsoc serve-sim)"
+# Two tenants on two boards under SJF at moderate load: the full
+# ServeReport must be byte-identical across host thread counts, and the
+# generous interactive deadlines must all be met.
+./target/release/accelsoc serve-sim --boards 2 --policy sjf --jobs 16 \
+    --load 0.5 --threads 1 --json "$CACHE_DIR/serve_t1.json" >/dev/null
+./target/release/accelsoc serve-sim --boards 2 --policy sjf --jobs 16 \
+    --load 0.5 --threads 4 --json "$CACHE_DIR/serve_t4.json" >/dev/null
+if ! cmp -s "$CACHE_DIR/serve_t1.json" "$CACHE_DIR/serve_t4.json"; then
+    echo "FAIL: serve report differs between --threads 1 and --threads 4"
+    exit 1
+fi
+if ! grep -q '"deadline_misses": *0' "$CACHE_DIR/serve_t1.json"; then
+    echo "FAIL: serve smoke missed deadlines at moderate load"
+    exit 1
+fi
+echo "    serve report bit-identical for --threads 1 vs 4; zero deadline misses"
 
 echo "==> verify OK"

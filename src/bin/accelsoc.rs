@@ -6,6 +6,7 @@
 //! accelsoc fmt    <file.tg>                 pretty-print canonical DSL
 //! accelsoc build  <file.tg> [options]       run the full flow, write artifacts
 //! accelsoc sim    <file.tg> [--n <tokens>]  build + run data through the board
+//! accelsoc serve-sim [options]              multi-tenant serving simulation
 //! accelsoc kernels                          list the built-in kernel library
 //!
 //! build options:
@@ -17,6 +18,17 @@
 //!   --no-cache          disable HLS result caching entirely
 //!   --trace-json <f>    write a JSON-lines flow trace to <f>
 //!   --verbose           log flow events to stderr
+//!
+//! serve-sim options:
+//!   --boards <n>        board pool size                 [default: 2]
+//!   --policy <p>        fifo|rr|sjf                     [default: sjf]
+//!   --jobs <n>          total jobs across tenants       [default: 32]
+//!   --seed <u64>        workload seed                   [default: 42]
+//!   --threads <n>       host threads for precompute     [default: 1]
+//!   --queue-depth <n>   per-tenant admission queue      [default: 8]
+//!   --load <f>          offered load vs pool capacity   [default: 0.8]
+//!   --json <file>       write the full ServeReport as JSON
+//!   --verbose           log serve events to stderr
 //! ```
 //!
 //! The built-in kernel library holds the case-study and demo kernels
@@ -54,6 +66,7 @@ fn main() -> ExitCode {
         Some("fmt") => cmd_fmt(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("kernels") => {
             println!("built-in kernel library:");
             for k in builtin_kernels() {
@@ -68,7 +81,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: accelsoc <check|fmt|build|kernels> [args]  (see --help in the README)"
+                "usage: accelsoc <check|fmt|build|sim|serve-sim|kernels> [args]  (see the README)"
             );
             ExitCode::from(2)
         }
@@ -385,6 +398,280 @@ fn cmd_sim(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Multi-tenant serving simulation: a seeded synthetic workload of Otsu
+/// segmentation jobs scheduled across a pool of simulated boards (see
+/// DESIGN.md §10). Deterministic: same seed/policy/boards ⇒ the same
+/// report, regardless of `--threads`.
+fn cmd_serve_sim(args: &[String]) -> ExitCode {
+    use accelsoc::apps::archs::Arch;
+    use accelsoc::core::observe::{FlowObserver, LogObserver, NullObserver};
+    use accelsoc::serve::{
+        generate_workload, run_serve_seeded, DseEstimator, PolicyKind, ServeConfig, TenantProfile,
+        WorkloadSpec,
+    };
+
+    let mut boards: usize = 2;
+    let mut policy = PolicyKind::Sjf;
+    let mut jobs: usize = 32;
+    let mut seed: u64 = 42;
+    let mut threads: usize = 1;
+    let mut queue_depth: usize = 8;
+    let mut load: f64 = 0.8;
+    let mut json_path: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        let parse_next = |what: &str| -> Result<&String, ExitCode> {
+            args.get(i + 1).ok_or_else(|| {
+                eprintln!("error: `{what}` requires a value");
+                ExitCode::from(2)
+            })
+        };
+        match args[i].as_str() {
+            "--boards" => match parse_next("--boards").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => {
+                    boards = n;
+                    i += 2;
+                }
+                Ok(_) => {
+                    eprintln!("error: `--boards` needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--policy" => match parse_next("--policy").map(|v| v.parse::<PolicyKind>()) {
+                Ok(Ok(p)) => {
+                    policy = p;
+                    i += 2;
+                }
+                Ok(Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--jobs" => match parse_next("--jobs").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => {
+                    jobs = n;
+                    i += 2;
+                }
+                Ok(_) => {
+                    eprintln!("error: `--jobs` needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--seed" => match parse_next("--seed").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => {
+                    seed = n;
+                    i += 2;
+                }
+                Ok(Err(_)) => {
+                    eprintln!("error: `--seed` needs an unsigned integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--threads" => match parse_next("--threads").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => {
+                    threads = n;
+                    i += 2;
+                }
+                Ok(_) => {
+                    eprintln!("error: `--threads` needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--queue-depth" => match parse_next("--queue-depth").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => {
+                    queue_depth = n;
+                    i += 2;
+                }
+                Ok(_) => {
+                    eprintln!("error: `--queue-depth` needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--load" => match parse_next("--load").map(|v| v.parse::<f64>()) {
+                Ok(Ok(f)) if f > 0.0 => {
+                    load = f;
+                    i += 2;
+                }
+                Ok(_) => {
+                    eprintln!("error: `--load` needs a positive number");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--json" => match parse_next("--json") {
+                Ok(v) => {
+                    json_path = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                Err(c) => return c,
+            },
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Canonical two-tenant mix: a latency-sensitive tenant on the
+    // all-hardware architecture and a best-effort batch tenant on the
+    // all-software one (Table I extremes).
+    let tenants = vec![
+        TenantProfile {
+            name: "interactive".into(),
+            weight: 2,
+            sides: vec![16, 24],
+            archs: vec![Arch::Arch4],
+            deadline_slack_pct: Some(5_000),
+            fault_rate: 0.0,
+        },
+        TenantProfile {
+            name: "batch".into(),
+            weight: 1,
+            sides: vec![24, 32],
+            archs: vec![Arch::Arch1],
+            deadline_slack_pct: None,
+            fault_rate: 0.0,
+        },
+    ];
+
+    // Offered load scales the arrival rate against pool capacity: mean
+    // interarrival = (mean service estimate / boards) / load.
+    let mut est = DseEstimator::new();
+    let mix: Vec<u64> = tenants
+        .iter()
+        .flat_map(|t| {
+            t.archs
+                .iter()
+                .flat_map(|&a| t.sides.iter().map(move |&s| (a, s)).collect::<Vec<_>>())
+        })
+        .map(|(a, s)| est.estimate_ps(a, s))
+        .collect();
+    let mean_est_ps = mix.iter().sum::<u64>() / mix.len().max(1) as u64;
+    let mean_interarrival_ps = ((mean_est_ps as f64 / boards as f64) / load).max(1.0) as u64;
+
+    let spec = WorkloadSpec {
+        tenants,
+        jobs,
+        mean_interarrival_ps,
+        seed,
+    };
+    let workload = generate_workload(&spec, &mut est);
+    let cfg = ServeConfig {
+        tenants: spec.tenants.iter().map(|t| t.name.clone()).collect(),
+        boards,
+        policy,
+        queue_depth,
+        threads,
+        ..ServeConfig::default()
+    };
+    let log;
+    let observer: &dyn FlowObserver = if verbose {
+        log = LogObserver::stderr();
+        &log
+    } else {
+        &NullObserver
+    };
+    let report = match run_serve_seeded(&workload, &cfg, seed, observer) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print_serve_report(&report);
+    if let Some(path) = &json_path {
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error serializing report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report   : {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_serve_report(r: &accelsoc::serve::ServeReport) {
+    println!(
+        "policy   : {}   boards: {}   seed: {}",
+        r.policy, r.boards, r.seed
+    );
+    println!(
+        "jobs     : {} submitted, {} admitted, {} rejected{}",
+        r.submitted,
+        r.admitted,
+        r.rejections.total(),
+        if r.rejections.total() > 0 {
+            format!(
+                " (queue_full {}, too_large {}, deadline {}, graph {}, tenant {})",
+                r.rejections.queue_full,
+                r.rejections.job_too_large,
+                r.rejections.deadline_impossible,
+                r.rejections.invalid_graph,
+                r.rejections.unknown_tenant
+            )
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "outcomes : {} completed ({} late), {} timed out; {} retries, {} batches",
+        r.completed, r.completed_late, r.timed_out, r.retries, r.batches
+    );
+    println!(
+        "makespan : {:.3} ms   throughput: {:.1} jobs/s   fairness: {:.3}",
+        r.makespan_ps as f64 / 1e9,
+        r.throughput_jobs_per_s,
+        r.fairness
+    );
+    println!(
+        "{:<14} {:>5} {:>5} {:>5} {:>5} {:>5} {:>10} {:>10}",
+        "tenant", "sub", "adm", "rej", "done", "miss", "p50(us)", "p99(us)"
+    );
+    for t in &r.tenants {
+        println!(
+            "{:<14} {:>5} {:>5} {:>5} {:>5} {:>5} {:>10.1} {:>10.1}",
+            t.tenant,
+            t.submitted,
+            t.admitted,
+            t.rejected,
+            t.completed,
+            t.deadline_missed,
+            t.p50_latency_ps as f64 / 1e6,
+            t.p99_latency_ps as f64 / 1e6
+        );
+    }
+    let busy: Vec<String> = r
+        .board_busy_ps
+        .iter()
+        .map(|&b| {
+            if r.makespan_ps == 0 {
+                "idle".into()
+            } else {
+                format!("{:.0}%", 100.0 * b as f64 / r.makespan_ps as f64)
+            }
+        })
+        .collect();
+    println!("boards   : busy [{}]", busy.join(", "));
 }
 
 fn write_artifacts(

@@ -30,6 +30,7 @@ pub use accelsoc_htg as htg;
 pub use accelsoc_integration as integration;
 pub use accelsoc_kernel as kernel;
 pub use accelsoc_platform as platform;
+pub use accelsoc_serve as serve;
 pub use accelsoc_swgen as swgen;
 
 /// Convenient glob import for examples and tests.
