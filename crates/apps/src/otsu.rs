@@ -7,7 +7,7 @@ use crate::archs::Arch;
 use crate::image::{GrayImage, RgbImage};
 use accelsoc_axi::dma::DmaDescriptor;
 use accelsoc_core::flow::{FlowArtifacts, FlowEngine, FlowError};
-use accelsoc_kernel::interp::{ExecStats, Interpreter, StreamBundle};
+use accelsoc_kernel::interp::{ExecStats, StreamBundle};
 use accelsoc_platform::board::BoardError;
 use std::collections::HashMap;
 
@@ -192,7 +192,11 @@ pub fn run_application_with(
     let accel_of =
         |name: &str| -> Option<usize> { artifacts.hls.iter().position(|(n, _)| n == name) };
 
-    // Software-task helper: run a kernel on the CPU model.
+    // Software-task helper: run a kernel on the CPU model. Execution
+    // goes through the engine's VM cache, so in a batch run each kernel
+    // is lowered to bytecode once and reused across every image; the
+    // ExecStats driving the CPU timing model are bit-identical to the
+    // reference interpreter's.
     let sw = |kernel: &accelsoc_kernel::ir::Kernel,
               scalars: &[(&str, i64)],
               bundle: &mut StreamBundle,
@@ -200,7 +204,7 @@ pub fn run_application_with(
      -> Result<(ExecStats, HashMap<String, i64>), AppError> {
         let inputs: HashMap<String, i64> =
             scalars.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        let out = Interpreter::new(kernel).run(&inputs, bundle)?;
+        let out = engine.compiled_kernel(kernel).run(&inputs, bundle)?;
         board.cpu.execute(&out.stats);
         Ok((out.stats, out.scalar_outputs))
     };

@@ -10,7 +10,7 @@
 //!   the paper's scale (whole study ≈ 42 min, SCALA ≈ 6 s, project
 //!   generation ≈ 50 s), and
 //! * **measured milliseconds** — what our simulated tools actually took.
-
+//!
 //! With `--cache-dir <dir>` the HLS results are additionally persisted
 //! (content-addressed) in `<dir>`: a second invocation with the same
 //! directory starts with all four cores warm — the trace then shows one

@@ -1,0 +1,227 @@
+//! Kernel-VM microbenchmark: the tree-walking interpreter vs the
+//! register bytecode VM over the full Otsu kernel chain
+//! (grayScale → computeHistogram → halfProbability → segment).
+//!
+//! Every rep first checks the two engines agree bit-for-bit (scalar
+//! outputs, stream outputs, ExecStats) and then times each engine over
+//! identical inputs. The throughput unit is source-level IR operations
+//! per second (`ExecStats::steps`, identical for both engines by
+//! construction), so the speedup column is a pure execution-engine
+//! comparison.
+
+use accelsoc_apps::image::{synthetic_scene, RgbImage};
+use accelsoc_apps::kernels;
+use accelsoc_bench::{save_json, Table};
+use accelsoc_kernel::compile::CompiledKernel;
+use accelsoc_kernel::interp::{ExecOutcome, Interpreter, StreamBundle};
+use accelsoc_kernel::ir::Kernel;
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One stage of the chain: a kernel plus its inputs for this image.
+struct Stage {
+    kernel: Kernel,
+    scalars: HashMap<String, i64>,
+    feeds: Vec<(&'static str, Vec<i64>)>,
+}
+
+fn fresh_bundle(stage: &Stage) -> StreamBundle {
+    let mut b = StreamBundle::new();
+    for (port, tokens) in &stage.feeds {
+        b.feed(port, tokens.iter().copied());
+    }
+    b
+}
+
+/// Build the four chained stages from one synthetic image, feeding each
+/// stage the previous stage's reference output (computed host-side so
+/// every stage is independent and reruns are identical).
+fn build_stages(side: u32) -> Vec<Stage> {
+    let rgb = RgbImage::from_gray(&synthetic_scene(side, side, 2016));
+    let n = rgb.data.len() as i64;
+    let gray = accelsoc_apps::otsu::grayscale_reference(&rgb);
+    let hist = accelsoc_apps::otsu::histogram_reference(&gray);
+    let thr = accelsoc_apps::otsu::otsu_threshold_from_hist(&hist);
+    let gray_tokens: Vec<i64> = gray.data.iter().map(|&v| v as i64).collect();
+    vec![
+        Stage {
+            kernel: kernels::grayscale(),
+            scalars: HashMap::from([("n".to_string(), n)]),
+            feeds: vec![("imageIn", rgb.data.iter().map(|&p| p as i64).collect())],
+        },
+        Stage {
+            kernel: kernels::compute_histogram(),
+            scalars: HashMap::from([("n".to_string(), n)]),
+            feeds: vec![("grayScaleImage", gray_tokens.clone())],
+        },
+        Stage {
+            kernel: kernels::half_probability(),
+            scalars: HashMap::new(),
+            feeds: vec![("histogram", hist.iter().map(|&v| v as i64).collect())],
+        },
+        Stage {
+            kernel: kernels::segment(),
+            scalars: HashMap::from([("n".to_string(), n)]),
+            feeds: vec![
+                ("otsuThreshold", vec![thr as i64]),
+                ("grayScaleImage", gray_tokens),
+            ],
+        },
+    ]
+}
+
+fn outputs_of(bundle: &StreamBundle) -> Vec<(String, Vec<i64>)> {
+    bundle
+        .outputs()
+        .map(|(p, t)| (p.to_string(), t.to_vec()))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let side = arg_u64(&args, "--side", 64) as u32;
+    let reps = arg_u64(&args, "--reps", 20).max(1) as usize;
+
+    let stages = build_stages(side);
+
+    if args.iter().any(|a| a == "--dump") {
+        for stage in &stages {
+            let compiled = CompiledKernel::compile(&stage.kernel);
+            println!("== {} ==", stage.kernel.name);
+            for (i, (op, _)) in compiled.ops().enumerate() {
+                println!("  {i:3}: {op:?}");
+            }
+        }
+        return;
+    }
+
+    // --- correctness gate: engines must agree before anything is timed.
+    for stage in &stages {
+        let compiled = CompiledKernel::compile(&stage.kernel);
+        let mut bi = fresh_bundle(stage);
+        let mut bv = fresh_bundle(stage);
+        let ri: ExecOutcome = Interpreter::new(&stage.kernel)
+            .run(&stage.scalars, &mut bi)
+            .expect("interpreter run");
+        let rv: ExecOutcome = compiled.run(&stage.scalars, &mut bv).expect("vm run");
+        assert_eq!(
+            ri.scalar_outputs, rv.scalar_outputs,
+            "{}: scalar outputs diverge",
+            stage.kernel.name
+        );
+        assert_eq!(
+            ri.stats, rv.stats,
+            "{}: ExecStats diverge",
+            stage.kernel.name
+        );
+        assert_eq!(
+            outputs_of(&bi),
+            outputs_of(&bv),
+            "{}: stream outputs diverge",
+            stage.kernel.name
+        );
+    }
+
+    let mut table = Table::new(vec![
+        "Kernel",
+        "IR ops",
+        "interp Mops/s",
+        "VM Mops/s",
+        "speedup",
+        "compile (us)",
+    ]);
+    let mut records = Vec::new();
+    let (mut tot_ops, mut tot_interp_s, mut tot_vm_s) = (0u64, 0f64, 0f64);
+    for stage in &stages {
+        let t0 = Instant::now();
+        let compiled = CompiledKernel::compile(&stage.kernel);
+        let compile_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let steps = {
+            let mut b = fresh_bundle(stage);
+            compiled.run(&stage.scalars, &mut b).unwrap().stats.steps
+        };
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut b = fresh_bundle(stage);
+            Interpreter::new(&stage.kernel)
+                .run(&stage.scalars, &mut b)
+                .unwrap();
+        }
+        let interp_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut b = fresh_bundle(stage);
+            compiled.run(&stage.scalars, &mut b).unwrap();
+        }
+        let vm_s = t0.elapsed().as_secs_f64();
+
+        let ops = steps * reps as u64;
+        let interp_mops = ops as f64 / interp_s / 1e6;
+        let vm_mops = ops as f64 / vm_s / 1e6;
+        let speedup = interp_s / vm_s;
+        tot_ops += ops;
+        tot_interp_s += interp_s;
+        tot_vm_s += vm_s;
+        table.row(vec![
+            stage.kernel.name.clone(),
+            steps.to_string(),
+            format!("{interp_mops:.1}"),
+            format!("{vm_mops:.1}"),
+            format!("{speedup:.2}x"),
+            format!("{compile_us:.0}"),
+        ]);
+        records.push(serde_json::json!({
+            "kernel": stage.kernel.name,
+            "ir_ops": steps,
+            "reps": reps,
+            "interp_ops_per_sec": ops as f64 / interp_s,
+            "vm_ops_per_sec": ops as f64 / vm_s,
+            "speedup": speedup,
+            "compile_us": compile_us,
+            "bytecode_ops": compiled.len(),
+        }));
+    }
+    let chain_speedup = tot_interp_s / tot_vm_s;
+
+    println!("== Kernel VM vs interpreter over the Otsu chain ({side}x{side}, {reps} reps) ==\n");
+    print!("{}", table.render());
+    println!(
+        "\nchain: {:.1} Mops/s interp vs {:.1} Mops/s VM — {chain_speedup:.2}x overall",
+        tot_ops as f64 / tot_interp_s / 1e6,
+        tot_ops as f64 / tot_vm_s / 1e6,
+    );
+    println!("(engines verified bit-identical on outputs and ExecStats before timing)");
+    let p = save_json("kernelvm", &records);
+    println!("record: {}", p.display());
+
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "schema": "accelsoc-bench-kernelvm/1",
+            "side": side,
+            "reps": reps,
+            "kernels": records,
+            "chain_speedup": chain_speedup,
+            "chain_interp_ops_per_sec": tot_ops as f64 / tot_interp_s,
+            "chain_vm_ops_per_sec": tot_ops as f64 / tot_vm_s,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write --json output");
+        println!("json   : {path}");
+    }
+}

@@ -30,7 +30,7 @@
 use crate::dsl::{parse, ParseError};
 use crate::graph::{InterfaceKind, LinkEnd, TaskGraph};
 use crate::semantics::{elaborate, Elaborated, PortDirection, SemanticError};
-use accelsoc_hls::cache::{CacheKey, HlsCache};
+use accelsoc_hls::cache::{CacheKey, HlsCache, VmCache};
 use accelsoc_hls::project::{synthesize_kernel_observed, HlsError, HlsOptions, HlsResult};
 use accelsoc_integration::assembler::{
     assemble, ArchSpec, AssembleError, CoreSpec, DmaPolicy, LinkSpec, SocEndpoint,
@@ -372,6 +372,7 @@ pub struct FlowEngine {
     pub options: FlowOptions,
     kernels: HashMap<String, Kernel>,
     hls_cache: Arc<HlsCache>,
+    vm_cache: Arc<VmCache>,
 }
 
 impl FlowEngine {
@@ -385,6 +386,7 @@ impl FlowEngine {
             options,
             kernels: HashMap::new(),
             hls_cache,
+            vm_cache: Arc::new(VmCache::new()),
         }
     }
 
@@ -392,6 +394,25 @@ impl FlowEngine {
     /// [`FlowOptionsBuilder::shared_cache`]).
     pub fn cache(&self) -> &Arc<HlsCache> {
         &self.hls_cache
+    }
+
+    /// The kernel lowered to VM bytecode, compiled at most once per
+    /// engine: keyed by the same content digest as the HLS cache, so
+    /// the thousands of invocations a batch or serving run makes of the
+    /// same four kernels share one compiled form. Each actual compile
+    /// is reported as [`FlowEvent::KernelCompiled`].
+    pub fn compiled_kernel(
+        &self,
+        kernel: &Kernel,
+    ) -> Arc<accelsoc_kernel::compile::CompiledKernel> {
+        let key = CacheKey::compute(kernel, &self.options.hls);
+        self.vm_cache
+            .get_or_compile(key, kernel, self.options.observer.as_ref())
+    }
+
+    /// Number of distinct kernels compiled to bytecode so far.
+    pub fn compiled_kernels(&self) -> usize {
+        self.vm_cache.len()
     }
 
     /// Register the kernel implementing a node (by kernel name).
@@ -773,7 +794,12 @@ impl FlowEngine {
                 .kernels
                 .get(name)
                 .ok_or_else(|| FlowError::MissingKernel { node: name.clone() })?;
-            let idx = board.add_accel(AccelInstance::new(kernel.clone(), r.report.clone()));
+            let compiled = self.compiled_kernel(kernel);
+            let idx = board.add_accel(AccelInstance::with_compiled(
+                kernel.clone(),
+                r.report.clone(),
+                compiled,
+            ));
             accel_index.insert(name.clone(), idx);
         }
         for _ in 0..artifacts.block_design.dma_count() {

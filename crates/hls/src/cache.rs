@@ -285,6 +285,64 @@ impl HlsCache {
     }
 }
 
+/// In-memory cache of kernels lowered to VM bytecode, keyed by the same
+/// content digest as the HLS cache: equal [`CacheKey`]s imply identical
+/// kernel IR (the key also covers directives and HLS options, which the
+/// VM ignores — the cost is at most a few redundant compiles, never a
+/// stale hit). Compilation is cheap relative to synthesis but sits on
+/// the batch/serve hot path, where the same four Otsu kernels execute
+/// thousands of times; one compile per distinct kernel amortizes to
+/// nothing. Shareable across threads; hold it in an `Arc` next to the
+/// [`HlsCache`].
+#[derive(Debug, Default)]
+pub struct VmCache {
+    mem: Mutex<HashMap<CacheKey, std::sync::Arc<accelsoc_kernel::CompiledKernel>>>,
+}
+
+impl VmCache {
+    pub fn new() -> VmCache {
+        VmCache::default()
+    }
+
+    /// Number of compiled kernels held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<CacheKey, std::sync::Arc<accelsoc_kernel::CompiledKernel>>>
+    {
+        self.mem.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Fetch the compiled form of `kernel` under `key`, lowering it on a
+    /// miss. Each actual compile is reported as
+    /// [`FlowEvent::KernelCompiled`]; hits are silent.
+    pub fn get_or_compile(
+        &self,
+        key: CacheKey,
+        kernel: &Kernel,
+        observer: &dyn FlowObserver,
+    ) -> std::sync::Arc<accelsoc_kernel::CompiledKernel> {
+        if let Some(c) = self.lock().get(&key) {
+            return c.clone();
+        }
+        let compiled = std::sync::Arc::new(accelsoc_kernel::CompiledKernel::compile(kernel));
+        observer.on_event(&FlowEvent::KernelCompiled {
+            kernel: kernel.name.clone(),
+        });
+        // Under a race both threads compile; identical inputs give
+        // identical bytecode, so either insert is fine.
+        self.lock().insert(key, compiled.clone());
+        compiled
+    }
+}
+
 /// Read and validate one entry file. Any failure returns the reason it
 /// is unusable (the caller reports it and treats the entry as a miss).
 fn read_entry(path: &Path, key: CacheKey) -> Result<HlsResult, String> {
@@ -548,6 +606,31 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vm_cache_compiles_once_per_key() {
+        let cache = VmCache::new();
+        let k = adder("add", true);
+        let key = CacheKey::compute(&k, &HlsOptions::default());
+        let obs = CollectObserver::new();
+        let c1 = cache.get_or_compile(key, &k, &obs);
+        let c2 = cache.get_or_compile(key, &k, &obs);
+        assert!(std::sync::Arc::ptr_eq(&c1, &c2), "hit must reuse the Arc");
+        assert_eq!(cache.len(), 1);
+        let compiles = obs
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::KernelCompiled { .. }))
+            .count();
+        assert_eq!(compiles, 1, "second lookup must not recompile");
+
+        // A different kernel under the same cache gets its own entry.
+        let k2 = adder("add", false);
+        let key2 = CacheKey::compute(&k2, &HlsOptions::default());
+        let c3 = cache.get_or_compile(key2, &k2, &obs);
+        assert!(!std::sync::Arc::ptr_eq(&c1, &c3));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

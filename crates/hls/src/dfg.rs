@@ -287,6 +287,7 @@ impl<'k> Lowerer<'k> {
                     end,
                     body,
                     pipeline,
+                    ..
                 } => {
                     // Flush the running segment, then lower the loop body
                     // as its own region.

@@ -66,6 +66,7 @@ fn unroll_block(stmts: &[Stmt], var: &str, factor: u32, found: &mut bool) -> Vec
         .flat_map(|s| match s {
             Stmt::For {
                 var: v,
+                ty,
                 start,
                 end,
                 body,
@@ -79,6 +80,7 @@ fn unroll_block(stmts: &[Stmt], var: &str, factor: u32, found: &mut bool) -> Vec
                 }
                 vec![Stmt::For {
                     var: v.clone(),
+                    ty: *ty,
                     start: start.clone(),
                     end: end.clone(),
                     body: unroll_block(body, var, factor, found),
@@ -136,8 +138,13 @@ fn unroll_one(
                 unrolled_body.push(subst_stmt(s, var, &idx_expr));
             }
         }
+        // The synthesized outer index is a fresh counter over
+        // `0..main_trips`; it always gets the wide default index type
+        // (the original loop's declared type sized the *substituted*
+        // variable, which is now materialized as constant arithmetic).
         out.push(Stmt::For {
             var: j,
+            ty: accelsoc_kernel::builder::LOOP_INDEX_TY,
             start: Expr::Const(0),
             end: Expr::Const(main_trips as i64),
             body: unrolled_body,
@@ -164,12 +171,14 @@ fn subst_stmt(s: &Stmt, var: &str, with: &Expr) -> Stmt {
         },
         Stmt::For {
             var: v,
+            ty,
             start,
             end,
             body,
             pipeline,
         } => Stmt::For {
             var: v.clone(),
+            ty: *ty,
             start: subst_expr(start, var, with),
             end: subst_expr(end, var, with),
             // Inner shadowing cannot occur (verifier rejects duplicates).
@@ -275,12 +284,14 @@ fn rewrite_block(
             },
             Stmt::For {
                 var,
+                ty,
                 start,
                 end,
                 body,
                 pipeline,
             } => Stmt::For {
                 var: var.clone(),
+                ty: *ty,
                 start: rewrite_expr(start, name, banks, err),
                 end: rewrite_expr(end, name, banks, err),
                 body: rewrite_block(body, name, banks, err),

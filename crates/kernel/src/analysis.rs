@@ -112,6 +112,7 @@ fn walk_block(
                 end,
                 body,
                 pipeline,
+                ..
             } => {
                 walk_expr(start, weight, a, streams);
                 walk_expr(end, weight, a, streams);

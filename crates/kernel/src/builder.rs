@@ -75,25 +75,38 @@ pub fn write(port: &str, value: Expr) -> Stmt {
     }
 }
 
-/// A sequential `for` loop.
+/// The induction-variable type of the untyped loop helpers: wide enough
+/// that index arithmetic never wraps in practice.
+pub const LOOP_INDEX_TY: Ty = Ty::signed(63);
+
+/// A sequential `for` loop with the default (wide) index type.
 pub fn for_(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::For {
-        var: var.to_string(),
-        start,
-        end,
-        body,
-        pipeline: false,
-    }
+    for_typed(var, LOOP_INDEX_TY, start, end, body)
 }
 
 /// A pipelined `for` loop (`#pragma HLS pipeline` analogue).
 pub fn for_pipelined(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::For {
         var: var.to_string(),
+        ty: LOOP_INDEX_TY,
         start,
         end,
         body,
         pipeline: true,
+    }
+}
+
+/// A sequential `for` loop whose induction variable has a declared type:
+/// the start value and each increment wrap through `ty`, exactly like a
+/// scalar assignment to a local of that type.
+pub fn for_typed(var: &str, ty: Ty, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        var: var.to_string(),
+        ty,
+        start,
+        end,
+        body,
+        pipeline: false,
     }
 }
 

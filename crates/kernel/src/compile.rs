@@ -1,0 +1,1319 @@
+//! One-time lowering of kernel IR to a flat register bytecode.
+//!
+//! The tree-walking [`Interpreter`](crate::interp::Interpreter) resolves
+//! every variable through a `HashMap<String, Slot>` and re-walks the AST
+//! on each invocation; on the hot paths (per-pixel accelerator models)
+//! that dominates simulation time. [`CompiledKernel::compile`] pays the
+//! name resolution once: scalars become dense register indices, arrays
+//! become offsets into one flat arena, stream ports become slot indices,
+//! and the statement tree becomes a linear [`Op`] vector with explicit
+//! branch targets. The VM in [`crate::vm`] then executes the program as
+//! a plain `while` loop over `Vec<Op>`.
+//!
+//! # Stat equivalence
+//!
+//! The interpreter's [`ExecStats`](crate::interp::ExecStats) counters are
+//! part of the observable contract (they calibrate the HLS and CPU cost
+//! models), so the bytecode must reproduce them *bit-identically* —
+//! including `steps`, whose only observable role is the `StepLimit`
+//! error. Every op carries a [`StatDelta`]: the counter increments of all
+//! source-level work attributed to it, i.e. everything the interpreter
+//! would have ticked between the previous op's side effect and this op's
+//! side effect. Merging consecutive ticks is observationally safe exactly
+//! when no fallible effect sits between them, and the compiler maintains
+//! that invariant by flushing the pending delta into the next emitted op.
+//! Counters other than `steps` are only observable on success, so the
+//! peephole pass may fold an operation away as long as its class counter
+//! still tallies (constant-folded ops count exactly like executed ones).
+//!
+//! # Peephole rules
+//!
+//! * **Constant folding** — a binary/unary/select over constant operands
+//!   folds at compile time *unless* it could fail at runtime (division by
+//!   a zero constant, shift by an out-of-range constant keep their
+//!   fallible op so the typed error surfaces at the same point).
+//! * **Identity elimination** — `x+0`, `x*1`, `x*0`, `x&0`, `x|0`,
+//!   `x^0`, `x<<0`, … reduce to an operand or a constant. The operand's
+//!   computation is *never* removed (its ops are already emitted), so
+//!   side effects such as stream reads are preserved.
+//! * **Strength reduction** — `x * 2^k` becomes a shift, `x / 2^k` and
+//!   `x % 2^k` become branchless corrected shift/mask sequences that
+//!   preserve C truncation semantics for negative operands and need no
+//!   divide-by-zero check; shifts by in-range constants become
+//!   infallible immediate-shift ops. The replayed [`StatDelta`] still
+//!   counts the source-level `muls`/`divs`.
+//! * **Store fusion** — a scalar assignment whose value expression ends
+//!   in a producer op is rewritten in place to a `*To` variant that
+//!   wraps and stores directly, eliminating the separate `StoreVar`
+//!   (see [`Compiler::try_fuse_store`] for the safety conditions).
+//! * **Back-edge fusion** — [`Op::LoopBack`] increments, re-tests the
+//!   latched bound and jumps to the body itself, so steady-state loop
+//!   iterations dispatch one control op instead of two;
+//!   [`Op::LoopHead`] only runs the loop-entry test.
+
+use crate::ir::{BinOp, Expr, Kernel, LValue, ParamKind, Stmt, UnOp};
+use crate::types::Ty;
+use std::collections::HashMap;
+
+/// An operand: a register or an inline immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    Reg(u16),
+    Imm(i64),
+}
+
+/// Counter increments replayed every time the carrying op executes.
+/// Mirrors [`crate::interp::ExecStats`] field-for-field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatDelta {
+    pub steps: u32,
+    pub adds: u32,
+    pub muls: u32,
+    pub divs: u32,
+    pub compares: u32,
+    pub bitops: u32,
+    pub mem_reads: u32,
+    pub mem_writes: u32,
+    pub stream_reads: u32,
+    pub stream_writes: u32,
+    pub branches: u32,
+}
+
+impl StatDelta {
+    fn take(&mut self) -> StatDelta {
+        std::mem::take(self)
+    }
+
+    /// Dense form consumed by the VM: one `u64` accumulator lane per
+    /// counter, in [`ExecStats`](crate::interp::ExecStats) field order
+    /// (`steps` first, `branches` last), so the per-op replay is a plain
+    /// widening-add loop the optimizer can vectorize.
+    pub fn to_array(&self) -> [u32; 11] {
+        [
+            self.steps,
+            self.adds,
+            self.muls,
+            self.divs,
+            self.compares,
+            self.bitops,
+            self.mem_reads,
+            self.mem_writes,
+            self.stream_reads,
+            self.stream_writes,
+            self.branches,
+        ]
+    }
+}
+
+/// Index of `steps` in [`StatDelta::to_array`] / the VM accumulator.
+pub(crate) const STAT_STEPS: usize = 0;
+/// Index of `branches` in [`StatDelta::to_array`] / the VM accumulator.
+pub(crate) const STAT_BRANCHES: usize = 10;
+
+/// One bytecode instruction. Arithmetic results are raw 64-bit values
+/// (wrapping happens at stores, mirroring the interpreter); `target` /
+/// `exit` / `body` fields are absolute indices into the op vector.
+///
+/// The `*To` variants are store-fused forms produced when a scalar
+/// assignment's value expression ends in the corresponding producer op:
+/// instead of `producer t; StoreVar dst, wrap(t)` the compiler rewrites
+/// the producer in place to write `ty.wrap(result)` straight into the
+/// named register, saving one dispatch + delta replay per assignment on
+/// the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `dst = a <op> b` for the infallible operators (everything except
+    /// `Div`/`Mod`/`Shl`/`Shr`, which lower to [`Op::BinChecked`]).
+    Bin {
+        op: BinOp,
+        dst: u16,
+        a: Src,
+        b: Src,
+    },
+    /// `dst = a <op> b` for `Div`/`Mod` (zero divisor) and `Shl`/`Shr`
+    /// (out-of-range amount) — the only binops that can fail.
+    BinChecked {
+        op: BinOp,
+        dst: u16,
+        a: Src,
+        b: Src,
+    },
+    /// `dst = <op> a`.
+    Un {
+        op: UnOp,
+        dst: u16,
+        a: Src,
+    },
+    /// `dst = c != 0 ? a : b` (mux: operands already evaluated).
+    Select {
+        dst: u16,
+        c: Src,
+        a: Src,
+        b: Src,
+    },
+    /// `dst = arena[arrays[arr] + idx]`, bounds-checked.
+    LoadIdx {
+        dst: u16,
+        arr: u16,
+        idx: Src,
+    },
+    /// `arena[arrays[arr] + idx] = wrap(src)`, bounds-checked.
+    StoreIdx {
+        arr: u16,
+        idx: Src,
+        src: Src,
+    },
+    /// `regs[dst] = ty.wrap(src)` — scalar assignment.
+    StoreVar {
+        dst: u16,
+        ty: Ty,
+        src: Src,
+    },
+    /// Pop one token from input stream slot `port`.
+    ReadStream {
+        dst: u16,
+        port: u16,
+    },
+    /// Push one token to output stream slot `port`.
+    WriteStream {
+        port: u16,
+        src: Src,
+    },
+    /// Loop entry: `regs[var] = ty.wrap(lo)`; optionally latch the bound
+    /// into a dedicated register (bounds are evaluated once on entry).
+    LoopInit {
+        var: u16,
+        ty: Ty,
+        lo: Src,
+        hi_copy: Option<(u16, Src)>,
+    },
+    /// Loop entry test, executed once per loop *entry* (not per
+    /// iteration): `if regs[var] < hi { branches += 1 } else { jump
+    /// exit }`. Per-iteration re-tests live in [`Op::LoopBack`].
+    LoopHead {
+        var: u16,
+        hi: Src,
+        exit: u32,
+    },
+    /// Fused back-edge: `regs[var] = ty.wrap(regs[var] + 1); if
+    /// regs[var] < hi { branches += 1; jump body } else fall through`
+    /// (the fall-through is the loop exit). One dispatch per iteration
+    /// instead of a back-jump plus a head re-test.
+    LoopBack {
+        var: u16,
+        ty: Ty,
+        hi: Src,
+        body: u32,
+    },
+    /// `if cond == 0 { jump target }`.
+    BranchIfZero {
+        cond: Src,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    /// `a << k` for a constant in-range `k` (strength-reduced `a * 2^k`
+    /// or a source-level shift by a constant) — infallible.
+    ShlPow2 {
+        dst: u16,
+        a: Src,
+        k: u8,
+    },
+    /// `a >> k` (arithmetic) for a constant in-range `k` — infallible.
+    ShrImm {
+        dst: u16,
+        a: Src,
+        k: u8,
+    },
+    /// Strength-reduced `a / 2^k` (C truncation, branchless fixup).
+    DivPow2 {
+        dst: u16,
+        a: Src,
+        k: u8,
+    },
+    /// Strength-reduced `a % 2^k` (sign-correct mask + fixup).
+    ModPow2 {
+        dst: u16,
+        a: Src,
+        k: u8,
+    },
+    /// Store-fused [`Op::Bin`]: `regs[dst] = ty.wrap(a <op> b)`.
+    BinTo {
+        op: BinOp,
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        b: Src,
+    },
+    /// Store-fused [`Op::BinChecked`].
+    BinCheckedTo {
+        op: BinOp,
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        b: Src,
+    },
+    /// Store-fused [`Op::Un`].
+    UnTo {
+        op: UnOp,
+        dst: u16,
+        ty: Ty,
+        a: Src,
+    },
+    /// Store-fused [`Op::Select`].
+    SelectTo {
+        dst: u16,
+        ty: Ty,
+        c: Src,
+        a: Src,
+        b: Src,
+    },
+    /// Store-fused [`Op::LoadIdx`].
+    LoadIdxTo {
+        dst: u16,
+        ty: Ty,
+        arr: u16,
+        idx: Src,
+    },
+    /// Store-fused [`Op::ReadStream`].
+    ReadStreamTo {
+        dst: u16,
+        ty: Ty,
+        port: u16,
+    },
+    /// Store-fused [`Op::ShlPow2`].
+    ShlPow2To {
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        k: u8,
+    },
+    /// Store-fused [`Op::ShrImm`].
+    ShrImmTo {
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        k: u8,
+    },
+    /// Store-fused [`Op::DivPow2`].
+    DivPow2To {
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        k: u8,
+    },
+    /// Store-fused [`Op::ModPow2`].
+    ModPow2To {
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        k: u8,
+    },
+    /// Fused byte-extract `dst = (a >> k) & mask` (an [`Op::ShrImm`]
+    /// whose result feeds an `And` with a constant mask).
+    ShrAnd {
+        dst: u16,
+        a: Src,
+        k: u8,
+        mask: i64,
+    },
+    /// Store-fused [`Op::ShrAnd`].
+    ShrAndTo {
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        k: u8,
+        mask: i64,
+    },
+    /// Fused multiply-accumulate `dst = acc + a * b` (an [`Op::Bin`]
+    /// multiply whose result feeds an `Add`). Wrapping `+`/`*` are
+    /// associative, so the fused form is bit-identical.
+    MulAcc {
+        dst: u16,
+        a: Src,
+        b: Src,
+        acc: Src,
+    },
+    /// Store-fused [`Op::MulAcc`].
+    MulAccTo {
+        dst: u16,
+        ty: Ty,
+        a: Src,
+        b: Src,
+        acc: Src,
+    },
+    /// Fused compare-select `dst = (x <op> y) ? a : b` (a comparison
+    /// [`Op::Bin`] whose 0/1 result was a select condition).
+    CmpSelect {
+        op: BinOp,
+        dst: u16,
+        x: Src,
+        y: Src,
+        a: Src,
+        b: Src,
+    },
+    /// Store-fused [`Op::CmpSelect`].
+    CmpSelectTo {
+        op: BinOp,
+        dst: u16,
+        ty: Ty,
+        x: Src,
+        y: Src,
+        a: Src,
+        b: Src,
+    },
+    /// Write-fused [`Op::Select`]: push `c != 0 ? a : b` to `port`
+    /// (stream writes push raw values, so no wrap is involved).
+    SelectWrite {
+        port: u16,
+        c: Src,
+        a: Src,
+        b: Src,
+    },
+    /// Write-fused [`Op::CmpSelect`].
+    CmpSelectWrite {
+        op: BinOp,
+        port: u16,
+        x: Src,
+        y: Src,
+        a: Src,
+        b: Src,
+    },
+    /// Fused read-modify-write `arena[idx] = wrap(arena[idx] + v)` — a
+    /// [`Op::LoadIdx`], an add and an [`Op::StoreIdx`] over the same
+    /// array cell collapsed into one dispatch (the histogram pattern).
+    /// One bounds check covers both accesses: the index operand cannot
+    /// change between them. `s2` is the share of this op's `steps`
+    /// delta the interpreter ticks *after* the load's bounds check; it
+    /// is re-checked against the step limit inside the op so the
+    /// `OutOfBounds`-vs-`StepLimit` priority is preserved exactly (see
+    /// [`Compiler::try_fuse_inc_idx`]).
+    IncIdx {
+        arr: u16,
+        idx: Src,
+        v: Src,
+        s2: u32,
+    },
+    /// Two consecutive stream-write statements in one dispatch. `s2` is
+    /// the second statement's `steps` share, limit-checked between the
+    /// pushes so a mid-pair `StepLimit` leaves exactly the first token
+    /// pushed, like the interpreter.
+    WriteStream2 {
+        port_a: u16,
+        src_a: Src,
+        port_b: u16,
+        src_b: Src,
+        s2: u32,
+    },
+    /// Fused `write(port, arena[idx])`. `s2` is the write's `steps`
+    /// share, limit-checked between the load and the push.
+    LoadIdxWrite {
+        arr: u16,
+        idx: Src,
+        port: u16,
+        s2: u32,
+    },
+}
+
+/// A local array's place in the flat arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    pub name: String,
+    pub ty: Ty,
+    pub base: u32,
+    pub len: u32,
+}
+
+/// A scalar parameter's register binding, in declaration order (the
+/// order in which missing inputs are reported).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarSlot {
+    pub name: String,
+    pub ty: Ty,
+    pub reg: u16,
+    pub is_input: bool,
+}
+
+/// The compile-once artifact: everything the VM needs to execute the
+/// kernel with no name lookups on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledKernel {
+    pub name: String,
+    pub(crate) ops: Vec<Op>,
+    /// Per-op counter increments in [`StatDelta::to_array`] lane order.
+    /// Replayed `counts[pc] * delta` on successful exit — counters other
+    /// than `steps` are only observable on success, so the hot loop just
+    /// counts op executions instead of adding 11 lanes per dispatch.
+    pub(crate) deltas: Vec<[u32; 11]>,
+    /// `deltas[i][STAT_STEPS]`, split out dense so the per-op `StepLimit`
+    /// bookkeeping touches 4 bytes instead of 44.
+    pub(crate) steps: Vec<u32>,
+    pub(crate) num_regs: u16,
+    pub(crate) arena_len: u32,
+    pub(crate) arrays: Vec<ArrayInfo>,
+    pub(crate) scalar_seed: Vec<ScalarSlot>,
+    pub(crate) scalar_outs: Vec<(String, u16)>,
+    pub(crate) stream_ins: Vec<String>,
+    pub(crate) stream_outs: Vec<String>,
+}
+
+impl CompiledKernel {
+    /// Lower a verified kernel to bytecode. The input must satisfy
+    /// [`crate::verify::verify`] (which every builder-produced kernel
+    /// does); name resolution relies on its guarantees.
+    pub fn compile(kernel: &Kernel) -> CompiledKernel {
+        Compiler::new(kernel).compile()
+    }
+
+    /// Number of bytecode instructions (for introspection/tests).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The ops with their stat deltas (for introspection/tests), deltas
+    /// in [`StatDelta::to_array`] lane order.
+    pub fn ops(&self) -> impl Iterator<Item = (&Op, &[u32; 11])> {
+        self.ops.iter().zip(self.deltas.iter())
+    }
+}
+
+struct Compiler<'k> {
+    kernel: &'k Kernel,
+    ops: Vec<Op>,
+    deltas: Vec<[u32; 11]>,
+    pending: StatDelta,
+    regs: HashMap<String, u16>,
+    tys: HashMap<String, Ty>,
+    array_idx: HashMap<String, u16>,
+    arrays: Vec<ArrayInfo>,
+    stream_in_idx: HashMap<String, u16>,
+    stream_out_idx: HashMap<String, u16>,
+    next_loop_reg: u16,
+    temp_base: u16,
+    next_temp: u16,
+    max_regs: u16,
+    /// Largest op index any jump target points at so far. Cross-statement
+    /// fusions (the dual-write peephole) must not merge an op into its
+    /// predecessor when a branch can land between the two — the guard is
+    /// `ops.len() > fuse_barrier`. Targets assigned later always point
+    /// past the current end, so tracking assigned ones suffices.
+    fuse_barrier: usize,
+}
+
+fn count_loops(stmts: &[Stmt]) -> u16 {
+    let mut n = 0u16;
+    for s in stmts {
+        match s {
+            Stmt::For { body, .. } => n += 1 + count_loops(body),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => n += count_loops(then_body) + count_loops(else_body),
+            _ => {}
+        }
+    }
+    n
+}
+
+impl<'k> Compiler<'k> {
+    fn new(kernel: &'k Kernel) -> Self {
+        let mut regs = HashMap::new();
+        let mut tys = HashMap::new();
+        let mut next = 0u16;
+        for p in kernel.params.iter().filter(|p| !p.kind.is_stream()) {
+            regs.insert(p.name.clone(), next);
+            tys.insert(p.name.clone(), p.ty);
+            next += 1;
+        }
+        for l in kernel.locals.iter().filter(|l| l.len.is_none()) {
+            regs.insert(l.name.clone(), next);
+            tys.insert(l.name.clone(), l.ty);
+            next += 1;
+        }
+        let mut arrays = Vec::new();
+        let mut array_idx = HashMap::new();
+        let mut base = 0u32;
+        for l in kernel.locals.iter() {
+            if let Some(len) = l.len {
+                array_idx.insert(l.name.clone(), arrays.len() as u16);
+                arrays.push(ArrayInfo {
+                    name: l.name.clone(),
+                    ty: l.ty,
+                    base,
+                    len,
+                });
+                base += len;
+            }
+        }
+        let stream_in_idx = kernel
+            .stream_inputs()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i as u16))
+            .collect();
+        let stream_out_idx = kernel
+            .stream_outputs()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i as u16))
+            .collect();
+        // Loop registers (induction variable + latched bound per loop)
+        // live between the named scalars and the expression temporaries.
+        let n_loops = count_loops(&kernel.body);
+        let temp_base = next + 2 * n_loops;
+        Compiler {
+            kernel,
+            ops: Vec::new(),
+            deltas: Vec::new(),
+            pending: StatDelta::default(),
+            regs,
+            tys,
+            array_idx,
+            arrays,
+            stream_in_idx,
+            stream_out_idx,
+            next_loop_reg: next,
+            temp_base,
+            next_temp: temp_base,
+            max_regs: temp_base,
+            fuse_barrier: 0,
+        }
+    }
+
+    fn compile(mut self) -> CompiledKernel {
+        let kernel = self.kernel;
+        self.block(&kernel.body);
+        debug_assert_eq!(
+            self.pending,
+            StatDelta::default(),
+            "every statement flushes its pending delta"
+        );
+        let scalar_seed = self
+            .kernel
+            .params
+            .iter()
+            .filter(|p| !p.kind.is_stream())
+            .map(|p| ScalarSlot {
+                name: p.name.clone(),
+                ty: p.ty,
+                reg: self.regs[&p.name],
+                is_input: p.kind.is_input(),
+            })
+            .collect();
+        let scalar_outs = self
+            .kernel
+            .params
+            .iter()
+            .filter(|p| p.kind == ParamKind::ScalarOut)
+            .map(|p| (p.name.clone(), self.regs[&p.name]))
+            .collect();
+        CompiledKernel {
+            name: self.kernel.name.clone(),
+            steps: self
+                .ops
+                .iter()
+                .zip(self.deltas.iter())
+                .map(|(op, d)| match op {
+                    // Staged ops re-check `s2` of their steps in-op; the
+                    // dispatch-top check covers only the remainder.
+                    Op::IncIdx { s2, .. }
+                    | Op::WriteStream2 { s2, .. }
+                    | Op::LoadIdxWrite { s2, .. } => d[STAT_STEPS] - s2,
+                    _ => d[STAT_STEPS],
+                })
+                .collect(),
+            ops: self.ops,
+            deltas: self.deltas,
+            num_regs: self.max_regs,
+            arena_len: self.arrays.iter().map(|a| a.len).sum(),
+            arrays: self.arrays,
+            scalar_seed,
+            scalar_outs,
+            stream_ins: self
+                .kernel
+                .stream_inputs()
+                .map(|p| p.name.clone())
+                .collect(),
+            stream_outs: self
+                .kernel
+                .stream_outputs()
+                .map(|p| p.name.clone())
+                .collect(),
+        }
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+        self.deltas.push(self.pending.take().to_array());
+    }
+
+    /// Fold the pending delta into the last emitted op's delta. Used by
+    /// the fusion peepholes, which rewrite that op in place; callers
+    /// must have established that moving the pending ticks before the
+    /// op is unobservable (see [`Compiler::try_fuse_store`]).
+    fn absorb_pending_into_last(&mut self) {
+        let p = self.pending.take().to_array();
+        let slot = self.deltas.last_mut().expect("delta parallel to op");
+        for (s, d) in slot.iter_mut().zip(p) {
+            *s += d;
+        }
+    }
+
+    /// Store fusion: rewrite the op that produced temporary `v` so it
+    /// writes `ty.wrap(result)` directly into named register `dst`,
+    /// absorbing the store's pending ticks into that op's delta.
+    ///
+    /// Safe only when (a) `v` is a temporary and the *last* emitted op
+    /// wrote it — temporaries are written exactly once per statement, so
+    /// a dst match proves the last op is the producer — and (b) moving
+    /// the pending ticks from after the producer to before it is
+    /// unobservable. Class counters may always move (they only surface
+    /// on success); pending `steps` may cross a *pure* producer (the
+    /// `StepLimit` trip point shifts past an effect-free, infallible op)
+    /// but not a fallible/effectful one (`ReadStream`, `LoadIdx`,
+    /// `BinChecked`), where it would reorder the `StepLimit` error
+    /// against the op's effect or typed error.
+    fn try_fuse_store(&mut self, dst: u16, ty: Ty, v: Src) -> bool {
+        let Src::Reg(t) = v else { return false };
+        if t < self.temp_base {
+            return false;
+        }
+        let Some(last) = self.ops.last_mut() else {
+            return false;
+        };
+        let pure = matches!(
+            last,
+            Op::Bin { .. }
+                | Op::Un { .. }
+                | Op::Select { .. }
+                | Op::ShlPow2 { .. }
+                | Op::ShrImm { .. }
+                | Op::DivPow2 { .. }
+                | Op::ModPow2 { .. }
+                | Op::ShrAnd { .. }
+                | Op::MulAcc { .. }
+                | Op::CmpSelect { .. }
+        );
+        if !pure && self.pending.steps != 0 {
+            return false;
+        }
+        let fused = match *last {
+            Op::Bin { op, dst: d, a, b } if d == t => Op::BinTo { op, dst, ty, a, b },
+            Op::BinChecked { op, dst: d, a, b } if d == t => Op::BinCheckedTo { op, dst, ty, a, b },
+            Op::Un { op, dst: d, a } if d == t => Op::UnTo { op, dst, ty, a },
+            Op::Select { dst: d, c, a, b } if d == t => Op::SelectTo { dst, ty, c, a, b },
+            Op::LoadIdx { dst: d, arr, idx } if d == t => Op::LoadIdxTo { dst, ty, arr, idx },
+            Op::ReadStream { dst: d, port } if d == t => Op::ReadStreamTo { dst, ty, port },
+            Op::ShlPow2 { dst: d, a, k } if d == t => Op::ShlPow2To { dst, ty, a, k },
+            Op::ShrImm { dst: d, a, k } if d == t => Op::ShrImmTo { dst, ty, a, k },
+            Op::DivPow2 { dst: d, a, k } if d == t => Op::DivPow2To { dst, ty, a, k },
+            Op::ModPow2 { dst: d, a, k } if d == t => Op::ModPow2To { dst, ty, a, k },
+            Op::ShrAnd { dst: d, a, k, mask } if d == t => Op::ShrAndTo {
+                dst,
+                ty,
+                a,
+                k,
+                mask,
+            },
+            Op::MulAcc { dst: d, a, b, acc } if d == t => Op::MulAccTo { dst, ty, a, b, acc },
+            Op::CmpSelect {
+                op,
+                dst: d,
+                x,
+                y,
+                a,
+                b,
+            } if d == t => Op::CmpSelectTo {
+                op,
+                dst,
+                ty,
+                x,
+                y,
+                a,
+                b,
+            },
+            _ => return false,
+        };
+        *last = fused;
+        self.absorb_pending_into_last();
+        true
+    }
+
+    /// Read-modify-write fusion: `a[i] = a[i] + v` (either add operand
+    /// order), where the load of the same cell and the add are the last
+    /// two emitted ops, collapses to one [`Op::IncIdx`]. The load's
+    /// bounds check covers the store: same array, same index operand,
+    /// and the only op between them writes the add's fresh temporary,
+    /// so a register index cannot have changed. Both popped deltas fold
+    /// into the fused op; the ticks the interpreter performs after the
+    /// load's bounds check (the add's share plus the store's pending)
+    /// become the staged `s2` re-checked inside the op, so no `steps`
+    /// tick moves across the bounds check in either direction.
+    fn try_fuse_inc_idx(&mut self, arr: u16, idx: Src, v: Src) -> bool {
+        let Src::Reg(t2) = v else { return false };
+        let n = self.ops.len();
+        if t2 < self.temp_base || n < 2 {
+            return false;
+        }
+        let (
+            Op::LoadIdx {
+                dst: lt,
+                arr: larr,
+                idx: lidx,
+            },
+            Op::Bin {
+                op: BinOp::Add,
+                dst,
+                a,
+                b,
+            },
+        ) = (&self.ops[n - 2], &self.ops[n - 1])
+        else {
+            return false;
+        };
+        if *dst != t2 || *larr != arr || *lidx != idx || *lt < self.temp_base {
+            return false;
+        }
+        let t = *lt;
+        let addend = match (*a, *b) {
+            (Src::Reg(r), other) if r == t => other,
+            (other, Src::Reg(r)) if r == t => other,
+            _ => return false,
+        };
+        // `a[i] + a[i]` loads twice; the second load is the matched one
+        // and the first's temporary remains a valid operand. But if the
+        // addend IS the matched load's temp, fusing would read a stale
+        // register — bail out.
+        if addend == Src::Reg(t) {
+            return false;
+        }
+        self.ops.truncate(n - 2);
+        let d_add = self.deltas.pop().expect("delta parallel to op");
+        let d_load = self.deltas.pop().expect("delta parallel to op");
+        let s2 = d_add[STAT_STEPS] + self.pending.steps;
+        self.emit(Op::IncIdx {
+            arr,
+            idx,
+            v: addend,
+            s2,
+        });
+        let slot = self.deltas.last_mut().expect("just emitted");
+        for (s, (dl, da)) in slot.iter_mut().zip(d_load.iter().zip(d_add.iter())) {
+            *s += dl + da;
+        }
+        true
+    }
+
+    fn temp(&mut self) -> u16 {
+        let r = self.next_temp;
+        self.next_temp = self
+            .next_temp
+            .checked_add(1)
+            .expect("register file overflow");
+        if self.next_temp > self.max_regs {
+            self.max_regs = self.next_temp;
+        }
+        r
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        self.next_temp = self.temp_base;
+        self.pending.steps += 1; // exec_stmt tick
+        match stmt {
+            Stmt::Assign { dst, value } => {
+                let v = self.expr(value);
+                match dst {
+                    LValue::Var(name) => {
+                        self.pending.mem_writes += 1;
+                        let dst = self.regs[name];
+                        let ty = self.tys[name];
+                        if !self.try_fuse_store(dst, ty, v) {
+                            self.emit(Op::StoreVar { dst, ty, src: v });
+                        }
+                    }
+                    LValue::Index(name, index) => {
+                        let i = self.expr(index);
+                        self.pending.mem_writes += 1;
+                        let arr = self.array_idx[name];
+                        if !self.try_fuse_inc_idx(arr, i, v) {
+                            self.emit(Op::StoreIdx {
+                                arr,
+                                idx: i,
+                                src: v,
+                            });
+                        }
+                    }
+                }
+            }
+            Stmt::For {
+                var,
+                ty,
+                start,
+                end,
+                body,
+                ..
+            } => {
+                let lo = self.expr(start);
+                let hi = self.expr(end);
+                let var_reg = self.next_loop_reg;
+                let hi_reg = self.next_loop_reg + 1;
+                self.next_loop_reg += 2;
+                // Bounds are evaluated once on entry: a register-held
+                // bound must be latched, because temporaries are reused
+                // by body statements and named scalars may be reassigned
+                // inside the loop.
+                let (hi_src, hi_copy) = match hi {
+                    Src::Imm(v) => (Src::Imm(v), None),
+                    Src::Reg(_) => (Src::Reg(hi_reg), Some((hi_reg, hi))),
+                };
+                self.emit(Op::LoopInit {
+                    var: var_reg,
+                    ty: *ty,
+                    lo,
+                    hi_copy,
+                });
+                let head = self.ops.len() as u32;
+                self.emit(Op::LoopHead {
+                    var: var_reg,
+                    hi: hi_src,
+                    exit: u32::MAX, // patched below
+                });
+                let head_idx = self.ops.len() - 1;
+                self.fuse_barrier = self.ops.len(); // back-edge target
+                let shadowed = self.regs.insert(var.clone(), var_reg);
+                let shadowed_ty = self.tys.insert(var.clone(), *ty);
+                self.block(body);
+                match shadowed {
+                    Some(r) => {
+                        self.regs.insert(var.clone(), r);
+                    }
+                    None => {
+                        self.regs.remove(var);
+                    }
+                }
+                match shadowed_ty {
+                    Some(t) => {
+                        self.tys.insert(var.clone(), t);
+                    }
+                    None => {
+                        self.tys.remove(var);
+                    }
+                }
+                self.emit(Op::LoopBack {
+                    var: var_reg,
+                    ty: *ty,
+                    hi: hi_src,
+                    body: head + 1,
+                });
+                let exit = self.ops.len() as u32;
+                if let Op::LoopHead { exit: e, .. } = &mut self.ops[head_idx] {
+                    *e = exit;
+                }
+                self.fuse_barrier = self.ops.len();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.expr(cond);
+                self.pending.branches += 1;
+                let branch_idx = self.ops.len();
+                self.emit(Op::BranchIfZero {
+                    cond: c,
+                    target: u32::MAX, // patched below
+                });
+                self.block(then_body);
+                if else_body.is_empty() {
+                    let end = self.ops.len() as u32;
+                    if let Op::BranchIfZero { target, .. } = &mut self.ops[branch_idx] {
+                        *target = end;
+                    }
+                } else {
+                    let jump_idx = self.ops.len();
+                    self.emit(Op::Jump { target: u32::MAX });
+                    let else_start = self.ops.len() as u32;
+                    if let Op::BranchIfZero { target, .. } = &mut self.ops[branch_idx] {
+                        *target = else_start;
+                    }
+                    self.block(else_body);
+                    let end = self.ops.len() as u32;
+                    if let Op::Jump { target } = &mut self.ops[jump_idx] {
+                        *target = end;
+                    }
+                }
+                self.fuse_barrier = self.ops.len();
+            }
+            Stmt::StreamWrite { port, value } => {
+                let v = self.expr(value);
+                self.pending.stream_writes += 1;
+                let port = self.stream_out_idx[port];
+                // Dual-write fusion: two consecutive write statements
+                // collapse into one dispatch when no jump target can
+                // land between them (the barrier tracks control-flow
+                // joins). No op was emitted since the first write —
+                // expressions never emit writes — so its operand is
+                // unchanged; the second statement's ticks become the
+                // staged `s2` checked between the pushes.
+                if self.ops.len() > self.fuse_barrier {
+                    if let Some(Op::WriteStream { port: p0, src: s0 }) = self.ops.last() {
+                        let (p0, s0) = (*p0, *s0);
+                        let s2 = self.pending.steps;
+                        *self.ops.last_mut().expect("just matched") = Op::WriteStream2 {
+                            port_a: p0,
+                            src_a: s0,
+                            port_b: port,
+                            src_b: v,
+                            s2,
+                        };
+                        self.absorb_pending_into_last();
+                        return;
+                    }
+                }
+                // Write fusion: a select whose result is pushed straight
+                // to a stream skips the intermediate register. Both
+                // select forms are pure, so the delta absorb is safe;
+                // stream writes push the raw (unwrapped) value, matching
+                // the interpreter. A load feeding a write fuses too, with
+                // its write ticks staged after the bounds check.
+                if let Src::Reg(t) = v {
+                    if t >= self.temp_base {
+                        match self.ops.last() {
+                            Some(Op::Select { dst, c, a, b }) if *dst == t => {
+                                let (c, a, b) = (*c, *a, *b);
+                                *self.ops.last_mut().expect("just matched") =
+                                    Op::SelectWrite { port, c, a, b };
+                                self.absorb_pending_into_last();
+                                return;
+                            }
+                            Some(Op::CmpSelect {
+                                op,
+                                dst,
+                                x,
+                                y,
+                                a,
+                                b,
+                            }) if *dst == t => {
+                                let (op, x, y, a, b) = (*op, *x, *y, *a, *b);
+                                *self.ops.last_mut().expect("just matched") = Op::CmpSelectWrite {
+                                    op,
+                                    port,
+                                    x,
+                                    y,
+                                    a,
+                                    b,
+                                };
+                                self.absorb_pending_into_last();
+                                return;
+                            }
+                            Some(Op::LoadIdx { dst, arr, idx }) if *dst == t => {
+                                let (arr, idx) = (*arr, *idx);
+                                let s2 = self.pending.steps;
+                                *self.ops.last_mut().expect("just matched") =
+                                    Op::LoadIdxWrite { arr, idx, port, s2 };
+                                self.absorb_pending_into_last();
+                                return;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                self.emit(Op::WriteStream { port, src: v });
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Src {
+        self.pending.steps += 1; // eval() tick for this node
+        match e {
+            Expr::Const(v) => Src::Imm(*v),
+            Expr::Var(name) => {
+                self.pending.mem_reads += 1;
+                Src::Reg(self.regs[name])
+            }
+            Expr::Index(name, index) => {
+                let idx = self.expr(index);
+                self.pending.mem_reads += 1;
+                let arr = self.array_idx[name];
+                let dst = self.temp();
+                self.emit(Op::LoadIdx { dst, arr, idx });
+                Src::Reg(dst)
+            }
+            Expr::Unary(op, a) => {
+                let av = self.expr(a);
+                self.pending.bitops += 1;
+                if let Src::Imm(v) = av {
+                    return Src::Imm(match op {
+                        UnOp::Neg => v.wrapping_neg(),
+                        UnOp::Not => !v,
+                    });
+                }
+                let dst = self.temp();
+                self.emit(Op::Un {
+                    op: *op,
+                    dst,
+                    a: av,
+                });
+                Src::Reg(dst)
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.expr(a);
+                let bv = self.expr(b);
+                self.binop(*op, av, bv)
+            }
+            Expr::StreamRead(port) => {
+                self.pending.stream_reads += 1;
+                let port = self.stream_in_idx[port];
+                let dst = self.temp();
+                self.emit(Op::ReadStream { dst, port });
+                Src::Reg(dst)
+            }
+            Expr::Select(c0, a, b) => {
+                // Mux semantics: all three operands are evaluated (and
+                // their ops already emitted), then one value is chosen.
+                let cv = self.expr(c0);
+                let av = self.expr(a);
+                let bv = self.expr(b);
+                self.pending.compares += 1;
+                if let Src::Imm(c) = cv {
+                    return if c != 0 { av } else { bv };
+                }
+                // Fused compare-select: the condition is the 0/1 result
+                // of the comparison just emitted (pure, so the delta
+                // absorb is safe). The arms' temps are distinct from the
+                // condition's by construction — each expr node gets a
+                // fresh temp — so dropping the materialized 0/1 value
+                // cannot be observed.
+                if let Src::Reg(t) = cv {
+                    if t >= self.temp_base {
+                        if let Some(Op::Bin {
+                            op,
+                            dst,
+                            a: x,
+                            b: y,
+                        }) = self.ops.last()
+                        {
+                            use BinOp::*;
+                            if *dst == t && matches!(op, Lt | Le | Gt | Ge | Eq | Ne) {
+                                let (op, dst, x, y) = (*op, *dst, *x, *y);
+                                debug_assert!(av != cv && bv != cv);
+                                *self.ops.last_mut().expect("just matched") = Op::CmpSelect {
+                                    op,
+                                    dst,
+                                    x,
+                                    y,
+                                    a: av,
+                                    b: bv,
+                                };
+                                self.absorb_pending_into_last();
+                                return Src::Reg(dst);
+                            }
+                        }
+                    }
+                }
+                let dst = self.temp();
+                self.emit(Op::Select {
+                    dst,
+                    c: cv,
+                    a: av,
+                    b: bv,
+                });
+                Src::Reg(dst)
+            }
+        }
+    }
+
+    /// Emit (or fold) one binary operation. The source-level class
+    /// counter always tallies, folded or not.
+    fn binop(&mut self, op: BinOp, a: Src, b: Src) -> Src {
+        use BinOp::*;
+        use Src::Imm;
+        match op {
+            Add | Sub => self.pending.adds += 1,
+            Mul => self.pending.muls += 1,
+            Div | Mod => self.pending.divs += 1,
+            Shl | Shr | And | Or | Xor => self.pending.bitops += 1,
+            Lt | Le | Gt | Ge | Eq | Ne => self.pending.compares += 1,
+        }
+        // Constant folding — only when the op cannot fail on these
+        // exact values (a constant division by zero or out-of-range
+        // shift must still raise its typed error at runtime).
+        if let (Imm(x), Imm(y)) = (a, b) {
+            let fallible = matches!(op, Div | Mod) && y == 0
+                || matches!(op, Shl | Shr) && !(0..64).contains(&y);
+            if !fallible {
+                return Imm(fold_binop(op, x, y));
+            }
+        }
+        // Identity elimination: the surviving operand's ops (and side
+        // effects) are already emitted; only the combining op vanishes.
+        match (op, a, b) {
+            (Add, x, Imm(0)) | (Add, Imm(0), x) | (Sub, x, Imm(0)) => return x,
+            (Mul, _, Imm(0)) | (Mul, Imm(0), _) => return Imm(0),
+            (Mul, x, Imm(1)) | (Mul, Imm(1), x) => return x,
+            (Div, x, Imm(1)) => return x,
+            (Mod, _, Imm(1)) => return Imm(0),
+            (Shl, x, Imm(0)) | (Shr, x, Imm(0)) => return x,
+            (And, _, Imm(0)) | (And, Imm(0), _) => return Imm(0),
+            (And, x, Imm(-1)) | (And, Imm(-1), x) => return x,
+            (Or, x, Imm(0)) | (Or, Imm(0), x) => return x,
+            (Or, _, Imm(-1)) | (Or, Imm(-1), _) => return Imm(-1),
+            (Xor, x, Imm(0)) | (Xor, Imm(0), x) => return x,
+            _ => {}
+        }
+        // Fused byte-extract: `(v >> k) & mask` where the shift is the
+        // op just emitted. The shift is pure, so absorbing the pending
+        // ticks (the mask constant's eval, this `And`'s class tick) into
+        // it is unobservable.
+        if op == And {
+            let rm = match (a, b) {
+                (Src::Reg(t), Imm(m)) | (Imm(m), Src::Reg(t)) => Some((t, m)),
+                _ => None,
+            };
+            if let Some((t, m)) = rm {
+                if t >= self.temp_base {
+                    if let Some(Op::ShrImm { dst, a: inner, k }) = self.ops.last() {
+                        if *dst == t {
+                            let (dst, inner, k) = (*dst, *inner, *k);
+                            *self.ops.last_mut().expect("just matched") = Op::ShrAnd {
+                                dst,
+                                a: inner,
+                                k,
+                                mask: m,
+                            };
+                            self.absorb_pending_into_last();
+                            return Src::Reg(dst);
+                        }
+                    }
+                }
+            }
+        }
+        // Fused multiply-accumulate: `x + (p * q)` (either operand
+        // order) where the multiply is the op just emitted. Wrapping
+        // `+`/`*` compose associatively, so folding is bit-identical;
+        // the multiply is pure, so the delta absorb is safe.
+        if op == Add {
+            for (prod, acc) in [(b, a), (a, b)] {
+                if let Src::Reg(t) = prod {
+                    if t >= self.temp_base {
+                        if let Some(Op::Bin {
+                            op: Mul,
+                            dst,
+                            a: ma,
+                            b: mb,
+                        }) = self.ops.last()
+                        {
+                            if *dst == t {
+                                let (dst, ma, mb) = (*dst, *ma, *mb);
+                                *self.ops.last_mut().expect("just matched") = Op::MulAcc {
+                                    dst,
+                                    a: ma,
+                                    b: mb,
+                                    acc,
+                                };
+                                self.absorb_pending_into_last();
+                                return Src::Reg(dst);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Strength reduction for power-of-two constants. `d >= 2`
+        // (d == 1 was handled by the identities above).
+        let pow2 = |v: i64| v > 0 && v & (v - 1) == 0;
+        if let Imm(d) = b {
+            if pow2(d) {
+                let k = d.trailing_zeros() as u8;
+                let special = match op {
+                    Mul => Some(Op::ShlPow2 { dst: 0, a, k }),
+                    Div => Some(Op::DivPow2 { dst: 0, a, k }),
+                    Mod => Some(Op::ModPow2 { dst: 0, a, k }),
+                    _ => None,
+                };
+                if let Some(mut sop) = special {
+                    let dst = self.temp();
+                    match &mut sop {
+                        Op::ShlPow2 { dst: d, .. }
+                        | Op::DivPow2 { dst: d, .. }
+                        | Op::ModPow2 { dst: d, .. } => *d = dst,
+                        _ => unreachable!(),
+                    }
+                    self.emit(sop);
+                    return Src::Reg(dst);
+                }
+            }
+        }
+        if let Imm(m) = a {
+            if op == Mul && pow2(m) {
+                let dst = self.temp();
+                let k = m.trailing_zeros() as u8;
+                self.emit(Op::ShlPow2 { dst, a: b, k });
+                return Src::Reg(dst);
+            }
+        }
+        // A shift by an in-range constant can never fail: lower it to
+        // the infallible immediate form (`k == 0` was eliminated above,
+        // out-of-range constants keep the checked op for its error).
+        if let Imm(s) = b {
+            if (0..64).contains(&s) {
+                let k = s as u8;
+                match op {
+                    Shl => {
+                        let dst = self.temp();
+                        self.emit(Op::ShlPow2 { dst, a, k });
+                        return Src::Reg(dst);
+                    }
+                    Shr => {
+                        let dst = self.temp();
+                        self.emit(Op::ShrImm { dst, a, k });
+                        return Src::Reg(dst);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let dst = self.temp();
+        if matches!(op, Div | Mod | Shl | Shr) {
+            self.emit(Op::BinChecked { op, dst, a, b });
+        } else {
+            self.emit(Op::Bin { op, dst, a, b });
+        }
+        Src::Reg(dst)
+    }
+}
+
+/// Compile-time evaluation with the interpreter's exact semantics:
+/// wrapping arithmetic, C-truncation division, 0/1 comparisons. Callers
+/// must have excluded the fallible cases.
+fn fold_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    use BinOp::*;
+    match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Div => a.wrapping_div(b),
+        Mod => a.wrapping_rem(b),
+        Shl => a.wrapping_shl(b as u32),
+        Shr => a.wrapping_shr(b as u32),
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Lt => (a < b) as i64,
+        Le => (a <= b) as i64,
+        Gt => (a > b) as i64,
+        Ge => (a >= b) as i64,
+        Eq => (a == b) as i64,
+        Ne => (a != b) as i64,
+    }
+}

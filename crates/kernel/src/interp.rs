@@ -11,10 +11,16 @@ use std::fmt;
 
 /// Stream state surrounding one kernel invocation: input queues the kernel
 /// may consume and output vectors it appends to.
+///
+/// Storage is insertion-ordered and index-addressable: the compiled-kernel
+/// VM resolves each port name to a slot index once per run and then moves
+/// tokens by index, while the original string-keyed API (`feed` / `output`
+/// / `pipe`) survives as a thin wrapper that only allocates when a port is
+/// seen for the first time.
 #[derive(Debug, Clone, Default)]
 pub struct StreamBundle {
-    pub inputs: HashMap<String, VecDeque<i64>>,
-    pub outputs: HashMap<String, Vec<i64>>,
+    inputs: Vec<(String, VecDeque<i64>)>,
+    outputs: Vec<(String, Vec<i64>)>,
 }
 
 impl StreamBundle {
@@ -24,22 +30,121 @@ impl StreamBundle {
 
     /// Preload an input stream with tokens.
     pub fn feed<I: IntoIterator<Item = i64>>(&mut self, port: &str, tokens: I) {
-        self.inputs
-            .entry(port.to_string())
-            .or_default()
-            .extend(tokens);
+        match self.input_index(port) {
+            Some(i) => self.inputs[i].1.extend(tokens),
+            None => self
+                .inputs
+                .push((port.to_string(), tokens.into_iter().collect())),
+        }
     }
 
     pub fn output(&self, port: &str) -> &[i64] {
-        self.outputs.get(port).map(|v| v.as_slice()).unwrap_or(&[])
+        self.outputs
+            .iter()
+            .find(|(p, _)| p == port)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Move an output of one kernel to the input of a later one (software
     /// emulation of a stream link).
     pub fn pipe(&mut self, from_port: &str, into: &mut StreamBundle, to_port: &str) {
-        if let Some(tokens) = self.outputs.remove(from_port) {
+        if let Some(tokens) = self.take_output(from_port) {
             into.feed(to_port, tokens);
         }
+    }
+
+    /// Remove an output port's tokens, if the port has produced any.
+    pub fn take_output(&mut self, port: &str) -> Option<Vec<i64>> {
+        let i = self.outputs.iter().position(|(p, _)| p == port)?;
+        Some(self.outputs.remove(i).1)
+    }
+
+    /// Slot index of an input port, if it exists. Indices stay valid for
+    /// the duration of a kernel run (inputs are only drained, never
+    /// removed).
+    pub fn input_index(&self, port: &str) -> Option<usize> {
+        self.inputs.iter().position(|(p, _)| p == port)
+    }
+
+    /// Slot index of an output port, creating an empty entry if absent.
+    pub fn ensure_output(&mut self, port: &str) -> usize {
+        match self.outputs.iter().position(|(p, _)| p == port) {
+            Some(i) => i,
+            None => {
+                self.outputs.push((port.to_string(), Vec::new()));
+                self.outputs.len() - 1
+            }
+        }
+    }
+
+    /// Pop the next token of the input slot at `idx`.
+    #[inline]
+    pub fn pop_input_at(&mut self, idx: usize) -> Option<i64> {
+        self.inputs[idx].1.pop_front()
+    }
+
+    /// Contiguous snapshot of the input queue at `idx`. The VM reads
+    /// tokens through a snapshot + cursor and commits the consumption
+    /// once per run via [`StreamBundle::drain_input_at`], instead of
+    /// popping through the bundle on every token.
+    pub fn input_snapshot_at(&self, idx: usize) -> Vec<i64> {
+        let q = &self.inputs[idx].1;
+        let (a, b) = q.as_slices();
+        let mut v = Vec::with_capacity(q.len());
+        v.extend_from_slice(a);
+        v.extend_from_slice(b);
+        v
+    }
+
+    /// Drop the first `n` tokens of the input slot at `idx` (commit of a
+    /// snapshot-cursor read position).
+    pub fn drain_input_at(&mut self, idx: usize, n: usize) {
+        self.inputs[idx].1.drain(..n);
+    }
+
+    /// Append a batch of tokens to the output slot at `idx`.
+    pub fn extend_output_at(&mut self, idx: usize, tokens: &[i64]) {
+        self.outputs[idx].1.extend_from_slice(tokens);
+    }
+
+    /// Append a token to the output slot at `idx`.
+    #[inline]
+    pub fn push_output_at(&mut self, idx: usize, v: i64) {
+        self.outputs[idx].1.push(v);
+    }
+
+    /// Pop the next token of `port` (string-keyed interpreter path).
+    pub fn pop_input(&mut self, port: &str) -> Option<i64> {
+        let i = self.input_index(port)?;
+        self.pop_input_at(i)
+    }
+
+    /// Append a token to `port`, creating the entry if absent
+    /// (string-keyed interpreter path).
+    pub fn push_output(&mut self, port: &str, v: i64) {
+        let i = self.ensure_output(port);
+        self.push_output_at(i, v);
+    }
+
+    /// Tokens currently queued across all input ports.
+    pub fn input_tokens(&self) -> u64 {
+        self.inputs.iter().map(|(_, q)| q.len() as u64).sum()
+    }
+
+    /// Tokens produced so far across all output ports.
+    pub fn output_tokens(&self) -> u64 {
+        self.outputs.iter().map(|(_, v)| v.len() as u64).sum()
+    }
+
+    /// The queue behind an input port, if the port exists.
+    pub fn input_queue(&self, port: &str) -> Option<&VecDeque<i64>> {
+        self.inputs.iter().find(|(p, _)| p == port).map(|(_, q)| q)
+    }
+
+    /// Output ports in insertion order with their tokens.
+    pub fn outputs(&self) -> impl Iterator<Item = (&str, &[i64])> {
+        self.outputs.iter().map(|(p, v)| (p.as_str(), v.as_slice()))
     }
 }
 
@@ -155,7 +260,7 @@ impl<'k> Interpreter<'k> {
             env.insert(l.name.clone(), slot);
         }
         for p in self.kernel.stream_outputs() {
-            streams.outputs.entry(p.name.clone()).or_default();
+            streams.ensure_output(&p.name);
         }
 
         let mut st = State {
@@ -241,14 +346,15 @@ fn exec_stmt(st: &mut State, stmt: &Stmt) -> Result<(), ExecError> {
         }
         Stmt::For {
             var,
+            ty,
             start,
             end,
             body,
             ..
         } => {
-            let lo = eval(st, start)?;
+            let lo = ty.wrap(eval(st, start)?);
             let hi = eval(st, end)?;
-            st.env.insert(var.clone(), Slot::Scalar(Ty::signed(63), lo));
+            st.env.insert(var.clone(), Slot::Scalar(*ty, lo));
             let mut i = lo;
             while i < hi {
                 if let Some(Slot::Scalar(_, v)) = st.env.get_mut(var) {
@@ -256,7 +362,7 @@ fn exec_stmt(st: &mut State, stmt: &Stmt) -> Result<(), ExecError> {
                 }
                 st.stats.branches += 1;
                 exec_block(st, body)?;
-                i += 1;
+                i = ty.wrap(i.wrapping_add(1));
             }
             st.env.remove(var);
             Ok(())
@@ -277,7 +383,7 @@ fn exec_stmt(st: &mut State, stmt: &Stmt) -> Result<(), ExecError> {
         Stmt::StreamWrite { port, value } => {
             let v = eval(st, value)?;
             st.stats.stream_writes += 1;
-            st.streams.outputs.entry(port.clone()).or_default().push(v);
+            st.streams.push_output(port, v);
             Ok(())
         }
     }
@@ -328,9 +434,7 @@ fn eval(st: &mut State, e: &Expr) -> Result<i64, ExecError> {
         Expr::StreamRead(port) => {
             st.stats.stream_reads += 1;
             st.streams
-                .inputs
-                .get_mut(port)
-                .and_then(|q| q.pop_front())
+                .pop_input(port)
                 .ok_or_else(|| ExecError::StreamUnderflow(port.clone()))
         }
         Expr::Select(c0, a, b) => {
@@ -620,10 +724,28 @@ mod tests {
     #[test]
     fn pipe_moves_tokens_between_bundles() {
         let mut a = StreamBundle::new();
-        a.outputs.insert("out".into(), vec![1, 2, 3]);
+        for v in [1, 2, 3] {
+            a.push_output("out", v);
+        }
         let mut b = StreamBundle::new();
         a.pipe("out", &mut b, "in");
-        assert_eq!(b.inputs["in"], VecDeque::from([1, 2, 3]));
-        assert!(a.outputs.get("out").is_none());
+        assert_eq!(b.input_queue("in").unwrap(), &VecDeque::from([1, 2, 3]));
+        assert!(a.take_output("out").is_none());
+    }
+
+    #[test]
+    fn slot_indices_address_streams_without_lookups() {
+        let mut s = StreamBundle::new();
+        s.feed("in", [10, 20]);
+        let i = s.input_index("in").unwrap();
+        let o = s.ensure_output("out");
+        assert_eq!(s.pop_input_at(i), Some(10));
+        s.push_output_at(o, 7);
+        assert_eq!(s.pop_input_at(i), Some(20));
+        assert_eq!(s.pop_input_at(i), None);
+        assert_eq!(s.output("out"), &[7]);
+        assert_eq!(s.input_index("absent"), None);
+        assert_eq!(s.input_tokens(), 0);
+        assert_eq!(s.output_tokens(), 1);
     }
 }

@@ -146,9 +146,13 @@ pub enum Stmt {
     },
     /// `for var in start..end { body }`; `pipeline` requests loop
     /// pipelining from the HLS scheduler (the `#pragma HLS pipeline`
-    /// analogue). Bounds are evaluated once on entry.
+    /// analogue). Bounds are evaluated once on entry. The induction
+    /// variable has the declared type `ty`: the start value and every
+    /// increment wrap through `ty` exactly like scalar assignments
+    /// (`Ty::signed(63)` by default — the builder's untyped `for_`).
     For {
         var: String,
+        ty: Ty,
         start: Expr,
         end: Expr,
         body: Vec<Stmt>,

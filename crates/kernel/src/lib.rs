@@ -18,15 +18,24 @@
 //!    and the functional model executed by the platform simulator, and
 //! 2. the **HLS simulator** (`accelsoc-hls`) — which schedules and binds
 //!    the operations to estimate latency, II and resources and to emit RTL.
+//!
+//! Hot paths execute through a third consumer: the bytecode **compiler**
+//! ([`compile`]) + register **VM** ([`vm`]), a drop-in replacement for the
+//! interpreter that lowers the IR once and then runs a flat op stream with
+//! dense indices instead of walking the tree with string lookups. The
+//! interpreter remains the differential oracle (see `tests/prop_vm.rs`).
 
 pub mod analysis;
 pub mod builder;
+pub mod compile;
 pub mod interp;
 pub mod ir;
 pub mod types;
 pub mod verify;
+pub mod vm;
 
 pub use builder::KernelBuilder;
+pub use compile::CompiledKernel;
 pub use interp::{ExecError, ExecStats, Interpreter, StreamBundle};
 pub use ir::{BinOp, Expr, Kernel, LValue, Param, ParamKind, Stmt, UnOp};
 pub use types::Ty;

@@ -32,7 +32,7 @@ proptest! {
     fn wrap_identity_in_range(ty in arb_ty(), raw in any::<i64>()) {
         let (lo, hi) = ty.range();
         // Map raw into [lo, hi] by rem_euclid over the width.
-        let span = (hi as i128 - lo as i128 + 1) as i128;
+        let span = hi as i128 - lo as i128 + 1;
         let v = (lo as i128 + (raw as i128).rem_euclid(span)) as i64;
         prop_assert_eq!(ty.wrap(v), v);
     }

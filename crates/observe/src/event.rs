@@ -111,6 +111,11 @@ pub enum FlowEvent {
     HlsCacheCorrupt { path: String, reason: String },
     /// A freshly synthesized result was written to the persistent tier.
     HlsCacheStored { kernel: String, key: String },
+    /// A kernel was lowered to register bytecode for the execution VM.
+    /// Emitted once per distinct kernel per VM-cache; a high count
+    /// relative to distinct kernels means compiled code is not being
+    /// reused across invocations.
+    KernelCompiled { kernel: String },
     /// One kernel finished HLS: scheduling and resource statistics from
     /// its synthesis report.
     HlsKernelSynthesized {
@@ -266,6 +271,9 @@ impl fmt::Display for FlowEvent {
             }
             FlowEvent::HlsCacheStored { kernel, key } => {
                 write!(f, "[HLS] stored '{kernel}' in persistent cache ({key})")
+            }
+            FlowEvent::KernelCompiled { kernel } => {
+                write!(f, "[VM] compiled '{kernel}' to bytecode")
             }
             FlowEvent::HlsKernelSynthesized {
                 kernel,

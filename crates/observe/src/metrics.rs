@@ -34,6 +34,10 @@ pub struct FlowMetrics {
     /// Results written to the persistent tier.
     pub hls_cache_stored: u64,
     pub kernels_synthesized: u64,
+    /// Kernels lowered to VM bytecode (one per distinct kernel per
+    /// VM-cache when compiled-kernel caching works; higher means
+    /// recompilation churn).
+    pub kernel_compiles: u64,
     /// Simulated-annealing temperature steps the placer reported.
     pub placement_steps: u64,
     /// Final half-perimeter wirelength after placement.
@@ -135,6 +139,7 @@ impl FlowMetrics {
             FlowEvent::HlsCacheCorrupt { .. } => self.hls_cache_corrupt += 1,
             FlowEvent::HlsCacheStored { .. } => self.hls_cache_stored += 1,
             FlowEvent::HlsKernelSynthesized { .. } => self.kernels_synthesized += 1,
+            FlowEvent::KernelCompiled { .. } => self.kernel_compiles += 1,
             FlowEvent::PlacementProgress { .. } => self.placement_steps += 1,
             FlowEvent::PlacementDone { hpwl, .. } => self.placement_hpwl = *hpwl,
             FlowEvent::RouteDone {
@@ -294,6 +299,11 @@ mod tests {
         assert_eq!(m.hls_persisted_hits, 1);
         assert_eq!(m.hls_cache_corrupt, 1);
         assert_eq!(m.hls_cache_stored, 1);
+        m.record(&FlowEvent::KernelCompiled { kernel: "k".into() });
+        m.record(&FlowEvent::KernelCompiled {
+            kernel: "k2".into(),
+        });
+        assert_eq!(m.kernel_compiles, 2);
         // A persisted hit is reported *alongside* the ordinary query
         // event, so it does not itself bump hit/miss counters.
         assert_eq!((m.hls_cache_hits, m.hls_cache_misses), (0, 0));

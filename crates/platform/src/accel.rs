@@ -1,13 +1,16 @@
 //! PL accelerator instances: HLS-timed, interpreter-evaluated.
 
 use accelsoc_hls::report::HlsReport;
-use accelsoc_kernel::interp::{ExecError, Interpreter, StreamBundle};
+use accelsoc_kernel::compile::CompiledKernel;
+use accelsoc_kernel::interp::{ExecError, StreamBundle};
 use accelsoc_kernel::ir::Kernel;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// One accelerator placed in the PL. Its function is the kernel
-/// interpreter; its timing is derived from the HLS report: a streaming
-/// invocation processing `n` tokens costs
+/// One accelerator placed in the PL. Its function is the kernel VM
+/// executing the kernel's compiled bytecode (bit-identical to the
+/// reference interpreter); its timing is derived from the HLS report: a
+/// streaming invocation processing `n` tokens costs
 /// `startup + ii_max * n` fabric cycles, where `ii_max` is the worst
 /// initiation interval among the kernel's pipelined loops (1 if none —
 /// fully pipelined) and `startup` covers control and pipeline fill.
@@ -15,6 +18,10 @@ use std::collections::HashMap;
 pub struct AccelInstance {
     pub kernel: Kernel,
     pub report: HlsReport,
+    /// The kernel lowered to VM bytecode; shared (via the flow engine's
+    /// VM cache) across every instance of the same kernel, so each
+    /// kernel compiles once per process, not once per board.
+    compiled: Arc<CompiledKernel>,
     /// Fabric cycles of fixed startup per invocation.
     pub startup_cycles: u64,
     /// Scalar register state (AXI-Lite visible arguments).
@@ -26,10 +33,21 @@ pub struct AccelInstance {
 }
 
 impl AccelInstance {
+    /// Standalone constructor: compiles the kernel here. Prefer
+    /// [`AccelInstance::with_compiled`] when a flow engine's VM cache
+    /// already holds the bytecode.
     pub fn new(kernel: Kernel, report: HlsReport) -> Self {
+        let compiled = Arc::new(CompiledKernel::compile(&kernel));
+        AccelInstance::with_compiled(kernel, report, compiled)
+    }
+
+    /// Construct around an already-compiled kernel (typically an
+    /// `Arc` handed out by the flow engine's VM cache).
+    pub fn with_compiled(kernel: Kernel, report: HlsReport, compiled: Arc<CompiledKernel>) -> Self {
         AccelInstance {
             kernel,
             report,
+            compiled,
             startup_cycles: 40,
             scalar_args: HashMap::new(),
             busy_cycles: 0,
@@ -59,16 +77,16 @@ impl AccelInstance {
     }
 
     /// Fire one invocation: consume/produce stream tokens via the
-    /// interpreter. Returns (scalar outputs, fabric cycles consumed).
+    /// kernel VM. Returns (scalar outputs, fabric cycles consumed).
     pub fn invoke(
         &mut self,
         streams: &mut StreamBundle,
     ) -> Result<(HashMap<String, i64>, u64), ExecError> {
-        let in_tokens: u64 = streams.inputs.values().map(|q| q.len() as u64).sum();
-        let outcome = Interpreter::new(&self.kernel).run(&self.scalar_args, streams)?;
+        let in_tokens: u64 = streams.input_tokens();
+        let outcome = self.compiled.run(&self.scalar_args, streams)?;
         // Timing uses whichever is larger: tokens consumed or produced —
         // source-style kernels are paced by their output stream.
-        let out_tokens: u64 = streams.outputs.values().map(|v| v.len() as u64).sum();
+        let out_tokens: u64 = streams.output_tokens();
         let cycles = self.cycles_for_tokens(in_tokens.max(out_tokens));
         self.busy_cycles += cycles;
         self.invocations += 1;

@@ -461,7 +461,7 @@ impl Board {
                 .map(|p| p.name.clone())
                 .collect();
             for port in &out_ports {
-                let tokens = bundle.outputs.remove(port).unwrap_or_default();
+                let tokens = bundle.take_output(port).unwrap_or_default();
                 let link = self.links.iter().enumerate().find(|(_, l)| {
                     matches!(&l.from, Endpoint::Accel { accel, port: p } if *accel == accel_idx && p == port)
                 });

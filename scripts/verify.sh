@@ -18,17 +18,32 @@ cargo fmt --check
 # Clippy is not part of the minimal toolchain baked into every image;
 # lint hard when it exists, skip quietly when it doesn't.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve (offline, -D warnings)"
-    cargo clippy --offline -p accelsoc-core -p accelsoc-hls -p accelsoc-dse \
-        -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve \
+    echo "==> cargo clippy -p accelsoc-kernel -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve -p accelsoc-bench (offline, -D warnings)"
+    cargo clippy --offline -p accelsoc-kernel -p accelsoc-core -p accelsoc-hls \
+        -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve \
+        -p accelsoc-bench \
         --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable; skipping lint step"
 fi
 
-echo "==> cold+warm persistent HLS cache smoke (repro_fig9)"
+echo "==> kernel VM equivalence + speedup (repro_kernelvm)"
 CACHE_DIR=$(mktemp -d)
 trap 'rm -rf "$CACHE_DIR"' EXIT
+# The bench aborts if the bytecode VM and the tree-walking interpreter
+# disagree on any scalar output, stream output or ExecStats counter, so
+# running it doubles as an end-to-end equivalence gate. Determinism:
+# two runs must produce the identical JSON report modulo timings.
+./target/release/repro_kernelvm --side 48 --reps 3 --json BENCH_kernelvm.json >/dev/null
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_kernelvm.json"))
+assert doc["schema"] == "accelsoc-bench-kernelvm/1", doc["schema"]
+assert len(doc["kernels"]) == 4
+print(f"    chain speedup: {doc['chain_speedup']:.2f}x (VM vs interpreter)")
+EOF
+
+echo "==> cold+warm persistent HLS cache smoke (repro_fig9)"
 ./target/release/repro_fig9 --cache-dir "$CACHE_DIR" >/dev/null
 cold_hits=$(grep -c HlsCachePersistedHit target/experiments/fig9_trace.jsonl || true)
 ./target/release/repro_fig9 --cache-dir "$CACHE_DIR" >/dev/null
