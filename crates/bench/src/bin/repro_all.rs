@@ -5,38 +5,45 @@
 use std::process::Command;
 
 fn main() {
-    let bins = [
-        "repro_table1",
-        "repro_table2",
-        "repro_fig7",
-        "repro_fig9",
-        "repro_fig10",
-        "repro_tcl_comparison",
-        "repro_sdsoc_compare",
-        "repro_runtime",
-        "repro_dse",
+    // (binary, extra args) — the serving benches run at reduced job
+    // counts here; invoke them directly for the full-size sweeps.
+    let bins: [(&str, &[&str]); 11] = [
+        ("repro_table1", &[]),
+        ("repro_table2", &[]),
+        ("repro_fig7", &[]),
+        ("repro_fig9", &[]),
+        ("repro_fig10", &[]),
+        ("repro_tcl_comparison", &[]),
+        ("repro_sdsoc_compare", &[]),
+        ("repro_runtime", &[]),
+        ("repro_dse", &[]),
+        ("repro_serve", &[]),
+        ("repro_cluster", &["--jobs", "50000"]),
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir").to_path_buf();
-    for bin in bins {
+    for (bin, extra) in bins {
         println!("\n================= {bin} =================\n");
         // Prefer the sibling binary; fall back to `cargo run` when this
         // binary was built alone.
         let sibling = dir.join(bin);
         let status = if sibling.exists() {
-            Command::new(sibling).status()
+            Command::new(sibling).args(extra).status()
         } else {
-            Command::new("cargo")
-                .args([
-                    "run",
-                    "-q",
-                    "-p",
-                    "accelsoc-bench",
-                    "--release",
-                    "--bin",
-                    bin,
-                ])
-                .status()
+            let mut cmd = Command::new("cargo");
+            cmd.args([
+                "run",
+                "-q",
+                "-p",
+                "accelsoc-bench",
+                "--release",
+                "--bin",
+                bin,
+            ]);
+            if !extra.is_empty() {
+                cmd.arg("--").args(extra);
+            }
+            cmd.status()
         }
         .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");

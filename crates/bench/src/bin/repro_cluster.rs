@@ -1,0 +1,272 @@
+//! **Ext-4** (beyond the paper): sharded serving across a cluster of
+//! board-pool nodes. Sweeps node count × scheduling policy × offered
+//! load over one seeded two-tenant workload and reports cluster
+//! throughput, shed/steal traffic, fairness and tail latency; then
+//! cross-checks determinism (byte-identical `ClusterReport` across host
+//! thread counts) and the job-accounting invariant under node failure.
+//!
+//! ```text
+//! repro_cluster [--jobs N] [--seed S] [--json <file>]
+//! ```
+//!
+//! `--json` additionally writes a versioned machine-readable record
+//! (schema `accelsoc-bench-cluster/1`), e.g. `BENCH_cluster.json`.
+
+use accelsoc_apps::archs::Arch;
+use accelsoc_bench::{save_json, Table};
+use accelsoc_observe::NullObserver;
+use accelsoc_serve::{
+    generate_workload, pool_image_seeds, ClusterConfig, ClusterReport, ClusterSession,
+    DseEstimator, JobSpec, PolicyKind, ServeConfig, TenantProfile, WorkloadSpec,
+};
+
+const BOARDS_PER_NODE: usize = 2;
+const IMAGE_POOL: u64 = 64;
+const NODES: [usize; 4] = [1, 2, 4, 8];
+const LOADS: [f64; 2] = [0.6, 2.4];
+
+fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn tenants() -> Vec<TenantProfile> {
+    vec![
+        TenantProfile {
+            name: "interactive".into(),
+            weight: 2,
+            sides: vec![16, 24],
+            archs: vec![Arch::Arch4],
+            deadline_slack_pct: Some(5_000),
+            fault_rate: 0.0,
+        },
+        TenantProfile {
+            name: "batch".into(),
+            weight: 1,
+            sides: vec![24, 32],
+            archs: vec![Arch::Arch1],
+            deadline_slack_pct: None,
+            fault_rate: 0.0,
+        },
+    ]
+}
+
+/// Workload whose offered load is relative to a *single node's* pool,
+/// so the same stream saturates 1 node and trivially fits 8 — the
+/// scaling story the sweep is after.
+fn workload(jobs: usize, seed: u64, load: f64) -> Vec<JobSpec> {
+    let profiles = tenants();
+    let mut est = DseEstimator::new();
+    let mix: Vec<u64> = profiles
+        .iter()
+        .flat_map(|t| {
+            t.archs
+                .iter()
+                .flat_map(|&a| t.sides.iter().map(move |&s| (a, s)).collect::<Vec<_>>())
+        })
+        .map(|(a, s)| est.estimate_ps(a, s))
+        .collect();
+    let mean_est_ps = mix.iter().sum::<u64>() / mix.len() as u64;
+    let spec = WorkloadSpec {
+        tenants: profiles,
+        jobs,
+        mean_interarrival_ps: ((mean_est_ps as f64 / BOARDS_PER_NODE as f64) / load).max(1.0)
+            as u64,
+        seed,
+    };
+    let mut jobs = generate_workload(&spec, &mut est);
+    // The precompute simulates one board run per unique
+    // (arch, side, image_seed); a bounded input catalog keeps a
+    // million-job sweep O(archs × sides × pool) there while the event
+    // loop still pushes every job.
+    pool_image_seeds(&mut jobs, IMAGE_POOL);
+    jobs
+}
+
+fn cluster_cfg(nodes: usize, policy: PolicyKind, seed: u64, threads: usize) -> ClusterConfig {
+    let node = ServeConfig::builder()
+        .tenants(["interactive", "batch"])
+        .boards(BOARDS_PER_NODE)
+        .policy(policy)
+        .build();
+    ClusterConfig::builder()
+        .nodes(nodes, &node)
+        .threads(threads)
+        .seed(seed)
+        .build()
+        .expect("homogeneous cluster config")
+}
+
+fn run(cfg: ClusterConfig, jobs: &[JobSpec]) -> ClusterReport {
+    ClusterSession::new(cfg)
+        .run(jobs, &NullObserver)
+        .expect("cluster run")
+}
+
+fn tenant_p99_ms(report: &ClusterReport, tenant: &str) -> f64 {
+    report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == tenant)
+        .map(|t| t.p99_latency_ps as f64 / 1e9)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs_n = arg_u64(&args, "--jobs", 1_000_000) as usize;
+    let seed = arg_u64(&args, "--seed", 42);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut table = Table::new(vec![
+        "policy",
+        "nodes",
+        "load",
+        "adm/sub",
+        "rej",
+        "shed",
+        "done",
+        "fail",
+        "fwd",
+        "stolen",
+        "thr (job/s)",
+        "fairness",
+        "p99 int (ms)",
+    ]);
+    let mut sweeps = Vec::new();
+    for &load in &LOADS {
+        let stream = workload(jobs_n, seed, load);
+        for policy in PolicyKind::ALL {
+            for &nodes in &NODES {
+                let r = run(cluster_cfg(nodes, policy, seed, 1), &stream);
+                assert!(
+                    r.accounting_ok(),
+                    "accounting invariant violated at {policy:?}/{nodes} nodes: {r:?}"
+                );
+                table.row(vec![
+                    policy.to_string(),
+                    nodes.to_string(),
+                    format!("{load:.1}"),
+                    format!("{}/{}", r.admitted, r.submitted),
+                    r.rejected.to_string(),
+                    r.shed.to_string(),
+                    (r.completed + r.completed_late).to_string(),
+                    r.failed.to_string(),
+                    r.forwarded.to_string(),
+                    r.stolen.to_string(),
+                    format!("{:.0}", r.throughput_jobs_per_s),
+                    format!("{:.3}", r.fairness),
+                    format!("{:.2}", tenant_p99_ms(&r, "interactive")),
+                ]);
+                sweeps.push(serde_json::json!({
+                    "policy": policy,
+                    "nodes": nodes,
+                    "offered_load": load,
+                    "submitted": r.submitted,
+                    "admitted": r.admitted,
+                    "rejected": r.rejected,
+                    "shed": r.shed,
+                    "completed": r.completed,
+                    "completed_late": r.completed_late,
+                    "timed_out": r.timed_out,
+                    "failed": r.failed,
+                    "forwarded": r.forwarded,
+                    "stolen": r.stolen,
+                    "redispatched": r.redispatched,
+                    "makespan_ps": r.makespan_ps,
+                    "throughput_jobs_per_s": r.throughput_jobs_per_s,
+                    "fairness": r.fairness,
+                    "tenants": r.tenants,
+                }));
+            }
+        }
+    }
+
+    // Determinism cross-check: one representative saturated config, run
+    // with the latency precompute on 1, 2 and 4 host threads — the
+    // serialized ClusterReport must be byte-identical.
+    let det_stream = workload(jobs_n, seed, LOADS[1]);
+    let det: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            serde_json::to_string(&run(cluster_cfg(4, PolicyKind::Sjf, seed, t), &det_stream))
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(det[0], det[1], "ClusterReport differs: threads 1 vs 2");
+    assert_eq!(det[0], det[2], "ClusterReport differs: threads 1 vs 4");
+
+    // Failure drill: kill the interactive tenant's consistent-hash home
+    // mid-stream — the node is saturated, so queued and in-flight jobs
+    // are orphaned — and check every submitted job still lands in
+    // exactly one terminal bucket.
+    let victim =
+        accelsoc_serve::HashRing::new(4).home(&accelsoc_observe::TenantId::from("interactive"));
+    let mid_ps = det_stream[det_stream.len() / 2].submit_ps;
+    let mut fail_cfg = cluster_cfg(4, PolicyKind::Sjf, seed, 1);
+    fail_cfg.failures.push(accelsoc_serve::NodeFailure {
+        node: victim,
+        at_ps: mid_ps,
+    });
+    let fr = run(fail_cfg, &det_stream);
+    assert_eq!(fr.node_failures, 1);
+    assert!(fr.accounting_ok(), "failure drill broke accounting: {fr:?}");
+    assert!(
+        fr.redispatched + fr.failed > 0,
+        "killing a saturated home must orphan jobs: {fr:?}"
+    );
+
+    println!("== Ext-4: sharded serving cluster ({jobs_n} jobs, 2 tenants, seed {seed}) ==\n");
+    print!("{}", table.render());
+    println!("\nShape: at load 0.6 a single node keeps up and extra nodes mostly");
+    println!("steal work off each other's queues. At load 2.4 one node drowns —");
+    println!("bounded queues shed the overflow to peers until the whole cluster");
+    println!("saturates — and 4-8 nodes absorb the same stream with flat p99.");
+    println!(
+        "\ndeterminism : ClusterReport byte-identical across threads 1/2/4 ({} bytes)",
+        det[0].len()
+    );
+    println!(
+        "failure     : killed node {victim} (interactive's home) mid-run; {} redispatched, {} failed, accounting exact",
+        fr.redispatched, fr.failed
+    );
+
+    let doc = serde_json::json!({
+        "schema": "accelsoc-bench-cluster/1",
+        "jobs": jobs_n,
+        "seed": seed,
+        "boards_per_node": BOARDS_PER_NODE,
+        "image_pool": IMAGE_POOL,
+        "nodes_swept": NODES,
+        "loads_swept": LOADS,
+        "policies_swept": PolicyKind::ALL,
+        "sweeps": sweeps,
+        "determinism": {
+            "threads": [1, 2, 4],
+            "byte_identical": true,
+            "report_bytes": det[0].len(),
+        },
+        "failure_drill": {
+            "killed_node": victim,
+            "at_ps": mid_ps,
+            "node_failures": fr.node_failures,
+            "redispatched": fr.redispatched,
+            "failed": fr.failed,
+            "accounting_ok": fr.accounting_ok(),
+        },
+    });
+    let p = save_json("cluster", &doc);
+    println!("record: {}", p.display());
+    if let Some(path) = json_path {
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write --json output");
+        println!("json   : {path}");
+    }
+}

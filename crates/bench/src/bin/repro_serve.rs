@@ -18,7 +18,7 @@ use accelsoc_apps::archs::Arch;
 use accelsoc_bench::{save_json, Table};
 use accelsoc_observe::NullObserver;
 use accelsoc_serve::{
-    generate_workload, run_serve_seeded, DseEstimator, PolicyKind, ServeConfig, ServeReport,
+    generate_workload, DseEstimator, PolicyKind, ServeConfig, ServeReport, ServeSession,
     TenantProfile, WorkloadSpec,
 };
 
@@ -124,15 +124,17 @@ fn main() {
         let workload = generate_workload(&spec, &mut est);
         for policy in PolicyKind::ALL {
             for &boards in &BOARDS {
-                let cfg = ServeConfig {
-                    tenants: tenant_names.clone(),
-                    boards,
-                    policy,
-                    ..ServeConfig::default()
-                };
-                let r = run_serve_seeded(&workload, &cfg, seed, &NullObserver).expect("serve run");
+                let cfg = ServeConfig::builder()
+                    .tenants(tenant_names.clone())
+                    .boards(boards)
+                    .policy(policy)
+                    .seed(seed)
+                    .build();
+                let r = ServeSession::new(cfg)
+                    .run(&workload, &NullObserver)
+                    .expect("serve run");
                 table.row(vec![
-                    policy.name().to_string(),
+                    policy.to_string(),
                     boards.to_string(),
                     format!("{load:.1}"),
                     format!("{}/{}", r.admitted, r.submitted),
@@ -146,7 +148,7 @@ fn main() {
                     format!("{:.2}", tenant_p99_ms(&r, "batch")),
                 ]);
                 sweeps.push(serde_json::json!({
-                    "policy": policy.name(),
+                    "policy": policy,
                     "boards": boards,
                     "offered_load": load,
                     "submitted": r.submitted,
@@ -182,7 +184,7 @@ fn main() {
         "tenants": tenant_names,
         "boards_swept": BOARDS,
         "loads_swept": LOADS,
-        "policies_swept": PolicyKind::ALL.iter().map(|p| p.name()).collect::<Vec<_>>(),
+        "policies_swept": PolicyKind::ALL,
         "sweeps": sweeps,
     });
     let p = save_json("serve", &doc);

@@ -1,6 +1,7 @@
 //! The event vocabulary of the flow: phases, spans, and per-stage
 //! progress reports.
 
+use crate::tenant::TenantId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -184,11 +185,12 @@ pub enum FlowEvent {
         starvation_stall_cycles: u64,
     },
     /// A serving-runtime job passed admission control and entered its
-    /// tenant's queue. `est_ns` is the DSE latency estimate used by
-    /// size-aware policies.
+    /// tenant's queue on serve node `node`. `est_ns` is the DSE latency
+    /// estimate used by size-aware policies.
     JobAdmitted {
         job: u64,
-        tenant: String,
+        tenant: TenantId,
+        node: usize,
         est_ns: f64,
     },
     /// A serving-runtime job was refused at admission. `reason` is the
@@ -196,13 +198,15 @@ pub enum FlowEvent {
     /// `DeadlineImpossible`, `InvalidGraph`, `UnknownTenant`).
     JobRejected {
         job: u64,
-        tenant: String,
+        tenant: TenantId,
+        node: usize,
         reason: String,
     },
     /// A job left its queue for a board (possibly batched with others).
     JobDispatched {
         job: u64,
-        tenant: String,
+        tenant: TenantId,
+        node: usize,
         board: usize,
         /// Jobs coalesced into the same board phase, including this one.
         batch: usize,
@@ -211,7 +215,8 @@ pub enum FlowEvent {
     /// A job finished on a board within its deadline (or had none).
     JobCompleted {
         job: u64,
-        tenant: String,
+        tenant: TenantId,
+        node: usize,
         board: usize,
         latency_ps: u64,
     },
@@ -219,7 +224,8 @@ pub enum FlowEvent {
     /// it for `attempt` (1-based retry count), avoiding `from_board`.
     JobRetried {
         job: u64,
-        tenant: String,
+        tenant: TenantId,
+        node: usize,
         from_board: usize,
         attempt: u32,
     },
@@ -227,8 +233,58 @@ pub enum FlowEvent {
     /// finished `late_ps` picoseconds past the deadline.
     JobDeadlineMissed {
         job: u64,
-        tenant: String,
+        tenant: TenantId,
+        node: usize,
         late_ps: u64,
+    },
+    /// Cluster routing forwarded a job between serve nodes before
+    /// admission — either its consistent-hash home was dead at delivery
+    /// time or the home's queue was full and the shed policy bounced it
+    /// to the least-loaded peer.
+    JobForwarded {
+        job: u64,
+        tenant: TenantId,
+        from_node: usize,
+        to_node: usize,
+    },
+    /// An idle serve node stole a queued job from the back of a loaded
+    /// peer's longest queue.
+    JobStolen {
+        job: u64,
+        tenant: TenantId,
+        from_node: usize,
+        to_node: usize,
+    },
+    /// Cluster load-shedding dropped a job: every forwarding hop ended
+    /// at a full queue (or no alive node could accept it before
+    /// admission).
+    JobShed {
+        job: u64,
+        tenant: TenantId,
+        node: usize,
+    },
+    /// A node failure orphaned this admitted job (queued or in flight)
+    /// and the cluster re-dispatched it to a surviving node.
+    JobRedispatched {
+        job: u64,
+        tenant: TenantId,
+        from_node: usize,
+        to_node: usize,
+    },
+    /// An admitted job was lost to node failure: its re-dispatch budget
+    /// was exhausted or no alive node remained.
+    JobFailed {
+        job: u64,
+        tenant: TenantId,
+        node: usize,
+    },
+    /// A serve node failed at simulated time `at_ps`, orphaning `queued`
+    /// queued jobs and `in_flight` jobs on its boards.
+    NodeFailed {
+        node: usize,
+        at_ps: u64,
+        queued: usize,
+        in_flight: usize,
     },
 }
 
@@ -361,62 +417,125 @@ impl fmt::Display for FlowEvent {
             FlowEvent::JobAdmitted {
                 job,
                 tenant,
+                node,
                 est_ns,
             } => {
                 write!(
                     f,
-                    "[SERVE] job {job} ({tenant}) admitted, est {est_ns:.0} ns"
+                    "[SERVE] n{node} job {job} ({tenant}) admitted, est {est_ns:.0} ns"
                 )
             }
             FlowEvent::JobRejected {
                 job,
                 tenant,
+                node,
                 reason,
             } => {
-                write!(f, "[SERVE] job {job} ({tenant}) rejected: {reason}")
+                write!(f, "[SERVE] n{node} job {job} ({tenant}) rejected: {reason}")
             }
             FlowEvent::JobDispatched {
                 job,
                 tenant,
+                node,
                 board,
                 batch,
                 at_ps,
             } => {
                 write!(
                     f,
-                    "[SERVE] job {job} ({tenant}) -> board {board} at {at_ps} ps (batch of {batch})"
+                    "[SERVE] n{node} job {job} ({tenant}) -> board {board} at {at_ps} ps \
+                     (batch of {batch})"
                 )
             }
             FlowEvent::JobCompleted {
                 job,
                 tenant,
+                node,
                 board,
                 latency_ps,
             } => {
                 write!(
                     f,
-                    "[SERVE] job {job} ({tenant}) done on board {board}, latency {latency_ps} ps"
+                    "[SERVE] n{node} job {job} ({tenant}) done on board {board}, \
+                     latency {latency_ps} ps"
                 )
             }
             FlowEvent::JobRetried {
                 job,
                 tenant,
+                node,
                 from_board,
                 attempt,
             } => {
                 write!(
                     f,
-                    "[SERVE] job {job} ({tenant}) faulted on board {from_board}, retry #{attempt}"
+                    "[SERVE] n{node} job {job} ({tenant}) faulted on board {from_board}, \
+                     retry #{attempt}"
                 )
             }
             FlowEvent::JobDeadlineMissed {
                 job,
                 tenant,
+                node,
                 late_ps,
             } => {
                 write!(
                     f,
-                    "[SERVE] job {job} ({tenant}) missed deadline by {late_ps} ps"
+                    "[SERVE] n{node} job {job} ({tenant}) missed deadline by {late_ps} ps"
+                )
+            }
+            FlowEvent::JobForwarded {
+                job,
+                tenant,
+                from_node,
+                to_node,
+            } => {
+                write!(
+                    f,
+                    "[CLUSTER] job {job} ({tenant}) forwarded n{from_node} -> n{to_node}"
+                )
+            }
+            FlowEvent::JobStolen {
+                job,
+                tenant,
+                from_node,
+                to_node,
+            } => {
+                write!(
+                    f,
+                    "[CLUSTER] job {job} ({tenant}) stolen n{from_node} -> n{to_node}"
+                )
+            }
+            FlowEvent::JobShed { job, tenant, node } => {
+                write!(f, "[CLUSTER] job {job} ({tenant}) shed at n{node}")
+            }
+            FlowEvent::JobRedispatched {
+                job,
+                tenant,
+                from_node,
+                to_node,
+            } => {
+                write!(
+                    f,
+                    "[CLUSTER] job {job} ({tenant}) redispatched n{from_node} -> n{to_node}"
+                )
+            }
+            FlowEvent::JobFailed { job, tenant, node } => {
+                write!(
+                    f,
+                    "[CLUSTER] job {job} ({tenant}) lost to failure of n{node}"
+                )
+            }
+            FlowEvent::NodeFailed {
+                node,
+                at_ps,
+                queued,
+                in_flight,
+            } => {
+                write!(
+                    f,
+                    "[CLUSTER] n{node} FAILED at {at_ps} ps ({queued} queued, \
+                     {in_flight} in flight)"
                 )
             }
         }

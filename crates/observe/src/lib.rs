@@ -28,8 +28,10 @@ pub mod event;
 pub mod metrics;
 pub mod observer;
 pub mod sinks;
+pub mod tenant;
 
 pub use event::{FlowEvent, FlowPhase, SpanOutcome};
 pub use metrics::{percentile_ps, FlowMetrics, MetricsObserver, PhaseMetric};
 pub use observer::{null_observer, FlowObserver, PhaseSpan, SharedObserver};
 pub use sinks::{CollectObserver, FanoutObserver, JsonTraceObserver, LogObserver, NullObserver};
+pub use tenant::{TenantId, TENANT_UNRESOLVED};

@@ -68,6 +68,19 @@ pub struct FlowMetrics {
     pub jobs_retried: u64,
     /// Serving runtime: deadline misses (queue expiry or late finish).
     pub jobs_deadline_missed: u64,
+    /// Cluster: pre-admission forwards between nodes (dead home or shed
+    /// hop).
+    pub jobs_forwarded: u64,
+    /// Cluster: queued jobs stolen by idle nodes.
+    pub jobs_stolen: u64,
+    /// Cluster: jobs dropped by load shedding before admission.
+    pub jobs_shed: u64,
+    /// Cluster: admitted jobs re-dispatched off a failed node.
+    pub jobs_redispatched: u64,
+    /// Cluster: admitted jobs lost to node failure.
+    pub jobs_failed: u64,
+    /// Cluster: node failure injections that fired.
+    pub node_failures: u64,
     /// Serving runtime: completed-job latencies per tenant, in
     /// completion order (tenants in first-completion order). Folded from
     /// `JobCompleted`; percentiles via [`FlowMetrics::tenant_latency_ps`].
@@ -181,16 +194,22 @@ impl FlowMetrics {
                 match self
                     .serve_tenant_latency_ps
                     .iter_mut()
-                    .find(|(t, _)| t == tenant)
+                    .find(|(t, _)| tenant == t.as_str())
                 {
                     Some((_, v)) => v.push(*latency_ps),
                     None => self
                         .serve_tenant_latency_ps
-                        .push((tenant.clone(), vec![*latency_ps])),
+                        .push((tenant.name().to_string(), vec![*latency_ps])),
                 }
             }
             FlowEvent::JobRetried { .. } => self.jobs_retried += 1,
             FlowEvent::JobDeadlineMissed { .. } => self.jobs_deadline_missed += 1,
+            FlowEvent::JobForwarded { .. } => self.jobs_forwarded += 1,
+            FlowEvent::JobStolen { .. } => self.jobs_stolen += 1,
+            FlowEvent::JobShed { .. } => self.jobs_shed += 1,
+            FlowEvent::JobRedispatched { .. } => self.jobs_redispatched += 1,
+            FlowEvent::JobFailed { .. } => self.jobs_failed += 1,
+            FlowEvent::NodeFailed { .. } => self.node_failures += 1,
             FlowEvent::FlowStarted { .. }
             | FlowEvent::FlowFinished { .. }
             | FlowEvent::PhaseStarted { .. }
@@ -340,16 +359,19 @@ mod tests {
         m.record(&FlowEvent::JobAdmitted {
             job: 1,
             tenant: "a".into(),
+            node: 0,
             est_ns: 100.0,
         });
         m.record(&FlowEvent::JobRejected {
             job: 2,
             tenant: "b".into(),
+            node: 0,
             reason: "QueueFull".into(),
         });
         m.record(&FlowEvent::JobDispatched {
             job: 1,
             tenant: "a".into(),
+            node: 0,
             board: 0,
             batch: 1,
             at_ps: 10,
@@ -358,6 +380,7 @@ mod tests {
             m.record(&FlowEvent::JobCompleted {
                 job,
                 tenant: "a".into(),
+                node: 0,
                 board: 0,
                 latency_ps: lat,
             });
@@ -365,12 +388,14 @@ mod tests {
         m.record(&FlowEvent::JobRetried {
             job: 5,
             tenant: "a".into(),
+            node: 0,
             from_board: 0,
             attempt: 1,
         });
         m.record(&FlowEvent::JobDeadlineMissed {
             job: 6,
             tenant: "a".into(),
+            node: 0,
             late_ps: 42,
         });
         assert_eq!(m.jobs_admitted, 1);
@@ -382,6 +407,51 @@ mod tests {
         assert_eq!(m.tenant_latency_ps("a", 50), Some(700));
         assert_eq!(m.tenant_latency_ps("a", 99), Some(900));
         assert_eq!(m.tenant_latency_ps("b", 50), None);
+    }
+
+    #[test]
+    fn cluster_counters_fold() {
+        let mut m = FlowMetrics::default();
+        m.record(&FlowEvent::JobForwarded {
+            job: 1,
+            tenant: "a".into(),
+            from_node: 0,
+            to_node: 1,
+        });
+        m.record(&FlowEvent::JobStolen {
+            job: 2,
+            tenant: "a".into(),
+            from_node: 1,
+            to_node: 0,
+        });
+        m.record(&FlowEvent::JobShed {
+            job: 3,
+            tenant: "b".into(),
+            node: 1,
+        });
+        m.record(&FlowEvent::JobRedispatched {
+            job: 4,
+            tenant: "a".into(),
+            from_node: 1,
+            to_node: 0,
+        });
+        m.record(&FlowEvent::JobFailed {
+            job: 5,
+            tenant: "a".into(),
+            node: 1,
+        });
+        m.record(&FlowEvent::NodeFailed {
+            node: 1,
+            at_ps: 1_000,
+            queued: 2,
+            in_flight: 1,
+        });
+        assert_eq!(m.jobs_forwarded, 1);
+        assert_eq!(m.jobs_stolen, 1);
+        assert_eq!(m.jobs_shed, 1);
+        assert_eq!(m.jobs_redispatched, 1);
+        assert_eq!(m.jobs_failed, 1);
+        assert_eq!(m.node_failures, 1);
     }
 
     #[test]

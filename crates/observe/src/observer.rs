@@ -101,10 +101,8 @@ mod tests {
         for e in events {
             match e {
                 FlowEvent::PhaseStarted { phase } => stack.push(*phase),
-                FlowEvent::PhaseEnded { phase, .. } => {
-                    if stack.pop() != Some(*phase) {
-                        return false;
-                    }
+                FlowEvent::PhaseEnded { phase, .. } if stack.pop() != Some(*phase) => {
+                    return false;
                 }
                 _ => {}
             }

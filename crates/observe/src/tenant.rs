@@ -1,0 +1,199 @@
+//! Interned tenant identity for the serving runtime.
+//!
+//! The single-node scheduler of PR 4 keyed queues, events and reports by
+//! raw `String` tenant names, which meant a heap allocation per emitted
+//! event on the hot scheduling path. [`TenantId`] replaces those keys
+//! with an interned handle: a reference-counted display name plus the
+//! tenant's registration index in its serving configuration. Cloning a
+//! `TenantId` is an `Arc` refcount bump — no allocation — so events can
+//! carry tenant identity for free even in million-job simulations.
+//!
+//! Identity (equality, ordering, hashing) is *by name only*: the index
+//! is a runtime routing optimization, not part of the identity. This
+//! keeps round-trips through JSON lossless — a `TenantId` serializes as
+//! its bare name string (so report JSON is unchanged from the `String`
+//! era) and deserializes as an [`unresolved`](TenantId::unresolved)
+//! handle that any scheduler can re-resolve against its own registry.
+
+use serde::{value::Value, DeError, Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Index marking a [`TenantId`] that has not been resolved against a
+/// serving configuration (e.g. one parsed back from JSON).
+pub const TENANT_UNRESOLVED: u32 = u32::MAX;
+
+/// An interned tenant identity: display name plus registration index.
+///
+/// See the [module docs](self) for identity and serialization rules.
+#[derive(Debug, Clone)]
+pub struct TenantId {
+    index: u32,
+    name: Arc<str>,
+}
+
+impl TenantId {
+    /// A tenant resolved to `index` in its serving configuration.
+    pub fn new(index: u32, name: impl Into<Arc<str>>) -> Self {
+        TenantId {
+            index,
+            name: name.into(),
+        }
+    }
+
+    /// A tenant known only by name (index [`TENANT_UNRESOLVED`]).
+    pub fn unresolved(name: impl Into<Arc<str>>) -> Self {
+        TenantId::new(TENANT_UNRESOLVED, name)
+    }
+
+    /// Whether this handle carries a resolved registration index.
+    pub fn is_resolved(&self) -> bool {
+        self.index != TENANT_UNRESOLVED
+    }
+
+    /// The registration index ([`TENANT_UNRESOLVED`] if never resolved).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The same tenant re-resolved to a new index, sharing the interned
+    /// name allocation.
+    pub fn with_index(&self, index: u32) -> Self {
+        TenantId {
+            index,
+            name: Arc::clone(&self.name),
+        }
+    }
+}
+
+impl PartialEq for TenantId {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for TenantId {}
+
+impl PartialOrd for TenantId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TenantId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.name.cmp(&other.name)
+    }
+}
+
+impl std::hash::Hash for TenantId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+impl PartialEq<str> for TenantId {
+    fn eq(&self, other: &str) -> bool {
+        self.name() == other
+    }
+}
+
+impl PartialEq<&str> for TenantId {
+    fn eq(&self, other: &&str) -> bool {
+        self.name() == *other
+    }
+}
+
+impl PartialEq<String> for TenantId {
+    fn eq(&self, other: &String) -> bool {
+        self.name() == other.as_str()
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // pad() honors width/alignment so table printers line up
+        f.pad(&self.name)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(name: &str) -> Self {
+        TenantId::unresolved(name)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(name: String) -> Self {
+        TenantId::unresolved(name)
+    }
+}
+
+impl Serialize for TenantId {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.name.to_string())
+    }
+}
+
+impl Deserialize for TenantId {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(TenantId::unresolved(s.as_str())),
+            other => Err(DeError::new(format!(
+                "expected a tenant name string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identity_is_by_name_not_index() {
+        let a = TenantId::new(0, "interactive");
+        let b = TenantId::unresolved("interactive");
+        let c = TenantId::new(0, "batch");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn clones_share_the_interned_name() {
+        let a = TenantId::new(3, "t");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.name().as_ptr(), b.name().as_ptr()));
+        let re = a.with_index(7);
+        assert_eq!(re.index(), 7);
+        assert!(std::ptr::eq(a.name().as_ptr(), re.name().as_ptr()));
+    }
+
+    #[test]
+    fn serializes_as_bare_name_string() {
+        let t = TenantId::new(2, "interactive");
+        assert_eq!(t.to_json_value(), Value::String("interactive".into()));
+        let back = TenantId::from_json_value(&Value::String("interactive".into())).unwrap();
+        assert_eq!(back, t);
+        assert!(!back.is_resolved());
+        assert!(TenantId::from_json_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn compares_against_plain_strings() {
+        let t = TenantId::new(0, "batch");
+        assert_eq!(t, "batch");
+        assert_eq!(t, String::from("batch"));
+        assert_eq!(t.to_string(), "batch");
+    }
+}

@@ -4,6 +4,7 @@
 
 use accelsoc_apps::archs::Arch;
 use accelsoc_htg::graph::Htg;
+use accelsoc_observe::TenantId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -18,7 +19,9 @@ use std::fmt;
 pub struct JobSpec {
     /// Unique, monotonically increasing id (doubles as the FIFO key).
     pub id: u64,
-    pub tenant: String,
+    /// Interned tenant identity — cloning is an `Arc` bump, so the
+    /// scheduler can tag every event with it for free.
+    pub tenant: TenantId,
     pub arch: Arch,
     /// Image side in pixels (the image is square).
     pub side: u32,
@@ -126,7 +129,7 @@ pub enum JobOutcome {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {
     pub id: u64,
-    pub tenant: String,
+    pub tenant: TenantId,
     pub arch: String,
     pub side: u32,
     pub board: Option<usize>,

@@ -32,19 +32,40 @@
 //! completion, retry and deadline miss is a `FlowEvent`, and
 //! `FlowMetrics` folds them into counters plus per-tenant latency
 //! percentiles.
+//!
+//! On top of the single-node session, [`ClusterSession`] shards the
+//! runtime across N [`ServeNode`]s — consistent-hash routing
+//! ([`HashRing`]), a modeled network ([`NetModel`]), work stealing, load
+//! shedding and node-failure re-dispatch — under one calendar with the
+//! total event order `(ps, node, rank, seq)`, keeping the
+//! [`ClusterReport`] byte-identical across host thread counts.
 
+pub mod cluster;
 pub mod estimator;
 pub mod job;
+pub mod net;
+pub mod node;
 pub mod policy;
 pub mod queue;
 pub mod report;
+pub mod routing;
 pub mod scheduler;
 pub mod workload;
 
+pub use cluster::{
+    ClusterConfig, ClusterConfigBuilder, ClusterConfigError, ClusterJobRecord, ClusterOutcome,
+    ClusterReport, ClusterSession, NodeFailure,
+};
 pub use estimator::DseEstimator;
 pub use job::{AdmissionError, JobOutcome, JobRecord, JobSpec};
+pub use net::NetModel;
+pub use node::{Admit, ServeNode, SimTables};
 pub use policy::{Fifo, PolicyKind, RoundRobin, SchedPolicy, Sjf};
 pub use queue::{ActiveJob, TenantQueue};
 pub use report::{RejectionCounts, ServeReport, TenantReport};
-pub use scheduler::{run_serve, run_serve_seeded, ServeConfig, ServeError};
-pub use workload::{generate_workload, TenantProfile, WorkloadSpec};
+pub use routing::HashRing;
+#[allow(deprecated)]
+pub use scheduler::{
+    run_serve, run_serve_seeded, ServeConfig, ServeConfigBuilder, ServeError, ServeSession,
+};
+pub use workload::{generate_workload, pool_image_seeds, TenantProfile, WorkloadSpec};

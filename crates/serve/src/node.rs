@@ -1,0 +1,803 @@
+//! One embeddable serve node: the admission / policy / batching /
+//! retry engine of PR 4's `run_serve`, factored out so it can run
+//! standalone (driven by [`crate::scheduler::ServeSession`]) or as one
+//! shard of an N-node cluster (driven by
+//! [`crate::cluster::ClusterSession`]).
+//!
+//! A node owns its board pool, its bounded per-tenant queues and its
+//! policy state, and exposes *pull-style* hooks to whichever calendar
+//! drives it: the driver delivers arrivals ([`ServeNode::admit`]),
+//! board completions ([`ServeNode::batch_done`]) and failure injections
+//! ([`ServeNode::fail`]), then asks the node to dispatch as much as its
+//! pool allows ([`ServeNode::dispatch`]). The node never schedules its
+//! own events and never reads a clock — every timestamp comes in from
+//! the driver — which is what keeps a multi-node composition on one
+//! total event order deterministic.
+//!
+//! In-flight jobs live *on the node* (in each board slot), not in the
+//! calendar: a `BatchDone` event is just `(node, board)`, so a node
+//! failure can drain its boards without fishing payloads back out of
+//! the event queue.
+
+use crate::job::{AdmissionError, JobOutcome, JobRecord, JobSpec};
+use crate::policy::SchedPolicy;
+use crate::queue::{ActiveJob, TenantQueue};
+use crate::report::{RejectionCounts, ServeReport, TenantReport};
+use crate::scheduler::{ServeConfig, ServeError};
+use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
+use accelsoc_apps::image::{synthetic_scene, RgbImage};
+use accelsoc_apps::otsu::{run_application_with, AppError};
+use accelsoc_core::flow::FlowArtifacts;
+use accelsoc_observe::{percentile_ps, FlowEvent, FlowObserver, TenantId};
+use accelsoc_platform::sim::{ns_from_ps, ps_from_ns};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A calendar entry ordered by `key` alone — the payload never
+/// participates in the comparison, so heaps of `Scheduled` stay cheap
+/// (no `pending` side-map) while preserving the total `(time, rank,
+/// seq)` order of the PR 3 calendar discipline.
+pub(crate) struct Scheduled<K: Ord, E> {
+    pub key: K,
+    pub ev: E,
+}
+
+impl<K: Ord, E> PartialEq for Scheduled<K, E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<K: Ord, E> Eq for Scheduled<K, E> {}
+
+impl<K: Ord, E> PartialOrd for Scheduled<K, E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord, E> Ord for Scheduled<K, E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Admission checks that depend only on the job itself (not on queue
+/// state). Split out so the latency precompute can skip jobs that will
+/// never run. `now_ps` is the delivery time — at or after the job's
+/// submit time once routing latency is modeled.
+pub(crate) fn static_admission(
+    job: &JobSpec,
+    cfg: &ServeConfig,
+    est_ps: u64,
+    now_ps: u64,
+) -> Result<(), AdmissionError> {
+    if !cfg.tenants.iter().any(|t| job.tenant == *t) {
+        return Err(AdmissionError::UnknownTenant(job.tenant.name().into()));
+    }
+    if let Some(graph) = &job.graph {
+        let report = accelsoc_htg::validate::validate(graph);
+        if !report.is_ok() {
+            let detail = report
+                .errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(AdmissionError::InvalidGraph { detail });
+        }
+    }
+    // The board needs the input image and the output buffer resident at
+    // once; reject anything that cannot fit the pool's DRAM.
+    let need = job.input_bytes() + job.pixels();
+    let capacity = cfg.app.dram_bytes as u64;
+    if need > capacity {
+        return Err(AdmissionError::JobTooLarge {
+            bytes: need,
+            capacity,
+        });
+    }
+    if let Some(deadline_ps) = job.deadline_ps {
+        let earliest_finish_ps = now_ps.max(job.submit_ps) + cfg.dispatch_overhead_ps + est_ps;
+        if deadline_ps < earliest_finish_ps {
+            return Err(AdmissionError::DeadlineImpossible {
+                deadline_ps,
+                earliest_finish_ps,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The read-only simulation tables every node shares: DSE estimates per
+/// `(arch, side)` and true simulated board latency per
+/// `(arch, side, image_seed)`.
+///
+/// Building the latency table is the only parallel stage of a serve
+/// run, and it follows the PR 4 argument exactly: each unique key is a
+/// pure function of `(arch, image, board knobs)` computed into a
+/// slot-ordered vector, so host thread count changes only *when* a slot
+/// is filled, never *what* it holds.
+pub struct SimTables {
+    est_ps: HashMap<(&'static str, u32), u64>,
+    lat_ps: HashMap<(&'static str, u32, u64), u64>,
+}
+
+impl SimTables {
+    /// Build the tables for a job stream. `cfg` supplies the admission
+    /// filter (jobs that can never pass static admission at their
+    /// submit time are not simulated) and the board knobs; `threads` is
+    /// the host-parallelism of the latency precompute and has no effect
+    /// on the result.
+    pub fn build(jobs: &[JobSpec], cfg: &ServeConfig, threads: usize) -> Result<Self, ServeError> {
+        // --- stage 0: DSE estimates (sequential, memoized) ---------------
+        let mut estimator = crate::estimator::DseEstimator::new();
+        let mut est_ps: HashMap<(&'static str, u32), u64> = HashMap::new();
+        for job in jobs {
+            est_ps
+                .entry((job.arch.name(), job.side))
+                .or_insert_with(|| estimator.estimate_ps(job.arch, job.side));
+        }
+
+        // --- stage 1: parallel latency precompute ------------------------
+        // Flow artifacts once per architecture in use (order-fixed).
+        let mut engine = otsu_flow_engine();
+        let mut artifacts: HashMap<&'static str, FlowArtifacts> = HashMap::new();
+        for arch in Arch::all() {
+            if jobs.iter().any(|j| j.arch == arch) && !artifacts.contains_key(arch.name()) {
+                artifacts.insert(arch.name(), engine.run_source(&arch_dsl_source(arch))?);
+            }
+        }
+
+        // Unique (arch, side, image_seed) among statically admissible
+        // jobs, first-seen order.
+        let mut keys: Vec<(Arch, u32, u64)> = Vec::new();
+        {
+            let mut seen: HashMap<(&'static str, u32, u64), ()> = HashMap::new();
+            for job in jobs {
+                let e = est_ps[&(job.arch.name(), job.side)];
+                if static_admission(job, cfg, e, job.submit_ps).is_err() {
+                    continue;
+                }
+                if seen
+                    .insert((job.arch.name(), job.side, job.image_seed), ())
+                    .is_none()
+                {
+                    keys.push((job.arch, job.side, job.image_seed));
+                }
+            }
+        }
+        let threads = threads.max(1);
+        let mut slots: Vec<Option<Result<f64, AppError>>> = Vec::new();
+        slots.resize_with(keys.len(), || None);
+        let chunk = keys.len().div_ceil(threads).max(1);
+        let engine_ref = &engine;
+        let artifacts_ref = &artifacts;
+        let app_cfg = &cfg.app;
+        crossbeam::thread::scope(|s| {
+            for (key_chunk, slot_chunk) in keys.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (&(arch, side, seed), slot) in key_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        let img = RgbImage::from_gray(&synthetic_scene(side, side, seed));
+                        *slot = Some(
+                            run_application_with(
+                                arch,
+                                engine_ref,
+                                &artifacts_ref[arch.name()],
+                                &img,
+                                app_cfg,
+                            )
+                            .map(|run| run.total_ns),
+                        );
+                    }
+                });
+            }
+        })
+        .expect("latency precompute worker panicked");
+        let mut lat_ps: HashMap<(&'static str, u32, u64), u64> = HashMap::new();
+        for ((arch, side, seed), slot) in keys.iter().zip(slots) {
+            let ns = slot.expect("every latency slot filled")?;
+            lat_ps.insert((arch.name(), *side, *seed), ps_from_ns(ns));
+        }
+        Ok(SimTables { est_ps, lat_ps })
+    }
+
+    pub fn est(&self, job: &JobSpec) -> u64 {
+        self.est_ps[&(job.arch.name(), job.side)]
+    }
+
+    fn lat(&self, job: &JobSpec) -> u64 {
+        self.lat_ps[&(job.arch.name(), job.side, job.image_seed)]
+    }
+}
+
+struct BoardSlot {
+    busy: bool,
+    arch: Option<Arch>,
+    busy_ps: u64,
+    /// Jobs of the batch currently executing, with staggered finishes.
+    running: Vec<InFlight>,
+}
+
+struct InFlight {
+    job: ActiveJob,
+    finish_ps: u64,
+}
+
+/// Outcome of delivering one job to a node's admission control.
+#[derive(Debug)]
+pub enum Admit {
+    /// Admitted into the tenant's queue (index returned).
+    Queued(usize),
+    /// Refused, with full bookkeeping (counters + event) applied.
+    Rejected(AdmissionError),
+    /// Probe result: the *only* obstacle is a full queue, and the
+    /// caller asked to intercept that case (for shed-forwarding). No
+    /// bookkeeping was applied — the job was neither counted nor
+    /// rejected on this node.
+    WouldOverflow,
+}
+
+/// One serve node: board pool + admission queues + policy, driven by an
+/// external calendar. See the [module docs](self).
+pub struct ServeNode {
+    id: usize,
+    cfg: ServeConfig,
+    tables: Arc<SimTables>,
+    tenant_ids: Vec<TenantId>,
+    tenant_lookup: HashMap<String, usize>,
+    queues: Vec<TenantQueue>,
+    boards: Vec<BoardSlot>,
+    policy: Box<dyn SchedPolicy>,
+    max_batch: usize,
+    alive: bool,
+    /// When set, every terminal job outcome is also queued in an
+    /// outcomes buffer for the driver to drain (the cluster's tally
+    /// feed). Standalone sessions leave it off.
+    emit_outcomes: bool,
+    outcomes: Vec<JobRecord>,
+    /// Jobs routed to this node but still "on the wire" — a cluster
+    /// uses this to keep work-stealing away from nodes that are about
+    /// to receive work anyway.
+    pub(crate) pending_incoming: u32,
+    // --- report bookkeeping ------------------------------------------
+    submitted: u64,
+    unknown_submitted: u64,
+    submitted_per_tenant: Vec<u64>,
+    rejected_per_tenant: Vec<u64>,
+    rejections: RejectionCounts,
+    admitted: u64,
+    retries: u64,
+    batches: u64,
+    makespan_ps: u64,
+    completed: u64,
+    completed_late: u64,
+    timed_out: u64,
+    tenant_latencies: Vec<Vec<u64>>,
+    tenant_missed: Vec<u64>,
+    records: Vec<JobRecord>,
+}
+
+impl ServeNode {
+    pub fn new(id: usize, cfg: ServeConfig, tables: Arc<SimTables>) -> Self {
+        assert!(cfg.boards >= 1, "need at least one board");
+        let tenant_ids: Vec<TenantId> = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TenantId::new(i as u32, t.as_str()))
+            .collect();
+        let tenant_lookup: HashMap<String, usize> = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        let queues: Vec<TenantQueue> = tenant_ids
+            .iter()
+            .map(|t| TenantQueue::new(t.clone(), cfg.queue_depth))
+            .collect();
+        let boards: Vec<BoardSlot> = (0..cfg.boards)
+            .map(|_| BoardSlot {
+                busy: false,
+                arch: None,
+                busy_ps: 0,
+                running: Vec::new(),
+            })
+            .collect();
+        let n = tenant_ids.len();
+        ServeNode {
+            id,
+            policy: cfg.policy.make(),
+            max_batch: cfg.max_batch.max(1),
+            tables,
+            tenant_ids,
+            tenant_lookup,
+            queues,
+            boards,
+            alive: true,
+            emit_outcomes: false,
+            outcomes: Vec::new(),
+            pending_incoming: 0,
+            submitted: 0,
+            unknown_submitted: 0,
+            submitted_per_tenant: vec![0; n],
+            rejected_per_tenant: vec![0; n],
+            rejections: RejectionCounts::default(),
+            admitted: 0,
+            retries: 0,
+            batches: 0,
+            makespan_ps: 0,
+            completed: 0,
+            completed_late: 0,
+            timed_out: 0,
+            tenant_latencies: vec![Vec::new(); n],
+            tenant_missed: vec![0; n],
+            records: Vec::new(),
+            cfg,
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Total jobs waiting across all tenant queues.
+    pub fn queued_total(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    pub fn idle_boards(&self) -> usize {
+        self.boards.iter().filter(|b| !b.busy).count()
+    }
+
+    /// Turn on the outcomes buffer (see [`ServeNode::drain_outcomes`]).
+    pub fn emit_outcomes(&mut self, on: bool) {
+        self.emit_outcomes = on;
+    }
+
+    /// Terminal job outcomes accumulated since the last drain (only
+    /// when [`ServeNode::emit_outcomes`] is on).
+    pub fn drain_outcomes(&mut self) -> std::vec::Drain<'_, JobRecord> {
+        self.outcomes.drain(..)
+    }
+
+    fn resolve(&self, tenant: &TenantId) -> Option<usize> {
+        let i = tenant.index() as usize;
+        if i < self.tenant_ids.len() && self.tenant_ids[i].name() == tenant.name() {
+            return Some(i);
+        }
+        self.tenant_lookup.get(tenant.name()).copied()
+    }
+
+    /// Record one terminal outcome: counters, tenant tallies, the
+    /// per-job record (when the config keeps them), and the outcomes
+    /// buffer (when the driver wants them).
+    fn record_outcome(&mut self, rec: JobRecord, ti: Option<usize>) {
+        match rec.outcome {
+            JobOutcome::Completed => self.completed += 1,
+            JobOutcome::CompletedLate => self.completed_late += 1,
+            JobOutcome::TimedOut => self.timed_out += 1,
+        }
+        if let Some(ti) = ti {
+            match rec.outcome {
+                JobOutcome::Completed => self.tenant_latencies[ti].push(rec.latency_ps),
+                JobOutcome::CompletedLate => {
+                    self.tenant_latencies[ti].push(rec.latency_ps);
+                    self.tenant_missed[ti] += 1;
+                }
+                JobOutcome::TimedOut => self.tenant_missed[ti] += 1,
+            }
+        }
+        if self.cfg.keep_records {
+            self.records.push(rec.clone());
+        }
+        if self.emit_outcomes {
+            self.outcomes.push(rec);
+        }
+    }
+
+    /// Deliver one job to admission control at virtual time `now_ps`.
+    ///
+    /// With `probe_overflow` set, a job whose only obstacle is a full
+    /// queue returns [`Admit::WouldOverflow`] *without any bookkeeping*
+    /// so the cluster can forward it to a peer instead; every other
+    /// verdict is fully applied (counters + events) before returning.
+    pub fn admit(
+        &mut self,
+        job: &JobSpec,
+        now_ps: u64,
+        probe_overflow: bool,
+        observer: &dyn FlowObserver,
+    ) -> Admit {
+        let e = self.tables.est(job);
+        let verdict = static_admission(job, &self.cfg, e, now_ps).and_then(|()| {
+            match self.resolve(&job.tenant) {
+                Some(ti) if self.queues[ti].is_full() => Err(AdmissionError::QueueFull {
+                    tenant: job.tenant.name().into(),
+                    depth: self.queues[ti].depth,
+                }),
+                Some(ti) => Ok(ti),
+                None => unreachable!("static_admission checked tenant"),
+            }
+        });
+        if probe_overflow && matches!(verdict, Err(AdmissionError::QueueFull { .. })) {
+            return Admit::WouldOverflow;
+        }
+        self.submitted += 1;
+        if let Some(ti) = self.resolve(&job.tenant) {
+            self.submitted_per_tenant[ti] += 1;
+        } else {
+            self.unknown_submitted += 1;
+        }
+        match verdict {
+            Err(err) => {
+                match &err {
+                    AdmissionError::QueueFull { .. } => self.rejections.queue_full += 1,
+                    AdmissionError::JobTooLarge { .. } => self.rejections.job_too_large += 1,
+                    AdmissionError::DeadlineImpossible { .. } => {
+                        self.rejections.deadline_impossible += 1
+                    }
+                    AdmissionError::InvalidGraph { .. } => self.rejections.invalid_graph += 1,
+                    AdmissionError::UnknownTenant(_) => self.rejections.unknown_tenant += 1,
+                }
+                if let Some(ti) = self.resolve(&job.tenant) {
+                    self.rejected_per_tenant[ti] += 1;
+                }
+                observer.on_event(&FlowEvent::JobRejected {
+                    job: job.id,
+                    tenant: job.tenant.clone(),
+                    node: self.id,
+                    reason: err.kind().into(),
+                });
+                Admit::Rejected(err)
+            }
+            Ok(ti) => {
+                self.admitted += 1;
+                observer.on_event(&FlowEvent::JobAdmitted {
+                    job: job.id,
+                    tenant: job.tenant.clone(),
+                    node: self.id,
+                    est_ns: ns_from_ps(e),
+                });
+                self.queues[ti].push(ActiveJob {
+                    spec: job.clone(),
+                    est_ps: e,
+                    lat_ps: self.tables.lat(job),
+                    attempts: 0,
+                    excluded_board: None,
+                    redispatches: 0,
+                });
+                Admit::Queued(ti)
+            }
+        }
+    }
+
+    /// Accept a job transferred from another node (work-stealing or
+    /// failure re-dispatch) without re-running admission: the job was
+    /// already admitted somewhere, and losing it to a second admission
+    /// check would break the cluster's accounting invariant. Transfers
+    /// bypass the depth bound (`front` additionally requeues at the
+    /// head, the re-dispatch path).
+    pub fn transfer_in(&mut self, mut job: ActiveJob, front: bool) {
+        let ti = self
+            .resolve(&job.spec.tenant)
+            .expect("cluster nodes share one tenant set");
+        // Board indices are per-node; a fault exclusion from another
+        // node's pool is meaningless here.
+        job.excluded_board = None;
+        if front {
+            self.queues[ti].push_front(job);
+        } else {
+            self.queues[ti].push_unbounded(job);
+        }
+    }
+
+    /// Give up the back of the longest queue (the victim side of
+    /// work-stealing). Ties break toward the lowest tenant index.
+    pub fn steal_out(&mut self) -> Option<ActiveJob> {
+        let mut best: Option<(usize, usize)> = None; // (len, tenant idx)
+        for (i, q) in self.queues.iter().enumerate() {
+            if q.len() > best.map_or(0, |(l, _)| l) {
+                best = Some((q.len(), i));
+            }
+        }
+        let (_, ti) = best?;
+        self.queues[ti].pop_back()
+    }
+
+    /// Board `board` finished its batch: process completions and
+    /// transient-fault retries.
+    pub fn batch_done(&mut self, board: usize, observer: &dyn FlowObserver) {
+        let done = std::mem::take(&mut self.boards[board].running);
+        self.boards[board].busy = false;
+        for inflight in done {
+            let mut job = inflight.job;
+            if job.spec.transient_fault && job.attempts <= self.cfg.max_retries {
+                self.retries += 1;
+                observer.on_event(&FlowEvent::JobRetried {
+                    job: job.spec.id,
+                    tenant: job.spec.tenant.clone(),
+                    node: self.id,
+                    from_board: board,
+                    attempt: job.attempts,
+                });
+                job.excluded_board = Some(board);
+                let ti = self
+                    .resolve(&job.spec.tenant)
+                    .expect("admitted jobs have a tenant");
+                self.queues[ti].push_front(job);
+                continue;
+            }
+            let finish_ps = inflight.finish_ps;
+            self.makespan_ps = self.makespan_ps.max(finish_ps);
+            let outcome = match job.spec.deadline_ps {
+                Some(d) if finish_ps > d => {
+                    observer.on_event(&FlowEvent::JobDeadlineMissed {
+                        job: job.spec.id,
+                        tenant: job.spec.tenant.clone(),
+                        node: self.id,
+                        late_ps: finish_ps - d,
+                    });
+                    JobOutcome::CompletedLate
+                }
+                _ => JobOutcome::Completed,
+            };
+            observer.on_event(&FlowEvent::JobCompleted {
+                job: job.spec.id,
+                tenant: job.spec.tenant.clone(),
+                node: self.id,
+                board,
+                latency_ps: finish_ps - job.spec.submit_ps,
+            });
+            let ti = self.resolve(&job.spec.tenant);
+            self.record_outcome(
+                JobRecord {
+                    id: job.spec.id,
+                    tenant: job.spec.tenant.clone(),
+                    arch: job.spec.arch.name().into(),
+                    side: job.spec.side,
+                    board: Some(board),
+                    outcome,
+                    submit_ps: job.spec.submit_ps,
+                    finish_ps,
+                    latency_ps: finish_ps - job.spec.submit_ps,
+                    retries: job.attempts - 1,
+                },
+                ti,
+            );
+        }
+    }
+
+    /// Sweep queue-expiry deadline misses at `now_ps`.
+    fn expire(&mut self, now_ps: u64, observer: &dyn FlowObserver) {
+        for qi in 0..self.queues.len() {
+            if !self.queues[qi].has_expired(now_ps) {
+                continue;
+            }
+            for job in self.queues[qi].drain_expired(now_ps) {
+                let deadline = job.spec.deadline_ps.expect("expired ⇒ has deadline");
+                observer.on_event(&FlowEvent::JobDeadlineMissed {
+                    job: job.spec.id,
+                    tenant: job.spec.tenant.clone(),
+                    node: self.id,
+                    late_ps: now_ps.saturating_sub(deadline),
+                });
+                self.makespan_ps = self.makespan_ps.max(deadline);
+                let ti = self.resolve(&job.spec.tenant);
+                self.record_outcome(
+                    JobRecord {
+                        id: job.spec.id,
+                        tenant: job.spec.tenant.clone(),
+                        arch: job.spec.arch.name().into(),
+                        side: job.spec.side,
+                        board: None,
+                        outcome: JobOutcome::TimedOut,
+                        submit_ps: job.spec.submit_ps,
+                        finish_ps: deadline,
+                        latency_ps: deadline - job.spec.submit_ps,
+                        retries: job.attempts,
+                    },
+                    ti,
+                );
+            }
+        }
+    }
+
+    /// Dispatch as much as the pool allows at this instant. Every
+    /// started batch is reported into `schedule` as
+    /// `(board, done_ps)` — the driver must deliver a matching
+    /// [`ServeNode::batch_done`] at that time.
+    pub fn dispatch(
+        &mut self,
+        now_ps: u64,
+        observer: &dyn FlowObserver,
+        schedule: &mut Vec<(usize, u64)>,
+    ) {
+        loop {
+            self.expire(now_ps, observer);
+            let idle: Vec<usize> = self
+                .boards
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.busy)
+                .map(|(i, _)| i)
+                .collect();
+            if idle.is_empty() {
+                break;
+            }
+            let Some(ti) = self.policy.select(&self.queues, now_ps) else {
+                break;
+            };
+            let head = self.queues[ti]
+                .head()
+                .expect("policy selected a non-empty queue");
+            let arch = head.spec.arch;
+            let excluded = head.excluded_board;
+            let mut candidates: Vec<usize> = idle
+                .iter()
+                .copied()
+                .filter(|&b| Some(b) != excluded)
+                .collect();
+            if candidates.is_empty() {
+                if self.boards.len() == 1 {
+                    // Single-board pool: a retry has nowhere else to go.
+                    candidates = idle;
+                } else {
+                    // The only idle board is the one the job faulted on;
+                    // wait for a different one to free up.
+                    break;
+                }
+            }
+            // Prefer a board already carrying this architecture's
+            // bitstream (no reconfig), lowest index as tie-break.
+            let board = candidates
+                .iter()
+                .copied()
+                .find(|&b| self.boards[b].arch == Some(arch))
+                .unwrap_or(candidates[0]);
+
+            // Pull the selected head, then coalesce same-arch heads
+            // (global id order) into the batch.
+            let mut batch = vec![self.queues[ti].pop().expect("head exists")];
+            self.policy.on_dispatch(ti);
+            while batch.len() < self.max_batch {
+                let next = self
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(qi, q)| q.head().map(|j| (j, qi)))
+                    .filter(|(j, _)| j.spec.arch == arch && j.excluded_board != Some(board))
+                    .map(|(j, qi)| (j.spec.id, qi))
+                    .min();
+                match next {
+                    Some((_, qi)) => batch.push(self.queues[qi].pop().expect("head exists")),
+                    None => break,
+                }
+            }
+
+            let reconfig = if self.boards[board].arch == Some(arch) {
+                0
+            } else {
+                self.cfg.reconfig_ps
+            };
+            self.boards[board].arch = Some(arch);
+            let batch_size = batch.len();
+            let mut t = now_ps + reconfig + self.cfg.dispatch_overhead_ps;
+            let mut inflight = Vec::with_capacity(batch_size);
+            for mut job in batch {
+                job.attempts += 1;
+                t += job.lat_ps;
+                observer.on_event(&FlowEvent::JobDispatched {
+                    job: job.spec.id,
+                    tenant: job.spec.tenant.clone(),
+                    node: self.id,
+                    board,
+                    batch: batch_size,
+                    at_ps: now_ps,
+                });
+                inflight.push(InFlight { job, finish_ps: t });
+            }
+            self.boards[board].busy = true;
+            self.boards[board].busy_ps += t - now_ps;
+            self.boards[board].running = inflight;
+            self.batches += 1;
+            schedule.push((board, t));
+        }
+    }
+
+    /// Kill the node at `now_ps`: mark it dead and hand back every
+    /// orphaned job — queued (tenant order, front to back) then in
+    /// flight (board order, dispatch order) — for the cluster to
+    /// re-dispatch. Scheduled `BatchDone` events for this node become
+    /// stale; drivers must skip completions on dead nodes.
+    pub fn fail(&mut self, now_ps: u64, observer: &dyn FlowObserver) -> Vec<ActiveJob> {
+        self.alive = false;
+        let mut orphans: Vec<ActiveJob> = Vec::new();
+        for q in &mut self.queues {
+            orphans.extend(q.drain_all());
+        }
+        let queued = orphans.len();
+        let mut in_flight = 0usize;
+        for b in &mut self.boards {
+            b.busy = false;
+            for inflight in b.running.drain(..) {
+                in_flight += 1;
+                orphans.push(inflight.job);
+            }
+        }
+        observer.on_event(&FlowEvent::NodeFailed {
+            node: self.id,
+            at_ps: now_ps,
+            queued,
+            in_flight,
+        });
+        orphans
+    }
+
+    /// Fold the node's bookkeeping into a [`ServeReport`]. For a
+    /// standalone single-node session this is byte-for-byte the PR 4
+    /// report; inside a cluster it is the node's local view (transfers
+    /// in/out are accounted by the cluster, not the node).
+    pub fn into_report(self) -> ServeReport {
+        debug_assert!(
+            !self.alive || self.queues.iter().all(|q| q.is_empty()),
+            "alive nodes drain at shutdown"
+        );
+        let tenants: Vec<TenantReport> = self
+            .tenant_ids
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let latencies = &self.tenant_latencies[i];
+                let mean = if latencies.is_empty() {
+                    0
+                } else {
+                    latencies.iter().sum::<u64>() / latencies.len() as u64
+                };
+                TenantReport {
+                    tenant: t.clone(),
+                    submitted: self.submitted_per_tenant[i],
+                    admitted: self.submitted_per_tenant[i] - self.rejected_per_tenant[i],
+                    rejected: self.rejected_per_tenant[i],
+                    completed: latencies.len() as u64,
+                    deadline_missed: self.tenant_missed[i],
+                    p50_latency_ps: percentile_ps(latencies, 50),
+                    p99_latency_ps: percentile_ps(latencies, 99),
+                    mean_latency_ps: mean,
+                }
+            })
+            .collect();
+        let throughput_jobs_per_s = if self.makespan_ps > 0 {
+            (self.completed + self.completed_late) as f64 / (self.makespan_ps as f64 * 1e-12)
+        } else {
+            0.0
+        };
+        let fairness = ServeReport::jain_fairness(&tenants);
+        let _ = self.unknown_submitted;
+        ServeReport {
+            policy: self.cfg.policy,
+            boards: self.cfg.boards,
+            seed: self.cfg.seed,
+            submitted: self.submitted,
+            admitted: self.admitted,
+            rejections: self.rejections,
+            completed: self.completed,
+            completed_late: self.completed_late,
+            timed_out: self.timed_out,
+            deadline_misses: self.completed_late + self.timed_out,
+            retries: self.retries,
+            batches: self.batches,
+            makespan_ps: self.makespan_ps,
+            throughput_jobs_per_s,
+            fairness,
+            tenants,
+            board_busy_ps: self.boards.iter().map(|b| b.busy_ps).collect(),
+            records: self.records,
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! whole serve run bit-reproducible.
 
 use crate::queue::TenantQueue;
+use serde::{value::Value, DeError, Deserialize, Serialize};
+use std::fmt;
 
 /// A scheduling discipline: given the per-tenant queues, pick which
 /// tenant's **head** job should be dispatched next.
@@ -91,8 +93,12 @@ impl SchedPolicy for Sjf {
     }
 }
 
-/// The built-in policies, for CLI/bench selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The built-in policies, for CLI/bench/report selection.
+///
+/// One parsing/rendering path for every consumer: `FromStr` (the CLI
+/// flag), `Display`/[`PolicyKind::as_str`] (tables, logs), and serde
+/// (report JSON, where it encodes as its bare name string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     Fifo,
     RoundRobin,
@@ -102,7 +108,9 @@ pub enum PolicyKind {
 impl PolicyKind {
     pub const ALL: [PolicyKind; 3] = [PolicyKind::Fifo, PolicyKind::RoundRobin, PolicyKind::Sjf];
 
-    pub fn name(&self) -> &'static str {
+    /// Canonical short name (`fifo` | `rr` | `sjf`) — stable in JSON
+    /// reports and accepted back by `FromStr`.
+    pub fn as_str(&self) -> &'static str {
         match self {
             PolicyKind::Fifo => "fifo",
             PolicyKind::RoundRobin => "rr",
@@ -119,6 +127,12 @@ impl PolicyKind {
     }
 }
 
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 impl std::str::FromStr for PolicyKind {
     type Err = String;
 
@@ -128,6 +142,23 @@ impl std::str::FromStr for PolicyKind {
             "rr" | "round-robin" => Ok(PolicyKind::RoundRobin),
             "sjf" => Ok(PolicyKind::Sjf),
             other => Err(format!("unknown policy `{other}` (fifo|rr|sjf)")),
+        }
+    }
+}
+
+impl Serialize for PolicyKind {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.as_str().into())
+    }
+}
+
+impl Deserialize for PolicyKind {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => s.parse().map_err(DeError::new),
+            other => Err(DeError::new(format!(
+                "expected a policy name string, got {other:?}"
+            ))),
         }
     }
 }
@@ -158,6 +189,7 @@ mod tests {
                 lat_ps: est_ps,
                 attempts: 0,
                 excluded_board: None,
+                redispatches: 0,
             });
         }
         q
@@ -198,10 +230,15 @@ mod tests {
     #[test]
     fn policy_kind_round_trips() {
         for kind in PolicyKind::ALL {
-            let parsed: PolicyKind = kind.name().parse().unwrap();
+            let parsed: PolicyKind = kind.as_str().parse().unwrap();
             assert_eq!(parsed, kind);
-            assert_eq!(kind.make().name(), kind.name());
+            assert_eq!(kind.make().name(), kind.as_str());
+            assert_eq!(kind.to_string(), kind.as_str());
+            // One rendering path: serde encodes the same bare string.
+            assert_eq!(kind.to_json_value(), Value::String(kind.as_str().into()));
+            assert_eq!(PolicyKind::from_json_value(&kind.to_json_value()), Ok(kind));
         }
         assert!("edf".parse::<PolicyKind>().is_err());
+        assert!(PolicyKind::from_json_value(&Value::Null).is_err());
     }
 }

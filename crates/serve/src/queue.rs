@@ -1,6 +1,7 @@
 //! Bounded per-tenant admission queues.
 
 use crate::job::JobSpec;
+use accelsoc_observe::TenantId;
 use std::collections::VecDeque;
 
 /// One admitted job waiting in (or moving through) the system.
@@ -17,6 +18,9 @@ pub struct ActiveJob {
     /// Board the job faulted on; the scheduler avoids it on retry when
     /// the pool has an alternative.
     pub excluded_board: Option<usize>,
+    /// Times this job was re-dispatched off a failed node (cluster
+    /// bookkeeping; bounded by `ClusterConfig::max_redispatch`).
+    pub redispatches: u32,
 }
 
 /// A bounded FIFO of admitted jobs for one tenant. Jobs leave from the
@@ -24,15 +28,15 @@ pub struct ActiveJob {
 /// policies choose *which tenant's* front job goes next.
 #[derive(Debug)]
 pub struct TenantQueue {
-    pub name: String,
+    pub tenant: TenantId,
     pub depth: usize,
     jobs: VecDeque<ActiveJob>,
 }
 
 impl TenantQueue {
-    pub fn new(name: impl Into<String>, depth: usize) -> Self {
+    pub fn new(tenant: impl Into<TenantId>, depth: usize) -> Self {
         TenantQueue {
-            name: name.into(),
+            tenant: tenant.into(),
             depth: depth.max(1),
             jobs: VecDeque::new(),
         }
@@ -60,6 +64,13 @@ impl TenantQueue {
         self.jobs.push_back(job);
     }
 
+    /// Append past the depth bound: cluster transfers (stolen or
+    /// re-dispatched jobs) were already admitted elsewhere and must not
+    /// be droppable by a second depth check.
+    pub fn push_unbounded(&mut self, job: ActiveJob) {
+        self.jobs.push_back(job);
+    }
+
     /// Requeue a faulted job at the front so its retry is not penalised
     /// by jobs that arrived while it was executing.
     pub fn push_front(&mut self, job: ActiveJob) {
@@ -68,6 +79,22 @@ impl TenantQueue {
 
     pub fn pop(&mut self) -> Option<ActiveJob> {
         self.jobs.pop_front()
+    }
+
+    /// Take the *newest* queued job (the work-stealing victim side:
+    /// stealing from the back preserves the FIFO order of everything
+    /// the tenant is still owed locally).
+    pub fn pop_back(&mut self) -> Option<ActiveJob> {
+        self.jobs.pop_back()
+    }
+
+    /// Whether any queued job's deadline is at or before `now_ps` — the
+    /// allocation-free pre-check for [`TenantQueue::drain_expired`],
+    /// called once per dispatch iteration on the hot path.
+    pub fn has_expired(&self, now_ps: u64) -> bool {
+        self.jobs
+            .iter()
+            .any(|j| matches!(j.spec.deadline_ps, Some(d) if d <= now_ps))
     }
 
     /// Remove every queued job whose deadline is at or before `now_ps`
@@ -83,6 +110,11 @@ impl TenantQueue {
         }
         self.jobs = keep;
         expired
+    }
+
+    /// Empty the queue in FIFO order (node-failure drain).
+    pub fn drain_all(&mut self) -> std::collections::vec_deque::Drain<'_, ActiveJob> {
+        self.jobs.drain(..)
     }
 }
 
@@ -108,6 +140,7 @@ mod tests {
             lat_ps: 100,
             attempts: 0,
             excluded_board: None,
+            redispatches: 0,
         }
     }
 
@@ -131,11 +164,14 @@ mod tests {
         q.push(job(2, None));
         q.push(job(3, Some(200)));
         q.push(job(4, Some(49)));
+        assert!(!q.has_expired(48));
+        assert!(q.has_expired(50));
         let expired = q.drain_expired(50);
         assert_eq!(
             expired.iter().map(|j| j.spec.id).collect::<Vec<_>>(),
             [1, 4]
         );
+        assert!(!q.has_expired(50));
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop().unwrap().spec.id, 2);
         assert_eq!(q.pop().unwrap().spec.id, 3);
@@ -151,5 +187,19 @@ mod tests {
         q.push_front(j);
         assert_eq!(q.head().unwrap().spec.id, 1);
         assert_eq!(q.head().unwrap().attempts, 1);
+    }
+
+    #[test]
+    fn steal_side_pops_newest_and_transfers_ignore_depth() {
+        let mut q = TenantQueue::new("t", 2);
+        q.push(job(1, None));
+        q.push(job(2, None));
+        assert!(q.is_full());
+        q.push_unbounded(job(3, None));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_back().unwrap().spec.id, 3);
+        assert_eq!(q.head().unwrap().spec.id, 1, "front order untouched");
+        assert_eq!(q.drain_all().map(|j| j.spec.id).collect::<Vec<_>>(), [1, 2]);
+        assert!(q.is_empty());
     }
 }

@@ -5,13 +5,14 @@
 //! JSON for the same (workload, config) regardless of host thread count.
 
 use crate::job::{JobOutcome, JobRecord};
-use accelsoc_observe::percentile_ps;
+use crate::policy::PolicyKind;
+use accelsoc_observe::{percentile_ps, TenantId};
 use serde::{Deserialize, Serialize};
 
 /// Per-tenant aggregate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantReport {
-    pub tenant: String,
+    pub tenant: TenantId,
     /// Jobs this tenant submitted (admitted + rejected).
     pub submitted: u64,
     pub admitted: u64,
@@ -48,7 +49,7 @@ impl RejectionCounts {
 /// Everything one serve run produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
-    pub policy: String,
+    pub policy: PolicyKind,
     pub boards: usize,
     pub seed: u64,
     pub submitted: u64,
@@ -82,7 +83,7 @@ impl ServeReport {
     /// fixes the row order; `submitted`/`rejected` come from admission
     /// bookkeeping (rejected jobs have no record).
     pub fn tenant_rows(
-        tenants: &[String],
+        tenants: &[TenantId],
         submitted: &[u64],
         rejected: &[u64],
         records: &[JobRecord],

@@ -1,37 +1,47 @@
-//! The virtual-time serving loop.
+//! The virtual-time serving session.
 //!
 //! Execution happens in two strictly separated stages:
 //!
 //! 1. **Parallel precompute** (host threads): every admissible job's true
-//!    board latency is simulated with [`run_application_with`] — a pure
-//!    function of `(arch, image, board knobs)` — into slot-ordered
-//!    storage, exactly the `apps::batch` pattern. Host thread count can
-//!    only change *when* a slot is filled, never *what* it holds.
+//!    board latency is simulated into the slot-ordered [`SimTables`] —
+//!    see [`crate::node`]. Host thread count can only change *when* a
+//!    slot is filled, never *what* it holds.
 //! 2. **Sequential event loop** (virtual time): one integer-picosecond
 //!    calendar (the PR 3 discipline — `u64` keys, explicit tie-break
-//!    ranks, no floats, no wall clock) drives admission, policy
-//!    decisions, batching, retries and deadlines. Nothing in this stage
-//!    reads anything a host thread could have reordered.
+//!    ranks, no floats, no wall clock) drives a single [`ServeNode`]
+//!    through admission, policy decisions, batching, retries and
+//!    deadlines. Nothing in this stage reads anything a host thread
+//!    could have reordered.
 //!
 //! Hence the same `(workload, config)` yields a byte-identical
 //! [`ServeReport`] for any `--threads` value.
+//!
+//! The entry point is [`ServeSession`]: build a [`ServeConfig`] with
+//! [`ServeConfig::builder`] (the struct is `#[non_exhaustive]`; the
+//! builder is the only way to construct a non-default one) and call
+//! [`ServeSession::run`]. The PR 4 free functions [`run_serve`] and
+//! [`run_serve_seeded`] survive as deprecated thin wrappers.
 
-use crate::estimator::DseEstimator;
-use crate::job::{AdmissionError, JobOutcome, JobRecord, JobSpec};
+use crate::job::JobSpec;
+use crate::node::{Scheduled, ServeNode, SimTables};
 use crate::policy::PolicyKind;
-use crate::queue::{ActiveJob, TenantQueue};
-use crate::report::{RejectionCounts, ServeReport};
-use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
-use accelsoc_apps::image::{synthetic_scene, RgbImage};
-use accelsoc_apps::otsu::{run_application_with, AppConfig, AppError};
-use accelsoc_core::flow::{FlowArtifacts, FlowError};
-use accelsoc_observe::{FlowEvent, FlowObserver};
-use accelsoc_platform::sim::{ns_from_ps, ps_from_ns};
+use crate::report::ServeReport;
+use accelsoc_apps::otsu::{AppConfig, AppError};
+use accelsoc_core::flow::FlowError;
+use accelsoc_observe::FlowObserver;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Knobs of one serve run.
+///
+/// `#[non_exhaustive]`: construct with [`ServeConfig::builder`] (or
+/// start from [`ServeConfig::default`] and mutate fields). Struct
+/// literals would freeze the field set into every caller, which is
+/// exactly what the PR 4 → PR 6 migration (seed moved into the config,
+/// records became optional) showed does not scale.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Tenants the runtime is configured for, in fixed report order.
@@ -55,6 +65,12 @@ pub struct ServeConfig {
     pub max_retries: u32,
     /// Board knobs handed to the per-job simulation.
     pub app: AppConfig,
+    /// Workload seed, stamped into the report (pure provenance — the
+    /// session itself draws no randomness).
+    pub seed: u64,
+    /// Keep the per-job [`crate::JobRecord`] ledger in the report.
+    /// Disable for million-job runs where only the aggregates matter.
+    pub keep_records: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,7 +86,101 @@ impl Default for ServeConfig {
             reconfig_ps: 20_000_000,         // 20 us partial reconfig
             max_retries: 1,
             app: AppConfig::default(),
+            seed: 0,
+            keep_records: true,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Start a builder from the defaults (the `FlowOptions` pattern).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+}
+
+/// Chained-setter builder for [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Replace the tenant list (fixed report order).
+    pub fn tenants<I, S>(mut self, tenants: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.cfg.tenants = tenants.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append one tenant.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.cfg.tenants.push(tenant.into());
+        self
+    }
+
+    pub fn boards(mut self, boards: usize) -> Self {
+        self.cfg.boards = boards;
+        self
+    }
+
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    pub fn dispatch_overhead_ps(mut self, ps: u64) -> Self {
+        self.cfg.dispatch_overhead_ps = ps;
+        self
+    }
+
+    pub fn reconfig_ps(mut self, ps: u64) -> Self {
+        self.cfg.reconfig_ps = ps;
+        self
+    }
+
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    pub fn app(mut self, app: AppConfig) -> Self {
+        self.cfg.app = app;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn keep_records(mut self, keep: bool) -> Self {
+        self.cfg.keep_records = keep;
+        self
+    }
+
+    pub fn build(self) -> ServeConfig {
+        self.cfg
     }
 }
 
@@ -107,512 +217,117 @@ impl From<AppError> for ServeError {
     }
 }
 
-/// Admission checks that depend only on the job itself (not on queue
-/// state). Split out so the latency precompute can skip jobs that will
-/// never run.
-fn static_admission(job: &JobSpec, cfg: &ServeConfig, est_ps: u64) -> Result<(), AdmissionError> {
-    if !cfg.tenants.iter().any(|t| t == &job.tenant) {
-        return Err(AdmissionError::UnknownTenant(job.tenant.clone()));
-    }
-    if let Some(graph) = &job.graph {
-        let report = accelsoc_htg::validate::validate(graph);
-        if !report.is_ok() {
-            let detail = report
-                .errors
-                .iter()
-                .map(|e| e.to_string())
-                .collect::<Vec<_>>()
-                .join("; ");
-            return Err(AdmissionError::InvalidGraph { detail });
-        }
-    }
-    // The board needs the input image and the output buffer resident at
-    // once; reject anything that cannot fit the pool's DRAM.
-    let need = job.input_bytes() + job.pixels();
-    let capacity = cfg.app.dram_bytes as u64;
-    if need > capacity {
-        return Err(AdmissionError::JobTooLarge {
-            bytes: need,
-            capacity,
-        });
-    }
-    if let Some(deadline_ps) = job.deadline_ps {
-        let earliest_finish_ps = job.submit_ps + cfg.dispatch_overhead_ps + est_ps;
-        if deadline_ps < earliest_finish_ps {
-            return Err(AdmissionError::DeadlineImpossible {
-                deadline_ps,
-                earliest_finish_ps,
-            });
-        }
-    }
-    Ok(())
-}
-
-struct BoardSlot {
-    busy: bool,
-    arch: Option<Arch>,
-    busy_ps: u64,
-}
-
-struct InFlight {
-    job: ActiveJob,
-    finish_ps: u64,
-}
-
-enum Ev {
-    /// Index into the arrival-ordered job list.
-    Arrive(usize),
-    /// A board phase finished; jobs carry their staggered finish times.
-    BatchDone { board: usize, jobs: Vec<InFlight> },
-}
-
 /// Calendar ranks: completions before arrivals at the same instant, so a
 /// freed board is visible to a job arriving at exactly that time.
 const RANK_BATCH_DONE: u8 = 0;
 const RANK_ARRIVE: u8 = 1;
 
+enum Ev {
+    /// Index into the arrival-ordered job list.
+    Arrive(usize),
+    /// A board phase finished (the jobs live on the node's board slot).
+    BatchDone { board: usize },
+}
+
+/// Min-heap over `(ps, rank, seq)`-keyed events.
+type Calendar = BinaryHeap<Reverse<Scheduled<(u64, u8, u64), Ev>>>;
+
+/// One configured serving runtime: the single entry point for running
+/// job streams against a board pool.
+///
+/// ```no_run
+/// # use accelsoc_serve::{ServeConfig, ServeSession, PolicyKind};
+/// # use accelsoc_observe::NullObserver;
+/// let cfg = ServeConfig::builder()
+///     .tenants(["interactive", "batch"])
+///     .boards(4)
+///     .policy(PolicyKind::Sjf)
+///     .seed(7)
+///     .build();
+/// let report = ServeSession::new(cfg).run(&[], &NullObserver).unwrap();
+/// ```
+pub struct ServeSession {
+    cfg: ServeConfig,
+}
+
+impl ServeSession {
+    pub fn new(cfg: ServeConfig) -> Self {
+        ServeSession { cfg }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Run the scheduler over an arrival-ordered job stream.
+    pub fn run(
+        &self,
+        jobs: &[JobSpec],
+        observer: &dyn FlowObserver,
+    ) -> Result<ServeReport, ServeError> {
+        let tables = SimTables::build(jobs, &self.cfg, self.cfg.threads)?;
+        let mut node = ServeNode::new(0, self.cfg.clone(), Arc::new(tables));
+
+        let mut calendar: Calendar = BinaryHeap::new();
+        let mut next_seq = 0u64;
+        for (i, job) in jobs.iter().enumerate() {
+            calendar.push(Reverse(Scheduled {
+                key: (job.submit_ps, RANK_ARRIVE, next_seq),
+                ev: Ev::Arrive(i),
+            }));
+            next_seq += 1;
+        }
+
+        let mut sched_buf: Vec<(usize, u64)> = Vec::new();
+        while let Some(Reverse(Scheduled {
+            key: (now_ps, _, _),
+            ev,
+        })) = calendar.pop()
+        {
+            match ev {
+                Ev::Arrive(i) => {
+                    node.admit(&jobs[i], now_ps, false, observer);
+                }
+                Ev::BatchDone { board } => node.batch_done(board, observer),
+            }
+            node.dispatch(now_ps, observer, &mut sched_buf);
+            for (board, done_ps) in sched_buf.drain(..) {
+                calendar.push(Reverse(Scheduled {
+                    key: (done_ps, RANK_BATCH_DONE, next_seq),
+                    ev: Ev::BatchDone { board },
+                }));
+                next_seq += 1;
+            }
+        }
+        Ok(node.into_report())
+    }
+}
+
 /// Run the scheduler over an arrival-ordered job stream.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ServeSession::new(cfg).run(jobs, observer)`; the seed lives in `ServeConfig`"
+)]
 pub fn run_serve(
     jobs: &[JobSpec],
     cfg: &ServeConfig,
     observer: &dyn FlowObserver,
 ) -> Result<ServeReport, ServeError> {
-    assert!(cfg.boards >= 1, "need at least one board");
-    let max_batch = cfg.max_batch.max(1);
-
-    // --- stage 0: DSE estimates (sequential, memoized) -------------------
-    let mut estimator = DseEstimator::new();
-    let mut est_ps: HashMap<(&'static str, u32), u64> = HashMap::new();
-    for job in jobs {
-        est_ps
-            .entry((job.arch.name(), job.side))
-            .or_insert_with(|| estimator.estimate_ps(job.arch, job.side));
-    }
-
-    // --- stage 1: parallel latency precompute ----------------------------
-    // Flow artifacts once per architecture in use (order-fixed).
-    let mut engine = otsu_flow_engine();
-    let mut artifacts: HashMap<&'static str, FlowArtifacts> = HashMap::new();
-    for arch in Arch::all() {
-        if jobs.iter().any(|j| j.arch == arch) && !artifacts.contains_key(arch.name()) {
-            artifacts.insert(arch.name(), engine.run_source(&arch_dsl_source(arch))?);
-        }
-    }
-
-    // Unique (arch, side, image_seed) among statically admissible jobs,
-    // first-seen order.
-    let mut keys: Vec<(Arch, u32, u64)> = Vec::new();
-    {
-        let mut seen: HashMap<(&'static str, u32, u64), ()> = HashMap::new();
-        for job in jobs {
-            let e = est_ps[&(job.arch.name(), job.side)];
-            if static_admission(job, cfg, e).is_err() {
-                continue;
-            }
-            if seen
-                .insert((job.arch.name(), job.side, job.image_seed), ())
-                .is_none()
-            {
-                keys.push((job.arch, job.side, job.image_seed));
-            }
-        }
-    }
-    let threads = cfg.threads.max(1);
-    let mut slots: Vec<Option<Result<f64, AppError>>> = Vec::new();
-    slots.resize_with(keys.len(), || None);
-    let chunk = keys.len().div_ceil(threads).max(1);
-    let engine_ref = &engine;
-    let artifacts_ref = &artifacts;
-    let app_cfg = &cfg.app;
-    crossbeam::thread::scope(|s| {
-        for (key_chunk, slot_chunk) in keys.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            s.spawn(move |_| {
-                for (&(arch, side, seed), slot) in key_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    let img = RgbImage::from_gray(&synthetic_scene(side, side, seed));
-                    *slot = Some(
-                        run_application_with(
-                            arch,
-                            engine_ref,
-                            &artifacts_ref[arch.name()],
-                            &img,
-                            app_cfg,
-                        )
-                        .map(|run| run.total_ns),
-                    );
-                }
-            });
-        }
-    })
-    .expect("latency precompute worker panicked");
-    let mut lat_ps: HashMap<(&'static str, u32, u64), u64> = HashMap::new();
-    for ((arch, side, seed), slot) in keys.iter().zip(slots) {
-        let ns = slot.expect("every latency slot filled")?;
-        lat_ps.insert((arch.name(), *side, *seed), ps_from_ns(ns));
-    }
-
-    // --- stage 2: sequential virtual-time event loop ----------------------
-    let mut queues: Vec<TenantQueue> = cfg
-        .tenants
-        .iter()
-        .map(|t| TenantQueue::new(t.clone(), cfg.queue_depth))
-        .collect();
-    let mut boards: Vec<BoardSlot> = (0..cfg.boards)
-        .map(|_| BoardSlot {
-            busy: false,
-            arch: None,
-            busy_ps: 0,
-        })
-        .collect();
-    let mut policy = cfg.policy.make();
-
-    let mut calendar: BinaryHeap<Reverse<(u64, u8, u64)>> = BinaryHeap::new();
-    let mut pending: HashMap<u64, Ev> = HashMap::new();
-    let mut next_seq = 0u64;
-    let schedule = |calendar: &mut BinaryHeap<Reverse<(u64, u8, u64)>>,
-                    pending: &mut HashMap<u64, Ev>,
-                    next_seq: &mut u64,
-                    at_ps: u64,
-                    rank: u8,
-                    ev: Ev| {
-        let seq = *next_seq;
-        *next_seq += 1;
-        pending.insert(seq, ev);
-        calendar.push(Reverse((at_ps, rank, seq)));
-    };
-    for (i, job) in jobs.iter().enumerate() {
-        schedule(
-            &mut calendar,
-            &mut pending,
-            &mut next_seq,
-            job.submit_ps,
-            RANK_ARRIVE,
-            Ev::Arrive(i),
-        );
-    }
-
-    let tenant_idx: HashMap<&str, usize> = cfg
-        .tenants
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.as_str(), i))
-        .collect();
-    let mut submitted_per_tenant = vec![0u64; cfg.tenants.len()];
-    let mut rejected_per_tenant = vec![0u64; cfg.tenants.len()];
-    let mut rejections = RejectionCounts::default();
-    let mut records: Vec<JobRecord> = Vec::new();
-    let mut admitted = 0u64;
-    let mut retries = 0u64;
-    let mut batches = 0u64;
-    let mut unknown_submitted = 0u64;
-    let mut makespan_ps = 0u64;
-
-    // Queue-expiry sweep + record helper.
-    fn expire_queues(
-        queues: &mut [TenantQueue],
-        now_ps: u64,
-        records: &mut Vec<JobRecord>,
-        observer: &dyn FlowObserver,
-        makespan_ps: &mut u64,
-    ) {
-        for q in queues.iter_mut() {
-            for job in q.drain_expired(now_ps) {
-                let deadline = job.spec.deadline_ps.expect("expired ⇒ has deadline");
-                observer.on_event(&FlowEvent::JobDeadlineMissed {
-                    job: job.spec.id,
-                    tenant: job.spec.tenant.clone(),
-                    late_ps: now_ps.saturating_sub(deadline),
-                });
-                *makespan_ps = (*makespan_ps).max(deadline);
-                records.push(JobRecord {
-                    id: job.spec.id,
-                    tenant: job.spec.tenant.clone(),
-                    arch: job.spec.arch.name().into(),
-                    side: job.spec.side,
-                    board: None,
-                    outcome: JobOutcome::TimedOut,
-                    submit_ps: job.spec.submit_ps,
-                    finish_ps: deadline,
-                    latency_ps: deadline - job.spec.submit_ps,
-                    retries: job.attempts,
-                });
-            }
-        }
-    }
-
-    while let Some(Reverse((now_ps, _rank, seq))) = calendar.pop() {
-        let ev = pending.remove(&seq).expect("scheduled event present");
-        match ev {
-            Ev::Arrive(i) => {
-                let job = &jobs[i];
-                let e = est_ps[&(job.arch.name(), job.side)];
-                let verdict = static_admission(job, cfg, e).and_then(|()| {
-                    match tenant_idx.get(job.tenant.as_str()) {
-                        Some(&ti) if queues[ti].is_full() => Err(AdmissionError::QueueFull {
-                            tenant: job.tenant.clone(),
-                            depth: queues[ti].depth,
-                        }),
-                        Some(&ti) => Ok(ti),
-                        None => unreachable!("static_admission checked tenant"),
-                    }
-                });
-                if let Some(&ti) = tenant_idx.get(job.tenant.as_str()) {
-                    submitted_per_tenant[ti] += 1;
-                } else {
-                    unknown_submitted += 1;
-                }
-                match verdict {
-                    Err(err) => {
-                        match &err {
-                            AdmissionError::QueueFull { .. } => rejections.queue_full += 1,
-                            AdmissionError::JobTooLarge { .. } => rejections.job_too_large += 1,
-                            AdmissionError::DeadlineImpossible { .. } => {
-                                rejections.deadline_impossible += 1
-                            }
-                            AdmissionError::InvalidGraph { .. } => rejections.invalid_graph += 1,
-                            AdmissionError::UnknownTenant(_) => rejections.unknown_tenant += 1,
-                        }
-                        if let Some(&ti) = tenant_idx.get(job.tenant.as_str()) {
-                            rejected_per_tenant[ti] += 1;
-                        }
-                        observer.on_event(&FlowEvent::JobRejected {
-                            job: job.id,
-                            tenant: job.tenant.clone(),
-                            reason: err.kind().into(),
-                        });
-                        continue;
-                    }
-                    Ok(ti) => {
-                        admitted += 1;
-                        observer.on_event(&FlowEvent::JobAdmitted {
-                            job: job.id,
-                            tenant: job.tenant.clone(),
-                            est_ns: ns_from_ps(e),
-                        });
-                        queues[ti].push(ActiveJob {
-                            spec: job.clone(),
-                            est_ps: e,
-                            lat_ps: lat_ps[&(job.arch.name(), job.side, job.image_seed)],
-                            attempts: 0,
-                            excluded_board: None,
-                        });
-                    }
-                }
-            }
-            Ev::BatchDone { board, jobs: done } => {
-                boards[board].busy = false;
-                for inflight in done {
-                    let mut job = inflight.job;
-                    if job.spec.transient_fault && job.attempts <= cfg.max_retries {
-                        retries += 1;
-                        observer.on_event(&FlowEvent::JobRetried {
-                            job: job.spec.id,
-                            tenant: job.spec.tenant.clone(),
-                            from_board: board,
-                            attempt: job.attempts,
-                        });
-                        job.excluded_board = Some(board);
-                        let ti = tenant_idx[job.spec.tenant.as_str()];
-                        queues[ti].push_front(job);
-                        continue;
-                    }
-                    let finish_ps = inflight.finish_ps;
-                    makespan_ps = makespan_ps.max(finish_ps);
-                    let outcome = match job.spec.deadline_ps {
-                        Some(d) if finish_ps > d => {
-                            observer.on_event(&FlowEvent::JobDeadlineMissed {
-                                job: job.spec.id,
-                                tenant: job.spec.tenant.clone(),
-                                late_ps: finish_ps - d,
-                            });
-                            JobOutcome::CompletedLate
-                        }
-                        _ => JobOutcome::Completed,
-                    };
-                    observer.on_event(&FlowEvent::JobCompleted {
-                        job: job.spec.id,
-                        tenant: job.spec.tenant.clone(),
-                        board,
-                        latency_ps: finish_ps - job.spec.submit_ps,
-                    });
-                    records.push(JobRecord {
-                        id: job.spec.id,
-                        tenant: job.spec.tenant.clone(),
-                        arch: job.spec.arch.name().into(),
-                        side: job.spec.side,
-                        board: Some(board),
-                        outcome,
-                        submit_ps: job.spec.submit_ps,
-                        finish_ps,
-                        latency_ps: finish_ps - job.spec.submit_ps,
-                        retries: job.attempts - 1,
-                    });
-                }
-            }
-        }
-
-        // Dispatch as much as the pool allows at this instant.
-        loop {
-            expire_queues(
-                &mut queues,
-                now_ps,
-                &mut records,
-                observer,
-                &mut makespan_ps,
-            );
-            let idle: Vec<usize> = boards
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| !b.busy)
-                .map(|(i, _)| i)
-                .collect();
-            if idle.is_empty() {
-                break;
-            }
-            let Some(ti) = policy.select(&queues, now_ps) else {
-                break;
-            };
-            let head = queues[ti]
-                .head()
-                .expect("policy selected a non-empty queue");
-            let arch = head.spec.arch;
-            let excluded = head.excluded_board;
-            let mut candidates: Vec<usize> = idle
-                .iter()
-                .copied()
-                .filter(|&b| Some(b) != excluded)
-                .collect();
-            if candidates.is_empty() {
-                if boards.len() == 1 {
-                    // Single-board pool: a retry has nowhere else to go.
-                    candidates = idle;
-                } else {
-                    // The only idle board is the one the job faulted on;
-                    // wait for a different one to free up.
-                    break;
-                }
-            }
-            // Prefer a board already carrying this architecture's
-            // bitstream (no reconfig), lowest index as tie-break.
-            let board = candidates
-                .iter()
-                .copied()
-                .find(|&b| boards[b].arch == Some(arch))
-                .unwrap_or(candidates[0]);
-
-            // Pull the selected head, then coalesce same-arch heads
-            // (global id order) into the batch.
-            let mut batch = vec![queues[ti].pop().expect("head exists")];
-            policy.on_dispatch(ti);
-            while batch.len() < max_batch {
-                let next = queues
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(qi, q)| q.head().map(|j| (j, qi)))
-                    .filter(|(j, _)| j.spec.arch == arch && j.excluded_board != Some(board))
-                    .map(|(j, qi)| (j.spec.id, qi))
-                    .min();
-                match next {
-                    Some((_, qi)) => batch.push(queues[qi].pop().expect("head exists")),
-                    None => break,
-                }
-            }
-
-            let reconfig = if boards[board].arch == Some(arch) {
-                0
-            } else {
-                cfg.reconfig_ps
-            };
-            boards[board].arch = Some(arch);
-            let batch_size = batch.len();
-            let mut t = now_ps + reconfig + cfg.dispatch_overhead_ps;
-            let mut inflight = Vec::with_capacity(batch_size);
-            for mut job in batch {
-                job.attempts += 1;
-                t += job.lat_ps;
-                observer.on_event(&FlowEvent::JobDispatched {
-                    job: job.spec.id,
-                    tenant: job.spec.tenant.clone(),
-                    board,
-                    batch: batch_size,
-                    at_ps: now_ps,
-                });
-                inflight.push(InFlight { job, finish_ps: t });
-            }
-            boards[board].busy = true;
-            boards[board].busy_ps += t - now_ps;
-            batches += 1;
-            schedule(
-                &mut calendar,
-                &mut pending,
-                &mut next_seq,
-                t,
-                RANK_BATCH_DONE,
-                Ev::BatchDone {
-                    board,
-                    jobs: inflight,
-                },
-            );
-        }
-    }
-    debug_assert!(queues.iter().all(|q| q.is_empty()), "drained at shutdown");
-
-    // --- fold into the report --------------------------------------------
-    let tenants = ServeReport::tenant_rows(
-        &cfg.tenants,
-        &submitted_per_tenant,
-        &rejected_per_tenant,
-        &records,
-    );
-    let completed = records
-        .iter()
-        .filter(|r| r.outcome == JobOutcome::Completed)
-        .count() as u64;
-    let completed_late = records
-        .iter()
-        .filter(|r| r.outcome == JobOutcome::CompletedLate)
-        .count() as u64;
-    let timed_out = records
-        .iter()
-        .filter(|r| r.outcome == JobOutcome::TimedOut)
-        .count() as u64;
-    let throughput_jobs_per_s = if makespan_ps > 0 {
-        (completed + completed_late) as f64 / (makespan_ps as f64 * 1e-12)
-    } else {
-        0.0
-    };
-    let fairness = ServeReport::jain_fairness(&tenants);
-    let _ = unknown_submitted;
-    Ok(ServeReport {
-        policy: cfg.policy.name().into(),
-        boards: cfg.boards,
-        seed: 0, // callers stamp the workload seed; see `run_serve_seeded`
-        submitted: jobs.len() as u64,
-        admitted,
-        rejections,
-        completed,
-        completed_late,
-        timed_out,
-        deadline_misses: completed_late + timed_out,
-        retries,
-        batches,
-        makespan_ps,
-        throughput_jobs_per_s,
-        fairness,
-        tenants,
-        board_busy_ps: boards.iter().map(|b| b.busy_ps).collect(),
-        records,
-    })
+    ServeSession::new(cfg.clone()).run(jobs, observer)
 }
 
-/// [`run_serve`] plus the seed stamped into the report (the common path
-/// for generated workloads).
+/// [`run_serve`] plus the seed stamped into the report.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ServeConfig::builder().seed(..)` and `ServeSession::run`"
+)]
 pub fn run_serve_seeded(
     jobs: &[JobSpec],
     cfg: &ServeConfig,
     seed: u64,
     observer: &dyn FlowObserver,
 ) -> Result<ServeReport, ServeError> {
-    let mut report = run_serve(jobs, cfg, observer)?;
-    report.seed = seed;
-    Ok(report)
+    let mut cfg = cfg.clone();
+    cfg.seed = seed;
+    ServeSession::new(cfg).run(jobs, observer)
 }

@@ -8,6 +8,7 @@
 use crate::estimator::DseEstimator;
 use crate::job::JobSpec;
 use accelsoc_apps::archs::Arch;
+use accelsoc_observe::TenantId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,6 +73,15 @@ pub fn generate_workload(spec: &WorkloadSpec, estimator: &mut DseEstimator) -> V
     let total_weight: u64 = spec.tenants.iter().map(|t| t.weight.max(1) as u64).sum();
     let mean = spec.mean_interarrival_ps.max(1);
 
+    // One interned TenantId per profile, pre-resolved to its index so
+    // the scheduler's fast admission path never rehashes the name.
+    let tenant_ids: Vec<TenantId> = spec
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TenantId::new(i as u32, t.name.as_str()))
+        .collect();
+
     let mut jobs = Vec::with_capacity(spec.jobs);
     let mut clock_ps = 0u64;
     for id in 0..spec.jobs as u64 {
@@ -79,10 +89,11 @@ pub fn generate_workload(spec: &WorkloadSpec, estimator: &mut DseEstimator) -> V
 
         // Weighted tenant choice.
         let mut pick = rng.gen_range(0..total_weight);
-        let tenant = spec
+        let (tenant_idx, tenant) = spec
             .tenants
             .iter()
-            .find(|t| {
+            .enumerate()
+            .find(|(_, t)| {
                 let w = t.weight.max(1) as u64;
                 if pick < w {
                     true
@@ -103,7 +114,7 @@ pub fn generate_workload(spec: &WorkloadSpec, estimator: &mut DseEstimator) -> V
 
         jobs.push(JobSpec {
             id,
-            tenant: tenant.name.clone(),
+            tenant: tenant_ids[tenant_idx].clone(),
             arch,
             side,
             image_seed: spec.seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -114,6 +125,22 @@ pub fn generate_workload(spec: &WorkloadSpec, estimator: &mut DseEstimator) -> V
         });
     }
     jobs
+}
+
+/// Fold every job's `image_seed` into a pool of `pool` distinct values.
+///
+/// The latency precompute simulates one board run per unique
+/// `(arch, side, image_seed)` key, so an unbounded seed space makes a
+/// million-job sweep pay a million board simulations. Serving workloads
+/// in the wild re-serve a bounded catalog of inputs; this models that
+/// by reducing seeds modulo the pool size, keeping the precompute
+/// `O(archs × sides × pool)` while the event loop still processes every
+/// job.
+pub fn pool_image_seeds(jobs: &mut [JobSpec], pool: u64) {
+    let pool = pool.max(1);
+    for job in jobs {
+        job.image_seed %= pool;
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +180,30 @@ mod tests {
             assert_eq!(x.deadline_ps, y.deadline_ps);
             assert_eq!(x.image_seed, y.image_seed);
         }
+    }
+
+    #[test]
+    fn generated_tenants_are_pre_resolved() {
+        let mut e = DseEstimator::new();
+        let jobs = generate_workload(&spec(3), &mut e);
+        for j in &jobs {
+            assert!(j.tenant.is_resolved());
+            let i = j.tenant.index() as usize;
+            assert_eq!(spec(3).tenants[i].name, j.tenant.name());
+        }
+    }
+
+    #[test]
+    fn image_seed_pool_bounds_unique_seeds() {
+        let mut e = DseEstimator::new();
+        let mut jobs = generate_workload(&spec(9), &mut e);
+        pool_image_seeds(&mut jobs, 16);
+        let distinct: std::collections::HashSet<u64> = jobs.iter().map(|j| j.image_seed).collect();
+        assert!(distinct.len() <= 16);
+        assert!(jobs.iter().all(|j| j.image_seed < 16));
+        // pool of 0 is clamped, not a divide-by-zero
+        pool_image_seeds(&mut jobs, 0);
+        assert!(jobs.iter().all(|j| j.image_seed == 0));
     }
 
     #[test]

@@ -3,11 +3,16 @@
 
 use accelsoc_apps::archs::Arch;
 use accelsoc_htg::graph::{Htg, TaskNode, TransferKind};
+use accelsoc_observe::FlowObserver;
 use accelsoc_observe::{CollectObserver, FlowEvent, MetricsObserver, NullObserver};
 use accelsoc_serve::{
-    generate_workload, run_serve, run_serve_seeded, DseEstimator, JobOutcome, JobSpec, PolicyKind,
-    ServeConfig, TenantProfile, WorkloadSpec,
+    generate_workload, DseEstimator, JobOutcome, JobSpec, PolicyKind, ServeConfig, ServeReport,
+    ServeSession, TenantProfile, WorkloadSpec,
 };
+
+fn run(jobs: &[JobSpec], cfg: ServeConfig, observer: &dyn FlowObserver) -> ServeReport {
+    ServeSession::new(cfg).run(jobs, observer).unwrap()
+}
 
 fn two_tenant_spec(seed: u64, jobs: usize, mean_interarrival_ps: u64) -> WorkloadSpec {
     WorkloadSpec {
@@ -36,13 +41,13 @@ fn two_tenant_spec(seed: u64, jobs: usize, mean_interarrival_ps: u64) -> Workloa
 }
 
 fn config(policy: PolicyKind, boards: usize, threads: usize) -> ServeConfig {
-    ServeConfig {
-        tenants: vec!["interactive".into(), "batch".into()],
-        boards,
-        policy,
-        threads,
-        ..ServeConfig::default()
-    }
+    ServeConfig::builder()
+        .tenants(["interactive", "batch"])
+        .boards(boards)
+        .policy(policy)
+        .threads(threads)
+        .seed(42)
+        .build()
 }
 
 fn plain_job(id: u64, tenant: &str, submit_ps: u64) -> JobSpec {
@@ -68,8 +73,8 @@ fn report_is_bit_identical_across_thread_counts_and_policies() {
     let mut est = DseEstimator::new();
     let jobs = generate_workload(&spec, &mut est);
     for policy in PolicyKind::ALL {
-        let seq = run_serve_seeded(&jobs, &config(policy, 2, 1), spec.seed, &NullObserver).unwrap();
-        let par = run_serve_seeded(&jobs, &config(policy, 2, 4), spec.seed, &NullObserver).unwrap();
+        let seq = run(&jobs, config(policy, 2, 1), &NullObserver);
+        let par = run(&jobs, config(policy, 2, 4), &NullObserver);
         assert_eq!(seq, par, "{policy:?} differs across thread counts");
         assert_eq!(
             serde_json::to_string(&seq).unwrap(),
@@ -96,14 +101,13 @@ fn saturation_bounds_queues_and_round_robin_protects_low_rate_tenant() {
     };
     let mut est = DseEstimator::new();
     let jobs = generate_workload(&spec, &mut est);
-    let cfg = ServeConfig {
-        tenants: vec!["flood".into(), "trickle".into()],
-        boards: 1,
-        policy: PolicyKind::RoundRobin,
-        queue_depth: 4,
-        ..ServeConfig::default()
-    };
-    let report = run_serve(&jobs, &cfg, &NullObserver).unwrap();
+    let cfg = ServeConfig::builder()
+        .tenants(["flood", "trickle"])
+        .boards(1)
+        .policy(PolicyKind::RoundRobin)
+        .queue_depth(4)
+        .build();
+    let report = run(&jobs, cfg, &NullObserver);
 
     // Queues stayed bounded: the overload shows up as typed QueueFull
     // rejections, not as unbounded buffering.
@@ -137,11 +141,7 @@ fn saturation_bounds_queues_and_round_robin_protects_low_rate_tenant() {
 #[test]
 fn typed_admission_errors_are_counted_and_reported() {
     let obs = CollectObserver::new();
-    let cfg = ServeConfig {
-        tenants: vec!["t".into()],
-        boards: 1,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder().tenant("t").boards(1).build();
 
     // JobTooLarge: a 6000×6000 RGBA image does not fit 64 MiB DRAM.
     let mut too_large = plain_job(0, "t", 1_000);
@@ -186,7 +186,7 @@ fn typed_admission_errors_are_counted_and_reported() {
     let good = plain_job(4, "t", 5_000);
 
     let jobs = vec![too_large, hopeless, stranger, cyclic, good];
-    let report = run_serve(&jobs, &cfg, &obs).unwrap();
+    let report = run(&jobs, cfg, &obs);
 
     assert_eq!(report.rejections.job_too_large, 1);
     assert_eq!(report.rejections.deadline_impossible, 1);
@@ -219,14 +219,10 @@ fn typed_admission_errors_are_counted_and_reported() {
 #[test]
 fn transient_fault_retries_on_a_different_board() {
     let obs = CollectObserver::new();
-    let cfg = ServeConfig {
-        tenants: vec!["t".into()],
-        boards: 2,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder().tenant("t").boards(2).build();
     let mut faulty = plain_job(0, "t", 1_000);
     faulty.transient_fault = true;
-    let report = run_serve(&[faulty], &cfg, &obs).unwrap();
+    let report = run(&[faulty], cfg, &obs);
 
     assert_eq!(report.retries, 1);
     assert_eq!(report.completed, 1);
@@ -259,12 +255,11 @@ fn deadline_expiry_in_queue_is_a_timeout_record() {
     // One board, two jobs arriving together; the second has a deadline
     // shorter than the first job's service time, so it expires while
     // queued.
-    let cfg = ServeConfig {
-        tenants: vec!["t".into()],
-        boards: 1,
-        max_batch: 1,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder()
+        .tenant("t")
+        .boards(1)
+        .max_batch(1)
+        .build();
     let first = plain_job(0, "t", 1_000);
     let mut second = plain_job(1, "t", 2_000);
     // Estimate for a 16×16 Arch1 job is ~hundreds of us; give the second
@@ -273,7 +268,7 @@ fn deadline_expiry_in_queue_is_a_timeout_record() {
     let mut est = DseEstimator::new();
     let est_ps = est.estimate_ps(Arch::Arch1, 16);
     second.deadline_ps = Some(2_000 + cfg.dispatch_overhead_ps + est_ps + 1);
-    let report = run_serve(&[first, second], &cfg, &NullObserver).unwrap();
+    let report = run(&[first, second], cfg, &NullObserver);
 
     assert_eq!(report.admitted, 2, "both pass admission");
     assert_eq!(report.completed, 1);
@@ -291,16 +286,15 @@ fn deadline_expiry_in_queue_is_a_timeout_record() {
 #[test]
 fn batching_coalesces_same_arch_jobs_and_metrics_fold() {
     let metrics = MetricsObserver::new();
-    let cfg = ServeConfig {
-        tenants: vec!["t".into()],
-        boards: 1,
-        max_batch: 4,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder()
+        .tenant("t")
+        .boards(1)
+        .max_batch(4)
+        .build();
     // Four same-arch jobs arrive while the board is busy with the first:
     // jobs 1-3 coalesce into one batch when it frees.
     let jobs: Vec<JobSpec> = (0..4).map(|i| plain_job(i, "t", 1_000 + i)).collect();
-    let report = run_serve(&jobs, &cfg, &metrics).unwrap();
+    let report = run(&jobs, cfg, &metrics);
     assert_eq!(report.completed, 4);
     assert!(
         report.batches < 4,
@@ -330,33 +324,33 @@ fn sjf_prefers_small_jobs_under_contention() {
         small.side = 16;
         vec![plain_job(0, "t", 1_000), large, small]
     };
-    let base = ServeConfig {
-        tenants: vec!["t".into(), "t2".into()],
-        boards: 1,
-        max_batch: 1,
-        ..ServeConfig::default()
+    let base = |policy: PolicyKind| {
+        ServeConfig::builder()
+            .tenants(["t", "t2"])
+            .boards(1)
+            .max_batch(1)
+            .policy(policy)
+            .build()
     };
-    let sjf = run_serve(
-        &mk_jobs(),
-        &ServeConfig {
-            policy: PolicyKind::Sjf,
-            ..base.clone()
-        },
-        &NullObserver,
-    )
-    .unwrap();
-    let fifo = run_serve(
-        &mk_jobs(),
-        &ServeConfig {
-            policy: PolicyKind::Fifo,
-            ..base
-        },
-        &NullObserver,
-    )
-    .unwrap();
-    let order = |r: &accelsoc_serve::ServeReport| -> Vec<u64> {
-        r.records.iter().map(|rec| rec.id).collect()
-    };
+    let sjf = run(&mk_jobs(), base(PolicyKind::Sjf), &NullObserver);
+    let fifo = run(&mk_jobs(), base(PolicyKind::Fifo), &NullObserver);
+    let order = |r: &ServeReport| -> Vec<u64> { r.records.iter().map(|rec| rec.id).collect() };
     assert_eq!(order(&sjf), vec![0, 2, 1], "small job jumps the queue");
     assert_eq!(order(&fifo), vec![0, 1, 2], "fifo keeps arrival order");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_the_session_api() {
+    // The PR 4 free functions survive as thin wrappers: same inputs,
+    // byte-identical report (seed injected via the config clone).
+    let spec = two_tenant_spec(11, 16, 50_000_000);
+    let mut est = DseEstimator::new();
+    let jobs = generate_workload(&spec, &mut est);
+    let cfg = config(PolicyKind::Sjf, 2, 1);
+    let via_session = run(&jobs, cfg.clone(), &NullObserver);
+    let via_wrapper = accelsoc_serve::run_serve(&jobs, &cfg, &NullObserver).unwrap();
+    assert_eq!(via_session, via_wrapper);
+    let reseeded = accelsoc_serve::run_serve_seeded(&jobs, &cfg, 99, &NullObserver).unwrap();
+    assert_eq!(reseeded.seed, 99, "wrapper stamps the seed into the config");
 }

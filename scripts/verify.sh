@@ -18,10 +18,10 @@ cargo fmt --check
 # Clippy is not part of the minimal toolchain baked into every image;
 # lint hard when it exists, skip quietly when it doesn't.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p accelsoc-kernel -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve -p accelsoc-bench (offline, -D warnings)"
+    echo "==> cargo clippy -p accelsoc-kernel -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve -p accelsoc-observe -p accelsoc-bench -p accelsoc (offline, -D warnings)"
     cargo clippy --offline -p accelsoc-kernel -p accelsoc-core -p accelsoc-hls \
         -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve \
-        -p accelsoc-bench \
+        -p accelsoc-observe -p accelsoc-bench -p accelsoc \
         --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable; skipping lint step"
@@ -83,5 +83,24 @@ if ! grep -q '"deadline_misses": *0' "$CACHE_DIR/serve_t1.json"; then
     exit 1
 fi
 echo "    serve report bit-identical for --threads 1 vs 4; zero deadline misses"
+
+echo "==> cluster determinism smoke (accelsoc cluster-sim)"
+# Four nodes with stealing and shedding on, plus a mid-run node kill:
+# the full ClusterReport must be byte-identical across host thread
+# counts, and the job-accounting invariant must hold (no WARNING line).
+./target/release/accelsoc cluster-sim --nodes 4 --policy sjf --jobs 64 \
+    --load 2.0 --kill 1@1 --threads 1 --json "$CACHE_DIR/cluster_t1.json" >/dev/null
+./target/release/accelsoc cluster-sim --nodes 4 --policy sjf --jobs 64 \
+    --load 2.0 --kill 1@1 --threads 4 --json "$CACHE_DIR/cluster_t4.json" >/dev/null
+if ! cmp -s "$CACHE_DIR/cluster_t1.json" "$CACHE_DIR/cluster_t4.json"; then
+    echo "FAIL: cluster report differs between --threads 1 and --threads 4"
+    exit 1
+fi
+if ./target/release/accelsoc cluster-sim --nodes 4 --policy sjf --jobs 64 \
+    --load 2.0 --kill 1@1 | grep -q WARNING; then
+    echo "FAIL: cluster smoke violated the job-accounting invariant"
+    exit 1
+fi
+echo "    cluster report bit-identical for --threads 1 vs 4; accounting exact"
 
 echo "==> verify OK"

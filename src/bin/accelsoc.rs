@@ -7,6 +7,7 @@
 //! accelsoc build  <file.tg> [options]       run the full flow, write artifacts
 //! accelsoc sim    <file.tg> [--n <tokens>]  build + run data through the board
 //! accelsoc serve-sim [options]              multi-tenant serving simulation
+//! accelsoc cluster-sim [options]            sharded N-node serving cluster
 //! accelsoc kernels                          list the built-in kernel library
 //!
 //! build options:
@@ -29,6 +30,14 @@
 //!   --load <f>          offered load vs pool capacity   [default: 0.8]
 //!   --json <file>       write the full ServeReport as JSON
 //!   --verbose           log serve events to stderr
+//!
+//! cluster-sim options (plus the serve-sim set above):
+//!   --nodes <n>           cluster size                  [default: 4]
+//!   --boards-per-node <n> board pool per node           [default: 2]
+//!   --no-steal            disable work stealing
+//!   --no-shed             disable shed-forwarding
+//!   --kill <node>@<ms>    kill a node at a virtual time (repeatable)
+//!   --image-pool <n>      fold image seeds into n distinct inputs
 //! ```
 //!
 //! The built-in kernel library holds the case-study and demo kernels
@@ -67,6 +76,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
+        Some("cluster-sim") => cmd_cluster_sim(&args[1..]),
         Some("kernels") => {
             println!("built-in kernel library:");
             for k in builtin_kernels() {
@@ -81,7 +91,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: accelsoc <check|fmt|build|sim|serve-sim|kernels> [args]  (see the README)"
+                "usage: accelsoc <check|fmt|build|sim|serve-sim|cluster-sim|kernels> [args]  (see the README)"
             );
             ExitCode::from(2)
         }
@@ -405,12 +415,8 @@ fn cmd_sim(args: &[String]) -> ExitCode {
 /// DESIGN.md §10). Deterministic: same seed/policy/boards ⇒ the same
 /// report, regardless of `--threads`.
 fn cmd_serve_sim(args: &[String]) -> ExitCode {
-    use accelsoc::apps::archs::Arch;
     use accelsoc::core::observe::{FlowObserver, LogObserver, NullObserver};
-    use accelsoc::serve::{
-        generate_workload, run_serve_seeded, DseEstimator, PolicyKind, ServeConfig, TenantProfile,
-        WorkloadSpec,
-    };
+    use accelsoc::serve::{PolicyKind, ServeConfig, ServeSession};
 
     let mut boards: usize = 2;
     let mut policy = PolicyKind::Sjf;
@@ -525,58 +531,15 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         }
     }
 
-    // Canonical two-tenant mix: a latency-sensitive tenant on the
-    // all-hardware architecture and a best-effort batch tenant on the
-    // all-software one (Table I extremes).
-    let tenants = vec![
-        TenantProfile {
-            name: "interactive".into(),
-            weight: 2,
-            sides: vec![16, 24],
-            archs: vec![Arch::Arch4],
-            deadline_slack_pct: Some(5_000),
-            fault_rate: 0.0,
-        },
-        TenantProfile {
-            name: "batch".into(),
-            weight: 1,
-            sides: vec![24, 32],
-            archs: vec![Arch::Arch1],
-            deadline_slack_pct: None,
-            fault_rate: 0.0,
-        },
-    ];
-
-    // Offered load scales the arrival rate against pool capacity: mean
-    // interarrival = (mean service estimate / boards) / load.
-    let mut est = DseEstimator::new();
-    let mix: Vec<u64> = tenants
-        .iter()
-        .flat_map(|t| {
-            t.archs
-                .iter()
-                .flat_map(|&a| t.sides.iter().map(move |&s| (a, s)).collect::<Vec<_>>())
-        })
-        .map(|(a, s)| est.estimate_ps(a, s))
-        .collect();
-    let mean_est_ps = mix.iter().sum::<u64>() / mix.len().max(1) as u64;
-    let mean_interarrival_ps = ((mean_est_ps as f64 / boards as f64) / load).max(1.0) as u64;
-
-    let spec = WorkloadSpec {
-        tenants,
-        jobs,
-        mean_interarrival_ps,
-        seed,
-    };
-    let workload = generate_workload(&spec, &mut est);
-    let cfg = ServeConfig {
-        tenants: spec.tenants.iter().map(|t| t.name.clone()).collect(),
-        boards,
-        policy,
-        queue_depth,
-        threads,
-        ..ServeConfig::default()
-    };
+    let (tenant_names, workload) = canonical_workload(boards, load, jobs, seed);
+    let cfg = ServeConfig::builder()
+        .tenants(tenant_names)
+        .boards(boards)
+        .policy(policy)
+        .queue_depth(queue_depth)
+        .threads(threads)
+        .seed(seed)
+        .build();
     let log;
     let observer: &dyn FlowObserver = if verbose {
         log = LogObserver::stderr();
@@ -584,7 +547,7 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     } else {
         &NullObserver
     };
-    let report = match run_serve_seeded(&workload, &cfg, seed, observer) {
+    let report = match ServeSession::new(cfg).run(&workload, observer) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve error: {e}");
@@ -608,6 +571,317 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         println!("report   : {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// Canonical two-tenant mix: a latency-sensitive tenant on the
+/// all-hardware architecture and a best-effort batch tenant on the
+/// all-software one (Table I extremes). Offered load scales the arrival
+/// rate against total pool capacity: mean interarrival =
+/// (mean service estimate / total boards) / load.
+fn canonical_workload(
+    total_boards: usize,
+    load: f64,
+    jobs: usize,
+    seed: u64,
+) -> (Vec<String>, Vec<accelsoc::serve::JobSpec>) {
+    use accelsoc::apps::archs::Arch;
+    use accelsoc::serve::{generate_workload, DseEstimator, TenantProfile, WorkloadSpec};
+
+    let tenants = vec![
+        TenantProfile {
+            name: "interactive".into(),
+            weight: 2,
+            sides: vec![16, 24],
+            archs: vec![Arch::Arch4],
+            deadline_slack_pct: Some(5_000),
+            fault_rate: 0.0,
+        },
+        TenantProfile {
+            name: "batch".into(),
+            weight: 1,
+            sides: vec![24, 32],
+            archs: vec![Arch::Arch1],
+            deadline_slack_pct: None,
+            fault_rate: 0.0,
+        },
+    ];
+    let mut est = DseEstimator::new();
+    let mix: Vec<u64> = tenants
+        .iter()
+        .flat_map(|t| {
+            t.archs
+                .iter()
+                .flat_map(|&a| t.sides.iter().map(move |&s| (a, s)).collect::<Vec<_>>())
+        })
+        .map(|(a, s)| est.estimate_ps(a, s))
+        .collect();
+    let mean_est_ps = mix.iter().sum::<u64>() / mix.len().max(1) as u64;
+    let mean_interarrival_ps =
+        ((mean_est_ps as f64 / total_boards.max(1) as f64) / load).max(1.0) as u64;
+    let names = tenants.iter().map(|t| t.name.clone()).collect();
+    let spec = WorkloadSpec {
+        tenants,
+        jobs,
+        mean_interarrival_ps,
+        seed,
+    };
+    (names, generate_workload(&spec, &mut est))
+}
+
+/// Sharded serving cluster: the serve-sim workload routed across N
+/// nodes by consistent hashing, with work stealing, load shedding and
+/// optional failure injection (see DESIGN.md §11). Deterministic for
+/// any `--threads`.
+fn cmd_cluster_sim(args: &[String]) -> ExitCode {
+    use accelsoc::core::observe::{FlowObserver, LogObserver, NullObserver};
+    use accelsoc::serve::{
+        pool_image_seeds, ClusterConfig, ClusterSession, PolicyKind, ServeConfig,
+    };
+
+    let mut nodes: usize = 4;
+    let mut boards_per_node: usize = 2;
+    let mut policy = PolicyKind::Sjf;
+    let mut jobs: usize = 64;
+    let mut seed: u64 = 42;
+    let mut threads: usize = 1;
+    let mut queue_depth: usize = 8;
+    let mut load: f64 = 0.8;
+    let mut steal = true;
+    let mut shed = true;
+    let mut kills: Vec<(usize, u64)> = Vec::new();
+    let mut image_pool: Option<u64> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        let parse_next = |what: &str| -> Result<&String, ExitCode> {
+            args.get(i + 1).ok_or_else(|| {
+                eprintln!("error: `{what}` requires a value");
+                ExitCode::from(2)
+            })
+        };
+        macro_rules! positive {
+            ($flag:literal, $slot:ident, $ty:ty) => {
+                match parse_next($flag).map(|v| v.parse::<$ty>()) {
+                    Ok(Ok(n)) if n > 0 as $ty => {
+                        $slot = n;
+                        i += 2;
+                    }
+                    Ok(_) => {
+                        eprintln!(concat!("error: `", $flag, "` needs a positive number"));
+                        return ExitCode::from(2);
+                    }
+                    Err(c) => return c,
+                }
+            };
+        }
+        match args[i].as_str() {
+            "--nodes" => positive!("--nodes", nodes, usize),
+            "--boards-per-node" => positive!("--boards-per-node", boards_per_node, usize),
+            "--jobs" => positive!("--jobs", jobs, usize),
+            "--threads" => positive!("--threads", threads, usize),
+            "--queue-depth" => positive!("--queue-depth", queue_depth, usize),
+            "--load" => positive!("--load", load, f64),
+            "--policy" => match parse_next("--policy").map(|v| v.parse::<PolicyKind>()) {
+                Ok(Ok(p)) => {
+                    policy = p;
+                    i += 2;
+                }
+                Ok(Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--seed" => match parse_next("--seed").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => {
+                    seed = n;
+                    i += 2;
+                }
+                Ok(Err(_)) => {
+                    eprintln!("error: `--seed` needs an unsigned integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--no-steal" => {
+                steal = false;
+                i += 1;
+            }
+            "--no-shed" => {
+                shed = false;
+                i += 1;
+            }
+            "--kill" => match parse_next("--kill") {
+                Ok(v) => {
+                    let parsed = v.split_once('@').and_then(|(n, ms)| {
+                        Some((n.parse::<usize>().ok()?, ms.parse::<u64>().ok()?))
+                    });
+                    match parsed {
+                        Some((node, ms)) => {
+                            kills.push((node, ms.saturating_mul(1_000_000_000)));
+                            i += 2;
+                        }
+                        None => {
+                            eprintln!("error: `--kill` wants <node>@<ms>, e.g. 1@5");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                Err(c) => return c,
+            },
+            "--image-pool" => match parse_next("--image-pool").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) if n > 0 => {
+                    image_pool = Some(n);
+                    i += 2;
+                }
+                Ok(_) => {
+                    eprintln!("error: `--image-pool` needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--json" => match parse_next("--json") {
+                Ok(v) => {
+                    json_path = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                Err(c) => return c,
+            },
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (tenant_names, mut workload) =
+        canonical_workload(nodes * boards_per_node, load, jobs, seed);
+    if let Some(pool) = image_pool {
+        pool_image_seeds(&mut workload, pool);
+    }
+    let node_cfg = ServeConfig::builder()
+        .tenants(tenant_names)
+        .boards(boards_per_node)
+        .policy(policy)
+        .queue_depth(queue_depth)
+        .build();
+    let mut builder = ClusterConfig::builder()
+        .nodes(nodes, &node_cfg)
+        .steal(steal)
+        .shed(shed)
+        .threads(threads)
+        .seed(seed);
+    for (node, at_ps) in kills {
+        builder = builder.fail_node(node, at_ps);
+    }
+    let cfg = match builder.build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let log;
+    let observer: &dyn FlowObserver = if verbose {
+        log = LogObserver::stderr();
+        &log
+    } else {
+        &NullObserver
+    };
+    let report = match ClusterSession::new(cfg).run(&workload, observer) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print_cluster_report(&report);
+    if let Some(path) = &json_path {
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error serializing report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report   : {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_cluster_report(r: &accelsoc::serve::ClusterReport) {
+    println!(
+        "policy   : {}   nodes: {}   seed: {}",
+        r.policy, r.nodes, r.seed
+    );
+    println!(
+        "jobs     : {} submitted, {} admitted, {} rejected, {} shed",
+        r.submitted, r.admitted, r.rejected, r.shed
+    );
+    println!(
+        "outcomes : {} completed ({} late), {} timed out, {} failed",
+        r.completed, r.completed_late, r.timed_out, r.failed
+    );
+    println!(
+        "cluster  : {} forwarded, {} stolen, {} redispatched, {} node failures",
+        r.forwarded, r.stolen, r.redispatched, r.node_failures
+    );
+    println!(
+        "makespan : {:.3} ms   throughput: {:.1} jobs/s   fairness: {:.3}",
+        r.makespan_ps as f64 / 1e9,
+        r.throughput_jobs_per_s,
+        r.fairness
+    );
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10}",
+        "tenant", "sub", "adm", "rej", "done", "miss", "p50(us)", "p99(us)"
+    );
+    for t in &r.tenants {
+        println!(
+            "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>10.1} {:>10.1}",
+            t.tenant,
+            t.submitted,
+            t.admitted,
+            t.rejected,
+            t.completed,
+            t.deadline_missed,
+            t.p50_latency_ps as f64 / 1e6,
+            t.p99_latency_ps as f64 / 1e6
+        );
+    }
+    for (i, n) in r.per_node.iter().enumerate() {
+        let busy: Vec<String> = n
+            .board_busy_ps
+            .iter()
+            .map(|&b| {
+                if n.makespan_ps == 0 {
+                    "idle".into()
+                } else {
+                    format!("{:.0}%", 100.0 * b as f64 / n.makespan_ps as f64)
+                }
+            })
+            .collect();
+        println!(
+            "node {i:<4} : {} admitted, {} done, {} batches, boards busy [{}]",
+            n.admitted,
+            n.completed + n.completed_late,
+            n.batches,
+            busy.join(", ")
+        );
+    }
+    if !r.accounting_ok() {
+        println!("WARNING  : job accounting invariant violated");
+    }
 }
 
 fn print_serve_report(r: &accelsoc::serve::ServeReport) {

@@ -13,7 +13,7 @@ use accelsoc_apps::batch::{image_stream, run_batch};
 use accelsoc_apps::otsu::AppConfig;
 use accelsoc_core::observe::NullObserver;
 use accelsoc_serve::{
-    generate_workload, run_serve_seeded, DseEstimator, PolicyKind, ServeConfig, TenantProfile,
+    generate_workload, DseEstimator, PolicyKind, ServeConfig, ServeSession, TenantProfile,
     WorkloadSpec,
 };
 use std::path::Path;
@@ -81,14 +81,16 @@ fn serve_report_matches_golden() {
     };
     let mut est = DseEstimator::new();
     let jobs = generate_workload(&spec, &mut est);
-    let cfg = ServeConfig {
-        tenants: profiles.iter().map(|t| t.name.clone()).collect(),
-        boards: 2,
-        policy: PolicyKind::Sjf,
-        threads: 2,
-        ..ServeConfig::default()
-    };
-    let rep = run_serve_seeded(&jobs, &cfg, spec.seed, &NullObserver).expect("serve");
+    let cfg = ServeConfig::builder()
+        .tenants(profiles.iter().map(|t| t.name.clone()))
+        .boards(2)
+        .policy(PolicyKind::Sjf)
+        .threads(2)
+        .seed(spec.seed)
+        .build();
+    let rep = ServeSession::new(cfg)
+        .run(&jobs, &NullObserver)
+        .expect("serve");
     let out = serde_json::to_string_pretty(&rep).unwrap() + "\n";
     check_or_update("serve_report.json", &out);
 }

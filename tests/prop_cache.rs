@@ -147,7 +147,7 @@ proptest! {
                 name: format!("t{i}"),
                 sw_ns: sw as f64 * 10.0,
                 hw_ns: hw as f64,
-                area: ResourceEstimate::new(lut, ff, (lut % 7) as u32, (ff % 5) as u32),
+                area: ResourceEstimate::new(lut, ff, lut % 7, ff % 5),
                 input_bytes: 512,
                 output_bytes: 512,
                 sw_only: false,
