@@ -14,11 +14,13 @@
 //! calibrated model.
 
 pub mod dma;
+pub mod link;
 pub mod lite;
 pub mod protocol;
 pub mod stream;
 
 pub use dma::{DmaDescriptor, DmaEngine, DmaError, DmaStats};
+pub use link::{LinkEndpoints, LinkTransfer};
 pub use lite::{AddressMap, AxiLiteBus, AxiLiteError, AxiLiteSlave, RegisterFile};
 pub use protocol::{AxiResp, MemError, MemoryPort};
 pub use stream::{AxiStreamChannel, Beat, StreamError};

@@ -7,7 +7,7 @@ use std::process::Command;
 fn main() {
     // (binary, extra args) — the serving benches run at reduced job
     // counts here; invoke them directly for the full-size sweeps.
-    let bins: [(&str, &[&str]); 11] = [
+    let bins: [(&str, &[&str]); 12] = [
         ("repro_table1", &[]),
         ("repro_table2", &[]),
         ("repro_fig7", &[]),
@@ -19,6 +19,7 @@ fn main() {
         ("repro_dse", &[]),
         ("repro_serve", &[]),
         ("repro_cluster", &["--jobs", "50000"]),
+        ("repro_multiboard", &["--side", "16"]),
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir").to_path_buf();

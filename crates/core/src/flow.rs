@@ -275,6 +275,20 @@ pub enum FlowError {
     },
 }
 
+impl FlowError {
+    /// The typed per-resource capacity report, when this error is an
+    /// oversized design rejected at synthesis. This is the trigger the
+    /// multi-board partitioning layer keys on: a flow that fails *only*
+    /// because the design doesn't fit one device can be split across
+    /// several instead of being abandoned.
+    pub fn capacity_exceeded(&self) -> Option<&accelsoc_integration::synth::CapacityExceeded> {
+        match self {
+            FlowError::Synth(e) => e.capacity_exceeded(),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

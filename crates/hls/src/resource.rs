@@ -64,11 +64,32 @@ impl ResourceEstimate {
     /// Largest utilisation fraction across the four dimensions, against a
     /// device capacity.
     pub fn utilization(&self, capacity: &ResourceEstimate) -> f64 {
-        let frac = |a: u32, b: u32| if b == 0 { 0.0 } else { a as f64 / b as f64 };
-        frac(self.lut, capacity.lut)
-            .max(frac(self.ff, capacity.ff))
-            .max(frac(self.bram18, capacity.bram18))
-            .max(frac(self.dsp, capacity.dsp))
+        self.utilization_breakdown(capacity)
+            .into_iter()
+            .map(|(_, f)| f)
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-resource utilisation fractions against a capacity, in fixed
+    /// `(LUT, FF, RAMB18, DSP)` order. A zero-capacity dimension reports
+    /// 0.0 when unused (a device without that resource and a design that
+    /// doesn't need it are compatible) and `f64::INFINITY` otherwise.
+    pub fn utilization_breakdown(&self, capacity: &ResourceEstimate) -> [(&'static str, f64); 4] {
+        let frac = |a: u32, b: u32| {
+            if a == 0 {
+                0.0
+            } else if b == 0 {
+                f64::INFINITY
+            } else {
+                a as f64 / b as f64
+            }
+        };
+        [
+            ("LUT", frac(self.lut, capacity.lut)),
+            ("FF", frac(self.ff, capacity.ff)),
+            ("RAMB18", frac(self.bram18, capacity.bram18)),
+            ("DSP", frac(self.dsp, capacity.dsp)),
+        ]
     }
 }
 
@@ -139,6 +160,21 @@ mod tests {
     fn scaled_multiplies_everything() {
         let a = ResourceEstimate::new(3, 4, 1, 2);
         assert_eq!(a.scaled(3), ResourceEstimate::new(9, 12, 3, 6));
+    }
+
+    #[test]
+    fn breakdown_labels_and_edge_cases() {
+        let cap = ResourceEstimate::new(100, 200, 10, 0);
+        let use_ = ResourceEstimate::new(50, 300, 0, 0);
+        let b = use_.utilization_breakdown(&cap);
+        assert_eq!(b[0], ("LUT", 0.5));
+        assert_eq!(b[1], ("FF", 1.5));
+        assert_eq!(b[2], ("RAMB18", 0.0)); // unused dimension
+        assert_eq!(b[3], ("DSP", 0.0)); // zero-capacity but also unused
+                                        // Demand against a zero-capacity dimension is unbounded.
+        let dsp = ResourceEstimate::new(0, 0, 0, 1);
+        assert!(dsp.utilization_breakdown(&cap)[3].1.is_infinite());
+        assert!(dsp.utilization(&cap).is_infinite());
     }
 
     #[test]

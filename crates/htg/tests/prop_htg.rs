@@ -1,8 +1,27 @@
 //! Property-based tests for the HTG crate.
 
 use accelsoc_htg::graph::{Htg, TaskNode, TransferKind};
+use accelsoc_htg::partition::{Mapping, Partition, PartitionError};
 use accelsoc_htg::validate::{topo_sort, validate};
 use proptest::prelude::*;
+
+/// A graph of `flags.len()` tasks where task `i` is software-only iff
+/// `flags[i]`.
+fn flagged_htg(flags: &[bool]) -> Htg {
+    let mut g = Htg::new();
+    for (i, &sw_only) in flags.iter().enumerate() {
+        g.add_task(
+            &format!("t{i}"),
+            TaskNode {
+                kernel: format!("k{i}"),
+                sw_cycles: 100,
+                sw_only,
+            },
+        )
+        .unwrap();
+    }
+    g
+}
 
 /// Build a random DAG: `n` nodes, edges only from lower to higher index, so
 /// the graph is acyclic by construction.
@@ -84,5 +103,86 @@ proptest! {
     fn transfer_bytes_sum(g in arb_dag()) {
         let expect: u64 = g.edges().iter().map(|e| e.transfer.bytes()).sum();
         prop_assert_eq!(g.total_transfer_bytes(), expect);
+    }
+
+    /// `hardware_set` restricted to hardware-capable nodes always
+    /// validates, and the hw/sw node sets tile the graph.
+    #[test]
+    fn hardware_set_of_capable_nodes_validates(
+        flags in proptest::collection::vec(any::<bool>(), 1..16),
+        picks in proptest::collection::vec(any::<u16>(), 0..16),
+    ) {
+        let g = flagged_htg(&flags);
+        let hw: Vec<String> = picks
+            .iter()
+            .map(|&p| p as usize % flags.len())
+            .filter(|&i| !flags[i])
+            .map(|i| format!("t{i}"))
+            .collect();
+        let p = Partition::hardware_set(&g, hw);
+        prop_assert_eq!(p.validate(&g), Ok(()));
+        prop_assert_eq!(
+            p.hardware_nodes(&g).len() + p.software_nodes(&g).len(),
+            g.node_count()
+        );
+        prop_assert_eq!(p.hardware_count(), p.hardware_nodes(&g).len());
+    }
+
+    /// Mapping any software-only node to hardware is always rejected.
+    #[test]
+    fn sw_only_in_hardware_always_rejected(
+        flags in proptest::collection::vec(any::<bool>(), 1..16),
+        pick in any::<u16>(),
+    ) {
+        prop_assume!(flags.iter().any(|&f| f));
+        let g = flagged_htg(&flags);
+        // Choose a software-only victim deterministically from `pick`.
+        let sw_only: Vec<usize> =
+            (0..flags.len()).filter(|&i| flags[i]).collect();
+        let victim = sw_only[pick as usize % sw_only.len()];
+        let p = Partition::hardware_set(&g, [format!("t{victim}")]);
+        prop_assert_eq!(
+            p.validate(&g),
+            Err(PartitionError::SwOnlyInHardware(format!("t{victim}")))
+        );
+    }
+
+    /// A partition missing at least one node never validates, and the
+    /// reported node is genuinely unmapped.
+    #[test]
+    fn partial_partition_reports_unmapped(
+        n in 1usize..16,
+        mapped in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let g = flagged_htg(&vec![false; n]);
+        let mut p = Partition::new();
+        let mapped: Vec<usize> =
+            mapped.iter().map(|&m| m as usize % n).collect();
+        for &i in &mapped {
+            p.set(&format!("t{i}"), Mapping::Software);
+        }
+        prop_assume!(mapped.len() < n || (0..n).any(|i| !mapped.contains(&i)));
+        match p.validate(&g) {
+            Err(PartitionError::Unmapped(name)) => {
+                prop_assert_eq!(p.get(&name), None, "reported node was mapped");
+            }
+            other => panic!("expected Unmapped, got {other:?}"),
+        }
+    }
+
+    /// A mapping that names a node outside the graph never validates.
+    #[test]
+    fn unknown_node_always_rejected(
+        n in 1usize..16,
+        ghost in "[a-z]{1,8}",
+    ) {
+        let g = flagged_htg(&vec![false; n]);
+        prop_assume!(g.lookup(&ghost).is_none());
+        let mut p = Partition::all_software(&g);
+        p.set(&ghost, Mapping::Hardware);
+        prop_assert_eq!(
+            p.validate(&g),
+            Err(PartitionError::UnknownNode(ghost))
+        );
     }
 }

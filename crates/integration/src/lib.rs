@@ -37,5 +37,5 @@ pub use assembler::{assemble, ArchSpec, CoreSpec, DmaPolicy, LinkSpec, SocEndpoi
 pub use bitstream::Bitstream;
 pub use blockdesign::{BlockDesign, Cell, CellKind, Net, NetKind};
 pub use device::Device;
-pub use synth::{SynthError, SynthReport};
+pub use synth::{CapacityExceeded, SynthError, SynthReport};
 pub use tcl::TclBackend;

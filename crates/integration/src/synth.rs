@@ -9,36 +9,93 @@ use accelsoc_observe::{FlowEvent, FlowObserver, NullObserver};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A design asked for more of at least one resource than the target part
+/// provides. Carries the full per-resource demand/availability picture so
+/// callers can react in a typed way — the multi-board partitioner uses it
+/// as the trigger to split the graph instead of failing the flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityExceeded {
+    /// Target part name (e.g. `xc7z020clg484-1`).
+    pub part: String,
+    /// Post-optimization resource demand of the whole design.
+    pub requested: ResourceEstimate,
+    /// What the device offers.
+    pub available: ResourceEstimate,
+}
+
+impl CapacityExceeded {
+    /// Per-resource utilisation fractions (`requested / available`), in
+    /// fixed `(LUT, FF, RAMB18, DSP)` order.
+    pub fn breakdown(&self) -> [(&'static str, f64); 4] {
+        self.requested.utilization_breakdown(&self.available)
+    }
+
+    /// Largest utilisation fraction — > 1.0 by construction.
+    pub fn worst_fraction(&self) -> f64 {
+        self.requested.utilization(&self.available)
+    }
+
+    /// Names of the resources that overflow, in fixed order.
+    pub fn overflowing(&self) -> Vec<&'static str> {
+        self.breakdown()
+            .into_iter()
+            .filter(|&(_, f)| f > 1.0)
+            .map(|(name, _)| name)
+            .collect()
+    }
+}
+
+impl fmt::Display for CapacityExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design exceeds {} capacity ({:.1}% of {}): needs {}, device has {}",
+            self.part,
+            self.worst_fraction() * 100.0,
+            self.overflowing().join("/"),
+            self.requested,
+            self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityExceeded {}
+
 #[derive(Debug, Clone, PartialEq)]
 pub enum SynthError {
-    /// The design does not fit the device.
-    Overutilization {
-        used: ResourceEstimate,
-        capacity: ResourceEstimate,
-        worst_fraction: f64,
-    },
+    /// The design does not fit the device (typed per-resource detail).
+    CapacityExceeded(CapacityExceeded),
     /// The design has no cells (nothing to synthesize).
     EmptyDesign,
+}
+
+impl SynthError {
+    /// The typed capacity report, when that is what failed.
+    pub fn capacity_exceeded(&self) -> Option<&CapacityExceeded> {
+        match self {
+            SynthError::CapacityExceeded(c) => Some(c),
+            SynthError::EmptyDesign => None,
+        }
+    }
 }
 
 impl fmt::Display for SynthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SynthError::Overutilization {
-                used,
-                capacity,
-                worst_fraction,
-            } => write!(
-                f,
-                "design over capacity ({:.1}%): uses {used}, device has {capacity}",
-                worst_fraction * 100.0
-            ),
+            SynthError::CapacityExceeded(c) => c.fmt(f),
             SynthError::EmptyDesign => write!(f, "empty design"),
         }
     }
 }
 
-impl std::error::Error for SynthError {}
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::CapacityExceeded(c) => Some(c),
+            SynthError::EmptyDesign => None,
+        }
+    }
+}
 
 /// Synthesis output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -129,11 +186,11 @@ pub fn synthesize_observed(
     }
     let utilization = total.utilization(&device.capacity);
     if !total.fits_in(&device.capacity) {
-        return Err(SynthError::Overutilization {
-            used: total,
-            capacity: device.capacity,
-            worst_fraction: utilization,
-        });
+        return Err(SynthError::CapacityExceeded(CapacityExceeded {
+            part: device.part.clone(),
+            requested: total,
+            available: device.capacity,
+        }));
     }
     let report = SynthReport {
         design: bd.name.clone(),
@@ -209,15 +266,25 @@ mod tests {
     }
 
     #[test]
-    fn over_capacity_design_fails() {
+    fn over_capacity_design_fails_with_typed_detail() {
         let bd = design_with_luts(80_000);
         let err = synthesize(&bd, &Device::zynq7020()).unwrap_err();
-        match err {
-            SynthError::Overutilization { worst_fraction, .. } => {
-                assert!(worst_fraction > 1.0)
-            }
-            _ => panic!("expected overutilization"),
-        }
+        let cap = err.capacity_exceeded().expect("typed capacity error");
+        assert!(cap.worst_fraction() > 1.0);
+        assert_eq!(cap.part, "xc7z020clg484-1");
+        assert_eq!(cap.available, Device::zynq7020().capacity);
+        assert!(cap.requested.lut > cap.available.lut);
+        assert_eq!(cap.overflowing(), vec!["LUT"]);
+        // Per-resource fractions are individually reported.
+        let lut_frac = cap.breakdown()[0].1;
+        assert!(lut_frac > 1.0);
+        // Display names the device, the overflowing resource, and both sides.
+        let msg = err.to_string();
+        assert!(msg.contains("xc7z020"), "{msg}");
+        assert!(msg.contains("LUT"), "{msg}");
+        // The typed report is reachable through the error chain.
+        use std::error::Error;
+        assert!(err.source().is_some());
         // The same design fails harder on the smaller part.
         assert!(synthesize(&bd, &Device::zynq7010()).is_err());
     }

@@ -184,6 +184,26 @@ pub enum FlowEvent {
         /// Cycles consumers waited on an empty stream FIFO.
         starvation_stall_cycles: u64,
     },
+    /// The multi-board partitioner cut an oversized design into
+    /// per-board subgraphs that each fit the device.
+    PartitionPlanned {
+        nodes: usize,
+        boards: usize,
+        cut_edges: usize,
+        cut_bytes: u64,
+        /// Worst per-board utilisation fraction across the plan.
+        worst_utilization: f64,
+    },
+    /// The multi-board co-simulation finished: whole-system makespan plus
+    /// aggregate inter-board link stalls.
+    MultiBoardSimDone {
+        boards: usize,
+        links: usize,
+        makespan_ns: f64,
+        /// Total time transfers spent blocked on wire arbitration, rx-DMA
+        /// arbitration, or a full receive FIFO, across all links.
+        link_stall_ns: f64,
+    },
     /// A serving-runtime job passed admission control and entered its
     /// tenant's queue on serve node `node`. `est_ns` is the DSE latency
     /// estimate used by size-aware policies.
@@ -412,6 +432,32 @@ impl fmt::Display for FlowEvent {
                     "[SIM] phase '{label}': {ns:.0} ns, {bytes_in} B in / {bytes_out} B out, \
                      stalls: {bus_stall_cycles} bus / {backpressure_stall_cycles} backpressure / \
                      {starvation_stall_cycles} starvation"
+                )
+            }
+            FlowEvent::PartitionPlanned {
+                nodes,
+                boards,
+                cut_edges,
+                cut_bytes,
+                worst_utilization,
+            } => {
+                write!(
+                    f,
+                    "[PARTITION] {nodes} nodes -> {boards} boards, {cut_edges} cut edges \
+                     ({cut_bytes} B), worst board {:.1}% utilized",
+                    worst_utilization * 100.0
+                )
+            }
+            FlowEvent::MultiBoardSimDone {
+                boards,
+                links,
+                makespan_ns,
+                link_stall_ns,
+            } => {
+                write!(
+                    f,
+                    "[MULTIBOARD] {boards} boards / {links} links: makespan {makespan_ns:.0} ns, \
+                     link stalls {link_stall_ns:.0} ns"
                 )
             }
             FlowEvent::JobAdmitted {

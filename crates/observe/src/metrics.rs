@@ -85,6 +85,16 @@ pub struct FlowMetrics {
     /// completion order (tenants in first-completion order). Folded from
     /// `JobCompleted`; percentiles via [`FlowMetrics::tenant_latency_ps`].
     pub serve_tenant_latency_ps: Vec<(String, Vec<u64>)>,
+    /// Multi-board: partitioning passes that produced a board plan.
+    pub partitions_planned: u64,
+    /// Multi-board: boards in the most recent plan.
+    pub partition_boards: u64,
+    /// Multi-board: cut edges in the most recent plan.
+    pub partition_cut_edges: u64,
+    /// Multi-board: co-simulations completed.
+    pub multiboard_sims: u64,
+    /// Multi-board: total modeled link-stall nanoseconds across sims.
+    pub multiboard_link_stall_ns: f64,
 }
 
 /// Nearest-rank percentile of a sample set (`p` in 0..=100). Integer
@@ -210,6 +220,17 @@ impl FlowMetrics {
             FlowEvent::JobRedispatched { .. } => self.jobs_redispatched += 1,
             FlowEvent::JobFailed { .. } => self.jobs_failed += 1,
             FlowEvent::NodeFailed { .. } => self.node_failures += 1,
+            FlowEvent::PartitionPlanned {
+                boards, cut_edges, ..
+            } => {
+                self.partitions_planned += 1;
+                self.partition_boards = *boards as u64;
+                self.partition_cut_edges = *cut_edges as u64;
+            }
+            FlowEvent::MultiBoardSimDone { link_stall_ns, .. } => {
+                self.multiboard_sims += 1;
+                self.multiboard_link_stall_ns += link_stall_ns;
+            }
             FlowEvent::FlowStarted { .. }
             | FlowEvent::FlowFinished { .. }
             | FlowEvent::PhaseStarted { .. }

@@ -1,0 +1,38 @@
+//! # accelsoc-partition — multi-board graph partitioning
+//!
+//! The paper's flow targets exactly one Zynq-7020; anything whose
+//! synthesized area exceeds the part fails integration with
+//! [`accelsoc_integration::synth::CapacityExceeded`]. This crate is the
+//! layer that turns that failure into a plan instead: it cuts an
+//! oversized HTG into per-board subgraphs that each fit the device
+//! ([`plan::BoardPlan`]), models every cut edge as an inter-board stream
+//! link ([`plan::BoardLink`]), and drives the whole multi-board system
+//! through one deterministic co-simulation
+//! ([`accelsoc_platform::multiboard`]).
+//!
+//! Module map:
+//!
+//! * [`plan`] — the partitioning vocabulary: `BoardPlan`, `BoardLink`,
+//!   per-board assignments, plan validation invariants;
+//! * [`pack`] — the partitioner: greedy topological bin-packing under
+//!   LUT/FF/RAMB18/DSP capacity followed by a seeded cut-cost refinement
+//!   sweep (deterministic for a fixed seed);
+//! * [`scenario`] — the scaled-Otsu case study: replicate the paper's
+//!   4-kernel chain K times, partition it, co-simulate the boards, and
+//!   check pixel-exactness against the scalar reference;
+//! * [`flow`] — the single-board flow fallback: run the normal
+//!   [`accelsoc_core::flow::FlowEngine`] and, when it reports
+//!   capacity-exceeded, partition instead of failing.
+
+pub mod flow;
+pub mod pack;
+pub mod plan;
+pub mod scenario;
+
+pub use flow::{FlowOutcome, PartitionedFlow, PartitionedFlowError};
+pub use pack::{partition, partition_observed, PartitionOptions};
+pub use plan::{BoardAssignment, BoardLink, BoardPlan, PlanError};
+pub use scenario::{
+    run_partition_sim, run_partition_sim_observed, scaled_otsu_htg, ChainResult, PartitionSimError,
+    PartitionSimOptions, PartitionSimReport,
+};

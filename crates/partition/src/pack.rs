@@ -1,0 +1,533 @@
+//! The partitioner: greedy topological bin-packing under device capacity,
+//! followed by a seeded cut-cost refinement sweep.
+//!
+//! Packing walks a topological order of the HTG and fills boards left to
+//! right, opening a new board whenever the next node no longer fits.
+//! Because nodes are placed in topological order, every edge runs forward
+//! in board order and the board-level quotient graph is acyclic by
+//! construction — the property the co-simulation's `(ps, board, rank,
+//! seq)` calendar key relies on for deterministic tie-breaking.
+//!
+//! Refinement then visits nodes in a seeded order (splitmix64-shuffled;
+//! deterministic for a fixed seed) and greedily moves a node to a
+//! neighbouring board when the move strictly reduces the cut cost
+//! `(cut edges, cut bytes)` lexicographically, still fits capacity, and
+//! keeps every edge forward in board order.
+
+use crate::plan::{BoardAssignment, BoardLink, BoardPlan, PlanError};
+use accelsoc_hls::resource::ResourceEstimate;
+use accelsoc_htg::graph::Htg;
+use accelsoc_htg::validate::topo_sort;
+use accelsoc_integration::device::Device;
+use accelsoc_observe::{FlowEvent, FlowObserver, NullObserver};
+use std::collections::BTreeMap;
+
+/// Knobs of one partitioning run.
+///
+/// `#[non_exhaustive]`: construct with [`PartitionOptions::builder`] (or
+/// start from [`PartitionOptions::default`] and mutate fields), the same
+/// contract as `FlowOptions` and `ServeConfig`.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct PartitionOptions {
+    /// Board budget: the plan may use at most this many boards.
+    pub max_boards: usize,
+    /// Seed of the refinement visit order (stamped into the plan).
+    pub seed: u64,
+    /// Per-board infrastructure overhead charged before any node lands
+    /// (DMA engine + interconnects + link endpoints).
+    pub infra_area: ResourceEstimate,
+    /// Serialization width of the inter-board links, in bits per word.
+    pub link_width_bits: u32,
+    /// Per-word serialization time of a link, integer picoseconds.
+    pub link_word_ps: u64,
+    /// Flight latency of a link, integer picoseconds.
+    pub link_latency_ps: u64,
+    /// Bounded receive-FIFO depth of a link, in words.
+    pub link_fifo_depth: usize,
+    /// Refinement sweeps over all nodes (0 disables refinement).
+    pub refine_sweeps: usize,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            max_boards: 2,
+            seed: 0,
+            // One AXI DMA + interconnects + stream link endpoints; cf. the
+            // DSE chain model's single-board infra figure.
+            infra_area: ResourceEstimate::new(2_600, 3_400, 2, 0),
+            link_width_bits: 32,
+            // A modest serial cable: 32-bit word every 40 ns (~100 MB/s),
+            // 200 ns of flight — far slower than on-board AXI, which is
+            // what makes cut-edge minimization worth the refinement sweep.
+            link_word_ps: 40_000,
+            link_latency_ps: 200_000,
+            link_fifo_depth: 64,
+            refine_sweeps: 2,
+        }
+    }
+}
+
+impl PartitionOptions {
+    pub fn builder() -> PartitionOptionsBuilder {
+        PartitionOptionsBuilder {
+            opts: PartitionOptions::default(),
+        }
+    }
+}
+
+/// Chained-setter builder for [`PartitionOptions`].
+#[derive(Debug, Clone)]
+pub struct PartitionOptionsBuilder {
+    opts: PartitionOptions,
+}
+
+impl PartitionOptionsBuilder {
+    pub fn max_boards(mut self, n: usize) -> Self {
+        self.opts.max_boards = n.max(1);
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    pub fn infra_area(mut self, area: ResourceEstimate) -> Self {
+        self.opts.infra_area = area;
+        self
+    }
+
+    pub fn link_width_bits(mut self, bits: u32) -> Self {
+        self.opts.link_width_bits = bits.max(1);
+        self
+    }
+
+    pub fn link_word_ps(mut self, ps: u64) -> Self {
+        self.opts.link_word_ps = ps.max(1);
+        self
+    }
+
+    pub fn link_latency_ps(mut self, ps: u64) -> Self {
+        self.opts.link_latency_ps = ps;
+        self
+    }
+
+    pub fn link_fifo_depth(mut self, depth: usize) -> Self {
+        self.opts.link_fifo_depth = depth.max(1);
+        self
+    }
+
+    pub fn refine_sweeps(mut self, sweeps: usize) -> Self {
+        self.opts.refine_sweeps = sweeps;
+        self
+    }
+
+    pub fn build(self) -> PartitionOptions {
+        self.opts
+    }
+}
+
+/// [`partition_observed`] with a null observer.
+pub fn partition(
+    htg: &Htg,
+    areas: &BTreeMap<String, ResourceEstimate>,
+    device: &Device,
+    opts: &PartitionOptions,
+) -> Result<BoardPlan, PlanError> {
+    partition_observed(htg, areas, device, opts, &NullObserver)
+}
+
+/// Cut `htg` into at most `opts.max_boards` per-board subgraphs, each
+/// fitting `device`, minimizing cut edges. Reports the resulting plan as
+/// a [`FlowEvent::PartitionPlanned`].
+pub fn partition_observed(
+    htg: &Htg,
+    areas: &BTreeMap<String, ResourceEstimate>,
+    device: &Device,
+    opts: &PartitionOptions,
+    observer: &dyn FlowObserver,
+) -> Result<BoardPlan, PlanError> {
+    if htg.node_count() == 0 {
+        return Err(PlanError::EmptyGraph);
+    }
+    let order = topo_sort(htg).map_err(|_| PlanError::CyclicGraph)?;
+
+    // Per-node areas in NodeId order, checked up front.
+    let mut node_area: Vec<ResourceEstimate> = Vec::with_capacity(htg.node_count());
+    for id in htg.node_ids() {
+        let name = htg.name(id);
+        let area = *areas
+            .get(name)
+            .ok_or_else(|| PlanError::MissingArea(name.to_string()))?;
+        if !(opts.infra_area + area).fits_in(&device.capacity) {
+            return Err(PlanError::NodeTooLarge {
+                node: name.to_string(),
+                area: opts.infra_area + area,
+                capacity: device.capacity,
+            });
+        }
+        node_area.push(area);
+    }
+
+    // --- greedy topological bin-packing ------------------------------
+    let mut board_of: Vec<usize> = vec![0; htg.node_count()];
+    let mut board_used: Vec<ResourceEstimate> = vec![opts.infra_area];
+    for &id in &order {
+        let area = node_area[id.0 as usize];
+        let cur = board_used.len() - 1;
+        if (board_used[cur] + area).fits_in(&device.capacity) {
+            board_used[cur] += area;
+            board_of[id.0 as usize] = cur;
+        } else {
+            board_used.push(opts.infra_area + area);
+            board_of[id.0 as usize] = cur + 1;
+        }
+    }
+    if board_used.len() > opts.max_boards {
+        return Err(PlanError::ExceedsBoardBudget {
+            needed: board_used.len(),
+            max_boards: opts.max_boards,
+        });
+    }
+
+    // --- seeded cut-cost refinement ----------------------------------
+    let mut visit: Vec<usize> = (0..htg.node_count()).collect();
+    shuffle(&mut visit, opts.seed);
+    for _ in 0..opts.refine_sweeps {
+        let mut improved = false;
+        for &n in &visit {
+            let from = board_of[n];
+            // Board-order feasibility window for this node.
+            let lo = htg
+                .preds(accelsoc_htg::graph::NodeId(n as u32))
+                .map(|p| board_of[p.0 as usize])
+                .max()
+                .unwrap_or(0);
+            let hi = htg
+                .succs(accelsoc_htg::graph::NodeId(n as u32))
+                .map(|s| board_of[s.0 as usize])
+                .min()
+                .unwrap_or(board_used.len() - 1);
+            if lo > hi {
+                continue; // already pinned between its neighbours
+            }
+            let area = node_area[n];
+            let base = cut_cost(htg, &board_of);
+            let mut best: Option<(usize, (usize, u64))> = None;
+            #[allow(clippy::needless_range_loop)] // `to` also indexes board_of below
+            for to in lo..=hi {
+                if to == from || !(board_used[to] + area).fits_in(&device.capacity) {
+                    continue;
+                }
+                board_of[n] = to;
+                let cost = cut_cost(htg, &board_of);
+                board_of[n] = from;
+                if cost < base && best.is_none_or(|(_, c)| cost < c) {
+                    best = Some((to, cost));
+                }
+            }
+            if let Some((to, _)) = best {
+                board_of[n] = to;
+                board_used[to] += area;
+                board_used[from] = sub(board_used[from], area);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // --- compact empty boards and renumber ---------------------------
+    let mut occupied: Vec<bool> = vec![false; board_used.len()];
+    for &b in &board_of {
+        occupied[b] = true;
+    }
+    let mut renumber: Vec<usize> = vec![usize::MAX; board_used.len()];
+    let mut next = 0;
+    for (b, &occ) in occupied.iter().enumerate() {
+        if occ {
+            renumber[b] = next;
+            next += 1;
+        }
+    }
+    for b in &mut board_of {
+        *b = renumber[*b];
+    }
+
+    // --- assemble the plan -------------------------------------------
+    let mut boards: Vec<BoardAssignment> = (0..next)
+        .map(|board| BoardAssignment {
+            board,
+            nodes: Vec::new(),
+            area: opts.infra_area,
+            utilization: 0.0,
+        })
+        .collect();
+    for &id in &order {
+        let b = board_of[id.0 as usize];
+        boards[b].nodes.push(htg.name(id).to_string());
+        boards[b].area += node_area[id.0 as usize];
+    }
+    for b in &mut boards {
+        b.utilization = b.area.utilization(&device.capacity);
+    }
+    let mut links = Vec::new();
+    let mut cut_bytes = 0u64;
+    for e in htg.edges() {
+        let (sb, db) = (board_of[e.src.0 as usize], board_of[e.dst.0 as usize]);
+        if sb == db {
+            continue;
+        }
+        cut_bytes += e.transfer.bytes();
+        links.push(BoardLink {
+            id: links.len(),
+            src_board: sb,
+            dst_board: db,
+            src_node: htg.name(e.src).to_string(),
+            dst_node: htg.name(e.dst).to_string(),
+            bytes: e.transfer.bytes(),
+            width_bits: opts.link_width_bits,
+            word_ps: opts.link_word_ps,
+            latency_ps: opts.link_latency_ps,
+            fifo_depth: opts.link_fifo_depth,
+        });
+    }
+    let plan = BoardPlan {
+        part: device.part.clone(),
+        boards,
+        links,
+        cut_bytes,
+        seed: opts.seed,
+    };
+    debug_assert_eq!(plan.validate(htg, device), Ok(()));
+    observer.on_event(&FlowEvent::PartitionPlanned {
+        nodes: htg.node_count(),
+        boards: plan.board_count(),
+        cut_edges: plan.cut_edges(),
+        cut_bytes: plan.cut_bytes,
+        worst_utilization: plan
+            .boards
+            .iter()
+            .map(|b| b.utilization)
+            .fold(0.0, f64::max),
+    });
+    Ok(plan)
+}
+
+/// Lexicographic cut cost `(cut edges, cut bytes)` of an assignment.
+fn cut_cost(htg: &Htg, board_of: &[usize]) -> (usize, u64) {
+    let mut edges = 0usize;
+    let mut bytes = 0u64;
+    for e in htg.edges() {
+        if board_of[e.src.0 as usize] != board_of[e.dst.0 as usize] {
+            edges += 1;
+            bytes += e.transfer.bytes();
+        }
+    }
+    (edges, bytes)
+}
+
+/// Saturating elementwise subtraction (refinement bookkeeping only).
+fn sub(a: ResourceEstimate, b: ResourceEstimate) -> ResourceEstimate {
+    ResourceEstimate {
+        lut: a.lut.saturating_sub(b.lut),
+        ff: a.ff.saturating_sub(b.ff),
+        bram18: a.bram18.saturating_sub(b.bram18),
+        dsp: a.dsp.saturating_sub(b.dsp),
+    }
+}
+
+/// splitmix64 — the workspace's stock seeded mixer.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates driven by splitmix64.
+fn shuffle(xs: &mut [usize], seed: u64) {
+    let mut state = seed;
+    for i in (1..xs.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelsoc_htg::graph::{TaskNode, TransferKind};
+
+    fn task(kernel: &str) -> TaskNode {
+        TaskNode {
+            kernel: kernel.into(),
+            sw_cycles: 1000,
+            sw_only: false,
+        }
+    }
+
+    /// A chain of `n` nodes, `lut` LUTs each, moving `bytes` per edge.
+    fn chain(n: usize, lut: u32, bytes: u64) -> (Htg, BTreeMap<String, ResourceEstimate>) {
+        let mut g = Htg::new();
+        let mut areas = BTreeMap::new();
+        let mut prev = None;
+        for i in 0..n {
+            let name = format!("t{i}");
+            let id = g.add_task(&name, task(&name)).unwrap();
+            areas.insert(name, ResourceEstimate::new(lut, lut, 1, 0));
+            if let Some(p) = prev {
+                g.add_edge(p, id, TransferKind::SharedBuffer { bytes })
+                    .unwrap();
+            }
+            prev = Some(id);
+        }
+        (g, areas)
+    }
+
+    fn opts(max_boards: usize) -> PartitionOptions {
+        PartitionOptions::builder().max_boards(max_boards).build()
+    }
+
+    #[test]
+    fn small_graph_lands_on_one_board() {
+        let (g, areas) = chain(4, 1_000, 64);
+        let plan = partition(&g, &areas, &Device::zynq7020(), &opts(4)).unwrap();
+        assert_eq!(plan.board_count(), 1);
+        assert!(plan.links.is_empty());
+        assert_eq!(plan.cut_bytes, 0);
+        plan.validate(&g, &Device::zynq7020()).unwrap();
+    }
+
+    #[test]
+    fn oversized_chain_splits_with_minimal_cuts() {
+        // 12 nodes × 10k LUT ≈ 120k + infra: needs 3 boards of 53.2k.
+        let (g, areas) = chain(12, 10_000, 4096);
+        let d = Device::zynq7020();
+        let plan = partition(&g, &areas, &d, &opts(4)).unwrap();
+        assert!(plan.board_count() >= 3);
+        // A chain cut into k boards needs exactly k-1 cut edges.
+        assert_eq!(plan.cut_edges(), plan.board_count() - 1);
+        plan.validate(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        let (g, areas) = chain(12, 10_000, 64);
+        let err = partition(&g, &areas, &Device::zynq7020(), &opts(2)).unwrap_err();
+        match err {
+            PlanError::ExceedsBoardBudget { needed, max_boards } => {
+                assert!(needed > 2);
+                assert_eq!(max_boards, 2);
+            }
+            other => panic!("expected budget error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn monster_node_is_typed() {
+        let (g, mut areas) = chain(2, 1_000, 64);
+        areas.insert("t1".into(), ResourceEstimate::new(60_000, 0, 0, 0));
+        let err = partition(&g, &areas, &Device::zynq7020(), &opts(8)).unwrap_err();
+        assert!(matches!(err, PlanError::NodeTooLarge { ref node, .. } if node == "t1"));
+    }
+
+    #[test]
+    fn missing_area_is_typed() {
+        let (g, mut areas) = chain(3, 1_000, 64);
+        areas.remove("t1");
+        let err = partition(&g, &areas, &Device::zynq7020(), &opts(2)).unwrap_err();
+        assert_eq!(err, PlanError::MissingArea("t1".into()));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_stable_across_seeds_on_chains() {
+        let (g, areas) = chain(12, 10_000, 4096);
+        let d = Device::zynq7020();
+        let a = partition(&g, &areas, &d, &opts(4)).unwrap();
+        let b = partition(&g, &areas, &d, &opts(4)).unwrap();
+        assert_eq!(a, b, "same seed, same plan");
+        for seed in 1..5u64 {
+            let o = PartitionOptions::builder().max_boards(4).seed(seed).build();
+            let p = partition(&g, &areas, &d, &o).unwrap();
+            p.validate(&g, &d).unwrap();
+            // Cut-edge count is already optimal on a chain; refinement
+            // must never make it worse whatever the visit order.
+            assert_eq!(p.cut_edges(), p.board_count() - 1);
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_cut_on_a_diamond() {
+        // a -> (b, c) -> d, where greedy packing on topo order may strand
+        // one diamond arm on the wrong board; refinement pulls it back.
+        let mut g = Htg::new();
+        let mut areas = BTreeMap::new();
+        let lut = 15_000u32;
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let ids: Vec<_> = names
+            .iter()
+            .map(|n| {
+                areas.insert(n.to_string(), ResourceEstimate::new(lut, lut, 1, 0));
+                g.add_task(n, task(n)).unwrap()
+            })
+            .collect();
+        let buf = |b| TransferKind::SharedBuffer { bytes: b };
+        g.add_edge(ids[0], ids[1], buf(4096)).unwrap();
+        g.add_edge(ids[0], ids[2], buf(4096)).unwrap();
+        g.add_edge(ids[1], ids[3], buf(4096)).unwrap();
+        g.add_edge(ids[2], ids[3], buf(4096)).unwrap();
+        g.add_edge(ids[3], ids[4], buf(64)).unwrap();
+        g.add_edge(ids[4], ids[5], buf(64)).unwrap();
+        let d = Device::zynq7020();
+        let refined = partition(&g, &areas, &d, &opts(3)).unwrap();
+        let unrefined = partition(
+            &g,
+            &areas,
+            &d,
+            &PartitionOptions::builder()
+                .max_boards(3)
+                .refine_sweeps(0)
+                .build(),
+        )
+        .unwrap();
+        refined.validate(&g, &d).unwrap();
+        unrefined.validate(&g, &d).unwrap();
+        assert!(
+            cut_pair(&refined) <= cut_pair(&unrefined),
+            "refinement must not increase the cut: {:?} vs {:?}",
+            cut_pair(&refined),
+            cut_pair(&unrefined)
+        );
+    }
+
+    fn cut_pair(p: &BoardPlan) -> (usize, u64) {
+        (p.cut_edges(), p.cut_bytes)
+    }
+
+    #[test]
+    fn plan_reports_partition_event() {
+        use accelsoc_observe::CollectObserver;
+        let (g, areas) = chain(12, 10_000, 4096);
+        let obs = CollectObserver::new();
+        let plan = partition_observed(&g, &areas, &Device::zynq7020(), &opts(4), &obs).unwrap();
+        let planned = obs.events().iter().any(|e| {
+            matches!(e, FlowEvent::PartitionPlanned { boards, .. } if *boards == plan.board_count())
+        });
+        assert!(planned, "PartitionPlanned event emitted");
+    }
+
+    #[test]
+    fn board_of_resolves_every_node() {
+        let (g, areas) = chain(12, 10_000, 64);
+        let plan = partition(&g, &areas, &Device::zynq7020(), &opts(4)).unwrap();
+        for id in g.node_ids() {
+            assert!(plan.board_of(g.name(id)).is_some());
+        }
+        assert_eq!(plan.board_of("ghost"), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the multi-board partitioner: on every
+//! random DAG the packer either returns a plan satisfying all the
+//! [`BoardPlan`] invariants or a typed error — never a wrong answer.
+
+use accelsoc_hls::resource::ResourceEstimate;
+use accelsoc_htg::graph::{Htg, TaskNode, TransferKind};
+use accelsoc_integration::device::Device;
+use accelsoc_partition::{partition, BoardPlan, PartitionOptions, PlanError};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Random DAG (edges low→high index) plus per-node areas that each fit
+/// a Zynq-7020 on their own but can overflow it in aggregate.
+fn arb_input() -> impl Strategy<Value = (Htg, BTreeMap<String, ResourceEstimate>)> {
+    (
+        2usize..14,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u64..1_000_000), 0..40),
+        proptest::collection::vec((100u32..15_000, 100u32..30_000, 0u32..40, 0u32..30), 14),
+    )
+        .prop_map(|(n, raw_edges, raw_areas)| {
+            let mut g = Htg::new();
+            for i in 0..n {
+                g.add_task(
+                    &format!("t{i}"),
+                    TaskNode {
+                        kernel: format!("k{i}"),
+                        sw_cycles: 100,
+                        sw_only: false,
+                    },
+                )
+                .unwrap();
+            }
+            let ids: Vec<_> = g.node_ids().collect();
+            for (a, b, bytes) in raw_edges {
+                let a = (a as usize) % n;
+                let b = (b as usize) % n;
+                if a < b {
+                    g.add_edge(ids[a], ids[b], TransferKind::SharedBuffer { bytes })
+                        .unwrap();
+                }
+            }
+            let areas = (0..n)
+                .map(|i| {
+                    let (lut, ff, bram, dsp) = raw_areas[i];
+                    (format!("t{i}"), ResourceEstimate::new(lut, ff, bram, dsp))
+                })
+                .collect();
+            (g, areas)
+        })
+}
+
+/// Cut edges of a plan, recomputed independently of `plan.links`.
+fn recount_cut(htg: &Htg, plan: &BoardPlan) -> (usize, u64) {
+    let mut edges = 0usize;
+    let mut bytes = 0u64;
+    for e in htg.edges() {
+        let sb = plan.board_of(htg.name(e.src)).unwrap();
+        let db = plan.board_of(htg.name(e.dst)).unwrap();
+        if sb != db {
+            edges += 1;
+            bytes += e.transfer.bytes();
+        }
+    }
+    (edges, bytes)
+}
+
+proptest! {
+    /// Whatever the packer returns satisfies every plan invariant: full
+    /// node coverage, per-board capacity, forward board order, and a
+    /// one-to-one links ↔ cut-edges correspondence.
+    #[test]
+    fn plan_invariants_hold(input in arb_input(), seed in any::<u64>()) {
+        let (g, areas) = input;
+        let device = Device::zynq7020();
+        let opts = PartitionOptions::builder()
+            .max_boards(8)
+            .seed(seed)
+            .build();
+        match partition(&g, &areas, &device, &opts) {
+            Ok(plan) => {
+                prop_assert_eq!(plan.validate(&g, &device), Ok(()));
+                // Every node on exactly one board.
+                for id in g.node_ids() {
+                    prop_assert!(plan.board_of(g.name(id)).is_some());
+                }
+                let assigned: usize =
+                    plan.boards.iter().map(|b| b.nodes.len()).sum();
+                prop_assert_eq!(assigned, g.node_count());
+                // Links are exactly the cut edges.
+                let (cut_edges, cut_bytes) = recount_cut(&g, &plan);
+                prop_assert_eq!(plan.links.len(), cut_edges);
+                prop_assert_eq!(plan.cut_edges(), cut_edges);
+                prop_assert_eq!(plan.cut_bytes, cut_bytes);
+                // Dependencies only flow to later (or the same) boards.
+                for e in g.edges() {
+                    let sb = plan.board_of(g.name(e.src)).unwrap();
+                    let db = plan.board_of(g.name(e.dst)).unwrap();
+                    prop_assert!(sb <= db, "backward edge {sb} -> {db}");
+                }
+                prop_assert!(plan.board_count() <= 8);
+            }
+            Err(PlanError::ExceedsBoardBudget { .. }) => {
+                // Legitimate: the aggregate really can overflow 8 boards
+                // only via packing fragmentation; either way it is a
+                // typed refusal, not a bad plan.
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    /// The packer is a pure function of its inputs: same graph, areas,
+    /// device and options ⇒ structurally identical plan.
+    #[test]
+    fn packing_is_deterministic(input in arb_input(), seed in any::<u64>()) {
+        let (g, areas) = input;
+        let device = Device::zynq7020();
+        let opts = PartitionOptions::builder()
+            .max_boards(8)
+            .seed(seed)
+            .build();
+        let a = partition(&g, &areas, &device, &opts);
+        let b = partition(&g, &areas, &device, &opts);
+        match (a, b) {
+            (Ok(pa), Ok(pb)) => prop_assert_eq!(pa, pb),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea.to_string(), eb.to_string()),
+            (a, b) => panic!("verdict flipped: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// A single-board budget on an overflowing aggregate is always the
+    /// typed budget error.
+    #[test]
+    fn over_budget_is_typed(n in 5usize..12, seed in any::<u64>()) {
+        let mut g = Htg::new();
+        for i in 0..n {
+            g.add_task(
+                &format!("t{i}"),
+                TaskNode {
+                    kernel: format!("k{i}"),
+                    sw_cycles: 100,
+                    sw_only: false,
+                },
+            )
+            .unwrap();
+        }
+        // Each node takes ~40% of the 7020's LUTs: any two overflow it.
+        let areas: BTreeMap<String, ResourceEstimate> = (0..n)
+            .map(|i| {
+                (format!("t{i}"), ResourceEstimate::new(21_000, 1_000, 1, 0))
+            })
+            .collect();
+        let device = Device::zynq7020();
+        let opts = PartitionOptions::builder()
+            .max_boards(1)
+            .seed(seed)
+            .build();
+        prop_assert!(matches!(
+            partition(&g, &areas, &device, &opts),
+            Err(PlanError::ExceedsBoardBudget { .. })
+        ));
+    }
+}

@@ -23,7 +23,11 @@
 //!   backpressure, starvation and HP-port contention stalls;
 //! * [`sim::TaskSim`] — a discrete-event scheduler on an integer
 //!   picosecond calendar that composes task durations and dependencies
-//!   into an application makespan (used to compare Arch1–4 end to end).
+//!   into an application makespan (used to compare Arch1–4 end to end);
+//! * [`multiboard`] — whole-system co-simulation of several boards at
+//!   once, joined by modeled serial stream links, on one deterministic
+//!   `(ps, board, rank, seq)` calendar (used by `accelsoc-partition`
+//!   when a design overflows a single device).
 //!
 //! Clocks: the PL runs at 100 MHz (10 ns/cycle), the PS at 666.7 MHz
 //! (1.5 ns/cycle), matching ZedBoard defaults. All times are reported in
@@ -34,6 +38,7 @@ pub mod board;
 pub mod cosim;
 pub mod cpu;
 pub mod memory;
+pub mod multiboard;
 pub mod sim;
 pub mod trace;
 
@@ -42,6 +47,10 @@ pub use board::{Board, BoardError, PhaseStats};
 pub use cosim::CosimResult;
 pub use cpu::Cpu;
 pub use memory::Dram;
+pub use multiboard::{
+    BoardStats, LinkStats, MbLink, MbNode, MultiBoardError, MultiBoardReport, MultiBoardSpec,
+    NodeTrace,
+};
 pub use sim::{SimTask, TaskSim, TaskSimResult};
 pub use trace::{trace_phase, Trace, TraceError};
 

@@ -922,6 +922,7 @@ impl ClusterSession {
                         }
                         AdmissionError::InvalidGraph { .. } => rejections.invalid_graph += 1,
                         AdmissionError::UnknownTenant(_) => rejections.unknown_tenant += 1,
+                        AdmissionError::TooManyBoards { .. } => rejections.too_many_boards += 1,
                     }
                     if let Some(ti) = resolve(&job_tenant) {
                         t_rejected[ti] += 1;

@@ -8,6 +8,38 @@ use accelsoc_observe::TenantId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// How many boards a job occupies while it runs.
+///
+/// The common case is one board; a job whose task graph overflowed a
+/// single device (see `accelsoc-partition`) dispatches as a *gang*: it
+/// atomically claims `boards` idle boards, holds them for its whole
+/// service time, and frees them together. Gang jobs never batch-coalesce
+/// with other jobs — the boards are wired to each other for the
+/// duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum JobShape {
+    /// Ordinary job: one board, batchable.
+    #[default]
+    SingleBoard,
+    /// Partitioned multi-board job: claims `boards` boards at once.
+    MultiBoard { boards: usize },
+}
+
+impl JobShape {
+    /// Boards the job occupies (≥ 1; a degenerate `MultiBoard { 0 }`
+    /// still occupies one).
+    pub fn boards(&self) -> usize {
+        match self {
+            JobShape::SingleBoard => 1,
+            JobShape::MultiBoard { boards } => (*boards).max(1),
+        }
+    }
+
+    pub fn is_multi_board(&self) -> bool {
+        self.boards() > 1
+    }
+}
+
 /// One accelerator request, as submitted by a tenant.
 ///
 /// A job is an Otsu segmentation request: one synthetic image of
@@ -41,6 +73,9 @@ pub struct JobSpec {
     /// rejected with [`AdmissionError::InvalidGraph`] instead of failing
     /// mid-dispatch.
     pub graph: Option<Htg>,
+    /// Board footprint: single-board (default) or a partitioned
+    /// multi-board gang.
+    pub shape: JobShape,
 }
 
 impl JobSpec {
@@ -72,6 +107,9 @@ pub enum AdmissionError {
     InvalidGraph { detail: String },
     /// The job names a tenant the runtime was not configured with.
     UnknownTenant(String),
+    /// A multi-board job asked for more boards than the whole pool has —
+    /// it could never dispatch, so it is refused up front.
+    TooManyBoards { requested: usize, pool: usize },
 }
 
 impl AdmissionError {
@@ -83,6 +121,7 @@ impl AdmissionError {
             AdmissionError::DeadlineImpossible { .. } => "DeadlineImpossible",
             AdmissionError::InvalidGraph { .. } => "InvalidGraph",
             AdmissionError::UnknownTenant(_) => "UnknownTenant",
+            AdmissionError::TooManyBoards { .. } => "TooManyBoards",
         }
     }
 }
@@ -107,6 +146,9 @@ impl fmt::Display for AdmissionError {
                 write!(f, "invalid task graph: {detail}")
             }
             AdmissionError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            AdmissionError::TooManyBoards { requested, pool } => {
+                write!(f, "job wants {requested} boards, pool has {pool}")
+            }
         }
     }
 }
@@ -158,6 +200,7 @@ mod tests {
             deadline_ps: None,
             transient_fault: false,
             graph: None,
+            shape: JobShape::SingleBoard,
         }
     }
 
@@ -166,6 +209,26 @@ mod tests {
         let j = job();
         assert_eq!(j.pixels(), 1024);
         assert_eq!(j.input_bytes(), 4096);
+    }
+
+    #[test]
+    fn shape_board_counts() {
+        assert_eq!(JobShape::default(), JobShape::SingleBoard);
+        assert_eq!(JobShape::SingleBoard.boards(), 1);
+        assert!(!JobShape::SingleBoard.is_multi_board());
+        assert_eq!(JobShape::MultiBoard { boards: 3 }.boards(), 3);
+        assert!(JobShape::MultiBoard { boards: 3 }.is_multi_board());
+        assert_eq!(JobShape::MultiBoard { boards: 0 }.boards(), 1);
+    }
+
+    #[test]
+    fn shape_round_trips_through_json() {
+        let mut j = job();
+        j.shape = JobShape::MultiBoard { boards: 3 };
+        let back: JobSpec = serde_json::from_value(&serde_json::to_value(&j)).unwrap();
+        assert_eq!(back.shape, JobShape::MultiBoard { boards: 3 });
+        let back: JobSpec = serde_json::from_value(&serde_json::to_value(&job())).unwrap();
+        assert_eq!(back.shape, JobShape::SingleBoard);
     }
 
     #[test]
@@ -187,6 +250,10 @@ mod tests {
                 detail: "cycle".into(),
             },
             AdmissionError::UnknownTenant("x".into()),
+            AdmissionError::TooManyBoards {
+                requested: 4,
+                pool: 2,
+            },
         ];
         let kinds: Vec<&str> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(
@@ -196,7 +263,8 @@ mod tests {
                 "JobTooLarge",
                 "DeadlineImpossible",
                 "InvalidGraph",
-                "UnknownTenant"
+                "UnknownTenant",
+                "TooManyBoards"
             ]
         );
         for e in &errs {

@@ -10,7 +10,10 @@
 //! * **admission control** — bounded per-tenant queues with typed
 //!   rejection ([`AdmissionError`]: `QueueFull`, `JobTooLarge`,
 //!   `DeadlineImpossible`, `InvalidGraph` via `htg::validate`,
-//!   `UnknownTenant`);
+//!   `UnknownTenant`, `TooManyBoards`);
+//! * **multi-board gangs** — a job whose graph was partitioned across
+//!   several devices ([`JobShape::MultiBoard`]) atomically claims its
+//!   whole board gang at dispatch and frees it as one unit;
 //! * **pluggable policies** — the [`SchedPolicy`] trait with FIFO,
 //!   round-robin-per-tenant and shortest-job-first (sized by the
 //!   `accelsoc-dse` latency model through [`DseEstimator`]);
@@ -57,15 +60,12 @@ pub use cluster::{
     ClusterReport, ClusterSession, NodeFailure,
 };
 pub use estimator::DseEstimator;
-pub use job::{AdmissionError, JobOutcome, JobRecord, JobSpec};
+pub use job::{AdmissionError, JobOutcome, JobRecord, JobShape, JobSpec};
 pub use net::NetModel;
 pub use node::{Admit, ServeNode, SimTables};
 pub use policy::{Fifo, PolicyKind, RoundRobin, SchedPolicy, Sjf};
 pub use queue::{ActiveJob, TenantQueue};
 pub use report::{RejectionCounts, ServeReport, TenantReport};
 pub use routing::HashRing;
-#[allow(deprecated)]
-pub use scheduler::{
-    run_serve, run_serve_seeded, ServeConfig, ServeConfigBuilder, ServeError, ServeSession,
-};
+pub use scheduler::{ServeConfig, ServeConfigBuilder, ServeError, ServeSession};
 pub use workload::{generate_workload, pool_image_seeds, TenantProfile, WorkloadSpec};

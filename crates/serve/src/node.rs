@@ -75,6 +75,13 @@ pub(crate) fn static_admission(
     if !cfg.tenants.iter().any(|t| job.tenant == *t) {
         return Err(AdmissionError::UnknownTenant(job.tenant.name().into()));
     }
+    // A gang wider than the whole pool can never dispatch here.
+    if job.shape.boards() > cfg.boards {
+        return Err(AdmissionError::TooManyBoards {
+            requested: job.shape.boards(),
+            pool: cfg.boards,
+        });
+    }
     if let Some(graph) = &job.graph {
         let report = accelsoc_htg::validate::validate(graph);
         if !report.is_ok() {
@@ -217,6 +224,11 @@ struct BoardSlot {
     busy_ps: u64,
     /// Jobs of the batch currently executing, with staggered finishes.
     running: Vec<InFlight>,
+    /// When this board is a secondary member of a multi-board gang,
+    /// the primary board's index. The gang's `InFlight` entries live on
+    /// the primary; secondaries are busy but carry no payload and free
+    /// when the primary's `batch_done` arrives.
+    linked_to: Option<usize>,
 }
 
 struct InFlight {
@@ -303,6 +315,7 @@ impl ServeNode {
                 arch: None,
                 busy_ps: 0,
                 running: Vec::new(),
+                linked_to: None,
             })
             .collect();
         let n = tenant_ids.len();
@@ -444,6 +457,7 @@ impl ServeNode {
                     }
                     AdmissionError::InvalidGraph { .. } => self.rejections.invalid_graph += 1,
                     AdmissionError::UnknownTenant(_) => self.rejections.unknown_tenant += 1,
+                    AdmissionError::TooManyBoards { .. } => self.rejections.too_many_boards += 1,
                 }
                 if let Some(ti) = self.resolve(&job.tenant) {
                     self.rejected_per_tenant[ti] += 1;
@@ -515,6 +529,14 @@ impl ServeNode {
     pub fn batch_done(&mut self, board: usize, observer: &dyn FlowObserver) {
         let done = std::mem::take(&mut self.boards[board].running);
         self.boards[board].busy = false;
+        self.boards[board].linked_to = None;
+        // Free the gang's secondary boards along with their primary.
+        for b in &mut self.boards {
+            if b.linked_to == Some(board) {
+                b.busy = false;
+                b.linked_to = None;
+            }
+        }
         for inflight in done {
             let mut job = inflight.job;
             if job.spec.transient_fault && job.attempts <= self.cfg.max_retries {
@@ -638,6 +660,55 @@ impl ServeNode {
                 .expect("policy selected a non-empty queue");
             let arch = head.spec.arch;
             let excluded = head.excluded_board;
+            let gang = head.spec.shape.boards();
+            if gang > 1 {
+                // Multi-board gang: claim `gang` idle boards atomically,
+                // lowest indices first, no batch coalescing — the boards
+                // are wired together for the job's whole service time.
+                let mut candidates: Vec<usize> = idle
+                    .iter()
+                    .copied()
+                    .filter(|&b| Some(b) != excluded)
+                    .collect();
+                if candidates.len() < gang && self.boards.len() == gang {
+                    // A retry has nowhere else to go in a pool exactly
+                    // the gang's size: allow the faulted board back in.
+                    candidates = idle.clone();
+                }
+                if candidates.len() < gang {
+                    // Not enough idle boards yet; wait for completions.
+                    break;
+                }
+                let selected: Vec<usize> = candidates[..gang].to_vec();
+                let primary = selected[0];
+                let reconfig = if selected.iter().all(|&b| self.boards[b].arch == Some(arch)) {
+                    0
+                } else {
+                    self.cfg.reconfig_ps
+                };
+                let mut job = self.queues[ti].pop().expect("head exists");
+                self.policy.on_dispatch(ti);
+                job.attempts += 1;
+                let t = now_ps + reconfig + self.cfg.dispatch_overhead_ps + job.lat_ps;
+                observer.on_event(&FlowEvent::JobDispatched {
+                    job: job.spec.id,
+                    tenant: job.spec.tenant.clone(),
+                    node: self.id,
+                    board: primary,
+                    batch: 1,
+                    at_ps: now_ps,
+                });
+                for &b in &selected {
+                    self.boards[b].arch = Some(arch);
+                    self.boards[b].busy = true;
+                    self.boards[b].busy_ps += t - now_ps;
+                    self.boards[b].linked_to = (b != primary).then_some(primary);
+                }
+                self.boards[primary].running = vec![InFlight { job, finish_ps: t }];
+                self.batches += 1;
+                schedule.push((primary, t));
+                continue;
+            }
             let mut candidates: Vec<usize> = idle
                 .iter()
                 .copied()
@@ -671,7 +742,11 @@ impl ServeNode {
                     .iter()
                     .enumerate()
                     .filter_map(|(qi, q)| q.head().map(|j| (j, qi)))
-                    .filter(|(j, _)| j.spec.arch == arch && j.excluded_board != Some(board))
+                    .filter(|(j, _)| {
+                        j.spec.arch == arch
+                            && j.excluded_board != Some(board)
+                            && !j.spec.shape.is_multi_board()
+                    })
                     .map(|(j, qi)| (j.spec.id, qi))
                     .min();
                 match next {
@@ -725,6 +800,7 @@ impl ServeNode {
         let mut in_flight = 0usize;
         for b in &mut self.boards {
             b.busy = false;
+            b.linked_to = None;
             for inflight in b.running.drain(..) {
                 in_flight += 1;
                 orphans.push(inflight.job);

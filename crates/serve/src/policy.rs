@@ -184,6 +184,7 @@ mod tests {
                     deadline_ps: None,
                     transient_fault: false,
                     graph: None,
+                    shape: Default::default(),
                 },
                 est_ps,
                 lat_ps: est_ps,

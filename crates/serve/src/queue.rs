@@ -135,6 +135,7 @@ mod tests {
                 deadline_ps,
                 transient_fault: false,
                 graph: None,
+                shape: Default::default(),
             },
             est_ps: 100,
             lat_ps: 100,

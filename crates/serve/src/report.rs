@@ -34,6 +34,7 @@ pub struct RejectionCounts {
     pub deadline_impossible: u64,
     pub invalid_graph: u64,
     pub unknown_tenant: u64,
+    pub too_many_boards: u64,
 }
 
 impl RejectionCounts {
@@ -43,6 +44,7 @@ impl RejectionCounts {
             + self.deadline_impossible
             + self.invalid_graph
             + self.unknown_tenant
+            + self.too_many_boards
     }
 }
 

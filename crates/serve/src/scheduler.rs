@@ -302,32 +302,3 @@ impl ServeSession {
         Ok(node.into_report())
     }
 }
-
-/// Run the scheduler over an arrival-ordered job stream.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ServeSession::new(cfg).run(jobs, observer)`; the seed lives in `ServeConfig`"
-)]
-pub fn run_serve(
-    jobs: &[JobSpec],
-    cfg: &ServeConfig,
-    observer: &dyn FlowObserver,
-) -> Result<ServeReport, ServeError> {
-    ServeSession::new(cfg.clone()).run(jobs, observer)
-}
-
-/// [`run_serve`] plus the seed stamped into the report.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ServeConfig::builder().seed(..)` and `ServeSession::run`"
-)]
-pub fn run_serve_seeded(
-    jobs: &[JobSpec],
-    cfg: &ServeConfig,
-    seed: u64,
-    observer: &dyn FlowObserver,
-) -> Result<ServeReport, ServeError> {
-    let mut cfg = cfg.clone();
-    cfg.seed = seed;
-    ServeSession::new(cfg).run(jobs, observer)
-}

@@ -6,7 +6,7 @@
 //! serve determinism argument.
 
 use crate::estimator::DseEstimator;
-use crate::job::JobSpec;
+use crate::job::{JobShape, JobSpec};
 use accelsoc_apps::archs::Arch;
 use accelsoc_observe::TenantId;
 use rand::rngs::StdRng;
@@ -122,6 +122,7 @@ pub fn generate_workload(spec: &WorkloadSpec, estimator: &mut DseEstimator) -> V
             deadline_ps,
             transient_fault,
             graph: None,
+            shape: JobShape::SingleBoard,
         });
     }
     jobs

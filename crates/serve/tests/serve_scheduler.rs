@@ -6,8 +6,8 @@ use accelsoc_htg::graph::{Htg, TaskNode, TransferKind};
 use accelsoc_observe::FlowObserver;
 use accelsoc_observe::{CollectObserver, FlowEvent, MetricsObserver, NullObserver};
 use accelsoc_serve::{
-    generate_workload, DseEstimator, JobOutcome, JobSpec, PolicyKind, ServeConfig, ServeReport,
-    ServeSession, TenantProfile, WorkloadSpec,
+    generate_workload, DseEstimator, JobOutcome, JobShape, JobSpec, PolicyKind, ServeConfig,
+    ServeReport, ServeSession, TenantProfile, WorkloadSpec,
 };
 
 fn run(jobs: &[JobSpec], cfg: ServeConfig, observer: &dyn FlowObserver) -> ServeReport {
@@ -61,6 +61,7 @@ fn plain_job(id: u64, tenant: &str, submit_ps: u64) -> JobSpec {
         deadline_ps: None,
         transient_fault: false,
         graph: None,
+        shape: JobShape::SingleBoard,
     }
 }
 
@@ -340,17 +341,96 @@ fn sjf_prefers_small_jobs_under_contention() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_match_the_session_api() {
-    // The PR 4 free functions survive as thin wrappers: same inputs,
-    // byte-identical report (seed injected via the config clone).
+fn session_stamps_config_seed_into_the_report() {
+    // The seed lives in `ServeConfig` and flows through the builder API
+    // into the report, reproducibly: same config ⇒ identical report.
     let spec = two_tenant_spec(11, 16, 50_000_000);
     let mut est = DseEstimator::new();
     let jobs = generate_workload(&spec, &mut est);
     let cfg = config(PolicyKind::Sjf, 2, 1);
-    let via_session = run(&jobs, cfg.clone(), &NullObserver);
-    let via_wrapper = accelsoc_serve::run_serve(&jobs, &cfg, &NullObserver).unwrap();
-    assert_eq!(via_session, via_wrapper);
-    let reseeded = accelsoc_serve::run_serve_seeded(&jobs, &cfg, 99, &NullObserver).unwrap();
-    assert_eq!(reseeded.seed, 99, "wrapper stamps the seed into the config");
+    let first = run(&jobs, cfg.clone(), &NullObserver);
+    assert_eq!(first.seed, 42, "builder seed lands in the report");
+    let again = run(&jobs, cfg, &NullObserver);
+    assert_eq!(first, again, "same config is reproducible");
+
+    let mut reseeded_cfg = config(PolicyKind::Sjf, 2, 1);
+    reseeded_cfg.seed = 99;
+    let reseeded = run(&jobs, reseeded_cfg, &NullObserver);
+    assert_eq!(reseeded.seed, 99);
+}
+
+#[test]
+fn multi_board_gang_claims_and_frees_boards_atomically() {
+    let obs = CollectObserver::new();
+    let cfg = ServeConfig::builder()
+        .tenant("t")
+        .boards(4)
+        .max_batch(4)
+        .build();
+    // A 3-board gang alone in a 4-board pool: it must occupy exactly
+    // boards 0-2 (lowest idle indices), leave board 3 untouched, and
+    // dispatch without coalescing.
+    let mut gang = plain_job(0, "t", 1_000);
+    gang.shape = JobShape::MultiBoard { boards: 3 };
+    let report = run(&[gang], cfg, &obs);
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.batches, 1);
+
+    // The gang dispatched alone (batch of 1) on its primary board.
+    let gang_dispatch = obs
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            FlowEvent::JobDispatched { job: 0, batch, .. } => Some(*batch),
+            _ => None,
+        })
+        .expect("gang dispatched");
+    assert_eq!(gang_dispatch, 1, "gang jobs never batch-coalesce");
+
+    // All three gang boards carry identical occupancy; the spare is idle.
+    let busy = &report.board_busy_ps;
+    assert_eq!(busy.len(), 4);
+    assert!(busy[0] > 0, "primary busy: {busy:?}");
+    assert_eq!(busy[0], busy[1], "secondary 1 held with primary: {busy:?}");
+    assert_eq!(busy[0], busy[2], "secondary 2 held with primary: {busy:?}");
+    assert_eq!(busy[3], 0, "spare board untouched: {busy:?}");
+}
+
+#[test]
+fn back_to_back_gangs_prove_secondary_boards_are_freed() {
+    // Pool of exactly 3 boards, two 3-board gangs: the second can only
+    // ever dispatch if the first frees *all* of its boards (a leaked
+    // secondary would deadlock the pool).
+    let cfg = ServeConfig::builder().tenant("t").boards(3).build();
+    let mut g0 = plain_job(0, "t", 1_000);
+    g0.shape = JobShape::MultiBoard { boards: 3 };
+    let mut g1 = plain_job(1, "t", 2_000);
+    g1.shape = JobShape::MultiBoard { boards: 3 };
+    let report = run(&[g0, g1], cfg, &NullObserver);
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.batches, 2);
+}
+
+#[test]
+fn gang_wider_than_the_pool_is_rejected_typed() {
+    let obs = CollectObserver::new();
+    let cfg = ServeConfig::builder().tenant("t").boards(2).build();
+    let mut huge = plain_job(0, "t", 1_000);
+    huge.shape = JobShape::MultiBoard { boards: 3 };
+    let jobs = vec![huge, plain_job(1, "t", 2_000)];
+    let report = run(&jobs, cfg, &obs);
+    assert_eq!(report.rejections.too_many_boards, 1);
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.completed, 1);
+    let reasons: Vec<String> = obs
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            FlowEvent::JobRejected { reason, .. } => Some(reason.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reasons, ["TooManyBoards"]);
 }

@@ -18,10 +18,11 @@ cargo fmt --check
 # Clippy is not part of the minimal toolchain baked into every image;
 # lint hard when it exists, skip quietly when it doesn't.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p accelsoc-kernel -p accelsoc-core -p accelsoc-hls -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve -p accelsoc-observe -p accelsoc-bench -p accelsoc (offline, -D warnings)"
+    echo "==> cargo clippy (offline, -D warnings, all first-party crates)"
     cargo clippy --offline -p accelsoc-kernel -p accelsoc-core -p accelsoc-hls \
         -p accelsoc-dse -p accelsoc-platform -p accelsoc-axi -p accelsoc-serve \
-        -p accelsoc-observe -p accelsoc-bench -p accelsoc \
+        -p accelsoc-observe -p accelsoc-bench -p accelsoc -p accelsoc-htg \
+        -p accelsoc-integration -p accelsoc-partition \
         --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable; skipping lint step"
@@ -102,5 +103,20 @@ if ./target/release/accelsoc cluster-sim --nodes 4 --policy sjf --jobs 64 \
     exit 1
 fi
 echo "    cluster report bit-identical for --threads 1 vs 4; accounting exact"
+
+echo "==> multi-board determinism smoke (accelsoc partition-sim)"
+# The Otsu chain scaled 16x across 2 boards: the full PartitionSimReport
+# (plan + co-sim + per-chain checksums) must be byte-identical across
+# host thread counts, and every chain must stay pixel-exact (the CLI
+# exits nonzero otherwise).
+./target/release/accelsoc partition-sim --boards 2 --scale 16 --side 32 \
+    --threads 1 --json "$CACHE_DIR/partition_t1.json" >/dev/null
+./target/release/accelsoc partition-sim --boards 2 --scale 16 --side 32 \
+    --threads 4 --json "$CACHE_DIR/partition_t4.json" >/dev/null
+if ! cmp -s "$CACHE_DIR/partition_t1.json" "$CACHE_DIR/partition_t4.json"; then
+    echo "FAIL: partition report differs between --threads 1 and --threads 4"
+    exit 1
+fi
+echo "    partition report bit-identical for --threads 1 vs 4; chains pixel-exact"
 
 echo "==> verify OK"

@@ -8,6 +8,7 @@
 //! accelsoc sim    <file.tg> [--n <tokens>]  build + run data through the board
 //! accelsoc serve-sim [options]              multi-tenant serving simulation
 //! accelsoc cluster-sim [options]            sharded N-node serving cluster
+//! accelsoc partition-sim [options]          multi-board partition + co-sim
 //! accelsoc kernels                          list the built-in kernel library
 //!
 //! build options:
@@ -38,6 +39,15 @@
 //!   --no-shed             disable shed-forwarding
 //!   --kill <node>@<ms>    kill a node at a virtual time (repeatable)
 //!   --image-pool <n>      fold image seeds into n distinct inputs
+//!
+//! partition-sim options:
+//!   --boards <n>        board budget                    [default: 2]
+//!   --scale <k>         Otsu chain replicas             [default: 16]
+//!   --side <px>         image side per chain            [default: 64]
+//!   --seed <u64>        image + refinement seed         [default: 1]
+//!   --threads <n>       host threads (functional layer) [default: 1]
+//!   --json <file>       write the PartitionSimReport as JSON
+//!   --verbose           log partition/co-sim events to stderr
 //! ```
 //!
 //! The built-in kernel library holds the case-study and demo kernels
@@ -77,6 +87,7 @@ fn main() -> ExitCode {
         Some("sim") => cmd_sim(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("cluster-sim") => cmd_cluster_sim(&args[1..]),
+        Some("partition-sim") => cmd_partition_sim(&args[1..]),
         Some("kernels") => {
             println!("built-in kernel library:");
             for k in builtin_kernels() {
@@ -91,7 +102,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: accelsoc <check|fmt|build|sim|serve-sim|cluster-sim|kernels> [args]  (see the README)"
+                "usage: accelsoc <check|fmt|build|sim|serve-sim|cluster-sim|partition-sim|kernels> [args]  (see the README)"
             );
             ExitCode::from(2)
         }
@@ -817,6 +828,172 @@ fn cmd_cluster_sim(args: &[String]) -> ExitCode {
         println!("report   : {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// Multi-board partitioning and whole-system co-simulation: the paper's
+/// Otsu chain replicated `--scale` times, cut across up to `--boards`
+/// Zynq-7020s, co-simulated over modeled inter-board stream links, and
+/// cross-checked pixel-exactly against the scalar reference (see
+/// DESIGN.md §13). Deterministic: same options ⇒ byte-identical JSON,
+/// regardless of `--threads`.
+fn cmd_partition_sim(args: &[String]) -> ExitCode {
+    use accelsoc::core::observe::{FlowObserver, LogObserver, NullObserver};
+    use accelsoc::partition::{run_partition_sim_observed, PartitionSimOptions};
+
+    let mut boards: usize = 2;
+    let mut scale: usize = 16;
+    let mut side: u32 = 64;
+    let mut seed: u64 = 1;
+    let mut threads: usize = 1;
+    let mut json_path: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        let parse_next = |what: &str| -> Result<&String, ExitCode> {
+            args.get(i + 1).ok_or_else(|| {
+                eprintln!("error: `{what}` requires a value");
+                ExitCode::from(2)
+            })
+        };
+        macro_rules! positive {
+            ($flag:literal, $slot:ident, $ty:ty) => {
+                match parse_next($flag).map(|v| v.parse::<$ty>()) {
+                    Ok(Ok(n)) if n > 0 => {
+                        $slot = n;
+                        i += 2;
+                    }
+                    Ok(_) => {
+                        eprintln!(concat!("error: `", $flag, "` needs a positive integer"));
+                        return ExitCode::from(2);
+                    }
+                    Err(c) => return c,
+                }
+            };
+        }
+        match args[i].as_str() {
+            "--boards" => positive!("--boards", boards, usize),
+            "--scale" => positive!("--scale", scale, usize),
+            "--side" => positive!("--side", side, u32),
+            "--threads" => positive!("--threads", threads, usize),
+            "--seed" => match parse_next("--seed").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => {
+                    seed = n;
+                    i += 2;
+                }
+                Ok(Err(_)) => {
+                    eprintln!("error: `--seed` needs an unsigned integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--json" => match parse_next("--json") {
+                Ok(v) => {
+                    json_path = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                Err(c) => return c,
+            },
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let opts = PartitionSimOptions::builder()
+        .scale(scale)
+        .max_boards(boards)
+        .side(side)
+        .seed(seed)
+        .threads(threads)
+        .build();
+    let log;
+    let observer: &dyn FlowObserver = if verbose {
+        log = LogObserver::stderr();
+        &log
+    } else {
+        &NullObserver
+    };
+    let report = match run_partition_sim_observed(&opts, observer) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("partition-sim error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "design   : Otsu chain ×{} at {}×{} px   budget: {} boards   seed: {}",
+        report.scale, report.side, report.side, report.max_boards, report.seed
+    );
+    println!(
+        "plan     : {} boards, {} cut edges ({} B crossing), worst utilization {:.1}%",
+        report.plan.board_count(),
+        report.plan.cut_edges(),
+        report.plan.cut_bytes,
+        100.0
+            * report
+                .plan
+                .boards
+                .iter()
+                .map(|b| b.utilization)
+                .fold(0.0, f64::max)
+    );
+    for b in &report.plan.boards {
+        println!(
+            "  board {} : {:>3} nodes   {}   {:.1}% of {}",
+            b.board,
+            b.nodes.len(),
+            b.area,
+            100.0 * b.utilization,
+            report.plan.part
+        );
+    }
+    println!(
+        "co-sim   : makespan {:.3} ms   link stall {:.3} ms",
+        report.sim.makespan_ns / 1e6,
+        report.sim.link_stall_ps as f64 / 1e9
+    );
+    for l in &report.sim.links {
+        println!(
+            "  link {:>2} : board {} -> {}   {:>6} words   occupancy {:.2}   backpressure {:.3} ms",
+            l.id,
+            l.src_board,
+            l.dst_board,
+            l.words,
+            l.occupancy,
+            l.backpressure_ps as f64 / 1e9
+        );
+    }
+    println!(
+        "function : {}/{} chains pixel-exact vs scalar reference{}",
+        report.chains.iter().filter(|c| c.exact).count(),
+        report.chains.len(),
+        if report.pixel_exact { "" } else { "  MISMATCH" }
+    );
+    if let Some(path) = &json_path {
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error serializing report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report   : {}", path.display());
+    }
+    if report.pixel_exact {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn print_cluster_report(r: &accelsoc::serve::ClusterReport) {

@@ -29,6 +29,7 @@ pub use accelsoc_hls as hls;
 pub use accelsoc_htg as htg;
 pub use accelsoc_integration as integration;
 pub use accelsoc_kernel as kernel;
+pub use accelsoc_partition as partition;
 pub use accelsoc_platform as platform;
 pub use accelsoc_serve as serve;
 pub use accelsoc_swgen as swgen;

@@ -109,8 +109,11 @@ fn overcapacity_fails_synthesis_not_later() {
     }
     match e.run_source(&arch_dsl_source(Arch::Arch4)).unwrap_err() {
         FlowError::Synth(err) => {
-            let msg = err.to_string();
-            assert!(msg.contains("over capacity"), "{msg}");
+            let ce = err
+                .capacity_exceeded()
+                .unwrap_or_else(|| panic!("expected CapacityExceeded, got {err}"));
+            assert_eq!(ce.part, "tiny");
+            assert!(!ce.requested.fits_in(&ce.available));
         }
         other => panic!("expected synthesis failure, got {other}"),
     }
