@@ -289,6 +289,139 @@ pub fn edge_core() -> Kernel {
         .build()
 }
 
+// --- 2-D filters with line buffers ---------------------------------------
+//
+// The 1-D `GAUSS`/`EDGE` stand-ins above keep the Fig. 4 reproduction
+// simple; these are the full 2-D versions a production pipeline would
+// synthesize: 3×3 windows maintained by two line buffers (arrays of one
+// image row) plus a 3×3 shift-register window — the canonical streaming-
+// convolution structure HLS tools expect. Border pixels see the zero-
+// initialised buffers (documented border artifact).
+
+/// Build the shared line-buffer/window maintenance statements:
+/// reads one pixel, rotates the window and line buffers, advances the
+/// column counter. The caller appends the arithmetic + `write`.
+fn conv3x3_prologue() -> Vec<accelsoc_kernel::ir::Stmt> {
+    vec![
+        // Fetch pixel and the two rows above this column.
+        assign("v", read("in")),
+        assign("top", idx("lb1", var("x"))),
+        assign("mid", idx("lb0", var("x"))),
+        // Rotate line buffers: row i-1 -> row i-2, current -> row i-1.
+        store("lb1", var("x"), var("mid")),
+        store("lb0", var("x"), var("v")),
+        // Shift the 3x3 window one column left.
+        assign("t0", var("t1")),
+        assign("t1", var("t2")),
+        assign("t2", var("top")),
+        assign("m0", var("m1")),
+        assign("m1", var("m2")),
+        assign("m2", var("mid")),
+        assign("b0", var("b1")),
+        assign("b1", var("b2")),
+        assign("b2", var("v")),
+    ]
+}
+
+fn conv3x3_epilogue() -> Vec<accelsoc_kernel::ir::Stmt> {
+    vec![
+        // Column counter with compare/reset (no division).
+        assign("x", add(var("x"), c(1))),
+        if_(eq(var("x"), var("W")), vec![assign("x", c(0))]),
+    ]
+}
+
+fn conv3x3_builder(name: &str) -> KernelBuilder {
+    KernelBuilder::new(name)
+        .scalar_in("n", Ty::U32)
+        .scalar_in("W", Ty::U32)
+        .stream_in("in", Ty::U8)
+        .stream_out("out", Ty::U8)
+        .array("lb0", Ty::U8, 4096)
+        .array("lb1", Ty::U8, 4096)
+        .local("x", Ty::U16)
+        .local("v", Ty::U8)
+        .local("top", Ty::U8)
+        .local("mid", Ty::U8)
+        .local("t0", Ty::U8)
+        .local("t1", Ty::U8)
+        .local("t2", Ty::U8)
+        .local("m0", Ty::U8)
+        .local("m1", Ty::U8)
+        .local("m2", Ty::U8)
+        .local("b0", Ty::U8)
+        .local("b1", Ty::U8)
+        .local("b2", Ty::U8)
+}
+
+/// `GAUSS2D`: 3×3 binomial smoother `[[1,2,1],[2,4,2],[1,2,1]] / 16` over
+/// a streamed image (row-major, width `W`, `n` pixels).
+pub fn gauss2d_core() -> Kernel {
+    let mut body = conv3x3_prologue();
+    body.push(assign(
+        "acc",
+        add(
+            add(
+                add(add(var("t0"), shl(var("t1"), c(1))), var("t2")),
+                add(
+                    add(shl(var("m0"), c(1)), shl(var("m1"), c(2))),
+                    shl(var("m2"), c(1)),
+                ),
+            ),
+            add(add(var("b0"), shl(var("b1"), c(1))), var("b2")),
+        ),
+    ));
+    body.push(write("out", shr(var("acc"), c(4))));
+    body.extend(conv3x3_epilogue());
+    conv3x3_builder("GAUSS2D")
+        .local("acc", Ty::U16)
+        .push(for_pipelined("i", c(0), var("n"), body))
+        .build()
+}
+
+/// `SOBEL2D`: 3×3 Sobel gradient magnitude `min(255, |gx| + |gy|)`.
+pub fn sobel2d_core() -> Kernel {
+    let mut body = conv3x3_prologue();
+    // gx = (t2 + 2*m2 + b2) - (t0 + 2*m0 + b0)
+    body.push(assign(
+        "gx",
+        sub(
+            add(add(var("t2"), shl(var("m2"), c(1))), var("b2")),
+            add(add(var("t0"), shl(var("m0"), c(1))), var("b0")),
+        ),
+    ));
+    // gy = (b0 + 2*b1 + b2) - (t0 + 2*t1 + t2)
+    body.push(assign(
+        "gy",
+        sub(
+            add(add(var("b0"), shl(var("b1"), c(1))), var("b2")),
+            add(add(var("t0"), shl(var("t1"), c(1))), var("t2")),
+        ),
+    ));
+    body.push(assign(
+        "ax",
+        select(lt(var("gx"), c(0)), neg(var("gx")), var("gx")),
+    ));
+    body.push(assign(
+        "ay",
+        select(lt(var("gy"), c(0)), neg(var("gy")), var("gy")),
+    ));
+    body.push(assign("mag", add(var("ax"), var("ay"))));
+    body.push(write(
+        "out",
+        select(gt(var("mag"), c(255)), c(255), var("mag")),
+    ));
+    body.extend(conv3x3_epilogue());
+    conv3x3_builder("SOBEL2D")
+        .local("gx", Ty::I16)
+        .local("gy", Ty::I16)
+        .local("ax", Ty::U16)
+        .local("ay", Ty::U16)
+        .local("mag", Ty::U16)
+        .push(for_pipelined("i", c(0), var("n"), body))
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,137 +560,4 @@ mod tests {
         assert!(otsu.resources.dsp >= 1);
         assert!(otsu.resources.lut > hist.resources.lut);
     }
-}
-
-// --- 2-D filters with line buffers ---------------------------------------
-//
-// The 1-D `GAUSS`/`EDGE` stand-ins above keep the Fig. 4 reproduction
-// simple; these are the full 2-D versions a production pipeline would
-// synthesize: 3×3 windows maintained by two line buffers (arrays of one
-// image row) plus a 3×3 shift-register window — the canonical streaming-
-// convolution structure HLS tools expect. Border pixels see the zero-
-// initialised buffers (documented border artifact).
-
-/// Build the shared line-buffer/window maintenance statements:
-/// reads one pixel, rotates the window and line buffers, advances the
-/// column counter. The caller appends the arithmetic + `write`.
-fn conv3x3_prologue() -> Vec<accelsoc_kernel::ir::Stmt> {
-    vec![
-        // Fetch pixel and the two rows above this column.
-        assign("v", read("in")),
-        assign("top", idx("lb1", var("x"))),
-        assign("mid", idx("lb0", var("x"))),
-        // Rotate line buffers: row i-1 -> row i-2, current -> row i-1.
-        store("lb1", var("x"), var("mid")),
-        store("lb0", var("x"), var("v")),
-        // Shift the 3x3 window one column left.
-        assign("t0", var("t1")),
-        assign("t1", var("t2")),
-        assign("t2", var("top")),
-        assign("m0", var("m1")),
-        assign("m1", var("m2")),
-        assign("m2", var("mid")),
-        assign("b0", var("b1")),
-        assign("b1", var("b2")),
-        assign("b2", var("v")),
-    ]
-}
-
-fn conv3x3_epilogue() -> Vec<accelsoc_kernel::ir::Stmt> {
-    vec![
-        // Column counter with compare/reset (no division).
-        assign("x", add(var("x"), c(1))),
-        if_(eq(var("x"), var("W")), vec![assign("x", c(0))]),
-    ]
-}
-
-fn conv3x3_builder(name: &str) -> KernelBuilder {
-    KernelBuilder::new(name)
-        .scalar_in("n", Ty::U32)
-        .scalar_in("W", Ty::U32)
-        .stream_in("in", Ty::U8)
-        .stream_out("out", Ty::U8)
-        .array("lb0", Ty::U8, 4096)
-        .array("lb1", Ty::U8, 4096)
-        .local("x", Ty::U16)
-        .local("v", Ty::U8)
-        .local("top", Ty::U8)
-        .local("mid", Ty::U8)
-        .local("t0", Ty::U8)
-        .local("t1", Ty::U8)
-        .local("t2", Ty::U8)
-        .local("m0", Ty::U8)
-        .local("m1", Ty::U8)
-        .local("m2", Ty::U8)
-        .local("b0", Ty::U8)
-        .local("b1", Ty::U8)
-        .local("b2", Ty::U8)
-}
-
-/// `GAUSS2D`: 3×3 binomial smoother `[[1,2,1],[2,4,2],[1,2,1]] / 16` over
-/// a streamed image (row-major, width `W`, `n` pixels).
-pub fn gauss2d_core() -> Kernel {
-    let mut body = conv3x3_prologue();
-    body.push(assign(
-        "acc",
-        add(
-            add(
-                add(add(var("t0"), shl(var("t1"), c(1))), var("t2")),
-                add(
-                    add(shl(var("m0"), c(1)), shl(var("m1"), c(2))),
-                    shl(var("m2"), c(1)),
-                ),
-            ),
-            add(add(var("b0"), shl(var("b1"), c(1))), var("b2")),
-        ),
-    ));
-    body.push(write("out", shr(var("acc"), c(4))));
-    body.extend(conv3x3_epilogue());
-    conv3x3_builder("GAUSS2D")
-        .local("acc", Ty::U16)
-        .push(for_pipelined("i", c(0), var("n"), body))
-        .build()
-}
-
-/// `SOBEL2D`: 3×3 Sobel gradient magnitude `min(255, |gx| + |gy|)`.
-pub fn sobel2d_core() -> Kernel {
-    let mut body = conv3x3_prologue();
-    // gx = (t2 + 2*m2 + b2) - (t0 + 2*m0 + b0)
-    body.push(assign(
-        "gx",
-        sub(
-            add(add(var("t2"), shl(var("m2"), c(1))), var("b2")),
-            add(add(var("t0"), shl(var("m0"), c(1))), var("b0")),
-        ),
-    ));
-    // gy = (b0 + 2*b1 + b2) - (t0 + 2*t1 + t2)
-    body.push(assign(
-        "gy",
-        sub(
-            add(add(var("b0"), shl(var("b1"), c(1))), var("b2")),
-            add(add(var("t0"), shl(var("t1"), c(1))), var("t2")),
-        ),
-    ));
-    body.push(assign(
-        "ax",
-        select(lt(var("gx"), c(0)), neg(var("gx")), var("gx")),
-    ));
-    body.push(assign(
-        "ay",
-        select(lt(var("gy"), c(0)), neg(var("gy")), var("gy")),
-    ));
-    body.push(assign("mag", add(var("ax"), var("ay"))));
-    body.push(write(
-        "out",
-        select(gt(var("mag"), c(255)), c(255), var("mag")),
-    ));
-    body.extend(conv3x3_epilogue());
-    conv3x3_builder("SOBEL2D")
-        .local("gx", Ty::I16)
-        .local("gy", Ty::I16)
-        .local("ax", Ty::U16)
-        .local("ay", Ty::U16)
-        .local("mag", Ty::U16)
-        .push(for_pipelined("i", c(0), var("n"), body))
-        .build()
 }

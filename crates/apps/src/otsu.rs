@@ -7,8 +7,8 @@ use crate::archs::Arch;
 use crate::image::{GrayImage, RgbImage};
 use accelsoc_axi::dma::DmaDescriptor;
 use accelsoc_core::flow::{FlowArtifacts, FlowEngine, FlowError};
-use accelsoc_kernel::interp::{ExecStats, StreamBundle};
-use accelsoc_platform::board::BoardError;
+use accelsoc_kernel::interp::StreamBundle;
+use accelsoc_platform::board::{Board, BoardError};
 use std::collections::HashMap;
 
 // --- software reference --------------------------------------------------
@@ -158,74 +158,101 @@ impl Default for AppConfig {
     }
 }
 
-/// Execute the six-task application on `arch`, using hardware for the
-/// tasks that architecture implements in the PL (Table I) and the CPU
-/// model for the rest. Returns pixel-exact results plus timing.
-pub fn run_application(
-    arch: Arch,
-    engine: &FlowEngine,
-    artifacts: &FlowArtifacts,
-    input: &RgbImage,
-) -> Result<AppRun, AppError> {
-    run_application_with(arch, engine, artifacts, input, &AppConfig::default())
+/// Result of running a lane group of images through one architecture:
+/// per-image runs in input order, plus the VM-level counters that make
+/// lane amortization measurable in the batch report.
+#[derive(Debug)]
+pub struct GroupExec {
+    /// One entry per input image, in input order. Each lane succeeds or
+    /// fails independently — a trap in one lane does not stall the rest.
+    pub runs: Vec<Result<AppRun, AppError>>,
+    /// IR operations retired by software tasks across the whole group
+    /// (the simulated work, independent of how it was dispatched).
+    pub ir_ops: u64,
+    /// Lane-VM dispatches spent retiring them. While lanes stay
+    /// converged one dispatch covers every lane, so
+    /// `ir_ops / vm_dispatches` grows with the lane count.
+    pub vm_dispatches: u64,
 }
 
-/// [`run_application`] with explicit board knobs — used by the property
-/// tests to vary FIFO depth and by the batch driver.
-pub fn run_application_with(
+/// Per-lane mutable state for one group run: boards, task timelines and
+/// failure flags, plus the group-wide dispatch/work counters.
+struct LaneGroup<'e> {
+    engine: &'e FlowEngine,
+    boards: Vec<Board>,
+    tasks: Vec<Vec<(String, f64, bool)>>,
+    dma_bytes: Vec<u64>,
+    failed: Vec<Option<AppError>>,
+    ir_ops: u64,
+    vm_dispatches: u64,
+}
+
+impl LaneGroup<'_> {
+    /// Lanes that have not failed yet, in input order.
+    fn alive(&self) -> Vec<usize> {
+        (0..self.failed.len())
+            .filter(|&l| self.failed[l].is_none())
+            .collect()
+    }
+
+    /// Run one software task for `lanes` as a single lane-VM batch
+    /// (one decoded instruction stream over all of them), charge each
+    /// lane's CPU model with its bit-exact `ExecStats`, and record the
+    /// task entry. A lane that traps is retired into `failed` without
+    /// disturbing its siblings.
+    fn sw_stage(
+        &mut self,
+        kernel: &accelsoc_kernel::ir::Kernel,
+        task: &str,
+        lanes: &[usize],
+        scalars: Vec<HashMap<String, i64>>,
+        bundles: &mut [StreamBundle],
+    ) {
+        debug_assert_eq!(lanes.len(), bundles.len());
+        if lanes.is_empty() {
+            return;
+        }
+        let unit = self.engine.exec_unit(kernel);
+        let out = unit.run_batch(&scalars, bundles);
+        self.vm_dispatches += out.dispatches;
+        for (i, res) in out.lanes.into_iter().enumerate() {
+            let l = lanes[i];
+            match res {
+                Ok(o) => {
+                    self.ir_ops += o.stats.steps;
+                    let ns = self.boards[l].cpu.execute(&o.stats);
+                    self.tasks[l].push((task.to_string(), ns, false));
+                }
+                Err(e) => self.failed[l] = Some(AppError::Exec(e)),
+            }
+        }
+    }
+}
+
+/// What one lane's hardware streaming phase produced.
+struct HwPhase {
+    /// Histogram, when the phase's output is the histogram (Arch1).
+    hist: Vec<u32>,
+    thr: Option<u8>,
+    seg: Option<Vec<u8>>,
+    dma_bytes: u64,
+    task: (String, f64, bool),
+}
+
+/// The contiguous hardware phase for one lane: per-arch DMA descriptors
+/// in and out of DRAM, one streaming phase on that lane's board.
+fn hw_phase(
     arch: Arch,
-    engine: &FlowEngine,
     artifacts: &FlowArtifacts,
+    board: &mut Board,
     input: &RgbImage,
-    cfg: &AppConfig,
-) -> Result<AppRun, AppError> {
-    let mut board = engine.build_board(artifacts, cfg.dram_bytes)?;
-    board.stream_fifo_depth = cfg.stream_fifo_depth.max(1);
+    gray: &[i64],
+    hist_in: &[u32],
+) -> Result<HwPhase, AppError> {
     let n = input.data.len() as i64;
-    let mut tasks: Vec<(String, f64, bool)> = Vec::new();
-    let mut dma_bytes = 0u64;
-
-    // readImage: fixed I/O cost model (SD-card read ≈ 20 MB/s).
-    let read_ns = input.data.len() as f64 * 4.0 * 50.0;
-    tasks.push(("readImage".into(), read_ns, false));
-
     let accel_of =
-        |name: &str| -> Option<usize> { artifacts.hls.iter().position(|(n, _)| n == name) };
-
-    // Software-task helper: run a kernel on the CPU model. Execution
-    // goes through the engine's VM cache, so in a batch run each kernel
-    // is lowered to bytecode once and reused across every image; the
-    // ExecStats driving the CPU timing model are bit-identical to the
-    // reference interpreter's.
-    let sw = |kernel: &accelsoc_kernel::ir::Kernel,
-              scalars: &[(&str, i64)],
-              bundle: &mut StreamBundle,
-              board: &mut accelsoc_platform::board::Board|
-     -> Result<(ExecStats, HashMap<String, i64>), AppError> {
-        let inputs: HashMap<String, i64> =
-            scalars.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        let out = engine.compiled_kernel(kernel).run(&inputs, bundle)?;
-        board.cpu.execute(&out.stats);
-        Ok((out.stats, out.scalar_outputs))
-    };
-
-    // --- grayScale ---
-    let hw_gray = arch.hw_tasks().contains(&"grayScale");
-    let gray: Vec<i64> = if !hw_gray {
-        let mut b = StreamBundle::new();
-        b.feed("imageIn", input.data.iter().map(|&p| p as i64));
-        let k = crate::kernels::grayscale();
-        let before = board.cpu.busy_ns;
-        sw(&k, &[("n", n)], &mut b, &mut board)?;
-        tasks.push(("grayScale".into(), board.cpu.busy_ns - before, false));
-        b.output("imageOutCH").to_vec()
-    } else {
-        Vec::new() // produced inside the hardware phase
-    };
-
-    // --- the hardware streaming phase (contiguous HW tasks) ---
-    // Build per-arch input/output token streams and run one phase.
-    let (hist, thr_from_hw, seg_from_hw, phase_ns) = match arch {
+        |name: &str| -> Option<usize> { artifacts.hls.iter().position(|(nm, _)| nm == name) };
+    match arch {
         Arch::Arch1 => {
             // HW: computeHistogram. in: gray bytes; out: 256 u32.
             let in_bytes: Vec<u8> = gray.iter().map(|&v| v as u8).collect();
@@ -247,23 +274,18 @@ pub fn run_application_with(
                 )],
                 &[(accel_of("computeHistogram").unwrap(), "n", n)],
             )?;
-            dma_bytes += stats.bytes_in + stats.bytes_out;
             let out = board.dram.dump_bytes(OUT_BUF, 256 * 4).unwrap();
-            let hist = bytes_to_u32s(&out);
-            tasks.push(("histogram".into(), stats.ns, true));
-            (hist, None, None, stats.ns)
+            Ok(HwPhase {
+                hist: bytes_to_u32s(&out),
+                thr: None,
+                seg: None,
+                dma_bytes: stats.bytes_in + stats.bytes_out,
+                task: ("histogram".into(), stats.ns, true),
+            })
         }
         Arch::Arch2 => {
-            // SW histogram first.
-            let k = crate::kernels::compute_histogram();
-            let mut b = StreamBundle::new();
-            b.feed("grayScaleImage", gray.iter().copied());
-            let before = board.cpu.busy_ns;
-            sw(&k, &[("n", n)], &mut b, &mut board)?;
-            tasks.push(("histogram".into(), board.cpu.busy_ns - before, false));
-            let hist: Vec<u32> = b.output("histogram").iter().map(|&v| v as u32).collect();
-            // HW: halfProbability.
-            let in_bytes = u32s_to_bytes(&hist);
+            // HW: halfProbability over the software-computed histogram.
+            let in_bytes = u32s_to_bytes(hist_in);
             board.dram.load_bytes(IN_BUF, &in_bytes).unwrap();
             let stats = board.run_stream_phase(
                 &[(
@@ -282,10 +304,14 @@ pub fn run_application_with(
                 )],
                 &[],
             )?;
-            dma_bytes += stats.bytes_in + stats.bytes_out;
             let thr = board.dram.dump_bytes(OUT_BUF, 4).unwrap()[0];
-            tasks.push(("otsuMethod".into(), stats.ns, true));
-            (hist, Some(thr), None, stats.ns)
+            Ok(HwPhase {
+                hist: Vec::new(),
+                thr: Some(thr),
+                seg: None,
+                dma_bytes: stats.bytes_in + stats.bytes_out,
+                task: ("otsuMethod".into(), stats.ns, true),
+            })
         }
         Arch::Arch3 => {
             // HW: computeHistogram -> halfProbability chained.
@@ -308,10 +334,14 @@ pub fn run_application_with(
                 )],
                 &[(accel_of("computeHistogram").unwrap(), "n", n)],
             )?;
-            dma_bytes += stats.bytes_in + stats.bytes_out;
             let thr = board.dram.dump_bytes(OUT_BUF, 4).unwrap()[0];
-            tasks.push(("histogram+otsuMethod".into(), stats.ns, true));
-            (Vec::new(), Some(thr), None, stats.ns)
+            Ok(HwPhase {
+                hist: Vec::new(),
+                thr: Some(thr),
+                seg: None,
+                dma_bytes: stats.bytes_in + stats.bytes_out,
+                task: ("histogram+otsuMethod".into(), stats.ns, true),
+            })
         }
         Arch::Arch4 => {
             // Whole pipeline in HW: RGB in, segmented image out.
@@ -338,70 +368,275 @@ pub fn run_application_with(
                     (accel_of("segment").unwrap(), "n", n),
                 ],
             )?;
-            dma_bytes += stats.bytes_in + stats.bytes_out;
             let seg = board.dram.dump_bytes(OUT_BUF, input.data.len()).unwrap();
-            tasks.push((
-                "grayScale+histogram+otsuMethod+binarization".into(),
-                stats.ns,
-                true,
-            ));
             // The threshold never leaves the PL in Arch4 (it flows core to
             // core); recompute it host-side for reporting only — no CPU
             // time charged.
             let thr = otsu_threshold_from_hist(&histogram_reference(&grayscale_reference(input)));
-            (Vec::new(), Some(thr), Some(seg), stats.ns)
+            Ok(HwPhase {
+                hist: Vec::new(),
+                thr: Some(thr),
+                seg: Some(seg),
+                dma_bytes: stats.bytes_in + stats.bytes_out,
+                task: (
+                    "grayScale+histogram+otsuMethod+binarization".into(),
+                    stats.ns,
+                    true,
+                ),
+            })
         }
-    };
-    let _ = phase_ns;
+    }
+}
 
-    // --- remaining software tasks ---
-    let threshold = match thr_from_hw {
-        Some(t) => t,
-        None => {
-            // SW otsuMethod on the (HW or SW) histogram.
-            let k = crate::kernels::half_probability();
-            let mut b = StreamBundle::new();
-            b.feed("histogram", hist.iter().map(|&v| v as i64));
-            let before = board.cpu.busy_ns;
-            sw(&k, &[], &mut b, &mut board)?;
-            tasks.push(("otsuMethod".into(), board.cpu.busy_ns - before, false));
-            b.output("probability")[0] as u8
+/// Execute the six-task application on `arch`, using hardware for the
+/// tasks that architecture implements in the PL (Table I) and the CPU
+/// model for the rest. Returns pixel-exact results plus timing.
+pub fn run_application(
+    arch: Arch,
+    engine: &FlowEngine,
+    artifacts: &FlowArtifacts,
+    input: &RgbImage,
+) -> Result<AppRun, AppError> {
+    run_application_with(arch, engine, artifacts, input, &AppConfig::default())
+}
+
+/// [`run_application`] with explicit board knobs — used by the property
+/// tests to vary FIFO depth and by the batch driver. Delegates to
+/// [`run_application_group`] with a single lane; the lane VM at `K = 1`
+/// is bit-identical to the scalar tiers by contract, so there is one
+/// runner code path regardless of batch size.
+pub fn run_application_with(
+    arch: Arch,
+    engine: &FlowEngine,
+    artifacts: &FlowArtifacts,
+    input: &RgbImage,
+    cfg: &AppConfig,
+) -> Result<AppRun, AppError> {
+    let mut group =
+        run_application_group(arch, engine, artifacts, std::slice::from_ref(input), cfg)?;
+    group.runs.remove(0)
+}
+
+/// Execute the application for a whole group of images at once: every
+/// software task runs as **one** lane-VM batch over the group (one
+/// decoded instruction stream, K structure-of-arrays lanes), while the
+/// modeled hardware phase stays per-lane (boards are independent SoCs).
+/// `runs[l]` is bit-identical to running image `l` alone — lanes only
+/// amortize host-side dispatch, never simulated time.
+pub fn run_application_group(
+    arch: Arch,
+    engine: &FlowEngine,
+    artifacts: &FlowArtifacts,
+    images: &[RgbImage],
+    cfg: &AppConfig,
+) -> Result<GroupExec, AppError> {
+    let k = images.len();
+    let mut g = LaneGroup {
+        engine,
+        boards: Vec::with_capacity(k),
+        tasks: vec![Vec::new(); k],
+        dma_bytes: vec![0u64; k],
+        failed: (0..k).map(|_| None).collect(),
+        ir_ops: 0,
+        vm_dispatches: 0,
+    };
+    for input in images {
+        let mut board = engine.build_board(artifacts, cfg.dram_bytes)?;
+        board.stream_fifo_depth = cfg.stream_fifo_depth.max(1);
+        g.boards.push(board);
+        // readImage: fixed I/O cost model (SD-card read ≈ 20 MB/s).
+        let read_ns = input.data.len() as f64 * 4.0 * 50.0;
+        g.tasks[g.boards.len() - 1].push(("readImage".into(), read_ns, false));
+    }
+
+    // --- grayScale: one lane-group software stage (Arch1-3) ---
+    let hw_gray = arch.hw_tasks().contains(&"grayScale");
+    let mut gray: Vec<Vec<i64>> = vec![Vec::new(); k];
+    if !hw_gray {
+        let lanes = g.alive();
+        let mut bundles: Vec<StreamBundle> = lanes
+            .iter()
+            .map(|&l| {
+                let mut b = StreamBundle::new();
+                b.feed("imageIn", images[l].data.iter().map(|&p| p as i64));
+                b
+            })
+            .collect();
+        let scalars = lanes
+            .iter()
+            .map(|&l| HashMap::from([("n".to_string(), images[l].data.len() as i64)]))
+            .collect();
+        g.sw_stage(
+            &crate::kernels::grayscale(),
+            "grayScale",
+            &lanes,
+            scalars,
+            &mut bundles,
+        );
+        for (i, &l) in lanes.iter().enumerate() {
+            if g.failed[l].is_none() {
+                gray[l] = bundles[i].output("imageOutCH").to_vec();
+            }
         }
-    };
+    }
 
-    let seg_data: Vec<u8> = match seg_from_hw {
-        Some(s) => s,
-        None => {
-            let k = crate::kernels::segment();
-            let mut b = StreamBundle::new();
-            b.feed("otsuThreshold", [threshold as i64]);
-            b.feed("grayScaleImage", gray.iter().copied());
-            let before = board.cpu.busy_ns;
-            sw(&k, &[("n", n)], &mut b, &mut board)?;
-            tasks.push(("binarization".into(), board.cpu.busy_ns - before, false));
-            b.output("segmentedGrayImage")
-                .iter()
-                .map(|&v| v as u8)
-                .collect()
+    // --- Arch2 computes its histogram in software before the HW phase ---
+    let mut hist: Vec<Vec<u32>> = vec![Vec::new(); k];
+    if matches!(arch, Arch::Arch2) {
+        let lanes = g.alive();
+        let mut bundles: Vec<StreamBundle> = lanes
+            .iter()
+            .map(|&l| {
+                let mut b = StreamBundle::new();
+                b.feed("grayScaleImage", gray[l].iter().copied());
+                b
+            })
+            .collect();
+        let scalars = lanes
+            .iter()
+            .map(|&l| HashMap::from([("n".to_string(), images[l].data.len() as i64)]))
+            .collect();
+        g.sw_stage(
+            &crate::kernels::compute_histogram(),
+            "histogram",
+            &lanes,
+            scalars,
+            &mut bundles,
+        );
+        for (i, &l) in lanes.iter().enumerate() {
+            if g.failed[l].is_none() {
+                hist[l] = bundles[i]
+                    .output("histogram")
+                    .iter()
+                    .map(|&v| v as u32)
+                    .collect();
+            }
         }
-    };
+    }
 
-    // writeImage.
-    let write_ns = input.data.len() as f64 * 50.0;
-    tasks.push(("writeImage".into(), write_ns, false));
+    // --- the hardware streaming phase, per lane ---
+    let mut thr: Vec<Option<u8>> = vec![None; k];
+    let mut seg: Vec<Option<Vec<u8>>> = vec![None; k];
+    for l in g.alive() {
+        match hw_phase(
+            arch,
+            artifacts,
+            &mut g.boards[l],
+            &images[l],
+            &gray[l],
+            &hist[l],
+        ) {
+            Ok(ph) => {
+                g.dma_bytes[l] += ph.dma_bytes;
+                g.tasks[l].push(ph.task);
+                if !ph.hist.is_empty() {
+                    hist[l] = ph.hist;
+                }
+                thr[l] = ph.thr;
+                seg[l] = ph.seg;
+            }
+            Err(e) => g.failed[l] = Some(e),
+        }
+    }
 
-    let total_ns: f64 = tasks.iter().map(|(_, ns, _)| ns).sum();
-    Ok(AppRun {
-        arch,
-        output: GrayImage {
-            width: input.width,
-            height: input.height,
-            data: seg_data,
-        },
-        threshold,
-        total_ns,
-        tasks,
-        dma_bytes,
+    // --- SW otsuMethod for lanes whose threshold stayed on the CPU ---
+    let lanes: Vec<usize> = g
+        .alive()
+        .into_iter()
+        .filter(|&l| thr[l].is_none())
+        .collect();
+    if !lanes.is_empty() {
+        let mut bundles: Vec<StreamBundle> = lanes
+            .iter()
+            .map(|&l| {
+                let mut b = StreamBundle::new();
+                b.feed("histogram", hist[l].iter().map(|&v| v as i64));
+                b
+            })
+            .collect();
+        let scalars = lanes.iter().map(|_| HashMap::new()).collect();
+        g.sw_stage(
+            &crate::kernels::half_probability(),
+            "otsuMethod",
+            &lanes,
+            scalars,
+            &mut bundles,
+        );
+        for (i, &l) in lanes.iter().enumerate() {
+            if g.failed[l].is_none() {
+                thr[l] = Some(bundles[i].output("probability")[0] as u8);
+            }
+        }
+    }
+
+    // --- SW binarization for lanes whose pixels stayed on the CPU ---
+    let lanes: Vec<usize> = g
+        .alive()
+        .into_iter()
+        .filter(|&l| seg[l].is_none())
+        .collect();
+    if !lanes.is_empty() {
+        let mut bundles: Vec<StreamBundle> = lanes
+            .iter()
+            .map(|&l| {
+                let mut b = StreamBundle::new();
+                b.feed("otsuThreshold", [thr[l].unwrap() as i64]);
+                b.feed("grayScaleImage", gray[l].iter().copied());
+                b
+            })
+            .collect();
+        let scalars = lanes
+            .iter()
+            .map(|&l| HashMap::from([("n".to_string(), images[l].data.len() as i64)]))
+            .collect();
+        g.sw_stage(
+            &crate::kernels::segment(),
+            "binarization",
+            &lanes,
+            scalars,
+            &mut bundles,
+        );
+        for (i, &l) in lanes.iter().enumerate() {
+            if g.failed[l].is_none() {
+                seg[l] = Some(
+                    bundles[i]
+                        .output("segmentedGrayImage")
+                        .iter()
+                        .map(|&v| v as u8)
+                        .collect(),
+                );
+            }
+        }
+    }
+
+    // --- writeImage + assemble, in input order ---
+    let mut runs = Vec::with_capacity(k);
+    for (l, input) in images.iter().enumerate() {
+        if let Some(e) = g.failed[l].take() {
+            runs.push(Err(e));
+            continue;
+        }
+        let write_ns = input.data.len() as f64 * 50.0;
+        g.tasks[l].push(("writeImage".into(), write_ns, false));
+        let tasks = std::mem::take(&mut g.tasks[l]);
+        let total_ns: f64 = tasks.iter().map(|(_, ns, _)| ns).sum();
+        runs.push(Ok(AppRun {
+            arch,
+            output: GrayImage {
+                width: input.width,
+                height: input.height,
+                data: seg[l].take().expect("alive lane has segmented pixels"),
+            },
+            threshold: thr[l].expect("alive lane has a threshold"),
+            total_ns,
+            tasks,
+            dma_bytes: g.dma_bytes[l],
+        }));
+    }
+    Ok(GroupExec {
+        runs,
+        ir_ops: g.ir_ops,
+        vm_dispatches: g.vm_dispatches,
     })
 }
 

@@ -34,9 +34,9 @@ fn gauss_ref(pixels: &[u8], w: usize, h: usize) -> Vec<u8> {
     for r in 0..h as i64 {
         for x in 0..w as i64 {
             let mut acc = 0u16;
-            for dr in 0..3 {
-                for dx in 0..3 {
-                    acc += k[dr][dx] * get(r - 2 + dr as i64, x - 2 + dx as i64);
+            for (dr, krow) in k.iter().enumerate() {
+                for (dx, &kv) in krow.iter().enumerate() {
+                    acc += kv * get(r - 2 + dr as i64, x - 2 + dx as i64);
                 }
             }
             out[r as usize * w + x as usize] = (acc >> 4) as u8;

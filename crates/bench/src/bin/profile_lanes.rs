@@ -1,0 +1,146 @@
+//! Per-stage tuning probe for the batch-lane VM (not part of the repro
+//! suite): times each Otsu stage alone — scalar VM ×K vs one K-wide
+//! batch — with min-of-rounds, and reports dispatch/step counts.
+//! `--disasm` prints each stage's lowered program including the fused
+//! lane stream. Use `--side`, `--reps`, `--lanes` to vary the load.
+
+use accelsoc_apps::image::{synthetic_scene, RgbImage};
+use accelsoc_apps::kernels;
+use accelsoc_apps::otsu;
+use accelsoc_kernel::compile::CompiledKernel;
+use accelsoc_kernel::interp::StreamBundle;
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn main() {
+    if std::env::args().any(|a| a == "--disasm") {
+        for (name, k) in [
+            ("grayscale", kernels::grayscale()),
+            ("histogram", kernels::compute_histogram()),
+            ("half_prob", kernels::half_probability()),
+            ("segment", kernels::segment()),
+        ] {
+            println!("==== {name} ====");
+            println!("{}", CompiledKernel::compile(&k).disasm());
+        }
+        return;
+    }
+    let arg = |name: &str, dflt: u32| {
+        let mut it = std::env::args();
+        while let Some(a) = it.next() {
+            if a == name {
+                return it.next().and_then(|v| v.parse().ok()).unwrap_or(dflt);
+            }
+        }
+        dflt
+    };
+    let side = arg("--side", 64);
+    let reps = arg("--reps", 100);
+    let k = arg("--lanes", 8) as usize;
+    let rgb = RgbImage::from_gray(&synthetic_scene(side, side, 2016));
+    let n = rgb.data.len() as i64;
+    let gray = otsu::grayscale_reference(&rgb);
+    let gray_tokens: Vec<i64> = gray.data.iter().map(|&v| v as i64).collect();
+    let hist = otsu::histogram_reference(&gray);
+
+    type Stage = (
+        &'static str,
+        CompiledKernel,
+        HashMap<String, i64>,
+        Vec<(&'static str, Vec<i64>)>,
+    );
+    let stages: Vec<Stage> = vec![
+        (
+            "grayscale",
+            CompiledKernel::compile(&kernels::grayscale()),
+            HashMap::from([("n".to_string(), n)]),
+            vec![("imageIn", rgb.data.iter().map(|&p| p as i64).collect())],
+        ),
+        (
+            "histogram",
+            CompiledKernel::compile(&kernels::compute_histogram()),
+            HashMap::from([("n".to_string(), n)]),
+            vec![("grayScaleImage", gray_tokens.clone())],
+        ),
+        (
+            "half_prob",
+            CompiledKernel::compile(&kernels::half_probability()),
+            HashMap::new(),
+            vec![("histogram", hist.iter().map(|&v| v as i64).collect())],
+        ),
+        (
+            "segment",
+            CompiledKernel::compile(&kernels::segment()),
+            HashMap::from([("n".to_string(), n)]),
+            vec![
+                (
+                    "otsuThreshold",
+                    vec![otsu::otsu_threshold_from_hist(&hist) as i64],
+                ),
+                ("grayScaleImage", gray_tokens),
+            ],
+        ),
+    ];
+
+    let rounds = 7;
+    for (name, ck, scalars, feeds) in &stages {
+        let bundle_of = || {
+            let mut b = StreamBundle::new();
+            for (p, t) in feeds {
+                b.feed(p, t.iter().copied());
+            }
+            b
+        };
+        let inputs: Vec<HashMap<String, i64>> = (0..k).map(|_| scalars.clone()).collect();
+        let mut scalar = f64::MAX;
+        let mut lanes = f64::MAX;
+        let mut setup = f64::MAX;
+        let mut dispatches = 0u64;
+        let mut steps = 0u64;
+        for _ in 0..rounds {
+            // Scalar VM, one lane at a time.
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                for _ in 0..k {
+                    let mut b = bundle_of();
+                    let r = ck.run(scalars, &mut b);
+                    std::hint::black_box(&r);
+                }
+            }
+            scalar = scalar.min(t0.elapsed().as_secs_f64());
+
+            // Lane VM, k lanes.
+            let t0 = Instant::now();
+            dispatches = 0;
+            steps = 0;
+            for _ in 0..reps {
+                let mut bundles: Vec<StreamBundle> = (0..k).map(|_| bundle_of()).collect();
+                let out = ck.run_batch(&inputs, &mut bundles);
+                dispatches += out.dispatches;
+                for l in &out.lanes {
+                    steps += l.as_ref().unwrap().stats.steps;
+                }
+                std::hint::black_box(&out);
+            }
+            lanes = lanes.min(t0.elapsed().as_secs_f64());
+
+            // Setup/teardown only (limit 1 retires everyone instantly).
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let mut bundles: Vec<StreamBundle> = (0..k).map(|_| bundle_of()).collect();
+                let out = ck.run_batch_with_step_limit(&inputs, &mut bundles, 1);
+                std::hint::black_box(&out);
+            }
+            setup = setup.min(t0.elapsed().as_secs_f64());
+        }
+        println!(
+            "{name:10} scalarx{k}: {:>9.1}us  lane: {:>9.1}us  speedup {:>5.2}x  (setup-ish {:>7.1}us)  disp/rep {}  steps/rep {}",
+            scalar * 1e6 / reps as f64,
+            lanes * 1e6 / reps as f64,
+            scalar / lanes,
+            setup * 1e6 / reps as f64,
+            dispatches / reps as u64,
+            steps / reps as u64,
+        );
+    }
+}

@@ -7,7 +7,7 @@ use std::process::Command;
 fn main() {
     // (binary, extra args) — the serving benches run at reduced job
     // counts here; invoke them directly for the full-size sweeps.
-    let bins: [(&str, &[&str]); 12] = [
+    let bins: [(&str, &[&str]); 13] = [
         ("repro_table1", &[]),
         ("repro_table2", &[]),
         ("repro_fig7", &[]),
@@ -20,6 +20,10 @@ fn main() {
         ("repro_serve", &[]),
         ("repro_cluster", &["--jobs", "50000"]),
         ("repro_multiboard", &["--side", "16"]),
+        (
+            "repro_kernelvm",
+            &["--side", "32", "--reps", "5", "--rounds", "3"],
+        ),
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir").to_path_buf();

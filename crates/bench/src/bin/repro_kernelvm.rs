@@ -1,12 +1,17 @@
 //! Kernel-VM microbenchmark: the tree-walking interpreter vs the
-//! register bytecode VM over the full Otsu kernel chain
-//! (grayScale → computeHistogram → halfProbability → segment).
+//! register bytecode VM vs the native threaded-code tier over the full
+//! Otsu kernel chain
+//! (grayScale → computeHistogram → halfProbability → segment),
+//! plus a `--lanes` sweep of the batch-lane VM: K distinct images run
+//! through one decoded instruction stream with structure-of-arrays
+//! register files, measured against the scalar VM doing the same work
+//! one image at a time on one host thread.
 //!
-//! Every rep first checks the two engines agree bit-for-bit (scalar
+//! Every rep first checks the engines agree bit-for-bit (scalar
 //! outputs, stream outputs, ExecStats) and then times each engine over
 //! identical inputs. The throughput unit is source-level IR operations
-//! per second (`ExecStats::steps`, identical for both engines by
-//! construction), so the speedup column is a pure execution-engine
+//! per second (`ExecStats::steps`, identical for all engines by
+//! construction), so every speedup column is a pure execution-engine
 //! comparison.
 
 use accelsoc_apps::image::{synthetic_scene, RgbImage};
@@ -15,7 +20,9 @@ use accelsoc_bench::{save_json, Table};
 use accelsoc_kernel::compile::CompiledKernel;
 use accelsoc_kernel::interp::{ExecOutcome, Interpreter, StreamBundle};
 use accelsoc_kernel::ir::Kernel;
+use accelsoc_kernel::native::lower;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
@@ -24,6 +31,21 @@ fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--lanes 1,2,4,8` (also accepts a single value like `--lanes 8`).
+fn arg_lanes(args: &[String], default: &[usize]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--lanes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&k: &usize| k > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
 }
 
 /// One stage of the chain: a kernel plus its inputs for this image.
@@ -45,7 +67,11 @@ fn fresh_bundle(stage: &Stage) -> StreamBundle {
 /// stage the previous stage's reference output (computed host-side so
 /// every stage is independent and reruns are identical).
 fn build_stages(side: u32) -> Vec<Stage> {
-    let rgb = RgbImage::from_gray(&synthetic_scene(side, side, 2016));
+    build_stages_seeded(side, 2016)
+}
+
+fn build_stages_seeded(side: u32, seed: u64) -> Vec<Stage> {
+    let rgb = RgbImage::from_gray(&synthetic_scene(side, side, seed));
     let n = rgb.data.len() as i64;
     let gray = accelsoc_apps::otsu::grayscale_reference(&rgb);
     let hist = accelsoc_apps::otsu::histogram_reference(&gray);
@@ -94,6 +120,7 @@ fn main() {
         .cloned();
     let side = arg_u64(&args, "--side", 64) as u32;
     let reps = arg_u64(&args, "--reps", 20).max(1) as usize;
+    let rounds = arg_u64(&args, "--rounds", 5).max(1) as usize;
 
     let stages = build_stages(side);
 
@@ -140,15 +167,19 @@ fn main() {
         "IR ops",
         "interp Mops/s",
         "VM Mops/s",
-        "speedup",
+        "native Mops/s",
+        "VM speedup",
         "compile (us)",
     ]);
     let mut records = Vec::new();
-    let (mut tot_ops, mut tot_interp_s, mut tot_vm_s) = (0u64, 0f64, 0f64);
+    let (mut tot_ops, mut tot_interp_s, mut tot_vm_s, mut tot_nat_s) = (0u64, 0f64, 0f64, 0f64);
     for stage in &stages {
         let t0 = Instant::now();
-        let compiled = CompiledKernel::compile(&stage.kernel);
+        let compiled = Arc::new(CompiledKernel::compile(&stage.kernel));
         let compile_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t0 = Instant::now();
+        let native = lower(&compiled);
+        let lower_us = t0.elapsed().as_secs_f64() * 1e6;
 
         let steps = {
             let mut b = fresh_bundle(stage);
@@ -171,18 +202,28 @@ fn main() {
         }
         let vm_s = t0.elapsed().as_secs_f64();
 
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut b = fresh_bundle(stage);
+            native.run(&stage.scalars, &mut b).unwrap();
+        }
+        let nat_s = t0.elapsed().as_secs_f64();
+
         let ops = steps * reps as u64;
         let interp_mops = ops as f64 / interp_s / 1e6;
         let vm_mops = ops as f64 / vm_s / 1e6;
+        let nat_mops = ops as f64 / nat_s / 1e6;
         let speedup = interp_s / vm_s;
         tot_ops += ops;
         tot_interp_s += interp_s;
         tot_vm_s += vm_s;
+        tot_nat_s += nat_s;
         table.row(vec![
             stage.kernel.name.clone(),
             steps.to_string(),
             format!("{interp_mops:.1}"),
             format!("{vm_mops:.1}"),
+            format!("{nat_mops:.1}"),
             format!("{speedup:.2}x"),
             format!("{compile_us:.0}"),
         ]);
@@ -192,33 +233,171 @@ fn main() {
             "reps": reps,
             "interp_ops_per_sec": ops as f64 / interp_s,
             "vm_ops_per_sec": ops as f64 / vm_s,
+            "native_ops_per_sec": ops as f64 / nat_s,
             "speedup": speedup,
+            "native_speedup": interp_s / nat_s,
             "compile_us": compile_us,
+            "lower_us": lower_us,
             "bytecode_ops": compiled.len(),
         }));
     }
     let chain_speedup = tot_interp_s / tot_vm_s;
+    let chain_native_speedup = tot_interp_s / tot_nat_s;
 
     println!("== Kernel VM vs interpreter over the Otsu chain ({side}x{side}, {reps} reps) ==\n");
     print!("{}", table.render());
     println!(
-        "\nchain: {:.1} Mops/s interp vs {:.1} Mops/s VM — {chain_speedup:.2}x overall",
+        "\nchain: {:.1} Mops/s interp vs {:.1} Mops/s VM vs {:.1} Mops/s native — {chain_speedup:.2}x / {chain_native_speedup:.2}x overall",
         tot_ops as f64 / tot_interp_s / 1e6,
         tot_ops as f64 / tot_vm_s / 1e6,
+        tot_ops as f64 / tot_nat_s / 1e6,
     );
     println!("(engines verified bit-identical on outputs and ExecStats before timing)");
+
+    // == batch-lane sweep ==================================================
+    // K distinct images through one decoded instruction stream, all four
+    // chain stages, single host thread. The scalar-VM baseline runs the
+    // same K images one at a time; both sides are verified against the
+    // interpreter oracle per lane before timing.
+    let lane_counts = arg_lanes(&args, &[1, 2, 4, 8]);
+    let max_k = lane_counts.iter().copied().max().unwrap_or(1);
+    let lane_stages: Vec<Vec<Stage>> = (0..max_k)
+        .map(|l| build_stages_seeded(side, 2016 + l as u64))
+        .collect();
+    let compiled: Vec<Arc<CompiledKernel>> = stages
+        .iter()
+        .map(|s| Arc::new(CompiledKernel::compile(&s.kernel)))
+        .collect();
+
+    // Correctness gate: every lane of every batch width bit-identical
+    // to the interpreter oracle on that lane's inputs alone.
+    for &k in &lane_counts {
+        for (s, ck) in compiled.iter().enumerate() {
+            let inputs: Vec<HashMap<String, i64>> =
+                (0..k).map(|l| lane_stages[l][s].scalars.clone()).collect();
+            let mut bundles: Vec<StreamBundle> =
+                (0..k).map(|l| fresh_bundle(&lane_stages[l][s])).collect();
+            let out = ck.run_batch(&inputs, &mut bundles);
+            for l in 0..k {
+                let mut ob = fresh_bundle(&lane_stages[l][s]);
+                let oracle = Interpreter::new(&lane_stages[l][s].kernel)
+                    .run(&inputs[l], &mut ob)
+                    .expect("oracle run");
+                let lane = out.lanes[l].as_ref().expect("lane run");
+                assert_eq!(
+                    oracle.scalar_outputs, lane.scalar_outputs,
+                    "lane {l}/{k} stage {s}: scalar outputs diverge"
+                );
+                assert_eq!(
+                    oracle.stats, lane.stats,
+                    "lane {l}/{k} stage {s}: ExecStats diverge"
+                );
+                assert_eq!(
+                    outputs_of(&ob),
+                    outputs_of(&bundles[l]),
+                    "lane {l}/{k} stage {s}: stream outputs diverge"
+                );
+            }
+        }
+    }
+
+    let mut lane_table = Table::new(vec![
+        "lanes",
+        "IR ops/rep",
+        "scalar-VM Mops/s",
+        "lane-VM Mops/s",
+        "speedup",
+        "ops/dispatch",
+    ]);
+    let mut lane_rows = Vec::new();
+    for &k in &lane_counts {
+        let mut ops_per_rep = 0u64;
+        for lane in lane_stages.iter().take(k) {
+            for (s, ck) in compiled.iter().enumerate() {
+                let mut b = fresh_bundle(&lane[s]);
+                ops_per_rep += ck.run(&lane[s].scalars, &mut b).unwrap().stats.steps;
+            }
+        }
+
+        // Timed rounds interleave the two engines and keep each engine's
+        // best round, so slow-machine drift (frequency scaling, noisy
+        // neighbours on a 1-vCPU host) cannot skew the ratio.
+        let inputs: Vec<Vec<HashMap<String, i64>>> = (0..compiled.len())
+            .map(|s| (0..k).map(|l| lane_stages[l][s].scalars.clone()).collect())
+            .collect();
+        let mut scalar_s = f64::MAX;
+        let mut lane_s = f64::MAX;
+        let mut dispatches = 0u64;
+        for _ in 0..rounds {
+            // Scalar-VM baseline: same images, one lane at a time.
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                for lane in lane_stages.iter().take(k) {
+                    for (s, ck) in compiled.iter().enumerate() {
+                        let mut b = fresh_bundle(&lane[s]);
+                        ck.run(&lane[s].scalars, &mut b).unwrap();
+                    }
+                }
+            }
+            scalar_s = scalar_s.min(t0.elapsed().as_secs_f64());
+
+            // Lane VM: one batch per stage.
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                dispatches = 0;
+                for (s, ck) in compiled.iter().enumerate() {
+                    let mut bundles: Vec<StreamBundle> =
+                        (0..k).map(|l| fresh_bundle(&lane_stages[l][s])).collect();
+                    let out = ck.run_batch(&inputs[s], &mut bundles);
+                    dispatches += out.dispatches;
+                }
+            }
+            lane_s = lane_s.min(t0.elapsed().as_secs_f64());
+        }
+
+        let ops = ops_per_rep * reps as u64;
+        let scalar_ops_s = ops as f64 / scalar_s;
+        let lane_ops_s = ops as f64 / lane_s;
+        let speedup = scalar_s / lane_s;
+        let ops_per_dispatch = ops_per_rep as f64 / dispatches.max(1) as f64;
+        lane_table.row(vec![
+            k.to_string(),
+            ops_per_rep.to_string(),
+            format!("{:.1}", scalar_ops_s / 1e6),
+            format!("{:.1}", lane_ops_s / 1e6),
+            format!("{speedup:.2}x"),
+            format!("{ops_per_dispatch:.1}"),
+        ]);
+        lane_rows.push(serde_json::json!({
+            "lanes": k,
+            "ir_ops_per_rep": ops_per_rep,
+            "reps": reps,
+            "scalar_vm_ops_per_sec": scalar_ops_s,
+            "lane_vm_ops_per_sec": lane_ops_s,
+            "speedup_vs_scalar_vm": speedup,
+            "dispatches_per_rep": dispatches,
+            "ops_per_dispatch": ops_per_dispatch,
+        }));
+    }
+
+    println!("\n== Batch-lane VM sweep (chain x K distinct images, 1 host thread) ==\n");
+    print!("{}", lane_table.render());
+    println!("\n(each lane verified bit-identical to the interpreter oracle before timing)");
     let p = save_json("kernelvm", &records);
     println!("record: {}", p.display());
 
     if let Some(path) = json_path {
         let doc = serde_json::json!({
-            "schema": "accelsoc-bench-kernelvm/1",
+            "schema": "accelsoc-bench-kernelvm/2",
             "side": side,
             "reps": reps,
             "kernels": records,
             "chain_speedup": chain_speedup,
+            "chain_native_speedup": chain_native_speedup,
             "chain_interp_ops_per_sec": tot_ops as f64 / tot_interp_s,
             "chain_vm_ops_per_sec": tot_ops as f64 / tot_vm_s,
+            "chain_native_ops_per_sec": tot_ops as f64 / tot_nat_s,
+            "lane_sweep": lane_rows,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
             .expect("write --json output");

@@ -5,7 +5,7 @@
 //! reference before timing is reported.
 
 use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
-use accelsoc_apps::batch::{image_stream, run_batch};
+use accelsoc_apps::batch::{image_stream, run_batch_lanes, DEFAULT_LANES};
 use accelsoc_apps::image::{synthetic_scene, RgbImage};
 use accelsoc_apps::otsu::{otsu_reference, run_application, AppConfig};
 use accelsoc_bench::{save_json, Table};
@@ -29,6 +29,7 @@ fn main() {
     let images = arg_u64(&args, "--images", 6) as usize;
     let threads = arg_u64(&args, "--threads", 2) as usize;
     let batch_side = arg_u64(&args, "--side", 64) as u32;
+    let lanes = arg_u64(&args, "--lanes", DEFAULT_LANES as u64).max(1) as usize;
     let side = 256u32;
     let scene = synthetic_scene(side, side, 2016);
     let rgb = RgbImage::from_gray(&scene);
@@ -114,7 +115,8 @@ fn main() {
         let wall = std::time::Instant::now();
         for arch in Arch::all() {
             let art = engine.run_source(&arch_dsl_source(arch)).expect("flow");
-            let rep = run_batch(arch, &engine, &art, &stream, threads, &cfg).expect("batch run");
+            let rep = run_batch_lanes(arch, &engine, &art, &stream, threads, lanes, &cfg)
+                .expect("batch run");
             tput.row(vec![
                 arch.name().to_string(),
                 rep.images.to_string(),
@@ -127,7 +129,7 @@ fn main() {
         }
         let wall_s = wall.elapsed().as_secs_f64();
         println!(
-            "\n== Ext-2: batched throughput ({images} images, {batch_side}x{batch_side}, {threads} host threads) ==\n"
+            "\n== Ext-2: batched throughput ({images} images, {batch_side}x{batch_side}, {lanes} lanes, {threads} host threads) ==\n"
         );
         print!("{}", tput.render());
         // Wall-clock is host-dependent: stdout only, never in the JSON.
@@ -142,7 +144,7 @@ fn main() {
         let doc = serde_json::json!({
             "schema": "accelsoc-bench-runtime/1",
             "side": side,
-            "batch": { "images": images, "side": batch_side },
+            "batch": { "images": images, "side": batch_side, "lanes": lanes },
             "runtime": records,
             "throughput": reports,
         });

@@ -410,18 +410,32 @@ impl FlowEngine {
         &self.hls_cache
     }
 
-    /// The kernel lowered to VM bytecode, compiled at most once per
-    /// engine: keyed by the same content digest as the HLS cache, so
-    /// the thousands of invocations a batch or serving run makes of the
-    /// same four kernels share one compiled form. Each actual compile
-    /// is reported as [`FlowEvent::KernelCompiled`].
+    /// The kernel's execution unit (VM bytecode + native threaded
+    /// code), compiled and lowered at most once per engine: keyed by
+    /// the same content digest as the HLS cache, so the thousands of
+    /// invocations a batch or serving run makes of the same four
+    /// kernels share one lowered form. Each actual compile is reported
+    /// as [`FlowEvent::KernelCompiled`], each cache hit as
+    /// [`FlowEvent::KernelVmCacheHit`]; the cache's lifetime hit/miss
+    /// tallies land in `FlowMetrics::vm_compile_hits`/`_misses`.
+    pub fn exec_unit(&self, kernel: &Kernel) -> Arc<accelsoc_kernel::ExecUnit> {
+        let key = CacheKey::compute(kernel, &self.options.hls);
+        self.vm_cache
+            .get_or_compile(key, kernel, self.options.observer.as_ref())
+    }
+
+    /// The kernel lowered to VM bytecode — the tier-2 artifact inside
+    /// [`FlowEngine::exec_unit`] (kept for op-level introspection).
     pub fn compiled_kernel(
         &self,
         kernel: &Kernel,
     ) -> Arc<accelsoc_kernel::compile::CompiledKernel> {
-        let key = CacheKey::compute(kernel, &self.options.hls);
-        self.vm_cache
-            .get_or_compile(key, kernel, self.options.observer.as_ref())
+        self.exec_unit(kernel).compiled().clone()
+    }
+
+    /// Engine-lifetime VM-cache hit/miss tallies.
+    pub fn vm_cache_counters(&self) -> (u64, u64) {
+        (self.vm_cache.hits(), self.vm_cache.misses())
     }
 
     /// Number of distinct kernels compiled to bytecode so far.
@@ -808,11 +822,11 @@ impl FlowEngine {
                 .kernels
                 .get(name)
                 .ok_or_else(|| FlowError::MissingKernel { node: name.clone() })?;
-            let compiled = self.compiled_kernel(kernel);
-            let idx = board.add_accel(AccelInstance::with_compiled(
+            let unit = self.exec_unit(kernel);
+            let idx = board.add_accel(AccelInstance::with_unit(
                 kernel.clone(),
                 r.report.clone(),
-                compiled,
+                unit,
             ));
             accel_index.insert(name.clone(), idx);
         }

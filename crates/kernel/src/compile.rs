@@ -414,6 +414,111 @@ pub enum Op {
         port: u16,
         s2: u32,
     },
+    /// A lane-tier superinstruction (see [`FusedOp`]). Appears **only**
+    /// in [`CompiledKernel::lane_ops`], never in `ops`: the fusion pass
+    /// replaces the *head* slot of a matched run while the middle slots
+    /// keep their original pooled ops, so pc-alignment between the two
+    /// streams — and generic re-entry at any constituent pc after a
+    /// hot-loop bail — is preserved. The boxed payload keeps the `Op`
+    /// enum's size unchanged for the dominant unfused stream.
+    Fused(Box<FusedOp>),
+}
+
+/// Lane-VM superinstructions: several consecutive `lane_ops` executed as
+/// one hot-loop dispatch. Candidates are matched *after* immediate
+/// pooling (every operand is a plain register row, stored here as raw
+/// `u16` indices) and only where no branch target lands inside the run,
+/// so the fused head is the unique entry point. Each variant carries
+/// `steps`: the run's total `steps` debit (including the staged `s2`
+/// shares), pre-summed so the hot loop does one limit check per
+/// superinstruction — sums are monotone, so "the total would exceed the
+/// limit" is exactly "some constituent's own check would trip", and the
+/// hot loop bails to op-granularity execution in that case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusedOp {
+    /// `ReadStreamTo` + `CmpSelectWrite` + `LoopBack` — the streaming
+    /// compare/threshold loop body, one dispatch per element.
+    ReadCswBack {
+        dst: u16,
+        rty: Ty,
+        port: u16,
+        op: BinOp,
+        wport: u16,
+        x: u16,
+        y: u16,
+        a: u16,
+        b: u16,
+        var: u16,
+        lty: Ty,
+        hi: u16,
+        body: u32,
+        steps: u32,
+    },
+    /// `ReadStreamTo` + `IncIdx` (indexed by the read's dst) +
+    /// `LoopBack` — the histogram loop body, one dispatch per element.
+    ReadIncBack {
+        dst: u16,
+        rty: Ty,
+        port: u16,
+        arr: u16,
+        v: u16,
+        var: u16,
+        lty: Ty,
+        hi: u16,
+        body: u32,
+        steps: u32,
+    },
+    /// `ReadStreamTo` + two `ShrAndTo` + `BinTo(And)` all extracting
+    /// fields of the read value — the packed-pixel unpack prologue.
+    ReadUnpack3 {
+        dst: u16,
+        rty: Ty,
+        port: u16,
+        d1: u16,
+        t1: Ty,
+        k1: u8,
+        m1: i64,
+        d2: u16,
+        t2: Ty,
+        k2: u8,
+        m2: i64,
+        d3: u16,
+        t3: Ty,
+        b3: u16,
+        steps: u32,
+    },
+    /// `Bin(Mul)` + `MulAcc` + `MulAcc` — a three-term dot product.
+    Dot3 {
+        d1: u16,
+        a1: u16,
+        b1: u16,
+        d2: u16,
+        a2: u16,
+        b2: u16,
+        c2: u16,
+        d3: u16,
+        a3: u16,
+        b3: u16,
+        c3: u16,
+        steps: u32,
+    },
+    /// `ShrImmTo` + `WriteStream2` + `LoopBack` — the scale-and-emit
+    /// loop tail.
+    ShrWriteBack {
+        dst: u16,
+        ty: Ty,
+        a: u16,
+        sh: u8,
+        port_a: u16,
+        sa: u16,
+        port_b: u16,
+        sb: u16,
+        var: u16,
+        lty: Ty,
+        hi: u16,
+        body: u32,
+        steps: u32,
+    },
 }
 
 /// A local array's place in the flat arena.
@@ -456,6 +561,395 @@ pub struct CompiledKernel {
     pub(crate) scalar_outs: Vec<(String, u16)>,
     pub(crate) stream_ins: Vec<String>,
     pub(crate) stream_outs: Vec<String>,
+    /// Lane-VM op stream: identical to `ops` pc-for-pc except every
+    /// `Src::Imm` is rewritten to a pooled broadcast register (see
+    /// [`CompiledKernel::imm_seed`]), so the batch interpreter's
+    /// per-lane loops fetch every operand from an SoA row with no
+    /// immediate-vs-register branch in the inner loop.
+    pub(crate) lane_ops: Vec<Op>,
+    /// Pooled immediates: `imm_seed[i]` is broadcast into register
+    /// `num_regs + i` of every lane before batch execution.
+    pub(crate) imm_seed: Vec<i64>,
+    /// Register-file size for the lane VM (`num_regs + imm_seed.len()`).
+    pub(crate) lane_regs: u16,
+}
+
+impl CompiledKernel {
+    /// Human-readable listing of the op streams (`pc`, step cost, the
+    /// scalar op, and the lane-tier op where it differs) — a debugging
+    /// and tuning aid for the superinstruction passes.
+    pub fn disasm(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (pc, op) in self.ops.iter().enumerate() {
+            let _ = write!(s, "{pc:4}  [{:2}] {op:?}", self.steps[pc]);
+            if self.lane_ops[pc] != *op {
+                let _ = write!(s, "\n      lane: {:?}", self.lane_ops[pc]);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Visit every operand [`Src`] of `op` (used by the immediate-pooling
+/// rewrite for the lane VM).
+fn for_each_src(op: &mut Op, f: &mut impl FnMut(&mut Src)) {
+    match op {
+        Op::Bin { a, b, .. }
+        | Op::BinChecked { a, b, .. }
+        | Op::BinTo { a, b, .. }
+        | Op::BinCheckedTo { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Op::Un { a, .. } | Op::UnTo { a, .. } => f(a),
+        Op::Select { c, a, b, .. }
+        | Op::SelectTo { c, a, b, .. }
+        | Op::SelectWrite { c, a, b, .. } => {
+            f(c);
+            f(a);
+            f(b);
+        }
+        Op::LoadIdx { idx, .. } | Op::LoadIdxTo { idx, .. } | Op::LoadIdxWrite { idx, .. } => {
+            f(idx)
+        }
+        Op::StoreIdx { idx, src, .. } => {
+            f(idx);
+            f(src);
+        }
+        Op::StoreVar { src, .. } | Op::WriteStream { src, .. } => f(src),
+        Op::LoopInit { lo, hi_copy, .. } => {
+            f(lo);
+            if let Some((_, hs)) = hi_copy {
+                f(hs);
+            }
+        }
+        Op::LoopHead { hi, .. } | Op::LoopBack { hi, .. } => f(hi),
+        Op::BranchIfZero { cond, .. } => f(cond),
+        Op::ShlPow2 { a, .. }
+        | Op::ShrImm { a, .. }
+        | Op::DivPow2 { a, .. }
+        | Op::ModPow2 { a, .. }
+        | Op::ShlPow2To { a, .. }
+        | Op::ShrImmTo { a, .. }
+        | Op::DivPow2To { a, .. }
+        | Op::ModPow2To { a, .. }
+        | Op::ShrAnd { a, .. }
+        | Op::ShrAndTo { a, .. } => f(a),
+        Op::MulAcc { a, b, acc, .. } | Op::MulAccTo { a, b, acc, .. } => {
+            f(a);
+            f(b);
+            f(acc);
+        }
+        Op::CmpSelect { x, y, a, b, .. } | Op::CmpSelectTo { x, y, a, b, .. } => {
+            f(x);
+            f(y);
+            f(a);
+            f(b);
+        }
+        Op::CmpSelectWrite { x, y, a, b, .. } => {
+            f(x);
+            f(y);
+            f(a);
+            f(b);
+        }
+        Op::IncIdx { idx, v, .. } => {
+            f(idx);
+            f(v);
+        }
+        Op::WriteStream2 { src_a, src_b, .. } => {
+            f(src_a);
+            f(src_b);
+        }
+        Op::ReadStream { .. } | Op::ReadStreamTo { .. } | Op::Jump { .. } => {}
+        // Superinstructions are formed after pooling, from already
+        // immediate-free ops; their operands are raw register indices.
+        Op::Fused(_) => {}
+    }
+}
+
+/// Superinstruction selection over the pooled lane stream: replace the
+/// head of each matched run with an [`Op::Fused`] while the middle slots
+/// keep their original ops (see [`Op::Fused`] for why). A run is legal
+/// only when no branch target — loop exit, back-edge, `if` target,
+/// `Jump` — lands strictly inside it; entry at the head (e.g. a
+/// back-edge to its own loop body) is fine. Patterns that end in a
+/// `LoopBack` additionally require that no earlier constituent writes
+/// the induction or bound register, so the back-edge test is computable
+/// *before* any effect commits (the hot loop's bail-before-commit
+/// contract).
+fn fuse_lane_ops(lane_ops: &mut [Op], deltas: &[[u32; 11]]) {
+    let n = lane_ops.len();
+    let mut is_target = vec![false; n + 1];
+    for op in lane_ops.iter() {
+        match op {
+            Op::LoopHead { exit, .. } => is_target[*exit as usize] = true,
+            Op::LoopBack { body, .. } => is_target[*body as usize] = true,
+            Op::BranchIfZero { target, .. } | Op::Jump { target } => {
+                is_target[*target as usize] = true
+            }
+            _ => {}
+        }
+    }
+    let total =
+        |pc: usize, len: usize| -> u32 { deltas[pc..pc + len].iter().map(|d| d[STAT_STEPS]).sum() };
+    let clear = |is_target: &[bool], pc: usize, len: usize| {
+        pc + len <= n && (pc + 1..pc + len).all(|i| !is_target[i])
+    };
+    let reg = |s: &Src| match s {
+        Src::Reg(r) => Some(*r),
+        Src::Imm(_) => None,
+    };
+
+    let mut pc = 0;
+    while pc < n {
+        let mut fused: Option<(FusedOp, usize)> = None;
+        if clear(&is_target, pc, 4) {
+            if let [Op::ReadStreamTo { dst, ty: rty, port }, Op::ShrAndTo {
+                dst: d1,
+                ty: t1,
+                a: a1,
+                k: k1,
+                mask: m1,
+            }, Op::ShrAndTo {
+                dst: d2,
+                ty: t2,
+                a: a2,
+                k: k2,
+                mask: m2,
+            }, Op::BinTo {
+                op: BinOp::And,
+                dst: d3,
+                ty: t3,
+                a: a3,
+                b,
+            }] = &lane_ops[pc..pc + 4]
+            {
+                let src = Src::Reg(*dst);
+                if *a1 == src && *a2 == src && *a3 == src {
+                    if let Some(b3) = reg(b) {
+                        fused = Some((
+                            FusedOp::ReadUnpack3 {
+                                dst: *dst,
+                                rty: *rty,
+                                port: *port,
+                                d1: *d1,
+                                t1: *t1,
+                                k1: *k1,
+                                m1: *m1,
+                                d2: *d2,
+                                t2: *t2,
+                                k2: *k2,
+                                m2: *m2,
+                                d3: *d3,
+                                t3: *t3,
+                                b3,
+                                steps: total(pc, 4),
+                            },
+                            4,
+                        ));
+                    }
+                }
+            }
+        }
+        if fused.is_none() && clear(&is_target, pc, 3) {
+            match &lane_ops[pc..pc + 3] {
+                [Op::ReadStreamTo { dst, ty: rty, port }, Op::IncIdx { arr, idx, v, .. }, Op::LoopBack {
+                    var,
+                    ty: lty,
+                    hi,
+                    body,
+                }] if *idx == Src::Reg(*dst) && *var != *dst => {
+                    if let (Some(v), Some(hi)) = (reg(v), reg(hi)) {
+                        if hi != *dst {
+                            fused = Some((
+                                FusedOp::ReadIncBack {
+                                    dst: *dst,
+                                    rty: *rty,
+                                    port: *port,
+                                    arr: *arr,
+                                    v,
+                                    var: *var,
+                                    lty: *lty,
+                                    hi,
+                                    body: *body,
+                                    steps: total(pc, 3),
+                                },
+                                3,
+                            ));
+                        }
+                    }
+                }
+                [Op::ReadStreamTo { dst, ty: rty, port }, Op::CmpSelectWrite {
+                    op,
+                    port: wport,
+                    x,
+                    y,
+                    a,
+                    b,
+                }, Op::LoopBack {
+                    var,
+                    ty: lty,
+                    hi,
+                    body,
+                }] if *var != *dst => {
+                    if let (Some(x), Some(y), Some(a), Some(b), Some(hi)) =
+                        (reg(x), reg(y), reg(a), reg(b), reg(hi))
+                    {
+                        if hi != *dst {
+                            fused = Some((
+                                FusedOp::ReadCswBack {
+                                    dst: *dst,
+                                    rty: *rty,
+                                    port: *port,
+                                    op: *op,
+                                    wport: *wport,
+                                    x,
+                                    y,
+                                    a,
+                                    b,
+                                    var: *var,
+                                    lty: *lty,
+                                    hi,
+                                    body: *body,
+                                    steps: total(pc, 3),
+                                },
+                                3,
+                            ));
+                        }
+                    }
+                }
+                [Op::ShrImmTo { dst, ty, a, k }, Op::WriteStream2 {
+                    port_a,
+                    src_a,
+                    port_b,
+                    src_b,
+                    ..
+                }, Op::LoopBack {
+                    var,
+                    ty: lty,
+                    hi,
+                    body,
+                }] if *var != *dst => {
+                    if let (Some(a), Some(sa), Some(sb), Some(hi)) =
+                        (reg(a), reg(src_a), reg(src_b), reg(hi))
+                    {
+                        if hi != *dst {
+                            fused = Some((
+                                FusedOp::ShrWriteBack {
+                                    dst: *dst,
+                                    ty: *ty,
+                                    a,
+                                    sh: *k,
+                                    port_a: *port_a,
+                                    sa,
+                                    port_b: *port_b,
+                                    sb,
+                                    var: *var,
+                                    lty: *lty,
+                                    hi,
+                                    body: *body,
+                                    steps: total(pc, 3),
+                                },
+                                3,
+                            ));
+                        }
+                    }
+                }
+                [Op::Bin {
+                    op: BinOp::Mul,
+                    dst: d1,
+                    a: a1,
+                    b: b1,
+                }, Op::MulAcc {
+                    dst: d2,
+                    a: a2,
+                    b: b2,
+                    acc: c2,
+                }, Op::MulAcc {
+                    dst: d3,
+                    a: a3,
+                    b: b3,
+                    acc: c3,
+                }] => {
+                    if let (
+                        Some(a1),
+                        Some(b1),
+                        Some(a2),
+                        Some(b2),
+                        Some(c2),
+                        Some(a3),
+                        Some(b3),
+                        Some(c3),
+                    ) = (
+                        reg(a1),
+                        reg(b1),
+                        reg(a2),
+                        reg(b2),
+                        reg(c2),
+                        reg(a3),
+                        reg(b3),
+                        reg(c3),
+                    ) {
+                        fused = Some((
+                            FusedOp::Dot3 {
+                                d1: *d1,
+                                a1,
+                                b1,
+                                d2: *d2,
+                                a2,
+                                b2,
+                                c2,
+                                d3: *d3,
+                                a3,
+                                b3,
+                                c3,
+                                steps: total(pc, 3),
+                            },
+                            3,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        match fused {
+            Some((f, len)) => {
+                lane_ops[pc] = Op::Fused(Box::new(f));
+                pc += len;
+            }
+            None => pc += 1,
+        }
+    }
+}
+
+/// Rewrite `ops` into the immediate-free lane stream: each distinct
+/// immediate is assigned one register past `num_regs` and every
+/// `Src::Imm` use becomes a `Src::Reg` of its pooled slot.
+fn pool_imms(ops: &[Op], num_regs: u16) -> (Vec<Op>, Vec<i64>) {
+    let mut pool: Vec<i64> = Vec::new();
+    let mut lane_ops: Vec<Op> = ops.to_vec();
+    for op in &mut lane_ops {
+        for_each_src(op, &mut |s| {
+            if let Src::Imm(v) = *s {
+                let i = match pool.iter().position(|p| *p == v) {
+                    Some(i) => i,
+                    None => {
+                        pool.push(v);
+                        pool.len() - 1
+                    }
+                };
+                let r = num_regs as usize + i;
+                assert!(
+                    r < u16::MAX as usize,
+                    "immediate pool overflows u16 registers"
+                );
+                *s = Src::Reg(r as u16);
+            }
+        });
+    }
+    (lane_ops, pool)
 }
 
 impl CompiledKernel {
@@ -611,8 +1105,14 @@ impl<'k> Compiler<'k> {
             .filter(|p| p.kind == ParamKind::ScalarOut)
             .map(|p| (p.name.clone(), self.regs[&p.name]))
             .collect();
+        let (mut lane_ops, imm_seed) = pool_imms(&self.ops, self.max_regs);
+        fuse_lane_ops(&mut lane_ops, &self.deltas);
+        let lane_regs = self.max_regs + imm_seed.len() as u16;
         CompiledKernel {
             name: self.kernel.name.clone(),
+            lane_ops,
+            imm_seed,
+            lane_regs,
             steps: self
                 .ops
                 .iter()

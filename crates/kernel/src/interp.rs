@@ -97,6 +97,18 @@ impl StreamBundle {
         v
     }
 
+    /// Append a snapshot of the input queue at `idx` onto `out` — the
+    /// same tokens as [`StreamBundle::input_snapshot_at`], without the
+    /// intermediate allocation. The batch-lane VM packs every lane's
+    /// snapshot into one contiguous arena this way.
+    pub fn input_snapshot_into(&self, idx: usize, out: &mut Vec<i64>) {
+        let q = &self.inputs[idx].1;
+        let (a, b) = q.as_slices();
+        out.reserve(q.len());
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+    }
+
     /// Drop the first `n` tokens of the input slot at `idx` (commit of a
     /// snapshot-cursor read position).
     pub fn drain_input_at(&mut self, idx: usize, n: usize) {

@@ -1,0 +1,2525 @@
+//! Batch-lane (SIMD-style) execution of [`CompiledKernel`] bytecode.
+//!
+//! [`CompiledKernel::run_batch`] runs K independent invocations ("lanes")
+//! of one kernel through a single decoded instruction stream. Registers
+//! and the array arena are structure-of-arrays (`regs[r * K + l]`), so
+//! one dispatch — opcode decode, operand resolution, stat bookkeeping —
+//! is amortized over all lanes, and the per-lane inner loops are
+//! contiguous and branch-free for the infallible ops. Each lane keeps
+//! its own stream snapshot, cursor and output buffers, so lanes may
+//! consume different numbers of tokens and trap independently.
+//!
+//! # Equivalence contract
+//!
+//! For every lane `l`, `run_batch(...).lanes[l]` is bit-identical to
+//! running that lane alone through [`CompiledKernel::run`]: same scalar
+//! outputs, same [`ExecStats`](crate::interp::ExecStats) (including
+//! `steps` and the `StepLimit` trip point), same typed
+//! [`ExecError`] values, and the same committed [`StreamBundle`] state
+//! on success *and* on error. The differential property suite in
+//! `tests/prop_lanes.rs` holds this across lane widths against both the
+//! scalar VM and the tree-walking interpreter oracle.
+//!
+//! # Lockstep, retirement and divergence
+//!
+//! While every live lane agrees on control flow the VM runs in **shared
+//! accounting** mode: all lanes have executed the identical op sequence
+//! since pc 0, so one `counts[pc]`/`steps` tally serves the whole group.
+//! A lane that traps (out-of-bounds, underflow, divide-by-zero, shift
+//! range, step limit) *retires*: it is removed from the active set with
+//! its typed error and its committed effects so far; the rest of the
+//! batch keeps running without it.
+//!
+//! When live lanes disagree at a control op the group **splits** and the
+//! VM switches to per-lane accounting (counts/steps/branches per lane —
+//! lanes are about to execute different op sequences). Splits follow the
+//! classic SIMT reconvergence discipline: the fall-through subgroup
+//! keeps executing while the other side is parked on a reconvergence
+//! stack together with the structured rejoin point (the branch target
+//! for a plain `if`/loop exit, the then-side `Jump` target for an
+//! `if/else`). A subgroup that reaches the rejoin pc swaps in the
+//! pending side, and groups merge back into one active set when both
+//! arrive — so data-dependent `if`s inside hot loops cost two masked
+//! passes per iteration instead of serializing the whole batch. If
+//! control flow ever fails to line up with the structured guess, parked
+//! groups simply run to completion sequentially — reconvergence is an
+//! optimization, never a correctness requirement.
+
+use crate::compile::{CompiledKernel, FusedOp, Op, Src, STAT_STEPS};
+use crate::interp::{ExecError, ExecOutcome, StreamBundle};
+use crate::vm::{
+    bin_checked, bin_infallible, div_pow2, mod_pow2, stats_from, un_op, wrap, DEFAULT_STEP_LIMIT,
+};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Instruction-set tier the hot loop runs under (x86-64 only; other
+/// architectures always take the portable body).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HotIsa {
+    Portable,
+    Avx2,
+    Avx512,
+}
+
+/// Pick the widest ISA the CPU supports, overridable for benchmarking
+/// via `ACCELSOC_LANE_ISA=scalar|avx2|avx512` (an override above what
+/// the CPU supports falls back to the detected tier).
+fn hot_isa() -> HotIsa {
+    static ISA: OnceLock<HotIsa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let avx512 = std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl");
+            let avx2 = std::arch::is_x86_feature_detected!("avx2");
+            let detected = if avx512 {
+                HotIsa::Avx512
+            } else if avx2 {
+                HotIsa::Avx2
+            } else {
+                HotIsa::Portable
+            };
+            match std::env::var("ACCELSOC_LANE_ISA").as_deref() {
+                Ok("scalar") => HotIsa::Portable,
+                Ok("avx2") if avx2 => HotIsa::Avx2,
+                Ok("avx512") if avx512 => HotIsa::Avx512,
+                _ => detected,
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        HotIsa::Portable
+    })
+}
+
+/// Result of one batched invocation: the per-lane outcomes (index ==
+/// lane == bundle index) plus the number of host op dispatches the whole
+/// batch cost. The scalar VM pays one dispatch per op per lane;
+/// `dispatches` shrinks toward `1/K` of that as lanes stay converged,
+/// which is the amortization the batch reports surface.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    pub lanes: Vec<Result<ExecOutcome, ExecError>>,
+    pub dispatches: u64,
+}
+
+/// One lane's terminal state inside the machine.
+#[derive(Clone)]
+enum LaneState {
+    Running,
+    /// Failed before execution started (missing scalar input): no
+    /// bundle effects at all, matching the scalar early return.
+    SeedErr(ExecError),
+    /// Trapped mid-execution: committed effects up to the trap.
+    Trapped(ExecError),
+    /// Reached the end under shared accounting.
+    DoneShared,
+    /// Reached the end under per-lane accounting.
+    DonePerLane,
+}
+
+/// Per-lane accounting, allocated lazily at the first divergence.
+/// `counts` is op-major (`[pc * K + l]`) to keep the per-dispatch lane
+/// loop contiguous.
+struct PerLane {
+    counts: Vec<u64>,
+    steps: Vec<u64>,
+    dynb: Vec<u64>,
+}
+
+/// A reconvergence-stack entry. `parked` lanes wait *at* `rejoin`;
+/// `pending` lanes (the not-yet-run side of an `if/else`) wait at their
+/// own entry pc and run once the active group reaches `rejoin`.
+struct Entry {
+    rejoin: usize,
+    pending: Option<(Vec<u16>, usize)>,
+    parked: Vec<u16>,
+}
+
+struct LaneVm<'a> {
+    ck: &'a CompiledKernel,
+    k: usize,
+    limit: u64,
+    /// SoA register file: `regs[r * k + l]`.
+    regs: Vec<i64>,
+    /// SoA arena: `arena[(base + i) * k + l]`.
+    arena: Vec<i64>,
+    /// All input snapshots packed into one contiguous arena; the slot
+    /// for port `p`, lane `l` is `in_all[in_start[b]..in_end[b]]` with
+    /// `b = p*k + l`, and `cursors[b]` is the lane's *absolute* read
+    /// position within `in_all` (starts at `in_start[b]`; tokens remain
+    /// while `cursors[b] < in_end[b]`). One flat buffer instead of a
+    /// `Vec` per slot keeps the hot loop's availability checks and
+    /// gathers free of double indirection, and absolute cursors make
+    /// the read a single indexed load.
+    in_all: Vec<i64>,
+    in_start: Vec<usize>,
+    in_end: Vec<usize>,
+    cursors: Vec<usize>,
+    /// Output accumulators, port-major: `[q * k + l]`.
+    out_bufs: Vec<Vec<i64>>,
+    // Shared accounting (valid while `pl` is None).
+    sh_counts: Vec<u64>,
+    sh_steps: u64,
+    sh_dyn: u64,
+    pl: Option<PerLane>,
+    dispatches: u64,
+    done: Vec<LaneState>,
+    stack: Vec<Entry>,
+    /// Per-position condition scratch for control-op partitioning.
+    cond: Vec<bool>,
+    /// Per-lane value scratch for staged load+write ops.
+    vals: Vec<i64>,
+}
+
+#[inline(always)]
+fn lsrc(regs: &[i64], k: usize, l: usize, s: Src) -> i64 {
+    match s {
+        Src::Reg(r) => regs[r as usize * k + l],
+        Src::Imm(v) => v,
+    }
+}
+
+/// Merge two ascending lane lists into one.
+fn merge_sorted(a: Vec<u16>, b: Vec<u16>) -> Vec<u16> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl<'a> LaneVm<'a> {
+    /// Retire `lanes[i]` with `err`; removes it from the active list.
+    #[inline]
+    fn retire(&mut self, lanes: &mut Vec<u16>, i: usize, err: ExecError) {
+        let l = lanes.remove(i) as usize;
+        self.done[l] = LaneState::Trapped(err);
+    }
+
+    /// Tick the data-dependent branch counter for every lane in the
+    /// group (uniform taken back-edge / loop entry).
+    fn tick_dyn(&mut self, lanes: &[u16]) {
+        match &mut self.pl {
+            Some(pl) => {
+                for &l in lanes {
+                    pl.dynb[l as usize] += 1;
+                }
+            }
+            None => self.sh_dyn += 1,
+        }
+    }
+
+    /// Staged mid-op step tick (the `s2` share of fused ops), checked
+    /// against the limit exactly like the scalar VM so the
+    /// `OutOfBounds`-vs-`StepLimit` priority is preserved. Returns false
+    /// when every lane in the group retired.
+    fn tick_s2(&mut self, s2: u32, lanes: &mut Vec<u16>) -> bool {
+        let d = s2 as u64;
+        if d == 0 {
+            // steps unchanged; the top-of-op check already passed.
+            return !lanes.is_empty();
+        }
+        match &mut self.pl {
+            Some(pl) => {
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    pl.steps[l] += d;
+                    if pl.steps[l] > self.limit {
+                        self.done[l] = LaneState::Trapped(ExecError::StepLimit(self.limit));
+                        lanes.remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            None => {
+                self.sh_steps += d;
+                if self.sh_steps > self.limit {
+                    for &l in lanes.iter() {
+                        self.done[l as usize] =
+                            LaneState::Trapped(ExecError::StepLimit(self.limit));
+                    }
+                    lanes.clear();
+                }
+            }
+        }
+        !lanes.is_empty()
+    }
+
+    /// Switch from shared to per-lane accounting. Called at the first
+    /// divergence, when `lanes` is the only group in flight (the stack
+    /// is empty in shared mode), so broadcasting the shared tallies to
+    /// exactly these lanes covers every lane that can still finish.
+    fn ensure_per_lane(&mut self, lanes: &[u16]) {
+        if self.pl.is_some() {
+            return;
+        }
+        debug_assert!(self.stack.is_empty());
+        let n = self.ck.ops.len();
+        let k = self.k;
+        let mut pl = PerLane {
+            counts: vec![0u64; n * k],
+            steps: vec![0u64; k],
+            dynb: vec![0u64; k],
+        };
+        for &l in lanes {
+            let l = l as usize;
+            for (i, c) in self.sh_counts.iter().enumerate() {
+                pl.counts[i * k + l] = *c;
+            }
+            pl.steps[l] = self.sh_steps;
+            pl.dynb[l] = self.sh_dyn;
+        }
+        self.pl = Some(pl);
+    }
+
+    /// The structured reconvergence point for a mixed `BranchIfZero`
+    /// with the given target. The compiler emits `Jump` in exactly one
+    /// place — between the then and else blocks of an `if/else` — so a
+    /// forward `Jump` immediately before the branch target identifies
+    /// the else-start form and its target is the join; otherwise the
+    /// target itself (plain `if`) is the join.
+    fn reconv(&self, target: u32) -> usize {
+        let t = target as usize;
+        if t >= 1 {
+            if let Some(Op::Jump { target: j }) = self.ck.lane_ops.get(t - 1) {
+                if *j as usize >= t {
+                    return *j as usize;
+                }
+            }
+        }
+        t
+    }
+
+    /// Split the active group at a mixed control op: `stay` keeps
+    /// executing from `stay_pc`; `park`ed lanes wait at `rejoin` (loop
+    /// splits) or run later from `pending_pc` (if/else splits).
+    fn split(
+        &mut self,
+        lanes: &mut Vec<u16>,
+        stay: Vec<u16>,
+        rejoin: usize,
+        pending: Option<(Vec<u16>, usize)>,
+        parked: Vec<u16>,
+    ) {
+        self.stack.push(Entry {
+            rejoin,
+            pending,
+            parked,
+        });
+        *lanes = stay;
+    }
+
+    /// Execute one op for the active group. Returns the next pc; when
+    /// the group emptied mid-op the return value is ignored by the
+    /// machine loop.
+    fn step(&mut self, pc: usize, lanes: &mut Vec<u16>) -> usize {
+        let ck = self.ck;
+        let k = self.k;
+        self.dispatches += 1;
+
+        // Top-of-op accounting + StepLimit check.
+        let d = ck.steps[pc] as u64;
+        match &mut self.pl {
+            Some(pl) => {
+                let base = pc * k;
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    pl.counts[base + l] += 1;
+                    pl.steps[l] += d;
+                    if pl.steps[l] > self.limit {
+                        self.done[l] = LaneState::Trapped(ExecError::StepLimit(self.limit));
+                        lanes.remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if lanes.is_empty() {
+                    return pc;
+                }
+            }
+            None => {
+                self.sh_counts[pc] += 1;
+                self.sh_steps += d;
+                if self.sh_steps > self.limit {
+                    for &l in lanes.iter() {
+                        self.done[l as usize] =
+                            LaneState::Trapped(ExecError::StepLimit(self.limit));
+                    }
+                    lanes.clear();
+                    return pc;
+                }
+            }
+        }
+
+        // While every lane is still live (`lanes` is exactly `[0..k)` —
+        // it is always a strictly ascending subset, so length alone
+        // decides), per-lane loops run over the dense `0..k` range: the
+        // SoA rows become contiguous, countable loops the compiler can
+        // unroll and vectorize, instead of gathers through the lane
+        // list.
+        let full = lanes.len() == k;
+        macro_rules! each {
+            (|$l:ident| $body:expr) => {
+                if full {
+                    for $l in 0..k {
+                        $body
+                    }
+                } else {
+                    for &lw in lanes.iter() {
+                        let $l = lw as usize;
+                        $body
+                    }
+                }
+            };
+        }
+
+        // Superinstructions are a hot-loop specialization only: at op
+        // granularity (divergence, traps, mid-run step limits) the
+        // original scalar op stream — pc-aligned with `lane_ops` by
+        // construction — carries the exact semantics, and `lsrc` resolves
+        // its inline immediates.
+        let lop = &ck.lane_ops[pc];
+        let lop = if matches!(lop, Op::Fused(_)) {
+            &ck.ops[pc]
+        } else {
+            lop
+        };
+        match lop {
+            Op::Fused(_) => unreachable!("the scalar op stream never carries superinstructions"),
+            Op::Bin { op, dst, a, b } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    self.regs[db + l] = bin_infallible(*op, av, bv);
+                });
+            }
+            Op::BinChecked { op, dst, a, b } => {
+                let db = *dst as usize * k;
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    match bin_checked(*op, av, bv) {
+                        Ok(v) => {
+                            self.regs[db + l] = v;
+                            i += 1;
+                        }
+                        Err(e) => self.retire(lanes, i, e),
+                    }
+                }
+            }
+            Op::Un { op, dst, a } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = un_op(*op, av);
+                });
+            }
+            Op::Select { dst, c, a, b } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let cv = lsrc(&self.regs, k, l, *c);
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    self.regs[db + l] = if cv != 0 { av } else { bv };
+                });
+            }
+            Op::LoadIdx { dst, arr, idx } => {
+                let info = &ck.arrays[*arr as usize];
+                let (base, len) = (info.base as usize, info.len);
+                let db = *dst as usize * k;
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    let iv = lsrc(&self.regs, k, l, *idx);
+                    if iv < 0 || iv as u64 >= len as u64 {
+                        let e = ExecError::OutOfBounds {
+                            array: info.name.clone(),
+                            index: iv,
+                            len,
+                        };
+                        self.retire(lanes, i, e);
+                    } else {
+                        self.regs[db + l] = self.arena[(base + iv as usize) * k + l];
+                        i += 1;
+                    }
+                }
+            }
+            Op::StoreIdx { arr, idx, src: v } => {
+                let info = &ck.arrays[*arr as usize];
+                let (base, len, ty) = (info.base as usize, info.len, info.ty);
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    let vv = lsrc(&self.regs, k, l, *v);
+                    let iv = lsrc(&self.regs, k, l, *idx);
+                    if iv < 0 || iv as u64 >= len as u64 {
+                        let e = ExecError::OutOfBounds {
+                            array: info.name.clone(),
+                            index: iv,
+                            len,
+                        };
+                        self.retire(lanes, i, e);
+                    } else {
+                        self.arena[(base + iv as usize) * k + l] = wrap(ty, vv);
+                        i += 1;
+                    }
+                }
+            }
+            Op::StoreVar { dst, ty, src: v } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let vv = lsrc(&self.regs, k, l, *v);
+                    self.regs[db + l] = wrap(*ty, vv);
+                });
+            }
+            Op::ReadStream { dst, port } => {
+                self.read_stream(lanes, *dst, *port, None);
+            }
+            Op::ReadStreamTo { dst, ty, port } => {
+                self.read_stream(lanes, *dst, *port, Some(*ty));
+            }
+            Op::WriteStream { port, src: v } => {
+                let qb = *port as usize * k;
+                each!(|l| {
+                    let vv = lsrc(&self.regs, k, l, *v);
+                    self.out_bufs[qb + l].push(vv);
+                });
+            }
+            Op::LoopInit {
+                var,
+                ty,
+                lo,
+                hi_copy,
+            } => {
+                let vb = *var as usize * k;
+                each!(|l| {
+                    let lv = lsrc(&self.regs, k, l, *lo);
+                    if let Some((hr, hs)) = hi_copy {
+                        let hv = lsrc(&self.regs, k, l, *hs);
+                        self.regs[*hr as usize * k + l] = hv;
+                    }
+                    self.regs[vb + l] = wrap(*ty, lv);
+                });
+            }
+            Op::LoopHead { var, hi, exit } => {
+                let vb = *var as usize * k;
+                let (mut all_t, mut all_f) = (true, true);
+                for (i, &lw) in lanes.iter().enumerate() {
+                    let l = lw as usize;
+                    let t = self.regs[vb + l] < lsrc(&self.regs, k, l, *hi);
+                    self.cond[i] = t;
+                    if t {
+                        all_f = false;
+                    } else {
+                        all_t = false;
+                    }
+                }
+                if all_t {
+                    self.tick_dyn(lanes);
+                    return pc + 1;
+                }
+                if all_f {
+                    return *exit as usize;
+                }
+                self.ensure_per_lane(lanes);
+                let (taken, exited) = self.partition(lanes);
+                if let Some(pl) = &mut self.pl {
+                    for &l in &taken {
+                        pl.dynb[l as usize] += 1;
+                    }
+                }
+                self.split(lanes, taken, *exit as usize, None, exited);
+                return pc + 1;
+            }
+            Op::LoopBack { var, ty, hi, body } => {
+                let vb = *var as usize * k;
+                let (mut all_t, mut all_f) = (true, true);
+                for (i, &lw) in lanes.iter().enumerate() {
+                    let l = lw as usize;
+                    let nv = wrap(*ty, self.regs[vb + l].wrapping_add(1));
+                    self.regs[vb + l] = nv;
+                    let t = nv < lsrc(&self.regs, k, l, *hi);
+                    self.cond[i] = t;
+                    if t {
+                        all_f = false;
+                    } else {
+                        all_t = false;
+                    }
+                }
+                if all_t {
+                    self.tick_dyn(lanes);
+                    return *body as usize;
+                }
+                if all_f {
+                    return pc + 1;
+                }
+                self.ensure_per_lane(lanes);
+                let (taken, exited) = self.partition(lanes);
+                if let Some(pl) = &mut self.pl {
+                    for &l in &taken {
+                        pl.dynb[l as usize] += 1;
+                    }
+                }
+                self.split(lanes, taken, pc + 1, None, exited);
+                return *body as usize;
+            }
+            Op::BranchIfZero { cond, target } => {
+                if *target as usize == pc + 1 {
+                    // Degenerate empty-then branch: both sides fall
+                    // through, nothing to split.
+                    return pc + 1;
+                }
+                let (mut all_t, mut all_f) = (true, true);
+                for (i, &lw) in lanes.iter().enumerate() {
+                    let l = lw as usize;
+                    // "taken" here means the fall-through (non-zero) side.
+                    let t = lsrc(&self.regs, k, l, *cond) != 0;
+                    self.cond[i] = t;
+                    if t {
+                        all_f = false;
+                    } else {
+                        all_t = false;
+                    }
+                }
+                if all_t {
+                    return pc + 1;
+                }
+                if all_f {
+                    return *target as usize;
+                }
+                self.ensure_per_lane(lanes);
+                let (nonzero, zero) = self.partition(lanes);
+                let rejoin = self.reconv(*target);
+                self.split(
+                    lanes,
+                    nonzero,
+                    rejoin,
+                    Some((zero, *target as usize)),
+                    Vec::new(),
+                );
+                return pc + 1;
+            }
+            Op::Jump { target } => {
+                return *target as usize;
+            }
+            Op::ShlPow2 { dst, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = av.wrapping_shl(*sh as u32);
+                });
+            }
+            Op::ShrImm { dst, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = av.wrapping_shr(*sh as u32);
+                });
+            }
+            Op::DivPow2 { dst, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = div_pow2(av, *sh);
+                });
+            }
+            Op::ModPow2 { dst, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = mod_pow2(av, *sh);
+                });
+            }
+            Op::BinTo { op, dst, ty, a, b } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    self.regs[db + l] = wrap(*ty, bin_infallible(*op, av, bv));
+                });
+            }
+            Op::BinCheckedTo { op, dst, ty, a, b } => {
+                let db = *dst as usize * k;
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    match bin_checked(*op, av, bv) {
+                        Ok(v) => {
+                            self.regs[db + l] = wrap(*ty, v);
+                            i += 1;
+                        }
+                        Err(e) => self.retire(lanes, i, e),
+                    }
+                }
+            }
+            Op::UnTo { op, dst, ty, a } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = wrap(*ty, un_op(*op, av));
+                });
+            }
+            Op::SelectTo { dst, ty, c, a, b } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let cv = lsrc(&self.regs, k, l, *c);
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    self.regs[db + l] = wrap(*ty, if cv != 0 { av } else { bv });
+                });
+            }
+            Op::LoadIdxTo { dst, ty, arr, idx } => {
+                let info = &ck.arrays[*arr as usize];
+                let (base, len, ty) = (info.base as usize, info.len, *ty);
+                let db = *dst as usize * k;
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    let iv = lsrc(&self.regs, k, l, *idx);
+                    if iv < 0 || iv as u64 >= len as u64 {
+                        let e = ExecError::OutOfBounds {
+                            array: info.name.clone(),
+                            index: iv,
+                            len,
+                        };
+                        self.retire(lanes, i, e);
+                    } else {
+                        self.regs[db + l] = wrap(ty, self.arena[(base + iv as usize) * k + l]);
+                        i += 1;
+                    }
+                }
+            }
+            Op::ShlPow2To { dst, ty, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = wrap(*ty, av.wrapping_shl(*sh as u32));
+                });
+            }
+            Op::ShrImmTo { dst, ty, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = wrap(*ty, av.wrapping_shr(*sh as u32));
+                });
+            }
+            Op::DivPow2To { dst, ty, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = wrap(*ty, div_pow2(av, *sh));
+                });
+            }
+            Op::ModPow2To { dst, ty, a, k: sh } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = wrap(*ty, mod_pow2(av, *sh));
+                });
+            }
+            Op::ShrAnd {
+                dst,
+                a,
+                k: sh,
+                mask,
+            } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = av.wrapping_shr(*sh as u32) & *mask;
+                });
+            }
+            Op::ShrAndTo {
+                dst,
+                ty,
+                a,
+                k: sh,
+                mask,
+            } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    self.regs[db + l] = wrap(*ty, av.wrapping_shr(*sh as u32) & *mask);
+                });
+            }
+            Op::MulAcc { dst, a, b, acc } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    let cv = lsrc(&self.regs, k, l, *acc);
+                    self.regs[db + l] = cv.wrapping_add(av.wrapping_mul(bv));
+                });
+            }
+            Op::MulAccTo { dst, ty, a, b, acc } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    let cv = lsrc(&self.regs, k, l, *acc);
+                    self.regs[db + l] = wrap(*ty, cv.wrapping_add(av.wrapping_mul(bv)));
+                });
+            }
+            Op::CmpSelect {
+                op,
+                dst,
+                x,
+                y,
+                a,
+                b,
+            } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let c =
+                        bin_infallible(*op, lsrc(&self.regs, k, l, *x), lsrc(&self.regs, k, l, *y));
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    self.regs[db + l] = if c != 0 { av } else { bv };
+                });
+            }
+            Op::CmpSelectTo {
+                op,
+                dst,
+                ty,
+                x,
+                y,
+                a,
+                b,
+            } => {
+                let db = *dst as usize * k;
+                each!(|l| {
+                    let c =
+                        bin_infallible(*op, lsrc(&self.regs, k, l, *x), lsrc(&self.regs, k, l, *y));
+                    let av = lsrc(&self.regs, k, l, *a);
+                    let bv = lsrc(&self.regs, k, l, *b);
+                    self.regs[db + l] = wrap(*ty, if c != 0 { av } else { bv });
+                });
+            }
+            Op::SelectWrite { port, c, a, b } => {
+                let qb = *port as usize * k;
+                each!(|l| {
+                    let v = if lsrc(&self.regs, k, l, *c) != 0 {
+                        lsrc(&self.regs, k, l, *a)
+                    } else {
+                        lsrc(&self.regs, k, l, *b)
+                    };
+                    self.out_bufs[qb + l].push(v);
+                });
+            }
+            Op::CmpSelectWrite {
+                op,
+                port,
+                x,
+                y,
+                a,
+                b,
+            } => {
+                let qb = *port as usize * k;
+                each!(|l| {
+                    let c =
+                        bin_infallible(*op, lsrc(&self.regs, k, l, *x), lsrc(&self.regs, k, l, *y));
+                    let v = if c != 0 {
+                        lsrc(&self.regs, k, l, *a)
+                    } else {
+                        lsrc(&self.regs, k, l, *b)
+                    };
+                    self.out_bufs[qb + l].push(v);
+                });
+            }
+            Op::IncIdx { arr, idx, v, s2 } => {
+                let info = &ck.arrays[*arr as usize];
+                let (base, len, ty) = (info.base as usize, info.len, info.ty);
+                // Phase 1: bounds per lane (OutOfBounds beats the staged
+                // StepLimit tick, like the scalar VM).
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    let iv = lsrc(&self.regs, k, l, *idx);
+                    if iv < 0 || iv as u64 >= len as u64 {
+                        let e = ExecError::OutOfBounds {
+                            array: info.name.clone(),
+                            index: iv,
+                            len,
+                        };
+                        self.retire(lanes, i, e);
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Phase 2: staged tick; phase 3: read-modify-write.
+                if !self.tick_s2(*s2, lanes) {
+                    return pc;
+                }
+                each!(|l| {
+                    let iv = lsrc(&self.regs, k, l, *idx);
+                    let add = lsrc(&self.regs, k, l, *v);
+                    let slot = (base + iv as usize) * k + l;
+                    self.arena[slot] = wrap(ty, self.arena[slot].wrapping_add(add));
+                });
+            }
+            Op::WriteStream2 {
+                port_a,
+                src_a,
+                port_b,
+                src_b,
+                s2,
+            } => {
+                let qa = *port_a as usize * k;
+                each!(|l| {
+                    let vv = lsrc(&self.regs, k, l, *src_a);
+                    self.out_bufs[qa + l].push(vv);
+                });
+                if !self.tick_s2(*s2, lanes) {
+                    return pc;
+                }
+                let qb = *port_b as usize * k;
+                each!(|l| {
+                    let vv = lsrc(&self.regs, k, l, *src_b);
+                    self.out_bufs[qb + l].push(vv);
+                });
+            }
+            Op::LoadIdxWrite { arr, idx, port, s2 } => {
+                let info = &ck.arrays[*arr as usize];
+                let (base, len) = (info.base as usize, info.len);
+                let mut i = 0;
+                while i < lanes.len() {
+                    let l = lanes[i] as usize;
+                    let iv = lsrc(&self.regs, k, l, *idx);
+                    if iv < 0 || iv as u64 >= len as u64 {
+                        let e = ExecError::OutOfBounds {
+                            array: info.name.clone(),
+                            index: iv,
+                            len,
+                        };
+                        self.retire(lanes, i, e);
+                    } else {
+                        self.vals[l] = self.arena[(base + iv as usize) * k + l];
+                        i += 1;
+                    }
+                }
+                if !self.tick_s2(*s2, lanes) {
+                    return pc;
+                }
+                let qb = *port as usize * k;
+                each!(|l| {
+                    self.out_bufs[qb + l].push(self.vals[l]);
+                });
+            }
+        }
+        pc + 1
+    }
+
+    /// `ReadStream`/`ReadStreamTo`: per-lane cursor advance; a lane that
+    /// runs out of snapshot retires with the scalar VM's underflow.
+    fn read_stream(
+        &mut self,
+        lanes: &mut Vec<u16>,
+        dst: u16,
+        port: u16,
+        ty: Option<crate::types::Ty>,
+    ) {
+        let k = self.k;
+        let p = port as usize;
+        let db = dst as usize * k;
+        let mut i = 0;
+        while i < lanes.len() {
+            let l = lanes[i] as usize;
+            let b = p * k + l;
+            let cur = self.cursors[b];
+            if cur < self.in_end[b] {
+                let v = self.in_all[cur];
+                self.regs[db + l] = match ty {
+                    Some(t) => wrap(t, v),
+                    None => v,
+                };
+                self.cursors[b] = cur + 1;
+                i += 1;
+            } else {
+                let e = ExecError::StreamUnderflow(self.ck.stream_ins[p].clone());
+                self.retire(lanes, i, e);
+            }
+        }
+    }
+
+    /// Partition the group by `self.cond[position]`: (true, false).
+    fn partition(&self, lanes: &[u16]) -> (Vec<u16>, Vec<u16>) {
+        let mut t = Vec::with_capacity(lanes.len());
+        let mut f = Vec::new();
+        for (i, &l) in lanes.iter().enumerate() {
+            if self.cond[i] {
+                t.push(l);
+            } else {
+                f.push(l);
+            }
+        }
+        (t, f)
+    }
+
+    /// Converged hot loop: executes ops while the *whole* batch runs in
+    /// lockstep under shared accounting (no retired lane, no divergence,
+    /// empty reconvergence stack — the overwhelmingly common state on
+    /// data-parallel kernels). Everything the general [`LaneVm::step`]
+    /// must re-derive per dispatch is hoisted into locals here, per-lane
+    /// loops run over the dense `0..k` range of contiguous SoA rows, and
+    /// row bases are bounds-proved once per op so the bodies compile to
+    /// straight-line (vectorizable) code.
+    ///
+    /// Any op that could trap a lane, trip the step limit, or split the
+    /// group *bails out* — returns `Some(pc)` **before committing any
+    /// effect or accounting** for that op — and the machine loop re-runs
+    /// that op through the general `step`, which owns all
+    /// retirement/divergence machinery. `None` means the program ran to
+    /// completion for every lane.
+    /// Width-dispatched entry: the common lane counts get a
+    /// monomorphized body whose per-lane loops have a compile-time trip
+    /// count (fully unrolled and vectorized); anything else runs the
+    /// dynamic-width version (`LANES = 0`).
+    fn exec_hot(&mut self, pc: usize) -> Option<usize> {
+        match self.k {
+            1 => self.exec_hot_w::<1>(pc),
+            2 => self.exec_hot_w::<2>(pc),
+            4 => self.exec_hot_w::<4>(pc),
+            8 => self.exec_hot_w::<8>(pc),
+            16 => self.exec_hot_w::<16>(pc),
+            _ => self.exec_hot_w::<0>(pc),
+        }
+    }
+
+    /// ISA multiversioning shim: the portable crate targets baseline
+    /// x86-64 (SSE2), which has no 64-bit vector multiply and only
+    /// 2×i64 registers — the monomorphized per-lane loops barely
+    /// vectorize. Compiling the same body with AVX-512DQ makes an
+    /// 8-lane row exactly one `zmm` register (with a native `vpmullq`),
+    /// and AVX2 covers half a row; the best instantiation the running
+    /// CPU supports is picked here, once per hot-loop entry.
+    fn exec_hot_w<const LANES: usize>(&mut self, pc: usize) -> Option<usize> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            match hot_isa() {
+                // SAFETY: `hot_isa` only reports a tier after runtime
+                // feature detection confirmed the CPU supports it.
+                HotIsa::Avx512 => return unsafe { self.exec_hot_avx512::<LANES>(pc) },
+                HotIsa::Avx2 => return unsafe { self.exec_hot_avx2::<LANES>(pc) },
+                HotIsa::Portable => {}
+            }
+        }
+        self.exec_hot_body::<LANES>(pc)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn exec_hot_avx512<const LANES: usize>(&mut self, pc: usize) -> Option<usize> {
+        self.exec_hot_body::<LANES>(pc)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn exec_hot_avx2<const LANES: usize>(&mut self, pc: usize) -> Option<usize> {
+        self.exec_hot_body::<LANES>(pc)
+    }
+
+    /// The hot-loop body proper. `inline(always)` so each
+    /// `#[target_feature]` wrapper above gets its own copy compiled
+    /// under that wrapper's instruction set.
+    #[inline(always)]
+    fn exec_hot_body<const LANES: usize>(&mut self, mut pc: usize) -> Option<usize> {
+        let ck = self.ck;
+        let k = if LANES > 0 { LANES } else { self.k };
+        let limit = self.limit;
+        let ops = &ck.lane_ops[..];
+        let steps_d = &ck.steps[..];
+        let n = ops.len();
+        let regs = &mut self.regs[..];
+        let arena = &mut self.arena[..];
+        let in_all = &self.in_all[..];
+        let in_end = &self.in_end[..];
+        let cursors = &mut self.cursors[..];
+        let out_bufs = &mut self.out_bufs[..];
+        let sh_counts = &mut self.sh_counts[..];
+        let vals = &mut self.vals[..];
+        let mut steps_acc = self.sh_steps;
+        let mut dynb = self.sh_dyn;
+        let mut disp = self.dispatches;
+        // One proof each for the per-op row accesses below.
+        assert!(steps_d.len() == n && sh_counts.len() == n);
+        assert!(vals.len() == k && cursors.len() == in_end.len());
+
+        /// Bounds-proved row base: accesses `slice[b + l]` for `l < k`
+        /// are check-free after this.
+        #[inline(always)]
+        fn rowb(len: usize, r: u16, k: usize) -> usize {
+            let b = r as usize * k;
+            assert!(b + k <= len);
+            b
+        }
+
+        let ret = 'hot: loop {
+            if pc >= n {
+                break 'hot None;
+            }
+            let d = steps_d[pc] as u64;
+            if steps_acc + d > limit {
+                break 'hot Some(pc);
+            }
+            disp += 1;
+
+            // Loop-invariant source row base. `lane_ops` is
+            // immediate-free by construction (see `imm_seed`), so every
+            // operand fetch in the per-lane loops below is a plain
+            // check-free row load — no branch, nothing to unswitch.
+            macro_rules! srow {
+                ($s:expr) => {
+                    match $s {
+                        Src::Reg(r) => rowb(regs.len(), r, k),
+                        Src::Imm(_) => unreachable!("pooled lane ops carry no immediates"),
+                    }
+                };
+            }
+            macro_rules! ld {
+                ($rs:expr, $l:ident) => {
+                    regs[$rs + $l]
+                };
+            }
+            /// The op is definitely executing now: commit its shared
+            /// tallies (the limit check already passed above).
+            macro_rules! acct {
+                () => {{
+                    sh_counts[pc] += 1;
+                    steps_acc += d;
+                }};
+            }
+            /// This op needs the general machinery; undo the dispatch
+            /// claim and hand the unexecuted op back.
+            macro_rules! bail {
+                () => {{
+                    disp -= 1;
+                    break 'hot Some(pc);
+                }};
+            }
+
+            pc = match &ops[pc] {
+                Op::Bin { op, dst, a, b } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    for l in 0..k {
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        regs[db + l] = bin_infallible(*op, av, bv);
+                    }
+                    pc + 1
+                }
+                Op::BinChecked { op, dst, a, b } => {
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    let mut ok = true;
+                    for l in 0..k {
+                        match bin_checked(*op, ld!(ra, l), ld!(rb, l)) {
+                            Ok(v) => vals[l] = v,
+                            Err(_) => ok = false,
+                        }
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    regs[db..db + k].copy_from_slice(&vals[..k]);
+                    pc + 1
+                }
+                Op::Un { op, dst, a } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = un_op(*op, ld!(ra, l));
+                    }
+                    pc + 1
+                }
+                Op::Select { dst, c, a, b } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let rc = srow!(*c);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    for l in 0..k {
+                        let cv = ld!(rc, l);
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        regs[db + l] = if cv != 0 { av } else { bv };
+                    }
+                    pc + 1
+                }
+                Op::LoadIdx { dst, arr, idx } => {
+                    let info = &ck.arrays[*arr as usize];
+                    let (base, len) = (info.base as usize, info.len);
+                    let ri = srow!(*idx);
+                    let mut ok = true;
+                    for l in 0..k {
+                        let iv = ld!(ri, l);
+                        ok &= iv >= 0 && (iv as u64) < len as u64;
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    for l in 0..k {
+                        let iv = ld!(ri, l) as usize;
+                        regs[db + l] = arena[(base + iv) * k + l];
+                    }
+                    pc + 1
+                }
+                Op::StoreIdx { arr, idx, src: v } => {
+                    let info = &ck.arrays[*arr as usize];
+                    let (base, len, ty) = (info.base as usize, info.len, info.ty);
+                    let ri = srow!(*idx);
+                    let mut ok = true;
+                    for l in 0..k {
+                        let iv = ld!(ri, l);
+                        ok &= iv >= 0 && (iv as u64) < len as u64;
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    let rv = srow!(*v);
+                    for l in 0..k {
+                        let vv = ld!(rv, l);
+                        let iv = ld!(ri, l) as usize;
+                        arena[(base + iv) * k + l] = wrap(ty, vv);
+                    }
+                    pc + 1
+                }
+                Op::StoreVar { dst, ty, src: v } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let rv = srow!(*v);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, ld!(rv, l));
+                    }
+                    pc + 1
+                }
+                Op::ReadStream { dst, port } => {
+                    let pb = rowb(in_end.len(), *port, k);
+                    let mut ok = true;
+                    for l in 0..k {
+                        ok &= cursors[pb + l] < in_end[pb + l];
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    for l in 0..k {
+                        let cur = cursors[pb + l];
+                        regs[db + l] = in_all[cur];
+                        cursors[pb + l] = cur + 1;
+                    }
+                    pc + 1
+                }
+                Op::ReadStreamTo { dst, ty, port } => {
+                    let pb = rowb(in_end.len(), *port, k);
+                    let mut ok = true;
+                    for l in 0..k {
+                        ok &= cursors[pb + l] < in_end[pb + l];
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    for l in 0..k {
+                        let cur = cursors[pb + l];
+                        regs[db + l] = wrap(*ty, in_all[cur]);
+                        cursors[pb + l] = cur + 1;
+                    }
+                    pc + 1
+                }
+                Op::WriteStream { port, src: v } => {
+                    acct!();
+                    let qb = rowb(out_bufs.len(), *port, k);
+                    let rv = srow!(*v);
+                    for l in 0..k {
+                        out_bufs[qb + l].push(ld!(rv, l));
+                    }
+                    pc + 1
+                }
+                Op::LoopInit {
+                    var,
+                    ty,
+                    lo,
+                    hi_copy,
+                } => {
+                    acct!();
+                    let vb = rowb(regs.len(), *var, k);
+                    let rl = srow!(*lo);
+                    // Same per-lane effect order as the scalar VM (read
+                    // `lo`, latch the bound, write the induction var),
+                    // staged through `vals` so the row copies stay
+                    // alias-safe.
+                    vals[..k].copy_from_slice(&regs[rl..rl + k]);
+                    if let Some((hr, hs)) = hi_copy {
+                        let hb = rowb(regs.len(), *hr, k);
+                        let rs = srow!(*hs);
+                        for l in 0..k {
+                            regs[hb + l] = regs[rs + l];
+                        }
+                    }
+                    for l in 0..k {
+                        regs[vb + l] = wrap(*ty, vals[l]);
+                    }
+                    pc + 1
+                }
+                Op::LoopHead { var, hi, exit } => {
+                    let vb = rowb(regs.len(), *var, k);
+                    let rh = srow!(*hi);
+                    let (mut all_t, mut all_f) = (true, true);
+                    for l in 0..k {
+                        let t = regs[vb + l] < ld!(rh, l);
+                        if t {
+                            all_f = false;
+                        } else {
+                            all_t = false;
+                        }
+                    }
+                    if all_t {
+                        acct!();
+                        dynb += 1;
+                        pc + 1
+                    } else if all_f {
+                        acct!();
+                        *exit as usize
+                    } else {
+                        bail!();
+                    }
+                }
+                Op::LoopBack { var, ty, hi, body } => {
+                    let vb = rowb(regs.len(), *var, k);
+                    let rh = srow!(*hi);
+                    let (mut all_t, mut all_f) = (true, true);
+                    for l in 0..k {
+                        let nv = wrap(*ty, regs[vb + l].wrapping_add(1));
+                        vals[l] = nv;
+                        // The bound may name the induction register
+                        // itself; the scalar VM tests against the
+                        // post-increment value then.
+                        let hv = if rh == vb { nv } else { ld!(rh, l) };
+                        if nv < hv {
+                            all_f = false;
+                        } else {
+                            all_t = false;
+                        }
+                    }
+                    if !all_t && !all_f {
+                        bail!();
+                    }
+                    acct!();
+                    regs[vb..vb + k].copy_from_slice(&vals[..k]);
+                    if all_t {
+                        dynb += 1;
+                        *body as usize
+                    } else {
+                        pc + 1
+                    }
+                }
+                Op::BranchIfZero { cond, target } => {
+                    if *target as usize == pc + 1 {
+                        acct!();
+                        pc + 1
+                    } else {
+                        let rc = srow!(*cond);
+                        let (mut all_t, mut all_f) = (true, true);
+                        for l in 0..k {
+                            if ld!(rc, l) != 0 {
+                                all_f = false;
+                            } else {
+                                all_t = false;
+                            }
+                        }
+                        if all_t {
+                            acct!();
+                            pc + 1
+                        } else if all_f {
+                            acct!();
+                            *target as usize
+                        } else {
+                            bail!();
+                        }
+                    }
+                }
+                Op::Jump { target } => {
+                    acct!();
+                    *target as usize
+                }
+                Op::ShlPow2 { dst, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = ld!(ra, l).wrapping_shl(*sh as u32);
+                    }
+                    pc + 1
+                }
+                Op::ShrImm { dst, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = ld!(ra, l).wrapping_shr(*sh as u32);
+                    }
+                    pc + 1
+                }
+                Op::DivPow2 { dst, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = div_pow2(ld!(ra, l), *sh);
+                    }
+                    pc + 1
+                }
+                Op::ModPow2 { dst, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = mod_pow2(ld!(ra, l), *sh);
+                    }
+                    pc + 1
+                }
+                Op::BinTo { op, dst, ty, a, b } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    for l in 0..k {
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        regs[db + l] = wrap(*ty, bin_infallible(*op, av, bv));
+                    }
+                    pc + 1
+                }
+                Op::BinCheckedTo { op, dst, ty, a, b } => {
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    let mut ok = true;
+                    for l in 0..k {
+                        match bin_checked(*op, ld!(ra, l), ld!(rb, l)) {
+                            Ok(v) => vals[l] = v,
+                            Err(_) => ok = false,
+                        }
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, vals[l]);
+                    }
+                    pc + 1
+                }
+                Op::UnTo { op, dst, ty, a } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, un_op(*op, ld!(ra, l)));
+                    }
+                    pc + 1
+                }
+                Op::SelectTo { dst, ty, c, a, b } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let rc = srow!(*c);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    for l in 0..k {
+                        let cv = ld!(rc, l);
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        regs[db + l] = wrap(*ty, if cv != 0 { av } else { bv });
+                    }
+                    pc + 1
+                }
+                Op::LoadIdxTo { dst, ty, arr, idx } => {
+                    let info = &ck.arrays[*arr as usize];
+                    let (base, len, ty) = (info.base as usize, info.len, *ty);
+                    let ri = srow!(*idx);
+                    let mut ok = true;
+                    for l in 0..k {
+                        let iv = ld!(ri, l);
+                        ok &= iv >= 0 && (iv as u64) < len as u64;
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    for l in 0..k {
+                        let iv = ld!(ri, l) as usize;
+                        regs[db + l] = wrap(ty, arena[(base + iv) * k + l]);
+                    }
+                    pc + 1
+                }
+                Op::ShlPow2To { dst, ty, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, ld!(ra, l).wrapping_shl(*sh as u32));
+                    }
+                    pc + 1
+                }
+                Op::ShrImmTo { dst, ty, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, ld!(ra, l).wrapping_shr(*sh as u32));
+                    }
+                    pc + 1
+                }
+                Op::DivPow2To { dst, ty, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, div_pow2(ld!(ra, l), *sh));
+                    }
+                    pc + 1
+                }
+                Op::ModPow2To { dst, ty, a, k: sh } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, mod_pow2(ld!(ra, l), *sh));
+                    }
+                    pc + 1
+                }
+                Op::ShrAnd {
+                    dst,
+                    a,
+                    k: sh,
+                    mask,
+                } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = ld!(ra, l).wrapping_shr(*sh as u32) & *mask;
+                    }
+                    pc + 1
+                }
+                Op::ShrAndTo {
+                    dst,
+                    ty,
+                    a,
+                    k: sh,
+                    mask,
+                } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    for l in 0..k {
+                        regs[db + l] = wrap(*ty, ld!(ra, l).wrapping_shr(*sh as u32) & *mask);
+                    }
+                    pc + 1
+                }
+                Op::MulAcc { dst, a, b, acc } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    let rc = srow!(*acc);
+                    for l in 0..k {
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        let cv = ld!(rc, l);
+                        regs[db + l] = cv.wrapping_add(av.wrapping_mul(bv));
+                    }
+                    pc + 1
+                }
+                Op::MulAccTo { dst, ty, a, b, acc } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    let rc = srow!(*acc);
+                    for l in 0..k {
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        let cv = ld!(rc, l);
+                        regs[db + l] = wrap(*ty, cv.wrapping_add(av.wrapping_mul(bv)));
+                    }
+                    pc + 1
+                }
+                Op::CmpSelect {
+                    op,
+                    dst,
+                    x,
+                    y,
+                    a,
+                    b,
+                } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let rx = srow!(*x);
+                    let ry = srow!(*y);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    for l in 0..k {
+                        let c = bin_infallible(*op, ld!(rx, l), ld!(ry, l));
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        regs[db + l] = if c != 0 { av } else { bv };
+                    }
+                    pc + 1
+                }
+                Op::CmpSelectTo {
+                    op,
+                    dst,
+                    ty,
+                    x,
+                    y,
+                    a,
+                    b,
+                } => {
+                    acct!();
+                    let db = rowb(regs.len(), *dst, k);
+                    let rx = srow!(*x);
+                    let ry = srow!(*y);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    for l in 0..k {
+                        let c = bin_infallible(*op, ld!(rx, l), ld!(ry, l));
+                        let av = ld!(ra, l);
+                        let bv = ld!(rb, l);
+                        regs[db + l] = wrap(*ty, if c != 0 { av } else { bv });
+                    }
+                    pc + 1
+                }
+                Op::SelectWrite { port, c, a, b } => {
+                    acct!();
+                    let rc = srow!(*c);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    let qb = rowb(out_bufs.len(), *port, k);
+                    for l in 0..k {
+                        let v = if ld!(rc, l) != 0 {
+                            ld!(ra, l)
+                        } else {
+                            ld!(rb, l)
+                        };
+                        out_bufs[qb + l].push(v);
+                    }
+                    pc + 1
+                }
+                Op::CmpSelectWrite {
+                    op,
+                    port,
+                    x,
+                    y,
+                    a,
+                    b,
+                } => {
+                    acct!();
+                    let rx = srow!(*x);
+                    let ry = srow!(*y);
+                    let ra = srow!(*a);
+                    let rb = srow!(*b);
+                    let qb = rowb(out_bufs.len(), *port, k);
+                    for l in 0..k {
+                        let c = bin_infallible(*op, ld!(rx, l), ld!(ry, l));
+                        let v = if c != 0 { ld!(ra, l) } else { ld!(rb, l) };
+                        out_bufs[qb + l].push(v);
+                    }
+                    pc + 1
+                }
+                Op::IncIdx { arr, idx, v, s2 } => {
+                    let info = &ck.arrays[*arr as usize];
+                    let (base, len, ty) = (info.base as usize, info.len, info.ty);
+                    let s2v = *s2 as u64;
+                    if steps_acc + d + s2v > limit {
+                        bail!();
+                    }
+                    let ri = srow!(*idx);
+                    let mut ok = true;
+                    for l in 0..k {
+                        let iv = ld!(ri, l);
+                        ok &= iv >= 0 && (iv as u64) < len as u64;
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    steps_acc += s2v;
+                    let rv = srow!(*v);
+                    for l in 0..k {
+                        let iv = ld!(ri, l) as usize;
+                        let add = ld!(rv, l);
+                        let slot = (base + iv) * k + l;
+                        arena[slot] = wrap(ty, arena[slot].wrapping_add(add));
+                    }
+                    pc + 1
+                }
+                Op::WriteStream2 {
+                    port_a,
+                    src_a,
+                    port_b,
+                    src_b,
+                    s2,
+                } => {
+                    let s2v = *s2 as u64;
+                    if steps_acc + d + s2v > limit {
+                        bail!();
+                    }
+                    acct!();
+                    let qa = rowb(out_bufs.len(), *port_a, k);
+                    let ra = srow!(*src_a);
+                    for l in 0..k {
+                        out_bufs[qa + l].push(ld!(ra, l));
+                    }
+                    steps_acc += s2v;
+                    let qb = rowb(out_bufs.len(), *port_b, k);
+                    let rb = srow!(*src_b);
+                    for l in 0..k {
+                        out_bufs[qb + l].push(ld!(rb, l));
+                    }
+                    pc + 1
+                }
+                Op::LoadIdxWrite { arr, idx, port, s2 } => {
+                    let info = &ck.arrays[*arr as usize];
+                    let (base, len) = (info.base as usize, info.len);
+                    let s2v = *s2 as u64;
+                    if steps_acc + d + s2v > limit {
+                        bail!();
+                    }
+                    let ri = srow!(*idx);
+                    let mut ok = true;
+                    for l in 0..k {
+                        let iv = ld!(ri, l);
+                        ok &= iv >= 0 && (iv as u64) < len as u64;
+                    }
+                    if !ok {
+                        bail!();
+                    }
+                    acct!();
+                    for l in 0..k {
+                        let iv = ld!(ri, l) as usize;
+                        vals[l] = arena[(base + iv) * k + l];
+                    }
+                    steps_acc += s2v;
+                    let qb = rowb(out_bufs.len(), *port, k);
+                    for l in 0..k {
+                        out_bufs[qb + l].push(vals[l]);
+                    }
+                    pc + 1
+                }
+                // Superinstructions: one dispatch executes a whole
+                // matched run. Every fallible condition of every
+                // constituent — stream availability, index bounds, the
+                // summed step debit, back-edge uniformity — is checked
+                // up front; on any hit the arm bails with *nothing*
+                // committed and the generic step replays the run op by
+                // op, reproducing the exact trap point, partial effects
+                // and divergence handling. On the fall-through path the
+                // constituents then run back-to-back with their shared
+                // tallies (`sh_counts` once per constituent pc, the
+                // pre-summed `steps`) committed in one go.
+                //
+                // The macros below keep the per-shape arms honest:
+                // `fsteps!` is the whole-run limit check, `favail!` the
+                // read-availability check, and `floop!` evaluates the
+                // trailing `LoopBack` — legal before any effect because
+                // the fusion pass rejects runs whose earlier constituents
+                // write the induction or bound register.
+                Op::Fused(f) => {
+                    macro_rules! fsteps {
+                        ($total:expr) => {{
+                            if steps_acc + $total as u64 > limit {
+                                bail!();
+                            }
+                        }};
+                    }
+                    macro_rules! favail {
+                        ($port:expr) => {{
+                            let pb = rowb(in_end.len(), $port, k);
+                            let mut ok = true;
+                            for l in 0..k {
+                                ok &= cursors[pb + l] < in_end[pb + l];
+                            }
+                            if !ok {
+                                bail!();
+                            }
+                            pb
+                        }};
+                    }
+                    macro_rules! floop {
+                        ($var:expr, $lty:expr, $hi:expr) => {{
+                            let vb = rowb(regs.len(), $var, k);
+                            let rh = rowb(regs.len(), $hi, k);
+                            let (mut all_t, mut all_f) = (true, true);
+                            for l in 0..k {
+                                let nv = wrap($lty, regs[vb + l].wrapping_add(1));
+                                // A bound naming the induction register
+                                // tests against the post-increment value.
+                                let hv = if rh == vb { nv } else { regs[rh + l] };
+                                if nv < hv {
+                                    all_f = false;
+                                } else {
+                                    all_t = false;
+                                }
+                            }
+                            if !all_t && !all_f {
+                                bail!();
+                            }
+                            (vb, all_t)
+                        }};
+                    }
+                    macro_rules! fcommit {
+                        ($len:expr, $total:expr) => {{
+                            for i in 0..$len {
+                                sh_counts[pc + i] += 1;
+                            }
+                            steps_acc += $total as u64;
+                        }};
+                    }
+                    macro_rules! fback {
+                        ($vb:expr, $lty:expr, $all_t:expr, $body:expr, $len:expr) => {{
+                            for l in 0..k {
+                                regs[$vb + l] = wrap($lty, regs[$vb + l].wrapping_add(1));
+                            }
+                            if $all_t {
+                                dynb += 1;
+                                $body as usize
+                            } else {
+                                pc + $len
+                            }
+                        }};
+                    }
+                    match &**f {
+                        FusedOp::ReadCswBack {
+                            dst,
+                            rty,
+                            port,
+                            op,
+                            wport,
+                            x,
+                            y,
+                            a,
+                            b,
+                            var,
+                            lty,
+                            hi,
+                            body,
+                            steps,
+                        } => {
+                            fsteps!(*steps);
+                            let pb = favail!(*port);
+                            let (vb, all_t) = floop!(*var, *lty, *hi);
+                            fcommit!(3, *steps);
+                            let db = rowb(regs.len(), *dst, k);
+                            for l in 0..k {
+                                let cur = cursors[pb + l];
+                                regs[db + l] = wrap(*rty, in_all[cur]);
+                                cursors[pb + l] = cur + 1;
+                            }
+                            let rx = rowb(regs.len(), *x, k);
+                            let ry = rowb(regs.len(), *y, k);
+                            let ra = rowb(regs.len(), *a, k);
+                            let rb = rowb(regs.len(), *b, k);
+                            let qb = rowb(out_bufs.len(), *wport, k);
+                            // Staged: the select loop stays pure (no opaque
+                            // heap stores) so it can vectorize; the pushes
+                            // run in a second, compact loop.
+                            for l in 0..k {
+                                let c = bin_infallible(*op, regs[rx + l], regs[ry + l]);
+                                vals[l] = if c != 0 { regs[ra + l] } else { regs[rb + l] };
+                            }
+                            for l in 0..k {
+                                out_bufs[qb + l].push(vals[l]);
+                            }
+                            fback!(vb, *lty, all_t, *body, 3)
+                        }
+                        FusedOp::ReadIncBack {
+                            dst,
+                            rty,
+                            port,
+                            arr,
+                            v,
+                            var,
+                            lty,
+                            hi,
+                            body,
+                            steps,
+                        } => {
+                            fsteps!(*steps);
+                            let pb = favail!(*port);
+                            let info = &ck.arrays[*arr as usize];
+                            let (base, len, aty) = (info.base as usize, info.len, info.ty);
+                            // The increment index *is* the token about to
+                            // be read: peek it for the bounds check
+                            // without committing the cursors.
+                            let mut ok = true;
+                            for l in 0..k {
+                                let iv = wrap(*rty, in_all[cursors[pb + l]]);
+                                ok &= iv >= 0 && (iv as u64) < len as u64;
+                            }
+                            if !ok {
+                                bail!();
+                            }
+                            let (vb, all_t) = floop!(*var, *lty, *hi);
+                            fcommit!(3, *steps);
+                            let db = rowb(regs.len(), *dst, k);
+                            let rv = rowb(regs.len(), *v, k);
+                            for l in 0..k {
+                                let cur = cursors[pb + l];
+                                regs[db + l] = wrap(*rty, in_all[cur]);
+                                cursors[pb + l] = cur + 1;
+                            }
+                            for l in 0..k {
+                                let iv = regs[db + l] as usize;
+                                let add = regs[rv + l];
+                                let slot = (base + iv) * k + l;
+                                arena[slot] = wrap(aty, arena[slot].wrapping_add(add));
+                            }
+                            fback!(vb, *lty, all_t, *body, 3)
+                        }
+                        FusedOp::ReadUnpack3 {
+                            dst,
+                            rty,
+                            port,
+                            d1,
+                            t1,
+                            k1,
+                            m1,
+                            d2,
+                            t2,
+                            k2,
+                            m2,
+                            d3,
+                            t3,
+                            b3,
+                            steps,
+                        } => {
+                            fsteps!(*steps);
+                            let pb = favail!(*port);
+                            fcommit!(4, *steps);
+                            let db = rowb(regs.len(), *dst, k);
+                            for l in 0..k {
+                                let cur = cursors[pb + l];
+                                regs[db + l] = wrap(*rty, in_all[cur]);
+                                cursors[pb + l] = cur + 1;
+                            }
+                            let r1 = rowb(regs.len(), *d1, k);
+                            for l in 0..k {
+                                regs[r1 + l] =
+                                    wrap(*t1, regs[db + l].wrapping_shr(*k1 as u32) & *m1);
+                            }
+                            let r2 = rowb(regs.len(), *d2, k);
+                            for l in 0..k {
+                                regs[r2 + l] =
+                                    wrap(*t2, regs[db + l].wrapping_shr(*k2 as u32) & *m2);
+                            }
+                            let r3 = rowb(regs.len(), *d3, k);
+                            let rb = rowb(regs.len(), *b3, k);
+                            for l in 0..k {
+                                regs[r3 + l] = wrap(*t3, regs[db + l] & regs[rb + l]);
+                            }
+                            pc + 4
+                        }
+                        FusedOp::Dot3 {
+                            d1,
+                            a1,
+                            b1,
+                            d2,
+                            a2,
+                            b2,
+                            c2,
+                            d3,
+                            a3,
+                            b3,
+                            c3,
+                            steps,
+                        } => {
+                            fsteps!(*steps);
+                            fcommit!(3, *steps);
+                            let r1 = rowb(regs.len(), *d1, k);
+                            let ra = rowb(regs.len(), *a1, k);
+                            let rb = rowb(regs.len(), *b1, k);
+                            for l in 0..k {
+                                regs[r1 + l] = regs[ra + l].wrapping_mul(regs[rb + l]);
+                            }
+                            let r2 = rowb(regs.len(), *d2, k);
+                            let ra = rowb(regs.len(), *a2, k);
+                            let rb = rowb(regs.len(), *b2, k);
+                            let rc = rowb(regs.len(), *c2, k);
+                            for l in 0..k {
+                                regs[r2 + l] = regs[rc + l]
+                                    .wrapping_add(regs[ra + l].wrapping_mul(regs[rb + l]));
+                            }
+                            let r3 = rowb(regs.len(), *d3, k);
+                            let ra = rowb(regs.len(), *a3, k);
+                            let rb = rowb(regs.len(), *b3, k);
+                            let rc = rowb(regs.len(), *c3, k);
+                            for l in 0..k {
+                                regs[r3 + l] = regs[rc + l]
+                                    .wrapping_add(regs[ra + l].wrapping_mul(regs[rb + l]));
+                            }
+                            pc + 3
+                        }
+                        FusedOp::ShrWriteBack {
+                            dst,
+                            ty,
+                            a,
+                            sh,
+                            port_a,
+                            sa,
+                            port_b,
+                            sb,
+                            var,
+                            lty,
+                            hi,
+                            body,
+                            steps,
+                        } => {
+                            fsteps!(*steps);
+                            let (vb, all_t) = floop!(*var, *lty, *hi);
+                            fcommit!(3, *steps);
+                            let db = rowb(regs.len(), *dst, k);
+                            let ra = rowb(regs.len(), *a, k);
+                            for l in 0..k {
+                                regs[db + l] = wrap(*ty, regs[ra + l].wrapping_shr(*sh as u32));
+                            }
+                            let qa = rowb(out_bufs.len(), *port_a, k);
+                            let rs = rowb(regs.len(), *sa, k);
+                            for l in 0..k {
+                                out_bufs[qa + l].push(regs[rs + l]);
+                            }
+                            let qb = rowb(out_bufs.len(), *port_b, k);
+                            let rs = rowb(regs.len(), *sb, k);
+                            for l in 0..k {
+                                out_bufs[qb + l].push(regs[rs + l]);
+                            }
+                            fback!(vb, *lty, all_t, *body, 3)
+                        }
+                    }
+                }
+            };
+        };
+
+        self.sh_steps = steps_acc;
+        self.sh_dyn = dynb;
+        self.dispatches = disp;
+        ret
+    }
+
+    /// The machine loop: run groups to completion, splitting at mixed
+    /// control ops and merging at reconvergence points.
+    fn exec(&mut self, mut lanes: Vec<u16>) {
+        let n = self.ck.ops.len();
+        let mut pc = 0usize;
+        loop {
+            if lanes.is_empty() {
+                match self.stack.pop() {
+                    None => return,
+                    Some(mut e) => {
+                        if let Some((pl, ppc)) = e.pending.take() {
+                            self.stack.push(e);
+                            lanes = pl;
+                            pc = ppc;
+                        } else {
+                            lanes = e.parked;
+                            pc = e.rejoin;
+                        }
+                    }
+                }
+                continue;
+            }
+            if pc >= n {
+                let st = if self.pl.is_some() {
+                    LaneState::DonePerLane
+                } else {
+                    LaneState::DoneShared
+                };
+                for &l in &lanes {
+                    self.done[l as usize] = st.clone();
+                }
+                lanes.clear();
+                continue;
+            }
+            if let Some(top) = self.stack.last() {
+                if top.rejoin == pc {
+                    let e = self.stack.pop().expect("stack top just observed");
+                    if let Some((pl, ppc)) = e.pending {
+                        // Park the side that arrived; run the pending one.
+                        let parked = merge_sorted(e.parked, std::mem::take(&mut lanes));
+                        self.stack.push(Entry {
+                            rejoin: e.rejoin,
+                            pending: None,
+                            parked,
+                        });
+                        lanes = pl;
+                        pc = ppc;
+                    } else {
+                        lanes = merge_sorted(lanes, e.parked);
+                    }
+                    continue;
+                }
+            }
+            // Fully converged batch (all K lanes live, shared
+            // accounting): hand the program to the hot loop, which runs
+            // until completion or until one op needs the general
+            // step's trap/divergence machinery. `lanes` is always a
+            // strictly ascending subset of `0..k`, so length alone
+            // proves it is the identity group.
+            if self.pl.is_none() && self.stack.is_empty() && lanes.len() == self.k {
+                match self.exec_hot(pc) {
+                    None => {
+                        for &l in &lanes {
+                            self.done[l as usize] = LaneState::DoneShared;
+                        }
+                        lanes.clear();
+                        continue;
+                    }
+                    Some(p) => pc = p,
+                }
+            }
+            pc = self.step(pc, &mut lanes);
+        }
+    }
+}
+
+impl CompiledKernel {
+    /// Batched execution with the default step limit; see
+    /// [`CompiledKernel::run_batch_with_step_limit`].
+    pub fn run_batch(
+        &self,
+        scalar_inputs: &[HashMap<String, i64>],
+        streams: &mut [StreamBundle],
+    ) -> BatchOutcome {
+        self.run_batch_with_step_limit(scalar_inputs, streams, DEFAULT_STEP_LIMIT)
+    }
+
+    /// Run one lane per bundle through a single decoded instruction
+    /// stream (see the module docs for the execution model). Lane `l`
+    /// reads `scalar_inputs[l]` and `streams[l]`, and
+    /// `BatchOutcome::lanes[l]` is bit-identical to
+    /// `self.run_with_step_limit(&scalar_inputs[l], &mut streams[l], limit)`.
+    pub fn run_batch_with_step_limit(
+        &self,
+        scalar_inputs: &[HashMap<String, i64>],
+        streams: &mut [StreamBundle],
+        limit: u64,
+    ) -> BatchOutcome {
+        assert_eq!(
+            scalar_inputs.len(),
+            streams.len(),
+            "one scalar-input map per lane bundle"
+        );
+        let k = streams.len();
+        if k == 0 {
+            return BatchOutcome {
+                lanes: Vec::new(),
+                dispatches: 0,
+            };
+        }
+
+        let nr = self.lane_regs as usize;
+        let np = self.stream_ins.len();
+        let nq = self.stream_outs.len();
+        let mut regs = vec![0i64; nr * k];
+        let mut done = vec![LaneState::Running; k];
+        // Broadcast the pooled immediates (the lane op stream reads
+        // every operand from a register row; see `CompiledKernel::imm_seed`).
+        for (i, v) in self.imm_seed.iter().enumerate() {
+            let b = (self.num_regs as usize + i) * k;
+            regs[b..b + k].fill(*v);
+        }
+
+        // Seed scalars per lane; a missing input retires the lane before
+        // any bundle effect, exactly like the scalar early return.
+        let mut live: Vec<u16> = Vec::with_capacity(k);
+        for l in 0..k {
+            let mut err = None;
+            for s in &self.scalar_seed {
+                let v = if s.is_input {
+                    match scalar_inputs[l].get(&s.name) {
+                        Some(v) => *v,
+                        None => {
+                            err = Some(ExecError::MissingScalarInput(s.name.clone()));
+                            break;
+                        }
+                    }
+                } else {
+                    0
+                };
+                regs[s.reg as usize * k + l] = s.ty.wrap(v);
+            }
+            match err {
+                Some(e) => done[l] = LaneState::SeedErr(e),
+                None => live.push(l as u16),
+            }
+        }
+
+        // Resolve ports and snapshot inputs per live lane (bundles may
+        // differ in which ports they carry).
+        let mut in_slots: Vec<Option<usize>> = vec![None; np * k];
+        let mut in_all: Vec<i64> = Vec::new();
+        let mut in_start: Vec<usize> = vec![0usize; np * k];
+        let mut in_end: Vec<usize> = vec![0usize; np * k];
+        let mut out_slots: Vec<usize> = vec![0usize; nq * k];
+        for &l in &live {
+            let li = l as usize;
+            for (p, port) in self.stream_ins.iter().enumerate() {
+                if let Some(s) = streams[li].input_index(port) {
+                    let b = p * k + li;
+                    in_slots[b] = Some(s);
+                    // Skew each slot's start by a distinct number of
+                    // cache lines: lanes advance through their regions
+                    // in lockstep, and equal-sized snapshots packed
+                    // back-to-back would put every lane's read position
+                    // a power-of-two stride apart — all mapping to the
+                    // same L1 set and evicting each other on every
+                    // gather.
+                    let skew = 8 * (b % 63 + 1) - in_all.len() % 8;
+                    in_all.resize(in_all.len() + skew, 0);
+                    in_start[b] = in_all.len();
+                    streams[li].input_snapshot_into(s, &mut in_all);
+                    in_end[b] = in_all.len();
+                }
+            }
+            for (q, port) in self.stream_outs.iter().enumerate() {
+                out_slots[q * k + li] = streams[li].ensure_output(port);
+            }
+        }
+
+        let started = live.clone();
+        let mut vm = LaneVm {
+            ck: self,
+            k,
+            limit,
+            regs,
+            arena: vec![0i64; self.arena_len as usize * k],
+            cursors: in_start.clone(),
+            in_all,
+            in_start,
+            in_end,
+            out_bufs: vec![Vec::new(); nq * k],
+            sh_counts: vec![0u64; self.ops.len()],
+            sh_steps: 0,
+            sh_dyn: 0,
+            pl: None,
+            dispatches: 0,
+            done,
+            stack: Vec::new(),
+            cond: vec![false; k],
+            vals: vec![0i64; k],
+        };
+        if !live.is_empty() {
+            vm.exec(live);
+        }
+
+        // Commit stream effects for every lane that started, on success
+        // and on trap alike — the bundle state mirrors the scalar VM's.
+        for &l in &started {
+            let li = l as usize;
+            for p in 0..np {
+                if let Some(s) = in_slots[p * k + li] {
+                    let b = p * k + li;
+                    streams[li].drain_input_at(s, vm.cursors[b] - vm.in_start[b]);
+                }
+            }
+            for q in 0..nq {
+                streams[li].extend_output_at(out_slots[q * k + li], &vm.out_bufs[q * k + li]);
+            }
+        }
+
+        let mut counts_col = vec![0u64; self.ops.len()];
+        let lanes = (0..k)
+            .map(|l| match &vm.done[l] {
+                LaneState::SeedErr(e) | LaneState::Trapped(e) => Err(e.clone()),
+                LaneState::DoneShared => {
+                    let acc = self.replay(&vm.sh_counts, vm.sh_dyn);
+                    debug_assert_eq!(acc[STAT_STEPS], vm.sh_steps);
+                    Ok(self.outcome_for_lane(&vm.regs, k, l, &acc))
+                }
+                LaneState::DonePerLane => {
+                    let pl = vm.pl.as_ref().expect("per-lane finish implies pl");
+                    for (i, c) in counts_col.iter_mut().enumerate() {
+                        *c = pl.counts[i * k + l];
+                    }
+                    let acc = self.replay(&counts_col, pl.dynb[l]);
+                    debug_assert_eq!(acc[STAT_STEPS], pl.steps[l]);
+                    Ok(self.outcome_for_lane(&vm.regs, k, l, &acc))
+                }
+                LaneState::Running => unreachable!("machine left a lane running"),
+            })
+            .collect();
+
+        BatchOutcome {
+            lanes,
+            dispatches: vm.dispatches,
+        }
+    }
+
+    fn outcome_for_lane(&self, regs: &[i64], k: usize, l: usize, acc: &[u64; 11]) -> ExecOutcome {
+        let mut scalar_outputs = HashMap::new();
+        for (name, reg) in &self.scalar_outs {
+            scalar_outputs.insert(name.clone(), regs[*reg as usize * k + l]);
+        }
+        ExecOutcome {
+            scalar_outputs,
+            stats: stats_from(acc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::interp::Interpreter;
+    use crate::ir::Kernel;
+    use crate::types::Ty;
+
+    /// Every lane of a batch must match a solo scalar run exactly:
+    /// result (incl. stats), error, and final bundle state.
+    fn assert_batch_equiv(
+        k: &Kernel,
+        per_lane_inputs: &[Vec<(&str, i64)>],
+        per_lane_feeds: &[Vec<(&str, Vec<i64>)>],
+        limit: u64,
+    ) {
+        let ck = CompiledKernel::compile(k);
+        let lanes = per_lane_inputs.len();
+        assert_eq!(lanes, per_lane_feeds.len());
+        let inputs: Vec<HashMap<String, i64>> = per_lane_inputs
+            .iter()
+            .map(|ins| ins.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+            .collect();
+        let mut batch_bundles: Vec<StreamBundle> = per_lane_feeds
+            .iter()
+            .map(|feed| {
+                let mut b = StreamBundle::new();
+                for (p, t) in feed {
+                    b.feed(p, t.iter().copied());
+                }
+                b
+            })
+            .collect();
+        let out = ck.run_batch_with_step_limit(&inputs, &mut batch_bundles, limit);
+        assert_eq!(out.lanes.len(), lanes);
+
+        for l in 0..lanes {
+            let mut solo = StreamBundle::new();
+            for (p, t) in &per_lane_feeds[l] {
+                solo.feed(p, t.iter().copied());
+            }
+            let solo_res = ck.run_with_step_limit(&inputs[l], &mut solo, limit);
+            let mut interp_bundle = StreamBundle::new();
+            for (p, t) in &per_lane_feeds[l] {
+                interp_bundle.feed(p, t.iter().copied());
+            }
+            let interp_res =
+                Interpreter::with_step_limit(k, limit).run(&inputs[l], &mut interp_bundle);
+            match (&out.lanes[l], &solo_res) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.scalar_outputs, b.scalar_outputs, "{} lane {l}", k.name);
+                    assert_eq!(a.stats, b.stats, "{} lane {l}", k.name);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{} lane {l}", k.name),
+                _ => panic!(
+                    "{} lane {l}: batch {:?} vs scalar {:?}",
+                    k.name, out.lanes[l], solo_res
+                ),
+            }
+            // Interpreter oracle agrees with the scalar VM by the PR 5
+            // contract; spot-check it here too.
+            assert_eq!(solo_res.is_ok(), interp_res.is_ok(), "{} lane {l}", k.name);
+            let bo: Vec<_> = batch_bundles[l].outputs().collect();
+            let so: Vec<_> = solo.outputs().collect();
+            assert_eq!(bo, so, "{} lane {l} bundle outputs", k.name);
+        }
+    }
+
+    fn sum_kernel() -> Kernel {
+        KernelBuilder::new("sum")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .scalar_out("acc", Ty::U32)
+            .body(vec![
+                assign("acc", c(0)),
+                for_pipelined(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![assign("acc", add(var("acc"), read("in")))],
+                ),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn uniform_lanes_match_scalar() {
+        let k = sum_kernel();
+        let ins: Vec<Vec<(&str, i64)>> = (0..4).map(|_| vec![("n", 4)]).collect();
+        let feeds: Vec<Vec<(&str, Vec<i64>)>> = (0..4)
+            .map(|l| vec![("in", vec![l, l + 1, l + 2, l + 3])])
+            .collect();
+        assert_batch_equiv(&k, &ins, &feeds, DEFAULT_STEP_LIMIT);
+    }
+
+    #[test]
+    fn divergent_loop_bounds_match_scalar() {
+        // Different per-lane trip counts force LoopBack divergence.
+        let k = sum_kernel();
+        let ins: Vec<Vec<(&str, i64)>> = vec![
+            vec![("n", 1)],
+            vec![("n", 5)],
+            vec![("n", 3)],
+            vec![("n", 0)],
+        ];
+        let feeds: Vec<Vec<(&str, Vec<i64>)>> = (0..4)
+            .map(|_| vec![("in", vec![10, 20, 30, 40, 50])])
+            .collect();
+        assert_batch_equiv(&k, &ins, &feeds, DEFAULT_STEP_LIMIT);
+    }
+
+    #[test]
+    fn early_trap_does_not_stall_batch() {
+        // Lane 1 underflows mid-loop; lanes 0 and 2 finish normally.
+        let k = sum_kernel();
+        let ins: Vec<Vec<(&str, i64)>> = (0..3).map(|_| vec![("n", 3)]).collect();
+        let feeds: Vec<Vec<(&str, Vec<i64>)>> = vec![
+            vec![("in", vec![1, 2, 3])],
+            vec![("in", vec![9])],
+            vec![("in", vec![4, 5, 6])],
+        ];
+        assert_batch_equiv(&k, &ins, &feeds, DEFAULT_STEP_LIMIT);
+    }
+
+    #[test]
+    fn missing_scalar_input_retires_before_effects() {
+        let k = sum_kernel();
+        let ck = CompiledKernel::compile(&k);
+        let inputs = vec![
+            HashMap::new(), // missing "n"
+            [("n".to_string(), 2i64)].into_iter().collect(),
+        ];
+        let mut bundles = vec![StreamBundle::new(), StreamBundle::new()];
+        bundles[0].feed("in", [1, 2, 3]);
+        bundles[1].feed("in", [1, 2, 3]);
+        let out = ck.run_batch(&inputs, &mut bundles);
+        match &out.lanes[0] {
+            Err(e) => assert_eq!(*e, ExecError::MissingScalarInput("n".into())),
+            Ok(_) => panic!("lane 0 must fail seeding"),
+        }
+        assert!(out.lanes[1].is_ok());
+        // Seed-failed lane: no output entry was created, no input drained.
+        assert_eq!(bundles[0].outputs().count(), 0);
+        assert_eq!(bundles[0].input_snapshot_at(0).len(), 3);
+    }
+
+    #[test]
+    fn if_else_divergence_reconverges() {
+        // abs-like if/else over per-lane signs, inside a loop: lanes
+        // take different sides every iteration and must still match.
+        let k = KernelBuilder::new("absacc")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::I32)
+            .scalar_out("acc", Ty::I32)
+            .local("v", Ty::I32)
+            .body(vec![
+                assign("acc", c(0)),
+                for_(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![
+                        assign("v", read("in")),
+                        if_else(
+                            lt(var("v"), c(0)),
+                            vec![assign("acc", sub(var("acc"), var("v")))],
+                            vec![assign("acc", add(var("acc"), var("v")))],
+                        ),
+                    ],
+                ),
+            ])
+            .build();
+        let ins: Vec<Vec<(&str, i64)>> = (0..4).map(|_| vec![("n", 4)]).collect();
+        let feeds: Vec<Vec<(&str, Vec<i64>)>> = vec![
+            vec![("in", vec![1, -2, 3, -4])],
+            vec![("in", vec![-1, -2, -3, -4])],
+            vec![("in", vec![5, 6, 7, 8])],
+            vec![("in", vec![-9, 9, -9, 9])],
+        ];
+        assert_batch_equiv(&k, &ins, &feeds, DEFAULT_STEP_LIMIT);
+    }
+
+    #[test]
+    fn step_limit_trips_identically_per_lane() {
+        let k = sum_kernel();
+        // Lanes with different trip counts trip the limit at different
+        // (per-lane) points; each must match its scalar twin exactly.
+        for limit in [1u64, 5, 9, 17, 33, 1000] {
+            let ins: Vec<Vec<(&str, i64)>> = vec![vec![("n", 2)], vec![("n", 8)], vec![("n", 5)]];
+            let feeds: Vec<Vec<(&str, Vec<i64>)>> = (0..3)
+                .map(|_| vec![("in", vec![1, 1, 1, 1, 1, 1, 1, 1])])
+                .collect();
+            assert_batch_equiv(&k, &ins, &feeds, limit);
+        }
+    }
+
+    #[test]
+    fn dispatches_amortize_across_lanes() {
+        let k = sum_kernel();
+        let ck = CompiledKernel::compile(&k);
+        let mk = |lanes: usize| {
+            let inputs: Vec<HashMap<String, i64>> = (0..lanes)
+                .map(|_| [("n".to_string(), 64i64)].into_iter().collect())
+                .collect();
+            let mut bundles: Vec<StreamBundle> = (0..lanes)
+                .map(|_| {
+                    let mut b = StreamBundle::new();
+                    b.feed("in", (0..64).map(|v| v & 0xff));
+                    b
+                })
+                .collect();
+            ck.run_batch(&inputs, &mut bundles).dispatches
+        };
+        let d1 = mk(1);
+        let d8 = mk(8);
+        // Identical control flow: 8 lanes cost the same dispatches as 1.
+        assert_eq!(d1, d8, "converged lanes must share dispatches");
+    }
+}

@@ -1,0 +1,886 @@
+//! Native tier: bytecode lowered to closure-composed threaded code.
+//!
+//! The scalar VM ([`crate::vm`]) pays one match-dispatch per op
+//! execution. This module lowers a [`CompiledKernel`] once into basic
+//! blocks of **pre-bound Rust closures**: every operand register index,
+//! immediate, array base/len and stat delta is captured at lowering
+//! time, and each straight-line run of ops is folded into a single
+//! composed closure, so executing a block is one indirect call through
+//! pre-resolved code instead of a decode per op. Control ops terminate
+//! blocks and return the next block index, making the whole program a
+//! `while`-loop over block invocations — the classic threaded-code
+//! interpreter, with blocks as superinstructions.
+//!
+//! The tier is **total**: every op lowers, so [`lower`] accepts any
+//! compiled kernel. It preserves the full PR 5 equivalence contract —
+//! scalar outputs, `ExecStats` (including the exact `StepLimit` trip
+//! point and staged `s2` checks of the fused store ops), typed
+//! [`ExecError`] values, and bundle commit state on success and error —
+//! which `tests/prop_lanes.rs` holds differentially against the scalar
+//! VM and the tree-walking interpreter oracle.
+//!
+//! Dispatch accounting: the native tier's "dispatch" is a block
+//! invocation, counted by the run loop. A straight-line body that the
+//! scalar VM executes in N dispatches costs the native tier one.
+
+use crate::compile::{CompiledKernel, Op, STAT_STEPS};
+use crate::interp::{ExecError, ExecOutcome, StreamBundle};
+use crate::vm::{
+    bin_checked, bin_infallible, div_pow2, mod_pow2, src, stats_from, un_op, wrap,
+    DEFAULT_STEP_LIMIT,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel "next block" meaning the program ran off the end.
+const END: u32 = u32::MAX;
+
+/// Mutable machine state threaded through the lowered closures.
+struct NState {
+    regs: Vec<i64>,
+    arena: Vec<i64>,
+    in_bufs: Vec<Vec<i64>>,
+    cursors: Vec<usize>,
+    out_bufs: Vec<Vec<i64>>,
+    counts: Vec<u64>,
+    steps: u64,
+    dyn_branches: u64,
+    limit: u64,
+}
+
+type OpFn = Box<dyn Fn(&mut NState) -> Result<(), ExecError> + Send + Sync>;
+type BlockFn = Box<dyn Fn(&mut NState) -> Result<u32, ExecError> + Send + Sync>;
+
+/// Top-of-op accounting, identical to the scalar VM's loop header.
+#[inline(always)]
+fn tick(st: &mut NState, pc: usize, d: u64) -> Result<(), ExecError> {
+    st.counts[pc] += 1;
+    st.steps += d;
+    if st.steps > st.limit {
+        return Err(ExecError::StepLimit(st.limit));
+    }
+    Ok(())
+}
+
+/// Staged mid-op tick (the `s2` share of fused ops).
+#[inline(always)]
+fn tick_s2(st: &mut NState, s2: u64) -> Result<(), ExecError> {
+    st.steps += s2;
+    if st.steps > st.limit {
+        return Err(ExecError::StepLimit(st.limit));
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn oob(name: &str, index: i64, len: u32) -> ExecError {
+    ExecError::OutOfBounds {
+        array: name.to_string(),
+        index,
+        len,
+    }
+}
+
+/// Compose two op closures into one.
+fn seq(a: OpFn, b: OpFn) -> OpFn {
+    Box::new(move |st| {
+        a(st)?;
+        b(st)
+    })
+}
+
+/// A [`CompiledKernel`] lowered to threaded code. Cheap to clone the
+/// handle via [`Arc`]; the blocks themselves are immutable and
+/// shareable across threads.
+pub struct NativeKernel {
+    ck: Arc<CompiledKernel>,
+    blocks: Vec<BlockFn>,
+    entry: u32,
+}
+
+impl std::fmt::Debug for NativeKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeKernel")
+            .field("kernel", &self.ck.name)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+/// Lower one straight-line (non-control) op at `pc` to a closure.
+/// Control ops are handled by the block terminator in [`lower`].
+fn lower_op(ck: &CompiledKernel, pc: usize) -> OpFn {
+    let d = ck.steps[pc] as u64;
+    match ck.ops[pc].clone() {
+        Op::Bin { op, dst, a, b } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let av = src(&st.regs, a);
+            let bv = src(&st.regs, b);
+            st.regs[dst as usize] = bin_infallible(op, av, bv);
+            Ok(())
+        }),
+        Op::BinChecked { op, dst, a, b } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let av = src(&st.regs, a);
+            let bv = src(&st.regs, b);
+            st.regs[dst as usize] = bin_checked(op, av, bv)?;
+            Ok(())
+        }),
+        Op::Un { op, dst, a } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = un_op(op, src(&st.regs, a));
+            Ok(())
+        }),
+        Op::Select { dst, c, a, b } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let cv = src(&st.regs, c);
+            let av = src(&st.regs, a);
+            let bv = src(&st.regs, b);
+            st.regs[dst as usize] = if cv != 0 { av } else { bv };
+            Ok(())
+        }),
+        Op::LoadIdx { dst, arr, idx } => {
+            let info = ck.arrays[arr as usize].clone();
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let i = src(&st.regs, idx);
+                if i < 0 || i as u64 >= info.len as u64 {
+                    return Err(oob(&info.name, i, info.len));
+                }
+                st.regs[dst as usize] = st.arena[info.base as usize + i as usize];
+                Ok(())
+            })
+        }
+        Op::StoreIdx { arr, idx, src: v } => {
+            let info = ck.arrays[arr as usize].clone();
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let vv = src(&st.regs, v);
+                let i = src(&st.regs, idx);
+                if i < 0 || i as u64 >= info.len as u64 {
+                    return Err(oob(&info.name, i, info.len));
+                }
+                st.arena[info.base as usize + i as usize] = wrap(info.ty, vv);
+                Ok(())
+            })
+        }
+        Op::StoreVar { dst, ty, src: v } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(ty, src(&st.regs, v));
+            Ok(())
+        }),
+        Op::ReadStream { dst, port } => {
+            let name = ck.stream_ins[port as usize].clone();
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let p = port as usize;
+                let cur = st.cursors[p];
+                if cur < st.in_bufs[p].len() {
+                    st.regs[dst as usize] = st.in_bufs[p][cur];
+                    st.cursors[p] = cur + 1;
+                    Ok(())
+                } else {
+                    Err(ExecError::StreamUnderflow(name.clone()))
+                }
+            })
+        }
+        Op::WriteStream { port, src: v } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let vv = src(&st.regs, v);
+            st.out_bufs[port as usize].push(vv);
+            Ok(())
+        }),
+        Op::LoopInit {
+            var,
+            ty,
+            lo,
+            hi_copy,
+        } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let lv = src(&st.regs, lo);
+            if let Some((hr, hs)) = hi_copy {
+                st.regs[hr as usize] = src(&st.regs, hs);
+            }
+            st.regs[var as usize] = wrap(ty, lv);
+            Ok(())
+        }),
+        Op::ShlPow2 { dst, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = src(&st.regs, a).wrapping_shl(k as u32);
+            Ok(())
+        }),
+        Op::ShrImm { dst, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = src(&st.regs, a).wrapping_shr(k as u32);
+            Ok(())
+        }),
+        Op::DivPow2 { dst, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = div_pow2(src(&st.regs, a), k);
+            Ok(())
+        }),
+        Op::ModPow2 { dst, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = mod_pow2(src(&st.regs, a), k);
+            Ok(())
+        }),
+        Op::BinTo { op, dst, ty, a, b } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let av = src(&st.regs, a);
+            let bv = src(&st.regs, b);
+            st.regs[dst as usize] = wrap(ty, bin_infallible(op, av, bv));
+            Ok(())
+        }),
+        Op::BinCheckedTo { op, dst, ty, a, b } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let av = src(&st.regs, a);
+            let bv = src(&st.regs, b);
+            st.regs[dst as usize] = wrap(ty, bin_checked(op, av, bv)?);
+            Ok(())
+        }),
+        Op::UnTo { op, dst, ty, a } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(ty, un_op(op, src(&st.regs, a)));
+            Ok(())
+        }),
+        Op::SelectTo { dst, ty, c, a, b } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let cv = src(&st.regs, c);
+            let av = src(&st.regs, a);
+            let bv = src(&st.regs, b);
+            st.regs[dst as usize] = wrap(ty, if cv != 0 { av } else { bv });
+            Ok(())
+        }),
+        Op::LoadIdxTo { dst, ty, arr, idx } => {
+            let info = ck.arrays[arr as usize].clone();
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let i = src(&st.regs, idx);
+                if i < 0 || i as u64 >= info.len as u64 {
+                    return Err(oob(&info.name, i, info.len));
+                }
+                st.regs[dst as usize] = wrap(ty, st.arena[info.base as usize + i as usize]);
+                Ok(())
+            })
+        }
+        Op::ReadStreamTo { dst, ty, port } => {
+            let name = ck.stream_ins[port as usize].clone();
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let p = port as usize;
+                let cur = st.cursors[p];
+                if cur < st.in_bufs[p].len() {
+                    st.regs[dst as usize] = wrap(ty, st.in_bufs[p][cur]);
+                    st.cursors[p] = cur + 1;
+                    Ok(())
+                } else {
+                    Err(ExecError::StreamUnderflow(name.clone()))
+                }
+            })
+        }
+        Op::ShlPow2To { dst, ty, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(ty, src(&st.regs, a).wrapping_shl(k as u32));
+            Ok(())
+        }),
+        Op::ShrImmTo { dst, ty, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(ty, src(&st.regs, a).wrapping_shr(k as u32));
+            Ok(())
+        }),
+        Op::DivPow2To { dst, ty, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(ty, div_pow2(src(&st.regs, a), k));
+            Ok(())
+        }),
+        Op::ModPow2To { dst, ty, a, k } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(ty, mod_pow2(src(&st.regs, a), k));
+            Ok(())
+        }),
+        Op::ShrAnd { dst, a, k, mask } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = src(&st.regs, a).wrapping_shr(k as u32) & mask;
+            Ok(())
+        }),
+        Op::ShrAndTo {
+            dst,
+            ty,
+            a,
+            k,
+            mask,
+        } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(ty, src(&st.regs, a).wrapping_shr(k as u32) & mask);
+            Ok(())
+        }),
+        Op::MulAcc { dst, a, b, acc } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] =
+                src(&st.regs, acc).wrapping_add(src(&st.regs, a).wrapping_mul(src(&st.regs, b)));
+            Ok(())
+        }),
+        Op::MulAccTo { dst, ty, a, b, acc } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            st.regs[dst as usize] = wrap(
+                ty,
+                src(&st.regs, acc).wrapping_add(src(&st.regs, a).wrapping_mul(src(&st.regs, b))),
+            );
+            Ok(())
+        }),
+        Op::CmpSelect {
+            op,
+            dst,
+            x,
+            y,
+            a,
+            b,
+        } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let c = bin_infallible(op, src(&st.regs, x), src(&st.regs, y));
+            st.regs[dst as usize] = if c != 0 {
+                src(&st.regs, a)
+            } else {
+                src(&st.regs, b)
+            };
+            Ok(())
+        }),
+        Op::CmpSelectTo {
+            op,
+            dst,
+            ty,
+            x,
+            y,
+            a,
+            b,
+        } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let c = bin_infallible(op, src(&st.regs, x), src(&st.regs, y));
+            st.regs[dst as usize] = wrap(
+                ty,
+                if c != 0 {
+                    src(&st.regs, a)
+                } else {
+                    src(&st.regs, b)
+                },
+            );
+            Ok(())
+        }),
+        Op::SelectWrite { port, c, a, b } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let v = if src(&st.regs, c) != 0 {
+                src(&st.regs, a)
+            } else {
+                src(&st.regs, b)
+            };
+            st.out_bufs[port as usize].push(v);
+            Ok(())
+        }),
+        Op::CmpSelectWrite {
+            op,
+            port,
+            x,
+            y,
+            a,
+            b,
+        } => Box::new(move |st| {
+            tick(st, pc, d)?;
+            let c = bin_infallible(op, src(&st.regs, x), src(&st.regs, y));
+            let v = if c != 0 {
+                src(&st.regs, a)
+            } else {
+                src(&st.regs, b)
+            };
+            st.out_bufs[port as usize].push(v);
+            Ok(())
+        }),
+        Op::IncIdx { arr, idx, v, s2 } => {
+            let info = ck.arrays[arr as usize].clone();
+            let s2 = s2 as u64;
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let i = src(&st.regs, idx);
+                if i < 0 || i as u64 >= info.len as u64 {
+                    return Err(oob(&info.name, i, info.len));
+                }
+                tick_s2(st, s2)?;
+                let slot = info.base as usize + i as usize;
+                st.arena[slot] = wrap(info.ty, st.arena[slot].wrapping_add(src(&st.regs, v)));
+                Ok(())
+            })
+        }
+        Op::WriteStream2 {
+            port_a,
+            src_a,
+            port_b,
+            src_b,
+            s2,
+        } => {
+            let s2 = s2 as u64;
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let va = src(&st.regs, src_a);
+                st.out_bufs[port_a as usize].push(va);
+                tick_s2(st, s2)?;
+                let vb = src(&st.regs, src_b);
+                st.out_bufs[port_b as usize].push(vb);
+                Ok(())
+            })
+        }
+        Op::LoadIdxWrite { arr, idx, port, s2 } => {
+            let info = ck.arrays[arr as usize].clone();
+            let s2 = s2 as u64;
+            Box::new(move |st| {
+                tick(st, pc, d)?;
+                let i = src(&st.regs, idx);
+                if i < 0 || i as u64 >= info.len as u64 {
+                    return Err(oob(&info.name, i, info.len));
+                }
+                let v = st.arena[info.base as usize + i as usize];
+                tick_s2(st, s2)?;
+                st.out_bufs[port as usize].push(v);
+                Ok(())
+            })
+        }
+        // Control ops are block terminators, never straight-line.
+        Op::LoopHead { .. } | Op::LoopBack { .. } | Op::BranchIfZero { .. } | Op::Jump { .. } => {
+            unreachable!("control op lowered as straight-line")
+        }
+        Op::Fused(_) => unreachable!("superinstructions live only in the lane-VM op stream"),
+    }
+}
+
+fn is_control(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::LoopHead { .. } | Op::LoopBack { .. } | Op::BranchIfZero { .. } | Op::Jump { .. }
+    )
+}
+
+/// Lower a compiled kernel to threaded code. Total: every bytecode
+/// program lowers.
+pub fn lower(ck: &Arc<CompiledKernel>) -> NativeKernel {
+    let n = ck.ops.len();
+    // Block leaders: entry, every jump target, and the op after every
+    // control op (control ops end blocks).
+    let mut leader = vec![false; n + 1];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for (pc, op) in ck.ops.iter().enumerate() {
+        match op {
+            Op::LoopHead { exit, .. } => {
+                leader[*exit as usize] = true;
+                leader[pc + 1] = true;
+            }
+            Op::LoopBack { body, .. } => {
+                leader[*body as usize] = true;
+                leader[pc + 1] = true;
+            }
+            Op::BranchIfZero { target, .. } => {
+                leader[*target as usize] = true;
+                leader[pc + 1] = true;
+            }
+            Op::Jump { target } => {
+                leader[*target as usize] = true;
+                leader[pc + 1] = true;
+            }
+            _ => {}
+        }
+    }
+
+    // Map leader pc -> block index.
+    let mut block_of = vec![END; n + 1];
+    let mut starts = Vec::new();
+    for (pc, l) in leader.iter().enumerate().take(n) {
+        if *l {
+            block_of[pc] = starts.len() as u32;
+            starts.push(pc);
+        }
+    }
+    let mut blocks: Vec<BlockFn> = Vec::with_capacity(starts.len());
+    for (bi, &start) in starts.iter().enumerate() {
+        let end_excl = starts.get(bi + 1).copied().unwrap_or(n);
+        // Straight-line prefix: all ops up to (not including) a control
+        // op; the control op (if any) is the terminator.
+        let mut term_pc = None;
+        let mut body: Option<OpFn> = None;
+        for pc in start..end_excl {
+            if is_control(&ck.ops[pc]) {
+                term_pc = Some(pc);
+                break;
+            }
+            let f = lower_op(ck, pc);
+            body = Some(match body {
+                None => f,
+                Some(b) => seq(b, f),
+            });
+        }
+
+        let block: BlockFn = match term_pc {
+            None => {
+                // Fall through to the next leader (or END).
+                let next = resolve_or_end(&block_of, end_excl, n);
+                match body {
+                    Some(b) => Box::new(move |st| {
+                        b(st)?;
+                        Ok(next)
+                    }),
+                    None => Box::new(move |_| Ok(next)),
+                }
+            }
+            Some(pc) => {
+                let d = ck.steps[pc] as u64;
+                let term: BlockFn = match ck.ops[pc].clone() {
+                    Op::LoopHead { var, hi, exit } => {
+                        let taken = resolve_or_end(&block_of, pc + 1, n);
+                        let not = resolve_or_end(&block_of, exit as usize, n);
+                        Box::new(move |st| {
+                            tick(st, pc, d)?;
+                            if st.regs[var as usize] < src(&st.regs, hi) {
+                                st.dyn_branches += 1;
+                                Ok(taken)
+                            } else {
+                                Ok(not)
+                            }
+                        })
+                    }
+                    Op::LoopBack { var, ty, hi, body } => {
+                        let taken = resolve_or_end(&block_of, body as usize, n);
+                        let not = resolve_or_end(&block_of, pc + 1, n);
+                        Box::new(move |st| {
+                            tick(st, pc, d)?;
+                            let nv = wrap(ty, st.regs[var as usize].wrapping_add(1));
+                            st.regs[var as usize] = nv;
+                            if nv < src(&st.regs, hi) {
+                                st.dyn_branches += 1;
+                                Ok(taken)
+                            } else {
+                                Ok(not)
+                            }
+                        })
+                    }
+                    Op::BranchIfZero { cond, target } => {
+                        let zero = resolve_or_end(&block_of, target as usize, n);
+                        let nonzero = resolve_or_end(&block_of, pc + 1, n);
+                        Box::new(move |st| {
+                            tick(st, pc, d)?;
+                            if src(&st.regs, cond) == 0 {
+                                Ok(zero)
+                            } else {
+                                Ok(nonzero)
+                            }
+                        })
+                    }
+                    Op::Jump { target } => {
+                        let next = resolve_or_end(&block_of, target as usize, n);
+                        Box::new(move |st| {
+                            tick(st, pc, d)?;
+                            Ok(next)
+                        })
+                    }
+                    _ => unreachable!("non-control terminator"),
+                };
+                match body {
+                    Some(b) => Box::new(move |st| {
+                        b(st)?;
+                        term(st)
+                    }),
+                    None => term,
+                }
+            }
+        };
+        blocks.push(block);
+    }
+
+    NativeKernel {
+        ck: Arc::clone(ck),
+        entry: if n == 0 { END } else { 0 },
+        blocks,
+    }
+}
+
+#[inline]
+fn resolve_or_end(block_of: &[u32], pc: usize, n: usize) -> u32 {
+    if pc >= n {
+        END
+    } else {
+        block_of[pc]
+    }
+}
+
+impl NativeKernel {
+    /// The bytecode this native code was lowered from.
+    pub fn compiled(&self) -> &Arc<CompiledKernel> {
+        &self.ck
+    }
+
+    /// Run with the default step limit; see [`NativeKernel::run_counted`].
+    pub fn run(
+        &self,
+        scalar_inputs: &HashMap<String, i64>,
+        streams: &mut StreamBundle,
+    ) -> Result<ExecOutcome, ExecError> {
+        self.run_counted(scalar_inputs, streams, DEFAULT_STEP_LIMIT)
+            .0
+    }
+
+    /// Execute the threaded code. Bit-identical to
+    /// [`CompiledKernel::run_counted`] in result, stats, errors and
+    /// bundle effects; the returned count is **block** invocations (the
+    /// native tier's dispatch unit).
+    pub fn run_counted(
+        &self,
+        scalar_inputs: &HashMap<String, i64>,
+        streams: &mut StreamBundle,
+        limit: u64,
+    ) -> (Result<ExecOutcome, ExecError>, u64) {
+        let ck = &*self.ck;
+        let mut regs = vec![0i64; ck.num_regs as usize];
+        for s in &ck.scalar_seed {
+            let v = if s.is_input {
+                match scalar_inputs.get(&s.name) {
+                    Some(v) => *v,
+                    None => {
+                        return (Err(ExecError::MissingScalarInput(s.name.clone())), 0);
+                    }
+                }
+            } else {
+                0
+            };
+            regs[s.reg as usize] = s.ty.wrap(v);
+        }
+
+        let in_slots: Vec<Option<usize>> = ck
+            .stream_ins
+            .iter()
+            .map(|p| streams.input_index(p))
+            .collect();
+        let out_slots: Vec<usize> = ck
+            .stream_outs
+            .iter()
+            .map(|p| streams.ensure_output(p))
+            .collect();
+        let in_bufs: Vec<Vec<i64>> = in_slots
+            .iter()
+            .map(|s| s.map(|i| streams.input_snapshot_at(i)).unwrap_or_default())
+            .collect();
+
+        let mut st = NState {
+            regs,
+            arena: vec![0i64; ck.arena_len as usize],
+            cursors: vec![0usize; in_bufs.len()],
+            in_bufs,
+            out_bufs: vec![Vec::new(); out_slots.len()],
+            counts: vec![0u64; ck.ops.len()],
+            steps: 0,
+            dyn_branches: 0,
+            limit,
+        };
+
+        let mut dispatches = 0u64;
+        let mut b = self.entry;
+        let mut result = Ok(());
+        while b != END {
+            dispatches += 1;
+            match self.blocks[b as usize](&mut st) {
+                Ok(next) => b = next,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+
+        for (slot, cur) in in_slots.iter().zip(&st.cursors) {
+            if let Some(s) = slot {
+                streams.drain_input_at(*s, *cur);
+            }
+        }
+        for (slot, buf) in out_slots.iter().zip(&st.out_bufs) {
+            streams.extend_output_at(*slot, buf);
+        }
+
+        if let Err(e) = result {
+            return (Err(e), dispatches);
+        }
+        let acc = ck.replay(&st.counts, st.dyn_branches);
+        debug_assert_eq!(acc[STAT_STEPS], st.steps);
+        let mut scalar_outputs = HashMap::new();
+        for (name, reg) in &ck.scalar_outs {
+            scalar_outputs.insert(name.clone(), st.regs[*reg as usize]);
+        }
+        (
+            Ok(ExecOutcome {
+                scalar_outputs,
+                stats: stats_from(&acc),
+            }),
+            dispatches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::interp::Interpreter;
+    use crate::ir::Kernel;
+    use crate::types::Ty;
+
+    fn assert_native_equiv(
+        k: &Kernel,
+        inputs: &[(&str, i64)],
+        feed: &[(&str, Vec<i64>)],
+        limit: u64,
+    ) {
+        let ck = Arc::new(CompiledKernel::compile(k));
+        let nk = lower(&ck);
+        let inputs: HashMap<String, i64> =
+            inputs.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+
+        let mk = |feed: &[(&str, Vec<i64>)]| {
+            let mut b = StreamBundle::new();
+            for (p, t) in feed {
+                b.feed(p, t.iter().copied());
+            }
+            b
+        };
+        let mut nb = mk(feed);
+        let mut vb = mk(feed);
+        let mut ib = mk(feed);
+        let (nres, _) = nk.run_counted(&inputs, &mut nb, limit);
+        let vres = ck.run_with_step_limit(&inputs, &mut vb, limit);
+        let ires = Interpreter::with_step_limit(k, limit).run(&inputs, &mut ib);
+        match (&nres, &vres) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.scalar_outputs, b.scalar_outputs, "{}", k.name);
+                assert_eq!(a.stats, b.stats, "{}", k.name);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{}", k.name),
+            _ => panic!("{}: native {:?} vs vm {:?}", k.name, nres, vres),
+        }
+        assert_eq!(nres.is_ok(), ires.is_ok(), "{} oracle", k.name);
+        let no: Vec<_> = nb.outputs().collect();
+        let vo: Vec<_> = vb.outputs().collect();
+        assert_eq!(no, vo, "{} bundle outputs", k.name);
+    }
+
+    #[test]
+    fn straight_line_and_loops_match_vm() {
+        let k = KernelBuilder::new("sum")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .scalar_out("acc", Ty::U32)
+            .body(vec![
+                assign("acc", c(0)),
+                for_pipelined(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![assign("acc", add(var("acc"), read("in")))],
+                ),
+            ])
+            .build();
+        assert_native_equiv(&k, &[("n", 4)], &[("in", vec![1, 2, 3, 4])], 1 << 40);
+        // Underflow mid-loop.
+        assert_native_equiv(&k, &[("n", 4)], &[("in", vec![1, 2])], 1 << 40);
+        // Step limits at every interesting point.
+        for limit in 0..40 {
+            assert_native_equiv(&k, &[("n", 4)], &[("in", vec![1, 2, 3, 4])], limit);
+        }
+    }
+
+    #[test]
+    fn if_else_and_histogram_match_vm() {
+        let k = KernelBuilder::new("histsel")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::I32)
+            .stream_out("out", Ty::I32)
+            .scalar_out("pos", Ty::U32)
+            .array("bins", Ty::U32, 4)
+            .local("v", Ty::I32)
+            .body(vec![
+                assign("pos", c(0)),
+                for_(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![
+                        assign("v", read("in")),
+                        if_else(
+                            lt(var("v"), c(0)),
+                            vec![write("out", neg(var("v")))],
+                            vec![
+                                assign("pos", add(var("pos"), c(1))),
+                                store(
+                                    "bins",
+                                    band(var("v"), c(3)),
+                                    add(idx("bins", band(var("v"), c(3))), c(1)),
+                                ),
+                                write("out", var("v")),
+                            ],
+                        ),
+                    ],
+                ),
+            ])
+            .build();
+        assert_native_equiv(
+            &k,
+            &[("n", 6)],
+            &[("in", vec![3, -1, 0, -7, 2, 2])],
+            1 << 40,
+        );
+        for limit in 0..60 {
+            assert_native_equiv(&k, &[("n", 6)], &[("in", vec![3, -1, 0, -7, 2, 2])], limit);
+        }
+    }
+
+    #[test]
+    fn native_dispatches_fewer_than_vm() {
+        let k = KernelBuilder::new("chain")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .scalar_out("acc", Ty::U32)
+            .body(vec![
+                assign("acc", c(0)),
+                for_pipelined(
+                    "i",
+                    c(0),
+                    var("n"),
+                    vec![assign("acc", add(var("acc"), read("in")))],
+                ),
+            ])
+            .build();
+        let ck = Arc::new(CompiledKernel::compile(&k));
+        let nk = lower(&ck);
+        let inputs: HashMap<String, i64> = [("n".to_string(), 64i64)].into_iter().collect();
+        let mut b1 = StreamBundle::new();
+        b1.feed("in", (0..64).map(|v| v & 0xff));
+        let mut b2 = StreamBundle::new();
+        b2.feed("in", (0..64).map(|v| v & 0xff));
+        let (nres, nd) = nk.run_counted(&inputs, &mut b1, 1 << 40);
+        let (vres, vd) = ck.run_counted(&inputs, &mut b2, 1 << 40);
+        assert!(nres.is_ok() && vres.is_ok());
+        assert!(nd < vd, "native dispatches {nd} must beat vm {vd}");
+    }
+
+    #[test]
+    fn missing_input_has_no_effects() {
+        let k = KernelBuilder::new("seed")
+            .scalar_in("n", Ty::U32)
+            .stream_in("in", Ty::U8)
+            .stream_out("out", Ty::U8)
+            .body(vec![write("out", read("in"))])
+            .build();
+        let ck = Arc::new(CompiledKernel::compile(&k));
+        let nk = lower(&ck);
+        let mut b = StreamBundle::new();
+        b.feed("in", [1, 2]);
+        let (res, d) = nk.run_counted(&HashMap::new(), &mut b, 1 << 40);
+        assert!(matches!(res, Err(ExecError::MissingScalarInput(_))));
+        assert_eq!(d, 0);
+        assert_eq!(b.outputs().count(), 0);
+        assert_eq!(b.input_snapshot_at(0).len(), 2);
+    }
+}

@@ -15,6 +15,33 @@ use std::collections::HashMap;
 /// Default step budget, matching [`Interpreter::new`](crate::interp::Interpreter::new).
 pub const DEFAULT_STEP_LIMIT: u64 = 500_000_000;
 
+/// Hot-loop accounting shared by the scalar VM and the native tier
+/// ([`crate::native`]): per-op execution counts, the exact running
+/// `steps` for the `StepLimit` check, and the data-dependent loop-branch
+/// tally. The class counters are only observable on success, so they are
+/// reconstructed on exit via [`CompiledKernel::replay`].
+pub(crate) struct ExecCtx {
+    pub(crate) counts: Vec<u64>,
+    pub(crate) steps_acc: u64,
+    pub(crate) dyn_branches: u64,
+}
+
+impl ExecCtx {
+    pub(crate) fn new(num_ops: usize) -> Self {
+        ExecCtx {
+            counts: vec![0u64; num_ops],
+            steps_acc: 0,
+            dyn_branches: 0,
+        }
+    }
+
+    /// Total op dispatches so far (the denominator of the lane-
+    /// amortization metric surfaced by `apps::batch`).
+    pub(crate) fn dispatches(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 impl CompiledKernel {
     /// Execute with the default step limit.
     pub fn run(
@@ -33,12 +60,45 @@ impl CompiledKernel {
         streams: &mut StreamBundle,
         limit: u64,
     ) -> Result<ExecOutcome, ExecError> {
+        self.run_counted(scalar_inputs, streams, limit).0
+    }
+
+    /// Reconstruct the stat accumulator lanes from per-op execution
+    /// counts plus the dynamic branch tally. Shared by the scalar VM,
+    /// the lane VM and the native tier.
+    pub(crate) fn replay(&self, counts: &[u64], dyn_branches: u64) -> [u64; 11] {
+        let mut acc = [0u64; 11];
+        for (c, d) in counts.iter().zip(self.deltas.iter()) {
+            if *c != 0 {
+                for (a, v) in acc.iter_mut().zip(d.iter()) {
+                    *a += *v as u64 * *c;
+                }
+            }
+        }
+        acc[STAT_BRANCHES] += dyn_branches;
+        acc
+    }
+
+    /// Like [`CompiledKernel::run_with_step_limit`], but also reports
+    /// how many VM op dispatches the invocation cost (on success *and*
+    /// on error). Dispatches are what lane batching amortizes, so the
+    /// batch drivers surface them next to the lane-invariant
+    /// [`ExecStats::steps`](crate::interp::ExecStats) count.
+    pub fn run_counted(
+        &self,
+        scalar_inputs: &HashMap<String, i64>,
+        streams: &mut StreamBundle,
+        limit: u64,
+    ) -> (Result<ExecOutcome, ExecError>, u64) {
         let mut regs = vec![0i64; self.num_regs as usize];
         for s in &self.scalar_seed {
             let v = if s.is_input {
-                *scalar_inputs
-                    .get(&s.name)
-                    .ok_or_else(|| ExecError::MissingScalarInput(s.name.clone()))?
+                match scalar_inputs.get(&s.name) {
+                    Some(v) => *v,
+                    None => {
+                        return (Err(ExecError::MissingScalarInput(s.name.clone())), 0);
+                    }
+                }
             } else {
                 0
             };
@@ -76,7 +136,9 @@ impl CompiledKernel {
         let mut cursors = vec![0usize; in_bufs.len()];
         let mut out_bufs: Vec<Vec<i64>> = vec![Vec::new(); out_slots.len()];
 
+        let mut ctx = ExecCtx::new(self.ops.len());
         let result = self.exec(
+            &mut ctx,
             &mut regs,
             &mut arena,
             &in_bufs,
@@ -94,15 +156,23 @@ impl CompiledKernel {
             streams.extend_output_at(*slot, buf);
         }
 
-        let acc = result?;
+        let dispatches = ctx.dispatches();
+        if let Err(e) = result {
+            return (Err(e), dispatches);
+        }
+        let acc = self.replay(&ctx.counts, ctx.dyn_branches);
+        debug_assert_eq!(acc[STAT_STEPS], ctx.steps_acc);
         let mut scalar_outputs = HashMap::new();
         for (name, reg) in &self.scalar_outs {
             scalar_outputs.insert(name.clone(), regs[*reg as usize]);
         }
-        Ok(ExecOutcome {
-            scalar_outputs,
-            stats: stats_from(&acc),
-        })
+        (
+            Ok(ExecOutcome {
+                scalar_outputs,
+                stats: stats_from(&acc),
+            }),
+            dispatches,
+        )
     }
 
     /// The dispatch loop, running over dense registers, the flat arena
@@ -120,18 +190,20 @@ impl CompiledKernel {
     /// check-on-tick: an op with a zero `steps` delta leaves `steps_acc`
     /// unchanged, and the previous tick already proved that value is
     /// within the limit.
+    #[allow(clippy::too_many_arguments)]
     fn exec(
         &self,
+        ctx: &mut ExecCtx,
         regs: &mut [i64],
         arena: &mut [i64],
         in_bufs: &[Vec<i64>],
         cursors: &mut [usize],
         out_bufs: &mut [Vec<i64>],
         limit: u64,
-    ) -> Result<[u64; 11], ExecError> {
-        let mut counts = vec![0u64; self.ops.len()];
-        let mut steps_acc = 0u64;
-        let mut dyn_branches = 0u64;
+    ) -> Result<(), ExecError> {
+        let counts = &mut ctx.counts[..];
+        let mut steps_acc = ctx.steps_acc;
+        let mut dyn_branches = ctx.dyn_branches;
         let ops = &self.ops[..];
         let steps_d = &self.steps[..];
         let mut pc = 0usize;
@@ -424,25 +496,20 @@ impl CompiledKernel {
                     }
                     out_bufs[*port as usize].push(v);
                 }
+                Op::Fused(_) => {
+                    unreachable!("superinstructions live only in the lane-VM op stream")
+                }
             }
             pc += 1;
         }
 
-        let mut acc = [0u64; 11];
-        for (c, d) in counts.iter().zip(self.deltas.iter()) {
-            if *c != 0 {
-                for (a, v) in acc.iter_mut().zip(d.iter()) {
-                    *a += *v as u64 * *c;
-                }
-            }
-        }
-        acc[STAT_BRANCHES] += dyn_branches;
-        debug_assert_eq!(acc[STAT_STEPS], steps_acc);
-        Ok(acc)
+        ctx.steps_acc = steps_acc;
+        ctx.dyn_branches = dyn_branches;
+        Ok(())
     }
 }
 
-fn stats_from(acc: &[u64; 11]) -> ExecStats {
+pub(crate) fn stats_from(acc: &[u64; 11]) -> ExecStats {
     ExecStats {
         steps: acc[0],
         adds: acc[1],
@@ -465,7 +532,7 @@ fn stats_from(acc: &[u64; 11]) -> ExecStats {
 /// focused test below and the differential property suite hold the two
 /// implementations identical over the full value range.
 #[inline(always)]
-fn wrap(ty: Ty, v: i64) -> i64 {
+pub(crate) fn wrap(ty: Ty, v: i64) -> i64 {
     let s = (64 - ty.bits) as u32;
     if ty.signed {
         (v << s) >> s
@@ -478,7 +545,7 @@ fn wrap(ty: Ty, v: i64) -> i64 {
 /// the arithmetic shift rounds toward zero instead of -inf. Branchless;
 /// never overflows (the bias is only added when `a < 0`).
 #[inline(always)]
-fn div_pow2(a: i64, k: u8) -> i64 {
+pub(crate) fn div_pow2(a: i64, k: u8) -> i64 {
     let d = 1i64 << k;
     a.wrapping_add((a >> 63) & (d - 1)) >> k
 }
@@ -487,7 +554,7 @@ fn div_pow2(a: i64, k: u8) -> i64 {
 /// below zero when the dividend was negative and the masked bits were
 /// non-zero.
 #[inline(always)]
-fn mod_pow2(a: i64, k: u8) -> i64 {
+pub(crate) fn mod_pow2(a: i64, k: u8) -> i64 {
     let d = 1i64 << k;
     let r = a & (d - 1);
     if a < 0 && r != 0 {
@@ -498,7 +565,7 @@ fn mod_pow2(a: i64, k: u8) -> i64 {
 }
 
 #[inline(always)]
-fn un_op(op: crate::ir::UnOp, a: i64) -> i64 {
+pub(crate) fn un_op(op: crate::ir::UnOp, a: i64) -> i64 {
     match op {
         crate::ir::UnOp::Neg => a.wrapping_neg(),
         crate::ir::UnOp::Not => !a,
@@ -506,7 +573,7 @@ fn un_op(op: crate::ir::UnOp, a: i64) -> i64 {
 }
 
 #[inline(always)]
-fn src(regs: &[i64], s: Src) -> i64 {
+pub(crate) fn src(regs: &[i64], s: Src) -> i64 {
     match s {
         Src::Reg(r) => regs[r as usize],
         Src::Imm(v) => v,
@@ -516,7 +583,7 @@ fn src(regs: &[i64], s: Src) -> i64 {
 /// The operators [`Op::Bin`] can carry — everything that cannot fail.
 /// `Div`/`Mod`/`Shl`/`Shr` lower to [`Op::BinChecked`] at compile time.
 #[inline(always)]
-fn bin_infallible(op: crate::ir::BinOp, a: i64, b: i64) -> i64 {
+pub(crate) fn bin_infallible(op: crate::ir::BinOp, a: i64, b: i64) -> i64 {
     use crate::ir::BinOp::*;
     match op {
         Add => a.wrapping_add(b),
@@ -536,7 +603,7 @@ fn bin_infallible(op: crate::ir::BinOp, a: i64, b: i64) -> i64 {
 }
 
 #[inline(always)]
-fn bin_checked(op: crate::ir::BinOp, a: i64, b: i64) -> Result<i64, ExecError> {
+pub(crate) fn bin_checked(op: crate::ir::BinOp, a: i64, b: i64) -> Result<i64, ExecError> {
     use crate::ir::BinOp::*;
     Ok(match op {
         Div | Mod => {

@@ -117,6 +117,10 @@ pub enum FlowEvent {
     /// relative to distinct kernels means compiled code is not being
     /// reused across invocations.
     KernelCompiled { kernel: String },
+    /// A VM-cache lookup was satisfied by an already-lowered execution
+    /// unit — the batch/serve hot paths hitting compiled code instead
+    /// of paying compile + native lowering again.
+    KernelVmCacheHit { kernel: String },
     /// One kernel finished HLS: scheduling and resource statistics from
     /// its synthesis report.
     HlsKernelSynthesized {
@@ -350,6 +354,9 @@ impl fmt::Display for FlowEvent {
             }
             FlowEvent::KernelCompiled { kernel } => {
                 write!(f, "[VM] compiled '{kernel}' to bytecode")
+            }
+            FlowEvent::KernelVmCacheHit { kernel } => {
+                write!(f, "[VM] cache hit for '{kernel}'")
             }
             FlowEvent::HlsKernelSynthesized {
                 kernel,

@@ -38,6 +38,11 @@ pub struct FlowMetrics {
     /// VM-cache when compiled-kernel caching works; higher means
     /// recompilation churn).
     pub kernel_compiles: u64,
+    /// VM-cache lookups satisfied by an already-lowered execution unit.
+    pub vm_compile_hits: u64,
+    /// VM-cache lookups that had to compile + lower (== `kernel_compiles`
+    /// when all compiles go through the engine cache).
+    pub vm_compile_misses: u64,
     /// Simulated-annealing temperature steps the placer reported.
     pub placement_steps: u64,
     /// Final half-perimeter wirelength after placement.
@@ -162,7 +167,11 @@ impl FlowMetrics {
             FlowEvent::HlsCacheCorrupt { .. } => self.hls_cache_corrupt += 1,
             FlowEvent::HlsCacheStored { .. } => self.hls_cache_stored += 1,
             FlowEvent::HlsKernelSynthesized { .. } => self.kernels_synthesized += 1,
-            FlowEvent::KernelCompiled { .. } => self.kernel_compiles += 1,
+            FlowEvent::KernelCompiled { .. } => {
+                self.kernel_compiles += 1;
+                self.vm_compile_misses += 1;
+            }
+            FlowEvent::KernelVmCacheHit { .. } => self.vm_compile_hits += 1,
             FlowEvent::PlacementProgress { .. } => self.placement_steps += 1,
             FlowEvent::PlacementDone { hpwl, .. } => self.placement_hpwl = *hpwl,
             FlowEvent::RouteDone {

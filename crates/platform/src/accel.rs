@@ -4,12 +4,14 @@ use accelsoc_hls::report::HlsReport;
 use accelsoc_kernel::compile::CompiledKernel;
 use accelsoc_kernel::interp::{ExecError, StreamBundle};
 use accelsoc_kernel::ir::Kernel;
+use accelsoc_kernel::ExecUnit;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// One accelerator placed in the PL. Its function is the kernel VM
-/// executing the kernel's compiled bytecode (bit-identical to the
-/// reference interpreter); its timing is derived from the HLS report: a
+/// One accelerator placed in the PL. Its function is the kernel's
+/// execution unit — native threaded code for single invocations, the
+/// batch-lane VM for same-arch groups, both bit-identical to the
+/// reference interpreter; its timing is derived from the HLS report: a
 /// streaming invocation processing `n` tokens costs
 /// `startup + ii_max * n` fabric cycles, where `ii_max` is the worst
 /// initiation interval among the kernel's pipelined loops (1 if none —
@@ -18,10 +20,10 @@ use std::sync::Arc;
 pub struct AccelInstance {
     pub kernel: Kernel,
     pub report: HlsReport,
-    /// The kernel lowered to VM bytecode; shared (via the flow engine's
-    /// VM cache) across every instance of the same kernel, so each
-    /// kernel compiles once per process, not once per board.
-    compiled: Arc<CompiledKernel>,
+    /// The kernel's lowered execution unit; shared (via the flow
+    /// engine's VM cache) across every instance of the same kernel, so
+    /// each kernel compiles + lowers once per process, not per board.
+    unit: Arc<ExecUnit>,
     /// Fabric cycles of fixed startup per invocation.
     pub startup_cycles: u64,
     /// Scalar register state (AXI-Lite visible arguments).
@@ -33,21 +35,27 @@ pub struct AccelInstance {
 }
 
 impl AccelInstance {
-    /// Standalone constructor: compiles the kernel here. Prefer
-    /// [`AccelInstance::with_compiled`] when a flow engine's VM cache
-    /// already holds the bytecode.
+    /// Standalone constructor: compiles + lowers the kernel here.
+    /// Prefer [`AccelInstance::with_unit`] when a flow engine's VM
+    /// cache already holds the execution unit.
     pub fn new(kernel: Kernel, report: HlsReport) -> Self {
-        let compiled = Arc::new(CompiledKernel::compile(&kernel));
-        AccelInstance::with_compiled(kernel, report, compiled)
+        let unit = Arc::new(ExecUnit::new(&kernel));
+        AccelInstance::with_unit(kernel, report, unit)
     }
 
-    /// Construct around an already-compiled kernel (typically an
-    /// `Arc` handed out by the flow engine's VM cache).
+    /// Construct around an already-compiled kernel (an `Arc` of the
+    /// tier-2 bytecode); lowers the native tier locally.
     pub fn with_compiled(kernel: Kernel, report: HlsReport, compiled: Arc<CompiledKernel>) -> Self {
+        AccelInstance::with_unit(kernel, report, Arc::new(ExecUnit::from_compiled(compiled)))
+    }
+
+    /// Construct around an execution unit handed out by the flow
+    /// engine's VM cache.
+    pub fn with_unit(kernel: Kernel, report: HlsReport, unit: Arc<ExecUnit>) -> Self {
         AccelInstance {
             kernel,
             report,
-            compiled,
+            unit,
             startup_cycles: 40,
             scalar_args: HashMap::new(),
             busy_cycles: 0,
@@ -83,7 +91,7 @@ impl AccelInstance {
         streams: &mut StreamBundle,
     ) -> Result<(HashMap<String, i64>, u64), ExecError> {
         let in_tokens: u64 = streams.input_tokens();
-        let outcome = self.compiled.run(&self.scalar_args, streams)?;
+        let outcome = self.unit.run(&self.scalar_args, streams)?;
         // Timing uses whichever is larger: tokens consumed or produced —
         // source-style kernels are paced by their output stream.
         let out_tokens: u64 = streams.output_tokens();
@@ -91,6 +99,38 @@ impl AccelInstance {
         self.busy_cycles += cycles;
         self.invocations += 1;
         Ok((outcome.scalar_outputs, cycles))
+    }
+
+    /// Fire one invocation per bundle as a single lane group on the
+    /// batch VM: one decoded instruction stream drives every lane, so
+    /// dispatch overhead is amortized across the batch while results,
+    /// errors and timing stay per-lane (lane `l` is bit-identical to
+    /// `invoke(&mut streams[l])` on a fresh instance). Fabric-cycle
+    /// accounting still charges each lane its own
+    /// `startup + ii_max * tokens` — lane batching is a host-side
+    /// optimization and must not change modeled hardware time.
+    #[allow(clippy::type_complexity)]
+    pub fn invoke_batch(
+        &mut self,
+        streams: &mut [StreamBundle],
+    ) -> Vec<Result<(HashMap<String, i64>, u64), ExecError>> {
+        let in_tokens: Vec<u64> = streams.iter().map(|s| s.input_tokens()).collect();
+        let args: Vec<HashMap<String, i64>> =
+            streams.iter().map(|_| self.scalar_args.clone()).collect();
+        let outcome = self.unit.run_batch(&args, streams);
+        outcome
+            .lanes
+            .into_iter()
+            .zip(streams.iter())
+            .zip(in_tokens)
+            .map(|((lane, bundle), in_t)| {
+                let out = lane?;
+                let cycles = self.cycles_for_tokens(in_t.max(bundle.output_tokens()));
+                self.busy_cycles += cycles;
+                self.invocations += 1;
+                Ok((out.scalar_outputs, cycles))
+            })
+            .collect()
     }
 }
 

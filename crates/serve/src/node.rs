@@ -26,7 +26,7 @@ use crate::report::{RejectionCounts, ServeReport, TenantReport};
 use crate::scheduler::{ServeConfig, ServeError};
 use accelsoc_apps::archs::{arch_dsl_source, otsu_flow_engine, Arch};
 use accelsoc_apps::image::{synthetic_scene, RgbImage};
-use accelsoc_apps::otsu::{run_application_with, AppError};
+use accelsoc_apps::otsu::{run_application_group, AppError};
 use accelsoc_core::flow::FlowArtifacts;
 use accelsoc_observe::{percentile_ps, FlowEvent, FlowObserver, TenantId};
 use accelsoc_platform::sim::{ns_from_ps, ps_from_ns};
@@ -174,27 +174,60 @@ impl SimTables {
                 }
             }
         }
+        // Partition keys into same-arch lane groups of `cfg.lanes`, in
+        // first-seen order within each architecture: each group's
+        // software tasks execute as one batch-lane VM invocation (one
+        // decoded instruction stream over all its images). Grouping is a
+        // pure function of the job stream and `cfg.lanes`, and every
+        // per-key latency is bit-identical to a solo run by the lane-VM
+        // contract — so neither lanes nor threads can change the table.
         let threads = threads.max(1);
-        let mut slots: Vec<Option<Result<f64, AppError>>> = Vec::new();
-        slots.resize_with(keys.len(), || None);
-        let chunk = keys.len().div_ceil(threads).max(1);
+        let lanes = cfg.lanes.max(1);
+        let mut groups: Vec<Vec<(Arch, u32, u64)>> = Vec::new();
+        {
+            let mut open: HashMap<&'static str, usize> = HashMap::new();
+            for &key in &keys {
+                let slot = open.entry(key.0.name()).or_insert_with(|| {
+                    groups.push(Vec::with_capacity(lanes));
+                    groups.len() - 1
+                });
+                groups[*slot].push(key);
+                if groups[*slot].len() == lanes {
+                    open.remove(key.0.name());
+                }
+            }
+        }
+        let mut slots: Vec<Option<Result<Vec<f64>, AppError>>> = Vec::new();
+        slots.resize_with(groups.len(), || None);
+        let chunk = groups.len().div_ceil(threads).max(1);
         let engine_ref = &engine;
         let artifacts_ref = &artifacts;
         let app_cfg = &cfg.app;
         crossbeam::thread::scope(|s| {
-            for (key_chunk, slot_chunk) in keys.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            for (grp_chunk, slot_chunk) in groups.chunks(chunk).zip(slots.chunks_mut(chunk)) {
                 s.spawn(move |_| {
-                    for (&(arch, side, seed), slot) in key_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        let img = RgbImage::from_gray(&synthetic_scene(side, side, seed));
+                    for (grp, slot) in grp_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        let arch = grp[0].0;
+                        let images: Vec<RgbImage> = grp
+                            .iter()
+                            .map(|&(_, side, seed)| {
+                                RgbImage::from_gray(&synthetic_scene(side, side, seed))
+                            })
+                            .collect();
                         *slot = Some(
-                            run_application_with(
+                            run_application_group(
                                 arch,
                                 engine_ref,
                                 &artifacts_ref[arch.name()],
-                                &img,
+                                &images,
                                 app_cfg,
                             )
-                            .map(|run| run.total_ns),
+                            .and_then(|g| {
+                                g.runs
+                                    .into_iter()
+                                    .map(|run| run.map(|r| r.total_ns))
+                                    .collect()
+                            }),
                         );
                     }
                 });
@@ -202,9 +235,11 @@ impl SimTables {
         })
         .expect("latency precompute worker panicked");
         let mut lat_ps: HashMap<(&'static str, u32, u64), u64> = HashMap::new();
-        for ((arch, side, seed), slot) in keys.iter().zip(slots) {
+        for (grp, slot) in groups.iter().zip(slots) {
             let ns = slot.expect("every latency slot filled")?;
-            lat_ps.insert((arch.name(), *side, *seed), ps_from_ns(ns));
+            for (&(arch, side, seed), ns) in grp.iter().zip(ns) {
+                lat_ps.insert((arch.name(), side, seed), ps_from_ns(ns));
+            }
         }
         Ok(SimTables { est_ps, lat_ps })
     }

@@ -56,6 +56,10 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Host threads for the latency precompute (no effect on results).
     pub threads: usize,
+    /// Lane width of the precompute's batch-lane VM: same-arch jobs are
+    /// simulated as one lane group of up to this many images (no effect
+    /// on results, only on host-side dispatch amortization).
+    pub lanes: usize,
     /// Fixed per-batch dispatch cost (descriptor setup, doorbell).
     pub dispatch_overhead_ps: u64,
     /// Cost of switching a board to a different architecture's
@@ -82,6 +86,7 @@ impl Default for ServeConfig {
             queue_depth: 8,
             max_batch: 4,
             threads: 1,
+            lanes: accelsoc_apps::batch::DEFAULT_LANES,
             dispatch_overhead_ps: 1_000_000, // 1 us
             reconfig_ps: 20_000_000,         // 20 us partial reconfig
             max_retries: 1,
@@ -146,6 +151,12 @@ impl ServeConfigBuilder {
 
     pub fn threads(mut self, threads: usize) -> Self {
         self.cfg.threads = threads;
+        self
+    }
+
+    /// Lane width for the batch-lane precompute (results unaffected).
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.cfg.lanes = lanes;
         self
     }
 
